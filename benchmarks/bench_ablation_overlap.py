@@ -1,0 +1,31 @@
+"""A3 — ablation: the overlap extension vs the naive roofline.
+
+The paper extends the roofline with partial compute/memory overlap
+(T = Tc + Tm − To) to "estimate the actual run time instead of the
+asymptotic performance bound" (Sec. V-A).  The naive max(Tc, Tm) assumes
+perfect overlap everywhere and so underestimates whole-run time; the
+extension must track the executor's measured runtime more closely while
+keeping selection quality usable.
+"""
+
+from repro.experiments import ablation_overlap
+
+
+def test_ablation_overlap(benchmark, save_artifact):
+    result = benchmark(ablation_overlap, ("sord", "cfd", "srad"))
+    save_artifact("ablation_overlap", result.render())
+    values = dict(result.rows)
+    for workload in ("sord", "cfd", "srad"):
+        extension = values[f"{workload} runtime error, overlap extension"]
+        naive = values[f"{workload} runtime error, naive max(Tc,Tm)"]
+        # the extension must never be materially worse ...
+        assert extension <= naive + 0.03, workload
+        # ... and both variants remain usable for selection
+        assert values[f"{workload} Q, overlap extension"] >= 0.80
+        assert values[f"{workload} Q, naive max(Tc,Tm)"] >= 0.60
+    # on the flop-dominated workload the extension wins outright; on
+    # SORD the integer-only staging kernels expose a limitation of the
+    # paper's fp-only δ heuristic (δ = 0 → no overlap modeled), which is
+    # recorded as a reproduction finding in EXPERIMENTS.md
+    assert values["cfd runtime error, overlap extension"] <= \
+        values["cfd runtime error, naive max(Tc,Tm)"]

@@ -1,0 +1,18 @@
+"""E14 — paper Sec. IV-B: BET size vs source statements.
+
+"For all our benchmarks, the size of the BET averages at 88 % of that of
+the source code statements, and it never exceeds a factor of two."
+"""
+
+from repro.experiments import bet_size_table
+
+
+def test_bet_size_ratio(benchmark, save_artifact):
+    table = benchmark(bet_size_table)
+    save_artifact("bet_size", table.render())
+    assert table.max_ratio < 2.0          # never exceeds a factor of two
+    assert 0.6 < table.average_ratio < 1.2  # paper: ~0.88
+    # every workload individually stays bounded
+    for name, statements, nodes, ratio in table.rows:
+        assert ratio < 2.0, name
+        assert nodes > 0 and statements > 0

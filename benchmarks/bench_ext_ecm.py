@@ -1,0 +1,38 @@
+"""X2 — extension: pluggable ECM-style hardware model (Sec. VIII).
+
+"Our execution flow modeling is independent of hardware performance models
+... more sophisticated models can be used."  Swap the roofline for the
+ECM-style model across the whole suite and require comparable hot-spot
+selection quality, without touching any other pipeline stage.
+"""
+
+from repro.analysis import characterize, group_blocks, selection_quality
+from repro.experiments import analyze
+from repro.hardware import BGQ, ECMModel
+
+
+def _quality_with_ecm(workload):
+    analysis = analyze(workload, BGQ)
+    records = characterize(analysis.bet, ECMModel(BGQ))
+    sites = [s.site for s in group_blocks(records)[:10]]
+    return selection_quality(sites, analysis.measured,
+                             analysis.measured_total)
+
+
+def test_ext_ecm_suite_quality(benchmark, save_artifact):
+    workloads = ("sord", "chargei", "srad", "cfd", "stassuij")
+
+    def sweep():
+        return {w: _quality_with_ecm(w) for w in workloads}
+
+    qualities = benchmark(sweep)
+    lines = [f"{w}: Q={q:.3f}" for w, q in qualities.items()]
+    save_artifact("ext_ecm_quality", "ECM-model selection quality\n"
+                  + "\n".join(lines))
+    for workload, quality in qualities.items():
+        assert quality >= 0.80, workload
+
+    # model independence: quality comparable with the roofline pipeline
+    for workload in workloads:
+        roofline_q = analyze(workload, BGQ).quality()
+        assert abs(qualities[workload] - roofline_q) < 0.2, workload

@@ -1,0 +1,85 @@
+"""X1 — extension: multi-node strong-scaling projection (Sec. VIII).
+
+Not a paper artifact — the paper names this as future work; DESIGN.md
+records it as extension X1.  Shapes asserted: ideal-ish scaling at small
+rank counts, monotone efficiency decline, a communication crossover for
+the slab-decomposed stencil, and an Amdahl floor for the full SORD app.
+"""
+
+from repro.hardware import BGQ
+from repro.multinode import DecompositionModel, project_scaling
+from repro.multinode.network import TORUS_5D
+from repro.skeleton import parse_skeleton
+from repro.workloads import load
+
+HEAT3D = """
+param nx = 512
+param ny = 512
+param nz = 512
+param steps = 100
+
+def main(nx, ny, nz, steps)
+  array grid: float64[nz][ny][nx]
+  for t = 0 : steps as "time_loop"
+    call sweep(nx, ny, nz)
+    call exchange(nx, ny)
+  end
+end
+
+def sweep(nx, ny, nz)
+  for k = 0 : nz as "stencil_plane"
+    load 7 * nx * ny float64 from grid
+    comp 8 * nx * ny flops
+    store nx * ny float64 to grid
+  end
+end
+
+def exchange(nx, ny)
+  lib mpi_halo 2 * nx * ny
+end
+"""
+
+
+def _project_heat3d():
+    program = parse_skeleton(HEAT3D)
+    inputs = {"nx": 512, "ny": 512, "nz": 512, "steps": 100}
+    decomposition = DecompositionModel(partitioned=("nz",), min_value=1)
+    return project_scaling(program, inputs, BGQ, TORUS_5D, decomposition,
+                           ranks=(1, 2, 4, 8, 16, 32, 64, 128, 256, 512),
+                           workload="heat3d")
+
+
+def test_ext_multinode_stencil_crossover(benchmark, save_artifact):
+    projection = benchmark(_project_heat3d)
+    save_artifact("ext_multinode_heat3d", projection.render())
+    points = projection.points
+    # near-ideal at 2 ranks
+    assert projection.efficiency(points[1]) > 0.95
+    # efficiency declines monotonically
+    efficiencies = [projection.efficiency(p) for p in points]
+    assert all(a >= b - 1e-9
+               for a, b in zip(efficiencies, efficiencies[1:]))
+    # the halo exchange eventually becomes the top hot spot
+    crossover = projection.crossover_ranks()
+    assert crossover is not None and crossover >= 16
+    assert "halo exchange" in points[-1].top_spot
+
+
+def _project_sord():
+    program, inputs = load("sord")
+    decomposition = DecompositionModel(partitioned=("ny", "nz"),
+                                       min_value=4)
+    return project_scaling(program, inputs, BGQ, TORUS_5D, decomposition,
+                           ranks=(1, 4, 16, 64, 256), workload="sord")
+
+
+def test_ext_multinode_sord_amdahl_floor(benchmark, save_artifact):
+    projection = benchmark(_project_sord)
+    save_artifact("ext_multinode_sord", projection.render())
+    points = projection.points
+    # the full application speeds up but saturates below ideal
+    assert projection.speedup(points[-1]) > 8
+    assert projection.efficiency(points[-1]) < 0.5
+    # non-partitionable per-step work keeps compute above the ideal floor
+    ideal = points[0].compute_seconds / points[-1].ranks
+    assert points[-1].compute_seconds > 2 * ideal

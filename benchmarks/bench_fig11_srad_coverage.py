@@ -1,0 +1,40 @@
+"""E10 — paper Fig. 11: SRAD runtime-coverage curves.
+
+Shape (paper Sec. VII-B): the top three measured spots take roughly
+37 % / 28 % / 25 %; projected selections have coverage "almost identical"
+to measurement-based ones; spots #1 and #3 are the ``exp`` and ``rand``
+math-library calls handled by the semi-analytical mix model (Sec. IV-C).
+"""
+
+from repro.experiments import analyze, coverage_figure
+from repro.hardware import BGQ
+
+
+def test_fig11_srad_coverage(benchmark, save_artifact):
+    figure = benchmark(coverage_figure, "srad", "bgq")
+    save_artifact("fig11_srad_coverage", figure.render())
+    prof = figure.curves["Prof"]
+    model_measured = figure.curves["Modl(m)"]
+    # projected selection's measured coverage ~ profiler's own
+    assert abs(prof[2] - model_measured[2]) < 0.10
+    assert abs(prof[-1] - model_measured[-1]) < 0.03
+    assert figure.quality >= 0.90
+
+
+def test_fig11_srad_library_spots(benchmark, save_artifact):
+    analysis = benchmark(analyze, "srad", BGQ)
+    ranked = analysis.prof.ranked()
+    shares = [sec / analysis.measured_total for _, sec in ranked[:3]]
+    # ~37/28/25 with loose bands
+    assert 0.30 < shares[0] < 0.45
+    assert 0.20 < shares[1] < 0.40
+    assert 0.12 < shares[2] < 0.32
+    # spots #1 and #3 are library calls (exp, rand)
+    spot_by_site = {s.site: s for s in analysis.model_spots}
+    first = spot_by_site[ranked[0][0]]
+    third = spot_by_site[ranked[2][0]]
+    assert "exp" in first.label
+    assert "rand" in third.label
+    save_artifact("fig11_srad_top3",
+                  "\n".join(f"{site}: {100 * sec / analysis.measured_total:.1f}%"
+                            for site, sec in ranked[:3]))

@@ -1,0 +1,25 @@
+"""E3/E15 — paper Fig. 4 and Sec. I: SORD hot-spot portability.
+
+Shapes: the Xeon-suggested selection is a poorer representative of BG/Q
+execution than the model's own projection (Prof.Q(x) < Modl.Q), likewise in
+the other direction; and the two machines' measured top-10 lists share only
+~4 entries (paper: exactly 4).
+"""
+
+from repro.experiments import cross_machine_quality
+
+
+def test_fig4_cross_machine_portability(benchmark, save_artifact):
+    result = benchmark(cross_machine_quality)
+    save_artifact("fig4_sord_quality", result.render())
+
+    # the model tracks each machine better than porting a selection
+    assert result.q_model_bgq > result.q_xeon_on_bgq
+    assert result.q_model_xeon > result.q_bgq_on_xeon
+
+    # the model is accurate in its own right (paper: >= 80 % everywhere)
+    assert result.q_model_bgq >= 0.90
+    assert result.q_model_xeon >= 0.90
+
+    # paper Sec. I: only 4 of the top-10 are common across machines
+    assert 3 <= result.common_prof <= 6

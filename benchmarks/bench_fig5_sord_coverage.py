@@ -1,0 +1,23 @@
+"""E4 — paper Fig. 5: SORD runtime-coverage curves on BG/Q.
+
+Shape: the measured coverage of the model's selection (Modl(m)) tracks the
+profiler's own curve (Prof) to within a few percent once the selection is
+complete, and all curves are monotone.
+"""
+
+from repro.experiments import coverage_figure
+
+
+def test_fig5_sord_coverage(benchmark, save_artifact):
+    figure = benchmark(coverage_figure, "sord", "bgq")
+    save_artifact("fig5_sord_coverage", figure.render())
+    prof = figure.curves["Prof"]
+    model_measured = figure.curves["Modl(m)"]
+    # monotone non-decreasing
+    for series in figure.curves.values():
+        assert all(a <= b + 1e-12 for a, b in zip(series, series[1:]))
+    # Modl(m) within a few percent of Prof at the end of the selection
+    assert abs(prof[-1] - model_measured[-1]) < 0.05
+    # and never catastrophically below along the way
+    assert all(m >= p - 0.15 for p, m in zip(prof, model_measured))
+    assert figure.quality >= 0.90

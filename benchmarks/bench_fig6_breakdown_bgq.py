@@ -1,0 +1,28 @@
+"""E5 — paper Fig. 6: SORD per-hot-spot breakdown (Tc/Tm/overlap) on BG/Q.
+
+Shape: the four dominant stencils overlap most of their memory time behind
+computation, while the staging/streaming spots further down the ranking are
+memory-bound with little overlap — the projected insight Fig. 8's measured
+counters corroborate.
+"""
+
+from repro.experiments import breakdown_figure
+
+
+def test_fig6_sord_breakdown_bgq(benchmark, save_artifact):
+    figure = benchmark(breakdown_figure, "sord", "bgq")
+    save_artifact("fig6_sord_breakdown_bgq", figure.render())
+    rows = figure.rows
+    assert len(rows) == 10
+    # shares are a partition of each spot's time
+    for row in rows:
+        total = row.compute_share + row.memory_share + row.overlap_share
+        assert abs(total - 1.0) < 1e-9
+    # at least one later spot is memory-bound with low overlap
+    tail = rows[4:]
+    memory_bound = [r for r in tail if r.bound == "memory"]
+    assert memory_bound, "expected memory-bound spots in the tail"
+    assert min(r.overlap_share for r in memory_bound) < 0.2
+    # the dominant stencils hide most of their memory behind compute
+    head = rows[:4]
+    assert all(r.memory_share < 0.3 for r in head)

@@ -1,0 +1,34 @@
+"""E8 — paper Fig. 9: the SORD hot path on BG/Q.
+
+Shape: the merged path is rooted at ``main``, contains every selected hot
+spot exactly once per invocation pattern, shows the control flow (time
+loop, calls, probabilities) that reaches them, and annotates each spot with
+its repetition count and context values — "a bird-eye view of the
+application behavior".
+"""
+
+from repro.experiments import analyze, hotpath_figure
+from repro.hardware import BGQ
+
+
+def test_fig9_sord_hotpath(benchmark, save_artifact):
+    figure = benchmark(hotpath_figure, "sord", "bgq")
+    text = figure.render()
+    save_artifact("fig9_sord_hotpath", text)
+    save_artifact("fig9_sord_hotpath_dot", figure.render_dot())
+
+    path = figure.path
+    # rooted at main
+    assert path.root.bet.parent is None
+    assert "main" in path.root.label
+    # every selected spot appears
+    selected_sites = {spot.site for spot in path.spots}
+    path_sites = {node.bet.site for node in path.spot_nodes()}
+    assert selected_sites <= path_sites
+    # annotations: repetition, probability, and context values
+    assert "x40" in text                  # the nt=40 time loop
+    assert "enr=" in text
+    assert "ctx[" in text
+    # the path is a strict subset of the BET
+    analysis = analyze("sord", BGQ)
+    assert path.size() < analysis.bet.size()

@@ -1,0 +1,32 @@
+"""E16 — abstract / Sec. IV: analysis time is independent of input size.
+
+"Our technique's analysis time does not increase with the input data size"
+— while the application's (simulated) execution time obviously does.  We
+sweep the input scale over 16x and require the BET-plus-roofline time to
+stay flat as the executor time grows proportionally.
+"""
+
+from repro.experiments import scaling_invariance
+
+
+def test_scaling_invariance_cfd(benchmark, save_artifact):
+    result = benchmark.pedantic(
+        scaling_invariance, args=("cfd",),
+        kwargs={"scales": (1.0, 4.0, 16.0), "repeats": 3},
+        rounds=1, iterations=1)
+    save_artifact("scaling_cfd", result.render())
+    # simulated execution grows ~linearly with the input
+    assert result.executor_growth > 8.0
+    # model time stays flat (allow generous jitter for timer noise)
+    assert result.model_growth < 3.0
+    assert result.model_growth < result.executor_growth / 4
+
+
+def test_scaling_invariance_sord(benchmark, save_artifact):
+    result = benchmark.pedantic(
+        scaling_invariance, args=("sord",),
+        kwargs={"scales": (0.5, 1.0, 2.0), "repeats": 2},
+        rounds=1, iterations=1)
+    save_artifact("scaling_sord", result.render())
+    assert result.executor_growth > 2.0
+    assert result.model_growth < 2.0

@@ -1,0 +1,38 @@
+"""E2 — paper Table II: CFD top-10 hot spots on BG/Q.
+
+Shape (paper Sec. VII-B): all top spots identified with quality > 80 %, but
+the velocity-from-density-and-momentum kernel — a series of divisions that
+the BG/Q XL compiler expands into Newton-refinement sequences — is
+*underestimated* by the model (expected < 3 % of runtime, measured ~15 %),
+because the first-order model charges divisions like ordinary flops.
+"""
+
+from repro.experiments import analyze, hotspot_ranking_table
+from repro.hardware import BGQ
+
+
+def test_table2_cfd_rankings(benchmark, save_artifact):
+    table = benchmark(hotspot_ranking_table, "cfd", "bgq")
+    save_artifact("table2_cfd_bgq", table.render())
+    assert table.quality >= 0.80
+    prof = [row[1] for row in table.rows if row[1] != "-"]
+    model = [row[3] for row in table.rows if row[3] != "-"]
+    # all measured spots with weight appear in the model's top-10
+    heavy_prof = [row[1] for row in table.rows if row[2] > 0.01]
+    assert set(heavy_prof) <= set(model)
+    # the top spot is correctly identified
+    assert table.rows[0][1] == table.rows[0][3]
+
+
+def test_table2_velocity_kernel_underestimated(benchmark, save_artifact):
+    analysis = benchmark(analyze, "cfd", BGQ)
+    site = next(s.site for s in analysis.model_spots
+                if "compute_velocity" in s.label)
+    measured = analysis.measured_share(site)
+    projected = analysis.model_share(site)
+    save_artifact("table2_velocity_anecdote",
+                  f"compute_velocity: projected {projected:.3f} vs "
+                  f"measured {measured:.3f}")
+    # paper: expected < 3 %, took ~15 %
+    assert projected < 0.05
+    assert measured > 0.10

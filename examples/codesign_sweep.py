@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Co-design study: how do an application's bottlenecks move across a
+hardware design space?
+
+This is the paper's motivating use case (Sec. I): hot spots found on one
+machine do not stay hot on another, so architects sweeping a design space
+need projections, not ports.  We take the CFD mini-app and project it onto
+
+* the two validation machines (BG/Q node, Xeon E5-2420),
+* two conceptual future nodes (HBM-equipped, throughput manycore),
+* a bandwidth sweep of the manycore design,
+
+and report, for each point: projected runtime, the top hot spot, and the
+fraction of hot-spot time limited by memory — the signal a co-design team
+uses to decide whether to spend transistors on bandwidth or on flops.
+
+Run:  python examples/codesign_sweep.py
+"""
+
+from repro import (
+    BGQ, FUTURE_HBM, FUTURE_MANYCORE, XEON_E5_2420, RooflineModel,
+    build_bet, characterize, load_workload, performance_breakdown,
+    select_hotspots, total_time,
+)
+
+
+def project(program, bet, machine, static_size):
+    records = characterize(bet, RooflineModel(machine))
+    runtime = total_time(records)
+    selection = select_hotspots(records, static_size,
+                                coverage=1.0, leanness=1.0, max_spots=10)
+    rows = performance_breakdown(selection.spots)
+    hot_time = sum(r.total for r in rows)
+    memory_time = sum(r.memory - r.overlap for r in rows)
+    return {
+        "runtime": runtime,
+        "top_spot": selection.spots[0].label,
+        "top_bound": selection.spots[0].bound,
+        "memory_fraction": memory_time / hot_time if hot_time else 0.0,
+    }
+
+
+def main():
+    program, inputs = load_workload("cfd")
+    bet = build_bet(program, inputs=inputs)     # one model, many machines
+    static_size = program.static_size()
+
+    print(f"{'machine':24s} {'runtime':>10s} {'mem-limited':>12s}  "
+          "top hot spot")
+    print("-" * 78)
+
+    for machine in (BGQ, XEON_E5_2420, FUTURE_HBM, FUTURE_MANYCORE):
+        result = project(program, bet, machine, static_size)
+        print(f"{machine.name:24s} {result['runtime']:9.4f}s "
+              f"{100 * result['memory_fraction']:11.1f}%  "
+              f"{result['top_spot']} ({result['top_bound']})")
+
+    print("\nBandwidth sweep of the manycore design "
+          "(when does CFD stop being memory-limited?)")
+    print(f"{'bandwidth':>12s} {'runtime':>10s} {'mem-limited':>12s}")
+    for bandwidth_gbs in (60, 120, 180, 360, 720):
+        machine = FUTURE_MANYCORE.with_overrides(
+            name=f"manycore-{bandwidth_gbs}g",
+            bandwidth=bandwidth_gbs * 1e9)
+        result = project(program, bet, machine, static_size)
+        print(f"{bandwidth_gbs:10d}GB {result['runtime']:9.4f}s "
+              f"{100 * result['memory_fraction']:11.1f}%")
+
+    print("\nDivision-hardware sweep (the CFD velocity kernel is "
+          "division-bound on BG/Q, paper Sec. VII-B)")
+    print(f"{'div cost':>12s} {'velocity-kernel share':>22s}")
+    for div_cost in (1, 8, 30):
+        machine = BGQ.with_overrides(name=f"bgq-div{div_cost}",
+                                     div_cost=float(div_cost))
+        records = characterize(bet, RooflineModel(machine,
+                                                  model_division=True))
+        runtime = total_time(records)
+        velocity = [r for r in records if "compute_velocity" in r.label]
+        share = sum(r.total for r in velocity) / runtime
+        print(f"{div_cost:10d}cy {100 * share:21.1f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Build a mini-application from a full application's hot path.
+
+"Hot paths can also be used for constructing mini-applications"
+(paper Sec. V): given SORD — a full earthquake simulator — and a target
+machine, extract the hot path, strip the program down to the functions the
+hot path traverses, and verify on the reference executor that the resulting
+mini-app reproduces most of the parent's runtime profile at a fraction of
+its code size.
+
+Run:  python examples/miniapp_extraction.py
+"""
+
+from repro import (
+    BGQ, Program, RooflineModel, build_bet, characterize, extract_hot_path,
+    load_workload, profile, select_hotspots,
+)
+from repro.skeleton.ast_nodes import Branch, Call, ForLoop, FuncDef, WhileLoop
+
+
+def functions_on_path(path):
+    """Names of the functions the hot path traverses."""
+    names = set()
+    for node in path.root.walk():
+        bet = node.bet
+        if bet.stmt is not None:
+            names.add(bet.stmt.function)
+        if bet.kind == "call":
+            names.add(bet.note)
+    return names
+
+
+def strip_program(program, keep):
+    """Copy of ``program`` with call statements to cold functions removed."""
+    from repro import format_skeleton, parse_skeleton
+    reduced = parse_skeleton(format_skeleton(program))
+
+    def prune(body):
+        kept = []
+        for statement in body:
+            if isinstance(statement, Call) and statement.name not in keep:
+                continue
+            if isinstance(statement, (ForLoop, WhileLoop)):
+                prune(statement.body)
+            elif isinstance(statement, Branch):
+                for arm in statement.arms:
+                    prune(arm.body)
+            kept.append(statement)
+        body[:] = kept
+
+    functions = []
+    for name, func in reduced.functions.items():
+        if name in keep:
+            prune(func.body)
+            functions.append(func)
+    return Program(functions, reduced.params,
+                   source_name=f"{program.source_name}-miniapp")
+
+
+def main():
+    program, inputs = load_workload("sord")
+    machine = BGQ
+
+    # 1. model the full application, select hot spots, extract the path
+    bet = build_bet(program, inputs=inputs)
+    records = characterize(bet, RooflineModel(machine))
+    selection = select_hotspots(records, program.static_size(),
+                                coverage=1.0, leanness=1.0, max_spots=10)
+    path = extract_hot_path(selection.spots)
+    keep = functions_on_path(path)
+    print(f"hot path traverses {len(keep)} of "
+          f"{len(program.functions)} functions:")
+    print("  " + ", ".join(sorted(keep)) + "\n")
+
+    # 2. strip the application down to the hot path
+    miniapp = strip_program(program, keep)
+    shrink = miniapp.statement_count() / program.statement_count()
+    print(f"mini-app: {miniapp.statement_count()} statements vs "
+          f"{program.statement_count()} ({100 * shrink:.0f}% of the code)\n")
+
+    # 3. verify on the reference executor: the mini-app should retain the
+    #    bulk of the parent's runtime and reproduce its hot ranking
+    full = profile(program, machine, inputs=inputs, seed=1)
+    mini = profile(miniapp, machine, inputs=inputs, seed=1)
+    retained = mini.total_seconds / full.total_seconds
+    print(f"simulated runtime: full {full.total_seconds:.2f}s, "
+          f"mini {mini.total_seconds:.2f}s "
+          f"({100 * retained:.1f}% retained)")
+
+    # the mini-app's line numbers shift after pruning; compare spots by
+    # the function they live in
+    full_top = [site.split("@")[0] for site in full.top_sites(5)]
+    mini_top = [site.split("@")[0] for site in mini.top_sites(5)]
+    print("\ntop-5 measured spots (by function):")
+    print(f"  full app: {full_top}")
+    print(f"  mini-app: {mini_top}")
+    overlap = len(set(full_top) & set(mini_top))
+    print(f"  overlap: {overlap}/5")
+
+    print("\nhot path used for the extraction:")
+    print(path.render_ascii())
+
+
+if __name__ == "__main__":
+    main()

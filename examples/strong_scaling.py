@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Project multi-node strong scaling before the machine exists.
+
+The paper's stated future work (Sec. VIII) — "extending our framework to
+project hot regions and performance bottlenecks for multi-node execution"
+— implemented here: one BET per rank count (still never iterating a loop),
+node time from the roofline, communication priced with a postal-model
+interconnect.
+
+Two studies:
+
+1. a slab-decomposed 3-D heat stencil, where the per-rank halo is constant
+   while compute shrinks — the classic crossover where the halo exchange
+   becomes the top hot spot;
+2. SORD, the full application, across three interconnects — showing the
+   Amdahl floor from its non-partitionable work.
+
+Run:  python examples/strong_scaling.py
+"""
+
+from repro import (
+    BGQ, DecompositionModel, parse_skeleton, project_scaling, load_workload,
+)
+from repro.multinode.network import FAT_TREE, FUTURE_FABRIC, TORUS_5D
+
+HEAT3D = """
+param nx = 512
+param ny = 512
+param nz = 512
+param steps = 100
+
+def main(nx, ny, nz, steps)
+  array grid: float64[nz][ny][nx]
+  for t = 0 : steps as "time_loop"
+    call sweep(nx, ny, nz)
+    call exchange(nx, ny)
+  end
+end
+
+def sweep(nx, ny, nz)
+  for k = 0 : nz as "stencil_plane"
+    load 7 * nx * ny float64 from grid
+    comp 8 * nx * ny flops
+    store nx * ny float64 to grid
+  end
+end
+
+def exchange(nx, ny)
+  lib mpi_halo 2 * nx * ny
+end
+"""
+
+
+def main():
+    print("=" * 74)
+    print("Study 1: 512^3 heat stencil, slab decomposition, BG/Q + 5-D "
+          "torus")
+    print("=" * 74)
+    program = parse_skeleton(HEAT3D)
+    inputs = {"nx": 512, "ny": 512, "nz": 512, "steps": 100}
+    decomposition = DecompositionModel(partitioned=("nz",), min_value=1)
+    projection = project_scaling(
+        program, inputs, BGQ, TORUS_5D, decomposition,
+        ranks=(1, 2, 4, 8, 16, 32, 64, 128, 256, 512),
+        workload="heat3d")
+    print(projection.render())
+
+    print()
+    print("=" * 74)
+    print("Study 2: SORD (full application) across interconnects")
+    print("=" * 74)
+    program, inputs = load_workload("sord")
+    decomposition = DecompositionModel(partitioned=("ny", "nz"),
+                                       min_value=4)
+    for network in (TORUS_5D, FAT_TREE, FUTURE_FABRIC):
+        projection = project_scaling(
+            program, inputs, BGQ, network, decomposition,
+            ranks=(1, 4, 16, 64, 256), workload="sord")
+        print(projection.render())
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Hot-region analysis (paper Sec. V).
+
+Takes a Bayesian Execution Tree, projects the time of every code block with
+a roofline model, and produces the paper's two outputs:
+
+* **hot spots** — small code blocks consuming a significant share of
+  projected runtime, selected greedily under the *time-coverage* and
+  *code-leanness* criteria (Sec. V-B);
+* **hot paths** — the merged back-traces from every hot spot to ``main``,
+  annotated with iteration counts, probabilities, and context values
+  (Sec. V-C).
+
+It also provides the evaluation machinery of Secs. VI–VII: runtime-coverage
+curves, the *selection quality* metric, and per-hot-spot compute/memory/
+overlap breakdowns.
+"""
+
+from .block_metrics import BlockRecord, characterize, total_time
+from .hotspots import HotSpot, HotSpotSelection, group_blocks, select_hotspots
+from .hotpath import HotPath, extract_hot_path
+from .quality import (
+    common_spots, coverage, coverage_curve, selection_quality,
+)
+from .breakdown import BreakdownRow, performance_breakdown
+from .sensitivity import SweepPoint, SweepResult, sweep_machine
+from .dataflow import (
+    DataFlowEdge, dataflow_edges, format_dataflow, shared_arrays,
+    spot_access_sets,
+)
+from .report import (
+    format_breakdown_table, format_coverage_table, format_hotspot_table,
+)
+
+__all__ = [
+    "BlockRecord",
+    "characterize",
+    "total_time",
+    "HotSpot",
+    "HotSpotSelection",
+    "group_blocks",
+    "select_hotspots",
+    "HotPath",
+    "extract_hot_path",
+    "coverage",
+    "coverage_curve",
+    "selection_quality",
+    "common_spots",
+    "BreakdownRow",
+    "performance_breakdown",
+    "SweepPoint",
+    "SweepResult",
+    "sweep_machine",
+    "DataFlowEdge",
+    "dataflow_edges",
+    "shared_arrays",
+    "spot_access_sets",
+    "format_dataflow",
+    "format_hotspot_table",
+    "format_coverage_table",
+    "format_breakdown_table",
+]

@@ -1,0 +1,65 @@
+"""Per-hot-spot performance breakdowns (paper Figs. 6–7).
+
+For each hot spot, report the projected time spent in computation, in memory
+accesses, and in their overlap — the "insights for each hot spot" that
+profilers cannot provide directly (Sec. VII-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from .hotspots import HotSpot
+
+
+@dataclass(frozen=True)
+class BreakdownRow:
+    """Time decomposition of one hot spot (whole-run seconds)."""
+
+    site: str
+    label: str
+    compute: float        #: Tc × ENR
+    memory: float         #: Tm × ENR
+    overlap: float        #: To × ENR
+    total: float          #: T × ENR
+    bound: str            #: "compute" or "memory"
+
+    @property
+    def compute_share(self) -> float:
+        """Non-overlapped compute fraction of the spot's total time."""
+        if self.total == 0:
+            return 0.0
+        return (self.compute - self.overlap) / self.total
+
+    @property
+    def memory_share(self) -> float:
+        """Non-overlapped memory fraction of the spot's total time."""
+        if self.total == 0:
+            return 0.0
+        return (self.memory - self.overlap) / self.total
+
+    @property
+    def overlap_share(self) -> float:
+        if self.total == 0:
+            return 0.0
+        return self.overlap / self.total
+
+
+def performance_breakdown(spots: Sequence[HotSpot]) -> List[BreakdownRow]:
+    """Decompose each hot spot's projected time into Tc/Tm/To components."""
+    rows: List[BreakdownRow] = []
+    for spot in spots:
+        compute = spot.compute_time
+        memory = spot.memory_time
+        overlap = spot.overlap_time
+        rows.append(BreakdownRow(
+            site=spot.site,
+            label=spot.label,
+            compute=compute,
+            memory=memory,
+            overlap=overlap,
+            total=spot.projected_time,
+            bound=spot.bound,
+        ))
+    return rows

@@ -1,0 +1,96 @@
+"""Data-flow relations among hot spots (paper Sec. V-C).
+
+"The hot path also depicts the execution order of the hot spots and thus
+can help performance engineers analyze the data flow and catch interactions
+among the hot spots."  Skeleton access statements name the arrays they
+touch, so each hot spot has a read set and a write set; a producer→consumer
+edge exists where one spot writes an array another reads.  These edges are
+what explain, e.g., the paper's SORD anecdote of a later hot spot running
+faster than projected because it reuses data an earlier one brought into
+cache (Sec. VII-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple
+
+from ..skeleton.ast_nodes import Load, Store
+from .hotspots import HotSpot
+
+
+@dataclass(frozen=True)
+class DataFlowEdge:
+    """One producer→consumer relation through a named array."""
+
+    producer: str      #: hot-spot site that writes
+    consumer: str      #: hot-spot site that reads
+    array: str
+
+    def __str__(self):
+        return f"{self.producer} --[{self.array}]--> {self.consumer}"
+
+
+def spot_access_sets(spot: HotSpot) -> Tuple[Set[str], Set[str]]:
+    """``(reads, writes)``: arrays the spot's own leaves touch."""
+    reads: Set[str] = set()
+    writes: Set[str] = set()
+    for record in spot.records:
+        for child in record.node.children:
+            statement = child.stmt
+            if isinstance(statement, Load) and statement.array:
+                reads.add(statement.array)
+            elif isinstance(statement, Store) and statement.array:
+                writes.add(statement.array)
+    return reads, writes
+
+
+def dataflow_edges(spots: Sequence[HotSpot]) -> List[DataFlowEdge]:
+    """Producer→consumer edges among ``spots``.
+
+    Self-loops (a spot updating an array in place) are excluded — they are
+    intra-spot reuse, not an interaction.  Edges are ordered by the spots'
+    ranking (hotter producers first) and deterministic.
+    """
+    accesses = [(spot, *spot_access_sets(spot)) for spot in spots]
+    edges: List[DataFlowEdge] = []
+    for producer, _, writes in accesses:
+        for consumer, reads, _ in accesses:
+            if producer.site == consumer.site:
+                continue
+            for array in sorted(writes & reads):
+                edges.append(DataFlowEdge(producer=producer.site,
+                                          consumer=consumer.site,
+                                          array=array))
+    return edges
+
+
+def shared_arrays(spots: Sequence[HotSpot]) -> Dict[str, List[str]]:
+    """Array → sites touching it (read or write), for reuse analysis."""
+    out: Dict[str, List[str]] = {}
+    for spot in spots:
+        reads, writes = spot_access_sets(spot)
+        for array in sorted(reads | writes):
+            out.setdefault(array, []).append(spot.site)
+    return {array: sites for array, sites in out.items()
+            if len(sites) > 1}
+
+
+def format_dataflow(spots: Sequence[HotSpot]) -> str:
+    """Text rendering: per-spot access sets plus the interaction edges."""
+    lines = ["hot-spot data flow (reads / writes per spot)"]
+    label_of = {spot.site: spot.label for spot in spots}
+    for spot in spots:
+        reads, writes = spot_access_sets(spot)
+        lines.append(f"  {spot.label:32s} reads {sorted(reads) or '-'} "
+                     f"writes {sorted(writes) or '-'}")
+    edges = dataflow_edges(spots)
+    if edges:
+        lines.append("interactions:")
+        for edge in edges:
+            lines.append(f"  {label_of.get(edge.producer, edge.producer)} "
+                         f"--[{edge.array}]--> "
+                         f"{label_of.get(edge.consumer, edge.consumer)}")
+    else:
+        lines.append("interactions: none (no shared arrays)")
+    return "\n".join(lines)

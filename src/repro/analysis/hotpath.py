@@ -1,0 +1,167 @@
+"""Hot-path extraction (paper Sec. V-C).
+
+Every hot spot corresponds to one or more BET nodes; back-tracing each node's
+parents to the root yields one control-flow path per invocation pattern, and
+merging the paths — shared nodes and edges appear once, distinct suffixes
+become branches — produces the *hot path*: a stripped-down execution flow
+containing only the hot spots and the control flow leading to them, with
+each node's context (trip counts, probabilities, ENR, data sizes) preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..bet.nodes import BETNode
+from .hotspots import HotSpot
+
+
+@dataclass
+class HotPathNode:
+    """One BET node retained in the hot path."""
+
+    bet: BETNode
+    children: List["HotPathNode"] = field(default_factory=list)
+    is_hot_spot: bool = False
+    rank: Optional[int] = None    #: 1-based hot-spot rank, if a spot
+
+    @property
+    def label(self) -> str:
+        return self.bet.label
+
+    def walk(self):
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+@dataclass
+class HotPath:
+    """The merged hot path rooted at ``main``."""
+
+    root: HotPathNode
+    spots: List[HotSpot]
+
+    def size(self) -> int:
+        return sum(1 for _ in self.root.walk())
+
+    def spot_nodes(self) -> List[HotPathNode]:
+        return [n for n in self.root.walk() if n.is_hot_spot]
+
+    # -- rendering ------------------------------------------------------
+    def render_ascii(self) -> str:
+        """Tree rendering with ENR / probability / context annotations."""
+        lines: List[str] = []
+
+        def visit(node: HotPathNode, depth: int) -> None:
+            indent = "  " * depth
+            bet = node.bet
+            marker = ""
+            if node.is_hot_spot:
+                marker = f"  <== HOT SPOT #{node.rank}"
+            details = []
+            if bet.kind == "loop":
+                details.append(f"x{bet.num_iter:.6g}")
+            if bet.prob < 1.0:
+                details.append(f"p={bet.prob:.4g}")
+            if node.is_hot_spot:
+                details.append(f"enr={bet.enr:.6g}")
+                context = ", ".join(
+                    f"{k}={v}" for k, v in sorted(bet.context.items()))
+                if context:
+                    details.append(f"ctx[{context}]")
+            suffix = f" ({', '.join(details)})" if details else ""
+            lines.append(f"{indent}{bet.kind}: {bet.label}{suffix}{marker}")
+            for child in node.children:
+                visit(child, depth + 1)
+
+        visit(self.root, 0)
+        return "\n".join(lines)
+
+    def render_dot(self) -> str:
+        """Graphviz DOT rendering (paper Fig. 9 style)."""
+        lines = ["digraph hotpath {", "  rankdir=TB;",
+                 '  node [shape=box, fontsize=10];']
+        ids: Dict[int, str] = {}
+        for index, node in enumerate(self.root.walk()):
+            name = f"n{index}"
+            ids[id(node)] = name
+            label = node.bet.label.replace('"', "'")
+            extras = []
+            if node.bet.kind == "loop":
+                extras.append(f"x{node.bet.num_iter:.6g}")
+            if node.bet.prob < 1.0:
+                extras.append(f"p={node.bet.prob:.3g}")
+            if extras:
+                label += "\\n" + " ".join(extras)
+            style = ""
+            if node.is_hot_spot:
+                style = ', style=filled, fillcolor="#ffcccc"'
+                label += f"\\nHOT #{node.rank} enr={node.bet.enr:.4g}"
+            lines.append(f'  {name} [label="{label}"{style}];')
+        for node in self.root.walk():
+            for child in node.children:
+                lines.append(f"  {ids[id(node)]} -> {ids[id(child)]};")
+        lines.append("}")
+        return "\n".join(lines)
+
+
+def extract_hot_path(spots: Sequence[HotSpot]) -> HotPath:
+    """Back-trace every hot-spot BET node to the root and merge the paths.
+
+    Shared prefixes are represented once; where paths diverge the hot path
+    branches (paper Fig. 3).  Hot spots are ranked by their order in
+    ``spots`` (decreasing projected time).
+    """
+    from ..errors import AnalysisError
+    if not spots:
+        raise AnalysisError("cannot extract a hot path from zero hot spots")
+
+    wrapped: Dict[int, HotPathNode] = {}
+    root: Optional[HotPathNode] = None
+
+    def wrap(bet: BETNode) -> HotPathNode:
+        nonlocal root
+        existing = wrapped.get(id(bet))
+        if existing is not None:
+            return existing
+        node = HotPathNode(bet)
+        wrapped[id(bet)] = node
+        if bet.parent is None:
+            root = node
+        else:
+            parent = wrap(bet.parent)
+            parent.children.append(node)
+        return node
+
+    for rank, spot in enumerate(spots, start=1):
+        for record in spot.records:
+            node = wrap(record.node)
+            node.is_hot_spot = True
+            if node.rank is None:
+                node.rank = rank
+
+    assert root is not None
+    _sort_children(root)
+    return HotPath(root=root, spots=list(spots))
+
+
+def _sort_children(node: HotPathNode) -> None:
+    """Order children by their BET pre-order position (= program order)."""
+    order: Dict[int, int] = {}
+
+    def index_tree(bet: BETNode, counter: List[int]) -> None:
+        order[id(bet)] = counter[0]
+        counter[0] += 1
+        for child in bet.children:
+            index_tree(child, counter)
+
+    index_tree(node.bet, [0])
+
+    def sort(n: HotPathNode) -> None:
+        n.children.sort(key=lambda c: order.get(id(c.bet), 0))
+        for child in n.children:
+            sort(child)
+
+    sort(node)

@@ -1,0 +1,96 @@
+"""Plain-text tables for hot-region analysis results.
+
+These renderers produce the paper-style artifacts: ranked hot-spot tables
+(Tables I/II), runtime-coverage curves as text series (Figs. 4–5, 10–13),
+and per-spot breakdown tables (Figs. 6–7).  They are shared by the CLI, the
+examples, and the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from .breakdown import BreakdownRow
+from .hotspots import HotSpotSelection
+
+
+def _table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    def fmt(row):
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+    separator = "  ".join("-" * w for w in widths)
+    lines = [fmt(headers), separator]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def format_hotspot_table(selection: HotSpotSelection,
+                         top: Optional[int] = None,
+                         title: str = "") -> str:
+    """Ranked hot-spot table: rank, block, projected time, share, bound."""
+    spots = selection.spots if top is None else selection.top(top)
+    rows: List[List[str]] = []
+    for rank, spot in enumerate(spots, start=1):
+        share = spot.projected_time / selection.total_time \
+            if selection.total_time else 0.0
+        rows.append([
+            str(rank),
+            spot.label[:52],
+            spot.site,
+            f"{spot.projected_time:.6g}",
+            f"{100 * share:.1f}%",
+            f"{spot.enr:.6g}",
+            spot.bound,
+        ])
+    table = _table(
+        ["#", "block", "site", "time(s)", "share", "enr", "bound"], rows)
+    footer = (f"\ncoverage={100 * selection.coverage:.1f}% "
+              f"leanness={100 * selection.leanness:.2f}% "
+              f"(targets: >={100 * selection.coverage_target:.0f}%, "
+              f"<={100 * selection.leanness_target:.0f}%)")
+    prefix = f"{title}\n" if title else ""
+    return prefix + table + footer
+
+
+def format_coverage_table(series: Dict[str, List[float]],
+                          title: str = "") -> str:
+    """Runtime-coverage curves as columns (one per series, rows = #spots).
+
+    ``series`` maps a curve name (``Prof``, ``Modl(p)``, ``Modl(m)``) to its
+    cumulative-coverage list.
+    """
+    names = list(series)
+    length = max((len(v) for v in series.values()), default=0)
+    rows: List[List[str]] = []
+    for index in range(length):
+        row = [str(index + 1)]
+        for name in names:
+            values = series[name]
+            row.append(f"{100 * values[index]:.1f}%"
+                       if index < len(values) else "")
+        rows.append(row)
+    table = _table(["spots"] + names, rows)
+    return (f"{title}\n" if title else "") + table
+
+
+def format_breakdown_table(rows: Sequence[BreakdownRow],
+                           title: str = "") -> str:
+    """Per-hot-spot Tc/Tm/To decomposition table (paper Figs. 6–7)."""
+    body: List[List[str]] = []
+    for rank, row in enumerate(rows, start=1):
+        body.append([
+            str(rank),
+            row.label[:52],
+            f"{row.total:.6g}",
+            f"{100 * row.compute_share:.1f}%",
+            f"{100 * row.memory_share:.1f}%",
+            f"{100 * row.overlap_share:.1f}%",
+            row.bound,
+        ])
+    table = _table(
+        ["#", "block", "time(s)", "compute", "memory", "overlap", "bound"],
+        body)
+    return (f"{title}\n" if title else "") + table

@@ -1,0 +1,121 @@
+"""Design-space sensitivity analysis.
+
+Co-design asks not just "what is hot on machine X" but "how does the answer
+move as I turn a hardware knob?"  Given one BET (built once — it is machine
+independent), :func:`sweep_machine` re-characterizes it across a parameter
+sweep and reports, per point, the projected runtime, the hot-spot ranking,
+and how stable the ranking is relative to the baseline — the quantitative
+version of the paper's observation that hot spots do not port across
+machines (Sec. I).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from ..bet.nodes import BETNode
+from ..errors import AnalysisError
+from ..hardware.machine import MachineModel
+from ..hardware.roofline import RooflineModel
+from .block_metrics import characterize, total_time
+from .hotspots import group_blocks
+from .quality import common_spots
+
+
+@dataclass
+class SweepPoint:
+    """Projection at one value of the swept parameter."""
+
+    value: float
+    machine: MachineModel
+    runtime: float                 #: projected whole-run wall seconds
+    ranking: List[str]             #: hot-spot sites, hottest first
+    top_label: str
+    memory_fraction: float         #: non-overlapped memory share
+
+    def common_with(self, other: "SweepPoint", k: int = 10) -> int:
+        return len(common_spots(self.ranking[:k], other.ranking[:k]))
+
+
+@dataclass
+class SweepResult:
+    """A full parameter sweep."""
+
+    parameter: str
+    points: List[SweepPoint]
+
+    @property
+    def baseline(self) -> SweepPoint:
+        return self.points[0]
+
+    def ranking_stability(self, k: int = 10) -> List[float]:
+        """Per point: fraction of the baseline top-k still in the top-k."""
+        out = []
+        for point in self.points:
+            shared = point.common_with(self.baseline, k)
+            out.append(shared / min(k, len(self.baseline.ranking) or 1))
+        return out
+
+    def runtime_curve(self) -> List[float]:
+        return [point.runtime for point in self.points]
+
+    def render(self) -> str:
+        stability = self.ranking_stability()
+        lines = [f"sensitivity sweep over {self.parameter!r}",
+                 f"{'value':>12}  {'runtime':>10}  {'mem%':>6}  "
+                 f"{'top-10 kept':>11}  top hot spot"]
+        for point, kept in zip(self.points, stability):
+            lines.append(
+                f"{point.value:12.4g}  {point.runtime:10.4g}  "
+                f"{100 * point.memory_fraction:5.1f}%  "
+                f"{100 * kept:10.0f}%  {point.top_label}")
+        return "\n".join(lines)
+
+
+def sweep_machine(bet: BETNode,
+                  base_machine: MachineModel,
+                  parameter: str,
+                  values: Sequence[float],
+                  model_factory: Optional[Callable] = None,
+                  k: int = 10) -> SweepResult:
+    """Re-project one BET across a machine-parameter sweep.
+
+    Parameters
+    ----------
+    bet:
+        A built BET (machine independent; reused across all points).
+    base_machine:
+        The machine whose ``parameter`` field is overridden per point.
+    parameter:
+        A :class:`~repro.hardware.MachineModel` field name
+        (``bandwidth``, ``cores``, ``div_cost``, ``llc_size``, ...).
+    values:
+        Values to sweep; the first is the baseline for stability metrics.
+    model_factory:
+        ``machine -> block-time model`` (default: plain RooflineModel).
+    """
+    if not values:
+        raise AnalysisError("sweep needs at least one value")
+    if not hasattr(base_machine, parameter):
+        raise AnalysisError(
+            f"machine has no parameter {parameter!r}")
+    factory = model_factory or RooflineModel
+    points: List[SweepPoint] = []
+    for value in values:
+        machine = base_machine.with_overrides(
+            name=f"{base_machine.name}[{parameter}={value:g}]",
+            **{parameter: value})
+        records = characterize(bet, factory(machine))
+        spots = group_blocks(records)
+        runtime = total_time(records)
+        hot_total = sum(s.projected_time for s in spots[:k])
+        hot_memory = sum(s.memory_time - s.overlap_time
+                         for s in spots[:k])
+        points.append(SweepPoint(
+            value=value, machine=machine, runtime=runtime,
+            ranking=[s.site for s in spots],
+            top_label=spots[0].label if spots else "-",
+            memory_fraction=hot_memory / hot_total if hot_total else 0.0,
+        ))
+    return SweepResult(parameter=parameter, points=points)

@@ -1,0 +1,40 @@
+"""The Bayesian Execution Tree (BET) — the paper's core contribution (Sec. IV).
+
+A BET models the *execution flow* of a program: the input-dependent runtime
+traversal of its code.  It is built by conceptually traversing the Block
+Skeleton Tree from ``main`` while tracking probabilistic *contexts* (variable
+environments with probabilities).  Crucially:
+
+* loops are **not** iterated — a loop becomes a single node carrying its
+  expected trip count, which is what makes model construction independent of
+  the input data size;
+* function calls mount a copy of the callee's BST in place, specialised to
+  the call's argument values;
+* data-dependent branches split contexts according to their outcome
+  probabilities, and ``return`` / ``continue`` / ``break`` promote
+  probability mass to the enclosing function / loop.
+
+Public API
+----------
+:class:`Context`
+    A weighted variable environment.
+:class:`BETNode`
+    One dynamic code block (function, loop, branch arm, library call, or
+    leaf statement) with its context, conditional probability, expected trip
+    count, per-invocation metrics, and ENR.
+:class:`BETBuilder` / :func:`build_bet`
+    Construct the BET for a program and input bindings.
+"""
+
+from .context import Context, merge_contexts
+from .nodes import BETNode
+from .builder import BETBuilder, build_bet, expected_break_iterations
+
+__all__ = [
+    "Context",
+    "merge_contexts",
+    "BETNode",
+    "BETBuilder",
+    "build_bet",
+    "expected_break_iterations",
+]

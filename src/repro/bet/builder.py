@@ -1,0 +1,387 @@
+"""BET construction (paper Sec. IV-B).
+
+The builder traverses the Block Skeleton Tree in pre-order, starting from the
+entry function, carrying a list of live probabilistic contexts:
+
+* a **function call** mounts the callee's BST in place, with parameters bound
+  to the argument values of the current context;
+* a **loop** becomes a single node whose body is processed exactly once; the
+  loop variable is bound to its arithmetic mean over the iteration range (a
+  documented first-order approximation for triangular nests);
+* a **branch** splits each live context into per-arm contexts weighted by
+  arm probabilities (``prob`` arms) or resolved deterministically (``cond``
+  arms over context variables);
+* ``return`` / ``continue`` / ``break`` promote probability mass to the
+  enclosing function / loop; a per-iteration break probability ``p`` over a
+  range of ``n`` gives the truncated-geometric expectation
+  ``E[iter] = (1 − (1−p)^n) / p`` (see DESIGN.md §2).
+
+No loop is ever iterated and no data value outside the tracked context is
+computed, so the build cost is independent of the input size.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import (
+    ContextExplosionError, ModelError, RecursionLimitError,
+)
+from ..expressions import evaluate, evaluate_bool
+from ..hardware.instmix import LibraryDatabase, default_library
+from ..hardware.metrics import Metrics
+from ..skeleton.ast_nodes import (
+    ArrayDecl, Branch, Break, Call, Comp, Continue, ForLoop, FuncDef,
+    LibCall, Load, Return, Statement, Store, VarAssign, WhileLoop,
+)
+from ..skeleton.bst import Program
+from .context import Context, merge_contexts
+from .nodes import BETNode
+
+_EPSILON = 1e-12
+
+
+def expected_break_iterations(p: float, n: float) -> float:
+    """Expected trip count of an ``n``-iteration loop that breaks with
+    per-iteration probability ``p`` (truncated geometric; DESIGN.md §2)."""
+    if not (0.0 <= p <= 1.0):
+        raise ModelError(f"break probability {p} outside [0, 1]")
+    if n < 0:
+        raise ModelError(f"negative loop range {n}")
+    if p <= _EPSILON:
+        return float(n)
+    if p >= 1.0:
+        return min(1.0, float(n))
+    survive = (1.0 - p) ** n if n < 1e9 else 0.0
+    return min(float(n), (1.0 - survive) / p)
+
+
+@dataclass
+class _BodyResult:
+    """Outcome of processing one statement list."""
+
+    contexts: List[Context]
+    escapes: Dict[str, float] = field(
+        default_factory=lambda: {"break": 0.0, "continue": 0.0,
+                                 "return": 0.0})
+
+
+class BETBuilder:
+    """Builds Bayesian Execution Trees from a skeleton :class:`Program`.
+
+    Parameters
+    ----------
+    program:
+        The parsed skeleton.
+    library:
+        Instruction-mix database for ``lib`` statements
+        (default: :func:`~repro.hardware.instmix.default_library`).
+    max_contexts:
+        Guard against the 2^B context blow-up (paper Sec. IV-B).
+    max_recursion:
+        Maximum times one function may appear in the mount chain.
+    """
+
+    def __init__(self, program: Program,
+                 library: Optional[LibraryDatabase] = None,
+                 max_contexts: int = 512,
+                 max_recursion: int = 8):
+        self.program = program
+        self.library = library if library is not None else default_library()
+        self.max_contexts = max_contexts
+        self.max_recursion = max_recursion
+        self._call_stack: List[str] = []
+
+    # -- public entry -------------------------------------------------------
+    def build(self, entry: str = "main",
+              inputs: Optional[Dict[str, float]] = None) -> BETNode:
+        """Build the BET rooted at ``entry`` with ``inputs`` overriding the
+        skeleton's ``param`` defaults.
+
+        The returned root has ENR values already computed.
+        """
+        env = self._initial_env(inputs or {})
+        func = self.program.function(entry)
+        missing = [p for p in func.params if p not in env]
+        if missing:
+            raise ModelError(
+                f"entry function {entry!r} parameters {missing} not bound; "
+                "pass them via inputs= or declare 'param' defaults")
+        root = BETNode("function", func, env, prob=1.0)
+        root.own_metrics = root.own_metrics + Metrics(static_size=1)
+        self._call_stack = [entry]
+        result = self._process_body(func.body, root,
+                                    [Context(dict(env), 1.0)])
+        del result  # escapes at the root are absorbed by main's exit
+        root.compute_enr(1.0)
+        return root
+
+    def _initial_env(self, inputs: Dict[str, float]) -> Dict[str, float]:
+        env: Dict[str, float] = {}
+        for name, expr in self.program.params.items():
+            if name in inputs:
+                env[name] = inputs[name]
+            else:
+                env[name] = evaluate(expr, env)
+        for name, value in inputs.items():
+            env.setdefault(name, value)
+        return env
+
+    # -- statement-list processing ------------------------------------------
+    def _process_body(self, statements: Sequence[Statement], block: BETNode,
+                      contexts: List[Context]) -> _BodyResult:
+        result = _BodyResult(contexts=list(contexts))
+        for statement in statements:
+            result.contexts = merge_contexts(result.contexts)
+            if len(result.contexts) > self.max_contexts:
+                raise ContextExplosionError(len(result.contexts),
+                                            self.max_contexts)
+            if not result.contexts:
+                break
+            self._dispatch(statement, block, result)
+        result.contexts = merge_contexts(result.contexts)
+        return result
+
+    def _dispatch(self, statement: Statement, block: BETNode,
+                  result: _BodyResult) -> None:
+        if isinstance(statement, VarAssign):
+            result.contexts = [
+                ctx.assign(statement.name,
+                           evaluate(statement.expr, ctx.env))
+                for ctx in result.contexts]
+        elif isinstance(statement, ArrayDecl):
+            self._leaf(statement, block, result.contexts, Metrics(
+                static_size=statement.static_size))
+        elif isinstance(statement, (Comp, Load, Store)):
+            self._characteristic_leaf(statement, block, result.contexts)
+        elif isinstance(statement, LibCall):
+            self._lib_call(statement, block, result.contexts)
+        elif isinstance(statement, Call):
+            self._mount_call(statement, block, result.contexts)
+        elif isinstance(statement, Branch):
+            self._branch(statement, block, result)
+        elif isinstance(statement, (ForLoop, WhileLoop)):
+            self._loop(statement, block, result)
+        elif isinstance(statement, Break):
+            self._flow_escape("break", statement, block, result)
+        elif isinstance(statement, Continue):
+            self._flow_escape("continue", statement, block, result)
+        elif isinstance(statement, Return):
+            self._flow_escape("return", statement, block, result)
+        elif isinstance(statement, FuncDef):
+            raise ModelError("nested function definitions are not supported")
+        else:
+            raise ModelError(
+                f"unsupported statement {type(statement).__name__}")
+
+    # -- leaves ---------------------------------------------------------------
+    def _leaf(self, statement: Statement, block: BETNode,
+              contexts: List[Context], metrics: Metrics,
+              kind: str = "leaf") -> BETNode:
+        prob = min(sum(ctx.prob for ctx in contexts), 1.0)
+        sample_env = contexts[0].env if contexts else {}
+        node = BETNode(kind, statement, sample_env, prob=prob, parent=block)
+        node.own_metrics = metrics
+        if kind == "leaf":
+            block.own_metrics = block.own_metrics + metrics
+        return node
+
+    def _characteristic_leaf(self, statement: Statement, block: BETNode,
+                             contexts: List[Context]) -> None:
+        total = Metrics(static_size=statement.static_size)
+        for ctx in contexts:
+            total = total + self._eval_metrics(statement, ctx.env).scaled(
+                ctx.prob)
+        self._leaf(statement, block, contexts, total)
+
+    def _eval_metrics(self, statement: Statement, env: Dict) -> Metrics:
+        if isinstance(statement, Comp):
+            flops = max(0.0, evaluate(statement.flops, env))
+            divs = max(0.0, evaluate(statement.div_flops, env))
+            iops = max(0.0, evaluate(statement.iops, env))
+            return Metrics(
+                flops=flops, iops=iops, div_flops=min(divs, flops),
+                vec_flops=flops if statement.vectorizable else 0.0)
+        if isinstance(statement, Load):
+            count = max(0.0, evaluate(statement.count, env))
+            return Metrics(loads=count,
+                           load_bytes=count * statement.element_bytes)
+        if isinstance(statement, Store):
+            count = max(0.0, evaluate(statement.count, env))
+            return Metrics(stores=count,
+                           store_bytes=count * statement.element_bytes)
+        raise ModelError(f"not a characteristic statement: {statement!r}")
+
+    def _lib_call(self, statement: LibCall, block: BETNode,
+                  contexts: List[Context]) -> None:
+        mix = self.library.get(statement.name)
+        for ctx in contexts:
+            size = max(0.0, evaluate(statement.size, ctx.env))
+            metrics = mix.to_metrics(size)
+            metrics = metrics + Metrics(static_size=statement.static_size)
+            node = BETNode("lib", statement, ctx.env, prob=ctx.prob,
+                           parent=block, note=statement.name)
+            node.own_metrics = metrics
+
+    # -- calls ------------------------------------------------------------------
+    def _mount_call(self, statement: Call, block: BETNode,
+                    contexts: List[Context]) -> None:
+        callee = self.program.function(statement.name)
+        depth = self._call_stack.count(statement.name)
+        if depth >= self.max_recursion:
+            raise RecursionLimitError(statement.name, self.max_recursion)
+        for ctx in contexts:
+            env = dict(self.program_globals(ctx.env))
+            for param, arg in zip(callee.params, statement.args):
+                env[param] = evaluate(arg, ctx.env)
+            node = BETNode("call", statement, env, prob=ctx.prob,
+                           parent=block, note=callee.name)
+            node.own_metrics = node.own_metrics + Metrics(static_size=1)
+            self._call_stack.append(statement.name)
+            try:
+                self._process_body(callee.body, node, [Context(env, 1.0)])
+            finally:
+                self._call_stack.pop()
+            # 'return' escapes end the callee and are absorbed here
+            # (paper Sec. IV-B); caller flow continues unchanged.
+
+    def program_globals(self, caller_env: Dict) -> Dict:
+        """Global ``param`` bindings visible inside every function."""
+        return {name: caller_env[name]
+                for name in self.program.params if name in caller_env}
+
+    # -- branches -----------------------------------------------------------------
+    def _branch(self, statement: Branch, block: BETNode,
+                result: _BodyResult) -> None:
+        survivors: List[Context] = []
+        for ctx in result.contexts:
+            survivors.extend(
+                self._branch_one_context(statement, block, ctx, result))
+        result.contexts = survivors
+
+    def _branch_one_context(self, statement: Branch, block: BETNode,
+                            ctx: Context,
+                            result: _BodyResult) -> List[Context]:
+        remaining = 1.0
+        survivors: List[Context] = []
+        for index, arm in enumerate(statement.arms):
+            if remaining <= _EPSILON:
+                break
+            if arm.kind == "cond":
+                taken = evaluate_bool(arm.expr, ctx.env)
+                p_arm = remaining if taken else 0.0
+            elif arm.kind == "prob":
+                p_raw = evaluate(arm.expr, ctx.env)
+                if not (0.0 <= p_raw <= 1.0 + 1e-9):
+                    raise ModelError(
+                        f"branch probability {p_raw} outside [0, 1] at "
+                        f"{statement.site}")
+                p_arm = min(p_raw, remaining)
+            else:  # default absorbs the residual
+                p_arm = remaining
+            if p_arm <= _EPSILON:
+                continue
+            remaining -= p_arm
+            node = BETNode("arm", statement, ctx.env,
+                           prob=ctx.prob * p_arm, parent=block,
+                           note=f"arm{index}")
+            node.own_metrics = node.own_metrics + Metrics(static_size=1)
+            arm_result = self._process_body(
+                arm.body, node, [Context(dict(ctx.env), 1.0)])
+            scale = ctx.prob * p_arm
+            for kind, mass in arm_result.escapes.items():
+                result.escapes[kind] += mass * scale
+            for exit_ctx in arm_result.contexts:
+                survivors.append(Context(exit_ctx.env,
+                                         exit_ctx.prob * scale))
+        if remaining > _EPSILON:
+            # residual fall-through: no arm executed for this mass
+            survivors.append(ctx.fork(remaining))
+        return survivors
+
+    # -- loops ----------------------------------------------------------------------
+    def _loop(self, statement, block: BETNode, result: _BodyResult) -> None:
+        survivors: List[Context] = []
+        for ctx in result.contexts:
+            survivors.append(self._loop_one_context(statement, block, ctx,
+                                                    result))
+        result.contexts = survivors
+
+    def _loop_one_context(self, statement, block: BETNode, ctx: Context,
+                          result: _BodyResult) -> Context:
+        if isinstance(statement, ForLoop):
+            lo = evaluate(statement.lo, ctx.env)
+            hi = evaluate(statement.hi, ctx.env)
+            step = evaluate(statement.step, ctx.env)
+            if step <= 0:
+                raise ModelError(
+                    f"loop step must be positive at {statement.site}")
+            trips = max(0, math.ceil((hi - lo) / step))
+            mean_var = lo + step * (trips - 1) / 2 if trips > 0 else lo
+            body_env = dict(ctx.env)
+            body_env[statement.var] = mean_var
+        else:  # WhileLoop
+            if statement.expect is None:
+                raise ModelError(
+                    f"while loop at {statement.site} has no expected trip "
+                    "count; run the branch profiler first "
+                    "(repro.translate.branch_profiler / repro.simulate)")
+            trips = evaluate(statement.expect, ctx.env)
+            if trips < 0:
+                raise ModelError(
+                    f"negative expected trip count {trips} at "
+                    f"{statement.site}")
+            body_env = dict(ctx.env)
+
+        node = BETNode("loop", statement, ctx.env, prob=ctx.prob,
+                       num_iter=float(trips), parent=block,
+                       parallel=getattr(statement, "parallel", False))
+        node.own_metrics = node.own_metrics + Metrics(static_size=1)
+        body_result = self._process_body(statement.body, node,
+                                         [Context(body_env, 1.0)])
+        p_break = min(body_result.escapes["break"], 1.0)
+        p_return = min(body_result.escapes["return"], 1.0)
+        exit_per_iter = min(p_break + p_return, 1.0)
+        if exit_per_iter > _EPSILON and trips > 0:
+            node.num_iter = expected_break_iterations(exit_per_iter,
+                                                      trips)
+            ever_exited = 1.0 - (1.0 - exit_per_iter) ** trips
+            returned = ever_exited * (p_return / exit_per_iter)
+        else:
+            returned = 0.0
+        # 'continue' only shortens the iteration (already reflected in the
+        # reduced probability of the statements after it); loop-carried env
+        # changes do not propagate outside the loop (first-order model).
+        result.escapes["return"] += ctx.prob * returned
+        return ctx.fork(1.0 - returned)
+
+    # -- flow escapes -----------------------------------------------------------------
+    def _flow_escape(self, kind: str, statement: Statement, block: BETNode,
+                     result: _BodyResult) -> None:
+        remaining: List[Context] = []
+        for ctx in result.contexts:
+            p = evaluate(statement.prob, ctx.env)
+            if not (0.0 <= p <= 1.0 + 1e-9):
+                raise ModelError(
+                    f"{kind} probability {p} outside [0, 1] at "
+                    f"{statement.site}")
+            p = min(p, 1.0)
+            result.escapes[kind] += ctx.prob * p
+            node = BETNode("leaf", statement, ctx.env, prob=ctx.prob * p,
+                           parent=block, note=kind)
+            node.own_metrics = Metrics(static_size=statement.static_size)
+            survivor = ctx.fork(1.0 - p)
+            if survivor.alive():
+                remaining.append(survivor)
+        result.contexts = remaining
+
+
+def build_bet(program: Program, inputs: Optional[Dict[str, float]] = None,
+              entry: str = "main",
+              library: Optional[LibraryDatabase] = None,
+              **builder_kwargs) -> BETNode:
+    """Convenience wrapper: construct a BET in one call."""
+    builder = BETBuilder(program, library=library, **builder_kwargs)
+    return builder.build(entry=entry, inputs=inputs)

@@ -1,0 +1,174 @@
+"""BET node structure.
+
+Each :class:`BETNode` represents "the dynamic execution of a code block with
+a given context" (paper Sec. IV-A).  Code-block nodes — functions, loops,
+branch arms, and library calls — carry the per-invocation metrics of the
+leaf statements that belong to them directly; nested blocks are separate
+nodes with their own ENR, so summing ``time × ENR`` over all block nodes
+partitions total runtime with no double counting.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from ..hardware.metrics import Metrics
+from ..skeleton.ast_nodes import Statement
+
+#: node kinds that define code blocks (hot-spot candidates)
+BLOCK_KINDS = frozenset({"function", "call", "loop", "arm", "lib"})
+
+
+class BETNode:
+    """One dynamic invocation pattern of a code block.
+
+    Attributes
+    ----------
+    kind:
+        ``"function"`` (the root mount), ``"call"`` (a mounted callee),
+        ``"loop"``, ``"arm"`` (one branch arm), ``"lib"`` (library call),
+        or ``"leaf"`` (a straight-line characteristic statement, kept for
+        structure/reporting; its metrics are folded into the owning block).
+    stmt:
+        The BST statement this node was created from.
+    context:
+        Variable environment at entry (values of performance-sensitive
+        variables for *this* invocation — the paper's "contextual insight").
+    prob:
+        Conditional probability of reaching this node given one invocation
+        of its parent block.
+    num_iter:
+        Expected iterations (loops only; 1.0 otherwise).
+    own_metrics:
+        Per-invocation aggregate of the leaf statements directly inside
+        this block (probability weighted).
+    enr:
+        Expected number of repetitions: ``num_iter × prob × parent.enr``
+        (paper Sec. V-A); 1 for the root.
+    """
+
+    __slots__ = ("kind", "stmt", "context", "prob", "num_iter", "parent",
+                 "children", "own_metrics", "enr", "note", "parallel")
+
+    def __init__(self, kind: str, stmt: Optional[Statement],
+                 context: Optional[Dict] = None, prob: float = 1.0,
+                 num_iter: float = 1.0,
+                 parent: Optional["BETNode"] = None, note: str = "",
+                 parallel: bool = False):
+        self.kind = kind
+        self.stmt = stmt
+        self.context = dict(context or {})
+        self.prob = prob
+        self.num_iter = num_iter
+        self.parent = parent
+        self.children: List[BETNode] = []
+        self.own_metrics = Metrics()
+        self.enr = 0.0
+        self.note = note
+        self.parallel = parallel    # iterations independent (forall)
+        if parent is not None:
+            parent.children.append(self)
+
+    # -- identity ---------------------------------------------------------
+    @property
+    def site(self) -> str:
+        """BST-level identity: invocations of the same source block share it."""
+        if self.stmt is None:
+            return "<root>"
+        if self.kind == "arm" and self.note:
+            return f"{self.stmt.site}.{self.note}"
+        return self.stmt.site
+
+    @property
+    def label(self) -> str:
+        """Human-readable name for reports."""
+        if self.stmt is None:
+            return "<root>"
+        label = getattr(self.stmt, "label", None)
+        if label:
+            return label
+        return f"{self.stmt.describe()} [{self.site}]"
+
+    @property
+    def is_block(self) -> bool:
+        return self.kind in BLOCK_KINDS
+
+    # -- traversal ----------------------------------------------------------
+    def walk(self) -> Iterator["BETNode"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def blocks(self) -> Iterator["BETNode"]:
+        """All code-block nodes in the subtree (pre-order)."""
+        for node in self.walk():
+            if node.is_block:
+                yield node
+
+    def parallel_width(self) -> float:
+        """Iterations available for concurrent execution at this node.
+
+        The trip count of the nearest enclosing (or self) ``forall`` loop;
+        1.0 when the node executes serially.  Nested parallel loops do not
+        multiply — like real node-level runtimes, only one level of
+        parallelism is exploited.
+        """
+        node = self
+        while node is not None:
+            if node.kind == "loop" and node.parallel:
+                return max(node.num_iter, 1.0)
+            node = node.parent
+        return 1.0
+
+    def path_to_root(self) -> List["BETNode"]:
+        """This node and its ancestors, root last."""
+        path = [self]
+        node = self
+        while node.parent is not None:
+            node = node.parent
+            path.append(node)
+        return path
+
+    def depth(self) -> int:
+        return len(self.path_to_root()) - 1
+
+    def size(self) -> int:
+        """Number of nodes in the subtree (the paper's BET-size measure)."""
+        return sum(1 for _ in self.walk())
+
+    # -- ENR ------------------------------------------------------------------
+    def compute_enr(self, parent_enr: float = 1.0) -> None:
+        """Fill ``enr`` over the subtree: ``num_iter × prob × ENR_parent``."""
+        self.enr = self.num_iter * self.prob * parent_enr
+        for child in self.children:
+            child.compute_enr(self.enr)
+
+    def __repr__(self):
+        return (f"<BETNode {self.kind} {self.site} p={self.prob:.3g} "
+                f"iter={self.num_iter:.3g} enr={self.enr:.3g}>")
+
+
+def render_tree(root: BETNode, max_depth: int = 12,
+                show_metrics: bool = False) -> str:
+    """ASCII rendering of a BET (used by reports and the CLI)."""
+    lines: List[str] = []
+
+    def visit(node: BETNode, depth: int) -> None:
+        if depth > max_depth:
+            return
+        indent = "  " * depth
+        extra = ""
+        if node.kind == "loop":
+            extra = f" ×{node.num_iter:.6g}"
+        if node.prob < 1.0:
+            extra += f" p={node.prob:.4g}"
+        if show_metrics and node.is_block and not node.own_metrics.is_empty():
+            m = node.own_metrics
+            extra += (f"  [flops={m.flops:.4g} bytes={m.total_bytes:.4g}"
+                      f" enr={node.enr:.4g}]")
+        lines.append(f"{indent}{node.kind}: {node.label}{extra}")
+        for child in node.children:
+            visit(child, depth + 1)
+
+    visit(root, 0)
+    return "\n".join(lines)

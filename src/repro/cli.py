@@ -1,0 +1,415 @@
+"""Command-line interface.
+
+::
+
+    repro workloads                      # list benchmark workloads
+    repro machines                       # list machine presets
+    repro profile sord --machine bgq     # measured flat profile (executor)
+    repro project sord --machine bgq     # model-projected hot spots
+    repro breakdown sord --machine xeon  # per-spot Tc/Tm/To decomposition
+    repro hotpath sord --machine bgq     # merged hot path (--dot, --json)
+    repro dataflow sord                  # hot-spot data-flow interactions
+    repro bet sord --metrics             # render the BET itself
+    repro lint sord                      # skeleton diagnostics (W001-W009)
+    repro trace cfd --out trace.json     # chrome://tracing of simulated time
+    repro translate kernel.py --entry main --size n=4096
+    repro experiment list                # the paper's tables/figures
+    repro experiment fig4                # regenerate one artifact
+    repro experiment all --out results   # regenerate everything
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional
+
+from .analysis import (
+    characterize, extract_hot_path, format_breakdown_table,
+    format_hotspot_table, performance_breakdown, select_hotspots,
+)
+from .bet import build_bet
+from .errors import ReproError
+from .hardware import RooflineModel, machine_by_name
+from .simulate import profile
+from .skeleton import format_skeleton
+from .translate import InputHints, translate_source
+from .workloads import load, names, spec
+
+_EXPERIMENTS = {
+    "table1": ("hotspot rankings for the full suite (paper Table I)",
+               lambda: _table1()),
+    "table2": ("CFD top-10 hot spots (paper Table II)",
+               lambda: _one("hotspot_ranking_table", "cfd", "bgq")),
+    "fig4": ("SORD cross-machine selection quality (paper Fig. 4)",
+             lambda: _zero("cross_machine_quality")),
+    "fig5": ("SORD coverage curves on BG/Q (paper Fig. 5)",
+             lambda: _one("coverage_figure", "sord", "bgq")),
+    "fig6": ("SORD per-spot breakdown on BG/Q (paper Fig. 6)",
+             lambda: _one("breakdown_figure", "sord", "bgq")),
+    "fig7": ("SORD per-spot breakdown on Xeon (paper Fig. 7)",
+             lambda: _one("breakdown_figure", "sord", "xeon")),
+    "fig8": ("SORD measured counters (paper Fig. 8)",
+             lambda: _one("issue_rate_figure", "sord", "bgq")),
+    "fig9": ("SORD hot path on BG/Q (paper Fig. 9)",
+             lambda: _one("hotpath_figure", "sord", "bgq")),
+    "fig10": ("CFD coverage curves (paper Fig. 10)",
+              lambda: _one("coverage_figure", "cfd", "bgq")),
+    "fig11": ("SRAD coverage curves (paper Fig. 11)",
+              lambda: _one("coverage_figure", "srad", "bgq")),
+    "fig12": ("CHARGEI coverage curves (paper Fig. 12)",
+              lambda: _one("coverage_figure", "chargei", "bgq")),
+    "fig13": ("STASSUIJ coverage curves (paper Fig. 13)",
+              lambda: _one("coverage_figure", "stassuij", "bgq")),
+    "headline": ("suite-wide selection quality (paper Sec. VIII)",
+                 lambda: _zero("headline_quality")),
+    "betsize": ("BET size vs source statements (paper Sec. IV-B)",
+                lambda: _zero("bet_size_table")),
+    "scaling": ("analysis-time input-size invariance (paper abstract)",
+                lambda: _zero("scaling_invariance")),
+    "ablation-division": ("A1: division cost (CFD)",
+                          lambda: _zero("ablation_division")),
+    "ablation-vectorization": ("A2: vectorization (STASSUIJ)",
+                               lambda: _zero("ablation_vectorization")),
+    "ablation-overlap": ("A3: overlap extension",
+                         lambda: _zero("ablation_overlap")),
+    "ablation-cachemiss": ("A4: cache-miss constant sensitivity",
+                           lambda: _zero("ablation_cachemiss")),
+    "ablation-selection": ("A5: greedy vs exact knapsack selection",
+                           lambda: _zero("ablation_selection")),
+    "ext-multinode": ("X1: SORD multi-node strong-scaling projection "
+                      "(Sec. VIII future work)",
+                      lambda: _ext_multinode()),
+    "ext-ecm": ("X2: ECM-model hot spots for SORD (Sec. VIII: pluggable "
+                "hardware models)",
+                lambda: _ext_ecm()),
+}
+
+
+def _ext_multinode() -> str:
+    from .hardware import BGQ
+    from .multinode import DecompositionModel, project_scaling
+    from .multinode.network import TORUS_5D
+    program, inputs = load("sord")
+    decomposition = DecompositionModel(partitioned=("ny", "nz"),
+                                       min_value=4)
+    projection = project_scaling(program, inputs, BGQ, TORUS_5D,
+                                 decomposition,
+                                 ranks=(1, 4, 16, 64, 256),
+                                 workload="sord")
+    return projection.render()
+
+
+def _ext_ecm() -> str:
+    from .analysis import characterize as _characterize
+    from .analysis import group_blocks
+    from .bet import build_bet as _build_bet
+    from .hardware import BGQ, ECMModel
+    program, inputs = load("sord")
+    root = _build_bet(program, inputs=inputs)
+    spots = group_blocks(_characterize(root, ECMModel(BGQ)))[:10]
+    lines = ["SORD hot spots under the ECM model (BG/Q)"]
+    total = sum(s.projected_time for s in spots)
+    for rank, spot in enumerate(spots, start=1):
+        lines.append(f"{rank:2d}  {spot.label:32s} "
+                     f"{100 * spot.projected_time / total:5.1f}%  "
+                     f"{spot.bound}")
+    return "\n".join(lines)
+
+
+def _zero(name: str) -> str:
+    from . import experiments
+    return getattr(experiments, name)().render()
+
+
+def _one(name: str, workload: str, machine: str) -> str:
+    from . import experiments
+    return getattr(experiments, name)(workload, machine).render()
+
+
+def _table1() -> str:
+    from . import experiments
+    parts = []
+    for workload, machine in (("sord", "bgq"), ("sord", "xeon"),
+                              ("srad", "bgq"), ("chargei", "bgq"),
+                              ("stassuij", "bgq")):
+        parts.append(experiments.hotspot_ranking_table(
+            workload, machine).render())
+    return "\n\n".join(parts)
+
+
+def _parse_bindings(pairs: Optional[List[str]]) -> Dict[str, float]:
+    out: Dict[str, float] = {}
+    for pair in pairs or ():
+        if "=" not in pair:
+            raise ReproError(f"expected name=value, got {pair!r}")
+        name, _, value = pair.partition("=")
+        out[name.strip()] = float(value)
+    return out
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Analytical execution-flow modeling for software-"
+                    "hardware co-design (IPDPS 2014 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("workloads", help="list benchmark workloads")
+    sub.add_parser("machines", help="list machine presets")
+
+    for command, description in (
+            ("profile", "run the reference executor and show the measured "
+                        "flat profile"),
+            ("project", "project hot spots with the analytical model"),
+            ("breakdown", "per-hot-spot compute/memory/overlap breakdown"),
+            ("dataflow", "data-flow interactions among the hot spots"),
+            ("hotpath", "extract and render the merged hot path")):
+        p = sub.add_parser(command, help=description)
+        p.add_argument("workload", help="workload name (see 'workloads')")
+        p.add_argument("--machine", default="bgq",
+                       help="machine preset (default bgq)")
+        p.add_argument("--seed", type=int, default=1)
+        p.add_argument("--top", type=int, default=10)
+        p.add_argument("--set", dest="bindings", action="append",
+                       metavar="NAME=VALUE",
+                       help="override a workload input")
+        if command in ("project", "breakdown", "hotpath"):
+            p.add_argument("--json", action="store_true",
+                           help="emit machine-readable JSON")
+        if command == "hotpath":
+            p.add_argument("--dot", action="store_true",
+                           help="emit Graphviz DOT instead of ASCII")
+
+    lint_parser = sub.add_parser(
+        "lint", help="static diagnostics for a workload skeleton")
+    lint_parser.add_argument("workload")
+
+    bet_parser = sub.add_parser(
+        "bet", help="build and render the Bayesian Execution Tree")
+    bet_parser.add_argument("workload")
+    bet_parser.add_argument("--depth", type=int, default=8,
+                            help="maximum rendered depth")
+    bet_parser.add_argument("--metrics", action="store_true",
+                            help="annotate blocks with metrics and ENR")
+    bet_parser.add_argument("--set", dest="bindings", action="append",
+                            metavar="NAME=VALUE")
+
+    trace_parser = sub.add_parser(
+        "trace", help="run the executor and export a chrome://tracing "
+                      "flame graph of simulated time")
+    trace_parser.add_argument("workload")
+    trace_parser.add_argument("--machine", default="bgq")
+    trace_parser.add_argument("--seed", type=int, default=1)
+    trace_parser.add_argument("--out", default="trace.json",
+                              help="output path (chrome trace JSON)")
+    trace_parser.add_argument("--set", dest="bindings", action="append",
+                              metavar="NAME=VALUE")
+
+    t = sub.add_parser("translate",
+                       help="translate a Python file into a code skeleton")
+    t.add_argument("path", help="Python source file")
+    t.add_argument("--entry", default="main")
+    t.add_argument("--size", dest="sizes", action="append",
+                   metavar="NAME=VALUE", help="input-size hint")
+
+    e = sub.add_parser("experiment",
+                       help="regenerate a paper table/figure")
+    e.add_argument("id", help="experiment id, 'list', or 'all'")
+    e.add_argument("--out", default="results",
+                   help="directory for artifacts when id is 'all'")
+    return parser
+
+
+def _cmd_workloads() -> str:
+    lines = []
+    for name in names():
+        lines.append(f"{name:12s} {spec(name).title}")
+    return "\n".join(lines)
+
+
+def _cmd_machines() -> str:
+    from .hardware.presets import _PRESETS
+    lines = []
+    for name, machine in sorted(_PRESETS.items()):
+        info = machine.describe()
+        lines.append(
+            f"{name:16s} {info['frequency_ghz']:.1f} GHz x{machine.cores}"
+            f"  L1 {info['l1_kib']:.0f}K  LLC {info['llc_mib']:.0f}M"
+            f"  {info['bandwidth_gbs']:.0f} GB/s  "
+            f"peak {info['peak_vector_gflops']:.1f} GF/s(simd)")
+    return "\n".join(lines)
+
+
+def _load(args):
+    program, inputs = load(args.workload)
+    inputs.update(_parse_bindings(getattr(args, "bindings", None)))
+    machine = machine_by_name(args.machine)
+    return program, inputs, machine
+
+
+def _cmd_profile(args) -> str:
+    program, inputs, machine = _load(args)
+    result = profile(program, machine, inputs=inputs, seed=args.seed)
+    return result.format_flat(args.top)
+
+
+def _model_selection(args):
+    program, inputs, machine = _load(args)
+    root = build_bet(program, inputs=inputs)
+    records = characterize(root, RooflineModel(machine))
+    return program, records, select_hotspots(
+        records, program.static_size(), coverage=1.0, leanness=1.0,
+        max_spots=args.top)
+
+
+def _cmd_project(args) -> str:
+    program, _, selection = _model_selection(args)
+    if getattr(args, "json", False):
+        from .export import selection_to_dict, to_json
+        return to_json(selection_to_dict(selection))
+    return format_hotspot_table(
+        selection, title=f"projected hot spots: {args.workload} on "
+                         f"{args.machine}")
+
+
+def _cmd_breakdown(args) -> str:
+    _, _, selection = _model_selection(args)
+    rows = performance_breakdown(selection.spots)
+    if getattr(args, "json", False):
+        from .export import breakdown_to_dict, to_json
+        return to_json(breakdown_to_dict(rows))
+    return format_breakdown_table(
+        rows, title=f"breakdown: {args.workload} on {args.machine}")
+
+
+def _cmd_dataflow(args) -> str:
+    from .analysis.dataflow import format_dataflow
+    _, _, selection = _model_selection(args)
+    return format_dataflow(selection.spots)
+
+
+def _cmd_hotpath(args) -> str:
+    _, _, selection = _model_selection(args)
+    path = extract_hot_path(selection.spots)
+    if getattr(args, "json", False):
+        from .export import hotpath_to_dict, to_json
+        return to_json(hotpath_to_dict(path))
+    return path.render_dot() if args.dot else path.render_ascii()
+
+
+def _cmd_translate(args) -> str:
+    with open(args.path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    hints = InputHints(sizes=_parse_bindings(args.sizes))
+    result = translate_source(source, entry=args.entry, hints=hints)
+    text = format_skeleton(result.program)
+    if result.needs_profiling:
+        text += ("\n# NOTE: these sites still need branch profiling "
+                 f"(repro.translate.profile_branches): "
+                 f"{result.needs_profiling}\n")
+    return text
+
+
+def _cmd_lint(args) -> str:
+    from .skeleton.lint import lint_program
+    program, _ = load(args.workload)
+    warnings = lint_program(program)
+    if not warnings:
+        return f"{args.workload}: no findings"
+    return "\n".join(str(w) for w in warnings)
+
+
+def _cmd_bet(args) -> str:
+    from .bet.nodes import render_tree
+    program, inputs = load(args.workload)
+    inputs.update(_parse_bindings(getattr(args, "bindings", None)))
+    root = build_bet(program, inputs=inputs)
+    header = (f"BET for {args.workload}: {root.size()} nodes "
+              f"({program.statement_count()} skeleton statements)\n")
+    return header + render_tree(root, max_depth=args.depth,
+                                show_metrics=args.metrics)
+
+
+def _cmd_trace(args) -> str:
+    from .simulate import SkeletonExecutor, TraceRecorder
+    program, inputs, machine = _load(args)
+    recorder = TraceRecorder()
+    executor = SkeletonExecutor(program, machine, seed=args.seed,
+                                trace=recorder)
+    result = executor.run(inputs=inputs)
+    recorder.save(args.out)
+    note = " (truncated)" if recorder.truncated else ""
+    return (f"wrote {len(recorder.events)} events{note} covering "
+            f"{result.seconds:.4f}s of simulated time to {args.out}; "
+            "open in chrome://tracing or https://ui.perfetto.dev")
+
+
+def _cmd_experiment(args) -> str:
+    if args.id == "list":
+        return "\n".join(f"{key:24s} {desc}"
+                         for key, (desc, _) in _EXPERIMENTS.items())
+    if args.id == "all":
+        return _run_all_experiments(args.out)
+    try:
+        _, runner = _EXPERIMENTS[args.id]
+    except KeyError:
+        raise ReproError(
+            f"unknown experiment {args.id!r}; try 'repro experiment list'")
+    return runner()
+
+
+def _run_all_experiments(out_dir: str) -> str:
+    """Regenerate every artifact into ``out_dir`` (one file per id)."""
+    import pathlib
+    import time as _time
+    directory = pathlib.Path(out_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    lines = []
+    for key, (description, runner) in _EXPERIMENTS.items():
+        started = _time.perf_counter()
+        text = runner()
+        elapsed = _time.perf_counter() - started
+        path = directory / f"{key.replace('-', '_')}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        lines.append(f"{key:24s} {elapsed:6.2f}s  -> {path}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "workloads":
+            output = _cmd_workloads()
+        elif args.command == "machines":
+            output = _cmd_machines()
+        elif args.command == "profile":
+            output = _cmd_profile(args)
+        elif args.command == "project":
+            output = _cmd_project(args)
+        elif args.command == "breakdown":
+            output = _cmd_breakdown(args)
+        elif args.command == "dataflow":
+            output = _cmd_dataflow(args)
+        elif args.command == "hotpath":
+            output = _cmd_hotpath(args)
+        elif args.command == "translate":
+            output = _cmd_translate(args)
+        elif args.command == "lint":
+            output = _cmd_lint(args)
+        elif args.command == "trace":
+            output = _cmd_trace(args)
+        elif args.command == "bet":
+            output = _cmd_bet(args)
+        else:
+            output = _cmd_experiment(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(output)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

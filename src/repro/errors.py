@@ -1,0 +1,113 @@
+"""Exception hierarchy for the repro (skopetree) package.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch the whole family with a single ``except`` clause.  Parse-time errors
+carry source locations; model-time errors carry the offending block or
+expression where available.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class SkeletonSyntaxError(ReproError):
+    """Raised when a ``.skop`` source cannot be tokenized or parsed.
+
+    Parameters
+    ----------
+    message:
+        Human-readable description of the problem.
+    line, column:
+        1-based source position; 0 when unknown.
+    source_name:
+        Name of the skeleton file or ``"<string>"``.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0,
+                 source_name: str = "<string>"):
+        self.message = message
+        self.line = line
+        self.column = column
+        self.source_name = source_name
+        super().__init__(f"{source_name}:{line}:{column}: {message}")
+
+
+class ExpressionError(ReproError):
+    """Raised when a symbolic expression cannot be parsed or evaluated."""
+
+
+class UnboundVariableError(ExpressionError):
+    """An expression referenced a variable absent from the context.
+
+    Attributes
+    ----------
+    name:
+        The unbound variable name.
+    """
+
+    def __init__(self, name: str, where: str = ""):
+        self.name = name
+        suffix = f" (in {where})" if where else ""
+        super().__init__(f"unbound variable {name!r}{suffix}")
+
+
+class SemanticError(ReproError):
+    """Raised for structurally invalid skeletons.
+
+    Examples: calling an undefined function, ``break`` outside a loop,
+    duplicate function definitions, or a missing ``main`` entry point.
+    """
+
+
+class ModelError(ReproError):
+    """Raised when BET construction cannot proceed.
+
+    Examples: exceeding the context-explosion guard, recursion deeper than
+    the configured limit, or a negative loop trip count.
+    """
+
+
+class ContextExplosionError(ModelError):
+    """The number of live probabilistic contexts exceeded ``max_contexts``.
+
+    The paper bounds BET size by observing that branch outcomes correlate
+    in real workloads; this guard surfaces pathological inputs (a chain of
+    independent branches) instead of silently exhausting memory.
+    """
+
+    def __init__(self, count: int, limit: int):
+        self.count = count
+        self.limit = limit
+        super().__init__(
+            f"probabilistic context count {count} exceeded the limit {limit}; "
+            "the workload behaves like a chain of independent branches "
+            "(see DESIGN.md section 5)")
+
+
+class RecursionLimitError(ModelError):
+    """Function-call mounting exceeded the configured recursion depth."""
+
+    def __init__(self, function: str, depth: int):
+        self.function = function
+        self.depth = depth
+        super().__init__(
+            f"recursive call chain through {function!r} exceeded depth {depth}")
+
+
+class HardwareModelError(ReproError):
+    """Raised for invalid machine descriptions or roofline inputs."""
+
+
+class AnalysisError(ReproError):
+    """Raised by hot-region analysis (e.g. infeasible selection criteria)."""
+
+
+class SimulationError(ReproError):
+    """Raised by the reference executor substrate."""
+
+
+class TranslationError(ReproError):
+    """Raised by the Python front end when source cannot be translated."""

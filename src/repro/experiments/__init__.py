@@ -1,0 +1,47 @@
+"""Experiment drivers that regenerate every table and figure of the paper.
+
+Each function returns a structured result object with a ``render()`` method
+producing the paper-style text artifact.  The benchmark harness
+(``benchmarks/bench_*.py``) and the CLI (``repro experiment ...``) both call
+into this package, so a reported number always has exactly one source.
+
+See DESIGN.md §4 for the experiment index (E1–E16, A1–A5, X1–X2).
+"""
+
+from .pipeline import WorkloadAnalysis, analyze, clear_cache
+from .artifacts import (
+    ablation_cachemiss,
+    ablation_division,
+    ablation_overlap,
+    ablation_selection,
+    ablation_vectorization,
+    bet_size_table,
+    coverage_figure,
+    cross_machine_quality,
+    headline_quality,
+    hotspot_ranking_table,
+    hotpath_figure,
+    issue_rate_figure,
+    breakdown_figure,
+    scaling_invariance,
+)
+
+__all__ = [
+    "WorkloadAnalysis",
+    "analyze",
+    "clear_cache",
+    "hotspot_ranking_table",
+    "cross_machine_quality",
+    "coverage_figure",
+    "breakdown_figure",
+    "issue_rate_figure",
+    "hotpath_figure",
+    "headline_quality",
+    "bet_size_table",
+    "scaling_invariance",
+    "ablation_division",
+    "ablation_vectorization",
+    "ablation_overlap",
+    "ablation_selection",
+    "ablation_cachemiss",
+]

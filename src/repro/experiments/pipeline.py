@@ -1,0 +1,144 @@
+"""The shared Prof-vs-Modl pipeline (paper Sec. VI methodology).
+
+For one (workload, machine) pair:
+
+1. run the reference executor and collect the measured profile (``Prof``);
+2. build the BET once, characterize every block with the machine's roofline,
+   and rank hot spots by projected time (``Modl``);
+3. derive the comparison artifacts: top-k rankings, selection quality,
+   and the three coverage curves (``Prof``, ``Modl(p)``, ``Modl(m)``).
+
+Results are memoized per (workload, machine, options) because several
+figures slice the same run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..analysis import (
+    HotSpot, HotSpotSelection, characterize, coverage_curve, group_blocks,
+    select_hotspots, selection_quality, total_time,
+)
+from ..analysis.block_metrics import BlockRecord
+from ..bet import build_bet
+from ..bet.nodes import BETNode
+from ..hardware import MachineModel, RooflineModel, machine_by_name
+from ..simulate import ProfileResult, profile
+from ..skeleton import Program
+from ..workloads import load
+
+#: measurement seed shared by every experiment (determinism)
+DEFAULT_SEED = 1
+
+
+@dataclass
+class WorkloadAnalysis:
+    """Everything the evaluation needs for one (workload, machine) pair."""
+
+    name: str
+    machine: MachineModel
+    program: Program
+    inputs: Dict[str, float]
+    prof: ProfileResult
+    bet: BETNode
+    records: List[BlockRecord]
+    selection: HotSpotSelection            #: paper criteria (90 % / 10 %)
+    model_spots: List[HotSpot]             #: full Modl ranking
+
+    # -- Prof side -------------------------------------------------------
+    @property
+    def measured(self) -> Dict[str, float]:
+        return self.prof.site_seconds()
+
+    @property
+    def measured_total(self) -> float:
+        return self.prof.total_seconds
+
+    def prof_sites(self, k: int = 10) -> List[str]:
+        return self.prof.top_sites(k)
+
+    # -- Modl side -------------------------------------------------------
+    @property
+    def projected_total(self) -> float:
+        return total_time(self.records)
+
+    def model_sites(self, k: int = 10) -> List[str]:
+        return [spot.site for spot in self.model_spots[:k]]
+
+    def model_share(self, site: str) -> float:
+        for spot in self.model_spots:
+            if spot.site == site:
+                return spot.projected_time / self.projected_total
+        return 0.0
+
+    def measured_share(self, site: str) -> float:
+        return self.measured.get(site, 0.0) / self.measured_total
+
+    # -- comparisons ------------------------------------------------------
+    def quality(self, k: int = 10) -> float:
+        """Selection quality of the Modl top-k against the Prof top-k."""
+        return selection_quality(self.model_sites(k), self.measured,
+                                 self.measured_total)
+
+    def curves(self, k: int = 10) -> Dict[str, List[float]]:
+        """The paper's three coverage curves over the first k spots."""
+        prof_sites = self.prof_sites(k)
+        model_sites = self.model_sites(k)
+        projected = {spot.site: spot.projected_time
+                     for spot in self.model_spots}
+        return {
+            "Prof": coverage_curve(prof_sites, self.measured,
+                                   self.measured_total),
+            "Modl(p)": coverage_curve(model_sites, projected,
+                                      self.projected_total),
+            "Modl(m)": coverage_curve(model_sites, self.measured,
+                                      self.measured_total),
+        }
+
+
+_CACHE: Dict[Tuple, WorkloadAnalysis] = {}
+
+
+def analyze(name: str, machine, seed: int = DEFAULT_SEED,
+            miss_rate: float = 0.85,
+            model_division: bool = False,
+            model_vectorization: bool = False,
+            overlap: bool = True,
+            coverage: float = 0.90, leanness: float = 0.10,
+            use_cache: bool = True) -> WorkloadAnalysis:
+    """Run (or fetch) the full pipeline for ``name`` on ``machine``.
+
+    ``machine`` may be a preset name or a :class:`MachineModel`.
+    The ablation flags mirror :class:`~repro.hardware.RooflineModel`.
+    """
+    if isinstance(machine, str):
+        machine = machine_by_name(machine)
+    key = (name, machine, seed, miss_rate, model_division,
+           model_vectorization, overlap, coverage, leanness)
+    if use_cache and key in _CACHE:
+        return _CACHE[key]
+
+    program, inputs = load(name)
+    prof = profile(program, machine, inputs=inputs, seed=seed)
+    bet = build_bet(program, inputs=inputs)
+    roofline = RooflineModel(machine, miss_rate=miss_rate,
+                             model_division=model_division,
+                             model_vectorization=model_vectorization,
+                             overlap=overlap)
+    records = characterize(bet, roofline)
+    selection = select_hotspots(records, program.static_size(),
+                                coverage=coverage, leanness=leanness)
+    result = WorkloadAnalysis(
+        name=name, machine=machine, program=program, inputs=inputs,
+        prof=prof, bet=bet, records=records, selection=selection,
+        model_spots=group_blocks(records))
+    if use_cache:
+        _CACHE[key] = result
+    return result
+
+
+def clear_cache() -> None:
+    """Drop memoized analyses (used by benchmarks measuring build time)."""
+    _CACHE.clear()

@@ -1,0 +1,112 @@
+"""JSON-friendly serialization of analysis results.
+
+Co-design studies feed projections into other tooling — plotting, design
+space optimizers, report generators.  These converters flatten the library's
+result objects into plain dictionaries (JSON/YAML-ready) with stable keys.
+
+Every converter is pure data-out: nothing here mutates the model.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Sequence
+
+from .analysis.breakdown import BreakdownRow
+from .analysis.hotpath import HotPath
+from .analysis.hotspots import HotSpot, HotSpotSelection
+from .hardware.machine import MachineModel
+
+
+def machine_to_dict(machine: MachineModel) -> Dict[str, Any]:
+    """Flatten a machine description (includes derived peaks)."""
+    out = machine.describe()
+    out["name"] = machine.name
+    out["div_cost"] = machine.div_cost
+    out["simd_efficiency"] = machine.simd_efficiency
+    out["mlp"] = machine.mlp
+    out["bandwidth_saturation_cores"] = machine.bandwidth_saturation_cores
+    return out
+
+
+def hotspot_to_dict(spot: HotSpot, total_time: float) -> Dict[str, Any]:
+    """One hot spot with its aggregate projections."""
+    return {
+        "site": spot.site,
+        "label": spot.label,
+        "function": spot.function,
+        "projected_seconds": spot.projected_time,
+        "share": spot.projected_time / total_time if total_time else 0.0,
+        "enr": spot.enr,
+        "static_size": spot.static_size,
+        "bound": spot.bound,
+        "compute_seconds": spot.compute_time,
+        "memory_seconds": spot.memory_time,
+        "overlap_seconds": spot.overlap_time,
+        "invocation_patterns": len(spot.records),
+    }
+
+
+def selection_to_dict(selection: HotSpotSelection) -> Dict[str, Any]:
+    """A hot-spot selection with its criteria and coverage."""
+    return {
+        "total_projected_seconds": selection.total_time,
+        "coverage": selection.coverage,
+        "coverage_target": selection.coverage_target,
+        "leanness": selection.leanness,
+        "leanness_target": selection.leanness_target,
+        "meets_targets": selection.meets_targets(),
+        "spots": [hotspot_to_dict(spot, selection.total_time)
+                  for spot in selection.spots],
+    }
+
+
+def breakdown_to_dict(rows: Sequence[BreakdownRow]) -> List[Dict[str, Any]]:
+    """Per-hot-spot Tc/Tm/To decomposition rows."""
+    return [{
+        "site": row.site,
+        "label": row.label,
+        "total_seconds": row.total,
+        "compute_share": row.compute_share,
+        "memory_share": row.memory_share,
+        "overlap_share": row.overlap_share,
+        "bound": row.bound,
+    } for row in rows]
+
+
+def hotpath_to_dict(path: HotPath) -> Dict[str, Any]:
+    """The merged hot path as a nested node tree."""
+
+    def visit(node) -> Dict[str, Any]:
+        bet = node.bet
+        out: Dict[str, Any] = {
+            "kind": bet.kind,
+            "site": bet.site,
+            "label": bet.label,
+            "prob": bet.prob,
+            "enr": bet.enr,
+        }
+        if bet.kind == "loop":
+            out["num_iter"] = bet.num_iter
+            out["parallel"] = bet.parallel
+        if node.is_hot_spot:
+            out["hot_spot_rank"] = node.rank
+            out["context"] = dict(bet.context)
+        if node.children:
+            out["children"] = [visit(child) for child in node.children]
+        return out
+
+    return {
+        "hot_spots": [spot.site for spot in path.spots],
+        "root": visit(path.root),
+    }
+
+
+def to_json(payload: Any, indent: int = 2) -> str:
+    """Serialize any converter output (handles infinities defensively)."""
+
+    def default(value):
+        return repr(value)
+
+    return json.dumps(payload, indent=indent, default=default,
+                      allow_nan=True, sort_keys=True)

@@ -1,0 +1,51 @@
+"""Symbolic expressions over context variables.
+
+Code skeletons describe loop bounds, operation counts, and branch conditions
+as expressions of the workload's input variables (e.g. ``n*m/4``).  The BET
+builder evaluates these lazily against probabilistic contexts, which is what
+keeps model construction independent of the input data size (paper Sec. IV).
+
+Public API
+----------
+:class:`Expr` and subclasses
+    Immutable expression trees with :meth:`~Expr.evaluate`,
+    :meth:`~Expr.free_vars` and :meth:`~Expr.substitute`.
+:func:`parse_expr`
+    Parse a string into an :class:`Expr`.
+:func:`evaluate`
+    Convenience: parse (if needed) and evaluate against an environment.
+"""
+
+from .expr import (
+    Expr,
+    Num,
+    Var,
+    Unary,
+    Binary,
+    Compare,
+    Bool,
+    Func,
+    as_expr,
+    FUNCTIONS,
+)
+from .parser import parse_expr
+from .simplify import simplify
+from .evaluator import evaluate, evaluate_bool, try_evaluate
+
+__all__ = [
+    "Expr",
+    "Num",
+    "Var",
+    "Unary",
+    "Binary",
+    "Compare",
+    "Bool",
+    "Func",
+    "FUNCTIONS",
+    "as_expr",
+    "parse_expr",
+    "simplify",
+    "evaluate",
+    "evaluate_bool",
+    "try_evaluate",
+]

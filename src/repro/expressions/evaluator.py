@@ -1,0 +1,44 @@
+"""Evaluation helpers bridging strings, expressions, and environments."""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Union
+
+from ..errors import ExpressionError, UnboundVariableError
+from .expr import Expr, Number, as_expr
+
+
+def evaluate(expr: Union[Expr, str, Number],
+             env: Optional[Mapping[str, Number]] = None) -> Number:
+    """Evaluate ``expr`` (an :class:`Expr`, string, or plain number).
+
+    ``env`` maps variable names to numeric values; it may be omitted for
+    constant expressions.
+    """
+    if isinstance(expr, (int, float)) and not isinstance(expr, bool):
+        return expr
+    return as_expr(expr).evaluate(env or {})
+
+
+def evaluate_bool(expr: Union[Expr, str, Number],
+                  env: Optional[Mapping[str, Number]] = None) -> bool:
+    """Evaluate ``expr`` and coerce to boolean (non-zero is true)."""
+    return bool(evaluate(expr, env))
+
+
+def try_evaluate(expr: Union[Expr, str, Number],
+                 env: Optional[Mapping[str, Number]] = None,
+                 default: Optional[Number] = None) -> Optional[Number]:
+    """Like :func:`evaluate`, but return ``default`` when a variable is
+    unbound instead of raising.
+
+    Used by the BET builder for expressions that only become evaluable once
+    a deeper context (e.g. a mounted callee) binds the remaining names.
+    Non-variable errors (malformed syntax, division by zero) still raise.
+    """
+    try:
+        return evaluate(expr, env)
+    except UnboundVariableError:
+        return default
+    except ExpressionError:
+        raise

@@ -1,0 +1,429 @@
+"""Immutable expression trees.
+
+The trees are deliberately small: numbers, variables, unary/binary arithmetic,
+comparisons, boolean connectives, and a fixed table of intrinsic functions.
+They support exact evaluation against an environment mapping variable names
+to numbers, free-variable queries, and substitution (used when mounting a
+callee's Block Skeleton Tree with actual arguments).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, FrozenSet, Mapping, Sequence, Tuple, Union
+
+from ..errors import ExpressionError, UnboundVariableError
+
+Number = Union[int, float]
+
+#: Intrinsic functions available in skeleton expressions.
+FUNCTIONS: Dict[str, Callable[..., float]] = {
+    "min": min,
+    "max": max,
+    "abs": abs,
+    "ceil": math.ceil,
+    "floor": math.floor,
+    "sqrt": math.sqrt,
+    "log": math.log,
+    "log2": math.log2,
+    "exp": math.exp,
+    "pow": pow,
+}
+
+
+def _coerce(value: float) -> Number:
+    """Collapse floats that are exact integers back to ``int``.
+
+    Loop bounds and operation counts are semantically integral; keeping them
+    as ``int`` avoids float-accumulation drift in trip-count products.
+    """
+    if isinstance(value, float) and value.is_integer() and abs(value) < 2**53:
+        return int(value)
+    return value
+
+
+class Expr:
+    """Base class for expression nodes.
+
+    Instances are immutable and hashable; equality is structural.
+    """
+
+    __slots__ = ()
+
+    def evaluate(self, env: Mapping[str, Number]) -> Number:
+        """Evaluate against ``env``; raise :class:`UnboundVariableError` on
+        missing variables and :class:`ExpressionError` on domain errors."""
+        raise NotImplementedError
+
+    def free_vars(self) -> FrozenSet[str]:
+        """Return the set of variable names the expression references."""
+        raise NotImplementedError
+
+    def substitute(self, mapping: Mapping[str, "Expr"]) -> "Expr":
+        """Return a copy with variables replaced by expressions."""
+        raise NotImplementedError
+
+    def children(self) -> Tuple["Expr", ...]:
+        return ()
+
+    def is_constant(self) -> bool:
+        return not self.free_vars()
+
+    # -- operator sugar used by the Python front end and tests --------
+    def __add__(self, other): return Binary("+", self, as_expr(other))
+    def __sub__(self, other): return Binary("-", self, as_expr(other))
+    def __mul__(self, other): return Binary("*", self, as_expr(other))
+    def __truediv__(self, other): return Binary("/", self, as_expr(other))
+    def __radd__(self, other): return Binary("+", as_expr(other), self)
+    def __rsub__(self, other): return Binary("-", as_expr(other), self)
+    def __rmul__(self, other): return Binary("*", as_expr(other), self)
+    def __rtruediv__(self, other): return Binary("/", as_expr(other), self)
+    def __neg__(self): return Unary("-", self)
+
+    # immutable: copying returns the same object
+    def __copy__(self):
+        return self
+
+    def __deepcopy__(self, memo):
+        return self
+
+    def __hash__(self):
+        return hash((type(self).__name__, self._key()))
+
+    def __eq__(self, other):
+        return type(self) is type(other) and self._key() == other._key()
+
+    def _key(self):
+        raise NotImplementedError
+
+
+def as_expr(value: Union["Expr", Number, str]) -> "Expr":
+    """Coerce a number, variable name, or Expr into an :class:`Expr`."""
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, bool):
+        return Num(int(value))
+    if isinstance(value, (int, float)):
+        return Num(value)
+    if isinstance(value, str):
+        from .parser import parse_expr
+        return parse_expr(value)
+    raise ExpressionError(f"cannot convert {value!r} to an expression")
+
+
+class Num(Expr):
+    """A numeric literal."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Number):
+        if not isinstance(value, (int, float)):
+            raise ExpressionError(f"non-numeric literal {value!r}")
+        object.__setattr__(self, "value", _coerce(value))
+
+    def __setattr__(self, *a):
+        raise AttributeError("Expr nodes are immutable")
+
+    def evaluate(self, env):
+        return self.value
+
+    def free_vars(self):
+        return frozenset()
+
+    def substitute(self, mapping):
+        return self
+
+    def _key(self):
+        return (self.value,)
+
+    def __str__(self):
+        return repr(self.value)
+
+    def __repr__(self):
+        return f"Num({self.value!r})"
+
+
+class Var(Expr):
+    """A variable reference, resolved against the context at evaluation."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        if not name or not (name[0].isalpha() or name[0] == "_"):
+            raise ExpressionError(f"invalid variable name {name!r}")
+        object.__setattr__(self, "name", name)
+
+    def __setattr__(self, *a):
+        raise AttributeError("Expr nodes are immutable")
+
+    def evaluate(self, env):
+        try:
+            return env[self.name]
+        except KeyError:
+            raise UnboundVariableError(self.name) from None
+
+    def free_vars(self):
+        return frozenset((self.name,))
+
+    def substitute(self, mapping):
+        return mapping.get(self.name, self)
+
+    def _key(self):
+        return (self.name,)
+
+    def __str__(self):
+        return self.name
+
+    def __repr__(self):
+        return f"Var({self.name!r})"
+
+
+class Unary(Expr):
+    """Unary negation or logical not."""
+
+    __slots__ = ("op", "operand")
+    _OPS = {"-", "not"}
+
+    def __init__(self, op: str, operand: Expr):
+        if op not in self._OPS:
+            raise ExpressionError(f"unknown unary operator {op!r}")
+        object.__setattr__(self, "op", op)
+        object.__setattr__(self, "operand", operand)
+
+    def __setattr__(self, *a):
+        raise AttributeError("Expr nodes are immutable")
+
+    def evaluate(self, env):
+        v = self.operand.evaluate(env)
+        if self.op == "-":
+            return _coerce(-v)
+        return 0 if v else 1
+
+    def free_vars(self):
+        return self.operand.free_vars()
+
+    def substitute(self, mapping):
+        return Unary(self.op, self.operand.substitute(mapping))
+
+    def children(self):
+        return (self.operand,)
+
+    def _key(self):
+        return (self.op, self.operand)
+
+    def __str__(self):
+        if self.op == "not":
+            return f"not ({self.operand})"
+        return f"-({self.operand})"
+
+    def __repr__(self):
+        return f"Unary({self.op!r}, {self.operand!r})"
+
+
+class Binary(Expr):
+    """Binary arithmetic: ``+ - * / // % ^`` (``^`` is exponentiation)."""
+
+    __slots__ = ("op", "left", "right")
+    _OPS = {"+", "-", "*", "/", "//", "%", "^"}
+
+    def __init__(self, op: str, left: Expr, right: Expr):
+        if op not in self._OPS:
+            raise ExpressionError(f"unknown binary operator {op!r}")
+        object.__setattr__(self, "op", op)
+        object.__setattr__(self, "left", left)
+        object.__setattr__(self, "right", right)
+
+    def __setattr__(self, *a):
+        raise AttributeError("Expr nodes are immutable")
+
+    def evaluate(self, env):
+        a = self.left.evaluate(env)
+        b = self.right.evaluate(env)
+        op = self.op
+        try:
+            if op == "+":
+                return _coerce(a + b)
+            if op == "-":
+                return _coerce(a - b)
+            if op == "*":
+                return _coerce(a * b)
+            if op == "/":
+                return _coerce(a / b)
+            if op == "//":
+                return _coerce(a // b)
+            if op == "%":
+                return _coerce(a % b)
+            return _coerce(a ** b)
+        except ZeroDivisionError:
+            raise ExpressionError(
+                f"division by zero evaluating ({self})") from None
+        except (OverflowError, ValueError) as exc:
+            raise ExpressionError(f"domain error evaluating ({self}): {exc}") \
+                from None
+
+    def free_vars(self):
+        return self.left.free_vars() | self.right.free_vars()
+
+    def substitute(self, mapping):
+        return Binary(self.op, self.left.substitute(mapping),
+                      self.right.substitute(mapping))
+
+    def children(self):
+        return (self.left, self.right)
+
+    def _key(self):
+        return (self.op, self.left, self.right)
+
+    def __str__(self):
+        return f"({self.left} {self.op} {self.right})"
+
+    def __repr__(self):
+        return f"Binary({self.op!r}, {self.left!r}, {self.right!r})"
+
+
+class Compare(Expr):
+    """Comparison yielding 1 (true) or 0 (false)."""
+
+    __slots__ = ("op", "left", "right")
+    _OPS = {"<", "<=", ">", ">=", "==", "!="}
+
+    def __init__(self, op: str, left: Expr, right: Expr):
+        if op not in self._OPS:
+            raise ExpressionError(f"unknown comparison operator {op!r}")
+        object.__setattr__(self, "op", op)
+        object.__setattr__(self, "left", left)
+        object.__setattr__(self, "right", right)
+
+    def __setattr__(self, *a):
+        raise AttributeError("Expr nodes are immutable")
+
+    def evaluate(self, env):
+        a = self.left.evaluate(env)
+        b = self.right.evaluate(env)
+        op = self.op
+        if op == "<":
+            return int(a < b)
+        if op == "<=":
+            return int(a <= b)
+        if op == ">":
+            return int(a > b)
+        if op == ">=":
+            return int(a >= b)
+        if op == "==":
+            return int(a == b)
+        return int(a != b)
+
+    def free_vars(self):
+        return self.left.free_vars() | self.right.free_vars()
+
+    def substitute(self, mapping):
+        return Compare(self.op, self.left.substitute(mapping),
+                       self.right.substitute(mapping))
+
+    def children(self):
+        return (self.left, self.right)
+
+    def _key(self):
+        return (self.op, self.left, self.right)
+
+    def __str__(self):
+        return f"({self.left} {self.op} {self.right})"
+
+    def __repr__(self):
+        return f"Compare({self.op!r}, {self.left!r}, {self.right!r})"
+
+
+class Bool(Expr):
+    """Short-circuiting ``and`` / ``or`` over an operand sequence."""
+
+    __slots__ = ("op", "operands")
+    _OPS = {"and", "or"}
+
+    def __init__(self, op: str, operands: Sequence[Expr]):
+        if op not in self._OPS:
+            raise ExpressionError(f"unknown boolean operator {op!r}")
+        if len(operands) < 2:
+            raise ExpressionError("boolean expression needs >= 2 operands")
+        object.__setattr__(self, "op", op)
+        object.__setattr__(self, "operands", tuple(operands))
+
+    def __setattr__(self, *a):
+        raise AttributeError("Expr nodes are immutable")
+
+    def evaluate(self, env):
+        if self.op == "and":
+            for operand in self.operands:
+                if not operand.evaluate(env):
+                    return 0
+            return 1
+        for operand in self.operands:
+            if operand.evaluate(env):
+                return 1
+        return 0
+
+    def free_vars(self):
+        out: FrozenSet[str] = frozenset()
+        for operand in self.operands:
+            out = out | operand.free_vars()
+        return out
+
+    def substitute(self, mapping):
+        return Bool(self.op, [o.substitute(mapping) for o in self.operands])
+
+    def children(self):
+        return self.operands
+
+    def _key(self):
+        return (self.op, self.operands)
+
+    def __str__(self):
+        joiner = f" {self.op} "
+        return "(" + joiner.join(str(o) for o in self.operands) + ")"
+
+    def __repr__(self):
+        return f"Bool({self.op!r}, {list(self.operands)!r})"
+
+
+class Func(Expr):
+    """Intrinsic function application (see :data:`FUNCTIONS`)."""
+
+    __slots__ = ("name", "args")
+
+    def __init__(self, name: str, args: Sequence[Expr]):
+        if name not in FUNCTIONS:
+            raise ExpressionError(
+                f"unknown function {name!r}; known: {sorted(FUNCTIONS)}")
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "args", tuple(args))
+
+    def __setattr__(self, *a):
+        raise AttributeError("Expr nodes are immutable")
+
+    def evaluate(self, env):
+        values = [a.evaluate(env) for a in self.args]
+        try:
+            return _coerce(FUNCTIONS[self.name](*values))
+        except (ValueError, TypeError, OverflowError) as exc:
+            raise ExpressionError(
+                f"error applying {self.name}{tuple(values)}: {exc}") from None
+
+    def free_vars(self):
+        out: FrozenSet[str] = frozenset()
+        for arg in self.args:
+            out = out | arg.free_vars()
+        return out
+
+    def substitute(self, mapping):
+        return Func(self.name, [a.substitute(mapping) for a in self.args])
+
+    def children(self):
+        return self.args
+
+    def _key(self):
+        return (self.name, self.args)
+
+    def __str__(self):
+        return f"{self.name}({', '.join(str(a) for a in self.args)})"
+
+    def __repr__(self):
+        return f"Func({self.name!r}, {list(self.args)!r})"

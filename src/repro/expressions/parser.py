@@ -1,0 +1,216 @@
+"""Pratt (precedence-climbing) parser for skeleton expressions.
+
+Grammar (lowest to highest precedence)::
+
+    or-expr    := and-expr ("or" and-expr)*
+    and-expr   := not-expr ("and" not-expr)*
+    not-expr   := "not" not-expr | cmp-expr
+    cmp-expr   := add-expr (("<"|"<="|">"|">="|"=="|"!=") add-expr)?
+    add-expr   := mul-expr (("+"|"-") mul-expr)*
+    mul-expr   := pow-expr (("*"|"/"|"//"|"%") pow-expr)*
+    pow-expr   := unary ("^" pow-expr)?          # right associative
+    unary      := "-" unary | atom
+    atom       := NUMBER | NAME | NAME "(" args ")" | "(" or-expr ")"
+
+Numbers accept integer, decimal, and scientific forms plus the ``k``, ``M``,
+``G`` suffixes (powers of 1000) that skeletons use for operation counts.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, NamedTuple, Optional
+
+from ..errors import ExpressionError
+from .expr import Bool, Binary, Compare, Expr, Func, Num, Unary, Var
+
+
+class Token(NamedTuple):
+    kind: str   # 'num' | 'name' | 'op'
+    text: str
+    pos: int
+
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:"
+    r"(?P<num>\d+(?:\.\d+)?(?:[eE][+-]?\d+)?[kMG]?)"
+    r"|(?P<name>[A-Za-z_][A-Za-z_0-9]*)"
+    r"|(?P<op>//|<=|>=|==|!=|[-+*/%^<>(),])"
+    r")")
+
+_SUFFIX = {"k": 1_000, "M": 1_000_000, "G": 1_000_000_000}
+
+
+def tokenize_expr(text: str) -> List[Token]:
+    """Tokenize an expression string; raise on any unrecognized character."""
+    tokens: List[Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            rest = text[pos:].strip()
+            if not rest:
+                break
+            raise ExpressionError(
+                f"unexpected character {rest[0]!r} at offset {pos} in {text!r}")
+        pos = match.end()
+        if match.lastgroup is None:  # pure whitespace tail
+            continue
+        tokens.append(Token(match.lastgroup, match.group(match.lastgroup),
+                            match.start(match.lastgroup)))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token], source: str):
+        self.tokens = tokens
+        self.source = source
+        self.index = 0
+
+    def peek(self) -> Optional[Token]:
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return None
+
+    def next(self) -> Token:
+        token = self.peek()
+        if token is None:
+            raise ExpressionError(f"unexpected end of expression in "
+                                  f"{self.source!r}")
+        self.index += 1
+        return token
+
+    def expect_op(self, text: str) -> None:
+        token = self.next()
+        if token.kind != "op" or token.text != text:
+            raise ExpressionError(
+                f"expected {text!r} but found {token.text!r} in "
+                f"{self.source!r}")
+
+    def accept_op(self, *texts: str) -> Optional[str]:
+        token = self.peek()
+        if token is not None and token.kind == "op" and token.text in texts:
+            self.index += 1
+            return token.text
+        return None
+
+    def accept_name(self, *names: str) -> Optional[str]:
+        token = self.peek()
+        if token is not None and token.kind == "name" and token.text in names:
+            self.index += 1
+            return token.text
+        return None
+
+    # -- grammar levels -------------------------------------------------
+    def parse_or(self) -> Expr:
+        operands = [self.parse_and()]
+        while self.accept_name("or"):
+            operands.append(self.parse_and())
+        if len(operands) == 1:
+            return operands[0]
+        return Bool("or", operands)
+
+    def parse_and(self) -> Expr:
+        operands = [self.parse_not()]
+        while self.accept_name("and"):
+            operands.append(self.parse_not())
+        if len(operands) == 1:
+            return operands[0]
+        return Bool("and", operands)
+
+    def parse_not(self) -> Expr:
+        if self.accept_name("not"):
+            return Unary("not", self.parse_not())
+        return self.parse_cmp()
+
+    def parse_cmp(self) -> Expr:
+        left = self.parse_add()
+        op = self.accept_op("<", "<=", ">", ">=", "==", "!=")
+        if op is None:
+            return left
+        right = self.parse_add()
+        return Compare(op, left, right)
+
+    def parse_add(self) -> Expr:
+        left = self.parse_mul()
+        while True:
+            op = self.accept_op("+", "-")
+            if op is None:
+                return left
+            left = Binary(op, left, self.parse_mul())
+
+    def parse_mul(self) -> Expr:
+        left = self.parse_pow()
+        while True:
+            op = self.accept_op("*", "/", "//", "%")
+            if op is None:
+                return left
+            left = Binary(op, left, self.parse_pow())
+
+    def parse_pow(self) -> Expr:
+        base = self.parse_unary()
+        if self.accept_op("^"):
+            return Binary("^", base, self.parse_pow())
+        return base
+
+    def parse_unary(self) -> Expr:
+        if self.accept_op("-"):
+            return Unary("-", self.parse_unary())
+        return self.parse_atom()
+
+    def parse_atom(self) -> Expr:
+        token = self.next()
+        if token.kind == "num":
+            return Num(_parse_number(token.text))
+        if token.kind == "name":
+            if token.text in ("and", "or", "not"):
+                raise ExpressionError(
+                    f"misplaced keyword {token.text!r} in {self.source!r}")
+            follow = self.peek()
+            if follow is not None and follow.kind == "op" \
+                    and follow.text == "(":
+                self.index += 1
+                args: List[Expr] = []
+                if not self.accept_op(")"):
+                    args.append(self.parse_or())
+                    while self.accept_op(","):
+                        args.append(self.parse_or())
+                    self.expect_op(")")
+                return Func(token.text, args)
+            return Var(token.text)
+        if token.kind == "op" and token.text == "(":
+            inner = self.parse_or()
+            self.expect_op(")")
+            return inner
+        raise ExpressionError(
+            f"unexpected token {token.text!r} in {self.source!r}")
+
+
+def _parse_number(text: str) -> float:
+    multiplier = 1
+    if text and text[-1] in _SUFFIX:
+        multiplier = _SUFFIX[text[-1]]
+        text = text[:-1]
+    value = float(text)
+    if value.is_integer():
+        return int(value) * multiplier
+    return value * multiplier
+
+
+def parse_expr(text: str) -> Expr:
+    """Parse ``text`` into an :class:`~repro.expressions.Expr`.
+
+    Raises :class:`~repro.errors.ExpressionError` on malformed input or
+    trailing garbage.
+    """
+    tokens = tokenize_expr(text)
+    if not tokens:
+        raise ExpressionError(f"empty expression {text!r}")
+    parser = _Parser(tokens, text)
+    result = parser.parse_or()
+    leftover = parser.peek()
+    if leftover is not None:
+        raise ExpressionError(
+            f"trailing input {leftover.text!r} at offset {leftover.pos} in "
+            f"{text!r}")
+    return result

@@ -1,0 +1,118 @@
+"""Expression simplification: constant folding and identity elimination.
+
+The Python front end generates expressions mechanically (``(0 + (n - 1))``,
+``(1 * m)``); :func:`simplify` folds constants and removes arithmetic
+identities so printed skeletons read like hand-written ones.  Semantics are
+preserved exactly — ``simplify(e)`` evaluates to the same value as ``e`` in
+every environment (property-tested) — with one deliberate exception: a
+subexpression that would *always* fail (e.g. division by literal zero) is
+left unfolded so the error still surfaces at evaluation time.
+"""
+
+from __future__ import annotations
+
+from ..errors import ExpressionError
+from .expr import Binary, Bool, Compare, Expr, Func, Num, Unary, Var
+
+
+def simplify(expr: Expr) -> Expr:
+    """Return a semantically identical, usually smaller expression."""
+    if isinstance(expr, (Num, Var)):
+        return expr
+    if isinstance(expr, Unary):
+        return _simplify_unary(expr)
+    if isinstance(expr, Binary):
+        return _simplify_binary(expr)
+    if isinstance(expr, Compare):
+        return _fold_if_constant(
+            Compare(expr.op, simplify(expr.left), simplify(expr.right)))
+    if isinstance(expr, Bool):
+        return _simplify_bool(expr)
+    if isinstance(expr, Func):
+        return _fold_if_constant(
+            Func(expr.name, [simplify(arg) for arg in expr.args]))
+    return expr
+
+
+def _fold_if_constant(expr: Expr) -> Expr:
+    """Evaluate now when every input is a literal (and safe to compute)."""
+    if expr.is_constant():
+        try:
+            return Num(expr.evaluate({}))
+        except ExpressionError:
+            return expr    # e.g. 1/0: keep the failure at evaluation time
+    return expr
+
+
+def _simplify_unary(expr: Unary) -> Expr:
+    operand = simplify(expr.operand)
+    if expr.op == "-":
+        if isinstance(operand, Num):
+            return Num(-operand.value)
+        if isinstance(operand, Unary) and operand.op == "-":
+            return operand.operand          # --x = x
+        return Unary("-", operand)
+    return _fold_if_constant(Unary(expr.op, operand))
+
+
+def _is_num(expr: Expr, value) -> bool:
+    return isinstance(expr, Num) and expr.value == value
+
+
+def _simplify_binary(expr: Binary) -> Expr:
+    left = simplify(expr.left)
+    right = simplify(expr.right)
+    op = expr.op
+
+    if op == "+":
+        if _is_num(left, 0):
+            return right
+        if _is_num(right, 0):
+            return left
+    elif op == "-":
+        if _is_num(right, 0):
+            return left
+        if _is_num(left, 0):
+            return _simplify_unary(Unary("-", right))
+        if left == right:
+            return Num(0)
+    elif op == "*":
+        if _is_num(left, 0) or _is_num(right, 0):
+            return Num(0)
+        if _is_num(left, 1):
+            return right
+        if _is_num(right, 1):
+            return left
+    elif op in ("/", "//"):
+        if _is_num(right, 1):
+            return left
+        if _is_num(left, 0) and not _is_num(right, 0):
+            return Num(0)
+    elif op == "^":
+        if _is_num(right, 1):
+            return left
+        if _is_num(right, 0):
+            return Num(1)
+    return _fold_if_constant(Binary(op, left, right))
+
+
+def _simplify_bool(expr: Bool) -> Expr:
+    operands = [simplify(operand) for operand in expr.operands]
+    # drop literal identities; short-circuit on literal absorbers
+    kept = []
+    for operand in operands:
+        if isinstance(operand, Num):
+            truthy = bool(operand.value)
+            if expr.op == "and":
+                if not truthy:
+                    return Num(0)
+                continue                    # 'and 1' is an identity
+            if truthy:
+                return Num(1)
+            continue                        # 'or 0' is an identity
+        kept.append(operand)
+    if not kept:
+        return Num(1 if expr.op == "and" else 0)
+    if len(kept) == 1:
+        return kept[0]
+    return Bool(expr.op, kept)

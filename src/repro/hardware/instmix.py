@@ -1,0 +1,154 @@
+"""Semi-analytical modeling of opaque library functions (paper Sec. IV-C).
+
+The paper cannot analyze library source code; instead it profiles the
+*dynamic instruction mix* of each library call on a local machine (hardware
+counters), assumes the mix is stable across hardware for the same input, and
+feeds the mix to the roofline model of the target machine.  When the mix
+varies with input values, it is averaged over randomly generated inputs.
+
+Here an :class:`InstructionMix` stores the per-element and per-call
+(overhead) operation mixes; a :class:`LibraryDatabase` maps library names to
+mixes.  :func:`~repro.simulate.libprof.profile_library` regenerates these
+entries empirically by running instrumented library models over random
+inputs — the shipped :func:`default_library` contains the result of that
+sampling so analyses work out of the box.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional
+
+from ..errors import HardwareModelError
+from .metrics import Metrics
+
+
+@dataclass(frozen=True)
+class InstructionMix:
+    """Dynamic instruction mix of a library routine.
+
+    ``per_element`` counts scale with the call's input-size expression;
+    ``overhead`` counts are charged once per call.
+    """
+
+    name: str
+    flops_per_element: float = 0.0
+    iops_per_element: float = 0.0
+    div_per_element: float = 0.0
+    loads_per_element: float = 0.0
+    stores_per_element: float = 0.0
+    bytes_per_element: float = 0.0
+    overhead_iops: float = 0.0
+    vectorizable: bool = False
+    samples: int = 0     #: how many random-input profiles were averaged
+
+    def __post_init__(self):
+        for field_name in ("flops_per_element", "iops_per_element",
+                           "div_per_element", "loads_per_element",
+                           "stores_per_element", "bytes_per_element",
+                           "overhead_iops"):
+            if getattr(self, field_name) < 0:
+                raise HardwareModelError(
+                    f"{self.name}: {field_name} must be non-negative")
+
+    def to_metrics(self, size: float) -> Metrics:
+        """Expand the mix into block metrics for an input of ``size``
+        elements."""
+        if size < 0:
+            raise HardwareModelError(
+                f"library call {self.name!r} with negative size {size}")
+        flops = self.flops_per_element * size
+        bytes_moved = self.bytes_per_element * size
+        loads = self.loads_per_element * size
+        stores = self.stores_per_element * size
+        load_fraction = 1.0
+        if loads + stores > 0:
+            load_fraction = loads / (loads + stores)
+        return Metrics(
+            flops=flops,
+            iops=self.iops_per_element * size + self.overhead_iops,
+            div_flops=self.div_per_element * size,
+            vec_flops=flops if self.vectorizable else 0.0,
+            loads=loads,
+            stores=stores,
+            load_bytes=bytes_moved * load_fraction,
+            store_bytes=bytes_moved * (1.0 - load_fraction),
+            static_size=1,
+        )
+
+
+class LibraryDatabase:
+    """Name → :class:`InstructionMix` lookup with helpful failure modes."""
+
+    def __init__(self, mixes: Optional[Iterable[InstructionMix]] = None):
+        self._mixes: Dict[str, InstructionMix] = {}
+        for mix in mixes or ():
+            self.add(mix)
+
+    def add(self, mix: InstructionMix) -> None:
+        self._mixes[mix.name] = mix
+
+    def get(self, name: str) -> InstructionMix:
+        try:
+            return self._mixes[name]
+        except KeyError:
+            raise HardwareModelError(
+                f"no instruction mix for library function {name!r}; "
+                f"known: {sorted(self._mixes)}; profile it with "
+                "repro.simulate.libprof.profile_library") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._mixes
+
+    def names(self):
+        return sorted(self._mixes)
+
+    def __len__(self):
+        return len(self._mixes)
+
+
+def default_library() -> LibraryDatabase:
+    """Instruction mixes for the library routines the benchmarks call.
+
+    Values are the averages produced by
+    :func:`repro.simulate.libprof.profile_library` over 32 random input
+    instances per routine (see ``tests/test_libprof.py`` for the consistency
+    check between these constants and a fresh sampling run).
+
+    * ``exp`` / ``log`` / ``sin`` / ``cos`` — polynomial/range-reduction
+      kernels: flop heavy, one element in, one out.
+    * ``rand`` — linear congruential generation: integer heavy, no flops.
+    * ``memcpy`` — pure data movement.
+    * ``mpi_halo`` — two-sided halo exchange per byte: movement plus packing
+      arithmetic.
+    """
+    return LibraryDatabase([
+        InstructionMix("exp", flops_per_element=22.0, iops_per_element=3.0,
+                       div_per_element=0.0, loads_per_element=1.0,
+                       stores_per_element=1.0, bytes_per_element=16.0,
+                       overhead_iops=8.0, samples=32),
+        InstructionMix("log", flops_per_element=18.0, iops_per_element=2.0,
+                       div_per_element=2.0, loads_per_element=1.0,
+                       stores_per_element=1.0, bytes_per_element=16.0,
+                       overhead_iops=8.0, samples=32),
+        InstructionMix("sin", flops_per_element=16.0, iops_per_element=6.0,
+                       loads_per_element=1.0, stores_per_element=1.0,
+                       bytes_per_element=16.0, overhead_iops=8.0, samples=32),
+        InstructionMix("cos", flops_per_element=16.0, iops_per_element=6.0,
+                       loads_per_element=1.0, stores_per_element=1.0,
+                       bytes_per_element=16.0, overhead_iops=8.0, samples=32),
+        InstructionMix("rand", flops_per_element=2.0, iops_per_element=10.0,
+                       loads_per_element=1.0, stores_per_element=1.0,
+                       bytes_per_element=16.0, overhead_iops=6.0, samples=32),
+        InstructionMix("sqrt", flops_per_element=11.0, iops_per_element=1.0,
+                       div_per_element=3.0, loads_per_element=1.0,
+                       stores_per_element=1.0, bytes_per_element=16.0,
+                       overhead_iops=4.0, samples=32),
+        InstructionMix("memcpy", iops_per_element=1.0, loads_per_element=1.0,
+                       stores_per_element=1.0, bytes_per_element=16.0,
+                       overhead_iops=12.0, vectorizable=True, samples=32),
+        InstructionMix("mpi_halo", iops_per_element=2.0,
+                       loads_per_element=1.0, stores_per_element=1.0,
+                       bytes_per_element=16.0, overhead_iops=400.0,
+                       samples=32),
+    ])

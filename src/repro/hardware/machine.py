@@ -1,0 +1,148 @@
+"""Machine descriptions.
+
+A :class:`MachineModel` captures the hardware parameters the paper's
+performance model is parameterized with (Sec. V-A): "peak flop rate,
+frequency, instruction latency, issue width, vector width, shared cache
+access latency, memory latency, and peak memory bandwidth" — plus the
+second-order knobs the reference executor uses (division expansion cost,
+SIMD efficiency, memory-level parallelism, and cache geometry for the
+executor's reuse model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict
+
+from ..errors import HardwareModelError
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """One compute node, described at roofline granularity.
+
+    The analytical model consumes the first group of fields only; the
+    executor additionally honours the second group.  All latencies are in
+    core clock cycles; sizes in bytes; bandwidth in bytes/second.
+    """
+
+    name: str
+    frequency_hz: float            #: core clock
+    cores: int                     #: cores per node (peak-rate bookkeeping)
+    issue_width: int               #: instructions issued per cycle
+    vector_width: int              #: doubles per SIMD lane-group
+    flop_latency: float            #: pipelined fp latency (cycles)
+    iop_latency: float             #: fixed-point op latency (cycles)
+    l1_size: int                   #: private L1D capacity
+    llc_size: int                  #: shared last-level cache capacity
+    l1_latency: float              #: L1 hit latency (cycles)
+    llc_latency: float             #: LLC hit latency (cycles)
+    dram_latency: float            #: memory latency (cycles)
+    bandwidth: float               #: peak node memory bandwidth (B/s)
+    cache_line: int = 64           #: line size (bytes)
+
+    # -- executor-only second-order behaviour --------------------------------
+    div_cost: float = 1.0          #: cycles per fp division (1 = like any flop)
+    simd_efficiency: float = 1.0   #: fraction of vector_width realized on
+                                   #: vectorizable code (executor only)
+    mlp: float = 32.0              #: outstanding line fills (memory-level
+                                   #: parallelism incl. hardware prefetch)
+    bandwidth_saturation_cores: float = 4.0
+    #: cores needed to saturate the node's memory bandwidth: parallel
+    #: (``forall``) compute scales with ``cores`` but memory time stops
+    #: improving beyond this concurrency
+    notes: str = ""
+
+    def __post_init__(self):
+        positive = ["frequency_hz", "cores", "issue_width", "vector_width",
+                    "flop_latency", "iop_latency", "l1_size", "llc_size",
+                    "l1_latency", "llc_latency", "dram_latency", "bandwidth",
+                    "cache_line", "div_cost", "mlp"]
+        for name in positive:
+            if getattr(self, name) <= 0:
+                raise HardwareModelError(
+                    f"{self.name}: {name} must be positive, got "
+                    f"{getattr(self, name)!r}")
+        if not (0.0 < self.simd_efficiency <= 1.0):
+            raise HardwareModelError(
+                f"{self.name}: simd_efficiency must be in (0, 1]")
+        if self.llc_size < self.l1_size:
+            raise HardwareModelError(
+                f"{self.name}: llc_size smaller than l1_size")
+
+    # -- derived peaks -------------------------------------------------------
+    @property
+    def cycle_time(self) -> float:
+        """Seconds per core clock cycle."""
+        return 1.0 / self.frequency_hz
+
+    @property
+    def scalar_flops_per_cycle(self) -> float:
+        """Per-core scalar fp throughput (the analytical model's ceiling:
+        vectorization is deliberately not modeled, paper Sec. VII-B)."""
+        return self.issue_width / self.flop_latency
+
+    @property
+    def vector_flops_per_cycle(self) -> float:
+        """Per-core SIMD fp throughput (executor ceiling)."""
+        return (self.issue_width * self.vector_width * self.simd_efficiency
+                / self.flop_latency)
+
+    @property
+    def peak_scalar_gflops(self) -> float:
+        """Single-core scalar peak in GFLOP/s."""
+        return self.scalar_flops_per_cycle * self.frequency_hz / 1e9
+
+    @property
+    def peak_vector_gflops(self) -> float:
+        """Single-core SIMD peak in GFLOP/s."""
+        return self.vector_flops_per_cycle * self.frequency_hz / 1e9
+
+    @property
+    def ridge_intensity(self) -> float:
+        """Roofline ridge point (flops/byte) at scalar peak."""
+        return (self.peak_scalar_gflops * 1e9) / self.bandwidth
+
+    def with_overrides(self, **kwargs) -> "MachineModel":
+        """Return a copy with some fields replaced (design-space sweeps)."""
+        return replace(self, **kwargs)
+
+    def memory_cycles(self, nbytes: float, elements: float, f_l1: float,
+                      f_llc: float, f_dram: float) -> float:
+        """Cycles to move ``nbytes`` (``elements`` accesses) given the
+        fractions served by L1 / LLC / DRAM.
+
+        The cost is the maximum of a bandwidth bound (DRAM traffic at peak
+        bandwidth) and a latency bound (cache-line fills divided by the
+        machine's memory-level parallelism ``mlp``, which subsumes hardware
+        prefetch depth).  This helper is shared by the analytical roofline
+        (constant miss fractions) and the reference executor (simulated
+        fractions), so the two disagree only where the paper says they
+        should: in the miss fractions themselves.
+        """
+        llc_lines = f_llc * nbytes / self.cache_line
+        dram_lines = f_dram * nbytes / self.cache_line
+        latency_cycles = (llc_lines * self.llc_latency
+                          + dram_lines * self.dram_latency
+                          + elements * f_l1 * self.l1_latency) / self.mlp
+        dram_bytes = f_dram * nbytes
+        bandwidth_cycles = dram_bytes * self.frequency_hz / self.bandwidth
+        return max(latency_cycles, bandwidth_cycles)
+
+    def describe(self) -> Dict[str, float]:
+        """Flat dictionary for reports and sweeps."""
+        return {
+            "frequency_ghz": self.frequency_hz / 1e9,
+            "cores": self.cores,
+            "issue_width": self.issue_width,
+            "vector_width": self.vector_width,
+            "l1_kib": self.l1_size / 1024,
+            "llc_mib": self.llc_size / (1024 * 1024),
+            "l1_latency": self.l1_latency,
+            "llc_latency": self.llc_latency,
+            "dram_latency": self.dram_latency,
+            "bandwidth_gbs": self.bandwidth / 1e9,
+            "peak_scalar_gflops": self.peak_scalar_gflops,
+            "peak_vector_gflops": self.peak_vector_gflops,
+            "ridge_intensity": self.ridge_intensity,
+        }

@@ -1,0 +1,100 @@
+"""Aggregated performance characteristics of a code block.
+
+A :class:`Metrics` value is what the paper collects per BET code block
+(Sec. V-A): floating-point operation count, fixed-point operation count,
+numbers of loads and stores, and sizes of data types (tracked here as byte
+totals).  We additionally track division flops and vectorizable flops so the
+reference executor — but *not* the default analytical model — can charge
+them differently, reproducing the paper's documented error sources.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class Metrics:
+    """Operation and data-movement counts for one invocation of a block.
+
+    All values are per single invocation; multiply by the block's expected
+    number of repetitions (ENR) to obtain whole-run totals.
+    """
+
+    flops: float = 0.0          #: floating-point operations
+    iops: float = 0.0           #: fixed-point operations
+    div_flops: float = 0.0      #: subset of ``flops`` that are divisions
+    vec_flops: float = 0.0      #: subset of ``flops`` marked vectorizable
+    loads: float = 0.0          #: element loads
+    stores: float = 0.0         #: element stores
+    load_bytes: float = 0.0     #: bytes loaded
+    store_bytes: float = 0.0    #: bytes stored
+    static_size: int = 0        #: static instruction proxy (leanness)
+
+    def __post_init__(self):
+        for name in ("flops", "iops", "div_flops", "vec_flops", "loads",
+                     "stores", "load_bytes", "store_bytes"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"Metrics.{name} must be non-negative")
+
+    # -- composition ----------------------------------------------------
+    def __add__(self, other: "Metrics") -> "Metrics":
+        return Metrics(
+            flops=self.flops + other.flops,
+            iops=self.iops + other.iops,
+            div_flops=self.div_flops + other.div_flops,
+            vec_flops=self.vec_flops + other.vec_flops,
+            loads=self.loads + other.loads,
+            stores=self.stores + other.stores,
+            load_bytes=self.load_bytes + other.load_bytes,
+            store_bytes=self.store_bytes + other.store_bytes,
+            static_size=self.static_size + other.static_size,
+        )
+
+    def scaled(self, factor: float) -> "Metrics":
+        """Scale dynamic counts by ``factor`` (loop repetition, probability).
+
+        ``static_size`` is *not* scaled: static code size does not grow with
+        iteration count — that distinction is exactly why the paper separates
+        the leanness criterion from time coverage (Sec. V-B).
+        """
+        if factor < 0:
+            raise ValueError("scale factor must be non-negative")
+        return Metrics(
+            flops=self.flops * factor,
+            iops=self.iops * factor,
+            div_flops=self.div_flops * factor,
+            vec_flops=self.vec_flops * factor,
+            loads=self.loads * factor,
+            stores=self.stores * factor,
+            load_bytes=self.load_bytes * factor,
+            store_bytes=self.store_bytes * factor,
+            static_size=self.static_size,
+        )
+
+    # -- derived quantities ----------------------------------------------
+    @property
+    def total_bytes(self) -> float:
+        return self.load_bytes + self.store_bytes
+
+    @property
+    def accesses(self) -> float:
+        return self.loads + self.stores
+
+    @property
+    def operational_intensity(self) -> float:
+        """Flops per byte moved — the roofline's x axis.
+
+        Returns ``inf`` for blocks that move no data.
+        """
+        if self.total_bytes == 0:
+            return float("inf")
+        return self.flops / self.total_bytes
+
+    @property
+    def total_ops(self) -> float:
+        return self.flops + self.iops
+
+    def is_empty(self) -> bool:
+        return (self.total_ops == 0 and self.accesses == 0
+                and self.total_bytes == 0)

@@ -1,0 +1,151 @@
+"""The extended roofline model (paper Sec. V-A).
+
+Given a block's :class:`~repro.hardware.metrics.Metrics`, the model computes
+
+* ``Tc`` — time to process the operations at the machine's (scalar) issue
+  rate, assuming perfect instruction-level parallelism;
+* ``Tm`` — time to move the required data, as the maximum of a bandwidth
+  bound (DRAM traffic under a constant cache-miss ratio) and a latency bound
+  (average access cost divided by the machine's memory-level parallelism);
+* ``To`` — overlapped time, ``min(Tc, Tm) · δ`` with
+  ``δ = 1 − 1/max(Num_fp_ops, 1)`` (reconstruction of the paper's corrupted
+  formula; see DESIGN.md §2) — the chance of overlap grows with the number
+  of floating-point operations in the block;
+
+and reports ``T = Tc + Tm − To``.
+
+Two ablation switches deliberately default to *off* because the paper's
+first-order model ignores them (and Sec. VII-B documents the resulting
+errors): ``model_division`` charges the machine's per-division cost, and
+``model_vectorization`` lets vectorizable flops use the SIMD ceiling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import HardwareModelError
+from .machine import MachineModel
+from .metrics import Metrics
+
+#: Constant cache-miss ratio used as a first-order approximation
+#: (paper footnote 1: 85 %, not tuned per benchmark).
+DEFAULT_MISS_RATE = 0.85
+
+
+@dataclass(frozen=True)
+class BlockTime:
+    """Projected timing of one invocation of a code block (seconds)."""
+
+    compute: float      #: Tc
+    memory: float       #: Tm
+    overlap: float      #: To
+    total: float        #: T = Tc + Tm − To
+
+    @property
+    def bound(self) -> str:
+        """``"compute"`` or ``"memory"`` — which term dominates."""
+        return "compute" if self.compute >= self.memory else "memory"
+
+    def scaled(self, factor: float) -> "BlockTime":
+        return BlockTime(self.compute * factor, self.memory * factor,
+                         self.overlap * factor, self.total * factor)
+
+
+class RooflineModel:
+    """Parameterized per-block performance projection.
+
+    Parameters
+    ----------
+    machine:
+        Target hardware description.
+    miss_rate:
+        Constant cache-miss ratio applied to both L1 and LLC
+        (paper footnote 1).
+    model_division, model_vectorization:
+        Ablation switches; both ``False`` reproduces the paper's model.
+    overlap:
+        When ``False``, falls back to the naive roofline ``max(Tc, Tm)``
+        without the overlap extension (ablation A3 in DESIGN.md).
+    """
+
+    def __init__(self, machine: MachineModel,
+                 miss_rate: float = DEFAULT_MISS_RATE,
+                 model_division: bool = False,
+                 model_vectorization: bool = False,
+                 overlap: bool = True):
+        if not (0.0 <= miss_rate <= 1.0):
+            raise HardwareModelError(
+                f"miss_rate must be within [0, 1], got {miss_rate}")
+        self.machine = machine
+        self.miss_rate = miss_rate
+        self.model_division = model_division
+        self.model_vectorization = model_vectorization
+        self.overlap = overlap
+
+    # -- component times --------------------------------------------------
+    def compute_time(self, metrics: Metrics) -> float:
+        """Tc: operation-processing time for one invocation (seconds)."""
+        machine = self.machine
+        plain_flops = metrics.flops
+        cycles = 0.0
+        if self.model_division:
+            plain_flops -= metrics.div_flops
+            cycles += metrics.div_flops * machine.div_cost
+        if self.model_vectorization and metrics.vec_flops > 0:
+            vectorized = min(metrics.vec_flops, plain_flops)
+            plain_flops -= vectorized
+            cycles += vectorized / machine.vector_flops_per_cycle
+        cycles += plain_flops / machine.scalar_flops_per_cycle
+        cycles += metrics.iops * machine.iop_latency / machine.issue_width
+        return cycles * machine.cycle_time
+
+    def memory_time(self, metrics: Metrics) -> float:
+        """Tm: data-movement time for one invocation (seconds).
+
+        Maximum of the bandwidth bound (DRAM traffic at the constant miss
+        ratio) and the latency bound (line fills over the machine's
+        memory-level parallelism); see
+        :meth:`~repro.hardware.machine.MachineModel.memory_cycles`.
+        """
+        machine = self.machine
+        miss = self.miss_rate
+        cycles = machine.memory_cycles(
+            nbytes=metrics.total_bytes,
+            elements=metrics.accesses,
+            f_l1=1.0 - miss,
+            f_llc=miss * (1.0 - miss),
+            f_dram=miss * miss,
+        )
+        return cycles * machine.cycle_time
+
+    @staticmethod
+    def overlap_degree(metrics: Metrics) -> float:
+        """δ = 1 − 1/max(Num_fp_ops, 1): overlap likelihood heuristic."""
+        return 1.0 - 1.0 / max(metrics.flops, 1.0)
+
+    # -- combined ---------------------------------------------------------
+    def block_time(self, metrics: Metrics) -> BlockTime:
+        """Project one invocation of a block: ``T = Tc + Tm − To``."""
+        compute = self.compute_time(metrics)
+        memory = self.memory_time(metrics)
+        if not self.overlap:
+            # naive roofline: assume perfect overlap always
+            shorter = min(compute, memory)
+            return BlockTime(compute, memory, shorter,
+                             max(compute, memory))
+        overlapped = min(compute, memory) * self.overlap_degree(metrics)
+        return BlockTime(compute, memory, overlapped,
+                         compute + memory - overlapped)
+
+    def attainable_gflops(self, intensity: float) -> float:
+        """Classic roofline ceiling at operational ``intensity`` (flop/byte).
+
+        Provided for roofline plots and co-design sweeps; not used by the
+        block timing path.
+        """
+        if intensity < 0:
+            raise HardwareModelError("operational intensity must be >= 0")
+        peak = self.machine.peak_scalar_gflops
+        bandwidth_gbs = self.machine.bandwidth / 1e9
+        return min(peak, bandwidth_gbs * intensity)

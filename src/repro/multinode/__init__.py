@@ -1,0 +1,29 @@
+"""Multi-node execution projection (paper Sec. VIII future work).
+
+"Our future work includes extending our framework to project hot regions
+and performance bottlenecks for multi-node execution of the applications."
+This package implements that extension on top of the single-node pipeline:
+
+* a :class:`DecompositionModel` describes how the workload's inputs shrink
+  as ranks are added (which dimensions are partitioned, which replicate);
+* a :class:`NetworkModel` prices the communication volume that the
+  skeleton's communication library calls (``lib mpi_halo`` et al.) expose,
+  with per-message latency, link bandwidth, and a surface-growth exponent;
+* :func:`project_scaling` builds one BET per rank count (still never
+  iterating a loop) and reports, for each point: projected compute and
+  communication time, parallel efficiency, and the hot-spot ranking —
+  revealing the classic crossover where the halo exchange becomes the top
+  hot spot.
+"""
+
+from .decomposition import DecompositionModel
+from .network import NetworkModel
+from .scaling import ScalingPoint, ScalingProjection, project_scaling
+
+__all__ = [
+    "DecompositionModel",
+    "NetworkModel",
+    "ScalingPoint",
+    "ScalingProjection",
+    "project_scaling",
+]

@@ -1,0 +1,68 @@
+"""Domain decomposition models.
+
+A skeleton models one rank's work as a function of its input variables, so
+multi-node projection reduces to answering: *what are one rank's inputs
+when the problem is split across N ranks?*  A :class:`DecompositionModel`
+encodes exactly that.  Communication surfaces need no separate treatment:
+the skeleton's communication calls (``lib mpi_halo 2*(nx*ny + ...)``)
+express their volume in terms of the same inputs, so they shrink correctly
+when the inputs are partitioned.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..errors import ReproError
+
+
+@dataclass(frozen=True)
+class DecompositionModel:
+    """How a workload's inputs change with the rank count.
+
+    Attributes
+    ----------
+    partitioned:
+        Input names whose value divides across ranks.  With ``k``
+        partitioned dimensions, each is divided by ``ranks**(1/k)``
+        (a balanced k-D decomposition).
+    min_value:
+        Smallest value a partitioned input may reach (one plane/cell —
+        the decomposition cannot cut finer than the grid).
+    """
+
+    partitioned: Tuple[str, ...]
+    min_value: int = 1
+
+    def __post_init__(self):
+        if not self.partitioned:
+            raise ReproError(
+                "a decomposition must partition at least one input")
+        if self.min_value < 1:
+            raise ReproError("min_value must be >= 1")
+
+    def rank_inputs(self, inputs: Dict[str, float],
+                    ranks: int) -> Dict[str, float]:
+        """Per-rank inputs when the problem is split over ``ranks``."""
+        if ranks < 1:
+            raise ReproError("rank count must be >= 1")
+        out = dict(inputs)
+        share = ranks ** (1.0 / len(self.partitioned))
+        for name in self.partitioned:
+            if name not in out:
+                raise ReproError(
+                    f"decomposition partitions {name!r} but the workload "
+                    f"inputs are {sorted(out)}")
+            out[name] = max(self.min_value,
+                            int(math.ceil(out[name] / share)))
+        return out
+
+    def max_useful_ranks(self, inputs: Dict[str, float]) -> int:
+        """Rank count beyond which every partitioned input has hit
+        ``min_value`` (further ranks add communication but no speedup)."""
+        product = 1.0
+        for name in self.partitioned:
+            product *= max(1.0, inputs[name] / self.min_value)
+        return int(product)

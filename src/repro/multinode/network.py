@@ -1,0 +1,68 @@
+"""Interconnect models for communication pricing.
+
+The single-node pipeline treats ``lib mpi_halo`` as local pack/unpack work.
+For multi-node projection, a :class:`NetworkModel` re-prices those blocks
+with the classic postal model: ``T = messages × latency + bytes / bandwidth``,
+where the byte volume comes from the skeleton's own size expression
+evaluated at the per-rank inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet
+
+from ..errors import ReproError
+
+#: library routines that represent inter-rank communication
+DEFAULT_COMM_LIBS = frozenset({"mpi_halo"})
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """One interconnect, at postal-model granularity.
+
+    Attributes
+    ----------
+    name:
+        Preset label.
+    latency:
+        Per-message latency in seconds (software + switch traversal).
+    bandwidth:
+        Per-rank link bandwidth in bytes/second.
+    neighbors:
+        Messages exchanged per communication call (6 for a 3-D halo).
+    comm_libs:
+        Which ``lib`` routines are priced as communication.
+    """
+
+    name: str
+    latency: float
+    bandwidth: float
+    neighbors: int = 6
+    comm_libs: FrozenSet[str] = DEFAULT_COMM_LIBS
+
+    def __post_init__(self):
+        if self.latency < 0 or self.bandwidth <= 0 or self.neighbors < 1:
+            raise ReproError(f"invalid network model {self.name!r}")
+
+    def transfer_seconds(self, nbytes: float) -> float:
+        """Postal-model time for one communication call of ``nbytes``."""
+        if nbytes < 0:
+            raise ReproError("negative communication volume")
+        if nbytes == 0:
+            return 0.0
+        return self.neighbors * self.latency + nbytes / self.bandwidth
+
+
+#: BG/Q 5-D torus: ~2 GB/s per link pair usable, ~2.5 us MPI latency
+TORUS_5D = NetworkModel(name="torus-5d", latency=2.5e-6,
+                        bandwidth=2e9, neighbors=6)
+
+#: commodity fat-tree cluster (FDR-class): ~5 GB/s, ~1.5 us
+FAT_TREE = NetworkModel(name="fat-tree", latency=1.5e-6,
+                        bandwidth=5e9, neighbors=6)
+
+#: conceptual future integrated fabric
+FUTURE_FABRIC = NetworkModel(name="future-fabric", latency=4e-7,
+                             bandwidth=25e9, neighbors=6)

@@ -1,0 +1,46 @@
+"""Reference-executor substrate: the "machines" of this reproduction.
+
+The paper validates its analytical projections against native profilers and
+hand-instrumented timers on real BG/Q and Xeon nodes.  Those machines are
+not available here, so this package provides the substitution documented in
+DESIGN.md (S11): a discrete-event *skeleton executor* that actually iterates
+loops, samples branch outcomes, simulates a two-level cache with inter-block
+reuse, and charges instruction-specific costs — including the second-order
+effects the analytical model deliberately ignores (expensive BG/Q division,
+compiler vectorization, imperfect overlap, non-constant miss rates).
+
+On top of the executor sit:
+
+* :mod:`.profiler` — a gprof-style profile (per-site time ranking) and a
+  gcov-style branch-statistics collector that can annotate skeletons;
+* :mod:`.counters` — hardware-counter-like statistics (issue rate,
+  instructions per L1 miss) used for paper Fig. 8;
+* :mod:`.libprof` — empirical instruction-mix sampling for library
+  functions (paper Sec. IV-C).
+"""
+
+from .cache import CacheSimulator
+from .counters import CounterSet
+from .executor import ExecutionResult, SkeletonExecutor, execute
+from .profiler import (
+    BranchStatistics, ProfileResult, annotate_skeleton, collect_branch_stats,
+    profile,
+)
+from .libprof import profile_library
+from .trace import TraceEvent, TraceRecorder
+
+__all__ = [
+    "CacheSimulator",
+    "CounterSet",
+    "SkeletonExecutor",
+    "ExecutionResult",
+    "execute",
+    "ProfileResult",
+    "BranchStatistics",
+    "profile",
+    "collect_branch_stats",
+    "annotate_skeleton",
+    "profile_library",
+    "TraceRecorder",
+    "TraceEvent",
+]

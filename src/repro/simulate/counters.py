@@ -1,0 +1,60 @@
+"""Hardware-counter-like statistics.
+
+The paper's Fig. 8 plots the *profiled issue rate* and the *computation
+intensity* (instructions per L1 miss) of each SORD hot spot on BG/Q to
+corroborate the model's compute/memory breakdown.  The executor maintains a
+:class:`CounterSet` per profiling site with the same derived quantities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class CounterSet:
+    """Per-site dynamic counts accumulated by the executor."""
+
+    cycles: float = 0.0
+    instructions: float = 0.0   #: flops + iops + loads + stores
+    flops: float = 0.0
+    iops: float = 0.0
+    loads: float = 0.0
+    stores: float = 0.0
+    bytes_moved: float = 0.0
+    dram_bytes: float = 0.0
+    l1_misses: float = 0.0
+    invocations: float = 0.0
+
+    def add(self, other: "CounterSet") -> None:
+        self.cycles += other.cycles
+        self.instructions += other.instructions
+        self.flops += other.flops
+        self.iops += other.iops
+        self.loads += other.loads
+        self.stores += other.stores
+        self.bytes_moved += other.bytes_moved
+        self.dram_bytes += other.dram_bytes
+        self.l1_misses += other.l1_misses
+        self.invocations += other.invocations
+
+    # -- Fig. 8 quantities --------------------------------------------------
+    @property
+    def issue_rate(self) -> float:
+        """Instructions issued per cycle (0 when idle)."""
+        if self.cycles == 0:
+            return 0.0
+        return self.instructions / self.cycles
+
+    @property
+    def instructions_per_l1_miss(self) -> float:
+        """The paper's "computation intensity" counter."""
+        if self.l1_misses == 0:
+            return float("inf")
+        return self.instructions / self.l1_misses
+
+    @property
+    def operational_intensity(self) -> float:
+        if self.bytes_moved == 0:
+            return float("inf")
+        return self.flops / self.bytes_moved

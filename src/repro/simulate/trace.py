@@ -1,0 +1,108 @@
+"""Simulated-time execution traces in Chrome tracing format.
+
+Debugging a performance model is easier when you can *see* where the
+simulated time goes.  When an executor is given a :class:`TraceRecorder`,
+every block frame becomes a begin/end span on a simulated-time axis
+(cycles, reported as microseconds of machine time); the result loads
+directly into ``chrome://tracing`` / Perfetto as a flame graph of the run.
+
+The clock advances only when a frame commits its own cycles, and children
+commit before their parents, so spans nest correctly and a parent's span
+covers its children plus its own straight-line cost.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import List
+
+from ..errors import SimulationError
+
+
+@dataclass
+class TraceEvent:
+    """One begin ('B') or end ('E') event on the simulated timeline."""
+
+    name: str
+    phase: str            # 'B' | 'E'
+    timestamp_us: float   # simulated machine time
+
+
+@dataclass
+class TraceRecorder:
+    """Collects block spans during one executor run.
+
+    Parameters
+    ----------
+    max_events:
+        Hard cap; recording stops (and :attr:`truncated` is set) instead of
+        exhausting memory on fine-grained runs.
+    """
+
+    max_events: int = 200_000
+    events: List[TraceEvent] = field(default_factory=list)
+    truncated: bool = False
+    clock_cycles: float = 0.0
+    _frequency_hz: float = 1.0
+
+    def bind(self, frequency_hz: float) -> None:
+        if frequency_hz <= 0:
+            raise SimulationError("trace needs a positive frequency")
+        self._frequency_hz = frequency_hz
+
+    def _us(self) -> float:
+        return self.clock_cycles / self._frequency_hz * 1e6
+
+    def begin(self, name: str) -> None:
+        if len(self.events) >= self.max_events:
+            self.truncated = True
+            return
+        self.events.append(TraceEvent(name, "B", self._us()))
+
+    def advance(self, cycles: float) -> None:
+        self.clock_cycles += max(cycles, 0.0)
+
+    def end(self, name: str) -> None:
+        if len(self.events) >= self.max_events:
+            self.truncated = True
+            return
+        self.events.append(TraceEvent(name, "E", self._us()))
+
+    # -- output ----------------------------------------------------------
+    def to_chrome_trace(self) -> dict:
+        """The ``chrome://tracing`` JSON object."""
+        return {
+            "displayTimeUnit": "ms",
+            "otherData": {"truncated": self.truncated},
+            "traceEvents": [
+                {"name": event.name, "ph": event.phase,
+                 "ts": event.timestamp_us, "pid": 0, "tid": 0,
+                 "cat": "block"}
+                for event in self.events
+            ],
+        }
+
+    def save(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_chrome_trace(), handle)
+
+    # -- queries (for tests and quick inspection) --------------------------
+    def spans(self) -> List[tuple]:
+        """Flatten to ``(name, start_us, end_us)`` tuples (well-nested)."""
+        stack: List[TraceEvent] = []
+        out: List[tuple] = []
+        for event in self.events:
+            if event.phase == "B":
+                stack.append(event)
+            else:
+                if not stack or stack[-1].name != event.name:
+                    raise SimulationError(
+                        f"malformed trace: unmatched end for {event.name!r}")
+                begin = stack.pop()
+                out.append((event.name, begin.timestamp_us,
+                            event.timestamp_us))
+        return out
+
+    def total_us(self) -> float:
+        return self._us()

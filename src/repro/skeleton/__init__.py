@@ -1,0 +1,64 @@
+"""The code-skeleton workload language (SKOPE-style) and its Block Skeleton Tree.
+
+A *code skeleton* expresses the control-flow structure of an application —
+functions, loops, branches — but replaces instruction sequences with
+performance characteristics: operation counts, data accesses, degrees of
+parallelism (paper Sec. III-A).  This package provides:
+
+* the statement AST (:mod:`.ast_nodes`),
+* a parser for the ``.skop`` text format (:mod:`.parser`),
+* the :class:`~repro.skeleton.bst.Program` container — the paper's Block
+  Skeleton Tree (BST) with node identifiers, validation, and static
+  instruction counting,
+* a printer that regenerates canonical ``.skop`` text (:mod:`.printer`).
+
+The ``.skop`` grammar is documented in :mod:`.parser`.
+"""
+
+from .ast_nodes import (
+    Statement,
+    FuncDef,
+    VarAssign,
+    ArrayDecl,
+    ForLoop,
+    WhileLoop,
+    Branch,
+    BranchArm,
+    Call,
+    Comp,
+    Load,
+    Store,
+    LibCall,
+    Break,
+    Continue,
+    Return,
+)
+from .bst import Program
+from .parser import parse_skeleton, parse_skeleton_file
+from .printer import format_skeleton
+from .lint import LintWarning, lint_program
+
+__all__ = [
+    "Statement",
+    "FuncDef",
+    "VarAssign",
+    "ArrayDecl",
+    "ForLoop",
+    "WhileLoop",
+    "Branch",
+    "BranchArm",
+    "Call",
+    "Comp",
+    "Load",
+    "Store",
+    "LibCall",
+    "Break",
+    "Continue",
+    "Return",
+    "Program",
+    "parse_skeleton",
+    "parse_skeleton_file",
+    "format_skeleton",
+    "LintWarning",
+    "lint_program",
+]

@@ -1,0 +1,390 @@
+"""Statement AST for the code-skeleton language.
+
+Each node corresponds to one skeleton statement; block statements (functions,
+loops, branches) own their children, so the AST of a function *is* the
+paper's Block Skeleton Tree for that function.  Nodes carry:
+
+``line``
+    1-based line in the ``.skop`` source (0 for programmatically built nodes).
+``node_id``
+    Stable integer assigned by :class:`~repro.skeleton.bst.Program`.
+``site``
+    ``"function@line"`` identifier used by the branch profiler to attach
+    measured outcome statistics to branches and ``while`` loops.
+``label``
+    Optional human-readable block name (``as "update_stress"``) used in
+    hot-spot reports.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence
+
+from ..expressions import Expr, Num, as_expr
+
+#: Element sizes (bytes) for the dtypes a skeleton may declare.
+DTYPE_BYTES = {
+    "float64": 8,
+    "float32": 4,
+    "complex128": 16,
+    "complex64": 8,
+    "int64": 8,
+    "int32": 4,
+    "int16": 2,
+    "int8": 1,
+}
+
+
+class Statement:
+    """Base class for skeleton statements."""
+
+    #: subclasses override: True when the statement owns child statements.
+    is_block = False
+
+    def __init__(self, line: int = 0):
+        self.line = line
+        self.node_id: int = -1          # assigned by Program
+        self.function: str = ""         # owning function, set by Program
+        self.label: Optional[str] = None
+
+    @property
+    def site(self) -> str:
+        """Stable profiler site identifier."""
+        return f"{self.function}@{self.line}"
+
+    def children(self) -> Sequence["Statement"]:
+        return ()
+
+    def walk(self) -> Iterator["Statement"]:
+        """Yield this statement and all descendants in pre-order."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    @property
+    def static_size(self) -> int:
+        """Static instruction-count proxy for the code-leanness criterion.
+
+        Every skeleton statement stands for one source statement; block
+        statements additionally count their headers.  This mirrors the
+        paper's use of instruction counts without requiring a binary.
+        """
+        return 1
+
+    def describe(self) -> str:
+        """Short human-readable form used in reports."""
+        return type(self).__name__
+
+    def __repr__(self):
+        return f"<{type(self).__name__} {self.site} id={self.node_id}>"
+
+
+class VarAssign(Statement):
+    """``var name = expr`` — bind a context variable."""
+
+    def __init__(self, name: str, expr: Expr, line: int = 0):
+        super().__init__(line)
+        self.name = name
+        self.expr = as_expr(expr)
+
+    def describe(self):
+        return f"var {self.name} = {self.expr}"
+
+
+class ArrayDecl(Statement):
+    """``array name: dtype[d1][d2]...`` — declare a data footprint."""
+
+    def __init__(self, name: str, dtype: str, dims: Sequence[Expr],
+                 line: int = 0):
+        super().__init__(line)
+        if dtype not in DTYPE_BYTES:
+            from ..errors import SemanticError
+            raise SemanticError(
+                f"unknown dtype {dtype!r}; known: {sorted(DTYPE_BYTES)}")
+        self.name = name
+        self.dtype = dtype
+        self.dims = tuple(as_expr(d) for d in dims)
+
+    @property
+    def element_bytes(self) -> int:
+        return DTYPE_BYTES[self.dtype]
+
+    def describe(self):
+        dims = "".join(f"[{d}]" for d in self.dims)
+        return f"array {self.name}: {self.dtype}{dims}"
+
+
+class Comp(Statement):
+    """``comp E flops [div D] [vec]`` or ``comp E iops``.
+
+    Represents a straight-line computation with ``flops`` floating-point
+    operations (of which ``div_flops`` are divisions) and ``iops`` fixed-point
+    operations.  ``vectorizable`` marks code the native compiler would SIMD-ize
+    — honoured by the reference executor but deliberately ignored by the
+    analytical model (paper Sec. VII-B, STASSUIJ discussion).
+    """
+
+    def __init__(self, flops: Expr = Num(0), iops: Expr = Num(0),
+                 div_flops: Expr = Num(0), vectorizable: bool = False,
+                 line: int = 0):
+        super().__init__(line)
+        self.flops = as_expr(flops)
+        self.iops = as_expr(iops)
+        self.div_flops = as_expr(div_flops)
+        self.vectorizable = vectorizable
+
+    def describe(self):
+        parts = []
+        if not (isinstance(self.flops, Num) and self.flops.value == 0):
+            parts.append(f"{self.flops} flops")
+        if not (isinstance(self.iops, Num) and self.iops.value == 0):
+            parts.append(f"{self.iops} iops")
+        return "comp " + (" + ".join(parts) if parts else "0")
+
+
+class Load(Statement):
+    """``load E dtype [from array]`` — E element loads."""
+
+    def __init__(self, count: Expr, dtype: str = "float64",
+                 array: Optional[str] = None, line: int = 0):
+        super().__init__(line)
+        if dtype not in DTYPE_BYTES:
+            from ..errors import SemanticError
+            raise SemanticError(f"unknown dtype {dtype!r}")
+        self.count = as_expr(count)
+        self.dtype = dtype
+        self.array = array
+
+    @property
+    def element_bytes(self) -> int:
+        return DTYPE_BYTES[self.dtype]
+
+    def describe(self):
+        suffix = f" from {self.array}" if self.array else ""
+        return f"load {self.count} {self.dtype}{suffix}"
+
+
+class Store(Statement):
+    """``store E dtype [to array]`` — E element stores."""
+
+    def __init__(self, count: Expr, dtype: str = "float64",
+                 array: Optional[str] = None, line: int = 0):
+        super().__init__(line)
+        if dtype not in DTYPE_BYTES:
+            from ..errors import SemanticError
+            raise SemanticError(f"unknown dtype {dtype!r}")
+        self.count = as_expr(count)
+        self.dtype = dtype
+        self.array = array
+
+    @property
+    def element_bytes(self) -> int:
+        return DTYPE_BYTES[self.dtype]
+
+    def describe(self):
+        suffix = f" to {self.array}" if self.array else ""
+        return f"store {self.count} {self.dtype}{suffix}"
+
+
+class LibCall(Statement):
+    """``lib name E`` — opaque library call with input-size expression.
+
+    Modeled semi-analytically (paper Sec. IV-C): an empirically sampled
+    instruction mix per input element is looked up in the library database
+    and scaled by ``size``.
+    """
+
+    def __init__(self, name: str, size: Expr, line: int = 0):
+        super().__init__(line)
+        self.name = name
+        self.size = as_expr(size)
+
+    def describe(self):
+        return f"lib {self.name} {self.size}"
+
+
+class Call(Statement):
+    """``call f(e1, ..., ek)`` — invoke another skeleton function."""
+
+    def __init__(self, name: str, args: Sequence[Expr], line: int = 0):
+        super().__init__(line)
+        self.name = name
+        self.args = tuple(as_expr(a) for a in args)
+
+    def describe(self):
+        return f"call {self.name}({', '.join(str(a) for a in self.args)})"
+
+
+class Break(Statement):
+    """``break [prob E]`` — probabilistic early loop exit."""
+
+    def __init__(self, prob: Expr = Num(1), line: int = 0):
+        super().__init__(line)
+        self.prob = as_expr(prob)
+
+    def describe(self):
+        return "break"
+
+
+class Continue(Statement):
+    """``continue [prob E]`` — probabilistic skip to next iteration."""
+
+    def __init__(self, prob: Expr = Num(1), line: int = 0):
+        super().__init__(line)
+        self.prob = as_expr(prob)
+
+    def describe(self):
+        return "continue"
+
+
+class Return(Statement):
+    """``return [prob E]`` — probabilistic early function exit."""
+
+    def __init__(self, prob: Expr = Num(1), line: int = 0):
+        super().__init__(line)
+        self.prob = as_expr(prob)
+
+    def describe(self):
+        return "return"
+
+
+class ForLoop(Statement):
+    """``for i = lo : hi [step s] [as "label"]`` — counted loop.
+
+    ``hi`` is exclusive; the trip count is ``ceil((hi - lo) / step)``.
+
+    ``forall`` declares the iterations independent (the paper's "degree of
+    parallelism" characteristic, Sec. III-A): projections spread them over
+    the node's cores, with memory bandwidth saturating separately (see
+    :attr:`~repro.hardware.machine.MachineModel.bandwidth_saturation_cores`).
+    """
+
+    is_block = True
+
+    def __init__(self, var: str, lo: Expr, hi: Expr, step: Expr = Num(1),
+                 body: Optional[List[Statement]] = None, line: int = 0,
+                 label: Optional[str] = None, parallel: bool = False):
+        super().__init__(line)
+        self.var = var
+        self.lo = as_expr(lo)
+        self.hi = as_expr(hi)
+        self.step = as_expr(step)
+        self.body: List[Statement] = list(body or [])
+        self.label = label
+        self.parallel = parallel
+
+    def children(self):
+        return self.body
+
+    def describe(self):
+        name = self.label or \
+            f"{'forall' if self.parallel else 'for'} {self.var}"
+        return name
+
+
+class WhileLoop(Statement):
+    """``while expect E [as "label"]`` — loop with expected trip count.
+
+    ``expect`` may be ``None`` in a freshly written skeleton; the branch
+    profiler fills it in from measured statistics (gcov substitute).
+    """
+
+    is_block = True
+
+    def __init__(self, expect: Optional[Expr] = None,
+                 body: Optional[List[Statement]] = None, line: int = 0,
+                 label: Optional[str] = None):
+        super().__init__(line)
+        self.expect = as_expr(expect) if expect is not None else None
+        self.body: List[Statement] = list(body or [])
+        self.label = label
+
+    def children(self):
+        return self.body
+
+    def describe(self):
+        return self.label or "while"
+
+
+class BranchArm:
+    """One arm of a :class:`Branch`.
+
+    ``kind`` is ``"cond"`` (a deterministic condition over context
+    variables), ``"prob"`` (a probabilistic outcome with probability
+    ``expr``), or ``"default"`` (the residual arm).
+    """
+
+    def __init__(self, kind: str, expr: Optional[Expr],
+                 body: Optional[List[Statement]] = None, line: int = 0):
+        if kind not in ("cond", "prob", "default"):
+            from ..errors import SemanticError
+            raise SemanticError(f"invalid branch-arm kind {kind!r}")
+        if kind != "default" and expr is None:
+            from ..errors import SemanticError
+            raise SemanticError(f"{kind!r} branch arm requires an expression")
+        self.kind = kind
+        self.expr = as_expr(expr) if expr is not None else None
+        self.body: List[Statement] = list(body or [])
+        self.line = line
+
+    def __repr__(self):
+        return f"<BranchArm {self.kind} {self.expr}>"
+
+
+class Branch(Statement):
+    """``if``/``else`` or ``switch``/``case`` multi-way branch.
+
+    An ``if cond``/``else`` pair is a Branch with a ``cond`` arm and a
+    ``default`` arm; a ``switch`` is a Branch with several ``prob``/``cond``
+    arms plus an optional ``default``.  Probabilities of ``prob`` arms are
+    validated to sum to at most 1 at BET-construction time; the ``default``
+    arm absorbs the residual probability.
+    """
+
+    is_block = True
+
+    def __init__(self, arms: Sequence[BranchArm], line: int = 0,
+                 label: Optional[str] = None):
+        super().__init__(line)
+        self.arms: List[BranchArm] = list(arms)
+        self.label = label
+
+    def children(self):
+        out: List[Statement] = []
+        for arm in self.arms:
+            out.extend(arm.body)
+        return out
+
+    def describe(self):
+        return self.label or "branch"
+
+
+class FuncDef(Statement):
+    """``def name(p1, ..., pk)`` ... ``end`` — a skeleton function."""
+
+    is_block = True
+
+    #: A function definition stands for its interface and declaration
+    #: section, which the skeleton elides.  SORD averages ≈14 source lines
+    #: per function (5 139 lines / 370 functions, paper Sec. VI); we charge
+    #: 12 statements of static size per function so the code-leanness
+    #: denominator reflects the original application, not the compressed
+    #: skeleton.
+    @property
+    def static_size(self) -> int:
+        return 12
+
+    def __init__(self, name: str, params: Sequence[str],
+                 body: Optional[List[Statement]] = None, line: int = 0,
+                 label: Optional[str] = None):
+        super().__init__(line)
+        self.name = name
+        self.params = tuple(params)
+        self.body: List[Statement] = list(body or [])
+        self.label = label
+
+    def children(self):
+        return self.body
+
+    def describe(self):
+        return f"def {self.name}"

@@ -1,0 +1,146 @@
+"""The Block Skeleton Tree (BST) container.
+
+A :class:`Program` owns the parsed skeleton functions and top-level ``param``
+bindings.  It validates structural rules, assigns stable ``node_id`` values in
+pre-order, and exposes the counting utilities the evaluation needs (static
+statement counts for the code-leanness criterion and the BET-size ratio of
+paper Sec. IV-B).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from ..errors import SemanticError
+from ..expressions import Expr
+from .ast_nodes import (
+    ArrayDecl, Branch, Break, Call, Continue, ForLoop, FuncDef, Statement,
+    WhileLoop,
+)
+
+
+class Program:
+    """A validated collection of skeleton functions (the paper's BST).
+
+    Parameters
+    ----------
+    functions:
+        Parsed :class:`FuncDef` statements.
+    params:
+        Top-level default input bindings (``param n = 400``); callers may
+        override them when building a BET.
+    source_name:
+        Where the skeleton came from, for diagnostics.
+    """
+
+    def __init__(self, functions: List[FuncDef],
+                 params: Optional[Dict[str, Expr]] = None,
+                 source_name: str = "<program>"):
+        self.functions: Dict[str, FuncDef] = {}
+        self.params: Dict[str, Expr] = dict(params or {})
+        self.source_name = source_name
+        for func in functions:
+            if func.name in self.functions:
+                raise SemanticError(
+                    f"duplicate definition of function {func.name!r} "
+                    f"(line {func.line})")
+            self.functions[func.name] = func
+        self._validate()
+        self._assign_ids()
+
+    # -- validation -------------------------------------------------------
+    def _validate(self) -> None:
+        for func in self.functions.values():
+            self._check_body(func, func.body, loop_depth=0)
+
+    def _check_body(self, func: FuncDef, body: List[Statement],
+                    loop_depth: int) -> None:
+        for statement in body:
+            if isinstance(statement, (Break, Continue)) and loop_depth == 0:
+                kind = type(statement).__name__.lower()
+                raise SemanticError(
+                    f"{kind!r} outside of a loop in function "
+                    f"{func.name!r} (line {statement.line})")
+            if isinstance(statement, Call):
+                if statement.name not in self.functions:
+                    raise SemanticError(
+                        f"call to undefined function {statement.name!r} in "
+                        f"{func.name!r} (line {statement.line})")
+                callee = self.functions[statement.name]
+                if len(statement.args) != len(callee.params):
+                    raise SemanticError(
+                        f"call to {statement.name!r} with "
+                        f"{len(statement.args)} arguments, expected "
+                        f"{len(callee.params)} (line {statement.line})")
+            if isinstance(statement, (ForLoop, WhileLoop)):
+                self._check_body(func, statement.body, loop_depth + 1)
+            elif isinstance(statement, Branch):
+                for arm in statement.arms:
+                    self._check_body(func, arm.body, loop_depth)
+
+    def _assign_ids(self) -> None:
+        counter = 0
+        for func in self.functions.values():
+            for statement in func.walk():
+                statement.node_id = counter
+                statement.function = func.name
+                counter += 1
+        self._node_count = counter
+
+    # -- queries ----------------------------------------------------------
+    def function(self, name: str) -> FuncDef:
+        try:
+            return self.functions[name]
+        except KeyError:
+            raise SemanticError(
+                f"program has no function {name!r}; defined: "
+                f"{sorted(self.functions)}") from None
+
+    @property
+    def entry(self) -> FuncDef:
+        """The ``main`` function (conventional BET root)."""
+        return self.function("main")
+
+    def walk(self) -> Iterator[Statement]:
+        """All statements of all functions, pre-order, definition order."""
+        for func in self.functions.values():
+            yield from func.walk()
+
+    def statement_count(self) -> int:
+        """Total number of skeleton statements (the paper's "source code
+        statements" denominator for the BET-size ratio)."""
+        return self._node_count
+
+    def static_size(self) -> int:
+        """Total static instruction-count proxy (leanness denominator)."""
+        return sum(s.static_size for s in self.walk())
+
+    def arrays(self) -> Dict[str, ArrayDecl]:
+        """All array declarations keyed by name (last declaration wins)."""
+        out: Dict[str, ArrayDecl] = {}
+        for statement in self.walk():
+            if isinstance(statement, ArrayDecl):
+                out[statement.name] = statement
+        return out
+
+    def node_by_id(self, node_id: int) -> Statement:
+        for statement in self.walk():
+            if statement.node_id == node_id:
+                return statement
+        raise KeyError(node_id)
+
+    def unprofiled_sites(self) -> List[Statement]:
+        """Statements still lacking run-time statistics.
+
+        ``while expect ?`` loops must be filled in by the branch profiler
+        before a BET can be constructed.
+        """
+        pending = []
+        for statement in self.walk():
+            if isinstance(statement, WhileLoop) and statement.expect is None:
+                pending.append(statement)
+        return pending
+
+    def __repr__(self):
+        return (f"<Program {self.source_name!r} functions="
+                f"{len(self.functions)} statements={self._node_count}>")

@@ -1,0 +1,245 @@
+"""Static diagnostics for code skeletons.
+
+A skeleton is hand-written or machine-generated performance *model* code —
+mistakes silently skew every projection downstream.  :func:`lint_program`
+checks for the problems we have seen people (and front ends) make:
+
+* ``W001`` unprofiled ``while expect ?`` loops (the BET builder will
+  refuse them later; better to know at authoring time);
+* ``W002`` branch arms whose ``prob`` values sum above 1;
+* ``W003`` deterministic-looking branches: a ``prob 0`` / ``prob 1`` arm
+  (usually a leftover placeholder);
+* ``W004`` functions never referenced from ``main`` (dead model code);
+* ``W005`` loops whose body has no characteristic statements anywhere
+  below them (they cost nothing and hide structure);
+* ``W006`` ``load``/``store`` naming arrays that were never declared
+  (the executor's cache model degrades to per-site anonymous regions);
+* ``W007`` parameters of a function that are never used in its body;
+* ``W008`` constant-trip-zero loops (dead at every input);
+* ``W009`` ``break``/``continue``/``return`` inside a ``forall`` — parallel
+  iterations are independent by declaration, so early exits contradict the
+  parallelism annotation.
+
+Each finding is a :class:`LintWarning` with a code, a site, and a message;
+``repro lint <workload>`` prints them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Set
+
+from ..expressions import Num
+from .ast_nodes import (
+    ArrayDecl, Branch, Break, Call, Comp, Continue, ForLoop, FuncDef,
+    LibCall, Load, Return, Statement, Store, WhileLoop,
+)
+from .bst import Program
+
+
+@dataclass(frozen=True)
+class LintWarning:
+    code: str
+    site: str
+    message: str
+
+    def __str__(self):
+        return f"{self.code} {self.site}: {self.message}"
+
+
+def lint_program(program: Program) -> List[LintWarning]:
+    """Run all checks; returns findings sorted by site."""
+    warnings: List[LintWarning] = []
+    warnings += _check_unprofiled(program)
+    warnings += _check_branch_probabilities(program)
+    warnings += _check_unreachable_functions(program)
+    warnings += _check_empty_loops(program)
+    warnings += _check_undeclared_arrays(program)
+    warnings += _check_unused_params(program)
+    warnings += _check_zero_trip_loops(program)
+    warnings += _check_forall_escapes(program)
+    warnings.sort(key=lambda w: (w.code, w.site))
+    return warnings
+
+
+# -- individual checks --------------------------------------------------------
+
+def _check_unprofiled(program: Program) -> List[LintWarning]:
+    return [LintWarning("W001", statement.site,
+                        "while loop has no expected trip count; run the "
+                        "branch profiler before building a BET")
+            for statement in program.unprofiled_sites()]
+
+
+def _check_branch_probabilities(program: Program) -> List[LintWarning]:
+    out = []
+    for statement in program.walk():
+        if not isinstance(statement, Branch):
+            continue
+        total = 0.0
+        saw_constant = True
+        for arm in statement.arms:
+            if arm.kind != "prob":
+                continue
+            if isinstance(arm.expr, Num):
+                value = arm.expr.value
+                total += value
+                if value in (0.0, 1.0):
+                    out.append(LintWarning(
+                        "W003", statement.site,
+                        f"branch arm probability is exactly {value:g}; "
+                        "placeholder left unprofiled, or should this be a "
+                        "'cond'/'default' arm?"))
+            else:
+                saw_constant = False
+        if saw_constant and total > 1.0 + 1e-9:
+            out.append(LintWarning(
+                "W002", statement.site,
+                f"branch arm probabilities sum to {total:g} > 1"))
+    return out
+
+
+def _check_unreachable_functions(program: Program) -> List[LintWarning]:
+    reachable: Set[str] = set()
+    pending = ["main"] if "main" in program.functions else \
+        list(program.functions)
+
+    while pending:
+        name = pending.pop()
+        if name in reachable:
+            continue
+        reachable.add(name)
+        for statement in program.functions[name].walk():
+            if isinstance(statement, Call) \
+                    and statement.name not in reachable:
+                pending.append(statement.name)
+    return [LintWarning("W004", func.site,
+                        f"function {name!r} is never called from main")
+            for name, func in program.functions.items()
+            if name not in reachable]
+
+
+def _has_cost(statements) -> bool:
+    for statement in statements:
+        for node in statement.walk():
+            if isinstance(node, (Comp, Load, Store, LibCall, Call)):
+                return True
+    return False
+
+
+def _check_empty_loops(program: Program) -> List[LintWarning]:
+    out = []
+    for statement in program.walk():
+        if isinstance(statement, (ForLoop, WhileLoop)) \
+                and not _has_cost(statement.body):
+            out.append(LintWarning(
+                "W005", statement.site,
+                "loop body contains no computation, data access, or call — "
+                "it contributes nothing to any projection"))
+    return out
+
+
+def _check_undeclared_arrays(program: Program) -> List[LintWarning]:
+    declared = set(program.arrays())
+    out = []
+    seen = set()
+    for statement in program.walk():
+        if isinstance(statement, (Load, Store)) and statement.array \
+                and statement.array not in declared \
+                and statement.array not in seen:
+            seen.add(statement.array)
+            out.append(LintWarning(
+                "W006", statement.site,
+                f"array {statement.array!r} is referenced but never "
+                "declared; the cache model cannot bound its footprint"))
+    return out
+
+
+def _used_names(func: FuncDef) -> Set[str]:
+    names: Set[str] = set()
+
+    def collect_expr(expr):
+        names.update(expr.free_vars())
+
+    for statement in func.walk():
+        for attribute in ("expr", "lo", "hi", "step", "expect", "count",
+                          "flops", "iops", "div_flops", "size", "prob"):
+            value = getattr(statement, attribute, None)
+            if value is not None and hasattr(value, "free_vars"):
+                collect_expr(value)
+        if isinstance(statement, Call):
+            for arg in statement.args:
+                collect_expr(arg)
+        if isinstance(statement, ArrayDecl):
+            for dim in statement.dims:
+                collect_expr(dim)
+        if isinstance(statement, Branch):
+            for arm in statement.arms:
+                if arm.expr is not None:
+                    collect_expr(arm.expr)
+    return names
+
+
+def _check_unused_params(program: Program) -> List[LintWarning]:
+    out = []
+    for func in program.functions.values():
+        used = _used_names(func)
+        for param in func.params:
+            if param not in used:
+                out.append(LintWarning(
+                    "W007", func.site,
+                    f"parameter {param!r} of {func.name!r} is never used"))
+    return out
+
+
+def _check_zero_trip_loops(program: Program) -> List[LintWarning]:
+    out = []
+    for statement in program.walk():
+        if isinstance(statement, ForLoop) \
+                and isinstance(statement.lo, Num) \
+                and isinstance(statement.hi, Num) \
+                and statement.hi.value <= statement.lo.value:
+            out.append(LintWarning(
+                "W008", statement.site,
+                f"loop range [{statement.lo}, {statement.hi}) is constant "
+                "and empty"))
+    return out
+
+
+def _check_forall_escapes(program: Program) -> List[LintWarning]:
+    out = []
+    for statement in program.walk():
+        if not (isinstance(statement, ForLoop) and statement.parallel):
+            continue
+        for node in statement.walk():
+            if node is statement:
+                continue
+            # a nested serial loop may legitimately break; only flag
+            # escapes whose nearest enclosing loop is the forall itself
+            if isinstance(node, (Break, Continue, Return)) \
+                    and _nearest_loop(program, statement, node) is statement:
+                out.append(LintWarning(
+                    "W009", node.site,
+                    f"{type(node).__name__.lower()} inside 'forall' at "
+                    f"{statement.site}: parallel iterations cannot exit "
+                    "early; use a serial 'for' or restructure"))
+    return out
+
+
+def _nearest_loop(program: Program, outer: ForLoop, target: Statement):
+    """The innermost loop enclosing ``target`` within ``outer``."""
+    def search(statements, current):
+        for statement in statements:
+            if statement is target:
+                return current
+            if isinstance(statement, (ForLoop, WhileLoop)):
+                found = search(statement.body, statement)
+                if found is not None:
+                    return found
+            elif isinstance(statement, Branch):
+                for arm in statement.arms:
+                    found = search(arm.body, current)
+                    if found is not None:
+                        return found
+        return None
+    return search(outer.body, outer)

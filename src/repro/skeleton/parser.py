@@ -1,0 +1,469 @@
+"""Parser for the ``.skop`` code-skeleton text format.
+
+Grammar (line oriented; ``#`` starts a comment; blocks close with ``end``)::
+
+    program    := { "param" NAME "=" expr | funcdef }
+    funcdef    := "def" NAME "(" [NAME {"," NAME}] ")" [label] body "end"
+    body       := { statement }
+    statement  := "var" NAME "=" expr
+                | "array" NAME ":" DTYPE {"[" expr "]"}
+                | ("for" | "forall") NAME "=" expr ":" expr
+                      ["step" expr] [label] body "end"
+                | "while" "expect" (expr | "?") [label] body "end"
+                | "if" ("prob" expr | expr) [label] body ["else" body] "end"
+                | "switch" [label] {"case" ("prob" expr | expr) body}
+                      ["default" body] "end"
+                | "call" NAME "(" [expr {"," expr}] ")"
+                | "comp" expr ("flops" ["div" expr] ["vec"] | "iops")
+                | "load" expr [DTYPE] ["from" NAME]
+                | "store" expr [DTYPE] ["to" NAME]
+                | "lib" NAME expr
+                | "break" ["prob" expr]
+                | "continue" ["prob" expr]
+                | "return" ["prob" expr]
+    label      := "as" STRING
+
+``for`` bounds are half-open (``lo`` inclusive, ``hi`` exclusive).  A
+``while expect ?`` records an unprofiled loop whose expected trip count must
+be supplied by the branch profiler before BET construction.  Numbers accept
+``k``/``M``/``G`` suffixes (powers of 1000).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from ..errors import SkeletonSyntaxError
+from ..expressions import Expr
+from ..expressions.parser import _Parser, Token
+from .ast_nodes import (
+    ArrayDecl, Branch, BranchArm, Break, Call, Comp, Continue, DTYPE_BYTES,
+    ForLoop, FuncDef, LibCall, Load, Return, Statement, Store, VarAssign,
+    WhileLoop,
+)
+from .bst import Program
+
+_LINE_TOKEN_RE = re.compile(
+    r"\s*(?:"
+    r"(?P<num>\d+(?:\.\d+)?(?:[eE][+-]?\d+)?[kMG]?)"
+    r"|(?P<name>[A-Za-z_][A-Za-z_0-9]*)"
+    r'|(?P<str>"[^"]*")'
+    r"|(?P<op>//|<=|>=|==|!=|[-+*/%^<>(),:?=\[\]])"
+    r")")
+
+#: words that dispatch statements at the start of a line
+_STATEMENT_WORDS = frozenset({
+    "def", "end", "var", "array", "for", "forall", "while", "if", "else",
+    "switch", "case", "default", "call", "comp", "load", "store", "lib",
+    "break", "continue", "return", "param",
+})
+
+#: structural words that can never be used as identifiers (everything else —
+#: ``step``, ``as``, ``prob``, ``flops`` … — is contextual and usable as a name)
+_KEYWORDS = frozenset({"def", "end", "else", "case", "default"})
+
+
+class _Line:
+    """Tokenized source line with a cursor and error helpers."""
+
+    def __init__(self, tokens: List[Token], number: int, raw: str,
+                 source_name: str):
+        self.tokens = tokens
+        self.number = number
+        self.raw = raw
+        self.source_name = source_name
+        self.index = 0
+
+    def error(self, message: str) -> SkeletonSyntaxError:
+        column = 0
+        if self.index < len(self.tokens):
+            column = self.tokens[self.index].pos + 1
+        return SkeletonSyntaxError(message, self.number, column,
+                                   self.source_name)
+
+    def peek(self) -> Optional[Token]:
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return None
+
+    def next(self) -> Token:
+        token = self.peek()
+        if token is None:
+            raise self.error("unexpected end of line")
+        self.index += 1
+        return token
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        token = self.peek()
+        if token is not None and token.kind == kind and \
+                (text is None or token.text == text):
+            self.index += 1
+            return token
+        return None
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        token = self.accept(kind, text)
+        if token is None:
+            found = self.peek()
+            what = repr(found.text) if found else "end of line"
+            expected = repr(text) if text else kind
+            raise self.error(f"expected {expected}, found {what}")
+        return token
+
+    def expect_name(self) -> str:
+        token = self.expect("name")
+        if token.text in _KEYWORDS:
+            self.index -= 1
+            raise self.error(f"keyword {token.text!r} used as a name")
+        return token.text
+
+    def expr(self) -> Expr:
+        """Greedily parse an expression from the cursor position."""
+        sub = _Parser(self.tokens, self.raw)
+        sub.index = self.index
+        try:
+            result = sub.parse_or()
+        except Exception as exc:  # ExpressionError carries no location
+            raise self.error(str(exc)) from exc
+        self.index = sub.index
+        return result
+
+    def label(self) -> Optional[str]:
+        if self.accept("name", "as"):
+            token = self.expect("str")
+            return token.text[1:-1]
+        return None
+
+    def done(self) -> None:
+        token = self.peek()
+        if token is not None:
+            raise self.error(f"trailing input {token.text!r}")
+
+
+def _tokenize_line(raw: str, number: int, source_name: str) -> _Line:
+    text = raw.split("#", 1)[0]
+    tokens: List[Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _LINE_TOKEN_RE.match(text, pos)
+        if match is None:
+            stripped = text[pos:].strip()
+            if not stripped:
+                break
+            raise SkeletonSyntaxError(
+                f"unexpected character {stripped[0]!r}", number, pos + 1,
+                source_name)
+        pos = match.end()
+        if match.lastgroup is None:
+            continue
+        tokens.append(Token(match.lastgroup, match.group(match.lastgroup),
+                            match.start(match.lastgroup)))
+    return _Line(tokens, number, text, source_name)
+
+
+class _BlockFrame:
+    """Stack frame for an open block statement."""
+
+    def __init__(self, kind: str, statement: Optional[Statement],
+                 body: List[Statement], line: int):
+        self.kind = kind           # 'def' | 'for' | 'while' | 'if' | 'switch'
+        self.statement = statement
+        self.body = body           # list currently receiving statements
+        self.line = line
+        self.saw_else = False
+
+
+class _SkeletonParser:
+    def __init__(self, source: str, source_name: str):
+        self.source = source
+        self.source_name = source_name
+        self.functions: List[FuncDef] = []
+        self.params: List[Tuple[str, Expr]] = []
+        self.stack: List[_BlockFrame] = []
+
+    # -- helpers --------------------------------------------------------
+    def _top_body(self, line: _Line) -> List[Statement]:
+        if not self.stack:
+            raise line.error("statement outside of a function")
+        return self.stack[-1].body
+
+    def _parse_prob_or_cond(self, line: _Line) -> Tuple[str, Expr]:
+        if line.accept("name", "prob"):
+            return "prob", line.expr()
+        return "cond", line.expr()
+
+    def _parse_dtype(self, line: _Line) -> Optional[str]:
+        token = line.peek()
+        if token is not None and token.kind == "name" \
+                and token.text in DTYPE_BYTES:
+            line.index += 1
+            return token.text
+        return None
+
+    # -- statement dispatch ----------------------------------------------
+    def parse(self) -> Program:
+        for number, raw in enumerate(self.source.splitlines(), start=1):
+            line = _tokenize_line(raw, number, self.source_name)
+            if not line.tokens:
+                continue
+            self._dispatch(line)
+        if self.stack:
+            frame = self.stack[-1]
+            raise SkeletonSyntaxError(
+                f"unclosed {frame.kind!r} block opened here", frame.line, 1,
+                self.source_name)
+        return Program(self.functions, dict(self.params),
+                       source_name=self.source_name)
+
+    def _dispatch(self, line: _Line) -> None:
+        head = line.peek()
+        assert head is not None
+        if head.kind != "name":
+            raise line.error(f"expected a statement, found {head.text!r}")
+        word = head.text
+        handler = getattr(self, f"_stmt_{word}", None)
+        if word in _STATEMENT_WORDS and handler is not None:
+            line.index += 1
+            handler(line)
+        else:
+            raise line.error(f"unknown statement {word!r}")
+
+    # -- top level --------------------------------------------------------
+    def _stmt_param(self, line: _Line) -> None:
+        if self.stack:
+            raise line.error("'param' is only allowed at top level")
+        name = line.expect_name()
+        line.expect("op", "=")
+        value = line.expr()
+        line.done()
+        self.params.append((name, value))
+
+    def _stmt_def(self, line: _Line) -> None:
+        if self.stack:
+            raise line.error("nested function definitions are not allowed")
+        name = line.expect_name()
+        line.expect("op", "(")
+        params: List[str] = []
+        if not line.accept("op", ")"):
+            params.append(line.expect_name())
+            while line.accept("op", ","):
+                params.append(line.expect_name())
+            line.expect("op", ")")
+        label = line.label()
+        line.done()
+        func = FuncDef(name, params, line=line.number, label=label)
+        self.functions.append(func)
+        self.stack.append(_BlockFrame("def", func, func.body, line.number))
+
+    def _stmt_end(self, line: _Line) -> None:
+        line.done()
+        if not self.stack:
+            raise line.error("'end' with no open block")
+        self.stack.pop()
+
+    # -- block statements ---------------------------------------------------
+    def _stmt_for(self, line: _Line, parallel: bool = False) -> None:
+        var = line.expect_name()
+        line.expect("op", "=")
+        lo = line.expr()
+        line.expect("op", ":")
+        hi = line.expr()
+        step = None
+        if line.accept("name", "step"):
+            step = line.expr()
+        label = line.label()
+        line.done()
+        loop = ForLoop(var, lo, hi, step if step is not None else 1,
+                       line=line.number, label=label, parallel=parallel)
+        self._top_body(line).append(loop)
+        self.stack.append(_BlockFrame("for", loop, loop.body, line.number))
+
+    def _stmt_forall(self, line: _Line) -> None:
+        self._stmt_for(line, parallel=True)
+
+    def _stmt_while(self, line: _Line) -> None:
+        line.expect("name", "expect")
+        expect: Optional[Expr]
+        if line.accept("op", "?"):
+            expect = None
+        else:
+            expect = line.expr()
+        label = line.label()
+        line.done()
+        loop = WhileLoop(expect, line=line.number, label=label)
+        self._top_body(line).append(loop)
+        self.stack.append(_BlockFrame("while", loop, loop.body, line.number))
+
+    def _stmt_if(self, line: _Line) -> None:
+        kind, expr = self._parse_prob_or_cond(line)
+        label = line.label()
+        line.done()
+        arm = BranchArm(kind, expr, line=line.number)
+        branch = Branch([arm], line=line.number, label=label)
+        self._top_body(line).append(branch)
+        self.stack.append(_BlockFrame("if", branch, arm.body, line.number))
+
+    def _stmt_else(self, line: _Line) -> None:
+        line.done()
+        if not self.stack or self.stack[-1].kind != "if":
+            raise line.error("'else' without a matching 'if'")
+        frame = self.stack[-1]
+        if frame.saw_else:
+            raise line.error("duplicate 'else'")
+        frame.saw_else = True
+        branch = frame.statement
+        assert isinstance(branch, Branch)
+        default = BranchArm("default", None, line=line.number)
+        branch.arms.append(default)
+        frame.body = default.body
+
+    def _stmt_switch(self, line: _Line) -> None:
+        label = line.label()
+        line.done()
+        branch = Branch([], line=line.number, label=label)
+        self._top_body(line).append(branch)
+        frame = _BlockFrame("switch", branch, [], line.number)
+        self.stack.append(frame)
+
+    def _stmt_case(self, line: _Line) -> None:
+        if not self.stack or self.stack[-1].kind != "switch":
+            raise line.error("'case' outside of a 'switch'")
+        frame = self.stack[-1]
+        if frame.saw_else:
+            raise line.error("'case' after 'default'")
+        kind, expr = self._parse_prob_or_cond(line)
+        line.done()
+        branch = frame.statement
+        assert isinstance(branch, Branch)
+        arm = BranchArm(kind, expr, line=line.number)
+        branch.arms.append(arm)
+        frame.body = arm.body
+
+    def _stmt_default(self, line: _Line) -> None:
+        if not self.stack or self.stack[-1].kind != "switch":
+            raise line.error("'default' outside of a 'switch'")
+        frame = self.stack[-1]
+        if frame.saw_else:
+            raise line.error("duplicate 'default'")
+        frame.saw_else = True
+        branch = frame.statement
+        assert isinstance(branch, Branch)
+        arm = BranchArm("default", None, line=line.number)
+        branch.arms.append(arm)
+        frame.body = arm.body
+        line.done()
+
+    # -- simple statements ---------------------------------------------------
+    def _stmt_var(self, line: _Line) -> None:
+        name = line.expect_name()
+        line.expect("op", "=")
+        expr = line.expr()
+        line.done()
+        self._top_body(line).append(VarAssign(name, expr, line=line.number))
+
+    def _stmt_array(self, line: _Line) -> None:
+        name = line.expect_name()
+        line.expect("op", ":")
+        dtype = self._parse_dtype(line)
+        if dtype is None:
+            raise line.error("expected a dtype after ':'")
+        dims: List[Expr] = []
+        while line.accept("op", "["):
+            dims.append(line.expr())
+            line.expect("op", "]")
+        if not dims:
+            raise line.error("array declaration needs at least one dimension")
+        line.done()
+        self._top_body(line).append(
+            ArrayDecl(name, dtype, dims, line=line.number))
+
+    def _stmt_call(self, line: _Line) -> None:
+        name = line.expect_name()
+        line.expect("op", "(")
+        args: List[Expr] = []
+        if not line.accept("op", ")"):
+            args.append(line.expr())
+            while line.accept("op", ","):
+                args.append(line.expr())
+            line.expect("op", ")")
+        line.done()
+        self._top_body(line).append(Call(name, args, line=line.number))
+
+    def _stmt_comp(self, line: _Line) -> None:
+        amount = line.expr()
+        unit = line.next()
+        if unit.kind != "name" or unit.text not in ("flops", "iops"):
+            raise line.error("expected 'flops' or 'iops' after the count")
+        if unit.text == "iops":
+            line.done()
+            self._top_body(line).append(Comp(iops=amount, line=line.number))
+            return
+        div = None
+        vectorizable = False
+        while True:
+            if line.accept("name", "div"):
+                if div is not None:
+                    raise line.error("duplicate 'div' clause")
+                div = line.expr()
+            elif line.accept("name", "vec"):
+                vectorizable = True
+            else:
+                break
+        line.done()
+        self._top_body(line).append(
+            Comp(flops=amount, div_flops=div if div is not None else 0,
+                 vectorizable=vectorizable, line=line.number))
+
+    def _stmt_load(self, line: _Line) -> None:
+        count = line.expr()
+        dtype = self._parse_dtype(line) or "float64"
+        array = None
+        if line.accept("name", "from"):
+            array = line.expect_name()
+        line.done()
+        self._top_body(line).append(
+            Load(count, dtype, array, line=line.number))
+
+    def _stmt_store(self, line: _Line) -> None:
+        count = line.expr()
+        dtype = self._parse_dtype(line) or "float64"
+        array = None
+        if line.accept("name", "to"):
+            array = line.expect_name()
+        line.done()
+        self._top_body(line).append(
+            Store(count, dtype, array, line=line.number))
+
+    def _stmt_lib(self, line: _Line) -> None:
+        name = line.expect_name()
+        size = line.expr()
+        line.done()
+        self._top_body(line).append(LibCall(name, size, line=line.number))
+
+    def _stmt_break(self, line: _Line) -> None:
+        prob = line.expr() if line.accept("name", "prob") else 1
+        line.done()
+        self._top_body(line).append(Break(prob, line=line.number))
+
+    def _stmt_continue(self, line: _Line) -> None:
+        prob = line.expr() if line.accept("name", "prob") else 1
+        line.done()
+        self._top_body(line).append(Continue(prob, line=line.number))
+
+    def _stmt_return(self, line: _Line) -> None:
+        prob = line.expr() if line.accept("name", "prob") else 1
+        line.done()
+        self._top_body(line).append(Return(prob, line=line.number))
+
+
+def parse_skeleton(source: str, source_name: str = "<string>") -> Program:
+    """Parse ``.skop`` text into a validated :class:`Program` (BST)."""
+    return _SkeletonParser(source, source_name).parse()
+
+
+def parse_skeleton_file(path) -> Program:
+    """Parse a ``.skop`` file from ``path``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    return parse_skeleton(text, source_name=str(path))

@@ -1,0 +1,153 @@
+"""Regenerate canonical ``.skop`` text from a parsed skeleton.
+
+``parse_skeleton(format_skeleton(p))`` is structurally identical to ``p``;
+this round-trip is property-tested.  Expressions are printed fully
+parenthesized by the expression nodes themselves, which keeps the printer
+trivial and unambiguous.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import ReproError
+from ..expressions import Num
+from .ast_nodes import (
+    ArrayDecl, Branch, Break, Call, Comp, Continue, ForLoop, FuncDef,
+    LibCall, Load, Return, Statement, Store, VarAssign, WhileLoop,
+)
+from .bst import Program
+
+_INDENT = "  "
+
+
+def _label_suffix(statement) -> str:
+    if getattr(statement, "label", None):
+        return f' as "{statement.label}"'
+    return ""
+
+
+def _is_zero(expr) -> bool:
+    return isinstance(expr, Num) and expr.value == 0
+
+
+def _prob_suffix(prob) -> str:
+    if isinstance(prob, Num) and prob.value == 1:
+        return ""
+    return f" prob {prob}"
+
+
+def format_skeleton(program: Program) -> str:
+    """Return canonical ``.skop`` source for ``program``."""
+    lines: List[str] = []
+    for name, expr in program.params.items():
+        lines.append(f"param {name} = {expr}")
+    if program.params:
+        lines.append("")
+    for func in program.functions.values():
+        header = f"def {func.name}({', '.join(func.params)})"
+        lines.append(header + _label_suffix(func))
+        _format_body(func.body, lines, 1)
+        lines.append("end")
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def _format_body(body: List[Statement], lines: List[str], depth: int) -> None:
+    pad = _INDENT * depth
+    for statement in body:
+        if isinstance(statement, VarAssign):
+            lines.append(f"{pad}var {statement.name} = {statement.expr}")
+        elif isinstance(statement, ArrayDecl):
+            dims = "".join(f"[{d}]" for d in statement.dims)
+            lines.append(f"{pad}array {statement.name}: "
+                         f"{statement.dtype}{dims}")
+        elif isinstance(statement, ForLoop):
+            step = ""
+            if not (isinstance(statement.step, Num)
+                    and statement.step.value == 1):
+                step = f" step {statement.step}"
+            keyword = "forall" if statement.parallel else "for"
+            lines.append(f"{pad}{keyword} {statement.var} = "
+                         f"{statement.lo} : "
+                         f"{statement.hi}{step}{_label_suffix(statement)}")
+            _format_body(statement.body, lines, depth + 1)
+            lines.append(f"{pad}end")
+        elif isinstance(statement, WhileLoop):
+            expect = "?" if statement.expect is None else str(statement.expect)
+            lines.append(f"{pad}while expect {expect}"
+                         f"{_label_suffix(statement)}")
+            _format_body(statement.body, lines, depth + 1)
+            lines.append(f"{pad}end")
+        elif isinstance(statement, Branch):
+            _format_branch(statement, lines, depth)
+        elif isinstance(statement, Call):
+            args = ", ".join(str(a) for a in statement.args)
+            lines.append(f"{pad}call {statement.name}({args})")
+        elif isinstance(statement, Comp):
+            _format_comp(statement, lines, pad)
+        elif isinstance(statement, Load):
+            suffix = f" from {statement.array}" if statement.array else ""
+            lines.append(f"{pad}load {statement.count} "
+                         f"{statement.dtype}{suffix}")
+        elif isinstance(statement, Store):
+            suffix = f" to {statement.array}" if statement.array else ""
+            lines.append(f"{pad}store {statement.count} "
+                         f"{statement.dtype}{suffix}")
+        elif isinstance(statement, LibCall):
+            lines.append(f"{pad}lib {statement.name} {statement.size}")
+        elif isinstance(statement, Break):
+            lines.append(f"{pad}break{_prob_suffix(statement.prob)}")
+        elif isinstance(statement, Continue):
+            lines.append(f"{pad}continue{_prob_suffix(statement.prob)}")
+        elif isinstance(statement, Return):
+            lines.append(f"{pad}return{_prob_suffix(statement.prob)}")
+        elif isinstance(statement, FuncDef):
+            raise ReproError("nested function definitions cannot be printed")
+        else:
+            raise ReproError(
+                f"unknown statement type {type(statement).__name__}")
+
+
+def _format_comp(statement: Comp, lines: List[str], pad: str) -> None:
+    emitted = False
+    if not _is_zero(statement.flops):
+        clauses = f"{pad}comp {statement.flops} flops"
+        if not _is_zero(statement.div_flops):
+            clauses += f" div {statement.div_flops}"
+        if statement.vectorizable:
+            clauses += " vec"
+        lines.append(clauses)
+        emitted = True
+    if not _is_zero(statement.iops):
+        lines.append(f"{pad}comp {statement.iops} iops")
+        emitted = True
+    if not emitted:
+        lines.append(f"{pad}comp 0 flops")
+
+
+def _format_branch(statement: Branch, lines: List[str], depth: int) -> None:
+    pad = _INDENT * depth
+    arms = statement.arms
+    is_if = (len(arms) <= 2 and arms
+             and arms[0].kind in ("cond", "prob")
+             and all(a.kind == "default" for a in arms[1:]))
+    if is_if:
+        keyword = "prob " if arms[0].kind == "prob" else ""
+        lines.append(f"{pad}if {keyword}{arms[0].expr}"
+                     f"{_label_suffix(statement)}")
+        _format_body(arms[0].body, lines, depth + 1)
+        if len(arms) == 2:
+            lines.append(f"{pad}else")
+            _format_body(arms[1].body, lines, depth + 1)
+        lines.append(f"{pad}end")
+        return
+    lines.append(f"{pad}switch{_label_suffix(statement)}")
+    for arm in arms:
+        if arm.kind == "default":
+            lines.append(f"{pad}default")
+        else:
+            keyword = "prob " if arm.kind == "prob" else ""
+            lines.append(f"{pad}case {keyword}{arm.expr}")
+        _format_body(arm.body, lines, depth + 1)
+    lines.append(f"{pad}end")

@@ -1,0 +1,42 @@
+"""Application analysis engine: Python source → code skeleton.
+
+The paper builds code skeletons automatically from Fortran/C using the ROSE
+compiler (Sec. III-B): a source-to-source translator statically characterizes
+the instruction mix, array accesses, and control flow, and a gcov-based
+branch profiler fills in the statistics static analysis cannot know
+(``while`` trip counts, data-dependent branch frequencies).
+
+This package is the documented substitution (DESIGN.md S9/S10) for the same
+pipeline stage over *Python* sources:
+
+* :func:`translate_source` / :func:`translate_functions` — static
+  translation of scalar-loop Python code into a skeleton
+  :class:`~repro.skeleton.bst.Program`, with the same op-counting role the
+  ROSE translator plays;
+* :func:`profile_branches` — runs the original Python code instrumented at
+  every data-dependent branch and ``while`` loop (the gcov substitute) and
+  returns hardware-independent outcome statistics;
+* :func:`apply_branch_stats` — writes those statistics back into the
+  skeleton, after which the BET builder can run.
+
+Supported Python subset: scalar numeric code with ``for ... in range(...)``
+loops, ``while`` loops, ``if/else``, calls between translated functions,
+``math``/``random`` library calls, and array element access via
+subscripting.  Anything outside the subset raises
+:class:`~repro.errors.TranslationError` with the offending location —
+mirroring the paper's "regular data structures only" restriction.
+"""
+
+from .pyfront import TranslationResult, translate_functions, translate_source
+from .branch_profiler import PySiteStats, apply_branch_stats, profile_branches
+from .hints import InputHints
+
+__all__ = [
+    "TranslationResult",
+    "translate_source",
+    "translate_functions",
+    "PySiteStats",
+    "profile_branches",
+    "apply_branch_stats",
+    "InputHints",
+]

@@ -1,0 +1,191 @@
+"""Branch profiler for Python sources (the gcov substitute, Sec. III-B).
+
+The original pipeline runs the application once on a local machine under
+gcov to obtain branch outcome frequencies and ``while`` trip counts.  Here
+the same artifact is obtained by AST-instrumenting the Python source: every
+data-dependent ``if`` test and every ``while`` test is wrapped in a recording
+call, the module is executed once with representative arguments, and the
+recorded statistics — hardware independent by construction — are written
+back into the translated skeleton with :func:`apply_branch_stats`.
+"""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from ..errors import TranslationError
+from ..expressions import Num
+from ..skeleton.ast_nodes import Branch, WhileLoop
+from .hints import InputHints
+from .pyfront import TranslationResult
+
+SiteKey = Tuple[str, int, str]   # (function, line, 'if'|'while')
+
+
+@dataclass
+class PySiteStats:
+    """Recorded control-flow statistics of one profiled run."""
+
+    if_frequency: Dict[SiteKey, float] = field(default_factory=dict)
+    while_mean: Dict[SiteKey, float] = field(default_factory=dict)
+    evaluations: Dict[SiteKey, int] = field(default_factory=dict)
+
+
+class _Recorder:
+    def __init__(self):
+        self.if_counts: Dict[SiteKey, list] = {}
+        self.while_counts: Dict[SiteKey, list] = {}
+
+    def record_if(self, func: str, line: int, outcome):
+        bucket = self.if_counts.setdefault((func, line, "if"), [0, 0])
+        bucket[1] += 1
+        if outcome:
+            bucket[0] += 1
+        return outcome
+
+    def record_while(self, func: str, line: int, outcome):
+        bucket = self.while_counts.setdefault((func, line, "while"),
+                                              [0, 0])
+        if outcome:
+            bucket[0] += 1        # one more trip
+        else:
+            bucket[1] += 1        # one entry completed
+        return outcome
+
+    def stats(self) -> PySiteStats:
+        stats = PySiteStats()
+        for key, (taken, total) in self.if_counts.items():
+            stats.if_frequency[key] = taken / total if total else 0.0
+            stats.evaluations[key] = total
+        for key, (trips, entries) in self.while_counts.items():
+            stats.while_mean[key] = trips / max(entries, 1)
+            stats.evaluations[key] = trips + entries
+        return stats
+
+
+class _Instrumenter(ast.NodeTransformer):
+    """Wraps branch and while tests in recorder calls."""
+
+    def __init__(self):
+        self.function_stack = []
+
+    def visit_FunctionDef(self, node):
+        self.function_stack.append(node.name)
+        self.generic_visit(node)
+        self.function_stack.pop()
+        return node
+
+    def _wrap(self, test: ast.expr, recorder: str, func: str,
+              line: int) -> ast.expr:
+        call = ast.Call(
+            func=ast.Attribute(
+                value=ast.Name(id="__repro_recorder__", ctx=ast.Load()),
+                attr=recorder, ctx=ast.Load()),
+            args=[ast.Constant(func), ast.Constant(line), test],
+            keywords=[])
+        ast.copy_location(call, test)
+        ast.fix_missing_locations(call)
+        return call
+
+    def visit_If(self, node):
+        self.generic_visit(node)
+        func = self.function_stack[-1] if self.function_stack else "<mod>"
+        node.test = self._wrap(node.test, "record_if", func, node.lineno)
+        return node
+
+    def visit_While(self, node):
+        self.generic_visit(node)
+        func = self.function_stack[-1] if self.function_stack else "<mod>"
+        node.test = self._wrap(node.test, "record_while", func,
+                               node.lineno)
+        return node
+
+
+def profile_branches(source: str, entry: str,
+                     hints: Optional[InputHints] = None,
+                     namespace: Optional[Dict[str, Any]] = None) \
+        -> PySiteStats:
+    """Run instrumented ``source`` once and return branch statistics.
+
+    Parameters
+    ----------
+    source:
+        The same Python source that was translated.
+    entry:
+        Function to call.
+    hints:
+        Supplies ``profile_args`` / ``profile_kwargs`` for the entry call.
+    namespace:
+        Extra globals the source needs (e.g. ``math``, input arrays).
+    """
+    hints = hints or InputHints()
+    module = ast.parse(textwrap.dedent(source))
+    instrumented = _Instrumenter().visit(module)
+    ast.fix_missing_locations(instrumented)
+    recorder = _Recorder()
+    globals_dict: Dict[str, Any] = {"__repro_recorder__": recorder}
+    import math
+    import random
+    globals_dict.setdefault("math", math)
+    globals_dict.setdefault("random", random)
+    globals_dict.update(namespace or {})
+    code = compile(instrumented, filename="<repro-branch-profiler>",
+                   mode="exec")
+    exec(code, globals_dict)     # noqa: S102 - user opted into profiling
+    try:
+        entry_fn = globals_dict[entry]
+    except KeyError:
+        raise TranslationError(
+            f"entry function {entry!r} not defined by the source") from None
+    entry_fn(*hints.profile_args, **hints.profile_kwargs)
+    return recorder.stats()
+
+
+def apply_branch_stats(result: TranslationResult,
+                       stats: PySiteStats) -> int:
+    """Write profiled statistics into the translated skeleton (in place).
+
+    Returns the number of sites filled; raises
+    :class:`~repro.errors.TranslationError` if any site that needs
+    statistics was never exercised by the profiling run (the paper's remedy:
+    profile with a more representative input).
+    """
+    filled = 0
+    missing = []
+    for site, key in result.site_map.items():
+        statement = _statement_at(result.program, site)
+        func, line, kind = key
+        if kind == "while":
+            mean = stats.while_mean.get(key)
+            if mean is None:
+                missing.append(site)
+                continue
+            assert isinstance(statement, WhileLoop)
+            statement.expect = Num(mean)
+            filled += 1
+        else:
+            freq = stats.if_frequency.get(key)
+            if freq is None:
+                missing.append(site)
+                continue
+            assert isinstance(statement, Branch)
+            for arm in statement.arms:
+                if arm.kind == "prob":
+                    arm.expr = Num(min(max(freq, 0.0), 1.0))
+            filled += 1
+    if missing:
+        raise TranslationError(
+            f"profiling run never reached these sites: {missing}; use a "
+            "more representative input (paper Sec. III-B)")
+    result.needs_profiling = []
+    return filled
+
+
+def _statement_at(program, site: str):
+    for statement in program.walk():
+        if statement.site == site:
+            return statement
+    raise TranslationError(f"skeleton has no statement at site {site!r}")

@@ -1,0 +1,559 @@
+"""Static translation of scalar Python code into code skeletons.
+
+The translator walks each function's AST and produces skeleton statements:
+
+* ``for v in range(...)`` → counted loops;
+* ``while cond:`` → ``while expect ?`` (trip counts come from profiling);
+* ``if cond:`` → a ``cond`` arm when the condition only involves *context
+  variables* (parameters, loop indices, and scalars assigned from context
+  expressions), otherwise a data-dependent ``prob`` arm whose frequency the
+  branch profiler must measure;
+* arithmetic statements → ``comp`` characteristics: each floating-point
+  operator counts one flop (divisions tracked separately), integer/index
+  arithmetic counts iops;
+* subscript reads/writes → ``load``/``store`` with the array name, so the
+  executor's cache model sees reuse;
+* ``math.exp``/``random.random``/… → ``lib`` statements;
+* calls to other translated functions → ``call``.
+
+``len(x)`` is translated to the input variable ``len_x`` — bind it through
+:class:`~repro.translate.hints.InputHints` (the paper's hint file).
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..errors import TranslationError
+from ..expressions import Expr, Num, Var, simplify
+from ..expressions import expr as expr_mod
+from ..skeleton.ast_nodes import (
+    Branch, BranchArm, Break, Call, Comp, Continue, ForLoop, FuncDef,
+    LibCall, Load, Return, Statement, Store, VarAssign, WhileLoop,
+)
+from ..skeleton.bst import Program
+from .hints import InputHints
+
+#: Python callables translated into ``lib`` statements (module.attr or name)
+LIB_FUNCTIONS = {
+    "math.exp": "exp", "math.log": "log", "math.sin": "sin",
+    "math.cos": "cos", "math.sqrt": "sqrt",
+    "random.random": "rand", "random.uniform": "rand",
+    "exp": "exp", "log": "log", "sin": "sin", "cos": "cos",
+    "sqrt": "sqrt",
+}
+
+#: NumPy-style whole-array calls: translated into ``lib`` statements whose
+#: size is the array argument's length (``len_<name>``) — one library
+#: application per element, the vectorized idiom
+VECTOR_LIB_FUNCTIONS = {
+    "np.exp": "exp", "numpy.exp": "exp",
+    "np.log": "log", "numpy.log": "log",
+    "np.sin": "sin", "numpy.sin": "sin",
+    "np.cos": "cos", "numpy.cos": "cos",
+    "np.sqrt": "sqrt", "numpy.sqrt": "sqrt",
+    "np.copy": "memcpy", "numpy.copy": "memcpy",
+    "np.random.rand": "rand", "numpy.random.rand": "rand",
+}
+
+_BIN_FLOPS = (ast.Add, ast.Sub, ast.Mult, ast.Pow)
+
+
+@dataclass
+class TranslationResult:
+    """Output of the translator."""
+
+    program: Program
+    #: skeleton site → source location for statements whose statistics the
+    #: branch profiler must fill ("func", lineno, kind: 'if'|'while')
+    site_map: Dict[str, Tuple[str, int, str]]
+    #: sites still lacking statistics (subset of site_map)
+    needs_profiling: List[str] = field(default_factory=list)
+
+    @property
+    def is_complete(self) -> bool:
+        return not self.needs_profiling
+
+
+class _OpCounts:
+    """Accumulated characteristics of one straight-line statement."""
+
+    def __init__(self):
+        self.flops = 0
+        self.iops = 0
+        self.divs = 0
+        self.loads: List[str] = []     # array names, one entry per read
+        self.stores: List[str] = []
+        self.libs: List[Tuple[str, Expr]] = []
+        self.calls: List[ast.Call] = []
+
+
+class _FunctionTranslator:
+    def __init__(self, frontend: "_Frontend", node: ast.FunctionDef):
+        self.frontend = frontend
+        self.node = node
+        self.name = node.name
+        self.params = [a.arg for a in node.args.args]
+        #: names whose values the skeleton can evaluate from context
+        self.context_vars: Set[str] = set(self.params)
+        self.array_params: Set[str] = set()
+
+    def error(self, message: str, node: ast.AST) -> TranslationError:
+        line = getattr(node, "lineno", 0)
+        return TranslationError(
+            f"{self.name}:{line}: {message} (supported subset is described "
+            "in repro.translate)")
+
+    # -- expression conversion (context expressions) ----------------------
+    def to_expr(self, node: ast.AST) -> Expr:
+        """Convert a Python expression over context variables to an Expr
+        (simplified: constant folding, identity elimination)."""
+        return simplify(self._to_expr_raw(node))
+
+    def _to_expr_raw(self, node: ast.AST) -> Expr:
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, bool):
+                return Num(int(node.value))
+            if isinstance(node.value, (int, float)):
+                return Num(node.value)
+            raise self.error(f"unsupported constant {node.value!r}", node)
+        if isinstance(node, ast.Name):
+            return Var(node.id)
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+            return expr_mod.Unary("-", self.to_expr(node.operand))
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.Not):
+            return expr_mod.Unary("not", self.to_expr(node.operand))
+        if isinstance(node, ast.BinOp):
+            ops = {ast.Add: "+", ast.Sub: "-", ast.Mult: "*",
+                   ast.Div: "/", ast.FloorDiv: "//", ast.Mod: "%",
+                   ast.Pow: "^"}
+            op = ops.get(type(node.op))
+            if op is None:
+                raise self.error(
+                    f"unsupported operator {type(node.op).__name__}", node)
+            return expr_mod.Binary(op, self.to_expr(node.left),
+                                   self.to_expr(node.right))
+        if isinstance(node, ast.Compare):
+            if len(node.ops) != 1:
+                raise self.error("chained comparisons unsupported", node)
+            ops = {ast.Lt: "<", ast.LtE: "<=", ast.Gt: ">",
+                   ast.GtE: ">=", ast.Eq: "==", ast.NotEq: "!="}
+            op = ops.get(type(node.ops[0]))
+            if op is None:
+                raise self.error("unsupported comparison", node)
+            return expr_mod.Compare(op, self.to_expr(node.left),
+                                    self.to_expr(node.comparators[0]))
+        if isinstance(node, ast.BoolOp):
+            op = "and" if isinstance(node.op, ast.And) else "or"
+            return expr_mod.Bool(op, [self.to_expr(v)
+                                      for v in node.values])
+        if isinstance(node, ast.Call):
+            func_name = _callable_name(node.func)
+            if func_name == "len" and len(node.args) == 1 \
+                    and isinstance(node.args[0], ast.Name):
+                return Var(f"len_{node.args[0].id}")
+            if func_name in ("min", "max", "abs") and node.args:
+                return expr_mod.Func(
+                    func_name, [self.to_expr(a) for a in node.args])
+            raise self.error(
+                f"call to {func_name!r} is not a context expression", node)
+        raise self.error(
+            f"unsupported expression {type(node).__name__}", node)
+
+    def is_context_expr(self, node: ast.AST) -> bool:
+        """True when ``node`` evaluates from context variables alone."""
+        try:
+            expr = self.to_expr(node)
+        except TranslationError:
+            return False
+        free = expr.free_vars()
+        allowed = self.context_vars | {
+            f"len_{name}" for name in self.array_params} \
+            | set(self.frontend.hints.sizes)
+        return free <= allowed
+
+    # -- operation counting -------------------------------------------------
+    def count_ops(self, node: ast.AST, counts: _OpCounts,
+                  integer_context: bool = False) -> None:
+        """Walk an arbitrary expression, accumulating characteristics.
+
+        ``integer_context`` marks index arithmetic (inside subscripts),
+        counted as iops instead of flops.
+        """
+        if isinstance(node, (ast.Constant, ast.Name)):
+            return
+        if isinstance(node, ast.Subscript):
+            array = _subscript_array(node)
+            if array is not None:
+                counts.loads.append(array)
+                self.array_params.add(array)
+            self.count_ops(node.slice, counts, integer_context=True)
+            return
+        if isinstance(node, ast.BinOp):
+            if isinstance(node.op, ast.Div):
+                counts.divs += 1
+                counts.flops += 1
+            elif isinstance(node.op, (ast.FloorDiv, ast.Mod, ast.LShift,
+                                      ast.RShift, ast.BitAnd, ast.BitOr,
+                                      ast.BitXor)):
+                counts.iops += 1
+            elif isinstance(node.op, _BIN_FLOPS):
+                if integer_context:
+                    counts.iops += 1
+                else:
+                    counts.flops += 1
+            else:
+                counts.iops += 1
+            self.count_ops(node.left, counts, integer_context)
+            self.count_ops(node.right, counts, integer_context)
+            return
+        if isinstance(node, ast.UnaryOp):
+            if isinstance(node.op, ast.USub) and not integer_context:
+                counts.flops += 1
+            elif isinstance(node.op, (ast.Invert, ast.Not)) \
+                    or integer_context:
+                counts.iops += 1
+            self.count_ops(node.operand, counts, integer_context)
+            return
+        if isinstance(node, ast.Compare):
+            counts.iops += len(node.ops)
+            self.count_ops(node.left, counts, integer_context)
+            for comparator in node.comparators:
+                self.count_ops(comparator, counts, integer_context)
+            return
+        if isinstance(node, ast.BoolOp):
+            counts.iops += len(node.values) - 1
+            for value in node.values:
+                self.count_ops(value, counts, integer_context)
+            return
+        if isinstance(node, ast.Call):
+            self._count_call(node, counts)
+            return
+        if isinstance(node, (ast.Tuple, ast.List)):
+            for element in node.elts:
+                self.count_ops(element, counts, integer_context)
+            return
+        if isinstance(node, ast.IfExp):
+            counts.iops += 1
+            for child in (node.test, node.body, node.orelse):
+                self.count_ops(child, counts, integer_context)
+            return
+        raise self.error(
+            f"unsupported expression {type(node).__name__}", node)
+
+    def _count_call(self, node: ast.Call, counts: _OpCounts) -> None:
+        name = _callable_name(node.func)
+        if name in VECTOR_LIB_FUNCTIONS:
+            counts.libs.append((VECTOR_LIB_FUNCTIONS[name],
+                                self._vector_size(node)))
+            return
+        if name in LIB_FUNCTIONS:
+            counts.libs.append((LIB_FUNCTIONS[name], Num(1)))
+            for arg in node.args:
+                self.count_ops(arg, counts)
+            return
+        if name in ("min", "max", "abs", "int", "float", "round"):
+            counts.iops += 1
+            for arg in node.args:
+                self.count_ops(arg, counts)
+            return
+        if name in self.frontend.function_names:
+            counts.calls.append(node)
+            return
+        raise self.error(
+            f"call to unknown function {name!r}; translate it too, add it "
+            "to LIB_FUNCTIONS, or replace it", node)
+
+    def _vector_size(self, node: ast.Call) -> Expr:
+        """Element count of a whole-array library call.
+
+        An array argument named ``a`` contributes ``len_a`` elements (bind
+        it through the hint file); scalar or complex arguments fall back to
+        one element per call.
+        """
+        for arg in node.args:
+            if isinstance(arg, ast.Name) \
+                    and arg.id not in self.context_vars:
+                self.array_params.add(arg.id)
+                return Var(f"len_{arg.id}")
+            if self.is_context_expr(arg):
+                # e.g. np.random.rand(n): the size IS the expression
+                return self.to_expr(arg)
+        return Num(1)
+
+    # -- statement translation ------------------------------------------------
+    def translate(self) -> FuncDef:
+        func = FuncDef(self.name, self.params, line=self.node.lineno)
+        func.body.extend(self.translate_body(self.node.body))
+        return func
+
+    def translate_body(self, body: Sequence[ast.stmt]) -> List[Statement]:
+        out: List[Statement] = []
+        for statement in body:
+            out.extend(self.translate_statement(statement))
+        return out
+
+    def translate_statement(self, node: ast.stmt) -> List[Statement]:
+        if isinstance(node, ast.For):
+            return [self._translate_for(node)]
+        if isinstance(node, ast.While):
+            return [self._translate_while(node)]
+        if isinstance(node, ast.If):
+            return [self._translate_if(node)]
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            return self._translate_assign(node)
+        if isinstance(node, ast.Expr):
+            if isinstance(node.value, ast.Constant):
+                return []  # docstring
+            return self._translate_compute(node.value, node.lineno)
+        if isinstance(node, ast.Return):
+            statements = []
+            if node.value is not None:
+                statements = self._translate_compute(node.value,
+                                                     node.lineno)
+            statements.append(Return(line=node.lineno))
+            return statements
+        if isinstance(node, ast.Break):
+            return [Break(line=node.lineno)]
+        if isinstance(node, ast.Continue):
+            return [Continue(line=node.lineno)]
+        if isinstance(node, ast.Pass):
+            return []
+        raise self.error(
+            f"unsupported statement {type(node).__name__}", node)
+
+    def _translate_for(self, node: ast.For) -> Statement:
+        if not isinstance(node.target, ast.Name):
+            raise self.error("loop target must be a simple name",
+                             node)
+        if not (isinstance(node.iter, ast.Call)
+                and _callable_name(node.iter.func) == "range"):
+            raise self.error("only 'for ... in range(...)' loops are "
+                             "translatable", node)
+        args = node.iter.args
+        if len(args) == 1:
+            lo, hi, step = Num(0), self.to_expr(args[0]), Num(1)
+        elif len(args) == 2:
+            lo, hi, step = (self.to_expr(args[0]), self.to_expr(args[1]),
+                            Num(1))
+        elif len(args) == 3:
+            lo, hi, step = (self.to_expr(args[0]), self.to_expr(args[1]),
+                            self.to_expr(args[2]))
+        else:
+            raise self.error("malformed range()", node)
+        if node.orelse:
+            raise self.error("for/else is unsupported", node)
+        self.context_vars.add(node.target.id)
+        loop = ForLoop(node.target.id, lo, hi, step, line=node.lineno,
+                       label=f"{self.name}.for@{node.lineno}")
+        loop.body.extend(self.translate_body(node.body))
+        return loop
+
+    def _translate_while(self, node: ast.While) -> Statement:
+        if node.orelse:
+            raise self.error("while/else is unsupported", node)
+        loop = WhileLoop(None, line=node.lineno,
+                         label=f"{self.name}.while@{node.lineno}")
+        loop.body.extend(self.translate_body(node.body))
+        self.frontend.register_site(self.name, node.lineno, "while", loop)
+        return loop
+
+    def _translate_if(self, node: ast.If) -> Statement:
+        if self.is_context_expr(node.test):
+            arm = BranchArm("cond", self.to_expr(node.test),
+                            line=node.lineno)
+            branch = Branch([arm], line=node.lineno)
+        else:
+            # data-dependent: placeholder probability, filled by profiling
+            arm = BranchArm("prob", Num(0.5), line=node.lineno)
+            branch = Branch([arm], line=node.lineno)
+            self.frontend.register_site(self.name, node.lineno, "if",
+                                        branch)
+        arm.body.extend(self.translate_body(node.body))
+        if node.orelse:
+            default = BranchArm("default", None, line=node.lineno)
+            default.body.extend(self.translate_body(node.orelse))
+            branch.arms.append(default)
+        return branch
+
+    def _translate_assign(self, node) -> List[Statement]:
+        if isinstance(node, ast.AnnAssign):
+            targets = [node.target]
+            value = node.value
+        elif isinstance(node, ast.AugAssign):
+            targets = [node.target]
+            value = ast.BinOp(left=_as_load(node.target), op=node.op,
+                              right=node.value)
+            ast.copy_location(value, node)
+            ast.fix_missing_locations(value)
+        else:
+            targets = node.targets
+            value = node.value
+        if value is None:
+            return []
+        if len(targets) != 1:
+            raise self.error("multiple assignment targets unsupported",
+                             node)
+        target = targets[0]
+        # scalar context assignment?
+        if isinstance(target, ast.Name) and self.is_context_expr(value):
+            self.context_vars.add(target.id)
+            return [VarAssign(target.id, self.to_expr(value),
+                              line=node.lineno)]
+        if isinstance(target, ast.Name):
+            # the name now holds a data-dependent value: it can no longer
+            # participate in deterministic branch classification
+            self.context_vars.discard(target.id)
+        statements = self._translate_compute(value, node.lineno)
+        if isinstance(target, ast.Subscript):
+            array = _subscript_array(target)
+            counts = _OpCounts()
+            self.count_ops(target.slice, counts, integer_context=True)
+            if counts.iops:
+                statements.append(Comp(iops=Num(counts.iops),
+                                       line=node.lineno))
+            statements.append(Store(Num(1), "float64", array,
+                                    line=node.lineno))
+            if array:
+                self.array_params.add(array)
+        elif isinstance(target, ast.Name):
+            # non-context scalar: a temporary; the value computation is
+            # already charged, the scalar itself stays in a register
+            pass
+        else:
+            raise self.error("unsupported assignment target", node)
+        return statements
+
+    def _translate_compute(self, value: ast.AST,
+                           line: int) -> List[Statement]:
+        counts = _OpCounts()
+        self.count_ops(value, counts)
+        statements: List[Statement] = []
+        # group loads by array so the executor sees one region touch each
+        by_array: Dict[str, int] = {}
+        for array in counts.loads:
+            by_array[array] = by_array.get(array, 0) + 1
+        for array, number in sorted(by_array.items()):
+            statements.append(Load(Num(number), "float64", array,
+                                   line=line))
+        if counts.flops or counts.iops:
+            statements.append(Comp(flops=Num(counts.flops),
+                                   iops=Num(counts.iops),
+                                   div_flops=Num(counts.divs), line=line))
+        for lib_name, size in counts.libs:
+            statements.append(LibCall(lib_name, size, line=line))
+        for call in counts.calls:
+            statements.append(self._translate_call(call))
+        return statements
+
+    def _translate_call(self, node: ast.Call) -> Statement:
+        name = _callable_name(node.func)
+        callee = self.frontend.function_nodes[name]
+        expected = [a.arg for a in callee.args.args]
+        if len(node.args) != len(expected):
+            raise self.error(
+                f"call to {name!r} with {len(node.args)} args, expected "
+                f"{len(expected)}", node)
+        # array arguments pass through by name; by convention an array
+        # variable is bound to its length when the BET is built (see the
+        # package docstring), matching the ``len_<name>`` inputs
+        args = [self.to_expr(arg) for arg in node.args]
+        return Call(name, args, line=node.lineno)
+
+
+class _Frontend:
+    def __init__(self, module: ast.Module, hints: InputHints,
+                 entry: str):
+        self.hints = hints
+        self.entry = entry
+        self.function_nodes: Dict[str, ast.FunctionDef] = {}
+        for statement in module.body:
+            if isinstance(statement, ast.FunctionDef):
+                self.function_nodes[statement.name] = statement
+        if entry not in self.function_nodes:
+            raise TranslationError(
+                f"entry function {entry!r} not found; module defines "
+                f"{sorted(self.function_nodes)}")
+        self.function_names = set(self.function_nodes)
+        self.site_map: Dict[str, Tuple[str, int, str]] = {}
+        self._pending: List[Tuple[str, int, str, Statement]] = []
+
+    def register_site(self, func: str, line: int, kind: str,
+                      statement: Statement) -> None:
+        self._pending.append((func, line, kind, statement))
+
+    def translate(self) -> TranslationResult:
+        functions = []
+        for name, node in self.function_nodes.items():
+            functions.append(_FunctionTranslator(self, node).translate())
+        params = {name: Num(value)
+                  for name, value in self.hints.sizes.items()}
+        # rename the entry to 'main' if needed by wrapping
+        if self.entry != "main" and "main" not in self.function_nodes:
+            entry_def = next(f for f in functions
+                             if f.name == self.entry)
+            wrapper = FuncDef("main", entry_def.params, line=0)
+            wrapper.body.append(Call(
+                self.entry, [Var(p) for p in entry_def.params], line=0))
+            functions.append(wrapper)
+        program = Program(functions, params, source_name="<python>")
+        site_map = {}
+        needs = []
+        for func, line, kind, statement in self._pending:
+            site_map[statement.site] = (func, line, kind)
+            needs.append(statement.site)
+        return TranslationResult(program=program, site_map=site_map,
+                                 needs_profiling=needs)
+
+
+def _callable_name(node: ast.AST) -> str:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = _callable_name(node.value)
+        return f"{base}.{node.attr}" if base else node.attr
+    return ""
+
+
+def _subscript_array(node: ast.Subscript) -> Optional[str]:
+    base = node.value
+    while isinstance(base, ast.Subscript):
+        base = base.value
+    if isinstance(base, ast.Name):
+        return base.id
+    return None
+
+
+def _as_load(node: ast.AST) -> ast.AST:
+    copied = ast.copy_location(
+        ast.parse(ast.unparse(node), mode="eval").body, node)
+    ast.fix_missing_locations(copied)
+    return copied
+
+
+def translate_source(source: str, entry: str = "main",
+                     hints: Optional[InputHints] = None) \
+        -> TranslationResult:
+    """Translate Python source text into a code skeleton.
+
+    Raises :class:`~repro.errors.TranslationError` for code outside the
+    supported subset.
+    """
+    module = ast.parse(textwrap.dedent(source))
+    return _Frontend(module, hints or InputHints(), entry).translate()
+
+
+def translate_functions(functions: Sequence[Callable], entry: str = None,
+                        hints: Optional[InputHints] = None) \
+        -> TranslationResult:
+    """Translate live Python functions (``inspect.getsource`` based)."""
+    if not functions:
+        raise TranslationError("no functions supplied")
+    source = "\n".join(textwrap.dedent(inspect.getsource(f))
+                       for f in functions)
+    entry_name = entry or functions[0].__name__
+    return translate_source(source, entry=entry_name, hints=hints)

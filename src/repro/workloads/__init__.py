@@ -1,0 +1,15 @@
+"""Benchmark workloads (paper Sec. VI).
+
+Skeleton models of the five applications the paper evaluates, plus the
+pedagogical example of Fig. 2.  The original codes are production Fortran/C
+applications that are not shipped here; each module documents the published
+structure it reproduces (functions, loop nests, library hot spots, input
+sizes) — see DESIGN.md S13 for the substitution rationale.
+
+Use :func:`~repro.workloads.registry.load` to obtain a freshly parsed
+:class:`~repro.skeleton.bst.Program` and its paper-scale default inputs.
+"""
+
+from .registry import WorkloadSpec, load, names, spec
+
+__all__ = ["WorkloadSpec", "load", "names", "spec"]

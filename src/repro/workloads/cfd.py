@@ -1,0 +1,135 @@
+"""CFD — unstructured-grid 3-D Euler solver (mini-application).
+
+A finite-volume solver for the 3-D Euler formulation of the Navier-Stokes
+equations for compressible flow (Rodinia-style ``euler3d``).  The main time
+stepping loop iteratively updates pressure, momentum, and density; the
+paper's test case uses a moderately sized grid of 97 000 cells (Sec. VI).
+
+Shape to reproduce (paper Fig. 10, Table II): all top-10 spots identified
+with selection quality > 80 %, but the 6th hot spot — **computing velocity
+from density and momentum, a series of divisions** — is expected at < 3 %
+of runtime yet measures ~15 % on BG/Q, because the A2 has no fp divider and
+the XL compiler expands each division into a reciprocal-estimate +
+Newton-refinement sequence.  The analytical model charges divisions like
+any flop (``model_division=False``), so it underestimates exactly this
+spot; the executor charges ``div_cost = 30`` cycles and measures the truth.
+"""
+
+from __future__ import annotations
+
+NAME = "cfd"
+TITLE = "CFD 3-D Euler solver, 97k-cell unstructured grid (mini-app)"
+
+#: paper test case: 97 000 cells; RK3 pseudo-time stepping
+DEFAULT_INPUTS = {"nel": 97_000, "nt": 50}
+
+SKELETON = """
+param nel = 97000
+param nt = 50
+
+def main(nel, nt)
+  array variables: float64[5][nel]
+  array fluxes: float64[5][nel]
+  array normals: float64[12][nel]
+  array step_factors: float64[nel]
+  array old_variables: float64[5][nel]
+  var nblk = 64
+  var blk = nel / nblk
+  call initialize_variables(nblk, blk)
+  for it = 0 : nt as "time_stepping"
+    call copy_old_variables(nel)
+    call compute_step_factor(nblk, blk)
+    for rk = 0 : 3 as "rk_stages"
+      call compute_flux(nblk, blk)
+      call time_step_update(nblk, blk)
+    end
+    call compute_velocity(nblk, blk)
+    call pressure_update(nblk, blk)
+    call boundary_flux(nel)
+    if prob 0.3
+      call residual_norm(nblk, blk)
+    end
+  end
+end
+
+def initialize_variables(nblk, blk)
+  for b = 0 : nblk as "init_variables"
+    comp 10 * blk flops
+    store 5 * blk float64 to variables
+  end
+end
+
+def copy_old_variables(nel)
+  lib memcpy 5 * nel
+end
+
+# spot ~10%: local time step from wave speeds (one sqrt-like sequence)
+def compute_step_factor(nblk, blk)
+  for b = 0 : nblk as "compute_step_factor"
+    load 5 * blk float64 from variables
+    comp 16 * blk flops div blk / 4
+    store blk float64 to step_factors
+  end
+end
+
+# dominant spot (~35-40%): per-face flux accumulation over neighbours
+def compute_flux(nblk, blk)
+  for b = 0 : nblk as "compute_flux"
+    load 16 * blk float64 from variables
+    load 12 * blk float64 from normals
+    comp 46 * blk flops
+    comp 10 * blk iops
+    store 5 * blk float64 to fluxes
+  end
+end
+
+# second spot (~18%): RK accumulate
+def time_step_update(nblk, blk)
+  for b = 0 : nblk as "time_step_update"
+    load 5 * blk float64 from old_variables
+    load 5 * blk float64 from fluxes
+    load blk float64 from step_factors
+    comp 12 * blk flops
+    store 5 * blk float64 to variables
+  end
+end
+
+# the division spot: velocity = momentum / density (paper's 6th spot,
+# < 3% projected vs ~15% measured on BG/Q)
+def compute_velocity(nblk, blk)
+  for b = 0 : nblk as "compute_velocity"
+    load 4 * blk float64 from variables
+    comp 5 * blk flops div 2 * blk
+    store 3 * blk float64 to fluxes
+  end
+end
+
+# ~7%: equation of state
+def pressure_update(nblk, blk)
+  for b = 0 : nblk as "pressure_update"
+    load 5 * blk float64 from variables
+    comp 17 * blk flops
+    store blk float64 to variables
+  end
+end
+
+# ~4%: farfield/wall boundary faces
+def boundary_flux(nel)
+  var nbf = nel / 8
+  for k = 0 : 16 as "boundary_flux"
+    load 8 * nbf / 16 float64 from normals
+    comp 30 * nbf / 16 flops
+    comp 6 * nbf / 16 iops
+    store 5 * nbf / 16 float64 to fluxes
+  end
+end
+
+# occasional convergence diagnostic
+def residual_norm(nblk, blk)
+  for b = 0 : nblk as "residual_norm"
+    load 5 * blk float64 from variables
+    comp 10 * blk flops vec
+  end
+  lib sqrt 5
+end
+"""

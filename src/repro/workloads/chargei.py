@@ -1,0 +1,126 @@
+"""CHARGEI — charge-deposition function of the Gyrokinetic Toroidal Code.
+
+GTC is a Fortran 3-D particle-in-cell code for turbulent transport in
+magnetic fusion; ``chargei`` computes the total ion density for a given ion
+distribution and "contains eight loop structures where some loops produce
+the array structures that are consumed in other loops" (paper Sec. VI).
+
+The paper's measurement (Fig. 12, Table I): two dominating hot spots at
+~44 % and ~38 % of runtime, spots 4 and 5 each around 3 % and so close that
+the model may swap them.  The eight loops below reproduce that profile:
+the four-point gyro-averaged deposition (L1) and the field gather (L2)
+dominate; two boundary fix-ups (L4, L5) are nearly tied.
+"""
+
+from __future__ import annotations
+
+NAME = "chargei"
+TITLE = "GTC chargei: ion charge deposition (kernel function)"
+
+#: particles (mi) and poloidal grid points (mgrid); one PIC step batch
+DEFAULT_INPUTS = {"mi": 100_000, "mgrid": 32_000, "nloop": 10}
+
+SKELETON = """
+param mi = 100000
+param mgrid = 32000
+param nloop = 10
+
+def main(mi, mgrid, nloop)
+  array zion: float64[7][mi]
+  array jtion: int32[4][mi]
+  array wtion: float64[4][mi]
+  array densityi: float64[mgrid]
+  array phi_grid: float64[mgrid]
+  var pblock = 2000
+  var nb = mi / pblock
+  for il = 0 : nloop as "chargei_iterations"
+    call locate_particles(nb, pblock)
+    call deposit_charge(nb, pblock)
+    call gather_field(nb, pblock)
+    call poloidal_bc(mgrid)
+    call radial_bc(mgrid)
+    call smooth_charge(mgrid)
+    call normalize_density(mgrid)
+    call reduce_density(mgrid)
+  end
+end
+
+# L1: find the 4 gyro-ring grid points of each particle (44% dominant spot)
+def locate_particles(nb, pblock)
+  for ib = 0 : nb as "locate_particles"
+    load 7 * pblock float64 from zion
+    comp 26 * pblock flops div pblock / 6
+    comp 18 * pblock iops
+    store 4 * pblock int32 to jtion
+    store 4 * pblock float64 to wtion
+  end
+end
+
+# L2: scatter-add weighted charge onto the grid (38% second spot)
+def deposit_charge(nb, pblock)
+  for ib = 0 : nb as "deposit_charge"
+    load 4 * pblock int32 from jtion
+    load 4 * pblock float64 from wtion
+    load 8 * pblock float64 from densityi
+    comp 22 * pblock flops
+    comp 20 * pblock iops
+    store 8 * pblock float64 to densityi
+  end
+end
+
+# L3: gather the field back at particle positions (~8%)
+def gather_field(nb, pblock)
+  for ib = 0 : nb as "gather_field"
+    load 4 * pblock int32 from jtion
+    load 4 * pblock float64 from phi_grid
+    comp 7 * pblock flops
+    store pblock float64 to zion
+  end
+end
+
+# L4/L5: boundary fix-ups, nearly tied (~3% each; the model may swap them)
+def poloidal_bc(mgrid)
+  var npts = mgrid / 12
+  for k = 0 : 8 as "poloidal_bc"
+    load 2 * npts float64 from densityi
+    comp 12 * npts flops
+    store npts float64 to densityi
+  end
+end
+
+def radial_bc(mgrid)
+  var npts = mgrid / 12
+  for k = 0 : 8 as "radial_bc"
+    load 2 * npts float64 from densityi
+    comp 11 * npts flops
+    comp 1 * npts iops
+    store npts float64 to densityi
+  end
+end
+
+# L6: 1-2-1 poloidal smoothing (~2%)
+def smooth_charge(mgrid)
+  for k = 0 : 4 as "smooth_charge"
+    load 3 * mgrid / 4 float64 from densityi
+    comp 4 * mgrid / 4 flops vec
+    store mgrid / 4 float64 to densityi
+  end
+end
+
+# L7: divide by flux-surface volume (~1.5%)
+def normalize_density(mgrid)
+  for k = 0 : 4 as "normalize_density"
+    load mgrid / 4 float64 from densityi
+    comp mgrid / 4 flops div mgrid / 24
+    store mgrid / 4 float64 to densityi
+  end
+end
+
+# L8: global sum for diagnostics (~0.5%)
+def reduce_density(mgrid)
+  for k = 0 : 4 as "reduce_density"
+    load mgrid / 4 float64 from densityi
+    comp mgrid / 4 flops vec
+  end
+end
+"""

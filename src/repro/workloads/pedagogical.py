@@ -1,0 +1,55 @@
+"""The paper's pedagogical example (Fig. 2).
+
+A ``main`` that loops, branches on a probabilistic condition that assigns a
+``knob`` variable, and calls ``foo`` whose behaviour depends on ``knob`` —
+the example the paper uses to illustrate the code-skeleton language, the
+BST, and how the BET forks contexts: the branch outcome at one line affects
+a later branch, producing two ``foo`` mounts with different contexts and
+probabilities (rightmost nodes of Fig. 2(c)).
+"""
+
+from __future__ import annotations
+
+NAME = "pedagogical"
+TITLE = "Paper Fig. 2 pedagogical example (main/foo with knob)"
+
+DEFAULT_INPUTS = {"n": 1000}
+
+SKELETON = """
+param n = 1000
+
+def main(n)
+  array data: float64[n][n]
+  var iterations = 8
+  for it = 0 : iterations as "outer_loop"
+    call work(n)
+    if prob 0.3
+      var knob = 1
+    else
+      var knob = 0
+    end
+    call foo(n, knob)
+  end
+end
+
+def work(m)
+  for i = 0 : m as "stream_kernel"
+    load 2 * m float64 from data
+    comp 3 * m flops
+    store m float64 to data
+  end
+end
+
+def foo(m, knob)
+  if knob == 1
+    for i = 0 : m as "foo_expensive"
+      comp 12 * m flops div m
+    end
+  else
+    for i = 0 : m as "foo_cheap"
+      comp 2 * m flops
+    end
+  end
+  lib exp m
+end
+"""

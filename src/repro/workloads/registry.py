@@ -1,0 +1,72 @@
+"""Workload registry: name → skeleton + paper-scale inputs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..errors import ReproError
+from ..skeleton import Program, parse_skeleton
+from . import cfd, chargei, pedagogical, sord, srad, stassuij
+
+_MODULES = (sord, chargei, srad, cfd, stassuij, pedagogical)
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Static description of one benchmark workload."""
+
+    name: str
+    title: str
+    skeleton_text: str
+    default_inputs: Dict[str, float]
+
+    def parse(self) -> Program:
+        """Parse a fresh :class:`Program` (callers may annotate in place)."""
+        return parse_skeleton(self.skeleton_text,
+                              source_name=f"<{self.name}.skop>")
+
+
+_REGISTRY: Dict[str, WorkloadSpec] = {
+    module.NAME: WorkloadSpec(
+        name=module.NAME,
+        title=module.TITLE,
+        skeleton_text=module.SKELETON,
+        default_inputs=dict(module.DEFAULT_INPUTS),
+    )
+    for module in _MODULES
+}
+
+
+def names() -> List[str]:
+    """Registered workload names (paper benchmarks + pedagogical)."""
+    return sorted(_REGISTRY)
+
+
+def spec(name: str) -> WorkloadSpec:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown workload {name!r}; available: {names()}") from None
+
+
+def load(name: str,
+         scale: float = 1.0) -> Tuple[Program, Dict[str, float]]:
+    """Parse workload ``name`` and return ``(program, inputs)``.
+
+    ``scale`` multiplies the size-like inputs (grid cells, particles,
+    pixels) — used by the analysis-time-invariance experiment (E16) — while
+    iteration-count inputs (``nt``, ``niter``, ``nloop``, ``reps``) are left
+    alone.
+    """
+    workload = spec(name)
+    program = workload.parse()
+    inputs = dict(workload.default_inputs)
+    if scale != 1.0:
+        if scale <= 0:
+            raise ReproError("scale must be positive")
+        for key, value in inputs.items():
+            if key not in ("nt", "niter", "nloop", "reps"):
+                inputs[key] = max(1, int(round(value * scale)))
+    return program, inputs

@@ -1,0 +1,483 @@
+"""Unit tests for hot-region analysis: block metrics, hot spots, hot paths,
+selection quality, and breakdowns."""
+
+import pytest
+
+from repro.analysis import (
+    characterize, common_spots, coverage, coverage_curve, extract_hot_path,
+    format_breakdown_table, format_coverage_table, format_hotspot_table,
+    group_blocks, performance_breakdown, select_hotspots, selection_quality,
+    total_time,
+)
+from repro.analysis.quality import rank_displacement
+from repro.bet import build_bet
+from repro.errors import AnalysisError
+from repro.hardware import BGQ, RooflineModel, XEON_E5_2420
+from repro.skeleton import parse_skeleton
+
+THREE_KERNELS = """
+param n = 100
+
+def main(n)
+  for it = 0 : 10 as "timeloop"
+    call heavy(n)
+    call medium(n)
+    call light(n)
+  end
+end
+
+def heavy(m)
+  for i = 0 : m as "heavy_kernel"
+    load 8*m float64
+    comp 32*m flops
+    store 4*m float64
+  end
+end
+
+def medium(m)
+  for i = 0 : m as "medium_kernel"
+    load 4*m float64
+    comp 8*m flops
+    store 2*m float64
+  end
+end
+
+def light(m)
+  for i = 0 : m as "light_kernel"
+    comp 4 flops
+  end
+end
+"""
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    program = parse_skeleton(THREE_KERNELS)
+    root = build_bet(program)
+    roofline = RooflineModel(BGQ)
+    records = characterize(root, roofline)
+    return program, root, records
+
+
+class TestCharacterize:
+    def test_records_cover_all_blocks(self, pipeline):
+        _, root, records = pipeline
+        assert len(records) == sum(1 for _ in root.blocks())
+
+    def test_totals_partition_runtime(self, pipeline):
+        _, _, records = pipeline
+        whole = total_time(records)
+        assert whole > 0
+        assert whole == pytest.approx(sum(r.total for r in records))
+
+    def test_record_total_is_time_times_enr(self, pipeline):
+        _, _, records = pipeline
+        for record in records:
+            assert record.total == pytest.approx(
+                record.time.total * record.enr)
+
+    def test_zero_enr_block_contributes_zero(self):
+        program = parse_skeleton(
+            "def main()\n  for i = 0 : 0 as \"dead\"\n"
+            "    comp 1M flops\n  end\n  comp 1 flops\nend\n")
+        records = characterize(build_bet(program), RooflineModel(BGQ))
+        dead = [r for r in records if r.label == "dead"]
+        assert dead and dead[0].total == 0
+
+
+class TestHotSpotGrouping:
+    def test_grouped_by_site(self):
+        # one function called from two sites: same loop site, two records
+        program = parse_skeleton("""
+def main()
+  call f(10)
+  call f(1000)
+end
+def f(m)
+  for i = 0 : m as "kernel"
+    comp m flops
+  end
+end
+""")
+        records = characterize(build_bet(program), RooflineModel(BGQ))
+        spots = group_blocks(records)
+        kernel = [s for s in spots if s.label == "kernel"]
+        assert len(kernel) == 1
+        assert len(kernel[0].records) == 2
+
+    def test_static_size_not_double_counted(self):
+        program = parse_skeleton("""
+def main()
+  call f(10)
+  call f(1000)
+end
+def f(m)
+  for i = 0 : m as "kernel"
+    comp m flops
+  end
+end
+""")
+        records = characterize(build_bet(program), RooflineModel(BGQ))
+        kernel = [s for s in group_blocks(records)
+                  if s.label == "kernel"][0]
+        # loop header + comp leaf = 2, regardless of invocation count
+        assert kernel.static_size == 2
+
+    def test_functions_not_candidates(self, pipeline):
+        _, _, records = pipeline
+        spots = group_blocks(records)
+        assert all("def " not in s.label for s in spots)
+
+    def test_sorted_by_time(self, pipeline):
+        _, _, records = pipeline
+        spots = group_blocks(records)
+        times = [s.projected_time for s in spots]
+        assert times == sorted(times, reverse=True)
+
+    def test_zero_time_spots_dropped(self):
+        program = parse_skeleton(
+            "def main()\n  for i = 0 : 0 as \"dead\"\n"
+            "    comp 1M flops\n  end\n  comp 1 flops\nend\n")
+        records = characterize(build_bet(program), RooflineModel(BGQ))
+        spots = group_blocks(records)
+        assert all(s.label != "dead" for s in spots)
+
+
+class TestSelection:
+    def test_ranking_matches_work(self, pipeline):
+        program, _, records = pipeline
+        selection = select_hotspots(records, program.static_size(),
+                                    leanness=0.9)
+        labels = [s.label for s in selection.top(3)]
+        assert labels[0] == "heavy_kernel"
+        assert labels[1] == "medium_kernel"
+
+    def test_coverage_reported(self, pipeline):
+        program, _, records = pipeline
+        selection = select_hotspots(records, program.static_size(),
+                                    leanness=0.9)
+        assert 0.9 <= selection.coverage <= 1.0
+
+    def test_leanness_constraint_respected(self, pipeline):
+        program, _, records = pipeline
+        selection = select_hotspots(records, program.static_size(),
+                                    leanness=0.2)
+        assert selection.leanness <= 0.2 + 1e-9
+
+    def test_leanness_takes_precedence(self, pipeline):
+        # with a tiny leanness budget, coverage target becomes infeasible;
+        # selection still returns the best it can under the budget
+        program, _, records = pipeline
+        selection = select_hotspots(records, program.static_size(),
+                                    coverage=0.99, leanness=0.05)
+        assert selection.leanness <= 0.05 + 1e-9
+        assert not selection.meets_targets()
+
+    def test_greedy_skips_fat_blocks_for_lean_ones(self):
+        # one fat block (many statements) and one lean block with less
+        # time; a tight budget must skip the fat one and take the lean one
+        program = parse_skeleton("""
+def main()
+  for i = 0 : 100 as "fat"
+    comp 100 flops
+    comp 100 flops
+    comp 100 flops
+    comp 100 flops
+    comp 100 flops
+    comp 100 flops
+    comp 100 flops
+    comp 100 flops
+  end
+  for i = 0 : 100 as "lean"
+    comp 500 flops
+  end
+  comp 1 flops
+end
+""")
+        records = characterize(build_bet(program), RooflineModel(BGQ))
+        selection = select_hotspots(records, program.static_size(),
+                                    leanness=0.25)
+        assert [s.label for s in selection.spots] == ["lean"]
+
+    def test_max_spots_cap(self, pipeline):
+        program, _, records = pipeline
+        selection = select_hotspots(records, program.static_size(),
+                                    leanness=0.9, max_spots=1)
+        assert len(selection.spots) == 1
+
+    def test_invalid_targets(self, pipeline):
+        program, _, records = pipeline
+        with pytest.raises(AnalysisError):
+            select_hotspots(records, program.static_size(), coverage=0)
+        with pytest.raises(AnalysisError):
+            select_hotspots(records, program.static_size(), leanness=1.5)
+        with pytest.raises(AnalysisError):
+            select_hotspots(records, 0)
+
+    def test_zero_runtime_raises(self):
+        program = parse_skeleton("def main()\n  var x = 1\nend\n")
+        records = characterize(build_bet(program), RooflineModel(BGQ))
+        with pytest.raises(AnalysisError):
+            select_hotspots(records, program.static_size())
+
+    def test_machines_can_disagree(self):
+        # a compute-bound and a memory-bound kernel swap order between a
+        # bandwidth-rich and a bandwidth-poor machine
+        program = parse_skeleton("""
+def main()
+  for i = 0 : 1000 as "flops_kernel"
+    comp 3000 flops
+    load 10 float64
+  end
+  for i = 0 : 1000 as "bytes_kernel"
+    comp 10 flops
+    load 2200 float64
+  end
+end
+""")
+        root = build_bet(program)
+        slow_memory = BGQ.with_overrides(bandwidth=5e9)
+        fast_memory = BGQ.with_overrides(bandwidth=500e9, mlp=64.0,
+                                         dram_latency=30.0,
+                                         llc_latency=10.0)
+        first = lambda machine: select_hotspots(
+            characterize(root, RooflineModel(machine)),
+            program.static_size(), leanness=0.9).spots[0].label
+        assert first(slow_memory) == "bytes_kernel"
+        assert first(fast_memory) == "flops_kernel"
+
+
+class TestHotPath:
+    def test_path_contains_all_spots(self, pipeline):
+        program, _, records = pipeline
+        selection = select_hotspots(records, program.static_size(),
+                                    leanness=0.9)
+        path = extract_hot_path(selection.spots)
+        assert len(path.spot_nodes()) >= len(selection.spots)
+
+    def test_path_rooted_at_main(self, pipeline):
+        program, _, records = pipeline
+        selection = select_hotspots(records, program.static_size(),
+                                    leanness=0.9)
+        path = extract_hot_path(selection.spots)
+        assert path.root.bet.parent is None
+        assert "main" in path.root.label
+
+    def test_shared_prefix_merged(self, pipeline):
+        program, _, records = pipeline
+        selection = select_hotspots(records, program.static_size(),
+                                    leanness=0.9)
+        path = extract_hot_path(selection.spots)
+        # the time loop appears exactly once even though both hot spots
+        # sit underneath it
+        loops = [n for n in path.root.walk() if n.bet.label == "timeloop"]
+        assert len(loops) == 1
+
+    def test_ranks_assigned_in_time_order(self, pipeline):
+        program, _, records = pipeline
+        selection = select_hotspots(records, program.static_size(),
+                                    leanness=0.9)
+        path = extract_hot_path(selection.spots)
+        ranked = {n.rank for n in path.spot_nodes()}
+        assert 1 in ranked
+
+    def test_ascii_render_marks_spots(self, pipeline):
+        program, _, records = pipeline
+        selection = select_hotspots(records, program.static_size(),
+                                    leanness=0.9)
+        text = extract_hot_path(selection.spots).render_ascii()
+        assert "HOT SPOT #1" in text
+        assert "ctx[" in text  # context values are part of the rendering
+
+    def test_dot_render_well_formed(self, pipeline):
+        program, _, records = pipeline
+        selection = select_hotspots(records, program.static_size(),
+                                    leanness=0.9)
+        dot = extract_hot_path(selection.spots).render_dot()
+        assert dot.startswith("digraph") and dot.rstrip().endswith("}")
+        assert "HOT #1" in dot
+
+    def test_empty_selection_rejected(self):
+        with pytest.raises(AnalysisError):
+            extract_hot_path([])
+
+    def test_children_in_program_order(self, pipeline):
+        program, _, records = pipeline
+        selection = select_hotspots(records, program.static_size(),
+                                    leanness=0.9)
+        path = extract_hot_path(selection.spots)
+        text = path.render_ascii()
+        assert text.index("heavy") < text.index("medium")
+
+
+class TestQualityMetrics:
+    MEASURED = {"a": 50.0, "b": 30.0, "c": 15.0, "d": 5.0}
+
+    def test_coverage(self):
+        assert coverage(["a", "b"], self.MEASURED, 100.0) == 0.8
+
+    def test_coverage_ignores_unknown_sites(self):
+        assert coverage(["a", "zz"], self.MEASURED, 100.0) == 0.5
+
+    def test_coverage_duplicate_sites_counted_once(self):
+        assert coverage(["a", "a"], self.MEASURED, 100.0) == 0.5
+
+    def test_coverage_curve_monotone(self):
+        curve = coverage_curve(["a", "b", "c", "d"], self.MEASURED, 100.0)
+        assert curve == [0.5, 0.8, 0.95, 1.0]
+        assert all(x <= y for x, y in zip(curve, curve[1:]))
+
+    def test_perfect_selection_quality(self):
+        q = selection_quality(["a", "b"], self.MEASURED, 100.0)
+        assert q == 1.0
+
+    def test_imperfect_selection_quality(self):
+        # picking b, c instead of a, b: covers 45 of the 80 possible
+        q = selection_quality(["b", "c"], self.MEASURED, 100.0)
+        assert q == pytest.approx(45.0 / 80.0)
+
+    def test_explicit_reference(self):
+        q = selection_quality(["a"], self.MEASURED, 100.0,
+                              reference_sites=["b"])
+        assert q == 1.0  # capped: projected beats the reference
+
+    def test_empty_projection_rejected(self):
+        with pytest.raises(AnalysisError):
+            selection_quality([], self.MEASURED, 100.0)
+
+    def test_zero_total_rejected(self):
+        with pytest.raises(AnalysisError):
+            coverage(["a"], self.MEASURED, 0.0)
+
+    def test_common_spots(self):
+        assert common_spots(["a", "b", "c"], ["c", "b", "x"]) == ["b", "c"]
+
+    def test_rank_displacement(self):
+        assert rank_displacement(["a", "b"], ["a", "b"]) == 0.0
+        assert rank_displacement(["b", "a"], ["a", "b"]) == 1.0
+        assert rank_displacement(["x"], ["a"]) == float("inf")
+
+
+class TestBreakdown:
+    def test_shares_sum_to_one(self, pipeline):
+        program, _, records = pipeline
+        selection = select_hotspots(records, program.static_size(),
+                                    leanness=0.9)
+        for row in performance_breakdown(selection.spots):
+            assert row.compute_share + row.memory_share + \
+                row.overlap_share == pytest.approx(1.0)
+
+    def test_totals_match_spots(self, pipeline):
+        program, _, records = pipeline
+        selection = select_hotspots(records, program.static_size(),
+                                    leanness=0.9)
+        rows = performance_breakdown(selection.spots)
+        for row, spot in zip(rows, selection.spots):
+            assert row.total == pytest.approx(spot.projected_time)
+
+    def test_xeon_more_memory_share_than_bgq(self, pipeline):
+        # paper Fig. 7: memory share increases on Xeon
+        program, root, _ = pipeline
+        def memory_fraction(machine):
+            records = characterize(root, RooflineModel(machine))
+            selection = select_hotspots(records, program.static_size(),
+                                        leanness=0.9)
+            rows = performance_breakdown(selection.spots)
+            return sum(r.memory for r in rows) / sum(r.total for r in rows)
+        assert memory_fraction(XEON_E5_2420) > memory_fraction(BGQ)
+
+
+class TestReportRendering:
+    def test_hotspot_table(self, pipeline):
+        program, _, records = pipeline
+        selection = select_hotspots(records, program.static_size(),
+                                    leanness=0.9)
+        text = format_hotspot_table(selection, title="T")
+        assert "heavy_kernel" in text
+        assert "coverage=" in text
+
+    def test_coverage_table(self):
+        text = format_coverage_table(
+            {"Prof": [0.5, 0.8], "Modl(m)": [0.45, 0.8]}, title="fig")
+        assert "Prof" in text and "80.0%" in text
+
+    def test_breakdown_table(self, pipeline):
+        program, _, records = pipeline
+        selection = select_hotspots(records, program.static_size(),
+                                    leanness=0.9)
+        text = format_breakdown_table(
+            performance_breakdown(selection.spots))
+        assert "compute" in text and "overlap" in text
+
+
+class TestOptimalSelection:
+    """strategy='optimal' — exact knapsack vs the paper's greedy."""
+
+    def test_optimal_never_worse_than_greedy(self, pipeline):
+        program, _, records = pipeline
+        for leanness in (0.1, 0.2, 0.5, 0.9):
+            greedy = select_hotspots(records, program.static_size(),
+                                     leanness=leanness)
+            optimal = select_hotspots(records, program.static_size(),
+                                      leanness=leanness,
+                                      strategy="optimal")
+            assert optimal.coverage >= greedy.coverage - 1e-12
+            assert optimal.leanness <= leanness + 1e-9
+
+    def test_optimal_beats_greedy_on_adversarial_input(self):
+        # greedy takes the single big spot (weight 5, value 10) and cannot
+        # fit anything else in a budget of 6; optimal takes the three
+        # smaller spots (weight 2 each, value 4 each = 12)
+        program = parse_skeleton("""
+def main()
+  for i = 0 : 100 as "big"
+    comp 1000 flops
+    comp 1000 flops
+    comp 1000 flops
+    comp 1000 flops
+  end
+  for i = 0 : 100 as "small1"
+    comp 1600 flops
+  end
+  for i = 0 : 100 as "small2"
+    comp 1600 flops
+  end
+  for i = 0 : 100 as "small3"
+    comp 1600 flops
+  end
+end
+""")
+        records = characterize(build_bet(program), RooflineModel(BGQ))
+        static = program.static_size()
+        budget_fraction = 6.0 / static
+        greedy = select_hotspots(records, static,
+                                 leanness=budget_fraction)
+        optimal = select_hotspots(records, static,
+                                  leanness=budget_fraction,
+                                  strategy="optimal")
+        assert optimal.coverage > greedy.coverage
+
+    def test_optimal_respects_max_spots(self, pipeline):
+        program, _, records = pipeline
+        optimal = select_hotspots(records, program.static_size(),
+                                  leanness=0.9, strategy="optimal",
+                                  max_spots=1)
+        assert len(optimal.spots) == 1
+
+    def test_unknown_strategy_rejected(self, pipeline):
+        program, _, records = pipeline
+        with pytest.raises(AnalysisError):
+            select_hotspots(records, program.static_size(),
+                            strategy="simulated-annealing")
+
+    def test_workload_gap_is_negligible(self):
+        # the reason the paper's greedy is sound: on real workloads the
+        # greedy/optimal coverage gap is tiny
+        from repro.workloads import load
+        program, inputs = load("cfd")
+        records = characterize(build_bet(program, inputs=inputs),
+                               RooflineModel(BGQ))
+        greedy = select_hotspots(records, program.static_size())
+        optimal = select_hotspots(records, program.static_size(),
+                                  strategy="optimal")
+        assert optimal.coverage - greedy.coverage < 0.05

@@ -1,0 +1,62 @@
+"""API hygiene: documentation and export discipline across the package."""
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def all_modules():
+    out = []
+    for info in pkgutil.walk_packages(repro.__path__,
+                                      prefix="repro."):
+        out.append(info.name)
+    return out
+
+
+class TestDocstrings:
+    def test_every_module_has_a_docstring(self):
+        for name in all_modules():
+            module = importlib.import_module(name)
+            assert module.__doc__ and module.__doc__.strip(), \
+                f"{name} has no module docstring"
+
+    def test_every_public_symbol_importable_from_root(self):
+        for symbol in repro.__all__:
+            assert hasattr(repro, symbol), symbol
+
+    def test_public_callables_documented(self):
+        undocumented = []
+        for symbol in repro.__all__:
+            obj = getattr(repro, symbol)
+            if callable(obj) and not (obj.__doc__ or "").strip():
+                undocumented.append(symbol)
+        assert not undocumented, undocumented
+
+
+class TestSubpackageExports:
+    @pytest.mark.parametrize("package", [
+        "repro.expressions", "repro.skeleton", "repro.bet",
+        "repro.hardware", "repro.analysis", "repro.simulate",
+        "repro.translate", "repro.workloads", "repro.multinode",
+        "repro.experiments",
+    ])
+    def test_all_lists_resolve(self, package):
+        module = importlib.import_module(package)
+        assert hasattr(module, "__all__")
+        for symbol in module.__all__:
+            assert hasattr(module, symbol), f"{package}.{symbol}"
+
+    def test_no_import_cycles_at_import_time(self):
+        # importing any module in isolation must succeed
+        for name in all_modules():
+            importlib.import_module(name)
+
+
+class TestVersioning:
+    def test_version_string(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(part.isdigit() for part in parts)

@@ -1,0 +1,461 @@
+"""Unit tests for Bayesian Execution Tree construction (paper Sec. IV)."""
+
+import math
+
+import pytest
+
+from repro.errors import (
+    ContextExplosionError, ModelError, RecursionLimitError,
+)
+from repro.bet import (
+    BETBuilder, Context, build_bet, expected_break_iterations, merge_contexts,
+)
+from repro.bet.nodes import render_tree
+from repro.skeleton import parse_skeleton
+
+
+def bet_for(body: str, params: str = "n", inputs=None, **kwargs):
+    program = parse_skeleton(f"param n = 10\ndef main({params})\n{body}\nend\n")
+    return build_bet(program, inputs=inputs, **kwargs)
+
+
+class TestContext:
+    def test_fork_scales_probability(self):
+        ctx = Context({"a": 1}, 0.5)
+        forked = ctx.fork(0.5, b=2)
+        assert forked.prob == 0.25
+        assert forked.env == {"a": 1, "b": 2}
+        assert ctx.env == {"a": 1}  # original untouched
+
+    def test_assign_preserves_probability(self):
+        ctx = Context({"a": 1}, 0.7).assign("a", 9)
+        assert ctx.prob == 0.7 and ctx.env["a"] == 9
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            Context({}, -0.1)
+        with pytest.raises(ValueError):
+            Context({}, 1.5)
+
+    def test_merge_identical_envs(self):
+        merged = merge_contexts([Context({"a": 1}, 0.25),
+                                 Context({"a": 1}, 0.25),
+                                 Context({"a": 2}, 0.5)])
+        assert len(merged) == 2
+        assert merged[0].prob == pytest.approx(0.5)
+
+    def test_merge_drops_dead_contexts(self):
+        merged = merge_contexts([Context({"a": 1}, 0.0),
+                                 Context({"a": 2}, 1.0)])
+        assert len(merged) == 1 and merged[0].env["a"] == 2
+
+    def test_merge_is_order_stable(self):
+        merged = merge_contexts([Context({"a": 2}, 0.3),
+                                 Context({"a": 1}, 0.3),
+                                 Context({"a": 2}, 0.4)])
+        assert [c.env["a"] for c in merged] == [2, 1]
+
+
+class TestExpectedBreakIterations:
+    def test_zero_probability_gives_full_range(self):
+        assert expected_break_iterations(0.0, 50) == 50
+
+    def test_certain_break_gives_one(self):
+        assert expected_break_iterations(1.0, 50) == 1.0
+
+    def test_matches_truncated_geometric(self):
+        p, n = 0.01, 50
+        expected = (1 - (1 - p) ** n) / p
+        assert expected_break_iterations(p, n) == pytest.approx(expected)
+
+    def test_never_exceeds_range(self):
+        assert expected_break_iterations(1e-9, 10) <= 10
+
+    def test_large_n_approaches_1_over_p(self):
+        assert expected_break_iterations(0.1, 10**6) == pytest.approx(10.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ModelError):
+            expected_break_iterations(-0.1, 10)
+        with pytest.raises(ModelError):
+            expected_break_iterations(2.0, 10)
+        with pytest.raises(ModelError):
+            expected_break_iterations(0.5, -1)
+
+
+class TestLoops:
+    def test_loop_single_node_no_iteration(self):
+        root = bet_for("for i = 0 : n\ncomp 2 flops\nend")
+        loops = [n for n in root.walk() if n.kind == "loop"]
+        assert len(loops) == 1
+        assert loops[0].num_iter == 10
+        # the body was processed exactly once: one leaf child
+        leaves = [c for c in loops[0].children if c.kind == "leaf"]
+        assert len(leaves) == 1
+
+    def test_trip_count_with_step(self):
+        root = bet_for("for i = 0 : n step 3\ncomp 1 flops\nend")
+        loop = next(n for n in root.walk() if n.kind == "loop")
+        assert loop.num_iter == math.ceil(10 / 3)
+
+    def test_empty_range_gives_zero_trips(self):
+        root = bet_for("for i = 5 : 5\ncomp 1 flops\nend")
+        loop = next(n for n in root.walk() if n.kind == "loop")
+        assert loop.num_iter == 0
+        assert loop.enr == 0
+
+    def test_loop_variable_bound_to_mean(self):
+        # inner trip count evaluated at the mean of i over [0, n)
+        root = bet_for("for i = 0 : n\nfor j = 0 : i\ncomp 1 flops\nend\nend")
+        inner = [n for n in root.walk() if n.kind == "loop"][1]
+        # mean of i over [0, 10) is 4.5; trip counts are ceil'd
+        assert inner.num_iter == math.ceil((10 - 1) / 2)
+
+    def test_nested_enr_multiplies(self):
+        root = bet_for(
+            "for i = 0 : n\nfor j = 0 : 5\ncomp 1 flops\nend\nend")
+        inner = [n for n in root.walk() if n.kind == "loop"][1]
+        assert inner.enr == pytest.approx(10 * 5)
+
+    def test_while_expect(self):
+        root = bet_for("while expect n*2\ncomp 1 flops\nend")
+        loop = next(n for n in root.walk() if n.kind == "loop")
+        assert loop.num_iter == 20
+
+    def test_unprofiled_while_raises(self):
+        with pytest.raises(ModelError) as info:
+            bet_for("while expect ?\ncomp 1 flops\nend")
+        assert "branch profiler" in str(info.value)
+
+    def test_negative_expect_raises(self):
+        with pytest.raises(ModelError):
+            bet_for("while expect 0 - 5\ncomp 1 flops\nend")
+
+    def test_zero_step_raises(self):
+        with pytest.raises(ModelError):
+            bet_for("for i = 0 : n step 0\ncomp 1 flops\nend")
+
+    def test_break_shortens_expected_iterations(self):
+        root = bet_for("for i = 0 : 50\ncomp 1 flops\nbreak prob 0.01\nend")
+        loop = next(n for n in root.walk() if n.kind == "loop")
+        expected = (1 - 0.99 ** 50) / 0.01
+        assert loop.num_iter == pytest.approx(expected)
+
+    def test_certain_break_gives_single_iteration(self):
+        root = bet_for("for i = 0 : 50\ncomp 1 flops\nbreak\nend")
+        loop = next(n for n in root.walk() if n.kind == "loop")
+        assert loop.num_iter == pytest.approx(1.0)
+
+    def test_continue_does_not_change_trip_count(self):
+        root = bet_for("for i = 0 : 50\ncontinue prob 0.5\ncomp 1 flops\nend")
+        loop = next(n for n in root.walk() if n.kind == "loop")
+        assert loop.num_iter == 50
+
+    def test_continue_reduces_following_statement_probability(self):
+        root = bet_for("for i = 0 : 50\ncontinue prob 0.5\ncomp 8 flops\nend")
+        loop = next(n for n in root.walk() if n.kind == "loop")
+        # the comp leaf executes with probability 0.5 per iteration
+        assert loop.own_metrics.flops == pytest.approx(4.0)
+
+
+class TestBranches:
+    def test_prob_arms_split_mass(self):
+        root = bet_for("if prob 0.3\ncomp 1 flops\nelse\ncomp 2 flops\nend")
+        arms = [n for n in root.walk() if n.kind == "arm"]
+        assert [a.prob for a in arms] == pytest.approx([0.3, 0.7])
+
+    def test_cond_arm_deterministic(self):
+        root = bet_for("if n > 5\ncomp 1 flops\nelse\ncomp 2 flops\nend")
+        arms = [n for n in root.walk() if n.kind == "arm"]
+        assert len(arms) == 1 and arms[0].prob == 1.0
+        assert arms[0].note == "arm0"
+
+    def test_cond_arm_false_takes_default(self):
+        root = bet_for("if n > 50\ncomp 1 flops\nelse\ncomp 2 flops\nend")
+        arms = [n for n in root.walk() if n.kind == "arm"]
+        assert len(arms) == 1 and arms[0].note == "arm1"
+
+    def test_if_without_else_passes_residual_through(self):
+        root = bet_for("if prob 0.25\ncomp 1 flops\nend\ncomp 4 flops")
+        comp_leaves = [n for n in root.walk()
+                       if n.kind == "leaf" and "comp" in n.stmt.describe()]
+        # the trailing comp still executes with probability 1
+        assert comp_leaves[-1].prob == pytest.approx(1.0)
+
+    def test_switch_probabilities(self):
+        root = bet_for("switch\ncase prob 0.5\ncomp 1 flops\n"
+                       "case prob 0.3\ncomp 2 flops\ndefault\n"
+                       "comp 3 flops\nend")
+        arms = [n for n in root.walk() if n.kind == "arm"]
+        assert [a.prob for a in arms] == pytest.approx([0.5, 0.3, 0.2])
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ModelError):
+            bet_for("if prob 1.5\ncomp 1 flops\nend")
+
+    def test_variable_assignment_spawns_contexts(self):
+        # paper Fig. 2: a branch assigns 'knob', affecting a later branch
+        root = bet_for(
+            "if prob 0.3\nvar knob = 1\nelse\nvar knob = 0\nend\n"
+            "if knob == 1\ncomp 7 flops\nend")
+        late_arms = [n for n in root.walk()
+                     if n.kind == "arm" and n.stmt.line == 8]
+        assert len(late_arms) == 1
+        assert late_arms[0].prob == pytest.approx(0.3)
+
+    def test_contexts_merge_when_envs_equal(self):
+        # both arms assign the same value: contexts must re-merge afterwards
+        root = bet_for(
+            "if prob 0.5\nvar x = 1\nelse\nvar x = 1\nend\n"
+            "if x == 1\ncomp 1 flops\nend")
+        late_arms = [n for n in root.walk()
+                     if n.kind == "arm" and n.stmt.line == 8]
+        assert len(late_arms) == 1
+        assert late_arms[0].prob == pytest.approx(1.0)
+
+    def test_branch_condition_on_call_argument(self):
+        program = parse_skeleton("""
+def main()
+  call f(1)
+  call f(2)
+end
+def f(mode)
+  if mode == 1
+    comp 11 flops
+  else
+    comp 22 flops
+  end
+end
+""")
+        root = build_bet(program)
+        arms = [n for n in root.walk() if n.kind == "arm"]
+        assert len(arms) == 2
+        assert arms[0].note == "arm0" and arms[1].note == "arm1"
+
+
+class TestCallsAndReturns:
+    def test_call_mounts_callee(self):
+        program = parse_skeleton("""
+def main(n)
+  call work(n * 2)
+end
+def work(m)
+  for i = 0 : m
+    comp 1 flops
+  end
+end
+param n = 8
+""")
+        root = build_bet(program)
+        call = next(n for n in root.walk() if n.kind == "call")
+        loop = next(n for n in call.walk() if n.kind == "loop")
+        assert loop.num_iter == 16
+        assert call.context["m"] == 16
+
+    def test_same_function_mounted_per_call_site(self):
+        program = parse_skeleton("""
+def main()
+  call f(1)
+  call f(100)
+end
+def f(m)
+  for i = 0 : m
+    comp 1 flops
+  end
+end
+""")
+        root = build_bet(program)
+        loops = [n for n in root.walk() if n.kind == "loop"]
+        assert [loop.num_iter for loop in loops] == [1, 100]
+
+    def test_return_stops_following_statements(self):
+        root = bet_for("return\ncomp 5 flops")
+        # the comp after an unconditional return is never reached
+        comp_nodes = [n for n in root.walk()
+                      if n.kind == "leaf" and "comp" in n.stmt.describe()]
+        assert not comp_nodes
+
+    def test_probabilistic_return_scales_following(self):
+        root = bet_for("return prob 0.25\ncomp 8 flops")
+        assert root.own_metrics.flops == pytest.approx(6.0)
+
+    def test_return_absorbed_at_call_boundary(self):
+        program = parse_skeleton("""
+def main()
+  call f()
+  comp 9 flops
+end
+def f()
+  return
+end
+""")
+        root = build_bet(program)
+        # caller flow continues after the call despite callee returning
+        assert root.own_metrics.flops == pytest.approx(9.0)
+
+    def test_return_inside_loop_reduces_iterations(self):
+        root = bet_for("for i = 0 : 50\ncomp 1 flops\nreturn prob 0.1\nend")
+        loop = next(n for n in root.walk() if n.kind == "loop")
+        expected = (1 - 0.9 ** 50) / 0.1
+        assert loop.num_iter == pytest.approx(expected)
+
+    def test_return_inside_loop_kills_following_flow(self):
+        root = bet_for(
+            "for i = 0 : 1000\nreturn prob 0.5\nend\ncomp 16 flops")
+        # survival probability ~ 0.5^1000 ≈ 0: trailing comp never runs
+        assert root.own_metrics.flops == pytest.approx(0.0, abs=1e-6)
+
+    def test_recursion_guard(self):
+        program = parse_skeleton("""
+def main()
+  call f(4)
+end
+def f(d)
+  call f(d - 1)
+end
+""")
+        with pytest.raises(RecursionLimitError):
+            build_bet(program)
+
+    def test_bounded_recursion_allowed(self):
+        program = parse_skeleton("""
+def main()
+  call f(1)
+end
+def f(d)
+  if d < 3
+    call f(d + 1)
+  end
+  comp 1 flops
+end
+""")
+        root = build_bet(program, max_recursion=16)
+        calls = [n for n in root.walk() if n.kind == "call"]
+        assert len(calls) == 3
+
+
+class TestMetricsAggregation:
+    def test_leaf_metrics_folded_into_block(self):
+        root = bet_for("for i = 0 : n\nload 4 float64\ncomp 6 flops\n"
+                       "store 2 float32\nend")
+        loop = next(n for n in root.walk() if n.kind == "loop")
+        m = loop.own_metrics
+        assert m.flops == 6
+        assert m.loads == 4 and m.load_bytes == 32
+        assert m.stores == 2 and m.store_bytes == 8
+
+    def test_probability_weighted_leaves(self):
+        root = bet_for("if prob 0.5\ncomp 10 flops\nend")
+        arm = next(n for n in root.walk() if n.kind == "arm")
+        # inside the arm the comp runs unconditionally
+        assert arm.own_metrics.flops == 10
+        assert arm.prob == 0.5
+
+    def test_vectorizable_flops_tracked(self):
+        root = bet_for("comp 8 flops vec")
+        assert root.own_metrics.vec_flops == 8
+
+    def test_division_flops_tracked_and_clamped(self):
+        root = bet_for("comp 8 flops div 100")
+        assert root.own_metrics.div_flops == 8  # cannot exceed flops
+
+    def test_lib_call_is_block_with_mix_metrics(self):
+        root = bet_for("lib exp n")
+        lib = next(n for n in root.walk() if n.kind == "lib")
+        assert lib.own_metrics.flops == pytest.approx(220)
+        # lib metrics must NOT be folded into the parent (no double count)
+        assert root.own_metrics.flops == 0
+
+    def test_expressions_evaluated_in_context(self):
+        root = bet_for("var m = n * 3\ncomp m flops")
+        assert root.own_metrics.flops == 30
+
+
+class TestTreeStructure:
+    def test_enr_root_is_one(self):
+        root = bet_for("comp 1 flops")
+        assert root.enr == 1.0
+
+    def test_parent_links(self):
+        root = bet_for("for i = 0 : n\ncomp 1 flops\nend")
+        loop = next(n for n in root.walk() if n.kind == "loop")
+        assert loop.parent is root
+        assert loop.path_to_root()[-1] is root
+
+    def test_bet_size_close_to_bst(self):
+        # paper Sec. IV-B: BET averages ~88 % of source statements,
+        # never exceeding 2x
+        program = parse_skeleton("""
+param n = 16
+def main(n)
+  for i = 0 : n
+    if prob 0.5
+      comp 1 flops
+    end
+    call work(i)
+  end
+end
+def work(m)
+  for j = 0 : m
+    comp 2 flops
+  end
+end
+""")
+        root = build_bet(program)
+        ratio = root.size() / program.statement_count()
+        assert ratio <= 2.0
+
+    def test_context_explosion_guard(self):
+        # chain of independent branches assigning distinct values
+        lines = []
+        for i in range(12):
+            lines += [f"if prob 0.5", f"var v{i} = 1", "else",
+                      f"var v{i} = 0", "end"]
+        lines.append("comp 1 flops")
+        with pytest.raises(ContextExplosionError):
+            bet_for("\n".join(lines), **{"max_contexts": 64})
+
+    def test_inputs_override_params(self):
+        root = bet_for("for i = 0 : n\ncomp 1 flops\nend",
+                       inputs={"n": 77})
+        loop = next(n for n in root.walk() if n.kind == "loop")
+        assert loop.num_iter == 77
+
+    def test_missing_entry_parameter(self):
+        program = parse_skeleton("def main(q)\n  comp q flops\nend\n")
+        with pytest.raises(ModelError):
+            build_bet(program)
+
+    def test_entry_choice(self):
+        program = parse_skeleton(
+            "def main()\n  comp 1 flops\nend\n"
+            "def alt()\n  comp 2 flops\nend\n")
+        root = build_bet(program, entry="alt")
+        assert root.own_metrics.flops == 2
+
+    def test_render_tree_mentions_blocks(self):
+        root = bet_for('for i = 0 : n as "hot"\ncomp 1 flops\nend')
+        text = render_tree(root, show_metrics=True)
+        assert "hot" in text and "loop" in text
+
+    def test_build_deterministic(self):
+        src = """
+param n = 32
+def main(n)
+  for i = 0 : n
+    if prob 0.3
+      var k = 1
+    else
+      var k = 0
+    end
+    if k == 1
+      comp 5 flops
+    end
+  end
+end
+"""
+        a = build_bet(parse_skeleton(src))
+        b = build_bet(parse_skeleton(src))
+        sites_a = [(n.kind, n.site, n.prob, n.num_iter) for n in a.walk()]
+        sites_b = [(n.kind, n.site, n.prob, n.num_iter) for n in b.walk()]
+        assert sites_a == sites_b

@@ -1,0 +1,145 @@
+"""Tests for hot-spot data-flow analysis (paper Sec. V-C)."""
+
+import pytest
+
+from repro.analysis import (
+    characterize, dataflow_edges, format_dataflow, group_blocks,
+    shared_arrays, spot_access_sets,
+)
+from repro.bet import build_bet
+from repro.hardware import BGQ, RooflineModel
+from repro.skeleton import parse_skeleton
+from repro.workloads import load
+
+PIPELINE = """
+def main()
+  array a: float64[1M]
+  array b: float64[1M]
+  array c: float64[1M]
+  for i = 0 : 100 as "producer"
+    load 1M float64 from a
+    comp 2M flops
+    store 1M float64 to b
+  end
+  for i = 0 : 100 as "consumer"
+    load 1M float64 from b
+    comp 1M flops
+    store 1M float64 to c
+  end
+  for i = 0 : 100 as "independent"
+    comp 3M flops
+  end
+end
+"""
+
+
+def spots_for(source: str):
+    program = parse_skeleton(source)
+    root = build_bet(program)
+    return group_blocks(characterize(root, RooflineModel(BGQ)))
+
+
+class TestAccessSets:
+    def test_reads_and_writes_collected(self):
+        spots = spots_for(PIPELINE)
+        producer = next(s for s in spots if s.label == "producer")
+        reads, writes = spot_access_sets(producer)
+        assert reads == {"a"} and writes == {"b"}
+
+    def test_compute_only_spot_has_empty_sets(self):
+        spots = spots_for(PIPELINE)
+        independent = next(s for s in spots if s.label == "independent")
+        assert spot_access_sets(independent) == (set(), set())
+
+
+class TestEdges:
+    def test_producer_consumer_edge(self):
+        spots = spots_for(PIPELINE)
+        edges = dataflow_edges(spots)
+        assert any(e.array == "b"
+                   and "producer" in e.producer
+                   and "consumer" in e.consumer
+                   for e in [type(e)(
+                       producer=next(s.label for s in spots
+                                     if s.site == e.producer),
+                       consumer=next(s.label for s in spots
+                                     if s.site == e.consumer),
+                       array=e.array) for e in edges])
+
+    def test_no_self_loops(self):
+        source = """
+def main()
+  array u: float64[1M]
+  for i = 0 : 10 as "inplace"
+    load 1M float64 from u
+    comp 1M flops
+    store 1M float64 to u
+  end
+end
+"""
+        edges = dataflow_edges(spots_for(source))
+        assert edges == []
+
+    def test_independent_spot_has_no_edges(self):
+        spots = spots_for(PIPELINE)
+        independent = next(s for s in spots if s.label == "independent")
+        edges = dataflow_edges(spots)
+        assert all(independent.site not in (e.producer, e.consumer)
+                   for e in edges)
+
+    def test_edges_deterministic(self):
+        a = dataflow_edges(spots_for(PIPELINE))
+        b = dataflow_edges(spots_for(PIPELINE))
+        assert a == b
+
+    def test_edge_str(self):
+        spots = spots_for(PIPELINE)
+        edge = dataflow_edges(spots)[0]
+        assert "--[" in str(edge)
+
+
+class TestSharedArrays:
+    def test_shared_only(self):
+        spots = spots_for(PIPELINE)
+        shared = shared_arrays(spots)
+        assert "b" in shared and len(shared["b"]) == 2
+        # 'a' and 'c' are touched by one spot each: not shared
+        assert "a" not in shared and "c" not in shared
+
+
+class TestRendering:
+    def test_format_mentions_spots_and_edges(self):
+        spots = spots_for(PIPELINE)
+        text = format_dataflow(spots)
+        assert "producer" in text and "interactions:" in text
+        assert "--[b]-->" in text
+
+    def test_no_interactions_message(self):
+        source = ("def main()\n  for i = 0 : 4 as \"k\"\n"
+                  "    comp 1M flops\n  end\nend")
+        text = format_dataflow(spots_for(source))
+        assert "none" in text
+
+
+class TestPaperChains:
+    def test_sord_wave_equation_cycle(self):
+        """strain_rate → update_stress → update_velocity → strain_rate:
+        the leapfrog dependency cycle of the wave equation must appear."""
+        program, inputs = load("sord")
+        root = build_bet(program, inputs=inputs)
+        spots = group_blocks(characterize(root, RooflineModel(BGQ)))[:10]
+        labels = {s.site: s.label for s in spots}
+        edges = {(labels[e.producer], labels[e.consumer], e.array)
+                 for e in dataflow_edges(spots)}
+        assert ("strain_rate", "update_stress", "strain") in edges
+        assert ("update_stress", "update_velocity", "stress") in edges
+        assert ("update_velocity", "strain_rate", "vel") in edges
+
+    def test_cfd_flux_chain(self):
+        program, inputs = load("cfd")
+        root = build_bet(program, inputs=inputs)
+        spots = group_blocks(characterize(root, RooflineModel(BGQ)))[:6]
+        labels = {s.site: s.label for s in spots}
+        edges = {(labels[e.producer], labels[e.consumer], e.array)
+                 for e in dataflow_edges(spots)}
+        assert ("compute_flux", "time_step_update", "fluxes") in edges

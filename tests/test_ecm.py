@@ -1,0 +1,107 @@
+"""Tests for the pluggable ECM-style performance model (paper Sec. VIII)."""
+
+import pytest
+
+from repro.analysis import characterize, select_hotspots, selection_quality
+from repro.bet import build_bet
+from repro.errors import HardwareModelError
+from repro.hardware import BGQ, ECMModel, Metrics, RooflineModel, \
+    XEON_E5_2420
+from repro.simulate import profile
+from repro.workloads import load
+
+
+class TestECMBlockTime:
+    def setup_method(self):
+        self.model = ECMModel(BGQ)
+
+    def test_pure_compute(self):
+        metrics = Metrics(flops=1.6e9)
+        result = self.model.block_time(metrics)
+        assert result.total == pytest.approx(result.compute)
+        assert result.compute == pytest.approx(1.0)
+
+    def test_data_path_serialized(self):
+        # the ECM composition adds level transfers instead of taking max
+        metrics = Metrics(loads=1000, load_bytes=64_000)
+        roofline = RooflineModel(BGQ).block_time(metrics)
+        ecm = self.model.block_time(metrics)
+        assert ecm.memory >= roofline.memory
+
+    def test_total_is_max_of_paths(self):
+        metrics = Metrics(flops=5000, loads=100, load_bytes=6400)
+        result = self.model.block_time(metrics)
+        assert result.total == pytest.approx(max(result.compute,
+                                                 result.memory))
+        assert result.overlap == pytest.approx(min(result.compute,
+                                                   result.memory))
+
+    def test_zero_block(self):
+        result = self.model.block_time(Metrics())
+        assert result.total == 0.0
+
+    def test_division_switch(self):
+        with_div = ECMModel(BGQ, model_division=True)
+        metrics = Metrics(flops=100, div_flops=50)
+        assert with_div.core_cycles(metrics) > \
+            self.model.core_cycles(metrics)
+
+    def test_vectorization_switch(self):
+        with_vec = ECMModel(BGQ, model_vectorization=True)
+        metrics = Metrics(flops=1000, vec_flops=1000)
+        assert with_vec.core_cycles(metrics) < \
+            self.model.core_cycles(metrics)
+
+    def test_miss_rate_validation(self):
+        with pytest.raises(HardwareModelError):
+            ECMModel(BGQ, miss_rate=-0.1)
+
+    def test_bandwidth_bound_at_scale(self):
+        # huge streaming blocks are bandwidth-limited, as in the roofline
+        nbytes = 10 * BGQ.bandwidth / (0.85 * 0.85)
+        metrics = Metrics(loads=nbytes / 64, load_bytes=nbytes)
+        result = self.model.block_time(metrics)
+        assert result.memory >= 10.0
+
+
+class TestECMPluggability:
+    """The paper's claim: execution-flow modeling is model-independent."""
+
+    def test_characterize_accepts_ecm(self):
+        program, inputs = load("cfd")
+        root = build_bet(program, inputs=inputs)
+        records = characterize(root, ECMModel(BGQ))
+        assert records and all(r.total >= 0 for r in records)
+
+    @pytest.mark.parametrize("name", ["cfd", "chargei", "stassuij"])
+    def test_selection_quality_comparable_to_roofline(self, name):
+        program, inputs = load(name)
+        root = build_bet(program, inputs=inputs)
+        measured = profile(program, BGQ, inputs=inputs, seed=1)
+        times = measured.site_seconds()
+
+        def quality(model):
+            records = characterize(root, model)
+            selection = select_hotspots(records, program.static_size(),
+                                        coverage=1.0, leanness=1.0,
+                                        max_spots=10)
+            return selection_quality(selection.sites, times,
+                                     measured.total_seconds)
+
+        ecm_quality = quality(ECMModel(BGQ))
+        roofline_quality = quality(RooflineModel(BGQ))
+        assert ecm_quality >= 0.80
+        assert abs(ecm_quality - roofline_quality) < 0.2
+
+    def test_models_can_disagree_on_balance(self):
+        # same block, different compute/memory attribution is allowed —
+        # but both must agree on which side dominates for extreme blocks
+        compute_heavy = Metrics(flops=10**7, loads=10, load_bytes=80)
+        memory_heavy = Metrics(flops=10, loads=10**6, load_bytes=8 * 10**6)
+        for machine in (BGQ, XEON_E5_2420):
+            ecm = ECMModel(machine)
+            roofline = RooflineModel(machine)
+            assert ecm.block_time(compute_heavy).bound == "compute"
+            assert roofline.block_time(compute_heavy).bound == "compute"
+            assert ecm.block_time(memory_heavy).bound == "memory"
+            assert roofline.block_time(memory_heavy).bound == "memory"

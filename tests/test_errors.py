@@ -1,0 +1,119 @@
+"""Error-path coverage: every exception type is reachable, derives from
+ReproError, and carries an actionable message."""
+
+import pytest
+
+from repro import errors
+from repro.bet import build_bet
+from repro.errors import (
+    AnalysisError, ContextExplosionError, ExpressionError,
+    HardwareModelError, ModelError, RecursionLimitError, ReproError,
+    SemanticError, SimulationError, SkeletonSyntaxError, TranslationError,
+    UnboundVariableError,
+)
+from repro.skeleton import parse_skeleton
+
+
+class TestHierarchy:
+    def test_every_exported_error_is_a_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception) \
+                    and obj is not ReproError:
+                assert issubclass(obj, ReproError), name
+
+    def test_specialized_parents(self):
+        assert issubclass(UnboundVariableError, ExpressionError)
+        assert issubclass(ContextExplosionError, ModelError)
+        assert issubclass(RecursionLimitError, ModelError)
+
+    def test_one_except_clause_catches_everything(self):
+        with pytest.raises(ReproError):
+            parse_skeleton("def main(\n")
+        with pytest.raises(ReproError):
+            from repro.expressions import parse_expr
+            parse_expr("1 +")
+
+
+class TestMessagesAreActionable:
+    def test_syntax_error_carries_location(self):
+        with pytest.raises(SkeletonSyntaxError) as info:
+            parse_skeleton("def main()\n  comp ??? flops\nend\n",
+                           source_name="app.skop")
+        message = str(info.value)
+        assert "app.skop:2:" in message
+
+    def test_unbound_variable_names_the_variable(self):
+        with pytest.raises(UnboundVariableError) as info:
+            from repro.expressions import evaluate
+            evaluate("mystery + 1", {})
+        assert "mystery" in str(info.value)
+
+    def test_unprofiled_while_points_at_profiler(self):
+        program = parse_skeleton(
+            "def main()\n  while expect ?\n    comp 1 flops\n  end\nend")
+        with pytest.raises(ModelError) as info:
+            build_bet(program)
+        assert "branch profiler" in str(info.value)
+
+    def test_unknown_library_points_at_libprof(self):
+        from repro.hardware import default_library
+        with pytest.raises(HardwareModelError) as info:
+            default_library().get("cufft")
+        assert "profile_library" in str(info.value)
+
+    def test_context_explosion_points_at_design_doc(self):
+        error = ContextExplosionError(1000, 512)
+        assert "DESIGN.md" in str(error)
+        assert error.count == 1000 and error.limit == 512
+
+    def test_recursion_error_names_function(self):
+        error = RecursionLimitError("solve", 8)
+        assert "solve" in str(error) and "8" in str(error)
+
+    def test_semantic_error_names_the_call(self):
+        with pytest.raises(SemanticError) as info:
+            parse_skeleton("def main()\n  call ghost()\nend\n")
+        assert "ghost" in str(info.value)
+
+    def test_translation_error_names_the_location(self):
+        from repro.translate import translate_source
+        with pytest.raises(TranslationError) as info:
+            translate_source("def main(n):\n    x = {1: 2}\n")
+        assert "main:2" in str(info.value)
+
+    def test_analysis_error_on_infeasible_criteria(self):
+        from repro.analysis import select_hotspots
+        with pytest.raises(AnalysisError):
+            select_hotspots([], 100)
+
+    def test_simulation_error_on_event_budget(self):
+        from repro.simulate import execute
+        from repro.hardware import BGQ
+        program = parse_skeleton(
+            "def main()\n  for i = 0 : 100\n    if prob 0.5\n"
+            "      comp 1 flops\n    end\n  end\nend")
+        with pytest.raises(SimulationError) as info:
+            execute(program, BGQ, max_events=5)
+        assert "max_events" in str(info.value)
+
+
+class TestGuardBoundaries:
+    def test_context_guard_triggers_at_limit(self):
+        lines = ["def main()"]
+        for index in range(6):
+            lines += [f"  if prob 0.5", f"    var v{index} = 1",
+                      "  else", f"    var v{index} = 0", "  end"]
+        lines += ["  comp 1 flops", "end"]
+        program = parse_skeleton("\n".join(lines))
+        # 2^6 = 64 contexts: fine at 64, explodes at 63
+        build_bet(program, max_contexts=64)
+        with pytest.raises(ContextExplosionError):
+            build_bet(parse_skeleton("\n".join(lines)), max_contexts=63)
+
+    def test_recursion_guard_boundary(self):
+        source = ("def main()\n  call f(0)\nend\n"
+                  "def f(d)\n  call f(d + 1)\nend\n")
+        with pytest.raises(RecursionLimitError) as info:
+            build_bet(parse_skeleton(source), max_recursion=3)
+        assert info.value.depth == 3

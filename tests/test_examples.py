@@ -1,0 +1,78 @@
+"""Integration tests: every shipped example runs end-to-end.
+
+Examples are documentation that executes; these tests keep them honest.
+Each runs in-process (importing the example module and calling ``main``)
+so failures carry real tracebacks, and asserts a few landmarks of the
+expected output.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.modules.pop(spec.name, None)
+    return capsys.readouterr().out
+
+
+class TestExamplesRun:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart", capsys)
+        assert "hot spots on bgq" in out
+        assert "hot spots on xeon" in out
+        assert "HOT SPOT #1" in out
+        assert "BET built" in out
+
+    def test_codesign_sweep(self, capsys):
+        out = run_example("codesign_sweep", capsys)
+        assert "future-hbm" in out
+        assert "Bandwidth sweep" in out
+        assert "velocity-kernel share" in out
+        # the division sweep is monotone in the printed shares
+        lines = [l for l in out.splitlines() if l.strip().endswith("%")
+                 and "cy" in l]
+        shares = [float(l.split()[-1].rstrip("%")) for l in lines]
+        assert shares == sorted(shares)
+
+    def test_translate_python_kernel(self, capsys):
+        out = run_example("translate_python_kernel", capsys)
+        assert "skeleton complete = True" in out
+        assert "projected hot spots on bgq" in out
+        assert "future-hbm" in out
+
+    def test_miniapp_extraction(self, capsys):
+        out = run_example("miniapp_extraction", capsys)
+        assert "hot path traverses" in out
+        assert "overlap: 5/5" in out
+        # the mini-app retains the bulk of the runtime
+        retained_line = next(l for l in out.splitlines()
+                             if "retained" in l)
+        percent = float(retained_line.split("(")[1].split("%")[0])
+        assert percent > 60.0
+
+    def test_strong_scaling(self, capsys):
+        out = run_example("strong_scaling", capsys)
+        assert "communication overtakes computation" in out
+        assert "halo exchange (network)" in out
+        assert "torus-5d" in out and "future-fabric" in out
+
+    def test_all_examples_covered(self):
+        """Every example file has a test in this class."""
+        shipped = {p.stem for p in EXAMPLES_DIR.glob("*.py")}
+        tested = {name[len("test_"):] for name in dir(self)
+                  if name.startswith("test_")
+                  and name != "test_all_examples_covered"}
+        assert shipped == tested

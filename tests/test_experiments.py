@@ -1,0 +1,157 @@
+"""Integration tests for the experiment pipeline and drivers.
+
+These are deliberately lighter than the benchmark harness (which asserts the
+full qualitative shapes); here we check the plumbing: caching, determinism,
+and structural invariants of each driver's output.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ablation_cachemiss, ablation_division, ablation_overlap,
+    ablation_vectorization, analyze, bet_size_table, breakdown_figure,
+    clear_cache, coverage_figure, cross_machine_quality, headline_quality,
+    hotpath_figure, hotspot_ranking_table, issue_rate_figure,
+    scaling_invariance,
+)
+from repro.hardware import BGQ, XEON_E5_2420
+
+
+@pytest.fixture(autouse=True, scope="module")
+def warm_cache():
+    # analyses memoize; warm the two pairs most tests slice
+    analyze("pedagogical", BGQ)
+    analyze("cfd", BGQ)
+    yield
+
+
+class TestPipeline:
+    def test_memoization(self):
+        a = analyze("cfd", BGQ)
+        b = analyze("cfd", BGQ)
+        assert a is b
+
+    def test_machine_by_name(self):
+        a = analyze("cfd", "bgq")
+        assert a.machine is BGQ
+
+    def test_clear_cache(self):
+        a = analyze("pedagogical", BGQ)
+        clear_cache()
+        b = analyze("pedagogical", BGQ)
+        assert a is not b
+
+    def test_options_key_into_cache(self):
+        a = analyze("cfd", BGQ)
+        b = analyze("cfd", BGQ, model_division=True)
+        assert a is not b
+
+    def test_quality_within_bounds(self):
+        analysis = analyze("cfd", BGQ)
+        assert 0.0 < analysis.quality() <= 1.0
+
+    def test_curves_monotone_nondecreasing(self):
+        curves = analyze("cfd", BGQ).curves()
+        for series in curves.values():
+            assert all(x <= y + 1e-12
+                       for x, y in zip(series, series[1:]))
+
+    def test_curve_keys(self):
+        assert set(analyze("cfd", BGQ).curves()) == \
+            {"Prof", "Modl(p)", "Modl(m)"}
+
+    def test_deterministic_across_runs(self):
+        clear_cache()
+        a = analyze("pedagogical", BGQ)
+        clear_cache()
+        b = analyze("pedagogical", BGQ)
+        assert a.measured_total == b.measured_total
+        assert a.model_sites() == b.model_sites()
+
+
+class TestDrivers:
+    def test_ranking_table_renders(self):
+        table = hotspot_ranking_table("cfd", "bgq")
+        text = table.render()
+        assert "compute_flux" in text
+        assert table.k == 10
+        assert 0 <= table.common <= 10
+
+    def test_coverage_figure(self):
+        figure = coverage_figure("cfd", "bgq")
+        assert len(figure.curves["Prof"]) == 10
+        assert "Modl(m)" in figure.render()
+
+    def test_breakdown_figure(self):
+        figure = breakdown_figure("cfd", "bgq")
+        assert 0.0 <= figure.memory_fraction <= 1.0
+        assert "overlap" in figure.render()
+
+    def test_issue_rate_figure_within_machine_limits(self):
+        figure = issue_rate_figure("cfd", "bgq")
+        # SIMD plus overlapped memory instructions can exceed issue_width,
+        # but never the vector ceiling with fully hidden memory ops (2x)
+        ceiling = BGQ.issue_width * BGQ.vector_width * 2
+        for _, rate, _ in figure.rows:
+            assert 0.0 <= rate <= ceiling
+
+    def test_hotpath_figure(self):
+        figure = hotpath_figure("cfd", "bgq", k=5)
+        text = figure.render()
+        assert "HOT SPOT #1" in text
+        assert figure.render_dot().startswith("digraph")
+
+    def test_bet_size_table(self):
+        table = bet_size_table()
+        assert table.max_ratio < 2.0         # paper Sec. IV-B
+        assert 0.5 < table.average_ratio < 1.2
+
+    def test_headline_quality_cases(self):
+        quality = headline_quality()
+        assert set(quality.per_case) == {
+            "sord/bgq", "chargei/bgq", "srad/bgq", "cfd/bgq",
+            "stassuij/bgq", "sord/xeon"}
+        assert quality.minimum >= 0.80       # paper Sec. VIII
+
+    def test_cross_machine_quality_structure(self):
+        result = cross_machine_quality()
+        assert 0 <= result.common_prof <= 10
+        assert result.q_model_bgq > result.q_xeon_on_bgq
+
+    def test_scaling_invariance_shape(self):
+        result = scaling_invariance("pedagogical", scales=(1.0, 4.0),
+                                    repeats=1)
+        assert result.executor_growth > 1.5
+        assert result.model_growth < result.executor_growth
+
+
+class TestAblations:
+    def test_division_ablation_recovers_measured(self):
+        result = ablation_division()
+        values = dict(result.rows)
+        measured = values["measured share (executor)"]
+        ignored = values["projected share, div ignored (paper model)"]
+        charged = values["projected share, div charged (ablation)"]
+        assert ignored < measured          # paper: underestimated
+        assert abs(charged - measured) < abs(ignored - measured)
+
+    def test_vectorization_ablation_closes_gap(self):
+        result = ablation_vectorization()
+        values = dict(result.rows)
+        measured = values["measured share (executor)"]
+        ignored = values["projected share, vec ignored (paper model)"]
+        modeled = values["projected share, vec modeled (ablation)"]
+        assert ignored > measured          # paper: overestimated
+        assert abs(modeled - measured) < abs(ignored - measured)
+
+    def test_overlap_ablation_runs(self):
+        result = ablation_overlap(workloads=("cfd",))
+        values = dict(result.rows)
+        assert len(result.rows) == 4
+        assert 0 < values["cfd Q, overlap extension"] <= 1.0
+        assert values["cfd runtime error, overlap extension"] >= 0.0
+
+    def test_cachemiss_ablation_stable(self):
+        result = ablation_cachemiss("cfd", rates=(0.75, 0.85, 0.95))
+        values = [v for _, v in result.rows]
+        assert max(values) - min(values) < 0.2   # footnote-1 stability

@@ -1,0 +1,102 @@
+"""Tests for JSON export of analysis results."""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    characterize, extract_hot_path, performance_breakdown, select_hotspots,
+)
+from repro.bet import build_bet
+from repro.cli import main as cli_main
+from repro.export import (
+    breakdown_to_dict, hotpath_to_dict, hotspot_to_dict, machine_to_dict,
+    selection_to_dict, to_json,
+)
+from repro.hardware import BGQ, RooflineModel
+from repro.workloads import load
+
+
+@pytest.fixture(scope="module")
+def selection():
+    program, inputs = load("pedagogical")
+    root = build_bet(program, inputs=inputs)
+    records = characterize(root, RooflineModel(BGQ))
+    return select_hotspots(records, program.static_size(),
+                           coverage=1.0, leanness=1.0, max_spots=10)
+
+
+class TestConverters:
+    def test_machine_dict(self):
+        info = machine_to_dict(BGQ)
+        assert info["name"] == "bgq"
+        assert info["frequency_ghz"] == pytest.approx(1.6)
+        assert info["div_cost"] == 30.0
+        json.loads(to_json(info))  # serializable
+
+    def test_selection_dict_shares_sum(self, selection):
+        payload = selection_to_dict(selection)
+        assert payload["coverage"] == pytest.approx(selection.coverage)
+        shares = [spot["share"] for spot in payload["spots"]]
+        assert sum(shares) <= 1.0 + 1e-9
+        assert all(0 <= share <= 1 for share in shares)
+
+    def test_hotspot_dict_fields(self, selection):
+        spot = selection.spots[0]
+        payload = hotspot_to_dict(spot, selection.total_time)
+        assert payload["site"] == spot.site
+        assert payload["bound"] in ("compute", "memory")
+        assert payload["projected_seconds"] == pytest.approx(
+            spot.projected_time)
+
+    def test_breakdown_dict(self, selection):
+        rows = performance_breakdown(selection.spots)
+        payload = breakdown_to_dict(rows)
+        assert len(payload) == len(rows)
+        for entry in payload:
+            total = (entry["compute_share"] + entry["memory_share"]
+                     + entry["overlap_share"])
+            assert total == pytest.approx(1.0)
+
+    def test_hotpath_dict_structure(self, selection):
+        path = extract_hot_path(selection.spots)
+        payload = hotpath_to_dict(path)
+        assert payload["root"]["kind"] == "function"
+        # find a hot-spot node with rank and context
+        def find_ranked(node):
+            if "hot_spot_rank" in node:
+                return node
+            for child in node.get("children", ()):  # pragma: no branch
+                found = find_ranked(child)
+                if found:
+                    return found
+            return None
+        ranked = find_ranked(payload["root"])
+        assert ranked is not None
+        assert "context" in ranked
+
+    def test_round_trip_through_json(self, selection):
+        payload = selection_to_dict(selection)
+        decoded = json.loads(to_json(payload))
+        assert decoded["spots"][0]["site"] == payload["spots"][0]["site"]
+
+    def test_to_json_handles_exotic_values(self):
+        assert "Infinity" in to_json({"v": float("inf")})
+        assert "frozenset" in to_json({"v": frozenset({1})})
+
+
+class TestCLIJson:
+    def test_project_json(self, capsys):
+        assert cli_main(["project", "pedagogical", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["spots"]
+
+    def test_breakdown_json(self, capsys):
+        assert cli_main(["breakdown", "pedagogical", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert isinstance(payload, list) and payload
+
+    def test_hotpath_json(self, capsys):
+        assert cli_main(["hotpath", "pedagogical", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["root"]["label"].startswith("def main")

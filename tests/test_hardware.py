@@ -1,0 +1,253 @@
+"""Unit tests for machine descriptions, metrics, and the roofline model."""
+
+import pytest
+
+from repro.errors import HardwareModelError
+from repro.hardware import (
+    BGQ, FUTURE_HBM, FUTURE_MANYCORE, InstructionMix, LibraryDatabase,
+    MachineModel, Metrics, RooflineModel, XEON_E5_2420, default_library,
+    machine_by_name,
+)
+
+
+class TestMetrics:
+    def test_defaults_empty(self):
+        assert Metrics().is_empty()
+
+    def test_add(self):
+        a = Metrics(flops=10, loads=2, load_bytes=16, static_size=1)
+        b = Metrics(flops=5, stores=1, store_bytes=8, static_size=2)
+        c = a + b
+        assert c.flops == 15 and c.loads == 2 and c.stores == 1
+        assert c.total_bytes == 24
+        assert c.static_size == 3
+
+    def test_scaled_scales_dynamic_counts(self):
+        m = Metrics(flops=10, iops=4, loads=2, load_bytes=16, static_size=5)
+        s = m.scaled(3)
+        assert s.flops == 30 and s.iops == 12 and s.load_bytes == 48
+
+    def test_scaled_preserves_static_size(self):
+        # static code size must not grow with loop iterations (Sec. V-B)
+        m = Metrics(flops=10, static_size=5)
+        assert m.scaled(100).static_size == 5
+
+    def test_operational_intensity(self):
+        m = Metrics(flops=16, load_bytes=8)
+        assert m.operational_intensity == 2.0
+
+    def test_intensity_no_bytes_is_inf(self):
+        assert Metrics(flops=4).operational_intensity == float("inf")
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Metrics(flops=-1)
+        with pytest.raises(ValueError):
+            Metrics(flops=1).scaled(-2)
+
+
+class TestMachineModel:
+    def test_presets_resolve(self):
+        assert machine_by_name("bgq") is BGQ
+        assert machine_by_name("xeon") is XEON_E5_2420
+
+    def test_unknown_preset(self):
+        with pytest.raises(HardwareModelError):
+            machine_by_name("cray-1")
+
+    def test_bgq_paper_parameters(self):
+        # values the paper states explicitly (Sec. VI)
+        assert BGQ.frequency_hz == 1.6e9
+        assert BGQ.cores == 16
+        assert BGQ.llc_latency == 51.0
+        assert BGQ.dram_latency == 180.0
+        assert BGQ.l1_size == 16 * 1024
+        assert BGQ.llc_size == 32 * 1024 * 1024
+
+    def test_xeon_paper_parameters(self):
+        assert XEON_E5_2420.frequency_hz == 1.9e9
+        assert XEON_E5_2420.cores == 12
+
+    def test_xeon_faster_compute_than_bgq(self):
+        # paper Sec. VII-A: Xeon has faster processing speed
+        assert XEON_E5_2420.peak_scalar_gflops > BGQ.peak_scalar_gflops
+
+    def test_xeon_memory_bound_sooner(self):
+        # the ridge point must sit at higher intensity on Xeon so that a
+        # larger share of time is spent in memory accesses (paper Fig. 7)
+        assert XEON_E5_2420.ridge_intensity > BGQ.ridge_intensity
+
+    def test_bgq_division_is_expensive(self):
+        # Sec. VII-B: BG/Q division expands into Newton iterations
+        assert BGQ.div_cost > XEON_E5_2420.div_cost > 1
+
+    def test_with_overrides(self):
+        faster = BGQ.with_overrides(bandwidth=100e9)
+        assert faster.bandwidth == 100e9
+        assert BGQ.bandwidth == 28e9  # original untouched
+
+    def test_validation(self):
+        with pytest.raises(HardwareModelError):
+            BGQ.with_overrides(frequency_hz=0)
+        with pytest.raises(HardwareModelError):
+            BGQ.with_overrides(simd_efficiency=0.0)
+        with pytest.raises(HardwareModelError):
+            BGQ.with_overrides(llc_size=1)
+
+    def test_describe_keys(self):
+        info = BGQ.describe()
+        assert info["frequency_ghz"] == pytest.approx(1.6)
+        assert info["llc_mib"] == pytest.approx(32)
+        assert "ridge_intensity" in info
+
+    def test_future_presets_valid(self):
+        assert FUTURE_HBM.bandwidth > XEON_E5_2420.bandwidth
+        assert FUTURE_MANYCORE.cores > BGQ.cores
+
+
+class TestRoofline:
+    def setup_method(self):
+        self.model = RooflineModel(BGQ)
+
+    def test_pure_compute_block(self):
+        metrics = Metrics(flops=1.6e9)  # one second of scalar flops on BG/Q
+        time = self.model.compute_time(metrics)
+        assert time == pytest.approx(1.0)
+
+    def test_pure_memory_block_bandwidth_bound(self):
+        metrics = Metrics(loads=1, load_bytes=28e9 / (0.85 * 0.85))
+        time = self.model.memory_time(metrics)
+        assert time == pytest.approx(1.0)
+
+    def test_memory_latency_bound_small_block(self):
+        # a single load is latency-, not bandwidth-, limited
+        metrics = Metrics(loads=1, load_bytes=8)
+        time = self.model.memory_time(metrics)
+        bandwidth_only = 8 * 0.85 * 0.85 / BGQ.bandwidth
+        assert time > bandwidth_only
+
+    def test_overlap_degree_limits(self):
+        assert RooflineModel.overlap_degree(Metrics(flops=1)) == 0.0
+        assert RooflineModel.overlap_degree(Metrics()) == 0.0
+        assert RooflineModel.overlap_degree(Metrics(flops=1e6)) == \
+            pytest.approx(1.0, abs=1e-5)
+
+    def test_block_time_identity(self):
+        metrics = Metrics(flops=1000, loads=100, load_bytes=800)
+        t = self.model.block_time(metrics)
+        assert t.total == pytest.approx(t.compute + t.memory - t.overlap)
+        assert 0 <= t.overlap <= min(t.compute, t.memory)
+
+    def test_small_block_no_overlap(self):
+        # T = Tc + Tm for single-flop blocks: nothing to hide latency behind
+        metrics = Metrics(flops=1, loads=1, load_bytes=8)
+        t = self.model.block_time(metrics)
+        assert t.overlap == 0.0
+        assert t.total == pytest.approx(t.compute + t.memory)
+
+    def test_plain_roofline_ablation(self):
+        naive = RooflineModel(BGQ, overlap=False)
+        metrics = Metrics(flops=1000, loads=100, load_bytes=800)
+        t = naive.block_time(metrics)
+        assert t.total == pytest.approx(max(t.compute, t.memory))
+
+    def test_division_ignored_by_default(self):
+        with_div = Metrics(flops=100, div_flops=50)
+        without = Metrics(flops=100)
+        assert self.model.compute_time(with_div) == \
+            self.model.compute_time(without)
+
+    def test_division_ablation_charges_div_cost(self):
+        model = RooflineModel(BGQ, model_division=True)
+        with_div = Metrics(flops=100, div_flops=50)
+        without = Metrics(flops=100)
+        assert model.compute_time(with_div) > model.compute_time(without)
+
+    def test_vectorization_ignored_by_default(self):
+        vec = Metrics(flops=1000, vec_flops=1000)
+        plain = Metrics(flops=1000)
+        assert self.model.compute_time(vec) == self.model.compute_time(plain)
+
+    def test_vectorization_ablation_speeds_up(self):
+        model = RooflineModel(BGQ, model_vectorization=True)
+        vec = Metrics(flops=1000, vec_flops=1000)
+        plain = Metrics(flops=1000)
+        assert model.compute_time(vec) < model.compute_time(plain)
+
+    def test_bound_classification(self):
+        compute_heavy = Metrics(flops=1e6, loads=1, load_bytes=8)
+        memory_heavy = Metrics(flops=1, loads=1e6, load_bytes=8e6)
+        assert self.model.block_time(compute_heavy).bound == "compute"
+        assert self.model.block_time(memory_heavy).bound == "memory"
+
+    def test_miss_rate_validation(self):
+        with pytest.raises(HardwareModelError):
+            RooflineModel(BGQ, miss_rate=1.5)
+
+    def test_attainable_gflops(self):
+        low = self.model.attainable_gflops(0.001)
+        high = self.model.attainable_gflops(1000.0)
+        assert low < high
+        assert high == pytest.approx(BGQ.peak_scalar_gflops)
+        with pytest.raises(HardwareModelError):
+            self.model.attainable_gflops(-1)
+
+    def test_lower_miss_rate_less_memory_time(self):
+        hot = RooflineModel(BGQ, miss_rate=0.95)
+        cold = RooflineModel(BGQ, miss_rate=0.75)
+        metrics = Metrics(loads=1e6, load_bytes=8e6)
+        assert cold.memory_time(metrics) < hot.memory_time(metrics)
+
+
+class TestInstructionMix:
+    def test_to_metrics_scales(self):
+        mix = InstructionMix("f", flops_per_element=2, loads_per_element=1,
+                             stores_per_element=1, bytes_per_element=16,
+                             overhead_iops=10)
+        m = mix.to_metrics(100)
+        assert m.flops == 200
+        assert m.loads == 100 and m.stores == 100
+        assert m.total_bytes == 1600
+        assert m.iops == 10  # overhead only
+
+    def test_load_store_byte_split(self):
+        mix = InstructionMix("f", loads_per_element=3, stores_per_element=1,
+                             bytes_per_element=8)
+        m = mix.to_metrics(10)
+        assert m.load_bytes == pytest.approx(60)
+        assert m.store_bytes == pytest.approx(20)
+
+    def test_negative_size_rejected(self):
+        mix = InstructionMix("f", flops_per_element=1)
+        with pytest.raises(HardwareModelError):
+            mix.to_metrics(-1)
+
+    def test_negative_mix_rejected(self):
+        with pytest.raises(HardwareModelError):
+            InstructionMix("f", flops_per_element=-1)
+
+    def test_vectorizable_mix_marks_vec_flops(self):
+        mix = InstructionMix("f", flops_per_element=4, vectorizable=True)
+        assert mix.to_metrics(10).vec_flops == 40
+
+    def test_default_library_contents(self):
+        library = default_library()
+        for name in ("exp", "rand", "log", "memcpy", "mpi_halo"):
+            assert name in library
+        # exp is flop-heavy, rand is integer-heavy (Sec. VII-A, SRAD)
+        exp_mix = library.get("exp").to_metrics(100)
+        rand_mix = library.get("rand").to_metrics(100)
+        assert exp_mix.flops > exp_mix.iops
+        assert rand_mix.iops > rand_mix.flops
+
+    def test_unknown_library_function(self):
+        with pytest.raises(HardwareModelError) as info:
+            default_library().get("fftw_execute")
+        assert "profile it" in str(info.value)
+
+    def test_database_add_and_len(self):
+        db = LibraryDatabase()
+        assert len(db) == 0
+        db.add(InstructionMix("custom", flops_per_element=1))
+        assert "custom" in db and len(db) == 1
+        assert db.names() == ["custom"]

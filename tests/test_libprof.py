@@ -1,0 +1,91 @@
+"""Tests for empirical library-mix profiling (paper Sec. IV-C)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.hardware import default_library
+from repro.simulate import profile_library
+from repro.simulate.libprof import OpCounter, _MODELS
+
+
+class TestOpCounter:
+    def test_div_counts_as_flop(self):
+        counter = OpCounter()
+        counter.div(3)
+        assert counter.divs == 3 and counter.flops == 3
+
+    def test_loads_accumulate_bytes(self):
+        counter = OpCounter()
+        counter.load(4, width=8)
+        counter.store(2, width=8)
+        assert counter.bytes_moved == 48
+        assert counter.loads == 4 and counter.stores == 2
+
+
+class TestModels:
+    def test_exp_model_is_accurate_enough(self):
+        import math
+        model = _MODELS["exp"]
+        value = model(1.5, OpCounter())
+        assert value == pytest.approx(math.exp(1.5), rel=1e-4)
+
+    def test_rand_model_in_unit_interval(self):
+        model = _MODELS["rand"]
+        for x in (0.1, 1.7, -3.2, 9.9):
+            value = model(x, OpCounter())
+            assert 0.0 <= value < 1.0
+
+    def test_models_register_work(self):
+        for name, model in _MODELS.items():
+            counter = OpCounter()
+            model(0.7, counter)
+            assert counter.loads > 0, name
+            assert counter.stores > 0, name
+
+
+class TestProfileLibrary:
+    def test_all_defaults_profiled(self):
+        database = profile_library()
+        for name in ("exp", "log", "sin", "cos", "rand", "sqrt",
+                     "memcpy", "mpi_halo"):
+            assert name in database
+
+    def test_matches_shipped_constants(self):
+        """The shipped default_library() must equal a fresh sampling run."""
+        fresh = profile_library(samples=32, seed=2014)
+        shipped = default_library()
+        for name in shipped.names():
+            a, b = fresh.get(name), shipped.get(name)
+            assert a.flops_per_element == pytest.approx(
+                b.flops_per_element), name
+            assert a.iops_per_element == pytest.approx(
+                b.iops_per_element), name
+            assert a.div_per_element == pytest.approx(
+                b.div_per_element), name
+            assert a.bytes_per_element == pytest.approx(
+                b.bytes_per_element), name
+            assert a.vectorizable == b.vectorizable, name
+
+    def test_sampling_deterministic(self):
+        a = profile_library(seed=5)
+        b = profile_library(seed=5)
+        assert a.get("exp") == b.get("exp")
+
+    def test_subset_selection(self):
+        database = profile_library(names=["exp"])
+        assert len(database) == 1
+
+    def test_unknown_routine(self):
+        with pytest.raises(SimulationError):
+            profile_library(names=["fftw_execute"])
+
+    def test_invalid_samples(self):
+        with pytest.raises(SimulationError):
+            profile_library(samples=0)
+
+    def test_exp_flop_heavy_rand_int_heavy(self):
+        database = profile_library()
+        exp = database.get("exp")
+        rand = database.get("rand")
+        assert exp.flops_per_element > exp.iops_per_element
+        assert rand.iops_per_element > rand.flops_per_element

@@ -1,0 +1,169 @@
+"""Tests for the skeleton lint diagnostics."""
+
+import pytest
+
+from repro.skeleton import parse_skeleton
+from repro.skeleton.lint import LintWarning, lint_program
+from repro.workloads import load
+
+
+def lint_of(source: str):
+    return lint_program(parse_skeleton(source))
+
+
+def codes(warnings):
+    return [w.code for w in warnings]
+
+
+class TestIndividualChecks:
+    def test_clean_program_no_warnings(self):
+        warnings = lint_of("""
+param n = 8
+def main(n)
+  array data: float64[n]
+  for i = 0 : n
+    load n float64 from data
+    comp 2 * n flops
+  end
+end
+""")
+        assert warnings == []
+
+    def test_w001_unprofiled_while(self):
+        warnings = lint_of(
+            "def main()\n  while expect ?\n    comp 1 flops\n  end\nend")
+        assert "W001" in codes(warnings)
+
+    def test_w002_probabilities_exceed_one(self):
+        warnings = lint_of("""
+def main()
+  switch
+  case prob 0.7
+    comp 1 flops
+  case prob 0.6
+    comp 2 flops
+  end
+end
+""")
+        assert "W002" in codes(warnings)
+
+    def test_w003_placeholder_probability(self):
+        warnings = lint_of(
+            "def main()\n  if prob 1\n    comp 1 flops\n  end\nend")
+        assert "W003" in codes(warnings)
+
+    def test_w004_unreachable_function(self):
+        warnings = lint_of("""
+def main()
+  comp 1 flops
+end
+def orphan()
+  comp 2 flops
+end
+""")
+        found = [w for w in warnings if w.code == "W004"]
+        assert len(found) == 1 and "orphan" in found[0].message
+
+    def test_w004_transitively_reachable_ok(self):
+        warnings = lint_of("""
+def main()
+  call a()
+end
+def a()
+  call b()
+end
+def b()
+  comp 1 flops
+end
+""")
+        assert "W004" not in codes(warnings)
+
+    def test_w005_empty_loop(self):
+        warnings = lint_of(
+            "def main()\n  for i = 0 : 4\n    var x = i\n  end\nend")
+        assert "W005" in codes(warnings)
+
+    def test_w005_loop_with_nested_call_ok(self):
+        warnings = lint_of("""
+def main()
+  for i = 0 : 4
+    call f()
+  end
+end
+def f()
+  comp 1 flops
+end
+""")
+        assert "W005" not in codes(warnings)
+
+    def test_w006_undeclared_array(self):
+        warnings = lint_of(
+            "def main()\n  load 8 float64 from ghost\nend")
+        found = [w for w in warnings if w.code == "W006"]
+        assert len(found) == 1 and "ghost" in found[0].message
+
+    def test_w006_reported_once_per_array(self):
+        warnings = lint_of("""
+def main()
+  load 8 float64 from ghost
+  store 8 float64 to ghost
+end
+""")
+        assert codes(warnings).count("W006") == 1
+
+    def test_w007_unused_parameter(self):
+        warnings = lint_of("""
+def main()
+  call f(3, 4)
+end
+def f(used, unused)
+  comp used flops
+end
+""")
+        found = [w for w in warnings if w.code == "W007"]
+        assert len(found) == 1 and "unused" in found[0].message
+
+    def test_w008_constant_empty_range(self):
+        warnings = lint_of(
+            "def main()\n  for i = 5 : 5\n    comp 1 flops\n  end\nend")
+        assert "W008" in codes(warnings)
+
+    def test_warning_str_format(self):
+        warning = LintWarning("W999", "main@1", "something")
+        assert str(warning) == "W999 main@1: something"
+
+
+class TestSuiteIsClean:
+    @pytest.mark.parametrize("name", ["sord", "chargei", "srad", "cfd",
+                                      "stassuij", "pedagogical"])
+    def test_shipped_workloads_lint_clean(self, name):
+        program, _ = load(name)
+        warnings = lint_program(program)
+        assert warnings == [], [str(w) for w in warnings]
+
+
+class TestForallEscapes:
+    def test_w009_break_in_forall(self):
+        warnings = lint_of(
+            "def main()\n  forall i = 0 : 8\n    comp 1 flops\n"
+            "    break prob 0.1\n  end\nend")
+        assert "W009" in codes(warnings)
+
+    def test_w009_return_in_forall(self):
+        warnings = lint_of(
+            "def main()\n  forall i = 0 : 8\n    comp 1 flops\n"
+            "    return prob 0.1\n  end\nend")
+        assert "W009" in codes(warnings)
+
+    def test_break_in_nested_serial_loop_ok(self):
+        warnings = lint_of(
+            "def main()\n  forall i = 0 : 8\n    for j = 0 : 4\n"
+            "      comp 1 flops\n      break prob 0.1\n    end\n"
+            "  end\nend")
+        assert "W009" not in codes(warnings)
+
+    def test_serial_for_break_ok(self):
+        warnings = lint_of(
+            "def main()\n  for i = 0 : 8\n    comp 1 flops\n"
+            "    break prob 0.1\n  end\nend")
+        assert "W009" not in codes(warnings)

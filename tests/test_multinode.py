@@ -1,0 +1,194 @@
+"""Tests for the multi-node scaling extension (paper Sec. VIII)."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.hardware import BGQ
+from repro.multinode import (
+    DecompositionModel, NetworkModel, project_scaling,
+)
+from repro.multinode.network import FAT_TREE, FUTURE_FABRIC, TORUS_5D
+from repro.skeleton import parse_skeleton
+from repro.workloads import load
+
+HEAT3D = """
+param nx = 256
+param ny = 256
+param nz = 256
+param steps = 50
+
+def main(nx, ny, nz, steps)
+  array grid: float64[nz][ny][nx]
+  for t = 0 : steps as "time_loop"
+    call sweep(nx, ny, nz)
+    call exchange(nx, ny)
+  end
+end
+
+def sweep(nx, ny, nz)
+  for k = 0 : nz as "stencil_plane"
+    load 7 * nx * ny float64 from grid
+    comp 8 * nx * ny flops
+    store nx * ny float64 to grid
+  end
+end
+
+def exchange(nx, ny)
+  lib mpi_halo 2 * nx * ny
+end
+"""
+
+
+def heat3d():
+    """Slab-decomposed 3-D stencil: per-rank compute shrinks as nz/N while
+    the two-face halo stays constant — the textbook scaling crossover."""
+    return parse_skeleton(HEAT3D), {"nx": 256, "ny": 256, "nz": 256,
+                                    "steps": 50}
+
+
+class TestDecomposition:
+    def test_single_dimension_divides(self):
+        dec = DecompositionModel(partitioned=("n",))
+        out = dec.rank_inputs({"n": 256, "steps": 50}, 4)
+        assert out["n"] == 64
+        assert out["steps"] == 50
+
+    def test_two_dimensions_split_balanced(self):
+        dec = DecompositionModel(partitioned=("ny", "nz"))
+        out = dec.rank_inputs({"ny": 400, "nz": 400}, 16)
+        assert out["ny"] == 100 and out["nz"] == 100
+
+    def test_floor_at_min_value(self):
+        dec = DecompositionModel(partitioned=("nz",), min_value=8)
+        out = dec.rank_inputs({"nz": 16}, 1000)
+        assert out["nz"] == 8
+
+    def test_one_rank_is_identity(self):
+        dec = DecompositionModel(partitioned=("n",))
+        assert dec.rank_inputs({"n": 77}, 1)["n"] == 77
+
+    def test_unknown_input_rejected(self):
+        dec = DecompositionModel(partitioned=("zz",))
+        with pytest.raises(ReproError):
+            dec.rank_inputs({"n": 4}, 2)
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            DecompositionModel(partitioned=())
+        with pytest.raises(ReproError):
+            DecompositionModel(partitioned=("n",), min_value=0)
+        dec = DecompositionModel(partitioned=("n",))
+        with pytest.raises(ReproError):
+            dec.rank_inputs({"n": 4}, 0)
+
+    def test_max_useful_ranks(self):
+        dec = DecompositionModel(partitioned=("n",), min_value=8)
+        assert dec.max_useful_ranks({"n": 64}) == 8
+
+
+class TestNetworkModel:
+    def test_postal_model(self):
+        net = NetworkModel(name="x", latency=1e-6, bandwidth=1e9,
+                           neighbors=6)
+        assert net.transfer_seconds(1e9) == pytest.approx(1.0 + 6e-6)
+
+    def test_zero_bytes_free(self):
+        assert TORUS_5D.transfer_seconds(0) == 0.0
+
+    def test_negative_volume_rejected(self):
+        with pytest.raises(ReproError):
+            TORUS_5D.transfer_seconds(-1)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ReproError):
+            NetworkModel(name="bad", latency=-1, bandwidth=1e9)
+        with pytest.raises(ReproError):
+            NetworkModel(name="bad", latency=1e-6, bandwidth=0)
+
+    def test_presets_ordered_by_speed(self):
+        assert FUTURE_FABRIC.latency < FAT_TREE.latency
+        assert FUTURE_FABRIC.bandwidth > TORUS_5D.bandwidth
+
+
+class TestScalingProjection:
+    def test_single_rank_has_no_communication(self):
+        program, inputs = heat3d()
+        dec = DecompositionModel(partitioned=("nz",), min_value=4)
+        projection = project_scaling(program, inputs, BGQ, TORUS_5D, dec,
+                                     ranks=(1,))
+        assert projection.points[0].comm_seconds == 0.0
+        assert projection.points[0].compute_seconds > 0
+
+    def test_compute_shrinks_with_ranks(self):
+        program, inputs = heat3d()
+        dec = DecompositionModel(partitioned=("nz",), min_value=4)
+        projection = project_scaling(program, inputs, BGQ, TORUS_5D, dec,
+                                     ranks=(1, 8, 64))
+        compute = [p.compute_seconds for p in projection.points]
+        assert compute[0] > compute[1] > compute[2]
+
+    def test_comm_fraction_grows(self):
+        program, inputs = heat3d()
+        dec = DecompositionModel(partitioned=("nz",), min_value=4)
+        projection = project_scaling(program, inputs, BGQ, TORUS_5D, dec,
+                                     ranks=(2, 16, 128))
+        fractions = [p.comm_fraction for p in projection.points]
+        assert fractions[0] < fractions[1] < fractions[2]
+
+    def test_crossover_detected_for_surface_heavy_scaling(self):
+        program, inputs = heat3d()
+        dec = DecompositionModel(partitioned=("nz",), min_value=4)
+        slow_net = NetworkModel(name="slow", latency=2e-5, bandwidth=5e8)
+        projection = project_scaling(
+            program, inputs, BGQ, slow_net, dec,
+            ranks=(1, 4, 16, 64, 256, 1024))
+        crossover = projection.crossover_ranks()
+        assert crossover is not None
+        # and the ranking flips: the halo spot becomes #1 at large scale
+        last = projection.points[-1]
+        assert "halo exchange" in last.top_spot
+
+    def test_efficiency_monotone_declining(self):
+        program, inputs = heat3d()
+        dec = DecompositionModel(partitioned=("nz",), min_value=4)
+        projection = project_scaling(program, inputs, BGQ, TORUS_5D, dec,
+                                     ranks=(1, 2, 4, 8))
+        efficiencies = [projection.efficiency(p)
+                        for p in projection.points]
+        assert efficiencies[0] == pytest.approx(1.0)
+        assert all(a >= b - 1e-9
+                   for a, b in zip(efficiencies, efficiencies[1:]))
+
+    def test_faster_network_more_efficient(self):
+        program, inputs = heat3d()
+        dec = DecompositionModel(partitioned=("nz",), min_value=4)
+        slow = project_scaling(program, inputs, BGQ, TORUS_5D, dec,
+                               ranks=(1, 64))
+        fast = project_scaling(program, inputs, BGQ, FUTURE_FABRIC, dec,
+                               ranks=(1, 64))
+        assert fast.points[-1].comm_seconds < slow.points[-1].comm_seconds
+
+    def test_render_contains_table(self):
+        program, inputs = heat3d()
+        dec = DecompositionModel(partitioned=("nz",), min_value=4)
+        projection = project_scaling(program, inputs, BGQ, TORUS_5D, dec,
+                                     ranks=(1, 4))
+        text = projection.render()
+        assert "ranks" in text and "speedup" in text
+
+    def test_invalid_rank_sequence(self):
+        program, inputs = heat3d()
+        dec = DecompositionModel(partitioned=("n",))
+        with pytest.raises(ReproError):
+            project_scaling(program, inputs, BGQ, TORUS_5D, dec,
+                            ranks=(4, 1))
+
+    def test_sord_full_application_scales(self):
+        program, inputs = load("sord")
+        dec = DecompositionModel(partitioned=("ny", "nz"), min_value=4)
+        projection = project_scaling(program, inputs, BGQ, TORUS_5D, dec,
+                                     ranks=(1, 4, 16), workload="sord")
+        assert projection.points[-1].compute_seconds < \
+            projection.points[0].compute_seconds
+        # Amdahl floor: efficiency declines for the full application
+        assert projection.efficiency(projection.points[-1]) < 1.0

@@ -1,0 +1,170 @@
+"""Tests for `forall` parallel loops — the paper's "degree of parallelism"
+skeleton characteristic (Sec. III-A)."""
+
+import pytest
+
+from repro.analysis import characterize, total_time
+from repro.bet import build_bet
+from repro.hardware import BGQ, RooflineModel
+from repro.simulate import execute
+from repro.skeleton import format_skeleton, parse_skeleton
+
+
+def program_for(body: str, n: int = 64):
+    return parse_skeleton(f"param n = {n}\ndef main(n)\n{body}\nend\n")
+
+
+COMPUTE_PARALLEL = """
+forall i = 0 : n as "par"
+  comp 1M flops
+end
+"""
+
+COMPUTE_SERIAL = """
+for i = 0 : n as "ser"
+  comp 1M flops
+end
+"""
+
+MEMORY_PARALLEL = """
+array big: float64[n][1M]
+forall i = 0 : n as "parmem"
+  load 1M float64 from big
+end
+"""
+
+
+class TestParsing:
+    def test_forall_sets_parallel_flag(self):
+        loop = program_for(COMPUTE_PARALLEL).entry.body[0]
+        assert loop.parallel
+
+    def test_for_is_serial(self):
+        loop = program_for(COMPUTE_SERIAL).entry.body[0]
+        assert not loop.parallel
+
+    def test_printer_round_trip(self):
+        program = program_for(COMPUTE_PARALLEL)
+        text = format_skeleton(program)
+        assert "forall i = 0 : n" in text
+        reparsed = parse_skeleton(text)
+        assert reparsed.entry.body[0].parallel
+
+    def test_forall_supports_step_and_label(self):
+        program = program_for(
+            'forall i = 0 : n step 2 as "x"\ncomp 1 flops\nend')
+        loop = program.entry.body[0]
+        assert loop.parallel and loop.label == "x"
+
+
+class TestBETParallelWidth:
+    def test_width_is_trip_count(self):
+        root = build_bet(program_for(COMPUTE_PARALLEL))
+        loop = next(node for node in root.walk() if node.kind == "loop")
+        assert loop.parallel
+        assert loop.parallel_width() == 64
+
+    def test_serial_width_is_one(self):
+        root = build_bet(program_for(COMPUTE_SERIAL))
+        loop = next(node for node in root.walk() if node.kind == "loop")
+        assert loop.parallel_width() == 1.0
+
+    def test_nested_blocks_inherit_width(self):
+        source = ("forall i = 0 : n\n  for j = 0 : 4\n"
+                  "    comp 1 flops\n  end\nend")
+        root = build_bet(program_for(source))
+        inner = [node for node in root.walk() if node.kind == "loop"][1]
+        assert inner.parallel_width() == 64
+
+    def test_nested_forall_does_not_multiply(self):
+        source = ("forall i = 0 : n\n  forall j = 0 : 8\n"
+                  "    comp 1 flops\n  end\nend")
+        root = build_bet(program_for(source))
+        inner = [node for node in root.walk() if node.kind == "loop"][1]
+        # the nearest forall wins: width 8, not 64*8
+        assert inner.parallel_width() == 8
+
+    def test_enr_unchanged_by_parallelism(self):
+        serial = build_bet(program_for(COMPUTE_SERIAL))
+        parallel = build_bet(program_for(COMPUTE_PARALLEL))
+        serial_loop = next(n for n in serial.walk() if n.kind == "loop")
+        parallel_loop = next(n for n in parallel.walk()
+                             if n.kind == "loop")
+        # work (ENR) is identical; only wall time differs
+        assert serial_loop.enr == parallel_loop.enr == 64.0
+        assert serial_loop.num_iter == parallel_loop.num_iter
+
+
+class TestProjectedSpeedup:
+    def test_compute_bound_scales_with_cores(self):
+        serial = build_bet(program_for(COMPUTE_SERIAL))
+        parallel = build_bet(program_for(COMPUTE_PARALLEL))
+        model = RooflineModel(BGQ)
+        t_serial = total_time(characterize(serial, model))
+        t_parallel = total_time(characterize(parallel, model))
+        assert t_serial / t_parallel == pytest.approx(BGQ.cores, rel=0.01)
+
+    def test_speedup_limited_by_trip_count(self):
+        serial = build_bet(program_for(COMPUTE_SERIAL, n=3))
+        parallel = build_bet(program_for(COMPUTE_PARALLEL, n=3))
+        model = RooflineModel(BGQ)
+        t_serial = total_time(characterize(serial, model))
+        t_parallel = total_time(characterize(parallel, model))
+        # only 3 iterations: at most 3 cores help
+        assert t_serial / t_parallel == pytest.approx(3.0, rel=0.01)
+
+    def test_memory_bound_saturates(self):
+        source_serial = MEMORY_PARALLEL.replace("forall", "for")
+        serial = build_bet(program_for(source_serial))
+        parallel = build_bet(program_for(MEMORY_PARALLEL))
+        model = RooflineModel(BGQ)
+        t_serial = total_time(characterize(serial, model))
+        t_parallel = total_time(characterize(parallel, model))
+        speedup = t_serial / t_parallel
+        # memory-dominated: speedup capped by bandwidth saturation, far
+        # below the 16 cores the compute side would get
+        assert speedup <= BGQ.bandwidth_saturation_cores + 0.5
+        assert speedup > 1.5
+
+    def test_more_cores_never_slower(self):
+        root = build_bet(program_for(COMPUTE_PARALLEL))
+        times = []
+        for cores in (1, 2, 4, 8, 16):
+            machine = BGQ.with_overrides(cores=cores)
+            times.append(total_time(characterize(
+                root, RooflineModel(machine))))
+        assert all(a >= b - 1e-15 for a, b in zip(times, times[1:]))
+
+    def test_concurrency_recorded_per_block(self):
+        root = build_bet(program_for(COMPUTE_PARALLEL))
+        records = characterize(root, RooflineModel(BGQ))
+        loop_record = next(r for r in records if r.node.kind == "loop")
+        assert loop_record.concurrency == BGQ.cores
+
+
+class TestExecutorParallelism:
+    def test_executor_compute_speedup(self):
+        serial = execute(program_for(COMPUTE_SERIAL), BGQ)
+        parallel = execute(program_for(COMPUTE_PARALLEL), BGQ)
+        speedup = serial.seconds / parallel.seconds
+        assert speedup == pytest.approx(BGQ.cores, rel=0.05)
+
+    def test_executor_work_counters_unscaled(self):
+        serial = execute(program_for(COMPUTE_SERIAL), BGQ)
+        parallel = execute(program_for(COMPUTE_PARALLEL), BGQ)
+        # same dynamic work, different wall time
+        assert serial.totals().flops == parallel.totals().flops
+
+    def test_executor_memory_saturation(self):
+        serial = execute(program_for(
+            MEMORY_PARALLEL.replace("forall", "for")), BGQ)
+        parallel = execute(program_for(MEMORY_PARALLEL), BGQ)
+        speedup = serial.seconds / parallel.seconds
+        assert speedup <= BGQ.bandwidth_saturation_cores + 0.5
+
+    def test_model_matches_executor_for_parallel_loops(self):
+        program = program_for(COMPUTE_PARALLEL)
+        root = build_bet(program)
+        projected = total_time(characterize(root, RooflineModel(BGQ)))
+        measured = execute(program, BGQ).seconds
+        assert projected == pytest.approx(measured, rel=0.25)

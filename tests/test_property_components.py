@@ -1,0 +1,174 @@
+"""Property-based tests for component-level invariants: cache simulator,
+metrics algebra, quality metrics, break-iteration expectation, roofline."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import coverage, coverage_curve, selection_quality
+from repro.bet import expected_break_iterations
+from repro.hardware import BGQ, Metrics, RooflineModel
+from repro.simulate import CacheSimulator
+
+probabilities = st.floats(min_value=0.0, max_value=1.0)
+sizes = st.integers(min_value=0, max_value=10**7)
+
+
+class TestCacheProperties:
+    @given(st.lists(st.tuples(st.sampled_from(["A", "B", "C", "D"]),
+                              st.integers(min_value=1, max_value=10**6)),
+                    min_size=1, max_size=40))
+    @settings(max_examples=150)
+    def test_fractions_always_partition(self, accesses):
+        cache = CacheSimulator(16 * 1024, 1024 * 1024)
+        for region, footprint in accesses:
+            f1, f2, fd = cache.access(region, footprint, footprint / 8)
+            assert -1e-12 <= f1 <= 1 + 1e-12
+            assert -1e-12 <= f2 <= 1 + 1e-12
+            assert -1e-12 <= fd <= 1 + 1e-12
+            assert f1 + f2 + fd == pytest.approx(1.0)
+
+    @given(st.integers(min_value=1, max_value=16 * 1024))
+    def test_immediate_reuse_hits_when_fitting(self, footprint):
+        cache = CacheSimulator(16 * 1024, 1024 * 1024)
+        cache.access("A", footprint, 1)
+        f1, _, _ = cache.access("A", footprint, 1)
+        assert f1 == 1.0
+
+    @given(st.integers(min_value=16 * 1024 + 1, max_value=10**7))
+    def test_streaming_cliff_above_capacity(self, footprint):
+        cache = CacheSimulator(16 * 1024, 10**8)
+        cache.access("A", footprint, 1)
+        f1, _, _ = cache.access("A", footprint, 1)
+        assert f1 == 0.0
+
+    @given(st.lists(st.integers(min_value=1, max_value=10**6),
+                    min_size=1, max_size=20))
+    def test_miss_rate_bounded(self, footprints):
+        cache = CacheSimulator(32 * 1024, 1024 * 1024)
+        for index, footprint in enumerate(footprints):
+            cache.access(f"r{index % 3}", footprint, footprint / 8)
+        assert 0.0 <= cache.l1_miss_rate <= 1.0
+
+
+def metrics_values():
+    small = st.floats(min_value=0, max_value=1e9, allow_nan=False)
+    return st.builds(
+        lambda f, i, d, l, s: Metrics(
+            flops=f, iops=i, div_flops=min(d, f), loads=l, stores=s,
+            load_bytes=l * 8, store_bytes=s * 8, static_size=1),
+        small, small, small, small, small)
+
+
+class TestMetricsAlgebra:
+    @given(metrics_values(), metrics_values())
+    def test_addition_commutative(self, a, b):
+        left, right = a + b, b + a
+        assert left.flops == right.flops
+        assert left.total_bytes == right.total_bytes
+        assert left.accesses == right.accesses
+
+    @given(metrics_values(), metrics_values(), metrics_values())
+    def test_addition_associative(self, a, b, c):
+        assert ((a + b) + c).flops == pytest.approx((a + (b + c)).flops)
+
+    @given(metrics_values(),
+           st.floats(min_value=0, max_value=1e6, allow_nan=False))
+    def test_scaling_linear(self, m, k):
+        scaled = m.scaled(k)
+        assert scaled.flops == pytest.approx(m.flops * k)
+        assert scaled.total_bytes == pytest.approx(m.total_bytes * k)
+        assert scaled.static_size == m.static_size
+
+    @given(metrics_values(), st.floats(min_value=0, max_value=100),
+           st.floats(min_value=0, max_value=100))
+    def test_scaling_composes(self, m, j, k):
+        assert m.scaled(j).scaled(k).flops == pytest.approx(
+            m.scaled(j * k).flops)
+
+
+class TestRooflineProperties:
+    @given(metrics_values())
+    @settings(max_examples=150)
+    def test_block_time_identity_and_bounds(self, m):
+        result = RooflineModel(BGQ).block_time(m)
+        assert result.compute >= 0 and result.memory >= 0
+        assert 0 <= result.overlap <= min(result.compute,
+                                          result.memory) + 1e-12
+        assert result.total == pytest.approx(
+            result.compute + result.memory - result.overlap)
+        assert result.total >= max(result.compute, result.memory) - 1e-12
+
+    @given(metrics_values())
+    def test_extension_never_below_naive_bound(self, m):
+        extended = RooflineModel(BGQ).block_time(m).total
+        naive = RooflineModel(BGQ, overlap=False).block_time(m).total
+        assert extended >= naive - 1e-12
+
+    @given(metrics_values(), st.floats(min_value=1.001, max_value=8))
+    def test_more_flops_never_faster(self, m, factor):
+        model = RooflineModel(BGQ)
+        bigger = Metrics(flops=m.flops * factor, iops=m.iops,
+                         div_flops=m.div_flops, loads=m.loads,
+                         stores=m.stores, load_bytes=m.load_bytes,
+                         store_bytes=m.store_bytes)
+        assert model.compute_time(bigger) >= model.compute_time(m) - 1e-15
+
+
+class TestBreakIterationProperties:
+    @given(probabilities, st.integers(min_value=0, max_value=10**6))
+    def test_within_range(self, p, n):
+        value = expected_break_iterations(p, n)
+        assert 0.0 <= value <= n
+
+    @given(st.floats(min_value=0.001, max_value=0.999),
+           st.integers(min_value=1, max_value=1000))
+    def test_monotone_decreasing_in_p(self, p, n):
+        assert expected_break_iterations(p, n) <= \
+            expected_break_iterations(p / 2, n) + 1e-9
+
+    @given(st.floats(min_value=0.001, max_value=0.999),
+           st.integers(min_value=1, max_value=999))
+    def test_monotone_increasing_in_n(self, p, n):
+        assert expected_break_iterations(p, n) <= \
+            expected_break_iterations(p, n + 1) + 1e-12
+
+
+class TestQualityProperties:
+    @given(st.dictionaries(st.sampled_from(list("abcdefgh")),
+                           st.floats(min_value=0.001, max_value=100),
+                           min_size=2, max_size=8))
+    @settings(max_examples=150)
+    def test_reference_selection_is_optimal(self, measured):
+        """No selection of size k covers more than the measured top-k, so
+        quality is always <= 1 and the top-k itself scores exactly 1."""
+        total = sum(measured.values())
+        ranked = sorted(measured, key=lambda s: (-measured[s], s))
+        for k in range(1, len(ranked) + 1):
+            assert selection_quality(ranked[:k], measured, total) == 1.0
+            worst = ranked[-k:]
+            q = selection_quality(worst, measured, total)
+            assert 0.0 <= q <= 1.0
+
+    @given(st.dictionaries(st.sampled_from(list("abcdefgh")),
+                           st.floats(min_value=0.001, max_value=100),
+                           min_size=2, max_size=8),
+           st.lists(st.sampled_from(list("abcdefgh")), min_size=1,
+                    max_size=8, unique=True))
+    def test_coverage_curve_monotone_and_bounded(self, measured, sites):
+        total = sum(measured.values())
+        curve = coverage_curve(sites, measured, total)
+        assert all(0.0 <= value <= 1.0 for value in curve)
+        assert all(a <= b + 1e-12 for a, b in zip(curve, curve[1:]))
+        assert curve[-1] == pytest.approx(
+            coverage(sites, measured, total))
+
+    @given(st.dictionaries(st.sampled_from(list("abcdefgh")),
+                           st.floats(min_value=0.001, max_value=100),
+                           min_size=3, max_size=8))
+    def test_adding_a_site_never_reduces_coverage(self, measured):
+        total = sum(measured.values())
+        sites = sorted(measured)
+        for k in range(1, len(sites)):
+            assert coverage(sites[:k + 1], measured, total) >= \
+                coverage(sites[:k], measured, total) - 1e-12

@@ -1,0 +1,111 @@
+"""Property-based tests (hypothesis) for the expression engine."""
+
+import math
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ExpressionError
+from repro.expressions import (
+    Binary, Compare, Func, Num, Unary, Var, evaluate, parse_expr,
+)
+
+# -- strategies --------------------------------------------------------------
+
+names = st.sampled_from(["n", "m", "nx", "ny", "size", "k"])
+numbers = st.one_of(
+    st.integers(min_value=0, max_value=10**6),
+    st.floats(min_value=0.001, max_value=10**6, allow_nan=False,
+              allow_infinity=False))
+
+
+def expressions(depth=3):
+    """Random Expr trees over the fixed variable pool."""
+    base = st.one_of(numbers.map(Num), names.map(Var))
+    if depth == 0:
+        return base
+    sub = expressions(depth - 1)
+    return st.one_of(
+        base,
+        st.tuples(st.sampled_from(["+", "-", "*"]), sub, sub).map(
+            lambda t: Binary(*t)),
+        st.tuples(sub, sub).map(
+            lambda t: Binary("/", t[0],
+                             Func("max", [t[1], Num(1)]))),
+        st.tuples(st.sampled_from(["<", "<=", ">", ">=", "==", "!="]),
+                  sub, sub).map(lambda t: Compare(*t)),
+        sub.map(lambda e: Unary("-", e)),
+        st.tuples(sub, sub).map(lambda t: Func("min", list(t))),
+        st.tuples(sub, sub).map(lambda t: Func("max", list(t))),
+    )
+
+
+ENV = {"n": 7, "m": 3, "nx": 64, "ny": 128, "size": 1000, "k": 2}
+
+
+class TestExpressionProperties:
+    @given(expressions())
+    @settings(max_examples=200)
+    def test_str_parse_round_trip_preserves_value(self, expr):
+        reparsed = parse_expr(str(expr))
+        assert reparsed.evaluate(ENV) == pytest.approx(
+            expr.evaluate(ENV), rel=1e-12)
+
+    @given(expressions())
+    @settings(max_examples=200)
+    def test_round_trip_preserves_structure(self, expr):
+        reparsed = parse_expr(str(expr))
+        assert reparsed == parse_expr(str(reparsed))
+
+    @given(expressions())
+    def test_free_vars_subset_of_pool(self, expr):
+        assert expr.free_vars() <= set(ENV)
+
+    @given(expressions())
+    def test_substitute_all_vars_makes_constant(self, expr):
+        bound = expr.substitute({name: Num(value)
+                                 for name, value in ENV.items()})
+        assert bound.is_constant()
+        assert bound.evaluate({}) == pytest.approx(expr.evaluate(ENV),
+                                                   rel=1e-12)
+
+    @given(expressions())
+    def test_substitution_identity(self, expr):
+        assert expr.substitute({}) .evaluate(ENV) == \
+            pytest.approx(expr.evaluate(ENV), rel=1e-12)
+
+    @given(expressions(), expressions())
+    @settings(max_examples=100)
+    def test_binary_add_commutes(self, a, b):
+        left = Binary("+", a, b).evaluate(ENV)
+        right = Binary("+", b, a).evaluate(ENV)
+        assert left == pytest.approx(right, rel=1e-12)
+
+    @given(expressions())
+    def test_equality_is_reflexive_and_hash_consistent(self, expr):
+        other = parse_expr(str(expr))
+        assert expr == other
+        assert hash(expr) == hash(other)
+
+    @given(expressions())
+    def test_evaluation_deterministic(self, expr):
+        assert expr.evaluate(ENV) == expr.evaluate(ENV)
+
+    @given(numbers, numbers)
+    def test_min_max_functions_match_python(self, a, b):
+        assert Func("min", [Num(a), Num(b)]).evaluate({}) == min(a, b)
+        assert Func("max", [Num(a), Num(b)]).evaluate({}) == max(a, b)
+
+    @given(st.text(
+        alphabet=st.characters(blacklist_categories=("Cs",)),
+        max_size=30))
+    @settings(max_examples=200)
+    def test_parser_never_crashes_unexpectedly(self, text):
+        """Arbitrary input either parses or raises ExpressionError."""
+        try:
+            expr = parse_expr(text)
+        except ExpressionError:
+            return
+        # if it parsed, it must render and reparse
+        parse_expr(str(expr))

@@ -1,0 +1,76 @@
+"""Tests for design-space sensitivity sweeps."""
+
+import pytest
+
+from repro.analysis.sensitivity import sweep_machine
+from repro.bet import build_bet
+from repro.errors import AnalysisError
+from repro.hardware import BGQ, ECMModel
+from repro.workloads import load
+
+
+@pytest.fixture(scope="module")
+def cfd_bet():
+    program, inputs = load("cfd")
+    return build_bet(program, inputs=inputs)
+
+
+class TestSweepMachine:
+    def test_bandwidth_sweep_monotone_runtime(self, cfd_bet):
+        result = sweep_machine(cfd_bet, BGQ, "bandwidth",
+                               (14e9, 28e9, 56e9, 112e9))
+        runtimes = result.runtime_curve()
+        # more bandwidth never slows the projection down
+        assert all(a >= b - 1e-15 for a, b in zip(runtimes, runtimes[1:]))
+
+    def test_bandwidth_sweep_reduces_memory_fraction(self, cfd_bet):
+        result = sweep_machine(cfd_bet, BGQ, "bandwidth", (7e9, 112e9))
+        assert result.points[0].memory_fraction >= \
+            result.points[1].memory_fraction
+
+    def test_frequency_sweep(self, cfd_bet):
+        result = sweep_machine(cfd_bet, BGQ, "frequency_hz",
+                               (0.8e9, 1.6e9, 3.2e9))
+        runtimes = result.runtime_curve()
+        assert runtimes[0] > runtimes[-1]
+
+    def test_stability_baseline_is_one(self, cfd_bet):
+        result = sweep_machine(cfd_bet, BGQ, "bandwidth", (28e9, 56e9))
+        assert result.ranking_stability()[0] == pytest.approx(1.0)
+
+    def test_extreme_sweep_can_reorder_ranking(self, cfd_bet):
+        # crushing the bandwidth must promote memory-bound spots
+        result = sweep_machine(cfd_bet, BGQ, "bandwidth",
+                               (28e9, 28e7))
+        stability = result.ranking_stability(k=5)
+        assert stability[1] <= 1.0
+        assert result.points[1].memory_fraction > \
+            result.points[0].memory_fraction
+
+    def test_custom_model_factory(self, cfd_bet):
+        result = sweep_machine(cfd_bet, BGQ, "bandwidth", (28e9,),
+                               model_factory=ECMModel)
+        assert result.points[0].runtime > 0
+
+    def test_machines_get_descriptive_names(self, cfd_bet):
+        result = sweep_machine(cfd_bet, BGQ, "div_cost", (1.0, 30.0))
+        assert "div_cost=30" in result.points[1].machine.name
+
+    def test_render(self, cfd_bet):
+        result = sweep_machine(cfd_bet, BGQ, "bandwidth", (28e9, 56e9))
+        text = result.render()
+        assert "sensitivity sweep" in text and "top hot spot" in text
+
+    def test_invalid_parameter(self, cfd_bet):
+        with pytest.raises(AnalysisError):
+            sweep_machine(cfd_bet, BGQ, "warp_drive", (1.0,))
+
+    def test_empty_values(self, cfd_bet):
+        with pytest.raises(AnalysisError):
+            sweep_machine(cfd_bet, BGQ, "bandwidth", ())
+
+    def test_bet_reused_not_rebuilt(self, cfd_bet):
+        # same BET object feeds every point: identity of ranking sites
+        result = sweep_machine(cfd_bet, BGQ, "bandwidth", (28e9, 56e9))
+        assert set(result.points[0].ranking) == \
+            set(result.points[1].ranking)

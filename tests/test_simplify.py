@@ -1,0 +1,96 @@
+"""Tests for expression simplification (constant folding + identities)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.expressions import Num, Var, parse_expr, simplify
+from tests.test_property_expressions import ENV, expressions
+
+
+def simp(text: str) -> str:
+    return str(simplify(parse_expr(text)))
+
+
+class TestFoldingAndIdentities:
+    @pytest.mark.parametrize("source,expected", [
+        ("1 + 2", "3"),
+        ("2 * 3 + 4", "10"),
+        ("n + 0", "n"),
+        ("0 + n", "n"),
+        ("n - 0", "n"),
+        ("n - n", "0"),
+        ("1 * n", "n"),
+        ("n * 1", "n"),
+        ("0 * n", "0"),
+        ("n / 1", "n"),
+        ("0 / n", "0"),
+        ("n ^ 1", "n"),
+        ("n ^ 0", "1"),
+        ("min(2, 3)", "2"),
+        ("max(2, 3) * n", "(3 * n)"),
+        ("2 < 3", "1"),
+        ("-(0 - n)", "n"),
+        ("0 - n", "-(n)"),
+    ])
+    def test_cases(self, source, expected):
+        assert simp(source) == expected
+
+    def test_double_negation(self):
+        from repro.expressions import Unary
+        expr = Unary("-", Unary("-", Var("n")))
+        assert simplify(expr) == Var("n")
+
+    def test_boolean_identities(self):
+        assert simp("n > 0 and 1 == 1") == "(n > 0)"
+        assert simp("n > 0 or 1 == 1") == "1"
+        assert simp("n > 0 and 1 == 2") == "0"
+        assert simp("n > 0 or 1 == 2") == "(n > 0)"
+
+    def test_division_by_zero_not_folded(self):
+        # an always-failing constant must keep failing at evaluation time
+        expr = simplify(parse_expr("1 / 0"))
+        from repro.errors import ExpressionError
+        with pytest.raises(ExpressionError):
+            expr.evaluate({})
+
+    def test_nested_simplification(self):
+        assert simp("(n * 1) + (0 * m) + (2 + 3)") == "(n + 5)"
+
+    def test_idempotent(self):
+        expr = parse_expr("(n + 0) * (1 * m) + 2 * 3")
+        once = simplify(expr)
+        twice = simplify(once)
+        assert once == twice
+
+
+class TestSemanticsPreserved:
+    @given(expressions())
+    @settings(max_examples=300)
+    def test_simplify_preserves_value(self, expr):
+        simplified = simplify(expr)
+        assert simplified.evaluate(ENV) == pytest.approx(
+            expr.evaluate(ENV), rel=1e-12)
+
+    @given(expressions())
+    @settings(max_examples=200)
+    def test_simplify_never_grows(self, expr):
+        def size(e):
+            return 1 + sum(size(c) for c in e.children())
+        assert size(simplify(expr)) <= size(expr)
+
+    @given(expressions())
+    @settings(max_examples=200)
+    def test_simplified_free_vars_subset(self, expr):
+        assert simplify(expr).free_vars() <= expr.free_vars()
+
+
+class TestTranslatorIntegration:
+    def test_translated_bounds_are_simplified(self):
+        from repro.translate import translate_source
+        result = translate_source(
+            "def main(n):\n"
+            "    for i in range(0, n * 1):\n"
+            "        x = 1.0 * i\n")
+        loop = result.program.entry.body[0]
+        assert str(loop.hi) == "n"
+        assert str(loop.lo) == "0"

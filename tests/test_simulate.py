@@ -1,0 +1,452 @@
+"""Unit tests for the reference executor substrate."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.hardware import BGQ, XEON_E5_2420
+from repro.simulate import (
+    CacheSimulator, SkeletonExecutor, annotate_skeleton,
+    collect_branch_stats, execute, profile,
+)
+from repro.skeleton import parse_skeleton
+
+
+def program_for(body: str, params: str = "n",
+                prelude: str = "param n = 50\n"):
+    return parse_skeleton(f"{prelude}def main({params})\n{body}\nend\n")
+
+
+class TestCacheSimulator:
+    def test_first_touch_misses(self):
+        cache = CacheSimulator(1024, 65536)
+        f1, f_llc, f_dram = cache.access("A", 512, 64)
+        assert f1 == 0.0 and f_dram == 1.0
+
+    def test_second_touch_hits_l1(self):
+        cache = CacheSimulator(1024, 65536)
+        cache.access("A", 512, 64)
+        f1, _, _ = cache.access("A", 512, 64)
+        assert f1 == 1.0
+
+    def test_oversized_footprint_streaming_cliff(self):
+        # re-streaming a region larger than L1 yields no L1 hits (classic
+        # LRU cliff) but full LLC hits when it fits there
+        cache = CacheSimulator(1024, 65536)
+        cache.access("A", 4096, 512)
+        f1, f_llc, _ = cache.access("A", 4096, 512)
+        assert f1 == 0.0
+        assert f_llc == pytest.approx(1.0)
+
+    def test_eviction_by_competing_region(self):
+        cache = CacheSimulator(1024, 10**9)
+        cache.access("A", 1024, 128)
+        cache.access("B", 1024, 128)  # evicts A from L1
+        f1, _, _ = cache.access("A", 1024, 128)
+        assert f1 == 0.0
+
+    def test_llc_retains_when_l1_evicts(self):
+        cache = CacheSimulator(1024, 1024 * 1024)
+        cache.access("A", 1024, 128)
+        cache.access("B", 1024, 128)
+        f1, f_llc, f_dram = cache.access("A", 1024, 128)
+        assert f1 == 0.0 and f_llc == 1.0 and f_dram == 0.0
+
+    def test_fractions_sum_to_one(self):
+        cache = CacheSimulator(512, 2048)
+        for region, size in (("A", 300), ("B", 700), ("A", 300),
+                             ("C", 5000), ("A", 300)):
+            f1, f2, fd = cache.access(region, size, size // 8)
+            assert f1 + f2 + fd == pytest.approx(1.0)
+
+    def test_miss_rate_accounting(self):
+        cache = CacheSimulator(1024, 65536)
+        cache.access("A", 512, 100)
+        cache.access("A", 512, 100)
+        assert cache.l1_miss_rate == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            CacheSimulator(0, 10)
+        with pytest.raises(SimulationError):
+            CacheSimulator(1024, 512)
+        cache = CacheSimulator(64, 128)
+        with pytest.raises(SimulationError):
+            cache.access("A", -1, 1)
+
+    def test_clear(self):
+        cache = CacheSimulator(1024, 65536)
+        cache.access("A", 512, 64)
+        cache.clear()
+        f1, _, _ = cache.access("A", 512, 64)
+        assert f1 == 0.0 and cache.accesses == 64
+
+
+class TestExecutorBasics:
+    def test_deterministic_with_seed(self):
+        program = program_for(
+            "for i = 0 : n\nif prob 0.5\ncomp 10 flops\nend\nend")
+        a = execute(program, BGQ, seed=7)
+        b = execute(program, BGQ, seed=7)
+        assert a.total_cycles == b.total_cycles
+        assert a.site_seconds() == b.site_seconds()
+
+    def test_different_seeds_differ(self):
+        program = program_for(
+            "for i = 0 : n\nif prob 0.5\ncomp 1000 flops\nend\nend")
+        a = execute(program, BGQ, seed=1)
+        b = execute(program, BGQ, seed=2)
+        assert a.totals().flops != b.totals().flops
+
+    def test_flop_counting_exact(self):
+        program = program_for("for i = 0 : n\ncomp 3 flops\nend")
+        result = execute(program, BGQ)
+        assert result.totals().flops == 150  # 50 × 3
+
+    def test_loop_variable_visible_in_body(self):
+        # triangular nest: sum_{i<5} i = 10 flops
+        program = program_for(
+            "for i = 0 : 5\nfor j = 0 : i\ncomp 1 flops\nend\nend")
+        result = execute(program, BGQ)
+        assert result.totals().flops == 10
+
+    def test_attribution_to_loop_site(self):
+        program = program_for('for i = 0 : n as "hot"\ncomp 5 flops\nend')
+        result = execute(program, BGQ)
+        loop_site = program.entry.body[0].site
+        assert result.site_counters[loop_site].flops == 250
+
+    def test_cycles_partition(self):
+        program = program_for(
+            "for i = 0 : n\ncomp 5 flops\nend\ncomp 7 flops")
+        result = execute(program, BGQ)
+        assert result.total_cycles == pytest.approx(
+            sum(c.cycles for c in result.site_counters.values()))
+        assert result.seconds > 0
+
+    def test_faster_machine_runs_faster(self):
+        program = program_for("for i = 0 : n\ncomp 100 flops\nend")
+        slow = execute(program, BGQ)
+        fast = execute(program, BGQ.with_overrides(frequency_hz=3.2e9))
+        assert fast.seconds < slow.seconds
+
+    def test_division_costs_more_on_bgq(self):
+        plain = program_for("for i = 0 : n\ncomp 100 flops\nend")
+        divs = program_for("for i = 0 : n\ncomp 100 flops div 100\nend")
+        assert execute(divs, BGQ).seconds > execute(plain, BGQ).seconds
+
+    def test_vectorized_code_runs_faster(self):
+        scalar = program_for("for i = 0 : n\ncomp 1000 flops\nend")
+        vector = program_for("for i = 0 : n\ncomp 1000 flops vec\nend")
+        assert execute(vector, BGQ).seconds < execute(scalar, BGQ).seconds
+
+    def test_missing_entry_binding(self):
+        program = parse_skeleton("def main(q)\n  comp q flops\nend\n")
+        with pytest.raises(SimulationError):
+            execute(program, BGQ)
+
+    def test_event_guard(self):
+        program = program_for(
+            "for i = 0 : 1000\nif prob 0.5\ncomp 1 flops\nend\nend")
+        with pytest.raises(SimulationError):
+            execute(program, BGQ, max_events=100)
+
+    def test_zero_step_rejected(self):
+        program = program_for("for i = 0 : n step 0\ncomp 1 flops\nend")
+        with pytest.raises(SimulationError):
+            execute(program, BGQ)
+
+    def test_inputs_override(self):
+        program = program_for("for i = 0 : n\ncomp 1 flops\nend")
+        result = execute(program, BGQ, inputs={"n": 7})
+        assert result.totals().flops == 7
+
+
+class TestControlFlow:
+    def test_branch_sampling_frequency(self):
+        program = program_for(
+            "for i = 0 : 2000\nif prob 0.25\ncomp 1 flops\nend\nend")
+        result = execute(program, BGQ, seed=3)
+        taken = result.totals().flops
+        assert 400 < taken < 600  # ~500 expected
+
+    def test_cond_branch_deterministic(self):
+        program = program_for(
+            "for i = 0 : 10\nif i < 5\ncomp 1 flops\nelse\n"
+            "comp 1 iops\nend\nend")
+        result = execute(program, BGQ)
+        totals = result.totals()
+        assert totals.flops == 5 and totals.iops == 5
+
+    def test_switch_frequencies(self):
+        program = program_for(
+            "for i = 0 : 3000\nswitch\ncase prob 0.5\ncomp 1 flops\n"
+            "case prob 0.3\ncomp 1 iops\ndefault\nload 1\nend\nend")
+        result = execute(program, BGQ, seed=5)
+        totals = result.totals()
+        assert 1350 < totals.flops < 1650
+        assert 750 < totals.iops < 1050
+        assert 450 < totals.loads < 750
+
+    def test_break_stops_loop(self):
+        program = program_for("for i = 0 : 1000\ncomp 1 flops\nbreak\nend")
+        assert execute(program, BGQ).totals().flops == 1
+
+    def test_continue_skips_rest(self):
+        program = program_for(
+            "for i = 0 : 10\ncontinue\ncomp 1 flops\nend")
+        assert execute(program, BGQ).totals().flops == 0
+
+    def test_return_exits_function(self):
+        program = parse_skeleton("""
+def main()
+  call f()
+  comp 5 flops
+end
+def f()
+  return
+  comp 100 flops
+end
+""")
+        assert execute(program, BGQ).totals().flops == 5
+
+    def test_return_propagates_through_loop(self):
+        program = program_for(
+            "for i = 0 : 10\nreturn\nend\ncomp 100 flops")
+        assert execute(program, BGQ).totals().flops == 0
+
+    def test_while_poisson_trips(self):
+        program = program_for("while expect 20\ncomp 1 flops\nend")
+        result = execute(program, BGQ, seed=11)
+        assert 5 < result.totals().flops < 45
+
+    def test_unprofiled_while_raises(self):
+        program = program_for("while expect ?\ncomp 1 flops\nend")
+        with pytest.raises(SimulationError):
+            execute(program, BGQ)
+
+    def test_call_arguments_bound(self):
+        program = parse_skeleton("""
+def main()
+  call f(3)
+end
+def f(k)
+  comp k flops
+end
+""")
+        assert execute(program, BGQ).totals().flops == 3
+
+
+class TestCacheEffects:
+    def test_reuse_between_blocks_speeds_up(self):
+        # paper Sec. VII-C: the 4th SORD hot spot reuses the 1st's data;
+        # a second loop touching the same array must be cheaper
+        src = """
+def main()
+  array u: float64[4k]
+  for i = 0 : 100 as "first"
+    load 4k float64 from u
+  end
+  for i = 0 : 100 as "second"
+    load 4k float64 from u
+  end
+end
+"""
+        program = parse_skeleton(src)
+        result = execute(program, BGQ)
+        first = program.entry.body[1]
+        second = program.entry.body[2]
+        t_first = result.site_counters[first.site].cycles
+        t_second = result.site_counters[second.site].cycles
+        assert t_second < t_first
+
+    def test_streaming_large_array_misses(self):
+        src = """
+def main()
+  array big: float64[64M]
+  for i = 0 : 4 as "stream"
+    load 64M float64 from big
+  end
+end
+"""
+        program = parse_skeleton(src)
+        result = execute(program, BGQ)
+        totals = result.totals()
+        assert totals.dram_bytes > 0
+        assert totals.l1_misses > 0
+
+    def test_cache_disabled_constant_miss(self):
+        src = """
+def main()
+  array u: float64[128]
+  for i = 0 : 100
+    load 128 float64 from u
+  end
+end
+"""
+        program = parse_skeleton(src)
+        with_cache = execute(program, BGQ, use_cache=True)
+        without = execute(program, BGQ, use_cache=False)
+        # a tiny resident array: caching must beat the constant 85% miss
+        assert with_cache.seconds < without.seconds
+
+    def test_batching_matches_naive_execution(self):
+        # the batched fast path must give the same totals as full iteration
+        src = ("def main()\n  array u: float64[1k]\n"
+               "  for i = 0 : 100 as \"k\"\n    load 1k float64 from u\n"
+               "    comp 64 flops\n  end\nend\n")
+        batched = execute(parse_skeleton(src), BGQ)
+        # force the slow path by referencing the loop variable
+        src_dependent = src.replace("comp 64 flops", "comp 64 + 0*i flops")
+        naive = execute(parse_skeleton(src_dependent), BGQ)
+        assert batched.totals().flops == pytest.approx(
+            naive.totals().flops)
+        assert batched.total_cycles == pytest.approx(naive.total_cycles,
+                                                     rel=1e-6)
+
+
+class TestProfiler:
+    SRC = """
+param n = 64
+def main(n)
+  for it = 0 : 10
+    call heavy(n)
+    call light(n)
+  end
+end
+def heavy(m)
+  for i = 0 : m as "heavy"
+    load 8*m float64
+    comp 32*m flops
+  end
+end
+def light(m)
+  for i = 0 : m as "light"
+    comp 4 flops
+  end
+end
+"""
+
+    def test_ranked_profile(self):
+        program = parse_skeleton(self.SRC)
+        prof = profile(program, BGQ)
+        ranked = prof.ranked()
+        assert ranked[0][0] == program.function("heavy").body[0].site
+        assert prof.total_seconds > 0
+
+    def test_top_sites(self):
+        program = parse_skeleton(self.SRC)
+        prof = profile(program, BGQ)
+        assert len(prof.top_sites(3)) == 3
+
+    def test_flat_format(self):
+        program = parse_skeleton(self.SRC)
+        text = profile(program, BGQ).format_flat(5)
+        assert "%time" in text and "heavy" in text
+
+    def test_counters_available_per_site(self):
+        program = parse_skeleton(self.SRC)
+        prof = profile(program, BGQ)
+        site = program.function("heavy").body[0].site
+        counters = prof.counters(site)
+        assert counters.flops > 0
+        assert counters.issue_rate > 0
+
+    def test_profiles_differ_across_machines(self):
+        program = parse_skeleton(self.SRC)
+        bgq = profile(program, BGQ)
+        xeon = profile(program, XEON_E5_2420)
+        assert bgq.total_seconds != xeon.total_seconds
+
+
+class TestBranchStats:
+    def test_frequencies_recovered(self):
+        program = program_for(
+            "for i = 0 : 5000\nif prob 0.3\ncomp 1 flops\nend\nend")
+        stats = collect_branch_stats(program, BGQ, seed=13)
+        branch = program.entry.body[0].body[0]
+        freq = stats.arm_frequencies[branch.site][0]
+        assert freq == pytest.approx(0.3, abs=0.03)
+
+    def test_while_means_recovered(self):
+        program = program_for(
+            "for i = 0 : 200\nwhile expect 8\ncomp 1 flops\nend\nend")
+        stats = collect_branch_stats(program, BGQ, seed=17)
+        loop = program.entry.body[0].body[0]
+        assert stats.while_means[loop.site] == pytest.approx(8, abs=1.0)
+
+    def test_annotate_updates_skeleton(self):
+        program = program_for(
+            "for i = 0 : 5000\nif prob 0.3\ncomp 1 flops\nend\nend")
+        stats = collect_branch_stats(program, BGQ, seed=13)
+        updated = annotate_skeleton(program, stats)
+        assert updated == 1
+        branch = program.entry.body[0].body[0]
+        assert float(str(branch.arms[0].expr)) == pytest.approx(0.3,
+                                                                abs=0.03)
+
+    def test_annotate_fills_while_expect(self):
+        measured = program_for(
+            "for i = 0 : 100\nwhile expect 6\ncomp 1 flops\nend\nend")
+        stats = collect_branch_stats(measured, BGQ, seed=19)
+        target = program_for(
+            "for i = 0 : 100\nwhile expect ?\ncomp 1 flops\nend\nend")
+        # same structure => same sites
+        assert annotate_skeleton(target, stats) == 1
+        assert not target.unprofiled_sites()
+
+    def test_count_only_is_fast_path(self):
+        program = program_for("for i = 0 : 100\ncomp 5 flops\nend")
+        executor = SkeletonExecutor(program, BGQ, count_only=True)
+        result = executor.run()
+        assert result.total_cycles == 0  # no timing in count mode
+        assert result.totals().flops == 500
+
+    def test_stats_are_machine_independent(self):
+        program = program_for(
+            "for i = 0 : 1000\nif prob 0.4\ncomp 1 flops\nend\nend")
+        a = collect_branch_stats(program, BGQ, seed=23)
+        b = collect_branch_stats(program, XEON_E5_2420, seed=23)
+        assert a.arm_frequencies == b.arm_frequencies
+
+
+class TestBranchStatsPersistence:
+    """Paper Sec. I: profile once, reuse across target architectures."""
+
+    def _stats(self):
+        program = program_for(
+            "for i = 0 : 2000\nif prob 0.3\ncomp 1 flops\nend\n"
+            "while expect 6\ncomp 1 flops\nend\nend")
+        return collect_branch_stats(program, BGQ, seed=29)
+
+    def test_round_trip_through_dict(self):
+        stats = self._stats()
+        from repro.simulate import BranchStatistics
+        rebuilt = BranchStatistics.from_dict(stats.to_dict())
+        assert rebuilt.arm_frequencies == stats.arm_frequencies
+        assert rebuilt.while_means == stats.while_means
+
+    def test_save_and_load(self, tmp_path):
+        stats = self._stats()
+        path = tmp_path / "branches.json"
+        stats.save(path)
+        from repro.simulate import BranchStatistics
+        loaded = BranchStatistics.load(path)
+        assert loaded.while_means == stats.while_means
+
+    def test_loaded_stats_annotate_fresh_skeleton(self, tmp_path):
+        stats = self._stats()
+        path = tmp_path / "branches.json"
+        stats.save(path)
+        from repro.simulate import BranchStatistics
+        loaded = BranchStatistics.load(path)
+        fresh = program_for(
+            "for i = 0 : 2000\nif prob 0.5\ncomp 1 flops\nend\n"
+            "while expect ?\ncomp 1 flops\nend\nend")
+        assert annotate_skeleton(fresh, loaded) == 2
+        assert not fresh.unprofiled_sites()
+
+    def test_rejects_foreign_payload(self):
+        from repro.errors import SimulationError
+        from repro.simulate import BranchStatistics
+        with pytest.raises(SimulationError):
+            BranchStatistics.from_dict({"random": "junk"})

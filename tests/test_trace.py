@@ -1,0 +1,125 @@
+"""Tests for simulated-time trace export (Chrome tracing format)."""
+
+import json
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.hardware import BGQ
+from repro.simulate import SkeletonExecutor, TraceRecorder, execute
+from repro.skeleton import parse_skeleton
+from repro.workloads import load
+
+
+def traced_run(source: str, **kwargs):
+    program = parse_skeleton(source)
+    recorder = TraceRecorder(**kwargs)
+    executor = SkeletonExecutor(program, BGQ, trace=recorder, seed=1)
+    result = executor.run()
+    return recorder, result
+
+
+SIMPLE = """
+def main()
+  for i = 0 : 4 as "outer"
+    comp 1000 flops
+    call work()
+  end
+end
+def work()
+  comp 500 flops
+end
+"""
+
+
+class TestTraceStructure:
+    def test_spans_well_nested(self):
+        recorder, _ = traced_run(SIMPLE)
+        spans = recorder.spans()      # raises on malformed nesting
+        assert spans
+
+    def test_every_begin_has_end(self):
+        recorder, _ = traced_run(SIMPLE)
+        begins = sum(1 for e in recorder.events if e.phase == "B")
+        ends = sum(1 for e in recorder.events if e.phase == "E")
+        assert begins == ends
+
+    def test_parent_span_covers_children(self):
+        recorder, _ = traced_run(SIMPLE)
+        spans = {name: (start, end)
+                 for name, start, end in recorder.spans()}
+        outer = next(v for k, v in spans.items() if "main@2" in k)
+        work = next(v for k, v in spans.items() if "work" in k)
+        assert outer[0] <= work[0] and work[1] <= outer[1]
+
+    def test_clock_matches_executor_time(self):
+        recorder, result = traced_run(SIMPLE)
+        assert recorder.total_us() == pytest.approx(
+            result.seconds * 1e6, rel=1e-9)
+
+    def test_timestamps_monotone(self):
+        recorder, _ = traced_run(SIMPLE)
+        times = [e.timestamp_us for e in recorder.events]
+        assert all(a <= b + 1e-12 for a, b in zip(times, times[1:]))
+
+    def test_deterministic(self):
+        a, _ = traced_run(SIMPLE)
+        b, _ = traced_run(SIMPLE)
+        assert [(e.name, e.phase, e.timestamp_us) for e in a.events] == \
+            [(e.name, e.phase, e.timestamp_us) for e in b.events]
+
+
+class TestChromeFormat:
+    def test_chrome_payload_shape(self):
+        recorder, _ = traced_run(SIMPLE)
+        payload = recorder.to_chrome_trace()
+        assert payload["traceEvents"]
+        event = payload["traceEvents"][0]
+        assert set(event) >= {"name", "ph", "ts", "pid", "tid"}
+        assert event["ph"] in ("B", "E")
+
+    def test_save_loads_as_json(self, tmp_path):
+        recorder, _ = traced_run(SIMPLE)
+        path = tmp_path / "trace.json"
+        recorder.save(path)
+        payload = json.loads(path.read_text())
+        assert payload["otherData"]["truncated"] is False
+
+    def test_truncation_guard(self):
+        recorder, _ = traced_run(SIMPLE, max_events=3)
+        assert recorder.truncated
+        assert len(recorder.events) <= 3
+
+    def test_bind_validation(self):
+        recorder = TraceRecorder()
+        with pytest.raises(SimulationError):
+            recorder.bind(0)
+
+    def test_malformed_trace_detected(self):
+        recorder = TraceRecorder()
+        recorder.bind(1e9)
+        recorder.begin("a")
+        recorder.end("b")
+        with pytest.raises(SimulationError):
+            recorder.spans()
+
+
+class TestWorkloadTrace:
+    def test_full_workload_traceable(self):
+        program, inputs = load("cfd")
+        recorder = TraceRecorder()
+        executor = SkeletonExecutor(program, BGQ, trace=recorder, seed=1)
+        result = executor.run(inputs=inputs)
+        spans = recorder.spans()
+        names = {name for name, _, _ in spans}
+        assert any("compute_flux" in name for name in names)
+        assert recorder.total_us() == pytest.approx(result.seconds * 1e6,
+                                                    rel=1e-9)
+
+    def test_untraced_run_matches_traced_run(self):
+        program, inputs = load("cfd")
+        plain = execute(program, BGQ, inputs=inputs, seed=1)
+        recorder = TraceRecorder()
+        traced = SkeletonExecutor(program, BGQ, trace=recorder,
+                                  seed=1).run(inputs=inputs)
+        assert plain.total_cycles == pytest.approx(traced.total_cycles)

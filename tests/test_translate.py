@@ -1,0 +1,346 @@
+"""Tests for the Python front end (ROSE substitute) and branch profiler."""
+
+import pytest
+
+from repro.bet import build_bet
+from repro.errors import TranslationError
+from repro.hardware import BGQ, RooflineModel
+from repro.analysis import characterize, group_blocks
+from repro.skeleton import (
+    Branch, Call, Comp, ForLoop, LibCall, Load, Store, VarAssign, WhileLoop,
+    format_skeleton,
+)
+from repro.translate import (
+    InputHints, apply_branch_stats, profile_branches, translate_functions,
+    translate_source,
+)
+
+
+def translate_one(body: str, params: str = "n", entry: str = "main",
+                  **hint_sizes):
+    source = f"def main({params}):\n" + "\n".join(
+        f"    {line}" for line in body.splitlines())
+    return translate_source(source, entry=entry,
+                            hints=InputHints(sizes=hint_sizes))
+
+
+class TestLoopTranslation:
+    def test_range_one_arg(self):
+        result = translate_one("for i in range(n):\n    x = i * 2")
+        loop = result.program.entry.body[0]
+        assert isinstance(loop, ForLoop)
+        assert str(loop.lo) == "0" and str(loop.hi) == "n"
+
+    def test_range_three_args(self):
+        result = translate_one("for i in range(2, n, 3):\n    x = i")
+        loop = result.program.entry.body[0]
+        assert str(loop.lo) == "2" and str(loop.step) == "3"
+
+    def test_non_range_loop_rejected(self):
+        with pytest.raises(TranslationError):
+            translate_one("for x in items:\n    pass")
+
+    def test_while_needs_profiling(self):
+        result = translate_one("while n > 0:\n    n = n - 1")
+        loop = result.program.entry.body[0]
+        assert isinstance(loop, WhileLoop) and loop.expect is None
+        assert result.needs_profiling
+
+    def test_nested_loops(self):
+        result = translate_one(
+            "for i in range(n):\n    for j in range(i):\n        x = i + j")
+        outer = result.program.entry.body[0]
+        inner = outer.body[0]
+        assert isinstance(inner, ForLoop)
+        assert str(inner.hi) == "i"
+
+
+class TestBranchTranslation:
+    def test_context_condition_is_deterministic(self):
+        result = translate_one(
+            "if n > 10:\n    x = 1.5 * n\nelse:\n    x = 2.5 * n")
+        branch = result.program.entry.body[0]
+        assert isinstance(branch, Branch)
+        assert branch.arms[0].kind == "cond"
+        assert not result.needs_profiling
+
+    def test_data_dependent_condition_needs_profiling(self):
+        result = translate_one(
+            "for i in range(n):\n"
+            "    v = a[i]\n"
+            "    if v > 0:\n"
+            "        s = v + 1.0")
+        assert len(result.needs_profiling) == 1
+        site = result.needs_profiling[0]
+        assert result.site_map[site][2] == "if"
+
+    def test_variable_poisoned_by_data_becomes_probabilistic(self):
+        # 'm' starts as a context var but is overwritten with array data;
+        # the branch on it afterwards must not be treated as deterministic
+        result = translate_one(
+            "m = 5\n"
+            "m = a[0]\n"
+            "if m > 2:\n"
+            "    x = 1.0 + m")
+        branch = [s for s in result.program.entry.walk()
+                  if isinstance(s, Branch)][0]
+        assert branch.arms[0].kind == "prob"
+
+
+class TestOpCounting:
+    def test_flops_counted(self):
+        result = translate_one("y = a[0] * 2.0 + a[1] * 3.0 - 1.0")
+        comp = [s for s in result.program.entry.walk()
+                if isinstance(s, Comp)][0]
+        assert comp.flops.evaluate({}) == 4
+
+    def test_division_tracked(self):
+        result = translate_one("y = a[0] / a[1]")
+        comp = [s for s in result.program.entry.walk()
+                if isinstance(s, Comp)][0]
+        assert comp.div_flops.evaluate({}) == 1
+
+    def test_index_arithmetic_is_integer(self):
+        result = translate_one("y = a[i + 1] + a[i - 1]")
+        comp = [s for s in result.program.entry.walk()
+                if isinstance(s, Comp)][0]
+        assert comp.iops.evaluate({}) == 2   # the two index adds
+        assert comp.flops.evaluate({}) == 1  # the one data add
+
+    def test_loads_grouped_by_array(self):
+        result = translate_one("y = a[0] + a[1] + b[0]")
+        loads = [s for s in result.program.entry.walk()
+                 if isinstance(s, Load)]
+        by_array = {load.array: load.count.evaluate({}) for load in loads}
+        assert by_array == {"a": 2, "b": 1}
+
+    def test_subscript_store(self):
+        result = translate_one("a[i] = 2.0 * b[i]")
+        stores = [s for s in result.program.entry.walk()
+                  if isinstance(s, Store)]
+        assert len(stores) == 1 and stores[0].array == "a"
+
+    def test_augassign_counts_read_and_write(self):
+        result = translate_one("a[i] += b[i]")
+        loads = [s for s in result.program.entry.walk()
+                 if isinstance(s, Load)]
+        assert {load.array for load in loads} == {"a", "b"}
+
+    def test_math_calls_become_libs(self):
+        source = ("import math\n"
+                  "def main(n):\n"
+                  "    y = math.exp(1.0) + math.sqrt(2.0)")
+        result = translate_source(source)
+        libs = [s for s in result.program.entry.walk()
+                if isinstance(s, LibCall)]
+        assert {lib.name for lib in libs} == {"exp", "sqrt"}
+
+    def test_unknown_call_rejected(self):
+        with pytest.raises(TranslationError) as info:
+            translate_one("y = frobnicate(1)")
+        assert "frobnicate" in str(info.value)
+
+    def test_len_becomes_input_variable(self):
+        result = translate_one("for i in range(len(a)):\n    x = a[i]",
+                               params="a")
+        loop = result.program.entry.body[0]
+        assert str(loop.hi) == "len_a"
+
+
+class TestInterprocedural:
+    SOURCE = """
+def kernel(a, n):
+    total = 0.0
+    for i in range(n):
+        total = total + a[i] * a[i]
+    return total
+
+def main(a, n):
+    kernel(a, n)
+    kernel(a, n)
+"""
+
+    def test_calls_translated(self):
+        result = translate_source(self.SOURCE)
+        calls = [s for s in result.program.entry.walk()
+                 if isinstance(s, Call)]
+        assert len(calls) == 2
+        assert all(c.name == "kernel" for c in calls)
+
+    def test_array_arguments_pass_by_name(self):
+        # arrays pass through by name and are bound to their lengths when
+        # the BET is built (documented convention)
+        result = translate_source(self.SOURCE)
+        call = [s for s in result.program.entry.walk()
+                if isinstance(s, Call)][0]
+        assert str(call.args[0]) == "a"
+
+    def test_entry_renamed_to_main(self):
+        source = "def kern(n):\n    x = 1.0 * n\n"
+        result = translate_source(source, entry="kern")
+        assert "main" in result.program.functions
+        wrapper_call = result.program.entry.body[0]
+        assert isinstance(wrapper_call, Call) and wrapper_call.name == "kern"
+
+    def test_missing_entry(self):
+        with pytest.raises(TranslationError):
+            translate_source("def f():\n    pass\n", entry="nothere")
+
+    def test_translate_functions_by_reference(self):
+        def doubler(n):
+            s = 0.0
+            for i in range(n):
+                s = s + 2.0 * i
+            return s
+
+        result = translate_functions([doubler])
+        assert "doubler" in result.program.functions
+
+
+class TestBranchProfiling:
+    SOURCE = """
+def main(a, n):
+    hits = 0
+    for i in range(n):
+        if a[i] > 0.5:
+            hits = hits + 1
+    k = n
+    while k > 1:
+        k = k // 2
+    return hits
+"""
+
+    def test_frequencies_recovered(self):
+        import random
+        random.seed(7)
+        a = [random.random() for _ in range(4000)]
+        result = translate_source(self.SOURCE)
+        stats = profile_branches(
+            self.SOURCE, "main",
+            InputHints(profile_args=(a, len(a))))
+        (key, freq), = stats.if_frequency.items()
+        assert freq == pytest.approx(0.5, abs=0.05)
+
+    def test_while_trip_mean(self):
+        result = translate_source(self.SOURCE)
+        stats = profile_branches(
+            self.SOURCE, "main",
+            InputHints(profile_args=([0.0] * 64, 64)))
+        (key, mean), = stats.while_mean.items()
+        assert mean == pytest.approx(6, abs=1)   # log2(64)
+
+    def test_apply_fills_skeleton(self):
+        result = translate_source(self.SOURCE)
+        assert not result.is_complete
+        stats = profile_branches(
+            self.SOURCE, "main",
+            InputHints(profile_args=([0.9, 0.1] * 32, 64)))
+        filled = apply_branch_stats(result, stats)
+        assert filled == 2
+        assert result.is_complete
+        assert not result.program.unprofiled_sites()
+
+    def test_unreached_site_raises(self):
+        source = """
+def main(a, n):
+    if n > 1000000:
+        while a[0] > 0:
+            a[0] = a[0] - 1.0
+    for i in range(n):
+        if a[i] > 0.5:
+            x = 1.0
+"""
+        result = translate_source(source)
+        stats = profile_branches(source, "main",
+                                 InputHints(profile_args=([0.1] * 8, 8)))
+        with pytest.raises(TranslationError) as info:
+            apply_branch_stats(result, stats)
+        assert "representative" in str(info.value)
+
+    def test_missing_entry_in_profile(self):
+        with pytest.raises(TranslationError):
+            profile_branches("x = 1\n", "main")
+
+
+class TestEndToEnd:
+    SOURCE = """
+def stencil(u, v, n, iters):
+    for it in range(iters):
+        for i in range(1, n - 1):
+            v[i] = 0.25 * (u[i - 1] + 2.0 * u[i] + u[i + 1])
+        for i in range(1, n - 1):
+            u[i] = v[i]
+
+def main(u, v, n, iters):
+    stencil(u, v, n, iters)
+"""
+
+    def test_translated_skeleton_reaches_hot_spots(self):
+        hints = InputHints(sizes={"len_u": 4096, "len_v": 4096,
+                                  "n": 4096, "iters": 50})
+        result = translate_source(self.SOURCE, hints=hints)
+        inputs = dict(hints.sizes)
+        inputs.update({"u": 4096, "v": 4096})
+        root = build_bet(result.program, inputs=inputs)
+        records = characterize(root, RooflineModel(BGQ))
+        spots = group_blocks(records)
+        assert spots, "translated program must have hot-spot candidates"
+        # the stencil loop dominates the copy loop
+        assert "stencil" in spots[0].label
+
+    def test_round_trips_through_printer(self):
+        result = translate_source(self.SOURCE)
+        from repro.skeleton import parse_skeleton
+        text = format_skeleton(result.program)
+        reparsed = parse_skeleton(text)
+        assert set(reparsed.functions) == set(result.program.functions)
+
+
+class TestNumpyVectorCalls:
+    def test_np_exp_on_array_sized_by_length(self):
+        result = translate_one("b = np.exp(a)")
+        libs = [s for s in result.program.entry.walk()
+                if isinstance(s, LibCall)]
+        assert len(libs) == 1
+        assert libs[0].name == "exp"
+        assert str(libs[0].size) == "len_a"
+
+    def test_np_random_rand_sized_by_expression(self):
+        result = translate_one("noise = np.random.rand(n * 2)")
+        lib = [s for s in result.program.entry.walk()
+               if isinstance(s, LibCall)][0]
+        assert lib.name == "rand"
+        assert str(lib.size) == "(n * 2)"
+
+    def test_numpy_long_form_names(self):
+        source = ("import numpy\n"
+                  "def main(a, n):\n"
+                  "    b = numpy.sqrt(a)\n")
+        result = translate_source(source)
+        lib = [s for s in result.program.entry.walk()
+               if isinstance(s, LibCall)][0]
+        assert lib.name == "sqrt"
+
+    def test_np_copy_becomes_memcpy(self):
+        result = translate_one("b = np.copy(a)")
+        lib = [s for s in result.program.entry.walk()
+               if isinstance(s, LibCall)][0]
+        assert lib.name == "memcpy"
+
+    def test_vectorized_kernel_end_to_end(self):
+        source = """
+def main(u, n, iters):
+    for it in range(iters):
+        v = np.exp(u)
+        s = np.sqrt(v)
+"""
+        hints = InputHints(sizes={"n": 100_000, "iters": 50,
+                                  "len_u": 100_000, "len_v": 100_000})
+        result = translate_source(source, hints=hints)
+        inputs = dict(hints.sizes)
+        inputs.update({"u": 100_000, "iters": 50})
+        root = build_bet(result.program, inputs=inputs)
+        from repro.analysis import characterize as chz, group_blocks
+        from repro.hardware import RooflineModel
+        spots = group_blocks(chz(root, RooflineModel(BGQ)))
+        assert "exp" in spots[0].label

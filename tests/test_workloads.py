@@ -1,0 +1,168 @@
+"""Tests for the benchmark workload suite (paper Sec. VI)."""
+
+import pytest
+
+from repro.analysis import characterize, group_blocks
+from repro.bet import build_bet
+from repro.errors import ReproError
+from repro.hardware import BGQ, RooflineModel, XEON_E5_2420
+from repro.simulate import profile
+from repro.workloads import load, names, spec
+
+
+class TestRegistry:
+    def test_all_paper_benchmarks_present(self):
+        expected = {"sord", "chargei", "srad", "cfd", "stassuij",
+                    "pedagogical"}
+        assert expected == set(names())
+
+    def test_spec_lookup(self):
+        sord = spec("sord")
+        assert "SORD" in sord.title
+        assert sord.default_inputs["nx"] == 400
+
+    def test_unknown_workload(self):
+        with pytest.raises(ReproError):
+            spec("linpack")
+
+    def test_load_returns_fresh_programs(self):
+        a, _ = load("cfd")
+        b, _ = load("cfd")
+        assert a is not b
+
+    def test_paper_input_sizes(self):
+        # Sec. VI test cases
+        _, sord_inputs = load("sord")
+        assert (sord_inputs["nz"], sord_inputs["ny"], sord_inputs["nx"]) \
+            == (50, 400, 400)
+        _, srad_inputs = load("srad")
+        assert srad_inputs["rows"] == srad_inputs["cols"] == 2048
+        assert srad_inputs["sample"] == 128
+        _, cfd_inputs = load("cfd")
+        assert cfd_inputs["nel"] == 97_000
+        _, st_inputs = load("stassuij")
+        assert st_inputs["nrow"] == 132 and st_inputs["ncol"] == 2048
+
+    def test_scale_resizes_data_not_iterations(self):
+        _, inputs = load("sord", scale=2.0)
+        assert inputs["nx"] == 800
+        assert inputs["nt"] == 40  # iteration counts untouched
+
+    def test_invalid_scale(self):
+        with pytest.raises(ReproError):
+            load("sord", scale=0)
+
+
+class TestAllWorkloadsRun:
+    @pytest.mark.parametrize("name", sorted(
+        {"sord", "chargei", "srad", "cfd", "stassuij", "pedagogical"}))
+    def test_parses_and_builds_bet(self, name):
+        program, inputs = load(name)
+        root = build_bet(program, inputs=inputs)
+        assert root.size() > 10
+        # paper Sec. IV-B: BET never exceeds 2x the source statements
+        assert root.size() <= 2 * program.statement_count()
+
+    @pytest.mark.parametrize("name", sorted(
+        {"sord", "chargei", "srad", "cfd", "stassuij", "pedagogical"}))
+    def test_executes_on_both_machines(self, name):
+        program, inputs = load(name)
+        for machine in (BGQ, XEON_E5_2420):
+            result = profile(program, machine, inputs=inputs, seed=3)
+            assert result.total_seconds > 0
+
+    @pytest.mark.parametrize("name", sorted(
+        {"sord", "chargei", "srad", "cfd", "stassuij"}))
+    def test_model_and_measurement_share_sites(self, name):
+        program, inputs = load(name)
+        root = build_bet(program, inputs=inputs)
+        records = characterize(root, RooflineModel(BGQ))
+        model_sites = {s.site for s in group_blocks(records)[:5]}
+        measured = profile(program, BGQ, inputs=inputs,
+                           seed=3).site_seconds()
+        # every top model site must exist in the measured profile
+        assert model_sites <= set(measured)
+
+
+class TestPaperShapes:
+    """Cheap versions of the headline shapes (full ones in benchmarks/)."""
+
+    def test_sord_is_a_full_application(self):
+        program, _ = load("sord")
+        assert len(program.functions) >= 20
+        assert program.statement_count() >= 120
+
+    def test_chargei_has_eight_core_loops(self):
+        program, _ = load("chargei")
+        # Sec. VI: "contains eight loop structures"
+        kernels = [f for f in program.functions.values()
+                   if f.name not in ("main",)]
+        assert len(kernels) == 8
+
+    def test_chargei_two_dominant_spots(self):
+        program, inputs = load("chargei")
+        prof = profile(program, BGQ, inputs=inputs, seed=3)
+        ranked = prof.ranked()
+        top_share = ranked[0][1] / prof.total_seconds
+        second_share = ranked[1][1] / prof.total_seconds
+        assert 0.35 < top_share < 0.55      # paper: ~44%
+        assert 0.30 < second_share < 0.50   # paper: ~38%
+
+    def test_srad_top3_are_exp_diffusion_rand(self):
+        program, inputs = load("srad")
+        prof = profile(program, BGQ, inputs=inputs, seed=3)
+        ranked = prof.ranked()
+        shares = [sec / prof.total_seconds for _, sec in ranked[:3]]
+        assert 0.30 < shares[0] < 0.45      # paper: 37%
+        assert 0.20 < shares[1] < 0.40      # paper: 28%
+        assert 0.12 < shares[2] < 0.32      # paper: 25%
+
+    def test_stassuij_two_phases(self):
+        program, inputs = load("stassuij")
+        prof = profile(program, BGQ, inputs=inputs, seed=3)
+        ranked = prof.ranked()
+        top = ranked[0][1] / prof.total_seconds
+        second = ranked[1][1] / prof.total_seconds
+        assert 0.60 < top < 0.85            # paper: 68%
+        assert 0.15 < second < 0.35         # paper: 23%
+
+    def test_pedagogical_contexts_fork_on_knob(self):
+        program, inputs = load("pedagogical")
+        root = build_bet(program, inputs=inputs)
+        foo_mounts = [n for n in root.walk()
+                      if n.kind == "call" and n.note == "foo"]
+        assert len(foo_mounts) == 2
+        assert sorted(m.context["knob"] for m in foo_mounts) == [0, 1]
+
+
+class TestModelExecutorCrossValidation:
+    """The BET's expected dynamic work must match the executor's measured
+    work — the strongest end-to-end consistency check we have, because the
+    two engines share nothing but the skeleton."""
+
+    @pytest.mark.parametrize("name", sorted(
+        {"sord", "chargei", "srad", "cfd", "stassuij", "pedagogical"}))
+    def test_expected_flops_match_measured(self, name):
+        from repro.simulate import execute
+        program, inputs = load(name)
+        root = build_bet(program, inputs=inputs)
+        expected = sum(node.own_metrics.flops * node.enr
+                       for node in root.blocks())
+        runs = [execute(program, BGQ, inputs=inputs, seed=s).totals().flops
+                for s in (1, 2, 3)]
+        mean = sum(runs) / len(runs)
+        # branch sampling introduces variance; rare heavy branches
+        # (checkpoints) dominate it, hence the loose band
+        assert mean == pytest.approx(expected, rel=0.10)
+
+    @pytest.mark.parametrize("name", sorted(
+        {"chargei", "srad", "cfd", "stassuij"}))
+    def test_expected_bytes_match_measured(self, name):
+        from repro.simulate import execute
+        program, inputs = load(name)
+        root = build_bet(program, inputs=inputs)
+        expected = sum(node.own_metrics.total_bytes * node.enr
+                       for node in root.blocks())
+        measured = execute(program, BGQ, inputs=inputs,
+                           seed=1).totals().bytes_moved
+        assert measured == pytest.approx(expected, rel=0.10)

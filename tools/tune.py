@@ -1,0 +1,48 @@
+"""Dev tool: compare Prof vs Modl hot spots for every workload/machine."""
+import sys
+import time
+
+from repro.workloads import load
+from repro.simulate import profile
+from repro.bet import build_bet
+from repro.hardware import RooflineModel, BGQ, XEON_E5_2420
+from repro.analysis import (characterize, select_hotspots, selection_quality,
+                            common_spots)
+
+names = sys.argv[1:] or ["sord", "chargei", "srad", "cfd", "stassuij"]
+tops = {}
+for name in names:
+    program, inputs = load(name)
+    for machine in (BGQ, XEON_E5_2420):
+        prof = profile(program, machine, inputs=inputs, seed=1)
+        root = build_bet(program, inputs=inputs)
+        recs = characterize(root, RooflineModel(machine))
+        sel = select_hotspots(recs, program.static_size(), max_spots=10)
+        measured = prof.site_seconds()
+        total = prof.total_seconds
+        q = selection_quality(sel.sites, measured, total)
+        print(f"\n=== {name} on {machine.name}:  Q={q:.3f}  "
+              f"leanness={sel.leanness:.2%} cover={sel.coverage:.2%} "
+              f"simsec={total:.3f}")
+        ranked = prof.ranked()
+        tops[(name, machine.name, 'prof')] = [s for s, _ in ranked[:10]]
+        tops[(name, machine.name, 'modl')] = sel.sites[:10]
+        for i in range(10):
+            ps, pt = ranked[i] if i < len(ranked) else ("-", 0)
+            if i < len(sel.spots):
+                sp = sel.spots[i]
+                ms, mt = sp.site, sp.projected_time / sel.total_time
+                lbl = sp.label[:24]
+            else:
+                ms, mt, lbl = "-", 0, ""
+            mark = " *" if ps == ms else ""
+            print(f"  {i+1:2d} prof {ps:26s} {100*pt/total:5.1f}%   "
+                  f"modl {ms:26s} {100*mt:5.1f}% {lbl}{mark}")
+for name in names:
+    a = tops.get((name, 'bgq', 'prof'), [])
+    b = tops.get((name, 'xeon', 'prof'), [])
+    print(f"{name}: common prof top-10 bgq/xeon = {len(common_spots(a, b))}")
+    am = tops.get((name, 'bgq', 'modl'), [])
+    bm = tops.get((name, 'xeon', 'modl'), [])
+    print(f"{name}: common modl top-10 bgq/xeon = "
+          f"{len(common_spots(am, bm))}")
