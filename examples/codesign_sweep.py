@@ -4,11 +4,13 @@ hardware design space?
 
 This is the paper's motivating use case (Sec. I): hot spots found on one
 machine do not stay hot on another, so architects sweeping a design space
-need projections, not ports.  We take the CFD mini-app and project it onto
+need projections, not ports.  We take the CFD mini-app, build its BET once
+(memoized — `build_bet_cached`), and project it onto
 
 * the two validation machines (BG/Q node, Xeon E5-2420),
 * two conceptual future nodes (HBM-equipped, throughput manycore),
-* a bandwidth sweep of the manycore design,
+* a bandwidth × core-count grid of the manycore design (`sweep_grid`,
+  fanned out over a process pool when `workers > 1`),
 
 and report, for each point: projected runtime, the top hot spot, and the
 fraction of hot-spot time limited by memory — the signal a co-design team
@@ -17,54 +19,45 @@ uses to decide whether to spend transistors on bandwidth or on flops.
 Run:  python examples/codesign_sweep.py
 """
 
+import os
+
 from repro import (
     BGQ, FUTURE_HBM, FUTURE_MANYCORE, XEON_E5_2420, RooflineModel,
-    build_bet, characterize, load_workload, performance_breakdown,
-    select_hotspots, total_time,
+    build_bet_cached, characterize, load_workload, sweep_grid, total_time,
 )
-
-
-def project(program, bet, machine, static_size):
-    records = characterize(bet, RooflineModel(machine))
-    runtime = total_time(records)
-    selection = select_hotspots(records, static_size,
-                                coverage=1.0, leanness=1.0, max_spots=10)
-    rows = performance_breakdown(selection.spots)
-    hot_time = sum(r.total for r in rows)
-    memory_time = sum(r.memory - r.overlap for r in rows)
-    return {
-        "runtime": runtime,
-        "top_spot": selection.spots[0].label,
-        "top_bound": selection.spots[0].bound,
-        "memory_fraction": memory_time / hot_time if hot_time else 0.0,
-    }
+from repro.parallel import bet_cache_stats
 
 
 def main():
     program, inputs = load_workload("cfd")
-    bet = build_bet(program, inputs=inputs)     # one model, many machines
-    static_size = program.static_size()
+    bet = build_bet_cached(program, inputs)     # one model, many machines
 
     print(f"{'machine':24s} {'runtime':>10s} {'mem-limited':>12s}  "
           "top hot spot")
     print("-" * 78)
 
+    # single-cell "grids" reuse the same per-point projection the big
+    # sweep uses, so every number in this study has one source
     for machine in (BGQ, XEON_E5_2420, FUTURE_HBM, FUTURE_MANYCORE):
-        result = project(program, bet, machine, static_size)
-        print(f"{machine.name:24s} {result['runtime']:9.4f}s "
-              f"{100 * result['memory_fraction']:11.1f}%  "
-              f"{result['top_spot']} ({result['top_bound']})")
+        point = sweep_grid(bet, machine,
+                           {"cores": [machine.cores]}).points[0]
+        print(f"{machine.name:24s} {point.runtime:9.4f}s "
+              f"{100 * point.memory_fraction:11.1f}%  {point.top_label}")
 
-    print("\nBandwidth sweep of the manycore design "
+    workers = min(4, os.cpu_count() or 1)
+    print("\nBandwidth sweep x core clock of the manycore design "
           "(when does CFD stop being memory-limited?)")
-    print(f"{'bandwidth':>12s} {'runtime':>10s} {'mem-limited':>12s}")
-    for bandwidth_gbs in (60, 120, 180, 360, 720):
-        machine = FUTURE_MANYCORE.with_overrides(
-            name=f"manycore-{bandwidth_gbs}g",
-            bandwidth=bandwidth_gbs * 1e9)
-        result = project(program, bet, machine, static_size)
-        print(f"{bandwidth_gbs:10d}GB {result['runtime']:9.4f}s "
-              f"{100 * result['memory_fraction']:11.1f}%")
+    grid = sweep_grid(
+        bet, FUTURE_MANYCORE,
+        {"bandwidth": [gbs * 1e9 for gbs in (5, 10, 20, 40, 80)],
+         "frequency_hz": [1.1e9, 2.2e9]},
+        workers=workers)
+    print(grid.render())
+    best = grid.best()
+    print(f"fastest cell: {best.machine.name} at {best.runtime:.4f}s "
+          f"({grid.timings['total']:.3f}s for "
+          f"{int(grid.timings['points'])} points, workers={workers}; "
+          f"BET cache: {bet_cache_stats()})")
 
     print("\nDivision-hardware sweep (the CFD velocity kernel is "
           "division-bound on BG/Q, paper Sec. VII-B)")

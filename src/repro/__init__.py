@@ -56,6 +56,10 @@ from .translate import (
 from .multinode import (
     DecompositionModel, NetworkModel, ScalingProjection, project_scaling,
 )
+from .parallel import (
+    CacheStats, GridPoint, GridResult, LRUCache, analyze_matrix,
+    build_bet_cached, sweep_grid,
+)
 from .workloads import load as load_workload
 from .workloads import names as workload_names
 
@@ -92,6 +96,9 @@ __all__ = [
     # multinode extension
     "DecompositionModel", "NetworkModel", "ScalingProjection",
     "project_scaling",
+    # parallel sweep engine
+    "LRUCache", "CacheStats", "GridPoint", "GridResult",
+    "build_bet_cached", "sweep_grid", "analyze_matrix",
     # workloads
     "load_workload", "workload_names",
     "__version__",

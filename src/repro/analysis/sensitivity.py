@@ -7,12 +7,18 @@ sweep and reports, per point, the projected runtime, the hot-spot ranking,
 and how stable the ranking is relative to the baseline — the quantitative
 version of the paper's observation that hot spots do not port across
 machines (Sec. I).
+
+``workers > 1`` fans the points out to a process pool
+(:mod:`repro.parallel`); results are deterministic and bit-identical to
+the serial path.  For multi-parameter grids and batched full analyses see
+:func:`repro.parallel.sweep_grid` and :func:`repro.parallel.analyze_matrix`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..bet.nodes import BETNode
 from ..errors import AnalysisError
@@ -44,6 +50,9 @@ class SweepResult:
 
     parameter: str
     points: List[SweepPoint]
+    #: per-stage wall seconds (``project``, ``total``) and engine facts
+    #: (``workers``, ``points``) recorded by the sweep driver
+    timings: Dict[str, float] = field(default_factory=dict)
 
     @property
     def baseline(self) -> SweepPoint:
@@ -73,12 +82,53 @@ class SweepResult:
         return "\n".join(lines)
 
 
+def project_machine(bet: BETNode, machine: MachineModel,
+                    model_factory: Optional[Callable] = None,
+                    k: int = 10) -> Dict[str, object]:
+    """Characterize one BET on one machine, returning the sweep metrics.
+
+    Shared by :func:`sweep_machine`, the grid engine, and the CLI so a
+    reported (runtime, ranking, memory fraction) always has one source.
+    """
+    factory = model_factory or RooflineModel
+    records = characterize(bet, factory(machine))
+    spots = group_blocks(records)
+    runtime = total_time(records)
+    hot_total = sum(s.projected_time for s in spots[:k])
+    hot_memory = sum(s.memory_time - s.overlap_time for s in spots[:k])
+    return {
+        "runtime": runtime,
+        "ranking": [s.site for s in spots],
+        "top_label": spots[0].label if spots else "-",
+        "memory_fraction": hot_memory / hot_total if hot_total else 0.0,
+    }
+
+
+def _sweep_one(bet: BETNode, base_machine: MachineModel, parameter: str,
+               value: float, model_factory: Optional[Callable],
+               k: int) -> SweepPoint:
+    machine = base_machine.with_overrides(
+        name=f"{base_machine.name}[{parameter}={value:g}]",
+        **{parameter: value})
+    projection = project_machine(bet, machine, model_factory, k)
+    return SweepPoint(value=value, machine=machine, **projection)
+
+
+def _sweep_chunk(payload) -> List[SweepPoint]:
+    """Process-pool task: project a contiguous run of sweep values."""
+    bet, base_machine, parameter, values, model_factory, k = payload
+    return [_sweep_one(bet, base_machine, parameter, value,
+                       model_factory, k)
+            for value in values]
+
+
 def sweep_machine(bet: BETNode,
                   base_machine: MachineModel,
                   parameter: str,
                   values: Sequence[float],
                   model_factory: Optional[Callable] = None,
-                  k: int = 10) -> SweepResult:
+                  k: int = 10,
+                  workers: int = 1) -> SweepResult:
     """Re-project one BET across a machine-parameter sweep.
 
     Parameters
@@ -94,28 +144,30 @@ def sweep_machine(bet: BETNode,
         Values to sweep; the first is the baseline for stability metrics.
     model_factory:
         ``machine -> block-time model`` (default: plain RooflineModel).
+    workers:
+        Process-pool width; ``1`` (the default) runs serially.  Parallel
+        results are deterministic and identical to the serial path.
     """
     if not values:
         raise AnalysisError("sweep needs at least one value")
     if not hasattr(base_machine, parameter):
         raise AnalysisError(
             f"machine has no parameter {parameter!r}")
-    factory = model_factory or RooflineModel
-    points: List[SweepPoint] = []
-    for value in values:
-        machine = base_machine.with_overrides(
-            name=f"{base_machine.name}[{parameter}={value:g}]",
-            **{parameter: value})
-        records = characterize(bet, factory(machine))
-        spots = group_blocks(records)
-        runtime = total_time(records)
-        hot_total = sum(s.projected_time for s in spots[:k])
-        hot_memory = sum(s.memory_time - s.overlap_time
-                         for s in spots[:k])
-        points.append(SweepPoint(
-            value=value, machine=machine, runtime=runtime,
-            ranking=[s.site for s in spots],
-            top_label=spots[0].label if spots else "-",
-            memory_fraction=hot_memory / hot_total if hot_total else 0.0,
-        ))
-    return SweepResult(parameter=parameter, points=points)
+    started = time.perf_counter()
+    values = list(values)
+    if workers > 1 and len(values) > 1:
+        from ..parallel.pool import chunk, parallel_map
+        payloads = [(bet, base_machine, parameter, piece,
+                     model_factory, k)
+                    for piece in chunk(values, workers)]
+        chunks = parallel_map(_sweep_chunk, payloads, workers=workers)
+        points = [point for piece in chunks for point in piece]
+    else:
+        points = [_sweep_one(bet, base_machine, parameter, value,
+                             model_factory, k)
+                  for value in values]
+    elapsed = time.perf_counter() - started
+    return SweepResult(parameter=parameter, points=points,
+                       timings={"project": elapsed, "total": elapsed,
+                                "workers": float(max(workers, 1)),
+                                "points": float(len(points))})

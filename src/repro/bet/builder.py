@@ -181,7 +181,11 @@ class BETBuilder:
               contexts: List[Context], metrics: Metrics,
               kind: str = "leaf") -> BETNode:
         prob = min(sum(ctx.prob for ctx in contexts), 1.0)
-        sample_env = contexts[0].env if contexts else {}
+        # the node's rendered context is the maximum-probability environment
+        # (ties keep first occurrence), so hot-path annotations show the
+        # dominant arm's bindings rather than whichever arm happened first
+        sample_env = max(contexts, key=lambda ctx: ctx.prob).env \
+            if contexts else {}
         node = BETNode(kind, statement, sample_env, prob=prob, parent=block)
         node.own_metrics = metrics
         if kind == "leaf":
@@ -339,12 +343,18 @@ class BETBuilder:
                        num_iter=float(trips), parent=block,
                        parallel=getattr(statement, "parallel", False))
         node.own_metrics = node.own_metrics + Metrics(static_size=1)
+        if trips <= 0:
+            # "no loop is ever iterated": a zero-trip loop contributes an
+            # empty node and its body is never evaluated, so expressions
+            # that are only well-defined when the loop runs (e.g. 1/n with
+            # n = 0) cannot fault the build
+            return ctx.fork(1.0)
         body_result = self._process_body(statement.body, node,
                                          [Context(body_env, 1.0)])
         p_break = min(body_result.escapes["break"], 1.0)
         p_return = min(body_result.escapes["return"], 1.0)
         exit_per_iter = min(p_break + p_return, 1.0)
-        if exit_per_iter > _EPSILON and trips > 0:
+        if exit_per_iter > _EPSILON:
             node.num_iter = expected_break_iterations(exit_per_iter,
                                                       trips)
             ever_exited = 1.0 - (1.0 - exit_per_iter) ** trips

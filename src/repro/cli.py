@@ -10,6 +10,10 @@
     repro hotpath sord --machine bgq     # merged hot path (--dot, --json)
     repro dataflow sord                  # hot-spot data-flow interactions
     repro bet sord --metrics             # render the BET itself
+    repro sweep cfd --machine bgq \
+          --param bandwidth=14e9,28e9,56e9 --workers 4
+                                         # design-space sweep (1 param) or
+                                         # grid (repeat --param), parallel
     repro lint sord                      # skeleton diagnostics (W001-W009)
     repro trace cfd --out trace.json     # chrome://tracing of simulated time
     repro translate kernel.py --entry main --size n=4096
@@ -181,6 +185,28 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--dot", action="store_true",
                            help="emit Graphviz DOT instead of ASCII")
 
+    sweep_parser = sub.add_parser(
+        "sweep", help="re-project one BET across a machine design-space "
+                      "sweep or grid")
+    sweep_parser.add_argument("workload")
+    sweep_parser.add_argument("--machine", default="bgq",
+                              help="base machine preset (default bgq)")
+    sweep_parser.add_argument(
+        "--param", dest="params", action="append", required=True,
+        metavar="NAME=V1,V2,...",
+        help="machine parameter and its values; repeat for a grid "
+             "(cells are the cross product)")
+    sweep_parser.add_argument("--workers", type=int, default=1,
+                              help="process-pool width (default 1: serial)")
+    sweep_parser.add_argument("--top", type=int, default=10,
+                              help="hot spots per point for the memory "
+                                   "fraction (default 10)")
+    sweep_parser.add_argument("--set", dest="bindings", action="append",
+                              metavar="NAME=VALUE",
+                              help="override a workload input")
+    sweep_parser.add_argument("--json", action="store_true",
+                              help="emit machine-readable JSON")
+
     lint_parser = sub.add_parser(
         "lint", help="static diagnostics for a workload skeleton")
     lint_parser.add_argument("workload")
@@ -298,6 +324,50 @@ def _cmd_hotpath(args) -> str:
     return path.render_dot() if args.dot else path.render_ascii()
 
 
+def _parse_sweep_params(pairs: List[str]) -> Dict[str, List[float]]:
+    grid: Dict[str, List[float]] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise ReproError(
+                f"expected NAME=V1,V2,..., got {pair!r}")
+        name, _, raw = pair.partition("=")
+        try:
+            values = [float(token) for token in raw.split(",") if token]
+        except ValueError:
+            raise ReproError(
+                f"non-numeric sweep value in {pair!r}") from None
+        if not values:
+            raise ReproError(f"no values given for parameter {name!r}")
+        grid[name.strip()] = values
+    return grid
+
+
+def _cmd_sweep(args) -> str:
+    from .analysis.sensitivity import sweep_machine
+    from .parallel import build_bet_cached, sweep_grid
+    program, inputs, machine = _load(args)
+    grid = _parse_sweep_params(args.params)
+    bet = build_bet_cached(program, inputs)
+    if len(grid) == 1:
+        parameter, values = next(iter(grid.items()))
+        result = sweep_machine(bet, machine, parameter, values,
+                               k=args.top, workers=args.workers)
+        if args.json:
+            from .export import sweep_to_dict, to_json
+            return to_json(sweep_to_dict(result))
+    else:
+        result = sweep_grid(bet, machine, grid, k=args.top,
+                            workers=args.workers)
+        if args.json:
+            from .export import grid_to_dict, to_json
+            return to_json(grid_to_dict(result))
+    timings = result.timings
+    footer = (f"[{int(timings.get('points', 0))} points in "
+              f"{timings.get('total', 0.0):.3f}s, "
+              f"workers={int(timings.get('workers', 1))}]")
+    return result.render() + "\n" + footer
+
+
 def _cmd_translate(args) -> str:
     with open(args.path, "r", encoding="utf-8") as handle:
         source = handle.read()
@@ -400,6 +470,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             output = _cmd_lint(args)
         elif args.command == "trace":
             output = _cmd_trace(args)
+        elif args.command == "sweep":
+            output = _cmd_sweep(args)
         elif args.command == "bet":
             output = _cmd_bet(args)
         else:

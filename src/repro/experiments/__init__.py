@@ -8,7 +8,9 @@ into this package, so a reported number always has exactly one source.
 See DESIGN.md §4 for the experiment index (E1–E16, A1–A5, X1–X2).
 """
 
-from .pipeline import WorkloadAnalysis, analyze, clear_cache
+from .pipeline import (
+    WorkloadAnalysis, analyze, cache_stats, clear_cache, remember,
+)
 from .artifacts import (
     ablation_cachemiss,
     ablation_division,
@@ -29,7 +31,9 @@ from .artifacts import (
 __all__ = [
     "WorkloadAnalysis",
     "analyze",
+    "cache_stats",
     "clear_cache",
+    "remember",
     "hotspot_ranking_table",
     "cross_machine_quality",
     "coverage_figure",

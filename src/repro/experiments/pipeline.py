@@ -14,7 +14,8 @@ figures slice the same run.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..analysis import (
@@ -25,12 +26,18 @@ from ..analysis.block_metrics import BlockRecord
 from ..bet import build_bet
 from ..bet.nodes import BETNode
 from ..hardware import MachineModel, RooflineModel, machine_by_name
+from ..parallel.cache import CacheStats, LRUCache
 from ..simulate import ProfileResult, profile
 from ..skeleton import Program
 from ..workloads import load
 
 #: measurement seed shared by every experiment (determinism)
 DEFAULT_SEED = 1
+
+#: bound on memoized analyses: a full suite × machines × ablations session
+#: fits comfortably, while an open-ended co-design sweep cannot grow the
+#: process without bound (evictions are counted in ``cache_stats()``)
+CACHE_SIZE = 64
 
 
 @dataclass
@@ -46,6 +53,9 @@ class WorkloadAnalysis:
     records: List[BlockRecord]
     selection: HotSpotSelection            #: paper criteria (90 % / 10 %)
     model_spots: List[HotSpot]             #: full Modl ranking
+    #: per-stage wall seconds (``profile``, ``build_bet``, ``characterize``,
+    #: ``select``, ``total``) recorded when this analysis was computed
+    timings: Dict[str, float] = field(default_factory=dict)
 
     # -- Prof side -------------------------------------------------------
     @property
@@ -98,7 +108,17 @@ class WorkloadAnalysis:
         }
 
 
-_CACHE: Dict[Tuple, WorkloadAnalysis] = {}
+#: bounded, shared memo of analyses (hit/miss/eviction counters exposed
+#: through :func:`cache_stats`)
+_CACHE = LRUCache(maxsize=CACHE_SIZE)
+
+
+def _cache_key(name: str, machine: MachineModel, seed: int,
+               miss_rate: float, model_division: bool,
+               model_vectorization: bool, overlap: bool,
+               coverage: float, leanness: float) -> Tuple:
+    return (name, machine, seed, miss_rate, model_division,
+            model_vectorization, overlap, coverage, leanness)
 
 
 def analyze(name: str, machine, seed: int = DEFAULT_SEED,
@@ -115,28 +135,67 @@ def analyze(name: str, machine, seed: int = DEFAULT_SEED,
     """
     if isinstance(machine, str):
         machine = machine_by_name(machine)
-    key = (name, machine, seed, miss_rate, model_division,
-           model_vectorization, overlap, coverage, leanness)
-    if use_cache and key in _CACHE:
-        return _CACHE[key]
+    key = _cache_key(name, machine, seed, miss_rate, model_division,
+                     model_vectorization, overlap, coverage, leanness)
+    if use_cache:
+        cached = _CACHE.get(key)
+        if cached is not None:
+            return cached
+
+    timings: Dict[str, float] = {}
+    started = time.perf_counter()
+
+    def _stage(label: str, reference: float) -> float:
+        now = time.perf_counter()
+        timings[label] = now - reference
+        return now
 
     program, inputs = load(name)
+    mark = time.perf_counter()
     prof = profile(program, machine, inputs=inputs, seed=seed)
+    mark = _stage("profile", mark)
     bet = build_bet(program, inputs=inputs)
+    mark = _stage("build_bet", mark)
     roofline = RooflineModel(machine, miss_rate=miss_rate,
                              model_division=model_division,
                              model_vectorization=model_vectorization,
                              overlap=overlap)
     records = characterize(bet, roofline)
+    mark = _stage("characterize", mark)
     selection = select_hotspots(records, program.static_size(),
                                 coverage=coverage, leanness=leanness)
+    model_spots = group_blocks(records)
+    _stage("select", mark)
+    timings["total"] = time.perf_counter() - started
     result = WorkloadAnalysis(
         name=name, machine=machine, program=program, inputs=inputs,
         prof=prof, bet=bet, records=records, selection=selection,
-        model_spots=group_blocks(records))
+        model_spots=model_spots, timings=timings)
     if use_cache:
-        _CACHE[key] = result
+        _CACHE.put(key, result)
     return result
+
+
+def remember(analysis: WorkloadAnalysis, **options) -> None:
+    """Insert an externally computed analysis into the shared cache.
+
+    Used by :func:`repro.parallel.analyze_matrix` to seed the parent
+    process's cache with results computed in pool workers, so subsequent
+    slicing of the same (workload, machine, options) point hits.
+    ``options`` are the non-default keyword arguments that were passed to
+    :func:`analyze`.
+    """
+    defaults = dict(seed=DEFAULT_SEED, miss_rate=0.85,
+                    model_division=False, model_vectorization=False,
+                    overlap=True, coverage=0.90, leanness=0.10)
+    defaults.update(options)
+    key = _cache_key(analysis.name, analysis.machine, **defaults)
+    _CACHE.put(key, analysis)
+
+
+def cache_stats() -> CacheStats:
+    """Hit/miss/eviction counters of the shared analysis cache."""
+    return _CACHE.stats
 
 
 def clear_cache() -> None:

@@ -102,6 +102,41 @@ def hotpath_to_dict(path: HotPath) -> Dict[str, Any]:
     }
 
 
+def sweep_to_dict(result) -> Dict[str, Any]:
+    """A one-parameter sensitivity sweep (:class:`SweepResult`)."""
+    return {
+        "parameter": result.parameter,
+        "timings": dict(result.timings),
+        "points": [{
+            "value": point.value,
+            "machine": point.machine.name,
+            "runtime_seconds": point.runtime,
+            "memory_fraction": point.memory_fraction,
+            "top_spot": point.top_label,
+            "ranking": list(point.ranking[:10]),
+        } for point in result.points],
+    }
+
+
+def grid_to_dict(result) -> Dict[str, Any]:
+    """An N-dimensional design-space grid (:class:`GridResult`)."""
+    return {
+        "parameters": result.parameters,
+        "grid": {name: list(values)
+                 for name, values in result.grid.items()},
+        "timings": dict(result.timings),
+        "cache_stats": dict(result.cache_stats),
+        "points": [{
+            "overrides": dict(point.overrides),
+            "machine": point.machine.name,
+            "runtime_seconds": point.runtime,
+            "memory_fraction": point.memory_fraction,
+            "top_spot": point.top_label,
+            "ranking": list(point.ranking[:10]),
+        } for point in result.points],
+    }
+
+
 def to_json(payload: Any, indent: int = 2) -> str:
     """Serialize any converter output (handles infinities defensively)."""
 

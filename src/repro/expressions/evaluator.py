@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Mapping, Optional, Union
 
-from ..errors import ExpressionError, UnboundVariableError
+from ..errors import UnboundVariableError
 from .expr import Expr, Number, as_expr
 
 
@@ -40,5 +40,3 @@ def try_evaluate(expr: Union[Expr, str, Number],
         return evaluate(expr, env)
     except UnboundVariableError:
         return default
-    except ExpressionError:
-        raise

@@ -87,6 +87,18 @@ class Expr:
     def __deepcopy__(self, memo):
         return self
 
+    # pickling must bypass the immutability guard in __setattr__ (the
+    # parallel sweep engine ships BETs, and the expressions inside their
+    # statements, to process-pool workers)
+    def __getstate__(self):
+        return {slot: getattr(self, slot)
+                for cls in type(self).__mro__
+                for slot in getattr(cls, "__slots__", ())}
+
+    def __setstate__(self, state):
+        for name, value in state.items():
+            object.__setattr__(self, name, value)
+
     def __hash__(self):
         return hash((type(self).__name__, self._key()))
 

@@ -1,0 +1,33 @@
+"""Parallel + cached design-space exploration engine.
+
+The BET is machine independent, so co-design is a batch workload: one
+tree, thousands of hardware points.  This package supplies the batch
+machinery — a bounded LRU cache with observable statistics
+(:class:`LRUCache`), a deterministic process-pool map
+(:func:`parallel_map`), memoized BET construction
+(:func:`build_bet_cached`), N-dimensional machine grids
+(:func:`sweep_grid`), and fanned-out full analyses
+(:func:`analyze_matrix`).  See DESIGN.md §6.
+"""
+
+from .cache import CacheStats, LRUCache
+from .engine import (
+    GridPoint, GridResult, analyze_matrix, bet_cache_stats,
+    build_bet_cached, clear_bet_cache, sweep_grid,
+)
+from .pool import chunk, default_workers, parallel_map
+
+__all__ = [
+    "CacheStats",
+    "LRUCache",
+    "GridPoint",
+    "GridResult",
+    "analyze_matrix",
+    "bet_cache_stats",
+    "build_bet_cached",
+    "clear_bet_cache",
+    "sweep_grid",
+    "chunk",
+    "default_workers",
+    "parallel_map",
+]

@@ -1,0 +1,124 @@
+"""A small, thread-safe, bounded LRU cache with observable statistics.
+
+Every memoization point of the design-space sweep engine (pipeline
+analyses, BET builds) uses this cache instead of an unbounded dict, so a
+long co-design session — thousands of (workload, machine, ablation)
+points — holds a bounded working set, and hit/miss/eviction counters make
+the cache's behaviour testable and reportable.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Hashable, Optional
+
+
+@dataclass
+class CacheStats:
+    """Cumulative counters for one :class:`LRUCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when unused)."""
+        return self.hits / self.requests if self.requests else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {"hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions, "hit_rate": self.hit_rate}
+
+    def __str__(self):
+        return (f"hits={self.hits} misses={self.misses} "
+                f"evictions={self.evictions} "
+                f"hit_rate={100 * self.hit_rate:.0f}%")
+
+
+class LRUCache:
+    """Bounded mapping with least-recently-used eviction.
+
+    ``get``/``put`` refresh recency; inserting beyond ``maxsize`` evicts
+    the least recently used entry and counts it in ``stats.evictions``.
+    All operations take an internal lock, so one instance may back both
+    the serial path and callers that memoize from worker callbacks.
+    """
+
+    _MISSING = object()
+
+    def __init__(self, maxsize: int = 128):
+        if maxsize < 1:
+            raise ValueError(f"cache maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._lock = threading.RLock()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._data
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+                self.stats.hits += 1
+                return self._data[key]
+            self.stats.misses += 1
+            return default
+
+    def put(self, key: Hashable, value: Any) -> None:
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+            self._data[key] = value
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+                self.stats.evictions += 1
+
+    def get_or_create(self, key: Hashable,
+                      factory: Callable[[], Any]) -> Any:
+        """Return the cached value, computing and inserting it on a miss.
+
+        ``factory`` runs outside the lock so expensive builds do not block
+        concurrent lookups; on a race the first inserted value wins.
+        """
+        sentinel = self._MISSING
+        value = self.get(key, sentinel)
+        if value is not sentinel:
+            return value
+        value = factory()
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+                return self._data[key]
+            self._data[key] = value
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+                self.stats.evictions += 1
+        return value
+
+    def clear(self, reset_stats: bool = False) -> None:
+        with self._lock:
+            self._data.clear()
+            if reset_stats:
+                self.stats = CacheStats()
+
+    def keys(self):
+        with self._lock:
+            return list(self._data.keys())
+
+    def __repr__(self):
+        return (f"<LRUCache {len(self)}/{self.maxsize} "
+                f"[{self.stats}]>")

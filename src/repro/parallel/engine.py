@@ -1,0 +1,251 @@
+"""The parallel + cached design-space exploration engine.
+
+The paper's workflow builds the BET **once** and re-projects it across
+hardware points (Sec. V, Sec. VII); co-design studies therefore look like
+batch jobs: a grid of machine parameters, or a matrix of
+(workload × machine × ablation) analyses.  This module provides that batch
+layer:
+
+* :func:`build_bet_cached` — memoized BET construction keyed by
+  (program fingerprint, frozen inputs, entry), so one tree serves every
+  sweep point of a session;
+* :func:`sweep_grid` — an N-dimensional machine-parameter grid projected
+  over one BET, with process-pool fan-out and deterministic (row-major)
+  point ordering;
+* :func:`analyze_matrix` — the full Prof-vs-Modl pipeline fanned out over
+  a (workload × machine × ablation) matrix; results are fed back into the
+  bounded pipeline cache so later figure slicing is free.
+
+Every result carries per-stage wall seconds and cache statistics so the
+performance trajectory is observable (``timings`` / ``cache_stats``).
+``workers=1`` always takes the plain serial path; parallel results are
+bit-identical to it.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.sensitivity import project_machine
+from ..bet import build_bet
+from ..bet.nodes import BETNode
+from ..errors import AnalysisError
+from ..hardware.machine import MachineModel
+from ..skeleton.bst import Program
+from .cache import CacheStats, LRUCache
+from .pool import chunk, parallel_map
+
+# -- BET-build memoization ----------------------------------------------------
+
+#: one tree serves every sweep point: BETs keyed by
+#: (program fingerprint, frozen inputs, entry)
+_BET_CACHE = LRUCache(maxsize=64)
+
+
+def _freeze_inputs(inputs: Optional[Dict[str, float]]) -> Tuple:
+    return tuple(sorted((inputs or {}).items()))
+
+
+def build_bet_cached(program: Program,
+                     inputs: Optional[Dict[str, float]] = None,
+                     entry: str = "main") -> BETNode:
+    """Build (or fetch) the BET for ``program`` with ``inputs``.
+
+    The cache key is the program's content :meth:`~Program.fingerprint`
+    plus the frozen inputs, so equivalent programs share one tree no
+    matter how many sweeps re-request it.  Returned trees are shared —
+    treat them as read-only (all analysis passes do).
+    """
+    key = (program.fingerprint(), _freeze_inputs(inputs), entry)
+    return _BET_CACHE.get_or_create(
+        key, lambda: build_bet(program, inputs=inputs, entry=entry))
+
+
+def bet_cache_stats() -> CacheStats:
+    """Counters of the BET-build memo (hits/misses/evictions)."""
+    return _BET_CACHE.stats
+
+
+def clear_bet_cache() -> None:
+    _BET_CACHE.clear()
+
+
+# -- N-dimensional machine grids ----------------------------------------------
+
+@dataclass
+class GridPoint:
+    """Projection at one cell of a machine-parameter grid."""
+
+    overrides: Dict[str, float]    #: parameter -> value for this cell
+    machine: MachineModel
+    runtime: float                 #: projected whole-run wall seconds
+    ranking: List[str]             #: hot-spot sites, hottest first
+    top_label: str
+    memory_fraction: float         #: non-overlapped memory share
+
+
+@dataclass
+class GridResult:
+    """A full N-dimensional design-space grid.
+
+    Points are in row-major order over ``grid`` (last parameter varies
+    fastest), deterministically, regardless of worker count.
+    """
+
+    grid: Dict[str, List[float]]   #: parameter -> swept values, in order
+    points: List[GridPoint]
+    timings: Dict[str, float] = field(default_factory=dict)
+    cache_stats: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def parameters(self) -> List[str]:
+        return list(self.grid)
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return tuple(len(values) for values in self.grid.values())
+
+    def point(self, **overrides: float) -> GridPoint:
+        """The cell whose overrides match exactly."""
+        for candidate in self.points:
+            if candidate.overrides == overrides:
+                return candidate
+        raise AnalysisError(f"no grid point with overrides {overrides}")
+
+    def runtime_curve(self) -> List[float]:
+        return [point.runtime for point in self.points]
+
+    def best(self) -> GridPoint:
+        """The fastest cell (ties keep grid order)."""
+        return min(self.points, key=lambda p: p.runtime)
+
+    def render(self) -> str:
+        names = self.parameters
+        header = "  ".join(f"{name:>12}" for name in names)
+        lines = [f"design-space grid over {' x '.join(names)} "
+                 f"({len(self.points)} points)",
+                 f"{header}  {'runtime':>10}  {'mem%':>6}  top hot spot"]
+        for point in self.points:
+            cells = "  ".join(f"{point.overrides[name]:12.4g}"
+                              for name in names)
+            lines.append(
+                f"{cells}  {point.runtime:10.4g}  "
+                f"{100 * point.memory_fraction:5.1f}%  {point.top_label}")
+        return "\n".join(lines)
+
+
+def _grid_cells(grid: Dict[str, Sequence[float]]) -> List[Dict[str, float]]:
+    names = list(grid)
+    return [dict(zip(names, combo))
+            for combo in itertools.product(*(grid[name]
+                                             for name in names))]
+
+
+def _grid_one(bet: BETNode, base_machine: MachineModel,
+              overrides: Dict[str, float],
+              model_factory: Optional[Callable], k: int) -> GridPoint:
+    tag = ",".join(f"{name}={value:g}"
+                   for name, value in overrides.items())
+    machine = base_machine.with_overrides(
+        name=f"{base_machine.name}[{tag}]", **overrides)
+    projection = project_machine(bet, machine, model_factory, k)
+    return GridPoint(overrides=dict(overrides), machine=machine,
+                     **projection)
+
+
+def _grid_chunk(payload) -> List[GridPoint]:
+    """Process-pool task: project a contiguous run of grid cells."""
+    bet, base_machine, cells, model_factory, k = payload
+    return [_grid_one(bet, base_machine, overrides, model_factory, k)
+            for overrides in cells]
+
+
+def sweep_grid(bet: BETNode, base_machine: MachineModel,
+               grid: Dict[str, Sequence[float]],
+               model_factory: Optional[Callable] = None,
+               k: int = 10,
+               workers: int = 1) -> GridResult:
+    """Project one BET over the cross product of machine parameters.
+
+    Parameters
+    ----------
+    bet:
+        A built BET (machine independent; shared by every cell).
+    base_machine:
+        The machine whose fields are overridden per cell.
+    grid:
+        ``{parameter: values, ...}`` — cells are the cross product, in
+        row-major order (last parameter varies fastest).
+    workers:
+        Process-pool width; ``1`` runs serially.  Ordering and values are
+        identical either way.
+    """
+    if not grid or any(len(list(values)) == 0 for values in grid.values()):
+        raise AnalysisError("grid needs at least one value per parameter")
+    for parameter in grid:
+        if not hasattr(base_machine, parameter):
+            raise AnalysisError(
+                f"machine has no parameter {parameter!r}")
+    started = time.perf_counter()
+    cells = _grid_cells(grid)
+    if workers > 1 and len(cells) > 1:
+        payloads = [(bet, base_machine, piece, model_factory, k)
+                    for piece in chunk(cells, workers)]
+        pieces = parallel_map(_grid_chunk, payloads, workers=workers)
+        points = [point for piece in pieces for point in piece]
+    else:
+        points = [_grid_one(bet, base_machine, overrides,
+                            model_factory, k)
+                  for overrides in cells]
+    elapsed = time.perf_counter() - started
+    return GridResult(
+        grid={name: list(values) for name, values in grid.items()},
+        points=points,
+        timings={"project": elapsed, "total": elapsed,
+                 "workers": float(max(workers, 1)),
+                 "points": float(len(points))},
+        cache_stats=bet_cache_stats().as_dict())
+
+
+# -- batched full analyses ----------------------------------------------------
+
+def _analyze_task(payload):
+    """Process-pool task: one full Prof-vs-Modl pipeline run."""
+    from ..experiments import pipeline
+    name, machine, options = payload
+    return pipeline.analyze(name, machine, **dict(options))
+
+
+def analyze_matrix(workloads: Sequence[str],
+                   machines: Sequence,
+                   ablations: Optional[Sequence[Dict]] = None,
+                   workers: int = 1):
+    """Run the full pipeline over a (workload × machine × ablation) matrix.
+
+    ``ablations`` is a sequence of keyword-option dicts for
+    :func:`repro.experiments.analyze` (default: one empty dict — the
+    paper's baseline configuration).  Results come back as a flat list in
+    row-major (workload, machine, ablation) order, deterministic for any
+    worker count, and are inserted into the shared bounded pipeline cache
+    so subsequent slicing (figures, tables) hits instead of re-running.
+    """
+    from ..experiments import pipeline
+    option_sets = [dict(options) for options in (ablations or [{}])]
+    tasks = [(name, machine, tuple(sorted(options.items())))
+             for name in workloads
+             for machine in machines
+             for options in option_sets]
+    started = time.perf_counter()
+    if workers > 1 and len(tasks) > 1:
+        results = parallel_map(_analyze_task, tasks, workers=workers)
+        for analysis, (name, machine, options) in zip(results, tasks):
+            pipeline.remember(analysis, **dict(options))
+    else:
+        results = [_analyze_task(task) for task in tasks]
+    elapsed = time.perf_counter() - started
+    for analysis in results:
+        analysis.timings.setdefault("matrix_total", elapsed)
+    return results

@@ -123,6 +123,20 @@ class Program:
                 out[statement.name] = statement
         return out
 
+    def fingerprint(self) -> str:
+        """Stable content hash of the skeleton (printed form).
+
+        Two programs that format identically model the same execution
+        flow, so the hash keys machine-independent artifacts — most
+        importantly the BET-build memo of the sweep engine
+        (:func:`repro.parallel.build_bet_cached`).
+        """
+        import hashlib
+
+        from .printer import format_skeleton
+        return hashlib.sha256(
+            format_skeleton(self).encode("utf-8")).hexdigest()
+
     def node_by_id(self, node_id: int) -> Statement:
         for statement in self.walk():
             if statement.node_id == node_id:

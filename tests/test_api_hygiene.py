@@ -41,7 +41,7 @@ class TestSubpackageExports:
         "repro.expressions", "repro.skeleton", "repro.bet",
         "repro.hardware", "repro.analysis", "repro.simulate",
         "repro.translate", "repro.workloads", "repro.multinode",
-        "repro.experiments",
+        "repro.experiments", "repro.parallel",
     ])
     def test_all_lists_resolve(self, package):
         module = importlib.import_module(package)

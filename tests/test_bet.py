@@ -438,6 +438,133 @@ end
         text = render_tree(root, show_metrics=True)
         assert "hot" in text and "loop" in text
 
+class TestZeroTripLoopBody:
+    """Regression: "no loop is ever iterated" must hold for zero-trip
+    loops too — their bodies are dead code and must not be evaluated."""
+
+    def test_zero_trip_loop_body_never_evaluated(self):
+        # `1 / n` with n = 0 faults if the body is processed; the loop
+        # never runs, so the build must succeed (previously raised
+        # ExpressionError: division by zero)
+        program = parse_skeleton("""
+param n = 0
+def main(n)
+  for i = 0 : n
+    var inv = 1 / n
+    comp inv flops
+  end
+  comp 5 flops
+end
+""")
+        root = build_bet(program)
+        assert root.own_metrics.flops == 5
+
+    def test_zero_trip_loop_node_kept_empty(self):
+        root = bet_for("for i = 0 : n\n  comp 7 flops\nend",
+                       inputs={"n": 0})
+        loop = root.children[0]
+        assert loop.kind == "loop"
+        assert loop.num_iter == 0
+        assert loop.children == []          # body never processed
+        assert root.own_metrics.flops == 0
+
+    def test_zero_expect_while_body_never_evaluated(self):
+        program = parse_skeleton("""
+param n = 0
+def main(n)
+  while expect n
+    var inv = 1 / n
+    comp inv flops
+  end
+end
+""")
+        root = build_bet(program)
+        assert root.own_metrics.flops == 0
+
+    def test_flow_after_zero_trip_loop_survives(self):
+        root = bet_for("for i = 0 : n\n  return\nend\ncomp 3 flops",
+                       inputs={"n": 0})
+        # the certain return inside the dead loop must not kill main's flow
+        assert root.own_metrics.flops == 3
+
+
+class TestRepresentativeContext:
+    """Regression: a leaf reached by several contexts must report the
+    maximum-probability (dominant) environment, not whichever arm was
+    processed first."""
+
+    SRC = """
+param n = 1
+def main(n)
+  if prob 0.1
+    var m = 1
+  else
+    var m = 99
+  end
+  comp m * 100 flops
+end
+"""
+
+    def test_leaf_context_is_dominant_arm(self):
+        root = build_bet(parse_skeleton(self.SRC))
+        leaf = next(n for n in root.walk() if n.kind == "leaf")
+        # metrics stay probability weighted over both arms...
+        assert root.own_metrics.flops == pytest.approx(8920.0)
+        # ...but the annotation shows the 0.9-mass arm's binding
+        assert leaf.context["m"] == 99
+
+    def test_rendered_context_matches_dominant_arm(self):
+        root = build_bet(parse_skeleton(self.SRC))
+        leaf = next(n for n in root.walk() if n.kind == "leaf")
+        # the hot-path annotation format (analysis/hotpath.py)
+        rendered = "ctx[" + ", ".join(
+            f"{k}={v}" for k, v in sorted(leaf.context.items())) + "]"
+        assert "m=99" in rendered
+        assert "m=1," not in rendered and not rendered.endswith("m=1]")
+
+    def test_hot_path_blocks_keep_per_arm_contexts(self):
+        # block nodes (here: the loop) are built per context, so the hot
+        # path still shows one annotated invocation pattern per arm
+        from repro.analysis import (characterize, extract_hot_path,
+                                    select_hotspots)
+        from repro.hardware import BGQ, RooflineModel
+        program = parse_skeleton("""
+param n = 64
+def main(n)
+  if prob 0.1
+    var m = 1
+  else
+    var m = 99
+  end
+  for i = 0 : n as "kernel"
+    comp m * 100 flops
+  end
+end
+""")
+        root = build_bet(program)
+        records = characterize(root, RooflineModel(BGQ))
+        selection = select_hotspots(records, program.static_size(),
+                                    leanness=1.0)
+        text = extract_hot_path(selection.spots).render_ascii()
+        assert "ctx[m=99, n=64]" in text and "ctx[m=1, n=64]" in text
+
+    def test_first_context_wins_probability_tie(self):
+        root = build_bet(parse_skeleton("""
+param n = 1
+def main(n)
+  if prob 0.5
+    var m = 1
+  else
+    var m = 2
+  end
+  comp m flops
+end
+"""))
+        leaf = next(n for n in root.walk() if n.kind == "leaf")
+        assert leaf.context["m"] == 1
+
+
+class TestDeterminism:
     def test_build_deterministic(self):
         src = """
 param n = 32

@@ -1,0 +1,71 @@
+"""Property-based tests for the truncated-geometric break model.
+
+``expected_break_iterations(p, n)`` (DESIGN.md §2) is the expected trip
+count of an ``n``-iteration loop that exits with per-iteration probability
+``p``.  The closed form ``(1 − (1−p)^n) / p`` must behave like an
+expectation: non-negative, bounded by the range, monotone in the range,
+anti-monotone in the exit probability, and continuous at the ``p → 0`` and
+``p → 1`` endpoints where the implementation switches to special cases.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bet import expected_break_iterations
+
+_probs = st.floats(min_value=0.0, max_value=1.0,
+                   allow_nan=False, allow_infinity=False)
+_ranges = st.integers(min_value=0, max_value=10**6)
+
+
+class TestBounds:
+    @given(p=_probs, n=_ranges)
+    def test_bounded_by_range_and_nonnegative(self, p, n):
+        expected = expected_break_iterations(p, n)
+        assert 0.0 <= expected <= n
+
+    @given(p=st.floats(min_value=1e-9, max_value=1.0,
+                       allow_nan=False), n=_ranges)
+    def test_bounded_by_geometric_mean_lifetime(self, p, n):
+        # truncation can only shorten the untruncated geometric's 1/p
+        assert expected_break_iterations(p, n) <= 1.0 / p + 1e-9
+
+
+class TestMonotonicity:
+    @given(p=_probs, n=_ranges, extra=st.integers(min_value=0,
+                                                  max_value=10**4))
+    def test_monotone_in_range(self, p, n, extra):
+        shorter = expected_break_iterations(p, n)
+        longer = expected_break_iterations(p, n + extra)
+        assert longer >= shorter - 1e-9
+
+    @given(p=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+           q=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+           n=st.integers(min_value=0, max_value=10**4))
+    def test_antimonotone_in_probability(self, p, q, n):
+        lo, hi = sorted((p, q))
+        # a likelier exit never lengthens the expected trip count
+        assert expected_break_iterations(hi, n) <= \
+            expected_break_iterations(lo, n) + 1e-9
+
+
+class TestEndpointContinuity:
+    @given(n=st.integers(min_value=0, max_value=10**4))
+    def test_continuous_at_p_zero(self, n):
+        # p → 0: no exit ever taken, the loop runs its full range; the
+        # limit of (1-(1-p)^n)/p is exactly n
+        tiny = 1e-9
+        assert abs(expected_break_iterations(tiny, n) - n) <= \
+            1e-4 * max(n, 1)
+        assert expected_break_iterations(0.0, n) == float(n)
+
+    @given(n=st.integers(min_value=1, max_value=10**4))
+    def test_continuous_at_p_one(self, n):
+        # p → 1: the first iteration always exits
+        near_one = 1.0 - 1e-12
+        assert abs(expected_break_iterations(near_one, n) - 1.0) <= 1e-6
+        assert expected_break_iterations(1.0, n) == 1.0
+
+    @given(p=_probs)
+    def test_zero_range_is_zero(self, p):
+        assert expected_break_iterations(p, 0) == 0.0

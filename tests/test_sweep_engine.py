@@ -1,0 +1,404 @@
+"""Tests for the parallel + cached design-space sweep engine
+(`repro.parallel`): the bounded LRU cache, BET-build memoization, grid
+sweeps, batched analyses, and the serial/parallel equivalence guarantee.
+"""
+
+import pytest
+
+from repro.analysis.sensitivity import sweep_machine
+from repro.bet import build_bet
+from repro.errors import AnalysisError
+from repro.experiments import analyze, cache_stats, clear_cache
+from repro.experiments import pipeline
+from repro.hardware import BGQ, XEON_E5_2420
+from repro.parallel import (
+    CacheStats, LRUCache, analyze_matrix, bet_cache_stats,
+    build_bet_cached, clear_bet_cache, sweep_grid,
+)
+from repro.parallel.pool import chunk, parallel_map
+from repro.workloads import load
+
+
+@pytest.fixture(scope="module")
+def pedagogical():
+    return load("pedagogical")
+
+
+@pytest.fixture(scope="module")
+def pedagogical_bet(pedagogical):
+    program, inputs = pedagogical
+    return build_bet(program, inputs=inputs)
+
+
+# -- LRU cache ----------------------------------------------------------------
+
+class TestLRUCache:
+    def test_get_put_roundtrip(self):
+        cache = LRUCache(maxsize=4)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert "a" in cache
+        assert len(cache) == 1
+
+    def test_miss_returns_default(self):
+        cache = LRUCache(maxsize=4)
+        assert cache.get("nope") is None
+        assert cache.get("nope", 42) == 42
+
+    def test_eviction_is_least_recently_used(self):
+        cache = LRUCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")            # refresh "a": "b" is now LRU
+        cache.put("c", 3)
+        assert cache.keys() == ["a", "c"]
+        assert "b" not in cache
+
+    def test_put_refreshes_recency(self):
+        cache = LRUCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)        # rewrite refreshes too
+        cache.put("c", 3)
+        assert cache.keys() == ["a", "c"]
+        assert cache.get("a") == 10
+
+    def test_counters(self):
+        cache = LRUCache(maxsize=1)
+        cache.get("a")            # miss
+        cache.put("a", 1)
+        cache.get("a")            # hit
+        cache.put("b", 2)         # evicts "a"
+        stats = cache.stats
+        assert (stats.hits, stats.misses, stats.evictions) == (1, 1, 1)
+        assert stats.requests == 2
+        assert stats.hit_rate == 0.5
+
+    def test_stats_reporting(self):
+        stats = CacheStats(hits=3, misses=1, evictions=2)
+        assert stats.as_dict() == {"hits": 3, "misses": 1,
+                                   "evictions": 2, "hit_rate": 0.75}
+        assert "hit_rate=75%" in str(stats)
+        assert CacheStats().hit_rate == 0.0
+
+    def test_get_or_create_runs_factory_once(self):
+        cache = LRUCache(maxsize=4)
+        calls = []
+        for _ in range(3):
+            value = cache.get_or_create("k", lambda: calls.append(1) or 7)
+        assert value == 7
+        assert len(calls) == 1
+        assert cache.stats.hits == 2
+
+    def test_get_or_create_evicts_when_full(self):
+        cache = LRUCache(maxsize=1)
+        cache.get_or_create("a", lambda: 1)
+        cache.get_or_create("b", lambda: 2)
+        assert len(cache) == 1
+        assert cache.stats.evictions == 1
+
+    def test_clear_keeps_stats_by_default(self):
+        cache = LRUCache(maxsize=2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.hits == 1
+        cache.clear(reset_stats=True)
+        assert cache.stats.hits == 0
+
+    def test_rejects_unusable_maxsize(self):
+        with pytest.raises(ValueError):
+            LRUCache(maxsize=0)
+
+    def test_never_grows_past_maxsize(self):
+        cache = LRUCache(maxsize=3)
+        for index in range(10):
+            cache.put(index, index)
+            assert len(cache) <= 3
+        assert cache.stats.evictions == 7
+
+
+# -- process-pool primitives --------------------------------------------------
+
+def _double(x):
+    return 2 * x
+
+
+class TestPool:
+    def test_serial_map(self):
+        assert parallel_map(_double, [1, 2, 3], workers=1) == [2, 4, 6]
+
+    def test_parallel_map_preserves_order(self):
+        items = list(range(16))
+        assert parallel_map(_double, items, workers=2) == \
+            [2 * x for x in items]
+
+    def test_unpicklable_payload_falls_back_to_serial(self):
+        items = [1, 2, 3]
+        assert parallel_map(lambda x: 2 * x, items, workers=2) == [2, 4, 6]
+
+    def test_chunk_contiguous_and_complete(self):
+        items = list(range(10))
+        pieces = chunk(items, 3)
+        assert [x for piece in pieces for x in piece] == items
+        assert len(pieces) == 3
+        assert max(len(p) for p in pieces) - \
+            min(len(p) for p in pieces) <= 1
+
+    def test_chunk_never_makes_empty_pieces(self):
+        assert chunk([1, 2], 5) == [[1], [2]]
+        assert chunk([], 3) == [[]]
+
+
+# -- BET-build memoization ----------------------------------------------------
+
+class TestBuildBetCached:
+    def test_second_build_returns_same_tree(self, pedagogical):
+        program, inputs = pedagogical
+        clear_bet_cache()
+        first = build_bet_cached(program, inputs)
+        second = build_bet_cached(program, inputs)
+        assert second is first
+
+    def test_counts_hits_and_misses(self, pedagogical):
+        program, inputs = pedagogical
+        clear_bet_cache()
+        before = bet_cache_stats().as_dict()
+        build_bet_cached(program, inputs)
+        build_bet_cached(program, inputs)
+        after = bet_cache_stats().as_dict()
+        assert after["misses"] == before["misses"] + 1
+        assert after["hits"] == before["hits"] + 1
+
+    def test_different_inputs_are_different_entries(self, pedagogical):
+        program, inputs = pedagogical
+        clear_bet_cache()
+        base = build_bet_cached(program, inputs)
+        bumped = build_bet_cached(
+            program, dict(inputs, n=2 * int(inputs.get("n", 64))))
+        assert bumped is not base
+
+    def test_matches_uncached_build(self, pedagogical, pedagogical_bet):
+        from repro.bet.nodes import render_tree
+        program, inputs = pedagogical
+        clear_bet_cache()
+        cached = build_bet_cached(program, inputs)
+        assert cached.size() == pedagogical_bet.size()
+        assert render_tree(cached) == render_tree(pedagogical_bet)
+
+
+# -- grid sweeps --------------------------------------------------------------
+
+class TestSweepGrid:
+    def test_row_major_product_order(self, pedagogical_bet):
+        grid = {"bandwidth": [10e9, 20e9],
+                "frequency_hz": [1e9, 2e9, 3e9]}
+        result = sweep_grid(pedagogical_bet, BGQ, grid)
+        assert result.shape == (2, 3)
+        assert result.parameters == ["bandwidth", "frequency_hz"]
+        combos = [(p.overrides["bandwidth"], p.overrides["frequency_hz"])
+                  for p in result.points]
+        # last parameter varies fastest
+        assert combos == [(10e9, 1e9), (10e9, 2e9), (10e9, 3e9),
+                          (20e9, 1e9), (20e9, 2e9), (20e9, 3e9)]
+
+    def test_point_lookup_and_best(self, pedagogical_bet):
+        result = sweep_grid(pedagogical_bet, BGQ,
+                            {"bandwidth": [10e9, 40e9]})
+        point = result.point(bandwidth=40e9)
+        assert point.machine.bandwidth == 40e9
+        assert result.best().runtime == min(result.runtime_curve())
+        with pytest.raises(AnalysisError):
+            result.point(bandwidth=123.0)
+
+    def test_machines_get_descriptive_names(self, pedagogical_bet):
+        result = sweep_grid(pedagogical_bet, BGQ,
+                            {"bandwidth": [10e9],
+                             "frequency_hz": [2e9]})
+        name = result.points[0].machine.name
+        assert "bandwidth=1e+10" in name and "frequency_hz=2e+09" in name
+
+    def test_render_mentions_every_cell(self, pedagogical_bet):
+        result = sweep_grid(pedagogical_bet, BGQ,
+                            {"bandwidth": [10e9, 20e9]})
+        text = result.render()
+        assert "design-space grid" in text
+        assert text.count("\n") >= 1 + len(result.points)
+
+    def test_timings_and_cache_stats_recorded(self, pedagogical_bet):
+        result = sweep_grid(pedagogical_bet, BGQ,
+                            {"bandwidth": [10e9, 20e9]})
+        for key in ("project", "total", "workers", "points"):
+            assert key in result.timings
+        assert result.timings["points"] == 2.0
+        assert set(result.cache_stats) == \
+            {"hits", "misses", "evictions", "hit_rate"}
+
+    def test_rejects_empty_grid(self, pedagogical_bet):
+        with pytest.raises(AnalysisError):
+            sweep_grid(pedagogical_bet, BGQ, {})
+        with pytest.raises(AnalysisError):
+            sweep_grid(pedagogical_bet, BGQ, {"bandwidth": []})
+
+    def test_rejects_unknown_parameter(self, pedagogical_bet):
+        with pytest.raises(AnalysisError):
+            sweep_grid(pedagogical_bet, BGQ, {"warp_drive": [1.0]})
+
+
+# -- serial/parallel equivalence (ISSUE: bit-identical results) ---------------
+
+def _grid_signature(result):
+    return [(p.overrides, p.machine.name, p.runtime, tuple(p.ranking),
+             p.top_label, p.memory_fraction) for p in result.points]
+
+
+class TestParallelEquivalence:
+    def test_sweep_machine_parallel_matches_serial(self, pedagogical_bet):
+        values = tuple(gbs * 1e9 for gbs in (5, 10, 20, 40))
+        serial = sweep_machine(pedagogical_bet, BGQ, "bandwidth", values)
+        fanned = sweep_machine(pedagogical_bet, BGQ, "bandwidth", values,
+                               workers=2)
+        assert [p.value for p in fanned.points] == \
+            [p.value for p in serial.points]
+        assert fanned.runtime_curve() == serial.runtime_curve()
+        assert [p.ranking for p in fanned.points] == \
+            [p.ranking for p in serial.points]
+        assert [p.memory_fraction for p in fanned.points] == \
+            [p.memory_fraction for p in serial.points]
+        assert fanned.timings["workers"] == 2.0
+
+    def test_sweep_grid_parallel_matches_serial(self, pedagogical_bet):
+        grid = {"bandwidth": [10e9, 20e9, 40e9],
+                "frequency_hz": [1e9, 2e9]}
+        serial = sweep_grid(pedagogical_bet, BGQ, grid)
+        fanned = sweep_grid(pedagogical_bet, BGQ, grid, workers=2)
+        assert _grid_signature(fanned) == _grid_signature(serial)
+
+    def test_analyze_matrix_parallel_matches_serial(self):
+        clear_cache()
+        serial = analyze_matrix(["pedagogical"], [BGQ, XEON_E5_2420])
+        clear_cache()
+        fanned = analyze_matrix(["pedagogical"], [BGQ, XEON_E5_2420],
+                                workers=2)
+        assert len(serial) == len(fanned) == 2
+        for a, b in zip(serial, fanned):
+            assert (a.name, a.machine) == (b.name, b.machine)
+            assert a.projected_total == b.projected_total
+            assert a.measured_total == b.measured_total
+            assert a.model_sites() == b.model_sites()
+            assert a.quality() == b.quality()
+
+
+# -- batched analyses ---------------------------------------------------------
+
+class TestAnalyzeMatrix:
+    def test_row_major_task_order(self):
+        clear_cache()
+        results = analyze_matrix(
+            ["pedagogical"], [BGQ, XEON_E5_2420],
+            ablations=[{}, {"overlap": False}])
+        assert [(r.name, r.machine.name) for r in results] == \
+            [("pedagogical", BGQ.name), ("pedagogical", BGQ.name),
+             ("pedagogical", XEON_E5_2420.name),
+             ("pedagogical", XEON_E5_2420.name)]
+
+    def test_parallel_results_seed_parent_cache(self):
+        clear_cache()
+        results = analyze_matrix(["pedagogical"], [BGQ, XEON_E5_2420],
+                                 workers=2)
+        hits_before = cache_stats().hits
+        again = analyze("pedagogical", BGQ)
+        assert cache_stats().hits == hits_before + 1
+        assert again.projected_total == results[0].projected_total
+
+    def test_matrix_total_timing_stamped(self):
+        clear_cache()
+        results = analyze_matrix(["pedagogical"], [BGQ])
+        assert "matrix_total" in results[0].timings
+        assert results[0].timings["matrix_total"] >= 0.0
+
+    def test_ablation_options_respected(self):
+        clear_cache()
+        base, ablated = analyze_matrix(
+            ["pedagogical"], [BGQ],
+            ablations=[{}, {"miss_rate": 0.5}])
+        assert base.projected_total != ablated.projected_total
+
+
+# -- bounded pipeline cache ---------------------------------------------------
+
+class TestPipelineCache:
+    def test_analysis_cache_is_bounded(self, monkeypatch):
+        monkeypatch.setattr(pipeline, "_CACHE", LRUCache(maxsize=2))
+        for name in ("pedagogical", "stassuij", "chargei"):
+            analyze(name, BGQ)
+        assert len(pipeline._CACHE) <= 2
+        assert pipeline.cache_stats().evictions >= 1
+
+    def test_repeat_analysis_hits(self, monkeypatch):
+        monkeypatch.setattr(pipeline, "_CACHE", LRUCache(maxsize=2))
+        first = analyze("pedagogical", BGQ)
+        second = analyze("pedagogical", BGQ)
+        assert second is first
+        assert pipeline.cache_stats().hits == 1
+
+    def test_clear_cache_forces_recompute(self, monkeypatch):
+        monkeypatch.setattr(pipeline, "_CACHE", LRUCache(maxsize=2))
+        first = analyze("pedagogical", BGQ)
+        clear_cache()
+        second = analyze("pedagogical", BGQ)
+        assert second is not first
+        assert second.projected_total == first.projected_total
+
+    def test_per_stage_timings_recorded(self, monkeypatch):
+        monkeypatch.setattr(pipeline, "_CACHE", LRUCache(maxsize=2))
+        analysis = analyze("pedagogical", BGQ)
+        for key in ("profile", "build_bet", "characterize", "select",
+                    "total"):
+            assert key in analysis.timings
+            assert analysis.timings[key] >= 0.0
+        assert analysis.timings["total"] >= \
+            analysis.timings["characterize"]
+
+
+# -- CLI ----------------------------------------------------------------------
+
+class TestSweepCommand:
+    def test_single_parameter_sweep(self, capsys):
+        from repro.cli import main
+        code = main(["sweep", "pedagogical",
+                     "--param", "bandwidth=10e9,20e9"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "sensitivity sweep over 'bandwidth'" in out
+        assert "[2 points in" in out and "workers=1]" in out
+
+    def test_grid_sweep(self, capsys):
+        from repro.cli import main
+        code = main(["sweep", "pedagogical",
+                     "--param", "bandwidth=10e9,20e9",
+                     "--param", "frequency_hz=1e9,2e9",
+                     "--workers", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "design-space grid over bandwidth x frequency_hz" in out
+        assert "[4 points in" in out and "workers=2]" in out
+
+    def test_json_output(self, capsys):
+        import json
+        from repro.cli import main
+        code = main(["sweep", "pedagogical", "--json",
+                     "--param", "bandwidth=10e9,20e9",
+                     "--param", "frequency_hz=1e9,2e9"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["parameters"] == ["bandwidth", "frequency_hz"]
+        assert len(payload["points"]) == 4
+        assert "cache_stats" in payload and "timings" in payload
+
+    def test_bad_param_syntax_is_an_error(self, capsys):
+        from repro.cli import main
+        code = main(["sweep", "pedagogical", "--param", "bandwidth"])
+        assert code != 0
+        assert "NAME=V1,V2" in capsys.readouterr().err
