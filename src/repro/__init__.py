@@ -24,10 +24,11 @@ code and comparing conceptual machines) and DESIGN.md for the architecture.
 """
 
 from .errors import (
-    AnalysisError, ContextExplosionError, ExpressionError,
+    AnalysisError, CheckpointError, ContextExplosionError, ExpressionError,
     HardwareModelError, ModelError, RecursionLimitError, ReproError,
-    SemanticError, SimulationError, SkeletonSyntaxError, TranslationError,
-    UnboundVariableError,
+    RetryExhaustedError, SemanticError, SimulationError,
+    SkeletonSyntaxError, TaskTimeoutError, TranslationError,
+    UnboundVariableError, ValidationError,
 )
 from .expressions import Expr, evaluate, parse_expr
 from .skeleton import (
@@ -37,7 +38,8 @@ from .bet import BETBuilder, BETNode, Context, build_bet
 from .hardware import (
     BGQ, ECMModel, FUTURE_HBM, FUTURE_MANYCORE, InstructionMix,
     LibraryDatabase, MachineModel, Metrics, RooflineModel, XEON_E5_2420,
-    default_library, machine_by_name,
+    default_library, ensure_valid_machine, machine_by_name,
+    validate_machine,
 )
 from .analysis import (
     HotSpot, HotSpotSelection, characterize, common_spots, coverage,
@@ -57,9 +59,11 @@ from .multinode import (
     DecompositionModel, NetworkModel, ScalingProjection, project_scaling,
 )
 from .parallel import (
-    CacheStats, GridPoint, GridResult, LRUCache, analyze_matrix,
-    build_bet_cached, sweep_grid,
+    CacheStats, FaultInjector, GridPoint, GridResult, LRUCache, MapOutcome,
+    PointFailure, RetryPolicy, SweepCheckpoint, analyze_matrix,
+    build_bet_cached, resilient_map, sweep_grid,
 )
+from .validate import ensure_valid_inputs, preflight, validate_inputs
 from .workloads import load as load_workload
 from .workloads import names as workload_names
 
@@ -71,6 +75,8 @@ __all__ = [
     "UnboundVariableError", "SemanticError", "ModelError",
     "ContextExplosionError", "RecursionLimitError", "HardwareModelError",
     "AnalysisError", "SimulationError", "TranslationError",
+    "ValidationError", "TaskTimeoutError", "RetryExhaustedError",
+    "CheckpointError",
     # expressions & skeleton
     "Expr", "parse_expr", "evaluate",
     "Program", "parse_skeleton", "parse_skeleton_file", "format_skeleton",
@@ -81,6 +87,8 @@ __all__ = [
     "InstructionMix",
     "LibraryDatabase", "default_library", "machine_by_name",
     "BGQ", "XEON_E5_2420", "FUTURE_HBM", "FUTURE_MANYCORE",
+    "validate_machine", "ensure_valid_machine",
+    "validate_inputs", "ensure_valid_inputs", "preflight",
     # analysis
     "characterize", "total_time", "HotSpot", "HotSpotSelection",
     "select_hotspots", "extract_hot_path", "performance_breakdown",
@@ -99,6 +107,9 @@ __all__ = [
     # parallel sweep engine
     "LRUCache", "CacheStats", "GridPoint", "GridResult",
     "build_bet_cached", "sweep_grid", "analyze_matrix",
+    # resilience layer
+    "PointFailure", "RetryPolicy", "MapOutcome", "resilient_map",
+    "SweepCheckpoint", "FaultInjector",
     # workloads
     "load_workload", "workload_names",
     "__version__",

@@ -22,7 +22,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from ..bet.nodes import BETNode
 from ..errors import AnalysisError
-from ..hardware.machine import MachineModel
+from ..hardware.machine import MachineModel, ensure_valid_machine
 from ..hardware.roofline import RooflineModel
 from .block_metrics import characterize, total_time
 from .hotspots import group_blocks
@@ -46,13 +46,20 @@ class SweepPoint:
 
 @dataclass
 class SweepResult:
-    """A full parameter sweep."""
+    """A full parameter sweep.
+
+    Values that failed to project (after any configured retries) are
+    absent from ``points`` and recorded as structured
+    :class:`~repro.parallel.PointFailure` entries in ``failures``.
+    """
 
     parameter: str
     points: List[SweepPoint]
     #: per-stage wall seconds (``project``, ``total``) and engine facts
-    #: (``workers``, ``points``) recorded by the sweep driver
+    #: (``workers``, ``points``, ``failed``, ``resumed``) recorded by the
+    #: sweep driver
     timings: Dict[str, float] = field(default_factory=dict)
+    failures: List = field(default_factory=list)
 
     @property
     def baseline(self) -> SweepPoint:
@@ -70,8 +77,10 @@ class SweepResult:
         return [point.runtime for point in self.points]
 
     def render(self) -> str:
-        stability = self.ranking_stability()
-        lines = [f"sensitivity sweep over {self.parameter!r}",
+        stability = self.ranking_stability() if self.points else []
+        lines = [f"sensitivity sweep over {self.parameter!r}"
+                 + (f" ({len(self.failures)} point(s) failed)"
+                    if self.failures else ""),
                  f"{'value':>12}  {'runtime':>10}  {'mem%':>6}  "
                  f"{'top-10 kept':>11}  top hot spot"]
         for point, kept in zip(self.points, stability):
@@ -79,6 +88,8 @@ class SweepResult:
                 f"{point.value:12.4g}  {point.runtime:10.4g}  "
                 f"{100 * point.memory_fraction:5.1f}%  "
                 f"{100 * kept:10.0f}%  {point.top_label}")
+        for failure in self.failures:
+            lines.append(failure.render())
         return "\n".join(lines)
 
 
@@ -114,12 +125,33 @@ def _sweep_one(bet: BETNode, base_machine: MachineModel, parameter: str,
     return SweepPoint(value=value, machine=machine, **projection)
 
 
-def _sweep_chunk(payload) -> List[SweepPoint]:
-    """Process-pool task: project a contiguous run of sweep values."""
-    bet, base_machine, parameter, values, model_factory, k = payload
-    return [_sweep_one(bet, base_machine, parameter, value,
-                       model_factory, k)
-            for value in values]
+def _sweep_point_task(payload) -> SweepPoint:
+    """Process-pool task: project one sweep value (per-point dispatch, so
+    a failing or hanging value is isolated to its own task)."""
+    bet, base_machine, parameter, value, model_factory, k = payload
+    return _sweep_one(bet, base_machine, parameter, value,
+                      model_factory, k)
+
+
+def _sweep_point_to_dict(point: SweepPoint) -> Dict:
+    """JSON-ready checkpoint payload for one completed sweep value."""
+    return {"value": point.value, "runtime": point.runtime,
+            "ranking": list(point.ranking), "top_label": point.top_label,
+            "memory_fraction": point.memory_fraction}
+
+
+def _sweep_point_from_dict(payload: Dict, base_machine: MachineModel,
+                           parameter: str) -> SweepPoint:
+    """Rebuild a checkpointed sweep value bit-identically."""
+    value = payload["value"]
+    machine = base_machine.with_overrides(
+        name=f"{base_machine.name}[{parameter}={value:g}]",
+        **{parameter: value})
+    return SweepPoint(value=value, machine=machine,
+                      runtime=payload["runtime"],
+                      ranking=list(payload["ranking"]),
+                      top_label=payload["top_label"],
+                      memory_fraction=payload["memory_fraction"])
 
 
 def sweep_machine(bet: BETNode,
@@ -128,7 +160,14 @@ def sweep_machine(bet: BETNode,
                   values: Sequence[float],
                   model_factory: Optional[Callable] = None,
                   k: int = 10,
-                  workers: int = 1) -> SweepResult:
+                  workers: int = 1,
+                  strict: bool = False,
+                  policy=None,
+                  timeout: Optional[float] = None,
+                  checkpoint: Optional[str] = None,
+                  resume: bool = False,
+                  checkpoint_key: Optional[str] = None,
+                  validate: bool = True) -> SweepResult:
     """Re-project one BET across a machine-parameter sweep.
 
     Parameters
@@ -147,27 +186,79 @@ def sweep_machine(bet: BETNode,
     workers:
         Process-pool width; ``1`` (the default) runs serially.  Parallel
         results are deterministic and identical to the serial path.
+    strict / policy / timeout:
+        Resilience knobs (see :func:`repro.parallel.sweep_grid`): by
+        default a failing value becomes a
+        :class:`~repro.parallel.PointFailure` on ``result.failures``;
+        ``strict=True`` restores fail-fast; ``policy`` retries transient
+        faults with deterministic backoff; ``timeout`` bounds each point
+        on the parallel path.
+    checkpoint / resume / checkpoint_key:
+        Periodic JSON checkpointing of completed values, resumable after
+        an interruption (see :class:`repro.parallel.SweepCheckpoint`).
+    validate:
+        Pre-flight the base machine before any work.
     """
+    from ..bet.nodes import render_tree
+    from ..parallel.fault import SweepCheckpoint, resilient_map, sweep_key
     if not values:
         raise AnalysisError("sweep needs at least one value")
     if not hasattr(base_machine, parameter):
         raise AnalysisError(
             f"machine has no parameter {parameter!r}")
+    if validate:
+        ensure_valid_machine(base_machine)
     started = time.perf_counter()
     values = list(values)
-    if workers > 1 and len(values) > 1:
-        from ..parallel.pool import chunk, parallel_map
-        payloads = [(bet, base_machine, parameter, piece,
-                     model_factory, k)
-                    for piece in chunk(values, workers)]
-        chunks = parallel_map(_sweep_chunk, payloads, workers=workers)
-        points = [point for piece in chunks for point in piece]
-    else:
-        points = [_sweep_one(bet, base_machine, parameter, value,
-                             model_factory, k)
-                  for value in values]
+
+    ckpt = None
+    if checkpoint:
+        key = checkpoint_key or sweep_key(
+            render_tree(bet), repr(base_machine), parameter,
+            tuple(values), k)
+        ckpt = SweepCheckpoint.load(checkpoint, key, resume=resume)
+
+    prior: Dict[int, SweepPoint] = {}
+    pending_indices: List[int] = []
+    pending_values: List[float] = []
+    for index, value in enumerate(values):
+        stored = ckpt.get(f"{parameter}={value!r}") if ckpt else None
+        if stored is not None:
+            prior[index] = _sweep_point_from_dict(stored, base_machine,
+                                                  parameter)
+        else:
+            pending_indices.append(index)
+            pending_values.append(value)
+
+    payloads = [(bet, base_machine, parameter, value, model_factory, k)
+                for value in pending_values]
+
+    def checkpoint_point(local: int, point: SweepPoint) -> None:
+        if ckpt is not None:
+            ckpt.record(f"{parameter}={pending_values[local]!r}",
+                        _sweep_point_to_dict(point))
+
+    try:
+        outcome = resilient_map(
+            _sweep_point_task, payloads, workers=workers, policy=policy,
+            timeout=timeout, strict=strict, indices=pending_indices,
+            describe=lambda payload: f"{parameter}={payload[3]:g}",
+            on_point=checkpoint_point)
+    finally:
+        if ckpt is not None:
+            ckpt.flush()
+
+    computed = {pending_indices[local]: point
+                for local, point in enumerate(outcome.results)
+                if point is not None}
+    points = [prior.get(index) or computed.get(index)
+              for index in range(len(values))]
+    points = [point for point in points if point is not None]
     elapsed = time.perf_counter() - started
     return SweepResult(parameter=parameter, points=points,
                        timings={"project": elapsed, "total": elapsed,
                                 "workers": float(max(workers, 1)),
-                                "points": float(len(points))})
+                                "points": float(len(points)),
+                                "failed": float(len(outcome.failures)),
+                                "resumed": float(len(prior))},
+                       failures=outcome.failures)

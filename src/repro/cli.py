@@ -206,6 +206,24 @@ def build_parser() -> argparse.ArgumentParser:
                               help="override a workload input")
     sweep_parser.add_argument("--json", action="store_true",
                               help="emit machine-readable JSON")
+    sweep_parser.add_argument("--checkpoint", metavar="PATH",
+                              help="write completed points to a JSON "
+                                   "checkpoint as the sweep runs")
+    sweep_parser.add_argument("--resume", action="store_true",
+                              help="reuse completed points from "
+                                   "--checkpoint instead of recomputing")
+    sweep_parser.add_argument("--strict", action="store_true",
+                              help="fail fast on the first bad point "
+                                   "instead of recording a PointFailure")
+    sweep_parser.add_argument("--retries", type=int, default=0,
+                              metavar="N",
+                              help="retry each failing point up to N extra "
+                                   "times with deterministic backoff")
+    sweep_parser.add_argument("--timeout", type=float, default=None,
+                              metavar="SECONDS",
+                              help="per-point wall-clock bound when "
+                                   "workers > 1; a hung point fails "
+                                   "without stalling the sweep")
 
     lint_parser = sub.add_parser(
         "lint", help="static diagnostics for a workload skeleton")
@@ -345,26 +363,49 @@ def _parse_sweep_params(pairs: List[str]) -> Dict[str, List[float]]:
 def _cmd_sweep(args) -> str:
     from .analysis.sensitivity import sweep_machine
     from .parallel import build_bet_cached, sweep_grid
+    from .parallel.fault import RetryPolicy, sweep_key
+    from .validate import preflight
     program, inputs, machine = _load(args)
     grid = _parse_sweep_params(args.params)
+    preflight(program, inputs, machine)
+    if args.retries < 0:
+        raise ReproError(f"--retries must be >= 0, got {args.retries}")
+    policy = (RetryPolicy(max_attempts=1 + args.retries, base_delay=0.1)
+              if args.retries else None)
+    # checkpoint identity: same skeleton + inputs + machine + grid + top-k
+    # => same completed work, resumable regardless of pool width
+    checkpoint_key = sweep_key(
+        program.fingerprint(), tuple(sorted(inputs.items())),
+        repr(machine),
+        tuple(sorted((name, tuple(values))
+                     for name, values in grid.items())),
+        args.top) if args.checkpoint else None
+    resilience = dict(strict=args.strict, policy=policy,
+                      timeout=args.timeout, checkpoint=args.checkpoint,
+                      resume=args.resume, checkpoint_key=checkpoint_key)
     bet = build_bet_cached(program, inputs)
     if len(grid) == 1:
         parameter, values = next(iter(grid.items()))
         result = sweep_machine(bet, machine, parameter, values,
-                               k=args.top, workers=args.workers)
+                               k=args.top, workers=args.workers,
+                               **resilience)
         if args.json:
             from .export import sweep_to_dict, to_json
             return to_json(sweep_to_dict(result))
     else:
         result = sweep_grid(bet, machine, grid, k=args.top,
-                            workers=args.workers)
+                            workers=args.workers, **resilience)
         if args.json:
             from .export import grid_to_dict, to_json
             return to_json(grid_to_dict(result))
     timings = result.timings
+    failed = int(timings.get("failed", 0))
+    resumed = int(timings.get("resumed", 0))
     footer = (f"[{int(timings.get('points', 0))} points in "
               f"{timings.get('total', 0.0):.3f}s, "
-              f"workers={int(timings.get('workers', 1))}]")
+              f"workers={int(timings.get('workers', 1))}"
+              + (f", {failed} failed" if failed else "")
+              + (f", {resumed} resumed" if resumed else "") + "]")
     return result.render() + "\n" + footer
 
 

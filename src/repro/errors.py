@@ -4,6 +4,12 @@ Every error raised by the library derives from :class:`ReproError` so callers
 can catch the whole family with a single ``except`` clause.  Parse-time errors
 carry source locations; model-time errors carry the offending block or
 expression where available.
+
+Because the sweep engine raises errors inside pool workers and re-raises
+them across the process boundary, every class here must survive a
+``pickle`` round trip with its attributes intact; classes whose ``__init__``
+signature differs from the formatted-message ``args`` implement
+``__reduce__`` explicitly.
 """
 
 from __future__ import annotations
@@ -34,6 +40,10 @@ class SkeletonSyntaxError(ReproError):
         self.source_name = source_name
         super().__init__(f"{source_name}:{line}:{column}: {message}")
 
+    def __reduce__(self):
+        return (SkeletonSyntaxError,
+                (self.message, self.line, self.column, self.source_name))
+
 
 class ExpressionError(ReproError):
     """Raised when a symbolic expression cannot be parsed or evaluated."""
@@ -50,8 +60,12 @@ class UnboundVariableError(ExpressionError):
 
     def __init__(self, name: str, where: str = ""):
         self.name = name
+        self.where = where
         suffix = f" (in {where})" if where else ""
         super().__init__(f"unbound variable {name!r}{suffix}")
+
+    def __reduce__(self):
+        return (UnboundVariableError, (self.name, self.where))
 
 
 class SemanticError(ReproError):
@@ -86,6 +100,9 @@ class ContextExplosionError(ModelError):
             "the workload behaves like a chain of independent branches "
             "(see DESIGN.md section 5)")
 
+    def __reduce__(self):
+        return (ContextExplosionError, (self.count, self.limit))
+
 
 class RecursionLimitError(ModelError):
     """Function-call mounting exceeded the configured recursion depth."""
@@ -95,6 +112,9 @@ class RecursionLimitError(ModelError):
         self.depth = depth
         super().__init__(
             f"recursive call chain through {function!r} exceeded depth {depth}")
+
+    def __reduce__(self):
+        return (RecursionLimitError, (self.function, self.depth))
 
 
 class HardwareModelError(ReproError):
@@ -111,3 +131,114 @@ class SimulationError(ReproError):
 
 class TranslationError(ReproError):
     """Raised by the Python front end when source cannot be translated."""
+
+
+class ValidationError(ReproError):
+    """Pre-flight validation rejected a machine description or workload
+    inputs before any BET was built.
+
+    Carries the full list of diagnostics so callers can render an
+    actionable report instead of chasing a ``ZeroDivisionError`` out of the
+    middle of the math.
+
+    Attributes
+    ----------
+    issues:
+        Human-readable diagnostics, one per problem found.
+    subject:
+        What was validated (a machine name, a program source name, ...).
+    """
+
+    def __init__(self, issues, subject: str = ""):
+        if isinstance(issues, str):
+            issues = [issues]
+        self.issues = [str(issue) for issue in issues]
+        self.subject = subject
+        head = f"{subject}: " if subject else ""
+        if len(self.issues) == 1:
+            message = head + self.issues[0]
+        else:
+            body = "\n".join(f"  - {issue}" for issue in self.issues)
+            message = (f"{head}{len(self.issues)} validation issues:\n"
+                       f"{body}")
+        super().__init__(message)
+
+    def __reduce__(self):
+        return (ValidationError, (self.issues, self.subject))
+
+    def report(self) -> str:
+        """The full human-readable diagnostics report."""
+        return str(self)
+
+
+class TaskTimeoutError(ReproError):
+    """A sweep/matrix task exceeded its per-point timeout.
+
+    Attributes
+    ----------
+    index:
+        Position of the point in the run (row-major order).
+    timeout:
+        The configured per-point bound, in seconds.
+    label:
+        A short description of the point (e.g. its parameter overrides).
+    """
+
+    def __init__(self, index: int, timeout: float, label: str = ""):
+        self.index = index
+        self.timeout = timeout
+        self.label = label
+        where = f" ({label})" if label else ""
+        super().__init__(
+            f"point {index}{where} exceeded its {timeout:g}s timeout; "
+            "the worker was abandoned (raise the timeout or fix the hang)")
+
+    def __reduce__(self):
+        return (TaskTimeoutError, (self.index, self.timeout, self.label))
+
+
+class RetryExhaustedError(ReproError):
+    """A sweep/matrix point kept failing after every configured retry.
+
+    Raised in ``strict`` mode in place of the in-band
+    :class:`~repro.parallel.PointFailure` record; carries everything the
+    record does so the original fault is diagnosable across a process
+    boundary.
+
+    Attributes
+    ----------
+    index:
+        Position of the point in the run (row-major order).
+    attempts:
+        How many attempts were made (1 = no retry configured).
+    error_type, message:
+        Type name and message of the last underlying exception.
+    traceback_text:
+        The captured traceback of the last attempt (may be empty).
+    """
+
+    def __init__(self, index: int, attempts: int, error_type: str,
+                 message: str, traceback_text: str = ""):
+        self.index = index
+        self.attempts = attempts
+        self.error_type = error_type
+        self.message = message
+        self.traceback_text = traceback_text
+        plural = "s" if attempts != 1 else ""
+        super().__init__(
+            f"point {index} failed after {attempts} attempt{plural}: "
+            f"{error_type}: {message}")
+
+    def __reduce__(self):
+        return (RetryExhaustedError,
+                (self.index, self.attempts, self.error_type, self.message,
+                 self.traceback_text))
+
+
+class CheckpointError(ReproError):
+    """A sweep checkpoint file is unusable or belongs to a different sweep.
+
+    Examples: resuming with a checkpoint whose key does not match the
+    requested (program, machine, grid) combination, or a corrupted /
+    non-JSON checkpoint file.
+    """

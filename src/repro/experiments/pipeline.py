@@ -25,7 +25,9 @@ from ..analysis import (
 from ..analysis.block_metrics import BlockRecord
 from ..bet import build_bet
 from ..bet.nodes import BETNode
-from ..hardware import MachineModel, RooflineModel, machine_by_name
+from ..hardware import (
+    MachineModel, RooflineModel, ensure_valid_machine, machine_by_name,
+)
 from ..parallel.cache import CacheStats, LRUCache
 from ..simulate import ProfileResult, profile
 from ..skeleton import Program
@@ -135,6 +137,9 @@ def analyze(name: str, machine, seed: int = DEFAULT_SEED,
     """
     if isinstance(machine, str):
         machine = machine_by_name(machine)
+    # pre-flight before the (expensive) profile stage: a degenerate
+    # machine must fail here with the field named, not crash mid-pipeline
+    ensure_valid_machine(machine)
     key = _cache_key(name, machine, seed, miss_rate, model_division,
                      model_vectorization, overlap, coverage, leanness)
     if use_cache:

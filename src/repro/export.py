@@ -115,6 +115,8 @@ def sweep_to_dict(result) -> Dict[str, Any]:
             "top_spot": point.top_label,
             "ranking": list(point.ranking[:10]),
         } for point in result.points],
+        "failures": [failure.as_dict()
+                     for failure in getattr(result, "failures", [])],
     }
 
 
@@ -134,6 +136,8 @@ def grid_to_dict(result) -> Dict[str, Any]:
             "top_spot": point.top_label,
             "ranking": list(point.ranking[:10]),
         } for point in result.points],
+        "failures": [failure.as_dict()
+                     for failure in getattr(result, "failures", [])],
     }
 
 

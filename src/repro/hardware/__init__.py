@@ -12,7 +12,7 @@ ratio.  :class:`InstructionMix` and :class:`LibraryDatabase` provide the
 semi-analytical treatment of opaque library functions (paper Sec. IV-C).
 """
 
-from .machine import MachineModel
+from .machine import MachineModel, ensure_valid_machine, validate_machine
 from .metrics import Metrics
 from .presets import BGQ, FUTURE_HBM, FUTURE_MANYCORE, XEON_E5_2420, machine_by_name
 from .roofline import BlockTime, RooflineModel
@@ -21,6 +21,8 @@ from .ecm import ECMModel
 
 __all__ = [
     "MachineModel",
+    "validate_machine",
+    "ensure_valid_machine",
     "Metrics",
     "BGQ",
     "XEON_E5_2420",

@@ -24,7 +24,7 @@ but not with each other.
 from __future__ import annotations
 
 from ..errors import HardwareModelError
-from .machine import MachineModel
+from .machine import MachineModel, ensure_valid_machine
 from .metrics import Metrics
 from .roofline import DEFAULT_MISS_RATE, BlockTime
 
@@ -43,6 +43,9 @@ class ECMModel:
         if not (0.0 <= miss_rate <= 1.0):
             raise HardwareModelError(
                 f"miss_rate must be within [0, 1], got {miss_rate}")
+        # same pre-flight gate as the roofline: degenerate bandwidth or
+        # peak-flops fields fail loudly with the field name
+        ensure_valid_machine(machine)
         self.machine = machine
         self.miss_rate = miss_rate
         self.model_division = model_division

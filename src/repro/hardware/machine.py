@@ -11,10 +11,21 @@ executor's reuse model).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, replace
-from typing import Dict
+from typing import Dict, List
 
-from ..errors import HardwareModelError
+from ..errors import HardwareModelError, ValidationError
+
+#: machine fields that must be strictly positive for any model to be
+#: meaningful (shared by construction-time checks and pre-flight
+#: validation)
+POSITIVE_FIELDS = (
+    "frequency_hz", "cores", "issue_width", "vector_width",
+    "flop_latency", "iop_latency", "l1_size", "llc_size",
+    "l1_latency", "llc_latency", "dram_latency", "bandwidth",
+    "cache_line", "div_cost", "mlp", "bandwidth_saturation_cores",
+)
 
 
 @dataclass(frozen=True)
@@ -54,11 +65,7 @@ class MachineModel:
     notes: str = ""
 
     def __post_init__(self):
-        positive = ["frequency_hz", "cores", "issue_width", "vector_width",
-                    "flop_latency", "iop_latency", "l1_size", "llc_size",
-                    "l1_latency", "llc_latency", "dram_latency", "bandwidth",
-                    "cache_line", "div_cost", "mlp"]
-        for name in positive:
+        for name in POSITIVE_FIELDS:
             if getattr(self, name) <= 0:
                 raise HardwareModelError(
                     f"{self.name}: {name} must be positive, got "
@@ -146,3 +153,55 @@ class MachineModel:
             "peak_vector_gflops": self.peak_vector_gflops,
             "ridge_intensity": self.ridge_intensity,
         }
+
+
+# -- pre-flight validation ----------------------------------------------------
+
+def validate_machine(machine) -> List[str]:
+    """Diagnose a machine description; return one message per problem.
+
+    Checks every numeric field for NaN/inf (which slip past the
+    construction-time positivity checks — ``nan <= 0`` is ``False``), the
+    strict-positivity invariants the performance models divide by
+    (bandwidth, frequency, latencies, issue width, ...), the
+    ``simd_efficiency`` range, and cache-size ordering.  Duck-typed:
+    missing fields are skipped, so partial machine stand-ins validate
+    what they have.  An empty list means the machine is usable.
+    """
+    issues: List[str] = []
+    for name in POSITIVE_FIELDS + ("simd_efficiency",):
+        value = getattr(machine, name, None)
+        if value is None:
+            continue
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            issues.append(f"{name} must be numeric, got {value!r}")
+        elif not math.isfinite(value):
+            issues.append(f"{name} must be finite, got {value!r}")
+        elif name != "simd_efficiency" and value <= 0:
+            issues.append(f"{name} must be positive, got {value!r}")
+    simd = getattr(machine, "simd_efficiency", None)
+    if isinstance(simd, (int, float)) and not isinstance(simd, bool) \
+            and math.isfinite(simd) and not (0.0 < simd <= 1.0):
+        issues.append(
+            f"simd_efficiency must be in (0, 1], got {simd!r}")
+    l1 = getattr(machine, "l1_size", None)
+    llc = getattr(machine, "llc_size", None)
+    if isinstance(l1, (int, float)) and isinstance(llc, (int, float)) \
+            and math.isfinite(l1) and math.isfinite(llc) and llc < l1:
+        issues.append(
+            f"llc_size ({llc!r}) smaller than l1_size ({l1!r})")
+    return issues
+
+
+def ensure_valid_machine(machine) -> None:
+    """Raise :class:`~repro.errors.ValidationError` for a bad machine.
+
+    The pre-flight gate used by the roofline/ECM models, the analysis
+    pipeline, and ``repro sweep`` — degenerate parameters surface as one
+    readable report naming the offending fields, before any BET is built
+    or any math divides by them.
+    """
+    issues = validate_machine(machine)
+    if issues:
+        raise ValidationError(
+            issues, subject=getattr(machine, "name", "machine"))

@@ -25,7 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..errors import HardwareModelError
-from .machine import MachineModel
+from .machine import MachineModel, ensure_valid_machine
 from .metrics import Metrics
 
 #: Constant cache-miss ratio used as a first-order approximation
@@ -77,6 +77,10 @@ class RooflineModel:
         if not (0.0 <= miss_rate <= 1.0):
             raise HardwareModelError(
                 f"miss_rate must be within [0, 1], got {miss_rate}")
+        # pre-flight: a zero/negative/NaN bandwidth or peak-flops field
+        # must fail here, naming the field, not leak a ZeroDivisionError
+        # out of the middle of a sweep
+        ensure_valid_machine(machine)
         self.machine = machine
         self.miss_rate = miss_rate
         self.model_division = model_division

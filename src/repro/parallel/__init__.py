@@ -8,12 +8,24 @@ machinery — a bounded LRU cache with observable statistics
 (:func:`build_bet_cached`), N-dimensional machine grids
 (:func:`sweep_grid`), and fanned-out full analyses
 (:func:`analyze_matrix`).  See DESIGN.md §6.
+
+The resilience layer (DESIGN.md §7) rides on the same engine: failing
+points become structured :class:`PointFailure` records instead of
+aborting the batch, :class:`RetryPolicy` retries transient faults with
+deterministic backoff, :class:`SweepCheckpoint` makes long sweeps
+resumable, and :class:`FaultInjector` / :class:`CallRecorder` provide the
+deterministic fault-injection harness the tests are built on.
 """
 
 from .cache import CacheStats, LRUCache
 from .engine import (
     GridPoint, GridResult, analyze_matrix, bet_cache_stats,
     build_bet_cached, clear_bet_cache, sweep_grid,
+)
+from .fault import (
+    NO_RETRY, CallRecorder, FaultInjector, MapOutcome, PointFailure,
+    RetryPolicy, SweepCheckpoint, overrides_key, resilient_map, run_point,
+    sweep_key,
 )
 from .pool import chunk, default_workers, parallel_map
 
@@ -30,4 +42,16 @@ __all__ = [
     "chunk",
     "default_workers",
     "parallel_map",
+    # resilience layer
+    "PointFailure",
+    "RetryPolicy",
+    "NO_RETRY",
+    "MapOutcome",
+    "resilient_map",
+    "run_point",
+    "SweepCheckpoint",
+    "sweep_key",
+    "overrides_key",
+    "FaultInjector",
+    "CallRecorder",
 ]

@@ -27,16 +27,20 @@ from __future__ import annotations
 import itertools
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.sensitivity import project_machine
 from ..bet import build_bet
-from ..bet.nodes import BETNode
+from ..bet.nodes import BETNode, render_tree
 from ..errors import AnalysisError
-from ..hardware.machine import MachineModel
+from ..hardware.machine import MachineModel, ensure_valid_machine
 from ..skeleton.bst import Program
 from .cache import CacheStats, LRUCache
-from .pool import chunk, parallel_map
+from .fault import (
+    MapOutcome, PointFailure, RetryPolicy, SweepCheckpoint, overrides_key,
+    resilient_map, sweep_key,
+)
+from .pool import parallel_map
 
 # -- BET-build memoization ----------------------------------------------------
 
@@ -92,13 +96,18 @@ class GridResult:
     """A full N-dimensional design-space grid.
 
     Points are in row-major order over ``grid`` (last parameter varies
-    fastest), deterministically, regardless of worker count.
+    fastest), deterministically, regardless of worker count.  Cells that
+    failed (after any configured retries) are absent from ``points`` and
+    recorded in ``failures`` instead — one
+    :class:`~repro.parallel.PointFailure` each, carrying the exception
+    type, message, captured traceback, and attempt count.
     """
 
     grid: Dict[str, List[float]]   #: parameter -> swept values, in order
     points: List[GridPoint]
     timings: Dict[str, float] = field(default_factory=dict)
     cache_stats: Dict[str, float] = field(default_factory=dict)
+    failures: List[PointFailure] = field(default_factory=list)
 
     @property
     def parameters(self) -> List[str]:
@@ -126,7 +135,9 @@ class GridResult:
         names = self.parameters
         header = "  ".join(f"{name:>12}" for name in names)
         lines = [f"design-space grid over {' x '.join(names)} "
-                 f"({len(self.points)} points)",
+                 f"({len(self.points)} points"
+                 + (f", {len(self.failures)} failed" if self.failures
+                    else "") + ")",
                  f"{header}  {'runtime':>10}  {'mem%':>6}  top hot spot"]
         for point in self.points:
             cells = "  ".join(f"{point.overrides[name]:12.4g}"
@@ -134,6 +145,8 @@ class GridResult:
             lines.append(
                 f"{cells}  {point.runtime:10.4g}  "
                 f"{100 * point.memory_fraction:5.1f}%  {point.top_label}")
+        for failure in self.failures:
+            lines.append(failure.render())
         return "\n".join(lines)
 
 
@@ -144,30 +157,75 @@ def _grid_cells(grid: Dict[str, Sequence[float]]) -> List[Dict[str, float]]:
                                              for name in names))]
 
 
+def _cell_machine(base_machine: MachineModel,
+                  overrides: Dict[str, float]) -> MachineModel:
+    """The derived machine for one grid cell (single source of naming, so
+    checkpoint-resumed points are bit-identical to computed ones)."""
+    tag = ",".join(f"{name}={value:g}"
+                   for name, value in overrides.items())
+    return base_machine.with_overrides(
+        name=f"{base_machine.name}[{tag}]", **overrides)
+
+
 def _grid_one(bet: BETNode, base_machine: MachineModel,
               overrides: Dict[str, float],
               model_factory: Optional[Callable], k: int) -> GridPoint:
-    tag = ",".join(f"{name}={value:g}"
-                   for name, value in overrides.items())
-    machine = base_machine.with_overrides(
-        name=f"{base_machine.name}[{tag}]", **overrides)
+    machine = _cell_machine(base_machine, overrides)
     projection = project_machine(bet, machine, model_factory, k)
     return GridPoint(overrides=dict(overrides), machine=machine,
                      **projection)
 
 
-def _grid_chunk(payload) -> List[GridPoint]:
-    """Process-pool task: project a contiguous run of grid cells."""
-    bet, base_machine, cells, model_factory, k = payload
-    return [_grid_one(bet, base_machine, overrides, model_factory, k)
-            for overrides in cells]
+def _grid_point_task(payload) -> GridPoint:
+    """Process-pool task: project one grid cell (per-point dispatch, so a
+    failing or hanging cell is isolated to its own task)."""
+    bet, base_machine, overrides, model_factory, k = payload
+    return _grid_one(bet, base_machine, overrides, model_factory, k)
+
+
+def _grid_point_to_dict(point: GridPoint) -> Dict[str, Any]:
+    """JSON-ready checkpoint payload for one completed cell."""
+    return {"overrides": dict(point.overrides),
+            "runtime": point.runtime,
+            "ranking": list(point.ranking),
+            "top_label": point.top_label,
+            "memory_fraction": point.memory_fraction}
+
+
+def _grid_point_from_dict(payload: Dict[str, Any],
+                          base_machine: MachineModel) -> GridPoint:
+    """Rebuild a checkpointed cell (floats round-trip exactly through
+    JSON, so resumed results equal an uninterrupted run's)."""
+    overrides = {name: value
+                 for name, value in payload["overrides"].items()}
+    return GridPoint(overrides=overrides,
+                     machine=_cell_machine(base_machine, overrides),
+                     runtime=payload["runtime"],
+                     ranking=list(payload["ranking"]),
+                     top_label=payload["top_label"],
+                     memory_fraction=payload["memory_fraction"])
+
+
+def _default_grid_key(bet: BETNode, base_machine: MachineModel,
+                      grid: Dict[str, Sequence[float]], k: int) -> str:
+    """Content key tying a checkpoint to (tree, machine, grid, k)."""
+    return sweep_key(render_tree(bet), repr(base_machine),
+                     sorted((name, tuple(values))
+                            for name, values in grid.items()), k)
 
 
 def sweep_grid(bet: BETNode, base_machine: MachineModel,
                grid: Dict[str, Sequence[float]],
                model_factory: Optional[Callable] = None,
                k: int = 10,
-               workers: int = 1) -> GridResult:
+               workers: int = 1,
+               strict: bool = False,
+               policy: Optional[RetryPolicy] = None,
+               timeout: Optional[float] = None,
+               checkpoint: Optional[str] = None,
+               resume: bool = False,
+               checkpoint_key: Optional[str] = None,
+               validate: bool = True) -> GridResult:
     """Project one BET over the cross product of machine parameters.
 
     Parameters
@@ -182,6 +240,25 @@ def sweep_grid(bet: BETNode, base_machine: MachineModel,
     workers:
         Process-pool width; ``1`` runs serially.  Ordering and values are
         identical either way.
+    strict:
+        ``False`` (default): a failing cell becomes a
+        :class:`~repro.parallel.PointFailure` on ``result.failures`` while
+        every healthy cell completes.  ``True`` restores fail-fast
+        (:class:`~repro.errors.RetryExhaustedError` /
+        :class:`~repro.errors.TaskTimeoutError`).
+    policy:
+        :class:`~repro.parallel.RetryPolicy` for transient faults
+        (default: no retries).
+    timeout:
+        Per-cell bound in seconds, enforced on the parallel path.
+    checkpoint / resume / checkpoint_key:
+        Path for periodic JSON checkpoints of completed cells;
+        ``resume=True`` skips cells already checkpointed (the key —
+        defaulting to a hash of the rendered BET, the machine, and the
+        grid — must match, else :class:`~repro.errors.CheckpointError`).
+    validate:
+        Pre-flight the base machine
+        (:func:`~repro.hardware.validate_machine`) before any work.
     """
     if not grid or any(len(list(values)) == 0 for values in grid.values()):
         raise AnalysisError("grid needs at least one value per parameter")
@@ -189,25 +266,63 @@ def sweep_grid(bet: BETNode, base_machine: MachineModel,
         if not hasattr(base_machine, parameter):
             raise AnalysisError(
                 f"machine has no parameter {parameter!r}")
+    if validate:
+        ensure_valid_machine(base_machine)
     started = time.perf_counter()
     cells = _grid_cells(grid)
-    if workers > 1 and len(cells) > 1:
-        payloads = [(bet, base_machine, piece, model_factory, k)
-                    for piece in chunk(cells, workers)]
-        pieces = parallel_map(_grid_chunk, payloads, workers=workers)
-        points = [point for piece in pieces for point in piece]
-    else:
-        points = [_grid_one(bet, base_machine, overrides,
-                            model_factory, k)
-                  for overrides in cells]
+
+    ckpt: Optional[SweepCheckpoint] = None
+    if checkpoint:
+        key = checkpoint_key or _default_grid_key(bet, base_machine,
+                                                  grid, k)
+        ckpt = SweepCheckpoint.load(checkpoint, key, resume=resume)
+
+    prior: Dict[int, GridPoint] = {}
+    pending_indices: List[int] = []
+    pending_cells: List[Dict[str, float]] = []
+    for index, overrides in enumerate(cells):
+        stored = ckpt.get(overrides_key(overrides)) if ckpt else None
+        if stored is not None:
+            prior[index] = _grid_point_from_dict(stored, base_machine)
+        else:
+            pending_indices.append(index)
+            pending_cells.append(overrides)
+
+    payloads = [(bet, base_machine, overrides, model_factory, k)
+                for overrides in pending_cells]
+
+    def checkpoint_point(local: int, point: GridPoint) -> None:
+        if ckpt is not None:
+            ckpt.record(overrides_key(pending_cells[local]),
+                        _grid_point_to_dict(point))
+
+    try:
+        outcome = resilient_map(
+            _grid_point_task, payloads, workers=workers, policy=policy,
+            timeout=timeout, strict=strict, indices=pending_indices,
+            describe=lambda payload: overrides_key(payload[2]),
+            on_point=checkpoint_point)
+    finally:
+        if ckpt is not None:
+            ckpt.flush()
+
+    computed = {pending_indices[local]: point
+                for local, point in enumerate(outcome.results)
+                if point is not None}
+    points = [prior.get(index) or computed.get(index)
+              for index in range(len(cells))]
+    points = [point for point in points if point is not None]
     elapsed = time.perf_counter() - started
     return GridResult(
         grid={name: list(values) for name, values in grid.items()},
         points=points,
         timings={"project": elapsed, "total": elapsed,
                  "workers": float(max(workers, 1)),
-                 "points": float(len(points))},
-        cache_stats=bet_cache_stats().as_dict())
+                 "points": float(len(points)),
+                 "failed": float(len(outcome.failures)),
+                 "resumed": float(len(prior))},
+        cache_stats=bet_cache_stats().as_dict(),
+        failures=outcome.failures)
 
 
 # -- batched full analyses ----------------------------------------------------
@@ -222,7 +337,10 @@ def _analyze_task(payload):
 def analyze_matrix(workloads: Sequence[str],
                    machines: Sequence,
                    ablations: Optional[Sequence[Dict]] = None,
-                   workers: int = 1):
+                   workers: int = 1,
+                   strict: bool = True,
+                   policy: Optional[RetryPolicy] = None,
+                   timeout: Optional[float] = None):
     """Run the full pipeline over a (workload × machine × ablation) matrix.
 
     ``ablations`` is a sequence of keyword-option dicts for
@@ -231,6 +349,11 @@ def analyze_matrix(workloads: Sequence[str],
     row-major (workload, machine, ablation) order, deterministic for any
     worker count, and are inserted into the shared bounded pipeline cache
     so subsequent slicing (figures, tables) hits instead of re-running.
+
+    With ``strict=False`` a failing matrix point (after any retries per
+    ``policy``, or exceeding ``timeout`` on the parallel path) occupies
+    its slot as a :class:`~repro.parallel.PointFailure` record instead of
+    aborting the batch; healthy points are unaffected.
     """
     from ..experiments import pipeline
     option_sets = [dict(options) for options in (ablations or [{}])]
@@ -239,13 +362,30 @@ def analyze_matrix(workloads: Sequence[str],
              for machine in machines
              for options in option_sets]
     started = time.perf_counter()
-    if workers > 1 and len(tasks) > 1:
-        results = parallel_map(_analyze_task, tasks, workers=workers)
-        for analysis, (name, machine, options) in zip(results, tasks):
-            pipeline.remember(analysis, **dict(options))
+    if strict and policy is None and timeout is None:
+        if workers > 1 and len(tasks) > 1:
+            results = parallel_map(_analyze_task, tasks, workers=workers)
+            for analysis, (name, machine, options) in zip(results, tasks):
+                pipeline.remember(analysis, **dict(options))
+        else:
+            results = [_analyze_task(task) for task in tasks]
     else:
-        results = [_analyze_task(task) for task in tasks]
+        outcome = resilient_map(
+            _analyze_task, tasks, workers=workers, policy=policy,
+            timeout=timeout, strict=strict,
+            describe=lambda task: f"{task[0]}@{getattr(task[1], 'name', task[1])}")
+        results = []
+        for slot, (value, task) in enumerate(zip(outcome.results, tasks)):
+            if value is None:
+                failure = next(f for f in outcome.failures
+                               if f.index == slot)
+                results.append(failure)
+                continue
+            if workers > 1:
+                pipeline.remember(value, **dict(task[2]))
+            results.append(value)
     elapsed = time.perf_counter() - started
     for analysis in results:
-        analysis.timings.setdefault("matrix_total", elapsed)
+        if hasattr(analysis, "timings"):
+            analysis.timings.setdefault("matrix_total", elapsed)
     return results

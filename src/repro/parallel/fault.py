@@ -1,0 +1,564 @@
+"""The resilience layer of the experiment pipeline.
+
+The sweep engine's value is cheap exploration of *large* co-design spaces,
+and large batch jobs meet faults: a degenerate machine config that blows up
+deep in the math, a worker that hangs, a transient pickling hiccup.  This
+module makes the pipeline degrade gracefully instead of aborting:
+
+* **failure isolation** — :func:`resilient_map` turns a failing point into
+  a structured :class:`PointFailure` record (exception type, message,
+  captured traceback, attempt count) while every healthy point completes;
+  ``strict=True`` restores fail-fast via
+  :class:`~repro.errors.RetryExhaustedError` /
+  :class:`~repro.errors.TaskTimeoutError`;
+* **retry with deterministic backoff** — :class:`RetryPolicy` computes an
+  exponential schedule with jitter seeded by the point index, so retry
+  behaviour is reproducible (no RNG state, no wall-clock dependence in
+  tests: the ``sleep`` callable is injectable);
+* **per-point timeouts** — a hung worker fails its own point within the
+  configured bound instead of stalling the whole sweep;
+* **checkpoint/resume** — :class:`SweepCheckpoint` persists completed
+  points as JSON keyed by a sweep fingerprint, so an interrupted grid
+  restarts where it left off (``repro sweep --checkpoint PATH --resume``);
+* **fault injection** — :class:`FaultInjector` and :class:`CallRecorder`
+  deterministically fail or hang the Nth call of any wrapped callable, so
+  the tests exercise every failure path without flaky sleeps.
+
+See DESIGN.md section 7 for the failure model and the checkpoint format.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import time
+import traceback as _traceback
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as _FuturesTimeout
+from dataclasses import dataclass, field
+from typing import (
+    Any, Callable, Dict, List, Optional, Sequence, Tuple, TypeVar,
+)
+
+from ..errors import (
+    CheckpointError, RetryExhaustedError, TaskTimeoutError,
+)
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: how many characters of an item's description a failure record keeps
+_ITEM_REPR_LIMIT = 200
+
+
+# -- structured failure records ----------------------------------------------
+
+@dataclass
+class PointFailure:
+    """One failed point of a sweep/grid/matrix run.
+
+    Attached to results (``SweepResult.failures``, ``GridResult.failures``,
+    matrix output) instead of aborting the run; everything needed to
+    diagnose the fault travels with the record, including across process
+    boundaries (the dataclass is plain data, so it pickles).
+    """
+
+    index: int          #: position of the point in the run (row-major)
+    error_type: str     #: type name of the last exception
+    message: str        #: message of the last exception
+    traceback: str      #: captured traceback of the last attempt
+    attempts: int       #: how many attempts were made (1 = no retry)
+    item: str = ""      #: short description of the failing point
+
+    @classmethod
+    def from_exception(cls, index: int, exc: BaseException, attempts: int,
+                       item: str = "") -> "PointFailure":
+        """Capture a live exception (with its traceback) as a record."""
+        text = "".join(_traceback.format_exception(
+            type(exc), exc, exc.__traceback__))
+        failure = cls(index=index, error_type=type(exc).__name__,
+                      message=str(exc), traceback=text, attempts=attempts,
+                      item=item[:_ITEM_REPR_LIMIT])
+        failure._exception = exc
+        return failure
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        """The live exception, when the failure happened in this process."""
+        return getattr(self, "_exception", None)
+
+    def __getstate__(self):
+        # the live exception (and its unpicklable traceback object) stays
+        # in the process that caught it; the formatted text travels
+        state = dict(self.__dict__)
+        state.pop("_exception", None)
+        return state
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready flat view (used by the exporters)."""
+        return {
+            "index": self.index,
+            "error_type": self.error_type,
+            "message": self.message,
+            "traceback": self.traceback,
+            "attempts": self.attempts,
+            "item": self.item,
+        }
+
+    def render(self) -> str:
+        """One human-readable summary line."""
+        where = f" {self.item}" if self.item else ""
+        plural = "s" if self.attempts != 1 else ""
+        return (f"FAILED point {self.index}{where}: {self.error_type}: "
+                f"{self.message} ({self.attempts} attempt{plural})")
+
+
+# -- deterministic retry policies ---------------------------------------------
+
+def _unit_fraction(index: int, attempt: int) -> float:
+    """A stable pseudo-random fraction in [0, 1) from (index, attempt).
+
+    SHA-256 based so the jitter schedule is identical across runs,
+    processes, and Python hash randomization — determinism is the whole
+    point (the equivalence tests depend on it).
+    """
+    digest = hashlib.sha256(f"{index}:{attempt}".encode("ascii")).digest()
+    return int.from_bytes(digest[:8], "big") / 2.0 ** 64
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Deterministic exponential backoff for transiently failing points.
+
+    The delay before retry ``a`` (1-based) of point ``index`` is::
+
+        min(base_delay * multiplier ** (a - 1), max_delay)
+            * (1 + jitter * fraction(index, a))
+
+    where ``fraction`` is a SHA-256 hash of ``(index, attempt)`` mapped to
+    [0, 1) — fully deterministic, no RNG state, no wall-clock dependence.
+    ``max_attempts=1`` (the default) disables retries entirely.
+    """
+
+    max_attempts: int = 1        #: total tries per point (1 = no retry)
+    base_delay: float = 0.05     #: seconds before the first retry
+    multiplier: float = 2.0      #: exponential growth factor
+    max_delay: float = 2.0       #: cap on any single delay
+    jitter: float = 0.0          #: extra delay fraction, seeded by index
+    retry_on: Tuple[type, ...] = (Exception,)  #: retryable exception types
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if self.jitter < 0:
+            raise ValueError("jitter must be >= 0")
+
+    def delay(self, attempt: int, index: int = 0) -> float:
+        """Seconds to wait after failed attempt ``attempt`` (1-based)."""
+        raw = min(self.base_delay * self.multiplier ** (attempt - 1),
+                  self.max_delay)
+        if self.jitter:
+            raw *= 1.0 + self.jitter * _unit_fraction(index, attempt)
+        return raw
+
+    def schedule(self, index: int = 0) -> List[float]:
+        """The full backoff schedule for one point (len = retries)."""
+        return [self.delay(attempt, index)
+                for attempt in range(1, self.max_attempts)]
+
+    def should_retry(self, exc: BaseException, attempt: int) -> bool:
+        """Whether attempt ``attempt`` failing with ``exc`` is retryable."""
+        return (attempt < self.max_attempts
+                and isinstance(exc, self.retry_on))
+
+
+#: the do-nothing policy: one attempt, no backoff
+NO_RETRY = RetryPolicy(max_attempts=1)
+
+
+# -- the per-point execution core ---------------------------------------------
+
+def run_point(fn: Callable[[T], R], item: T, index: int,
+              policy: Optional[RetryPolicy] = None,
+              sleep: Callable[[float], None] = time.sleep) -> Tuple:
+    """Run one point with retry; never raises.
+
+    Returns ``("ok", value, attempts)`` or ``("fail", PointFailure)``.
+    This is the unit of work shipped to pool workers (retries happen in
+    the worker, so a transient fault costs one re-dispatch, not a round
+    trip through the parent).
+    """
+    policy = policy or NO_RETRY
+    attempts = 0
+    while True:
+        attempts += 1
+        try:
+            return ("ok", fn(item), attempts)
+        except Exception as exc:
+            if not policy.should_retry(exc, attempts):
+                return ("fail", PointFailure.from_exception(
+                    index, exc, attempts))
+            sleep(policy.delay(attempts, index))
+
+
+class _ResilientTask:
+    """Picklable pool task wrapping ``fn`` with in-worker retry."""
+
+    def __init__(self, fn: Callable, policy: Optional[RetryPolicy]):
+        self.fn = fn
+        self.policy = policy
+
+    def __call__(self, payload: Tuple[int, Any]) -> Tuple:
+        index, item = payload
+        return run_point(self.fn, item, index, self.policy)
+
+
+@dataclass
+class MapOutcome:
+    """Everything :func:`resilient_map` learned about a batch.
+
+    ``results`` is aligned with the input items (``None`` where a point
+    failed); ``failures`` holds one :class:`PointFailure` per failed point;
+    ``attempts[i]`` counts the tries point ``i`` took (success or not).
+    """
+
+    results: List[Optional[Any]]
+    failures: List[PointFailure] = field(default_factory=list)
+    attempts: List[int] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when every point succeeded."""
+        return not self.failures
+
+    def successes(self) -> List[Any]:
+        """The successful results, in order, with failures dropped."""
+        return [value for value in self.results if value is not None]
+
+
+def resilient_map(fn: Callable[[T], R], items: Sequence[T],
+                  workers: int = 1,
+                  policy: Optional[RetryPolicy] = None,
+                  timeout: Optional[float] = None,
+                  strict: bool = False,
+                  sleep: Callable[[float], None] = time.sleep,
+                  indices: Optional[Sequence[int]] = None,
+                  describe: Optional[Callable[[T], str]] = None,
+                  on_point: Optional[Callable[[int, R], None]] = None,
+                  ) -> MapOutcome:
+    """Fault-tolerant, order-preserving map over ``items``.
+
+    The resilient sibling of :func:`~repro.parallel.pool.parallel_map`:
+    instead of letting the first exception abort the batch, each point is
+    retried per ``policy`` and, if it still fails, recorded as a
+    :class:`PointFailure` while the remaining points complete.  Healthy
+    results are bit-identical between ``workers=1`` and ``workers=N``.
+
+    Parameters
+    ----------
+    workers:
+        Process-pool width; ``<= 1`` runs serially in-process.
+    policy:
+        Retry policy (default: no retries).  Retries run inside the
+        worker, with real sleeps; tests inject ``sleep`` on the serial
+        path to keep schedules wall-clock free.
+    timeout:
+        Per-point bound in seconds, enforced on the parallel path while
+        collecting results in order (a point that exceeds it fails with a
+        ``TaskTimeoutError``-typed failure and its worker is abandoned).
+        The serial path cannot pre-empt a running call and ignores it.
+    strict:
+        Fail fast: raise :class:`~repro.errors.RetryExhaustedError` (or
+        :class:`~repro.errors.TaskTimeoutError`) for the first failing
+        point instead of recording it.
+    indices:
+        Global point numbers for labels/jitter when ``items`` is a
+        filtered subset of a larger run (checkpoint resume); defaults to
+        ``0..len(items)-1``.
+    describe:
+        Renders an item into the short ``PointFailure.item`` label
+        (parent-side only, so it need not pickle).
+    on_point:
+        ``(local_index, value)`` callback fired in the parent, in item
+        order, as each successful result is accepted — the checkpoint
+        hook.
+    """
+    items = list(items)
+    count = len(items)
+    if indices is None:
+        indices = list(range(count))
+    indices = list(indices)
+    if len(indices) != count:
+        raise ValueError("indices must align with items")
+
+    results: List[Optional[R]] = [None] * count
+    failures: List[PointFailure] = []
+    attempts: List[int] = [0] * count
+
+    def handle(local: int, outcome: Tuple) -> None:
+        if outcome[0] == "ok":
+            _, value, tries = outcome
+            results[local] = value
+            attempts[local] = tries
+            if on_point is not None:
+                on_point(local, value)
+            return
+        failure = outcome[1]
+        failure.index = indices[local]
+        if describe is not None and not failure.item:
+            failure.item = str(describe(items[local]))[:_ITEM_REPR_LIMIT]
+        attempts[local] = failure.attempts
+        if strict:
+            if failure.error_type == "TaskTimeoutError":
+                raise TaskTimeoutError(failure.index, timeout or 0.0,
+                                       failure.item)
+            raise RetryExhaustedError(
+                failure.index, failure.attempts, failure.error_type,
+                failure.message, failure.traceback,
+            ) from failure.exception
+        failures.append(failure)
+
+    if workers <= 1 or count < 2:
+        for local, item in enumerate(items):
+            handle(local, run_point(fn, item, indices[local], policy,
+                                    sleep=sleep))
+        return MapOutcome(results, failures, attempts)
+
+    task = _ResilientTask(fn, policy)
+    payloads = [(indices[local], item) for local, item in enumerate(items)]
+    try:
+        pickle.dumps((task, payloads[0]))
+    except Exception:
+        # unpicklable work: the whole batch degrades to the serial path
+        for local, item in enumerate(items):
+            handle(local, run_point(fn, item, indices[local], policy,
+                                    sleep=sleep))
+        return MapOutcome(results, failures, attempts)
+
+    pool: Optional[ProcessPoolExecutor] = None
+    collected: Dict[int, Tuple] = {}
+    try:
+        try:
+            pool = ProcessPoolExecutor(max_workers=min(workers, count))
+            futures = [pool.submit(task, payload) for payload in payloads]
+        except (OSError, PermissionError):
+            futures = []          # cannot spawn: finish serially below
+        broken = False
+        for local, future in enumerate(futures):
+            if broken:
+                break
+            try:
+                collected[local] = future.result(timeout=timeout)
+            except _FuturesTimeout:
+                collected[local] = ("fail", PointFailure(
+                    index=indices[local], error_type="TaskTimeoutError",
+                    message=(f"no result within the {timeout:g}s "
+                             "per-point timeout"),
+                    traceback="", attempts=1))
+            except pickle.PicklingError:
+                # this one item refused to pickle; compute it in-process
+                collected[local] = run_point(fn, items[local],
+                                             indices[local], policy,
+                                             sleep=sleep)
+            except (BrokenExecutor, OSError, PermissionError):
+                broken = True     # pool died; keep what already finished
+        for local in range(count):
+            outcome = collected.get(local)
+            if outcome is None:   # never dispatched or lost with the pool
+                outcome = run_point(fn, items[local], indices[local],
+                                    policy, sleep=sleep)
+            handle(local, outcome)
+    finally:
+        if pool is not None:
+            # never block on a hung worker; abandoned processes exit on
+            # their own once their (bounded) task returns
+            pool.shutdown(wait=False, cancel_futures=True)
+    return MapOutcome(results, failures, attempts)
+
+
+# -- checkpoint / resume ------------------------------------------------------
+
+def sweep_key(*parts: Any) -> str:
+    """A stable fingerprint for a sweep configuration.
+
+    Hash of the ``repr`` of the parts — callers pass content-stable pieces
+    (``Program.fingerprint()``, frozen inputs, the machine's field values,
+    the grid spec) so a checkpoint can refuse to resume a *different*
+    sweep.
+    """
+    return hashlib.sha256(repr(parts).encode("utf-8")).hexdigest()
+
+
+def overrides_key(overrides: Dict[str, float]) -> str:
+    """Canonical cell key for a dict of parameter overrides."""
+    return "|".join(f"{name}={value!r}"
+                    for name, value in sorted(overrides.items()))
+
+
+class SweepCheckpoint:
+    """Periodic JSON checkpoint of a sweep's completed points.
+
+    The file holds ``{"version", "key", "completed": {cell_key: payload}}``
+    where ``key`` fingerprints the sweep configuration (see
+    :func:`sweep_key`) and each payload is the engine's JSON-ready view of
+    one completed point.  Writes are atomic (temp file + ``os.replace``)
+    and flushed every ``flush_every`` recorded points, so a killed run
+    loses at most the last few results.
+    """
+
+    VERSION = 1
+
+    def __init__(self, path: str, key: str, flush_every: int = 1):
+        if flush_every < 1:
+            raise ValueError("flush_every must be >= 1")
+        self.path = str(path)
+        self.key = key
+        self.flush_every = flush_every
+        self.completed: Dict[str, Dict[str, Any]] = {}
+        self._pending = 0
+
+    @classmethod
+    def load(cls, path: str, key: str, resume: bool = False,
+             flush_every: int = 1) -> "SweepCheckpoint":
+        """Open a checkpoint, resuming prior progress when asked.
+
+        ``resume=False`` starts fresh (an existing file is overwritten on
+        the first flush).  ``resume=True`` loads completed points and
+        raises :class:`~repro.errors.CheckpointError` when the file is
+        corrupt or was written by a different sweep configuration.
+        """
+        checkpoint = cls(path, key, flush_every=flush_every)
+        if not resume:
+            return checkpoint
+        if not os.path.exists(checkpoint.path):
+            return checkpoint
+        try:
+            with open(checkpoint.path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError) as exc:
+            raise CheckpointError(
+                f"checkpoint {checkpoint.path} is unreadable: {exc}; "
+                "delete it or drop --resume") from exc
+        if payload.get("version") != cls.VERSION:
+            raise CheckpointError(
+                f"checkpoint {checkpoint.path} has version "
+                f"{payload.get('version')!r}, expected {cls.VERSION}")
+        if payload.get("key") != key:
+            raise CheckpointError(
+                f"checkpoint {checkpoint.path} belongs to a different "
+                "sweep (program, machine, or grid changed); delete it or "
+                "drop --resume")
+        completed = payload.get("completed", {})
+        if not isinstance(completed, dict):
+            raise CheckpointError(
+                f"checkpoint {checkpoint.path} is malformed")
+        checkpoint.completed = completed
+        return checkpoint
+
+    def __contains__(self, cell_key: str) -> bool:
+        return cell_key in self.completed
+
+    def __len__(self) -> int:
+        return len(self.completed)
+
+    def get(self, cell_key: str) -> Optional[Dict[str, Any]]:
+        """The stored payload for one completed cell, if any."""
+        return self.completed.get(cell_key)
+
+    def record(self, cell_key: str, payload: Dict[str, Any]) -> None:
+        """Record one completed point; flushes every ``flush_every``."""
+        self.completed[cell_key] = payload
+        self._pending += 1
+        if self._pending >= self.flush_every:
+            self.flush()
+
+    def flush(self) -> None:
+        """Atomically persist the checkpoint to disk."""
+        payload = {"version": self.VERSION, "key": self.key,
+                   "completed": self.completed}
+        tmp = f"{self.path}.tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        os.replace(tmp, self.path)
+        self._pending = 0
+
+
+# -- deterministic fault injection (test harness) -----------------------------
+
+class CallRecorder:
+    """File-backed call counter that survives process boundaries.
+
+    Each :meth:`record` appends one line to ``path`` (O_APPEND writes are
+    atomic for short lines), so calls made inside pool workers are counted
+    in the parent — the checkpoint/resume tests assert "only the
+    unfinished points were recomputed" through this.
+    """
+
+    def __init__(self, path: str):
+        self.path = str(path)
+
+    def record(self, tag: str = "") -> None:
+        """Append one call record."""
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(tag.replace("\n", " ") + "\n")
+
+    def count(self) -> int:
+        """Number of recorded calls so far."""
+        return len(self.tags())
+
+    def tags(self) -> List[str]:
+        """All recorded tags, in call order."""
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                return [line.rstrip("\n") for line in handle]
+        except OSError:
+            return []
+
+
+class FaultInjector:
+    """Deterministic fault-injection wrapper around any callable.
+
+    ``fail_on`` / ``hang_on`` are 1-based call indices at which the
+    wrapped callable raises ``error`` / sleeps ``hang_seconds`` before
+    proceeding.  The counter lives on the instance, so under the sweep
+    engine's per-point parallel dispatch (each submit pickles a fresh
+    copy into the worker) call indices count *attempts of one point*,
+    while on the serial path they count calls across the whole run — both
+    documented, both deterministic.  An optional :class:`CallRecorder`
+    counts calls across processes.
+    """
+
+    def __init__(self, fn: Callable,
+                 fail_on: Sequence[int] = (),
+                 error: Optional[BaseException] = None,
+                 hang_on: Sequence[int] = (),
+                 hang_seconds: float = 0.0,
+                 recorder: Optional[CallRecorder] = None):
+        self.fn = fn
+        self.fail_on = frozenset(fail_on)
+        self.error = error
+        self.hang_on = frozenset(hang_on)
+        self.hang_seconds = hang_seconds
+        self.recorder = recorder
+        self.calls = 0
+
+    def __call__(self, *args, **kwargs):
+        self.calls += 1
+        if self.recorder is not None:
+            self.recorder.record(f"call {self.calls}")
+        if self.calls in self.hang_on:
+            time.sleep(self.hang_seconds)
+        if self.calls in self.fail_on:
+            error = self.error
+            if error is None:
+                error = RuntimeError(f"injected fault (call {self.calls})")
+            elif isinstance(error, type):
+                error = error(f"injected fault (call {self.calls})")
+            raise error
+        return self.fn(*args, **kwargs)

@@ -6,14 +6,18 @@ more than one worker and degrades to a plain serial loop otherwise.  The
 serial path is byte-for-byte the same computation, which is what lets the
 equivalence tests assert bit-identical results between ``workers=1`` and
 ``workers=N``.
+
+Exceptions raised by ``fn`` itself propagate (fail-fast semantics); for
+failure isolation, retries, and per-point timeouts use the resilient
+sibling :func:`repro.parallel.fault.resilient_map`.
 """
 
 from __future__ import annotations
 
 import os
 import pickle
-from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, List, Sequence, TypeVar
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from typing import Callable, Dict, List, Sequence, TypeVar
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -37,21 +41,36 @@ def parallel_map(fn: Callable[[T], R], items: Sequence[T],
     the host cannot spawn processes (sandboxed environments) or a payload
     refuses to pickle, the map transparently falls back to the serial
     path — results are identical either way, only the wall clock differs.
+
+    Pickling is probed with *one representative item* (not the whole
+    payload — the executor already pickles each item exactly once at
+    submit time, and pre-pickling a large grid a second time doubled the
+    serialization bill).  If the pool dies midway, only the items without
+    a completed result are recomputed serially; completed results are
+    kept, so ``fn`` runs at most once per item on the fallback path (an
+    item whose future was lost *with* the pool is the one exception, and
+    it simply runs again — ``fn`` is pure in every engine use).
     """
     items = list(items)
     if workers <= 1 or len(items) < 2:
         return [fn(item) for item in items]
     try:
-        pickle.dumps((fn, items))
+        pickle.dumps((fn, items[0]))
     except Exception:
         return [fn(item) for item in items]
+    done: Dict[int, R] = {}
     try:
         with ProcessPoolExecutor(
                 max_workers=min(workers, len(items))) as pool:
             futures = [pool.submit(fn, item) for item in items]
-            return [future.result() for future in futures]
-    except (OSError, PermissionError):
-        return [fn(item) for item in items]
+            for index, future in enumerate(futures):
+                done[index] = future.result()
+    except (BrokenExecutor, OSError, PermissionError):
+        pass          # pool died: recompute only what is missing below
+    except pickle.PicklingError:
+        pass          # an item beyond the probe refused to pickle
+    return [done[index] if index in done else fn(item)
+            for index, item in enumerate(items)]
 
 
 def chunk(items: Sequence[T], pieces: int) -> List[List[T]]:

@@ -1,0 +1,116 @@
+"""Pre-flight validation of sweep inputs.
+
+Kerncraft-style analytic tooling treats invalid machine files and inputs as
+first-class diagnosable conditions, not crashes.  This module is the
+library's equivalent gate: before any BET is built or any roofline math
+runs, :func:`preflight` diagnoses the whole configuration — machine fields
+(via :func:`repro.hardware.validate_machine`), workload input bindings
+(NaN/inf values), and skeleton branch probabilities outside [0, 1] — and
+raises one :class:`~repro.errors.ValidationError` carrying the complete
+human-readable report.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+from .errors import ReproError, ValidationError
+from .expressions import evaluate
+from .hardware.machine import ensure_valid_machine, validate_machine
+from .skeleton.ast_nodes import Branch, Break, Continue, Return
+from .skeleton.bst import Program
+
+__all__ = [
+    "validate_machine", "ensure_valid_machine",
+    "validate_inputs", "ensure_valid_inputs", "preflight",
+]
+
+
+def _probability_sites(program: Program):
+    """Yield ``(statement, description, expr)`` for every probability
+    expression in the skeleton."""
+    for statement in program.walk():
+        if isinstance(statement, Branch):
+            for arm in statement.arms:
+                if arm.kind == "prob" and arm.expr is not None:
+                    yield statement, "branch-arm", arm.expr
+        elif isinstance(statement, (Break, Continue, Return)):
+            yield (statement, type(statement).__name__.lower(),
+                   statement.prob)
+
+
+def validate_inputs(program: Program,
+                    inputs: Optional[Dict[str, float]] = None
+                    ) -> List[str]:
+    """Diagnose workload inputs against a program; one message each.
+
+    Checks that every input binding is a finite number and that every
+    skeleton probability (branch arms, probabilistic ``break`` /
+    ``continue`` / ``return``) evaluates inside [0, 1] under the combined
+    ``param`` defaults and ``inputs``.  Probabilities that depend on
+    variables only bound at BET-build time (loop indices, callee
+    parameters) are skipped — the BET builder still guards them.
+    An empty list means the inputs are usable.
+    """
+    issues: List[str] = []
+    bindings = dict(inputs or {})
+    for name, value in bindings.items():
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            issues.append(f"input {name!r} must be numeric, got {value!r}")
+        elif not math.isfinite(value):
+            issues.append(f"input {name!r} must be finite, got {value!r}")
+
+    # evaluate param defaults in declaration order, then overlay inputs
+    env: Dict[str, float] = {}
+    for name, expr in program.params.items():
+        try:
+            env[name] = evaluate(expr, env)
+        except ReproError:
+            pass
+    for name, value in bindings.items():
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            env[name] = value
+
+    for statement, description, expr in _probability_sites(program):
+        try:
+            value = evaluate(expr, env)
+        except ReproError:
+            continue          # depends on run-time bindings; builder guards
+        if not isinstance(value, (int, float)) or value != value \
+                or not (0.0 <= value <= 1.0):
+            issues.append(
+                f"{statement.function} line {statement.line}: "
+                f"{description} probability {expr} = {value!r} "
+                "outside [0, 1]")
+    return issues
+
+
+def ensure_valid_inputs(program: Program,
+                        inputs: Optional[Dict[str, float]] = None) -> None:
+    """Raise :class:`~repro.errors.ValidationError` for unusable inputs."""
+    issues = validate_inputs(program, inputs)
+    if issues:
+        raise ValidationError(issues, subject=program.source_name)
+
+
+def preflight(program: Program,
+              inputs: Optional[Dict[str, float]] = None,
+              machine=None) -> None:
+    """Validate a whole sweep configuration in one pass.
+
+    Combines machine and input diagnostics into a single
+    :class:`~repro.errors.ValidationError` report so a user fixing a
+    config sees every problem at once, not one per run.
+    """
+    issues: List[Tuple[str, str]] = []
+    if machine is not None:
+        subject = getattr(machine, "name", "machine")
+        issues += [(f"machine {subject}", issue)
+                   for issue in validate_machine(machine)]
+    issues += [(program.source_name, issue)
+               for issue in validate_inputs(program, inputs)]
+    if issues:
+        raise ValidationError(
+            [f"{subject}: {issue}" for subject, issue in issues],
+            subject="pre-flight")

@@ -1,15 +1,19 @@
 """Error-path coverage: every exception type is reachable, derives from
-ReproError, and carries an actionable message."""
+ReproError, carries an actionable message, and survives the pickle round
+trip the parallel sweep engine puts errors through."""
+
+import pickle
 
 import pytest
 
 from repro import errors
 from repro.bet import build_bet
 from repro.errors import (
-    AnalysisError, ContextExplosionError, ExpressionError,
+    AnalysisError, CheckpointError, ContextExplosionError, ExpressionError,
     HardwareModelError, ModelError, RecursionLimitError, ReproError,
-    SemanticError, SimulationError, SkeletonSyntaxError, TranslationError,
-    UnboundVariableError,
+    RetryExhaustedError, SemanticError, SimulationError,
+    SkeletonSyntaxError, TaskTimeoutError, TranslationError,
+    UnboundVariableError, ValidationError,
 )
 from repro.skeleton import parse_skeleton
 
@@ -96,6 +100,71 @@ class TestMessagesAreActionable:
         with pytest.raises(SimulationError) as info:
             execute(program, BGQ, max_events=5)
         assert "max_events" in str(info.value)
+
+
+#: one representative instance of every error class, for hierarchy and
+#: pickle round-trip coverage (classes with custom __init__ signatures
+#: are the reason errors.py implements __reduce__)
+_INSTANCES = [
+    ReproError("base"),
+    SkeletonSyntaxError("bad token", line=3, column=7,
+                        source_name="app.skop"),
+    ExpressionError("cannot parse"),
+    UnboundVariableError("mystery", where="loop bound"),
+    SemanticError("call to undefined function"),
+    ModelError("negative trip count"),
+    ContextExplosionError(1000, 512),
+    RecursionLimitError("solve", 8),
+    HardwareModelError("miss_rate out of range"),
+    AnalysisError("infeasible criteria"),
+    SimulationError("event budget exhausted"),
+    TranslationError("unsupported construct"),
+    ValidationError(["bandwidth must be positive, got 0.0",
+                     "frequency_hz must be finite, got nan"],
+                    subject="bgq"),
+    TaskTimeoutError(4, 2.5, label="bandwidth=1e10"),
+    RetryExhaustedError(7, 3, "ValueError", "bad cell",
+                        traceback_text="Traceback ..."),
+    CheckpointError("key mismatch"),
+]
+
+
+class TestResilienceErrors:
+    def test_new_errors_derive_from_repro_error(self):
+        for cls in (ValidationError, TaskTimeoutError,
+                    RetryExhaustedError, CheckpointError):
+            assert issubclass(cls, ReproError)
+
+    @pytest.mark.parametrize(
+        "error", _INSTANCES, ids=lambda e: type(e).__name__)
+    def test_every_error_pickles_with_attributes_intact(self, error):
+        clone = pickle.loads(pickle.dumps(error))
+        assert type(clone) is type(error)
+        assert str(clone) == str(error)
+        for name, value in vars(error).items():
+            assert getattr(clone, name) == value, name
+
+    def test_validation_error_reports_every_issue(self):
+        error = ValidationError(["a is bad", "b is worse"], subject="m")
+        assert error.issues == ["a is bad", "b is worse"]
+        assert "2 validation issues" in error.report()
+        assert "a is bad" in str(error) and "b is worse" in str(error)
+        single = ValidationError("only one thing", subject="m")
+        assert str(single) == "m: only one thing"
+
+    def test_timeout_error_names_point_and_bound(self):
+        error = TaskTimeoutError(4, 2.5, label="bandwidth=1e10")
+        text = str(error)
+        assert "point 4" in text and "2.5s" in text
+        assert "bandwidth=1e10" in text
+
+    def test_retry_exhausted_carries_the_original_fault(self):
+        error = RetryExhaustedError(7, 3, "ValueError", "bad cell",
+                                    traceback_text="tb")
+        text = str(error)
+        assert "point 7" in text and "3 attempts" in text
+        assert "ValueError: bad cell" in text
+        assert error.traceback_text == "tb"
 
 
 class TestGuardBoundaries:

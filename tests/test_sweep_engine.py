@@ -125,6 +125,64 @@ def _double(x):
     return 2 * x
 
 
+class _PickleCounter:
+    """Counts parent-side pickles of every instance (class-level tally);
+    the double-serialization regression test reads ``events``."""
+
+    events = 0
+
+    def __init__(self, value):
+        self.value = value
+
+    def __getstate__(self):
+        type(self).events += 1
+        return {"value": self.value}
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+
+
+def _unwrap_double(item):
+    return 2 * item.value
+
+
+_CALL_LOG = []
+
+
+def _record_call(x):
+    _CALL_LOG.append(x)
+    return 10 * x
+
+
+class _FakeFuture:
+    def __init__(self, fn, item, fail):
+        self._fn, self._item, self._fail = fn, item, fail
+
+    def result(self):
+        from concurrent.futures import BrokenExecutor
+        if self._fail:
+            raise BrokenExecutor("pool died")
+        return self._fn(self._item)
+
+
+class _DyingPool:
+    """Stand-in executor: runs work lazily in-process and dies (raises
+    BrokenExecutor) from the third future on."""
+
+    def __init__(self, max_workers):
+        self._submitted = 0
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+    def submit(self, fn, item):
+        self._submitted += 1
+        return _FakeFuture(fn, item, fail=self._submitted >= 3)
+
+
 class TestPool:
     def test_serial_map(self):
         assert parallel_map(_double, [1, 2, 3], workers=1) == [2, 4, 6]
@@ -149,6 +207,27 @@ class TestPool:
     def test_chunk_never_makes_empty_pieces(self):
         assert chunk([1, 2], 5) == [[1], [2]]
         assert chunk([], 3) == [[]]
+
+    def test_items_are_not_pickled_twice(self):
+        # regression: the pickle probe used to serialize the *entire*
+        # payload up front, doubling the bill the executor pays again at
+        # submit time — a large grid is now probed with one item only
+        _PickleCounter.events = 0
+        items = [_PickleCounter(i) for i in range(6)]
+        assert parallel_map(_unwrap_double, items, workers=2) == \
+            [0, 2, 4, 6, 8, 10]
+        assert _PickleCounter.events == len(items) + 1  # probe + submits
+
+    def test_dead_pool_keeps_completed_results(self, monkeypatch):
+        # regression: the broken-pool fallback used to recompute every
+        # item; now only items without a completed result run again
+        from repro.parallel import pool as pool_module
+        _CALL_LOG.clear()
+        monkeypatch.setattr(pool_module, "ProcessPoolExecutor",
+                            _DyingPool)
+        result = parallel_map(_record_call, [1, 2, 3, 4], workers=2)
+        assert result == [10, 20, 30, 40]
+        assert sorted(_CALL_LOG) == [1, 2, 3, 4]   # each exactly once
 
 
 # -- BET-build memoization ----------------------------------------------------

@@ -1,0 +1,181 @@
+"""Tests for pre-flight validation (`repro.validate` and
+`repro.hardware.validate_machine`): degenerate machine fields and bad
+workload inputs are diagnosed with the field named, before any BET is
+built or any roofline math can leak a ZeroDivisionError.
+"""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.hardware import (
+    BGQ, ECMModel, RooflineModel, ensure_valid_machine, validate_machine,
+)
+from repro.skeleton import parse_skeleton
+from repro.validate import (
+    ensure_valid_inputs, preflight, validate_inputs,
+)
+
+BAD_PROB_SOURCE = """param n = 64
+
+def main()
+  if prob 1.5
+    comp 1 flops
+  end
+end
+"""
+
+
+def _degrade(machine, **fields):
+    """A copy of ``machine`` with fields forced past the constructor's
+    own checks (the frozen dataclass validates in __post_init__, so NaN
+    and zero must be smuggled in the way a buggy caller would)."""
+    clone = machine.with_overrides(name=f"{machine.name}-degraded")
+    for name, value in fields.items():
+        object.__setattr__(clone, name, value)
+    return clone
+
+
+class TestValidateMachine:
+    def test_healthy_presets_have_no_issues(self):
+        assert validate_machine(BGQ) == []
+        ensure_valid_machine(BGQ)          # does not raise
+
+    @pytest.mark.parametrize("field,value", [
+        ("bandwidth", 0.0),
+        ("bandwidth", -28e9),
+        ("bandwidth", float("nan")),
+        ("bandwidth", float("inf")),
+        ("frequency_hz", float("nan")),
+        ("issue_width", 0),
+        ("mlp", -1.0),
+    ])
+    def test_degenerate_field_is_named(self, field, value):
+        issues = validate_machine(_degrade(BGQ, **{field: value}))
+        assert any(field in issue for issue in issues), issues
+
+    def test_nan_escapes_the_constructor_but_not_validation(self):
+        # nan <= 0 is False, so __post_init__'s positivity checks pass —
+        # exactly the hole pre-flight validation exists to close
+        machine = _degrade(BGQ, bandwidth=float("nan"))
+        assert validate_machine(machine)
+        with pytest.raises(ValidationError) as info:
+            ensure_valid_machine(machine)
+        assert "bandwidth" in str(info.value)
+
+    def test_simd_efficiency_range_checked(self):
+        issues = validate_machine(_degrade(BGQ, simd_efficiency=1.5))
+        assert any("simd_efficiency" in issue for issue in issues)
+
+    def test_cache_hierarchy_ordering_checked(self):
+        machine = _degrade(BGQ, llc_size=1024, l1_size=16384)
+        issues = validate_machine(machine)
+        assert any("llc_size" in issue for issue in issues)
+
+    def test_report_collects_every_issue(self):
+        machine = _degrade(BGQ, bandwidth=0.0,
+                           frequency_hz=float("nan"))
+        with pytest.raises(ValidationError) as info:
+            ensure_valid_machine(machine)
+        report = info.value.report()
+        assert "bandwidth" in report and "frequency_hz" in report
+        assert len(info.value.issues) >= 2
+
+
+class TestModelsValidateUpFront:
+    def test_roofline_rejects_zero_bandwidth_by_name(self):
+        machine = _degrade(BGQ, bandwidth=0.0)
+        with pytest.raises(ValidationError) as info:
+            RooflineModel(machine)
+        assert "bandwidth" in str(info.value)
+
+    def test_roofline_rejects_nan_peak_flops_fields(self):
+        machine = _degrade(BGQ, frequency_hz=float("nan"))
+        with pytest.raises(ValidationError) as info:
+            RooflineModel(machine)
+        assert "frequency_hz" in str(info.value)
+
+    def test_ecm_rejects_degenerate_machine_too(self):
+        machine = _degrade(BGQ, bandwidth=-1.0)
+        with pytest.raises(ValidationError) as info:
+            ECMModel(machine)
+        assert "bandwidth" in str(info.value)
+
+    def test_no_zero_division_leaks(self):
+        machine = _degrade(BGQ, bandwidth=0.0)
+        try:
+            RooflineModel(machine)
+        except ZeroDivisionError:          # pragma: no cover
+            pytest.fail("ZeroDivisionError leaked past validation")
+        except ValidationError:
+            pass
+
+    def test_pipeline_analyze_preflights_the_machine(self):
+        from repro.experiments import analyze, clear_cache
+        clear_cache()
+        with pytest.raises(ValidationError):
+            analyze("pedagogical", _degrade(BGQ, bandwidth=0.0))
+
+
+class TestValidateInputs:
+    def test_healthy_inputs_pass(self):
+        program = parse_skeleton(
+            "param n = 64\n\ndef main()\n  comp n flops\nend\n")
+        assert validate_inputs(program, {"n": 128}) == []
+        ensure_valid_inputs(program, {"n": 128})
+
+    def test_nan_and_inf_inputs_are_named(self):
+        program = parse_skeleton(
+            "param n = 64\n\ndef main()\n  comp n flops\nend\n")
+        issues = validate_inputs(program, {"n": float("nan")})
+        assert issues and "'n'" in issues[0] and "finite" in issues[0]
+        issues = validate_inputs(program, {"n": float("inf")})
+        assert issues and "finite" in issues[0]
+
+    def test_non_numeric_input_is_named(self):
+        program = parse_skeleton("def main()\n  comp 1 flops\nend\n")
+        issues = validate_inputs(program, {"n": "wat"})
+        assert issues and "numeric" in issues[0]
+
+    def test_probability_outside_unit_interval_located(self):
+        program = parse_skeleton(BAD_PROB_SOURCE)
+        issues = validate_inputs(program)
+        assert len(issues) == 1
+        assert "outside [0, 1]" in issues[0]
+        assert "main line 4" in issues[0]
+
+    def test_input_driven_probability_checked(self):
+        program = parse_skeleton(
+            "param p = 0.5\n\ndef main()\n  if prob p\n"
+            "    comp 1 flops\n  end\nend\n")
+        assert validate_inputs(program, {"p": 0.5}) == []
+        issues = validate_inputs(program, {"p": 2.0})
+        assert issues and "outside [0, 1]" in issues[0]
+
+    def test_ensure_raises_with_source_name(self):
+        program = parse_skeleton(BAD_PROB_SOURCE, source_name="app.skop")
+        with pytest.raises(ValidationError) as info:
+            ensure_valid_inputs(program)
+        assert "app.skop" in str(info.value)
+
+
+class TestPreflight:
+    def test_combines_machine_and_input_issues(self):
+        program = parse_skeleton(BAD_PROB_SOURCE)
+        machine = _degrade(BGQ, bandwidth=float("nan"))
+        with pytest.raises(ValidationError) as info:
+            preflight(program, {"n": float("inf")}, machine)
+        report = str(info.value)
+        assert "bandwidth" in report
+        assert "'n'" in report
+        assert "outside [0, 1]" in report
+        assert info.value.subject == "pre-flight"
+
+    def test_healthy_configuration_passes(self):
+        program = parse_skeleton(
+            "param n = 64\n\ndef main()\n  comp n flops\nend\n")
+        preflight(program, {"n": 256}, BGQ)   # does not raise
+
+    def test_machine_is_optional(self):
+        program = parse_skeleton(BAD_PROB_SOURCE)
+        with pytest.raises(ValidationError):
+            preflight(program)
