@@ -11,11 +11,13 @@ loop); equivalence and caching are asserted unconditionally.
 import os
 import time
 
+from repro.analysis.sensitivity import project_machine
+from repro.bet import build_bet
 from repro.experiments import analyze, cache_stats, clear_cache
 from repro.hardware import BGQ
 from repro.parallel import (
     analyze_matrix, bet_cache_stats, build_bet_cached, clear_bet_cache,
-    sweep_grid,
+    clear_symbolic_cache, sweep_grid, sweep_inputs,
 )
 from repro.workloads import load
 
@@ -115,6 +117,74 @@ def test_grid_sweep_parallel_identical(benchmark, save_artifact):
         f"serial {serial.timings['total']:.3f}s vs "
         f"workers={WORKERS} {fanned.timings['total']:.3f}s "
         f"(BET cache: {bet_cache_stats()})")
+
+
+def test_input_sweep_rebind_speedup(benchmark, save_artifact):
+    """A 1000-point *input* sweep must beat per-point BET builds >=3x.
+
+    The baseline rebuilds the tree from scratch for every binding (the
+    only option before symbolic reuse); the fast path records one build
+    and replays the annotation tape per point.  Both run serially, so
+    the ratio measures the algorithmic win, not pool parallelism — and
+    the results must be bit-identical.  Each path takes the best of two
+    wall times so a scheduler hiccup in either 0.5–2 s window cannot
+    skew the ratio.
+    """
+    program, inputs = load("cfd")
+    axis = "nel"
+    points = 1000
+    values = [inputs[axis] * (0.25 + 1.5 * index / points)
+              for index in range(points)]
+    base = {name: value for name, value in inputs.items() if name != axis}
+
+    def baseline():
+        rows = []
+        for value in values:
+            bet = build_bet(program, inputs={**base, axis: value})
+            rows.append(project_machine(bet, BGQ, None, 10))
+        return rows
+
+    def fast():
+        # fresh recording each rep, so bind/replay counters stay exact
+        clear_symbolic_cache()
+        return sweep_inputs(program, BGQ, {axis: values},
+                            base_inputs=base)
+
+    benchmark.pedantic(fast, rounds=1, iterations=1)  # table entry
+
+    reference, baseline_s = min((_timed(baseline) for _ in range(2)),
+                                key=lambda pair: pair[1])
+    swept, sweep_s = min((_timed(fast) for _ in range(2)),
+                         key=lambda pair: pair[1])
+
+    assert len(swept.points) == points
+    assert not swept.failures
+    assert [(p.runtime, tuple(p.ranking), p.memory_fraction)
+            for p in swept.points] == \
+        [(r["runtime"], tuple(r["ranking"]), r["memory_fraction"])
+         for r in reference]
+    assert swept.cache_stats["bet_builds"] == 1
+    assert swept.cache_stats["bet_replays"] == points - 1
+
+    speedup = baseline_s / sweep_s if sweep_s else float("inf")
+    timings = swept.timings
+    save_artifact(
+        "sweep_engine_inputs",
+        f"input sweep: cfd, {points} values of {axis} (serial)\n"
+        f"{'path':>16}  {'wall':>8}\n"
+        f"{'fresh builds':>16}  {baseline_s:7.3f}s\n"
+        f"{'symbolic rebind':>16}  {sweep_s:7.3f}s\n"
+        f"speedup: {speedup:.2f}x  (target >=3x)\n"
+        f"stages: build {timings['build']:.3f}s, "
+        f"rebind {timings['rebind']:.3f}s, "
+        f"compile {timings['compile']:.3f}s, "
+        f"project {timings['project']:.3f}s\n"
+        f"replays: {swept.cache_stats['bet_replays']:.0f}, "
+        f"shape rebuilds: {swept.cache_stats['bet_shape_rebuilds']:.0f}\n"
+        "results: bit-identical to per-point builds")
+
+    assert speedup >= 3.0, \
+        f"expected >=3x over per-point builds, got {speedup:.2f}x"
 
 
 def test_cached_rerun_is_free(benchmark, save_artifact):

@@ -59,9 +59,10 @@ from .multinode import (
     DecompositionModel, NetworkModel, ScalingProjection, project_scaling,
 )
 from .parallel import (
-    CacheStats, FaultInjector, GridPoint, GridResult, LRUCache, MapOutcome,
-    PointFailure, RetryPolicy, SweepCheckpoint, analyze_matrix,
-    build_bet_cached, resilient_map, sweep_grid,
+    CacheStats, FaultInjector, GridPoint, GridResult, InputPoint,
+    InputSweepResult, LRUCache, MapOutcome, PointFailure, RetryPolicy,
+    SweepCheckpoint, analyze_matrix, build_bet_cached, resilient_map,
+    sweep_grid, sweep_inputs,
 )
 from .validate import ensure_valid_inputs, preflight, validate_inputs
 from .workloads import load as load_workload
@@ -106,7 +107,8 @@ __all__ = [
     "project_scaling",
     # parallel sweep engine
     "LRUCache", "CacheStats", "GridPoint", "GridResult",
-    "build_bet_cached", "sweep_grid", "analyze_matrix",
+    "InputPoint", "InputSweepResult",
+    "build_bet_cached", "sweep_grid", "sweep_inputs", "analyze_matrix",
     # resilience layer
     "PointFailure", "RetryPolicy", "MapOutcome", "resilient_map",
     "SweepCheckpoint", "FaultInjector",

@@ -130,9 +130,16 @@ def group_blocks(records: Sequence[BlockRecord]) -> List[HotSpot]:
                 else "")
             order.append(site)
         by_site[site].records.append(record)
-    spots = [by_site[s] for s in order if by_site[s].projected_time > 0]
-    spots.sort(key=lambda s: (-s.projected_time, s.site))
-    return spots
+    # sum each spot's time once (== projected_time) for filter and sort;
+    # sweeps call this per point, so the repeated property sums add up
+    timed = []
+    for site in order:
+        spot = by_site[site]
+        projected = sum(r.total for r in spot.records)
+        if projected > 0:
+            timed.append((projected, spot))
+    timed.sort(key=lambda pair: (-pair[0], pair[1].site))
+    return [spot for _, spot in timed]
 
 
 def select_hotspots(records: Sequence[BlockRecord],

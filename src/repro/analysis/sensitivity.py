@@ -102,7 +102,17 @@ def project_machine(bet: BETNode, machine: MachineModel,
     reported (runtime, ranking, memory fraction) always has one source.
     """
     factory = model_factory or RooflineModel
-    records = characterize(bet, factory(machine))
+    return project_with_model(bet, factory(machine), k)
+
+
+def project_with_model(bet: BETNode, model, k: int = 10) -> Dict[str, object]:
+    """:func:`project_machine` with a prebuilt timing model.
+
+    Input sweeps project thousands of BETs on one fixed machine; reusing
+    the model skips the per-point construction and pre-flight validation
+    while computing exactly the same numbers.
+    """
+    records = characterize(bet, model)
     spots = group_blocks(records)
     runtime = total_time(records)
     hot_total = sum(s.projected_time for s in spots[:k])
@@ -200,6 +210,7 @@ def sweep_machine(bet: BETNode,
         Pre-flight the base machine before any work.
     """
     from ..bet.nodes import render_tree
+    from ..parallel.engine import _perf_counters
     from ..parallel.fault import SweepCheckpoint, resilient_map, sweep_key
     if not values:
         raise AnalysisError("sweep needs at least one value")
@@ -209,6 +220,7 @@ def sweep_machine(bet: BETNode,
     if validate:
         ensure_valid_machine(base_machine)
     started = time.perf_counter()
+    perf_before = _perf_counters()
     values = list(values)
 
     ckpt = None
@@ -255,10 +267,20 @@ def sweep_machine(bet: BETNode,
               for index in range(len(values))]
     points = [point for point in points if point is not None]
     elapsed = time.perf_counter() - started
+    perf_after = _perf_counters()
+    # expression-layer counters (serial path; workers compile in their
+    # own processes) so `repro sweep --stats` sees the cache behaviour
+    perf = {name: perf_after[name] - perf_before[name]
+            for name in perf_after}
     return SweepResult(parameter=parameter, points=points,
                        timings={"project": elapsed, "total": elapsed,
                                 "workers": float(max(workers, 1)),
                                 "points": float(len(points)),
                                 "failed": float(len(outcome.failures)),
-                                "resumed": float(len(prior))},
+                                "resumed": float(len(prior)),
+                                "compile": perf["compile_seconds"],
+                                "compile_cache_hits":
+                                    perf["compile_cache_hits"],
+                                "parse_cache_hits":
+                                    perf["parse_cache_hits"]},
                        failures=outcome.failures)

@@ -29,6 +29,7 @@ Public API
 from .context import Context, merge_contexts
 from .nodes import BETNode
 from .builder import BETBuilder, build_bet, expected_break_iterations
+from .symbolic import SymbolicBET, ShapeChanged
 
 __all__ = [
     "Context",
@@ -37,4 +38,6 @@ __all__ = [
     "BETBuilder",
     "build_bet",
     "expected_break_iterations",
+    "SymbolicBET",
+    "ShapeChanged",
 ]

@@ -93,6 +93,9 @@ class BETBuilder:
         self.max_contexts = max_contexts
         self.max_recursion = max_recursion
         self._call_stack: List[str] = []
+        # optional annotation-tape recorder (repro.bet.symbolic); hooks
+        # observe the build without altering any computation
+        self._rec = None
 
     # -- public entry -------------------------------------------------------
     def build(self, entry: str = "main",
@@ -112,8 +115,10 @@ class BETBuilder:
         root = BETNode("function", func, env, prob=1.0)
         root.own_metrics = root.own_metrics + Metrics(static_size=1)
         self._call_stack = [entry]
-        result = self._process_body(func.body, root,
-                                    [Context(dict(env), 1.0)])
+        init_ctx = Context(dict(env), 1.0)
+        if self._rec is not None:
+            self._rec.on_build(self.program, func, root, init_ctx)
+        result = self._process_body(func.body, root, [init_ctx])
         del result  # escapes at the root are absorbed by main's exit
         root.compute_enr(1.0)
         return root
@@ -132,25 +137,33 @@ class BETBuilder:
     # -- statement-list processing ------------------------------------------
     def _process_body(self, statements: Sequence[Statement], block: BETNode,
                       contexts: List[Context]) -> _BodyResult:
+        rec = self._rec
         result = _BodyResult(contexts=list(contexts))
+        if rec is not None:
+            rec.on_body(result)
+        merge = merge_contexts if rec is None else rec.merge
         for statement in statements:
-            result.contexts = merge_contexts(result.contexts)
+            result.contexts = merge(result.contexts)
             if len(result.contexts) > self.max_contexts:
                 raise ContextExplosionError(len(result.contexts),
                                             self.max_contexts)
             if not result.contexts:
                 break
             self._dispatch(statement, block, result)
-        result.contexts = merge_contexts(result.contexts)
+        result.contexts = merge(result.contexts)
         return result
 
     def _dispatch(self, statement: Statement, block: BETNode,
                   result: _BodyResult) -> None:
         if isinstance(statement, VarAssign):
-            result.contexts = [
-                ctx.assign(statement.name,
-                           evaluate(statement.expr, ctx.env))
-                for ctx in result.contexts]
+            assigned = []
+            for ctx in result.contexts:
+                new_ctx = ctx.assign(statement.name,
+                                     evaluate(statement.expr, ctx.env))
+                if self._rec is not None:
+                    self._rec.on_assign(statement, ctx, new_ctx)
+                assigned.append(new_ctx)
+            result.contexts = assigned
         elif isinstance(statement, ArrayDecl):
             self._leaf(statement, block, result.contexts, Metrics(
                 static_size=statement.static_size))
@@ -179,7 +192,7 @@ class BETBuilder:
     # -- leaves ---------------------------------------------------------------
     def _leaf(self, statement: Statement, block: BETNode,
               contexts: List[Context], metrics: Metrics,
-              kind: str = "leaf") -> BETNode:
+              kind: str = "leaf", spec: Optional[Statement] = None) -> BETNode:
         prob = min(sum(ctx.prob for ctx in contexts), 1.0)
         # the node's rendered context is the maximum-probability environment
         # (ties keep first occurrence), so hot-path annotations show the
@@ -190,6 +203,10 @@ class BETBuilder:
         node.own_metrics = metrics
         if kind == "leaf":
             block.own_metrics = block.own_metrics + metrics
+        if self._rec is not None:
+            self._rec.on_leaf(node, contexts,
+                              block if kind == "leaf" else None,
+                              metrics, spec)
         return node
 
     def _characteristic_leaf(self, statement: Statement, block: BETNode,
@@ -198,7 +215,7 @@ class BETBuilder:
         for ctx in contexts:
             total = total + self._eval_metrics(statement, ctx.env).scaled(
                 ctx.prob)
-        self._leaf(statement, block, contexts, total)
+        self._leaf(statement, block, contexts, total, spec=statement)
 
     def _eval_metrics(self, statement: Statement, env: Dict) -> Metrics:
         if isinstance(statement, Comp):
@@ -228,6 +245,8 @@ class BETBuilder:
             node = BETNode("lib", statement, ctx.env, prob=ctx.prob,
                            parent=block, note=statement.name)
             node.own_metrics = metrics
+            if self._rec is not None:
+                self._rec.on_lib(node, ctx, statement, mix)
 
     # -- calls ------------------------------------------------------------------
     def _mount_call(self, statement: Call, block: BETNode,
@@ -243,9 +262,13 @@ class BETBuilder:
             node = BETNode("call", statement, env, prob=ctx.prob,
                            parent=block, note=callee.name)
             node.own_metrics = node.own_metrics + Metrics(static_size=1)
+            entry_ctx = Context(env, 1.0)
+            if self._rec is not None:
+                self._rec.on_call(node, ctx, callee, statement, entry_ctx,
+                                  self.program)
             self._call_stack.append(statement.name)
             try:
-                self._process_body(callee.body, node, [Context(env, 1.0)])
+                self._process_body(callee.body, node, [entry_ctx])
             finally:
                 self._call_stack.pop()
             # 'return' escapes end the callee and are absorbed here
@@ -268,10 +291,14 @@ class BETBuilder:
     def _branch_one_context(self, statement: Branch, block: BETNode,
                             ctx: Context,
                             result: _BodyResult) -> List[Context]:
+        rec = self._rec
+        token = rec.on_branch_start(ctx) if rec is not None else None
         remaining = 1.0
         survivors: List[Context] = []
         for index, arm in enumerate(statement.arms):
             if remaining <= _EPSILON:
+                if rec is not None:
+                    rec.on_branch_break(token)
                 break
             if arm.kind == "cond":
                 taken = evaluate_bool(arm.expr, ctx.env)
@@ -286,23 +313,34 @@ class BETBuilder:
             else:  # default absorbs the residual
                 p_arm = remaining
             if p_arm <= _EPSILON:
+                if rec is not None:
+                    rec.on_arm_skip(token, arm)
                 continue
             remaining -= p_arm
             node = BETNode("arm", statement, ctx.env,
                            prob=ctx.prob * p_arm, parent=block,
                            note=f"arm{index}")
             node.own_metrics = node.own_metrics + Metrics(static_size=1)
-            arm_result = self._process_body(
-                arm.body, node, [Context(dict(ctx.env), 1.0)])
+            entry_ctx = Context(dict(ctx.env), 1.0)
+            scale_reg = rec.on_arm_taken(token, arm, node, entry_ctx) \
+                if rec is not None else None
+            arm_result = self._process_body(arm.body, node, [entry_ctx])
             scale = ctx.prob * p_arm
             for kind, mass in arm_result.escapes.items():
                 result.escapes[kind] += mass * scale
-            for exit_ctx in arm_result.contexts:
-                survivors.append(Context(exit_ctx.env,
-                                         exit_ctx.prob * scale))
+            new_ctxs = [Context(exit_ctx.env, exit_ctx.prob * scale)
+                        for exit_ctx in arm_result.contexts]
+            survivors.extend(new_ctxs)
+            if rec is not None:
+                rec.on_arm_exits(token, scale_reg, arm_result, result,
+                                 arm_result.contexts, new_ctxs)
+        residual: Optional[Context] = None
         if remaining > _EPSILON:
             # residual fall-through: no arm executed for this mass
-            survivors.append(ctx.fork(remaining))
+            residual = ctx.fork(remaining)
+            survivors.append(residual)
+        if rec is not None:
+            rec.on_branch_end(token, residual)
         return survivors
 
     # -- loops ----------------------------------------------------------------------
@@ -343,14 +381,21 @@ class BETBuilder:
                        num_iter=float(trips), parent=block,
                        parallel=getattr(statement, "parallel", False))
         node.own_metrics = node.own_metrics + Metrics(static_size=1)
+        rec = self._rec
         if trips <= 0:
             # "no loop is ever iterated": a zero-trip loop contributes an
             # empty node and its body is never evaluated, so expressions
             # that are only well-defined when the loop runs (e.g. 1/n with
             # n = 0) cannot fault the build
-            return ctx.fork(1.0)
-        body_result = self._process_body(statement.body, node,
-                                         [Context(body_env, 1.0)])
+            survivor = ctx.fork(1.0)
+            if rec is not None:
+                rec.on_loop_head(node, ctx, statement, True, None, survivor)
+            return survivor
+        body_ctx = Context(body_env, 1.0)
+        trips_reg = rec.on_loop_head(node, ctx, statement, False,
+                                     body_ctx, None) \
+            if rec is not None else None
+        body_result = self._process_body(statement.body, node, [body_ctx])
         p_break = min(body_result.escapes["break"], 1.0)
         p_return = min(body_result.escapes["return"], 1.0)
         exit_per_iter = min(p_break + p_return, 1.0)
@@ -365,7 +410,11 @@ class BETBuilder:
         # reduced probability of the statements after it); loop-carried env
         # changes do not propagate outside the loop (first-order model).
         result.escapes["return"] += ctx.prob * returned
-        return ctx.fork(1.0 - returned)
+        survivor = ctx.fork(1.0 - returned)
+        if rec is not None:
+            rec.on_loop_tail(node, ctx, trips_reg, body_result, result,
+                             survivor)
+        return survivor
 
     # -- flow escapes -----------------------------------------------------------------
     def _flow_escape(self, kind: str, statement: Statement, block: BETNode,
@@ -383,8 +432,12 @@ class BETBuilder:
                            parent=block, note=kind)
             node.own_metrics = Metrics(static_size=statement.static_size)
             survivor = ctx.fork(1.0 - p)
-            if survivor.alive():
+            keep = survivor.alive()
+            if keep:
                 remaining.append(survivor)
+            if self._rec is not None:
+                self._rec.on_escape(kind, statement, node, ctx,
+                                    survivor if keep else None, result)
         result.contexts = remaining
 
 

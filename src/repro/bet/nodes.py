@@ -95,14 +95,22 @@ class BETNode:
 
     # -- traversal ----------------------------------------------------------
     def walk(self) -> Iterator["BETNode"]:
-        yield self
-        for child in self.children:
-            yield from child.walk()
+        """Pre-order traversal (iterative: deep trees cost one frame,
+        not one generator per level)."""
+        stack = [self]
+        pop = stack.pop
+        while stack:
+            node = pop()
+            yield node
+            children = node.children
+            if children:
+                stack.extend(reversed(children))
 
     def blocks(self) -> Iterator["BETNode"]:
         """All code-block nodes in the subtree (pre-order)."""
+        block_kinds = BLOCK_KINDS
         for node in self.walk():
-            if node.is_block:
+            if node.kind in block_kinds:
                 yield node
 
     def parallel_width(self) -> float:

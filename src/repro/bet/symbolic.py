@@ -1,0 +1,794 @@
+"""Symbolic BET: build the tree once per program, rebind inputs many times.
+
+An input sweep re-evaluates the same program under thousands of input
+bindings.  The tree *structure* the builder produces — which nodes exist,
+which contexts merge, which branch arms run — is a function of a small set
+of discrete decisions; everything else (probabilities, trip counts, metric
+totals, environment values) is arithmetic over the inputs.  This module
+separates the two:
+
+* during one ordinary :class:`~repro.bet.builder.BETBuilder` build, a
+  recorder rides along and emits a flat **annotation tape**: one closure
+  per input-dependent computation, reading and writing a register file
+  (environment dicts, probability floats, escape-mass accumulators);
+* :meth:`SymbolicBET.rebind` replays the tape against new inputs, updating
+  ``prob`` / ``num_iter`` / ``context`` / ``own_metrics`` in place on the
+  existing tree and recomputing ENR — no :class:`BETNode`, no
+  :class:`Context`, and almost no :class:`Metrics` churn.
+
+Every discrete decision is **guarded**: the tape re-checks branch-condition
+outcomes, zero-trip boundaries, context-merge partitions, arm skip
+patterns, and probability-validity ranges, and raises :class:`ShapeChanged`
+the moment new inputs would have produced a different tree.  The rebind
+then transparently falls back to a full build (which also re-records the
+tape), so callers always get exactly what a fresh ``BETBuilder.build``
+would have returned — bit-identical annotations, identical error behavior —
+just faster whenever the shape holds.
+"""
+
+from __future__ import annotations
+
+import math
+from time import perf_counter
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..expressions.compile import compile_expr
+from ..expressions.expr import as_expr
+from ..hardware.instmix import LibraryDatabase
+from ..hardware.metrics import Metrics
+from ..skeleton.ast_nodes import Comp, ForLoop, Load, Store
+from ..skeleton.bst import Program
+from .builder import BETBuilder, expected_break_iterations
+from .context import Context
+from .nodes import BETNode
+
+#: must match the builder's dead-context / skipped-arm threshold
+_EPS = 1e-12
+
+_ESC_INDEX = {"break": 0, "continue": 1, "return": 2}
+
+
+class ShapeChanged(Exception):
+    """Replay guard tripped: these inputs change the tree structure."""
+
+
+def _compiled(expr: Any) -> Callable:
+    """Compiled equivalent of ``expressions.evaluate(expr, env)``.
+
+    Plain numbers are returned untouched (``evaluate`` short-circuits them
+    *without* int/float coercion, so ``Num`` would be wrong here).
+    """
+    if isinstance(expr, (int, float)) and not isinstance(expr, bool):
+        return lambda env, _v=expr: _v
+    return compile_expr(as_expr(expr))
+
+
+#: unchecked constructor for tape ops — every count that reaches it is
+#: clamped non-negative first, so skipping validation changes nothing
+_RAW = Metrics._raw
+
+
+def _add_metrics(a: Metrics, b: Metrics) -> Metrics:
+    """Field-wise sum, bit-identical to ``Metrics.__add__`` but without
+    re-validating operands that are non-negative by construction."""
+    return _RAW(a.flops + b.flops, a.iops + b.iops,
+                a.div_flops + b.div_flops, a.vec_flops + b.vec_flops,
+                a.loads + b.loads, a.stores + b.stores,
+                a.load_bytes + b.load_bytes,
+                a.store_bytes + b.store_bytes,
+                a.static_size + b.static_size)
+
+
+def _iadd_metrics(bm: Metrics, m: Metrics) -> None:
+    """In-place field-wise add onto a block's accumulator.
+
+    Safe only because every replay's block-reset op installs a *fresh*
+    ``Metrics`` object before any leaf re-adds, so ``bm`` is private to
+    the current replay.  All nine fields are added (even structurally
+    zero ones) so the float results match the builder's chained
+    ``Metrics.__add__`` exactly.
+    """
+    bm.flops += m.flops
+    bm.iops += m.iops
+    bm.div_flops += m.div_flops
+    bm.vec_flops += m.vec_flops
+    bm.loads += m.loads
+    bm.stores += m.stores
+    bm.load_bytes += m.load_bytes
+    bm.store_bytes += m.store_bytes
+    bm.static_size += m.static_size
+
+
+def _metrics_base(metrics: Metrics) -> Tuple:
+    """Positional field snapshot (Metrics is mutable; tape must not alias)."""
+    return (metrics.flops, metrics.iops, metrics.div_flops,
+            metrics.vec_flops, metrics.loads, metrics.stores,
+            metrics.load_bytes, metrics.store_bytes, metrics.static_size)
+
+
+class _Recorder:
+    """Rides along one ``BETBuilder.build`` and emits the annotation tape.
+
+    Register file layout: ``R[0]`` is the rebind's input dict; every other
+    register is allocated in build order and holds either an environment
+    dict, a probability/trip-count number, or a constant.  Registers whose
+    template value is meaningful (``1.0`` constants, ``0.0`` escape
+    accumulators, branch ``remaining`` starting at ``1.0``) are restored by
+    copying the template at each replay, so no reset ops are needed.
+    """
+
+    def __init__(self):
+        self.tape: List[Callable] = []
+        self.template: List[Any] = [None]           # R[0] = inputs
+        self.ONE = self.reg(1.0)
+        # id() side tables, only needed while recording (keep-alive lists
+        # prevent id reuse); dropped by finish()
+        self._ctx: Optional[Dict[int, Tuple[int, int]]] = {}
+        self._body: Optional[Dict[int, Tuple[int, int, int]]] = {}
+        self._keep: Optional[List[Any]] = []
+
+    # -- register bookkeeping --------------------------------------------
+    def reg(self, value: Any = None) -> int:
+        self.template.append(value)
+        return len(self.template) - 1
+
+    def emit(self, op: Callable) -> None:
+        self.tape.append(op)
+
+    def bind_ctx(self, ctx: Context, env_reg: int, prob_reg: int) -> None:
+        self._ctx[id(ctx)] = (env_reg, prob_reg)
+        self._keep.append(ctx)
+
+    def regs(self, ctx: Context) -> Tuple[int, int]:
+        return self._ctx[id(ctx)]
+
+    def finish(self) -> None:
+        """Recording done: drop the id-keyed side tables."""
+        self._ctx = None
+        self._body = None
+        self._keep = None
+
+    def replay(self, inputs: Dict[str, float]) -> None:
+        R = list(self.template)
+        R[0] = inputs
+        for op in self.tape:
+            op(R)
+
+    def _block_reset(self, node: BETNode) -> None:
+        """Restore a block's constant metrics base before leaf re-adds.
+
+        Each reset op owns one ``Metrics`` accumulator created at record
+        time and rewrites its fields per replay — rebind already mutates
+        the tree in place, so reusing the object saves an allocation per
+        block per replay.
+        """
+        shared = _RAW(*_metrics_base(node.own_metrics))
+        base_fields = dict(shared.__dict__)
+
+        def op(R, node=node, shared=shared, base_fields=base_fields,
+               update=shared.__dict__.update):
+            update(base_fields)
+            node.own_metrics = shared
+        self.emit(op)
+
+    # -- builder hooks (in build order) -----------------------------------
+    def on_build(self, program: Program, func, root: BETNode,
+                 init_ctx: Context) -> None:
+        param_fns = tuple((name, _compiled(expr))
+                          for name, expr in program.params.items())
+        func_params = tuple(func.params)
+        er = self.reg()
+
+        def op(R, er=er, param_fns=param_fns, func_params=func_params,
+               root=root):
+            inputs = R[0]
+            env = {}
+            for name, fn in param_fns:
+                env[name] = inputs[name] if name in inputs else fn(env)
+            for name, value in inputs.items():
+                env.setdefault(name, value)
+            for param in func_params:
+                if param not in env:
+                    raise ShapeChanged    # rebuild raises the ModelError
+            R[er] = env
+            root.context = env
+        self.emit(op)
+        self.bind_ctx(init_ctx, er, self.ONE)
+        self._block_reset(root)
+
+    def on_body(self, result) -> None:
+        regs = (self.reg(0.0), self.reg(0.0), self.reg(0.0))
+        self._body[id(result)] = regs
+        self._keep.append(result)
+
+    def merge(self, contexts: List[Context]) -> List[Context]:
+        """Recording replacement for ``merge_contexts`` (same algorithm),
+        capturing the partition so the replay can guard it."""
+        in_regs = tuple(self.regs(ctx) for ctx in contexts)
+        groups: List[List[int]] = []
+        keys: List[Tuple] = []
+        merged: List[Context] = []
+        for index, ctx in enumerate(contexts):
+            if not ctx.alive():
+                continue
+            key = ctx._freeze()
+            for gi, seen in enumerate(keys):
+                if seen == key:
+                    groups[gi].append(index)
+                    old = merged[gi]
+                    merged[gi] = Context(old.env,
+                                         min(old.prob + ctx.prob, 1.0))
+                    break
+            else:
+                keys.append(key)
+                groups.append([index])
+                merged.append(ctx)
+
+        if not in_regs and not groups:
+            return merged
+        out_regs: List[Tuple[int, int]] = []
+        for gi, group in enumerate(groups):
+            if len(group) == 1:
+                out_regs.append(in_regs[group[0]])   # original ctx, bound
+            else:
+                prob_reg = self.reg()
+                out_regs.append((in_regs[group[0]][0], prob_reg))
+                self.bind_ctx(merged[gi], in_regs[group[0]][0], prob_reg)
+        groups_t = tuple(tuple(g) for g in groups)
+
+        if len(in_regs) == 1:
+            # hot path: one live context passing straight through
+            prob_reg = in_regs[0][1]
+            alive = groups_t == ((0,),)
+
+            def op(R, prob_reg=prob_reg, alive=alive):
+                if (R[prob_reg] > _EPS) != alive:
+                    raise ShapeChanged
+            self.emit(op)
+            return merged
+
+        def op(R, in_regs=in_regs, groups=groups_t,
+               out_regs=tuple(out_regs)):
+            part: List[List[int]] = []
+            reps: List[Dict] = []
+            for index, (env_reg, prob_reg) in enumerate(in_regs):
+                if not (R[prob_reg] > _EPS):
+                    continue
+                env = R[env_reg]
+                for gi, rep in enumerate(reps):
+                    if rep == env:
+                        part[gi].append(index)
+                        break
+                else:
+                    reps.append(env)
+                    part.append([index])
+            if len(part) != len(groups):
+                raise ShapeChanged
+            for got, want in zip(part, groups):
+                if tuple(got) != want:
+                    raise ShapeChanged
+            for (env_reg, prob_reg), group in zip(out_regs, groups):
+                if len(group) > 1:
+                    acc = R[in_regs[group[0]][1]]
+                    for index in group[1:]:
+                        acc = min(acc + R[in_regs[index][1]], 1.0)
+                    R[prob_reg] = acc
+        self.emit(op)
+        return merged
+
+    def on_assign(self, statement, src_ctx: Context,
+                  new_ctx: Context) -> None:
+        src_er, src_pr = self.regs(src_ctx)
+        dst_er = self.reg()
+        fn = _compiled(statement.expr)
+
+        def op(R, src_er=src_er, dst_er=dst_er, fn=fn, name=statement.name):
+            src = R[src_er]
+            value = fn(src)
+            env = dict(src)
+            env[name] = value
+            R[dst_er] = env
+        self.emit(op)
+        self.bind_ctx(new_ctx, dst_er, src_pr)
+
+    def _emit_prob_context(self, node: BETNode,
+                           regs: Tuple[Tuple[int, int], ...]) -> None:
+        """Leaf annotation: prob = min(Σ pᵢ, 1), context = argmax-prob env
+        (first max wins, matching the builder's ``max``)."""
+        if len(regs) == 1:
+            env_reg, prob_reg = regs[0]
+
+            def op(R, node=node, env_reg=env_reg, prob_reg=prob_reg):
+                node.prob = min(R[prob_reg], 1.0)
+                node.context = R[env_reg]
+            self.emit(op)
+            return
+
+        def op(R, node=node, regs=regs):
+            total = 0
+            for env_reg, prob_reg in regs:
+                total = total + R[prob_reg]
+            node.prob = min(total, 1.0)
+            best_env, best_p = regs[0][0], R[regs[0][1]]
+            for env_reg, prob_reg in regs[1:]:
+                p = R[prob_reg]
+                if p > best_p:
+                    best_env, best_p = env_reg, p
+            node.context = R[best_env]
+        self.emit(op)
+
+    def on_leaf(self, node: BETNode, contexts: List[Context],
+                block: Optional[BETNode], metrics: Metrics, spec) -> None:
+        regs = tuple(self.regs(ctx) for ctx in contexts)
+        self._emit_prob_context(node, regs)
+        if spec is None:
+            # constant metrics (ArrayDecl): node annotation set at build
+            # time stays valid; only the block re-add needs replaying
+            if block is not None:
+                base = _metrics_base(metrics)
+
+                def add(R, block=block, base=base):
+                    bm = block.own_metrics
+                    bm.flops += base[0]
+                    bm.iops += base[1]
+                    bm.div_flops += base[2]
+                    bm.vec_flops += base[3]
+                    bm.loads += base[4]
+                    bm.stores += base[5]
+                    bm.load_bytes += base[6]
+                    bm.store_bytes += base[7]
+                    bm.static_size += base[8]
+                self.emit(add)
+            return
+        self._emit_characteristic(node, block, regs, spec)
+
+    def _emit_characteristic(self, node: BETNode, block: BETNode,
+                             regs: Tuple[Tuple[int, int], ...],
+                             stmt) -> None:
+        """Recompute a Comp/Load/Store leaf's probability-weighted metrics
+        with plain float accumulators, reproducing the builder's
+        ``Metrics(static) + m₁·p₁ + m₂·p₂ …`` field-wise float ordering."""
+        static = stmt.static_size
+        # one reused Metrics per leaf op (see _block_reset); fields the
+        # statement kind never touches keep their creation-time zeros
+        shared = _RAW(static_size=static)
+        fields = shared.__dict__
+        if isinstance(stmt, Comp):
+            f_flops = _compiled(stmt.flops)
+            f_divs = _compiled(stmt.div_flops)
+            f_iops = _compiled(stmt.iops)
+            vectorizable = stmt.vectorizable
+
+            def op(R, node=node, block=block, regs=regs, f_flops=f_flops,
+                   f_divs=f_divs, f_iops=f_iops, vec=vectorizable,
+                   shared=shared, fields=fields):
+                acc_f = acc_i = acc_d = acc_v = 0.0
+                for env_reg, prob_reg in regs:
+                    env = R[env_reg]
+                    p = R[prob_reg]
+                    flops = max(0.0, f_flops(env))
+                    divs = max(0.0, f_divs(env))
+                    iops = max(0.0, f_iops(env))
+                    acc_f = acc_f + flops * p
+                    acc_i = acc_i + iops * p
+                    acc_d = acc_d + min(divs, flops) * p
+                    acc_v = acc_v + (flops if vec else 0.0) * p
+                fields["flops"] = acc_f
+                fields["iops"] = acc_i
+                fields["div_flops"] = acc_d
+                fields["vec_flops"] = acc_v
+                node.own_metrics = shared
+                _iadd_metrics(block.own_metrics, shared)
+        elif isinstance(stmt, Load):
+            f_count = _compiled(stmt.count)
+
+            def op(R, node=node, block=block, regs=regs, f_count=f_count,
+                   element_bytes=stmt.element_bytes, shared=shared,
+                   fields=fields):
+                acc_n = acc_b = 0.0
+                for env_reg, prob_reg in regs:
+                    p = R[prob_reg]
+                    count = max(0.0, f_count(R[env_reg]))
+                    acc_n = acc_n + count * p
+                    acc_b = acc_b + (count * element_bytes) * p
+                fields["loads"] = acc_n
+                fields["load_bytes"] = acc_b
+                node.own_metrics = shared
+                _iadd_metrics(block.own_metrics, shared)
+        elif isinstance(stmt, Store):
+            f_count = _compiled(stmt.count)
+
+            def op(R, node=node, block=block, regs=regs, f_count=f_count,
+                   element_bytes=stmt.element_bytes, shared=shared,
+                   fields=fields):
+                acc_n = acc_b = 0.0
+                for env_reg, prob_reg in regs:
+                    p = R[prob_reg]
+                    count = max(0.0, f_count(R[env_reg]))
+                    acc_n = acc_n + count * p
+                    acc_b = acc_b + (count * element_bytes) * p
+                fields["stores"] = acc_n
+                fields["store_bytes"] = acc_b
+                node.own_metrics = shared
+                _iadd_metrics(block.own_metrics, shared)
+        else:                                        # pragma: no cover
+            raise ShapeChanged
+        self.emit(op)
+
+    def on_lib(self, node: BETNode, ctx: Context, statement, mix) -> None:
+        env_reg, prob_reg = self.regs(ctx)
+        fn = _compiled(statement.size)
+        static = Metrics(static_size=statement.static_size)
+
+        def op(R, node=node, env_reg=env_reg, prob_reg=prob_reg, fn=fn,
+               mix=mix, static=static):
+            env = R[env_reg]
+            size = max(0.0, fn(env))
+            node.own_metrics = _add_metrics(mix.to_metrics(size), static)
+            node.prob = R[prob_reg]
+            node.context = env
+        self.emit(op)
+
+    def on_call(self, node: BETNode, ctx: Context, callee, statement,
+                entry_ctx: Context, program: Program) -> None:
+        caller_er, caller_pr = self.regs(ctx)
+        dst_er = self.reg()
+        global_names = tuple(program.params)
+        param_fns = tuple((param, _compiled(arg)) for param, arg
+                          in zip(callee.params, statement.args))
+
+        def op(R, node=node, caller_er=caller_er, caller_pr=caller_pr,
+               dst_er=dst_er, global_names=global_names,
+               param_fns=param_fns):
+            caller_env = R[caller_er]
+            env = {}
+            for name in global_names:
+                if name in caller_env:
+                    env[name] = caller_env[name]
+            for param, fn in param_fns:
+                env[param] = fn(caller_env)
+            R[dst_er] = env
+            node.prob = R[caller_pr]
+            node.context = env
+        self.emit(op)
+        self.bind_ctx(entry_ctx, dst_er, self.ONE)
+        self._block_reset(node)
+
+    def on_loop_head(self, node: BETNode, ctx: Context, statement,
+                     zero_trip: bool, body_ctx: Optional[Context],
+                     survivor: Optional[Context]) -> Optional[int]:
+        env_reg, prob_reg = self.regs(ctx)
+        trips_reg = self.reg()
+        if isinstance(statement, ForLoop):
+            f_lo = _compiled(statement.lo)
+            f_hi = _compiled(statement.hi)
+            f_step = _compiled(statement.step)
+            if zero_trip:
+                def op(R, node=node, env_reg=env_reg, prob_reg=prob_reg,
+                       f_lo=f_lo, f_hi=f_hi, f_step=f_step,
+                       trips_reg=trips_reg):
+                    env = R[env_reg]
+                    lo = f_lo(env)
+                    hi = f_hi(env)
+                    step = f_step(env)
+                    if step <= 0:
+                        raise ShapeChanged
+                    trips = max(0, math.ceil((hi - lo) / step))
+                    if trips > 0:
+                        raise ShapeChanged
+                    node.prob = R[prob_reg]
+                    node.context = env
+                    node.num_iter = float(trips)
+                    R[trips_reg] = trips
+            else:
+                body_er = self.reg()
+
+                def op(R, node=node, env_reg=env_reg, prob_reg=prob_reg,
+                       f_lo=f_lo, f_hi=f_hi, f_step=f_step,
+                       trips_reg=trips_reg, body_er=body_er,
+                       var=statement.var):
+                    env = R[env_reg]
+                    lo = f_lo(env)
+                    hi = f_hi(env)
+                    step = f_step(env)
+                    if step <= 0:
+                        raise ShapeChanged
+                    trips = max(0, math.ceil((hi - lo) / step))
+                    if trips <= 0:
+                        raise ShapeChanged
+                    body_env = dict(env)
+                    body_env[var] = lo + step * (trips - 1) / 2
+                    R[body_er] = body_env
+                    node.prob = R[prob_reg]
+                    node.context = env
+                    node.num_iter = float(trips)
+                    R[trips_reg] = trips
+                self.bind_ctx(body_ctx, body_er, self.ONE)
+        else:                                          # WhileLoop
+            f_trips = _compiled(statement.expect)
+
+            def op(R, node=node, env_reg=env_reg, prob_reg=prob_reg,
+                   f_trips=f_trips, trips_reg=trips_reg,
+                   zero_trip=zero_trip):
+                env = R[env_reg]
+                trips = f_trips(env)
+                if trips < 0:
+                    raise ShapeChanged
+                if (trips <= 0) != zero_trip:
+                    raise ShapeChanged
+                node.prob = R[prob_reg]
+                node.context = env
+                node.num_iter = float(trips)
+                R[trips_reg] = trips
+            if not zero_trip:
+                # while bodies see the loop context env unchanged
+                self.bind_ctx(body_ctx, env_reg, self.ONE)
+        self.emit(op)
+        if zero_trip:
+            # survivor = ctx.fork(1.0): same probability, copied env
+            self.bind_ctx(survivor, env_reg, prob_reg)
+            return None
+        self._block_reset(node)
+        return trips_reg
+
+    def on_loop_tail(self, node: BETNode, ctx: Context, trips_reg: int,
+                     body_result, parent_result,
+                     survivor: Context) -> None:
+        env_reg, prob_reg = self.regs(ctx)
+        body_break, _, body_return = self._body[id(body_result)]
+        parent_return = self._body[id(parent_result)][2]
+        survivor_pr = self.reg()
+
+        def op(R, node=node, prob_reg=prob_reg, trips_reg=trips_reg,
+               body_break=body_break, body_return=body_return,
+               parent_return=parent_return, survivor_pr=survivor_pr):
+            trips = R[trips_reg]
+            p_break = min(R[body_break], 1.0)
+            p_return = min(R[body_return], 1.0)
+            exit_per_iter = min(p_break + p_return, 1.0)
+            if exit_per_iter > _EPS:
+                node.num_iter = expected_break_iterations(exit_per_iter,
+                                                          trips)
+                ever_exited = 1.0 - (1.0 - exit_per_iter) ** trips
+                returned = ever_exited * (p_return / exit_per_iter)
+            else:
+                returned = 0.0
+            R[parent_return] = R[parent_return] + R[prob_reg] * returned
+            prob = R[prob_reg] * (1.0 - returned)
+            if prob < 0 or prob > 1 + 1e-9:
+                raise ShapeChanged
+            R[survivor_pr] = min(prob, 1.0)
+        self.emit(op)
+        self.bind_ctx(survivor, env_reg, survivor_pr)
+
+    # -- branches ----------------------------------------------------------
+    def on_branch_start(self, ctx: Context) -> Dict[str, int]:
+        env_reg, prob_reg = self.regs(ctx)
+        return {"er": env_reg, "pr": prob_reg, "rem": self.reg(1.0)}
+
+    def on_branch_break(self, token: Dict[str, int]) -> None:
+        def op(R, rem=token["rem"]):
+            if R[rem] > _EPS:
+                raise ShapeChanged
+        self.emit(op)
+
+    def _arm_p(self, arm) -> Tuple[str, Optional[Callable]]:
+        if arm.kind in ("cond", "prob"):
+            return arm.kind, _compiled(arm.expr)
+        return arm.kind, None
+
+    def on_arm_skip(self, token: Dict[str, int], arm) -> None:
+        kind, fn = self._arm_p(arm)
+
+        def op(R, er=token["er"], rem=token["rem"], kind=kind, fn=fn):
+            if R[rem] <= _EPS:
+                raise ShapeChanged       # builder would break, not skip
+            if kind == "cond":
+                p_arm = R[rem] if bool(fn(R[er])) else 0.0
+            else:                        # prob (default arms never skip)
+                p_raw = fn(R[er])
+                if not (0.0 <= p_raw <= 1.0 + 1e-9):
+                    raise ShapeChanged   # rebuild raises the ModelError
+                p_arm = min(p_raw, R[rem])
+            if p_arm > _EPS:
+                raise ShapeChanged
+        self.emit(op)
+
+    def on_arm_taken(self, token: Dict[str, int], arm, node: BETNode,
+                     entry_ctx: Context) -> int:
+        kind, fn = self._arm_p(arm)
+        scale_reg = self.reg()
+
+        def op(R, er=token["er"], pr=token["pr"], rem=token["rem"],
+               kind=kind, fn=fn, node=node, scale_reg=scale_reg):
+            if R[rem] <= _EPS:
+                raise ShapeChanged
+            if kind == "cond":
+                p_arm = R[rem] if bool(fn(R[er])) else 0.0
+            elif kind == "prob":
+                p_raw = fn(R[er])
+                if not (0.0 <= p_raw <= 1.0 + 1e-9):
+                    raise ShapeChanged
+                p_arm = min(p_raw, R[rem])
+            else:
+                p_arm = R[rem]
+            if p_arm <= _EPS:
+                raise ShapeChanged
+            R[rem] = R[rem] - p_arm
+            scale = R[pr] * p_arm
+            node.prob = scale
+            node.context = R[er]
+            R[scale_reg] = scale
+        self.emit(op)
+        # arm entry context: copy of the branch context env at full mass
+        self.bind_ctx(entry_ctx, token["er"], self.ONE)
+        self._block_reset(node)
+        return scale_reg
+
+    def on_arm_exits(self, token: Dict[str, int], scale_reg: int,
+                     arm_result, parent_result,
+                     exit_ctxs: List[Context],
+                     new_ctxs: List[Context]) -> None:
+        arm_regs = self._body[id(arm_result)]
+        parent_regs = self._body[id(parent_result)]
+        pairs = []
+        for exit_ctx, new_ctx in zip(exit_ctxs, new_ctxs):
+            exit_er, exit_pr = self.regs(exit_ctx)
+            new_pr = self.reg()
+            pairs.append((exit_pr, new_pr))
+            self.bind_ctx(new_ctx, exit_er, new_pr)
+
+        def op(R, scale_reg=scale_reg, arm_regs=arm_regs,
+               parent_regs=parent_regs, pairs=tuple(pairs)):
+            scale = R[scale_reg]
+            for src, dst in zip(arm_regs, parent_regs):
+                R[dst] = R[dst] + R[src] * scale
+            for exit_pr, new_pr in pairs:
+                prob = R[exit_pr] * scale
+                if prob < 0 or prob > 1 + 1e-9:
+                    raise ShapeChanged
+                R[new_pr] = min(prob, 1.0)
+        self.emit(op)
+
+    def on_branch_end(self, token: Dict[str, int],
+                      residual: Optional[Context]) -> None:
+        if residual is None:
+            def op(R, rem=token["rem"]):
+                if R[rem] > _EPS:
+                    raise ShapeChanged
+            self.emit(op)
+            return
+        residual_pr = self.reg()
+
+        def op(R, pr=token["pr"], rem=token["rem"],
+               residual_pr=residual_pr):
+            if not (R[rem] > _EPS):
+                raise ShapeChanged
+            prob = R[pr] * R[rem]
+            if prob < 0 or prob > 1 + 1e-9:
+                raise ShapeChanged
+            R[residual_pr] = min(prob, 1.0)
+        self.emit(op)
+        self.bind_ctx(residual, token["er"], residual_pr)
+
+    def on_escape(self, kind: str, statement, node: BETNode, ctx: Context,
+                  survivor: Optional[Context], result) -> None:
+        env_reg, prob_reg = self.regs(ctx)
+        escape_reg = self._body[id(result)][_ESC_INDEX[kind]]
+        fn = _compiled(statement.prob)
+        alive = survivor is not None
+        survivor_pr = self.reg() if alive else None
+
+        def op(R, node=node, env_reg=env_reg, prob_reg=prob_reg,
+               escape_reg=escape_reg, fn=fn, alive=alive,
+               survivor_pr=survivor_pr):
+            env = R[env_reg]
+            p = fn(env)
+            if not (0.0 <= p <= 1.0 + 1e-9):
+                raise ShapeChanged
+            p = min(p, 1.0)
+            R[escape_reg] = R[escape_reg] + R[prob_reg] * p
+            node.prob = R[prob_reg] * p
+            node.context = env
+            prob = R[prob_reg] * (1.0 - p)
+            if prob < 0 or prob > 1 + 1e-9:
+                raise ShapeChanged
+            prob = min(prob, 1.0)
+            if (prob > _EPS) != alive:
+                raise ShapeChanged
+            if alive:
+                R[survivor_pr] = prob
+        self.emit(op)
+        if alive:
+            self.bind_ctx(survivor, env_reg, survivor_pr)
+
+
+class SymbolicBET:
+    """One BET build per program, replayed across input bindings.
+
+    The first :meth:`bind` performs an ordinary recorded build; later
+    binds replay the annotation tape in place on the same tree.  When the
+    replay detects a structural change (or hits any error), it falls back
+    to a full recorded rebuild, so the returned tree is always exactly
+    what a fresh :class:`BETBuilder` would produce for those inputs — the
+    returned root may therefore be a *different object* after a rebuild.
+
+    Instances pickle without tape or tree (closures cannot cross process
+    boundaries); an unpickled copy simply re-records on first bind, which
+    is how sweep workers amortize one build per chunk.
+    """
+
+    def __init__(self, program: Program, entry: str = "main",
+                 library: Optional[LibraryDatabase] = None,
+                 **builder_kwargs):
+        self.program = program
+        self.entry = entry
+        self.library = library
+        self.builder_kwargs = builder_kwargs
+        self._recorder: Optional[_Recorder] = None
+        self._root: Optional[BETNode] = None
+        self.stats: Dict[str, float] = {
+            "builds": 0.0,          # full recorded builds
+            "replays": 0.0,         # tape replays (cache hits)
+            "shape_rebuilds": 0.0,  # replays abandoned for a rebuild
+            "build_seconds": 0.0,
+            "replay_seconds": 0.0,
+        }
+
+    @property
+    def root(self) -> Optional[BETNode]:
+        """Tree from the most recent bind (``None`` before the first)."""
+        return self._root
+
+    def bind(self, inputs: Optional[Dict[str, float]] = None) -> BETNode:
+        """Evaluate the BET for ``inputs``; replay when the shape holds."""
+        inputs = dict(inputs or {})
+        if self._recorder is not None:
+            started = perf_counter()
+            try:
+                self._recorder.replay(inputs)
+                self._root.compute_enr(1.0)
+            except Exception:
+                # structural change or evaluation error: a full rebuild
+                # either produces the new tree or raises the canonical
+                # builder error for these inputs
+                self.stats["shape_rebuilds"] += 1
+            else:
+                self.stats["replays"] += 1
+                self.stats["replay_seconds"] += perf_counter() - started
+                return self._root
+        return self._record(inputs)
+
+    #: alias — the sweep engine calls this per point
+    rebind = bind
+
+    def _record(self, inputs: Dict[str, float]) -> BETNode:
+        started = perf_counter()
+        recorder = _Recorder()
+        builder = BETBuilder(self.program, library=self.library,
+                             **self.builder_kwargs)
+        builder._rec = recorder
+        self._recorder = None             # stale tape must not survive
+        root = builder.build(entry=self.entry, inputs=inputs)
+        recorder.finish()
+        self._recorder = recorder
+        self._root = root
+        self.stats["builds"] += 1
+        self.stats["build_seconds"] += perf_counter() - started
+        return root
+
+    # -- pickling ----------------------------------------------------------
+    def __getstate__(self):
+        return {"program": self.program, "entry": self.entry,
+                "library": self.library,
+                "builder_kwargs": self.builder_kwargs,
+                "stats": dict(self.stats)}
+
+    def __setstate__(self, state):
+        self.program = state["program"]
+        self.entry = state["entry"]
+        self.library = state["library"]
+        self.builder_kwargs = state["builder_kwargs"]
+        self.stats = state["stats"]
+        self._recorder = None
+        self._root = None

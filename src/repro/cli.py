@@ -195,7 +195,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--param", dest="params", action="append", required=True,
         metavar="NAME=V1,V2,...",
         help="machine parameter and its values; repeat for a grid "
-             "(cells are the cross product)")
+             "(cells are the cross product); prefix with 'input:' to "
+             "sweep a workload input via symbolic rebind instead of a "
+             "machine field")
     sweep_parser.add_argument("--workers", type=int, default=1,
                               help="process-pool width (default 1: serial)")
     sweep_parser.add_argument("--top", type=int, default=10,
@@ -224,6 +226,10 @@ def build_parser() -> argparse.ArgumentParser:
                               help="per-point wall-clock bound when "
                                    "workers > 1; a hung point fails "
                                    "without stalling the sweep")
+    sweep_parser.add_argument("--stats", action="store_true",
+                              help="print per-stage timings (build, "
+                                   "rebind, compile, project) and cache "
+                                   "counters after the sweep")
 
     lint_parser = sub.add_parser(
         "lint", help="static diagnostics for a workload skeleton")
@@ -360,9 +366,28 @@ def _parse_sweep_params(pairs: List[str]) -> Dict[str, List[float]]:
     return grid
 
 
+def _render_sweep_stats(result) -> str:
+    """Per-stage timings and cache counters for ``--stats``."""
+    lines = ["per-stage stats:"]
+    timings = result.timings
+    for name in ("build", "rebind", "compile", "project", "total"):
+        if name in timings:
+            lines.append(f"  {name + ' seconds':<24} {timings[name]:.6f}")
+    counters = dict(getattr(result, "cache_stats", None) or {})
+    for name in ("compile_cache_hits", "parse_cache_hits"):
+        if name in timings:
+            counters.setdefault(name, timings[name])
+    for name in sorted(counters):
+        value = counters[name]
+        if isinstance(value, float) and value == int(value):
+            value = int(value)
+        lines.append(f"  {name:<24} {value}")
+    return "\n".join(lines)
+
+
 def _cmd_sweep(args) -> str:
     from .analysis.sensitivity import sweep_machine
-    from .parallel import build_bet_cached, sweep_grid
+    from .parallel import INPUT_PREFIX, build_bet_cached, sweep_grid
     from .parallel.fault import RetryPolicy, sweep_key
     from .validate import preflight
     program, inputs, machine = _load(args)
@@ -383,8 +408,9 @@ def _cmd_sweep(args) -> str:
     resilience = dict(strict=args.strict, policy=policy,
                       timeout=args.timeout, checkpoint=args.checkpoint,
                       resume=args.resume, checkpoint_key=checkpoint_key)
-    bet = build_bet_cached(program, inputs)
-    if len(grid) == 1:
+    has_input_axes = any(name.startswith(INPUT_PREFIX) for name in grid)
+    if len(grid) == 1 and not has_input_axes:
+        bet = build_bet_cached(program, inputs)
         parameter, values = next(iter(grid.items()))
         result = sweep_machine(bet, machine, parameter, values,
                                k=args.top, workers=args.workers,
@@ -393,8 +419,12 @@ def _cmd_sweep(args) -> str:
             from .export import sweep_to_dict, to_json
             return to_json(sweep_to_dict(result))
     else:
+        # input: axes route through symbolic rebind inside sweep_grid;
+        # machine-only grids keep re-projecting one prebuilt tree
+        bet = None if has_input_axes else build_bet_cached(program, inputs)
         result = sweep_grid(bet, machine, grid, k=args.top,
-                            workers=args.workers, **resilience)
+                            workers=args.workers, program=program,
+                            inputs=inputs, **resilience)
         if args.json:
             from .export import grid_to_dict, to_json
             return to_json(grid_to_dict(result))
@@ -406,7 +436,10 @@ def _cmd_sweep(args) -> str:
               f"workers={int(timings.get('workers', 1))}"
               + (f", {failed} failed" if failed else "")
               + (f", {resumed} resumed" if resumed else "") + "]")
-    return result.render() + "\n" + footer
+    output = result.render() + "\n" + footer
+    if args.stats:
+        output += "\n" + _render_sweep_stats(result)
+    return output
 
 
 def _cmd_translate(args) -> str:

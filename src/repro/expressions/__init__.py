@@ -26,11 +26,18 @@ from .expr import (
     Bool,
     Func,
     as_expr,
+    intern_stats,
     FUNCTIONS,
 )
-from .parser import parse_expr
+from .parser import parse_expr, parser_stats, clear_parse_cache
 from .simplify import simplify
 from .evaluator import evaluate, evaluate_bool, try_evaluate
+from .compile import (
+    compile_expr,
+    compiled_source,
+    compile_stats,
+    clear_compile_cache,
+)
 
 __all__ = [
     "Expr",
@@ -48,4 +55,11 @@ __all__ = [
     "evaluate",
     "evaluate_bool",
     "try_evaluate",
+    "compile_expr",
+    "compiled_source",
+    "compile_stats",
+    "clear_compile_cache",
+    "intern_stats",
+    "parser_stats",
+    "clear_parse_cache",
 ]

@@ -1,0 +1,183 @@
+"""Expression compilation: turn an :class:`Expr` tree into one closure.
+
+The BET builder and the sweep engine evaluate the same symbolic
+expressions thousands of times against different environments (one per
+sweep point).  The interpreted tree walk pays, per evaluation, for
+attribute lookups, method dispatch, and try/except framing at every node.
+This module compiles an expression tree once into a single generated
+Python function — ``lambda env: _c(env["n"] * env["m"] + 4)`` in spirit —
+and caches it by *structural* identity, so structurally equal trees share
+one code object across the whole process.
+
+Semantics are exactly the interpreter's:
+
+* ``_coerce`` is applied at every arithmetic node, so int/float behavior
+  (and therefore every downstream trip-count product) is bit-identical;
+* ``and`` / ``or`` short-circuit in operand order, comparisons yield
+  ``1``/``0``, and intrinsic functions come from the same
+  :data:`~repro.expressions.expr.FUNCTIONS` table;
+* on *any* exception the compiled closure re-runs the interpreted walk,
+  which raises the canonical :class:`~repro.errors.UnboundVariableError` /
+  :class:`~repro.errors.ExpressionError` with the exact message a caller
+  would have seen before compilation existed.  The happy path costs one
+  ``try`` frame; the error path costs one redundant evaluation.
+
+Trees too deep to compile safely (or anything else that trips the code
+generator) fall back to a cached interpreted closure — compilation can
+make nothing slower than the interpreter, only faster.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Mapping
+
+from .expr import (
+    Binary, Bool, Compare, Expr, FUNCTIONS, Func, Num, Unary, Var, _coerce,
+)
+
+#: trees nested deeper than this are left interpreted: CPython's parser
+#: and the generated code's expression nesting both have recursion limits
+_MAX_COMPILE_DEPTH = 150
+
+#: compiled-closure cache, keyed by the expression itself (hash/eq are
+#: structural, so equal trees from different parses share one closure)
+_CACHE: Dict[Expr, Callable] = {}
+_CACHE_LIMIT = 4096
+
+#: observable counters (per process; workers report their own snapshot)
+_STATS = {
+    "compiles": 0.0,           # closures generated (cache misses)
+    "cache_hits": 0.0,         # compile_expr calls served from the cache
+    "interp_fallbacks": 0.0,   # trees left interpreted (depth/codegen)
+    "error_replays": 0.0,      # runtime errors replayed interpreted
+    "compile_seconds": 0.0,    # wall time spent generating closures
+}
+
+_PY_OP = {"+": "+", "-": "-", "*": "*", "/": "/", "//": "//", "%": "%",
+          "^": "**"}
+
+
+class _TooDeep(Exception):
+    """Internal: expression exceeds the safe compilation depth."""
+
+
+def _emit(expr: Expr, depth: int) -> str:
+    """Generate the Python source fragment for one node (parenthesized)."""
+    if depth > _MAX_COMPILE_DEPTH:
+        raise _TooDeep
+    if type(expr) is Num:
+        value = expr.value
+        if isinstance(value, int):
+            return f"({value!r})"
+        if value != value or value in (float("inf"), float("-inf")):
+            # non-finite floats have no source literal; fail to interp
+            raise _TooDeep
+        return f"({value!r})"
+    if type(expr) is Var:
+        return f"_e[{expr.name!r}]"
+    if type(expr) is Unary:
+        operand = _emit(expr.operand, depth + 1)
+        if expr.op == "-":
+            return f"_c(-{operand})"
+        return f"(0 if {operand} else 1)"
+    if type(expr) is Binary:
+        left = _emit(expr.left, depth + 1)
+        right = _emit(expr.right, depth + 1)
+        return f"_c({left} {_PY_OP[expr.op]} {right})"
+    if type(expr) is Compare:
+        left = _emit(expr.left, depth + 1)
+        right = _emit(expr.right, depth + 1)
+        return f"(1 if {left} {expr.op} {right} else 0)"
+    if type(expr) is Bool:
+        joiner = f" {expr.op} "
+        chain = joiner.join(_emit(o, depth + 1) for o in expr.operands)
+        return f"(1 if ({chain}) else 0)"
+    if type(expr) is Func:
+        args = ", ".join(_emit(a, depth + 1) for a in expr.args)
+        return f"_c(_f_{expr.name}({args}))"
+    # unknown subclass (user extension): leave it interpreted
+    raise _TooDeep
+
+
+#: shared global namespace for every generated function: the coercion
+#: helper plus the intrinsic-function table under stable aliases
+#: (``Exception`` must be spelled out — the sandbox has no builtins)
+_BASE_GLOBALS = {"_c": _coerce, "Exception": Exception,
+                 "_stats": _STATS, "__builtins__": {}}
+_BASE_GLOBALS.update({f"_f_{name}": fn for name, fn in FUNCTIONS.items()})
+
+
+def _generate(expr: Expr) -> Callable[[Mapping], object]:
+    """Build the guarded compiled function for ``expr``.
+
+    The interpreted-replay fallback lives *inside* the generated
+    function (rather than in a wrapping closure) so the hot path is a
+    single call frame; on any exception the interpreted walk re-runs
+    and raises the canonical error with the exact pre-compilation
+    message — or, for a compiled-only hiccup, returns the right value.
+    """
+    body = _emit(expr, 0)
+    source = ("def _compiled(_e):\n"
+              "    try:\n"
+              f"        return {body}\n"
+              "    except Exception:\n"
+              "        _stats['error_replays'] += 1.0\n"
+              "        return _interp(_e)\n")
+    namespace = dict(_BASE_GLOBALS)
+    namespace["_interp"] = expr._eval
+    exec(compile(source, "<repro-expr>", "exec"), namespace)
+    fn = namespace["_compiled"]
+    fn.__repro_source__ = body          # debugging / tests
+    return fn
+
+
+def _interp_closure(expr: Expr) -> Callable[[Mapping], object]:
+    """The no-op 'compilation': the interpreted walk itself."""
+    return expr._eval
+
+
+def compile_expr(expr: Expr) -> Callable[[Mapping], object]:
+    """Compile ``expr`` into an evaluation closure (memoized).
+
+    The returned callable takes an environment mapping and behaves
+    exactly like ``expr._eval`` — same values (bit-identical, including
+    int/float coercion) and same raised error types and messages.
+    """
+    cached = _CACHE.get(expr)
+    if cached is not None:
+        _STATS["cache_hits"] += 1
+        return cached
+    started = time.perf_counter()
+    try:
+        closure = _generate(expr)
+    except Exception:       # depth guard, codegen or compile() failure
+        _STATS["interp_fallbacks"] += 1
+        closure = _interp_closure(expr)
+    else:
+        _STATS["compiles"] += 1
+    _STATS["compile_seconds"] += time.perf_counter() - started
+    if len(_CACHE) < _CACHE_LIMIT:
+        _CACHE[expr] = closure
+    return closure
+
+
+def compiled_source(expr: Expr) -> str:
+    """The generated source fragment for ``expr`` (tests/debugging);
+    an empty string when the expression is evaluated interpreted."""
+    return getattr(compile_expr(expr), "__repro_source__", "")
+
+
+def compile_stats() -> Dict[str, float]:
+    """Snapshot of the compiler's counters (per process)."""
+    out = dict(_STATS)
+    out["cache_size"] = float(len(_CACHE))
+    return out
+
+
+def clear_compile_cache(reset_stats: bool = False) -> None:
+    """Drop every cached closure (tests); optionally zero the counters."""
+    _CACHE.clear()
+    if reset_stats:
+        for key in _STATS:
+            _STATS[key] = 0.0

@@ -13,7 +13,10 @@ def evaluate(expr: Union[Expr, str, Number],
     """Evaluate ``expr`` (an :class:`Expr`, string, or plain number).
 
     ``env`` maps variable names to numeric values; it may be omitted for
-    constant expressions.
+    constant expressions.  String expressions go through the memoized
+    parser, so a repeated string is tokenized once per process, and the
+    resulting tree is compiled to a closure on its first evaluation —
+    repeated calls pay neither parse nor tree-walk cost.
     """
     if isinstance(expr, (int, float)) and not isinstance(expr, bool):
         return expr

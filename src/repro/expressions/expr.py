@@ -45,14 +45,38 @@ def _coerce(value: float) -> Number:
 class Expr:
     """Base class for expression nodes.
 
-    Instances are immutable and hashable; equality is structural.
+    Instances are immutable and hashable; equality is structural.  The
+    structural hash is computed once at construction (``_hash``), and
+    :meth:`evaluate` transparently switches to a compiled closure
+    (:mod:`repro.expressions.compile`) after the first call — with
+    bit-identical results and the same error behavior as the interpreted
+    tree walk, which remains available as :meth:`_eval`.
     """
 
-    __slots__ = ()
+    __slots__ = ("_hash", "_compiled")
+
+    #: slots that hold per-process derived state, never pickled
+    _TRANSIENT_SLOTS = frozenset(("_hash", "_compiled"))
+
+    def _seal(self) -> None:
+        """Finish construction: cache the structural hash and reset the
+        compiled-closure slot.  Every subclass ``__init__`` ends here."""
+        object.__setattr__(self, "_hash",
+                           hash((type(self).__name__, self._key())))
+        object.__setattr__(self, "_compiled", None)
 
     def evaluate(self, env: Mapping[str, Number]) -> Number:
         """Evaluate against ``env``; raise :class:`UnboundVariableError` on
         missing variables and :class:`ExpressionError` on domain errors."""
+        fn = self._compiled
+        if fn is None:
+            from .compile import compile_expr
+            fn = compile_expr(self)
+            object.__setattr__(self, "_compiled", fn)
+        return fn(env)
+
+    def _eval(self, env: Mapping[str, Number]) -> Number:
+        """The interpreted tree-walk evaluation (reference semantics)."""
         raise NotImplementedError
 
     def free_vars(self) -> FrozenSet[str]:
@@ -89,21 +113,29 @@ class Expr:
 
     # pickling must bypass the immutability guard in __setattr__ (the
     # parallel sweep engine ships BETs, and the expressions inside their
-    # statements, to process-pool workers)
+    # statements, to process-pool workers).  The cached hash depends on
+    # string hashing (randomized per process) and the compiled closure
+    # holds code objects, so neither travels: both are rebuilt on arrival.
     def __getstate__(self):
         return {slot: getattr(self, slot)
                 for cls in type(self).__mro__
-                for slot in getattr(cls, "__slots__", ())}
+                for slot in getattr(cls, "__slots__", ())
+                if slot not in self._TRANSIENT_SLOTS}
 
     def __setstate__(self, state):
         for name, value in state.items():
             object.__setattr__(self, name, value)
+        self._seal()
 
     def __hash__(self):
-        return hash((type(self).__name__, self._key()))
+        return self._hash
 
     def __eq__(self, other):
-        return type(self) is type(other) and self._key() == other._key()
+        if self is other:
+            return True
+        return (type(self) is type(other)
+                and self._hash == other._hash
+                and self._key() == other._key())
 
     def _key(self):
         raise NotImplementedError
@@ -123,21 +155,53 @@ def as_expr(value: Union["Expr", Number, str]) -> "Expr":
     raise ExpressionError(f"cannot convert {value!r} to an expression")
 
 
+#: hash-consing tables for leaf nodes.  Bounded so pathological inputs
+#: cannot grow them without limit; once full, construction simply stops
+#: interning (structural equality is unaffected — interning only lets
+#: equal leaves share one object and one cached hash).
+_INTERN_LIMIT = 4096
+_NUM_INTERN: Dict[tuple, "Num"] = {}
+_VAR_INTERN: Dict[str, "Var"] = {}
+
+
+def intern_stats() -> Dict[str, int]:
+    """Sizes of the leaf-node intern tables (observability/tests)."""
+    return {"num": len(_NUM_INTERN), "var": len(_VAR_INTERN),
+            "limit": _INTERN_LIMIT}
+
+
 class Num(Expr):
-    """A numeric literal."""
+    """A numeric literal (hash-consed: equal literals share one node)."""
 
     __slots__ = ("value",)
 
-    def __init__(self, value: Number):
+    def __new__(cls, value=None):
+        # exact int/float only: bool and numeric subclasses (e.g. numpy
+        # scalars) take the ordinary path so their behavior is unchanged
+        if cls is Num and type(value) in (int, float):
+            cached = _NUM_INTERN.get((type(value), value))
+            if cached is not None:
+                return cached
+        return super().__new__(cls)
+
+    def __init__(self, value: Number = None):
+        if hasattr(self, "value"):      # interned: already initialized
+            return
         if not isinstance(value, (int, float)):
             raise ExpressionError(f"non-numeric literal {value!r}")
         object.__setattr__(self, "value", _coerce(value))
+        self._seal()
+        if type(self) is Num and type(value) in (int, float) \
+                and len(_NUM_INTERN) < _INTERN_LIMIT:
+            _NUM_INTERN[(type(value), value)] = self
 
     def __setattr__(self, *a):
         raise AttributeError("Expr nodes are immutable")
 
-    def evaluate(self, env):
+    def _eval(self, env):
         return self.value
+
+    evaluate = _eval                    # literals never need compiling
 
     def free_vars(self):
         return frozenset()
@@ -156,23 +220,39 @@ class Num(Expr):
 
 
 class Var(Expr):
-    """A variable reference, resolved against the context at evaluation."""
+    """A variable reference, resolved against the context at evaluation
+    (hash-consed: equal names share one node)."""
 
     __slots__ = ("name",)
 
-    def __init__(self, name: str):
+    def __new__(cls, name=None):
+        if cls is Var and type(name) is str:
+            cached = _VAR_INTERN.get(name)
+            if cached is not None:
+                return cached
+        return super().__new__(cls)
+
+    def __init__(self, name: str = None):
+        if hasattr(self, "name"):       # interned: already initialized
+            return
         if not name or not (name[0].isalpha() or name[0] == "_"):
             raise ExpressionError(f"invalid variable name {name!r}")
         object.__setattr__(self, "name", name)
+        self._seal()
+        if type(self) is Var and type(name) is str \
+                and len(_VAR_INTERN) < _INTERN_LIMIT:
+            _VAR_INTERN[name] = self
 
     def __setattr__(self, *a):
         raise AttributeError("Expr nodes are immutable")
 
-    def evaluate(self, env):
+    def _eval(self, env):
         try:
             return env[self.name]
         except KeyError:
             raise UnboundVariableError(self.name) from None
+
+    evaluate = _eval                    # a dict lookup needs no compiling
 
     def free_vars(self):
         return frozenset((self.name,))
@@ -201,12 +281,13 @@ class Unary(Expr):
             raise ExpressionError(f"unknown unary operator {op!r}")
         object.__setattr__(self, "op", op)
         object.__setattr__(self, "operand", operand)
+        self._seal()
 
     def __setattr__(self, *a):
         raise AttributeError("Expr nodes are immutable")
 
-    def evaluate(self, env):
-        v = self.operand.evaluate(env)
+    def _eval(self, env):
+        v = self.operand._eval(env)
         if self.op == "-":
             return _coerce(-v)
         return 0 if v else 1
@@ -244,13 +325,14 @@ class Binary(Expr):
         object.__setattr__(self, "op", op)
         object.__setattr__(self, "left", left)
         object.__setattr__(self, "right", right)
+        self._seal()
 
     def __setattr__(self, *a):
         raise AttributeError("Expr nodes are immutable")
 
-    def evaluate(self, env):
-        a = self.left.evaluate(env)
-        b = self.right.evaluate(env)
+    def _eval(self, env):
+        a = self.left._eval(env)
+        b = self.right._eval(env)
         op = self.op
         try:
             if op == "+":
@@ -305,13 +387,14 @@ class Compare(Expr):
         object.__setattr__(self, "op", op)
         object.__setattr__(self, "left", left)
         object.__setattr__(self, "right", right)
+        self._seal()
 
     def __setattr__(self, *a):
         raise AttributeError("Expr nodes are immutable")
 
-    def evaluate(self, env):
-        a = self.left.evaluate(env)
-        b = self.right.evaluate(env)
+    def _eval(self, env):
+        a = self.left._eval(env)
+        b = self.right._eval(env)
         op = self.op
         if op == "<":
             return int(a < b)
@@ -358,18 +441,19 @@ class Bool(Expr):
             raise ExpressionError("boolean expression needs >= 2 operands")
         object.__setattr__(self, "op", op)
         object.__setattr__(self, "operands", tuple(operands))
+        self._seal()
 
     def __setattr__(self, *a):
         raise AttributeError("Expr nodes are immutable")
 
-    def evaluate(self, env):
+    def _eval(self, env):
         if self.op == "and":
             for operand in self.operands:
-                if not operand.evaluate(env):
+                if not operand._eval(env):
                     return 0
             return 1
         for operand in self.operands:
-            if operand.evaluate(env):
+            if operand._eval(env):
                 return 1
         return 0
 
@@ -407,12 +491,13 @@ class Func(Expr):
                 f"unknown function {name!r}; known: {sorted(FUNCTIONS)}")
         object.__setattr__(self, "name", name)
         object.__setattr__(self, "args", tuple(args))
+        self._seal()
 
     def __setattr__(self, *a):
         raise AttributeError("Expr nodes are immutable")
 
-    def evaluate(self, env):
-        values = [a.evaluate(env) for a in self.args]
+    def _eval(self, env):
+        values = [a._eval(env) for a in self.args]
         try:
             return _coerce(FUNCTIONS[self.name](*values))
         except (ValueError, TypeError, OverflowError) as exc:

@@ -19,10 +19,20 @@ Numbers accept integer, decimal, and scientific forms plus the ``k``, ``M``,
 from __future__ import annotations
 
 import re
-from typing import List, NamedTuple, Optional
+from typing import Dict, List, NamedTuple, Optional
 
 from ..errors import ExpressionError
 from .expr import Bool, Binary, Compare, Expr, Func, Num, Unary, Var
+
+#: parse results memoized by source string — skeletons repeat the same
+#: handful of expression strings across statements and sweep points, so
+#: tokenizing each string once per process covers virtually all calls.
+#: Expr trees are immutable, so sharing one tree between callers is safe.
+_PARSE_CACHE: Dict[str, Expr] = {}
+_PARSE_CACHE_LIMIT = 4096
+
+#: counters for tests and `repro sweep --stats`
+_PARSE_STATS = {"tokenize_calls": 0, "parse_calls": 0, "cache_hits": 0}
 
 
 class Token(NamedTuple):
@@ -43,6 +53,7 @@ _SUFFIX = {"k": 1_000, "M": 1_000_000, "G": 1_000_000_000}
 
 def tokenize_expr(text: str) -> List[Token]:
     """Tokenize an expression string; raise on any unrecognized character."""
+    _PARSE_STATS["tokenize_calls"] += 1
     tokens: List[Token] = []
     pos = 0
     while pos < len(text):
@@ -200,9 +211,24 @@ def _parse_number(text: str) -> float:
 def parse_expr(text: str) -> Expr:
     """Parse ``text`` into an :class:`~repro.expressions.Expr`.
 
-    Raises :class:`~repro.errors.ExpressionError` on malformed input or
-    trailing garbage.
+    Results are memoized by the exact source string (bounded cache), so a
+    skeleton expression repeated across statements or sweep points is
+    tokenized and parsed only once per process.  Raises
+    :class:`~repro.errors.ExpressionError` on malformed input or trailing
+    garbage; failures are not cached.
     """
+    _PARSE_STATS["parse_calls"] += 1
+    cached = _PARSE_CACHE.get(text)
+    if cached is not None:
+        _PARSE_STATS["cache_hits"] += 1
+        return cached
+    result = _parse_uncached(text)
+    if len(_PARSE_CACHE) < _PARSE_CACHE_LIMIT:
+        _PARSE_CACHE[text] = result
+    return result
+
+
+def _parse_uncached(text: str) -> Expr:
     tokens = tokenize_expr(text)
     if not tokens:
         raise ExpressionError(f"empty expression {text!r}")
@@ -214,3 +240,18 @@ def parse_expr(text: str) -> Expr:
             f"trailing input {leftover.text!r} at offset {leftover.pos} in "
             f"{text!r}")
     return result
+
+
+def parser_stats() -> Dict[str, int]:
+    """Snapshot of tokenizer/parser counters (tests, ``--stats``)."""
+    out = dict(_PARSE_STATS)
+    out["cache_size"] = len(_PARSE_CACHE)
+    return out
+
+
+def clear_parse_cache(reset_stats: bool = False) -> None:
+    """Drop memoized parses (tests); optionally zero the counters."""
+    _PARSE_CACHE.clear()
+    if reset_stats:
+        for key in _PARSE_STATS:
+            _PARSE_STATS[key] = 0

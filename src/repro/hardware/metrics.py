@@ -37,6 +37,22 @@ class Metrics:
             if getattr(self, name) < 0:
                 raise ValueError(f"Metrics.{name} must be non-negative")
 
+    @classmethod
+    def _raw(cls, flops=0.0, iops=0.0, div_flops=0.0, vec_flops=0.0,
+             loads=0.0, stores=0.0, load_bytes=0.0, store_bytes=0.0,
+             static_size=0) -> "Metrics":
+        """Construct without validation — only for hot paths whose
+        values are non-negative by construction (e.g. the symbolic BET
+        replay, which clamps every count before it gets here).  State is
+        identical to the validated constructor's."""
+        metrics = cls.__new__(cls)
+        metrics.__dict__ = {
+            "flops": flops, "iops": iops, "div_flops": div_flops,
+            "vec_flops": vec_flops, "loads": loads, "stores": stores,
+            "load_bytes": load_bytes, "store_bytes": store_bytes,
+            "static_size": static_size}
+        return metrics
+
     # -- composition ----------------------------------------------------
     def __add__(self, other: "Metrics") -> "Metrics":
         return Metrics(

@@ -22,7 +22,7 @@ errors): ``model_division`` charges the machine's per-division cost, and
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from typing import NamedTuple
 
 from ..errors import HardwareModelError
 from .machine import MachineModel, ensure_valid_machine
@@ -33,9 +33,14 @@ from .metrics import Metrics
 DEFAULT_MISS_RATE = 0.85
 
 
-@dataclass(frozen=True)
-class BlockTime:
-    """Projected timing of one invocation of a code block (seconds)."""
+class BlockTime(NamedTuple):
+    """Projected timing of one invocation of a code block (seconds).
+
+    A named tuple rather than a (frozen) dataclass: sweeps construct one
+    per block per point, and tuple construction is several times cheaper
+    than ``object.__setattr__``-based frozen-dataclass init — same
+    immutability, same field access.
+    """
 
     compute: float      #: Tc
     memory: float       #: Tm

@@ -19,8 +19,9 @@ deterministic fault-injection harness the tests are built on.
 
 from .cache import CacheStats, LRUCache
 from .engine import (
-    GridPoint, GridResult, analyze_matrix, bet_cache_stats,
-    build_bet_cached, clear_bet_cache, sweep_grid,
+    INPUT_PREFIX, GridPoint, GridResult, InputPoint, InputSweepResult,
+    analyze_matrix, bet_cache_stats, build_bet_cached, clear_bet_cache,
+    clear_symbolic_cache, sweep_grid, sweep_inputs,
 )
 from .fault import (
     NO_RETRY, CallRecorder, FaultInjector, MapOutcome, PointFailure,
@@ -38,7 +39,12 @@ __all__ = [
     "bet_cache_stats",
     "build_bet_cached",
     "clear_bet_cache",
+    "clear_symbolic_cache",
     "sweep_grid",
+    "sweep_inputs",
+    "InputPoint",
+    "InputSweepResult",
+    "INPUT_PREFIX",
     "chunk",
     "default_workers",
     "parallel_map",

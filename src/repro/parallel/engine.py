@@ -14,7 +14,13 @@ layer:
   point ordering;
 * :func:`analyze_matrix` — the full Prof-vs-Modl pipeline fanned out over
   a (workload × machine × ablation) matrix; results are fed back into the
-  bounded pipeline cache so later figure slicing is free.
+  bounded pipeline cache so later figure slicing is free;
+* :func:`sweep_inputs` — the *input*-axis counterpart (DESIGN.md §8):
+  points that change the workload's inputs are routed through
+  :class:`~repro.bet.SymbolicBET` rebinds in contiguous chunks, so each
+  worker amortizes one recorded build (and the expression-compile
+  warmup) across its whole chunk; ``input:``-prefixed axes mix the same
+  machinery into :func:`sweep_grid`.
 
 Every result carries per-stage wall seconds and cache statistics so the
 performance trajectory is observable (``timings`` / ``cache_stats``).
@@ -26,14 +32,16 @@ from __future__ import annotations
 
 import itertools
 import time
+import traceback as _tb
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..analysis.sensitivity import project_machine
-from ..bet import build_bet
+from ..analysis.sensitivity import project_machine, project_with_model
+from ..bet import SymbolicBET, build_bet
 from ..bet.nodes import BETNode, render_tree
 from ..errors import AnalysisError
 from ..hardware.machine import MachineModel, ensure_valid_machine
+from ..hardware.roofline import RooflineModel
 from ..skeleton.bst import Program
 from .cache import CacheStats, LRUCache
 from .fault import (
@@ -160,11 +168,17 @@ def _grid_cells(grid: Dict[str, Sequence[float]]) -> List[Dict[str, float]]:
 def _cell_machine(base_machine: MachineModel,
                   overrides: Dict[str, float]) -> MachineModel:
     """The derived machine for one grid cell (single source of naming, so
-    checkpoint-resumed points are bit-identical to computed ones)."""
+    checkpoint-resumed points are bit-identical to computed ones).
+
+    ``input:``-prefixed axes describe workload inputs, not machine
+    fields; they appear in the name tag but are not applied as overrides.
+    """
     tag = ",".join(f"{name}={value:g}"
                    for name, value in overrides.items())
+    machine_part = {name: value for name, value in overrides.items()
+                    if not name.startswith(INPUT_PREFIX)}
     return base_machine.with_overrides(
-        name=f"{base_machine.name}[{tag}]", **overrides)
+        name=f"{base_machine.name}[{tag}]", **machine_part)
 
 
 def _grid_one(bet: BETNode, base_machine: MachineModel,
@@ -193,12 +207,20 @@ def _grid_point_to_dict(point: GridPoint) -> Dict[str, Any]:
 
 
 def _grid_point_from_dict(payload: Dict[str, Any],
-                          base_machine: MachineModel) -> GridPoint:
+                          base_machine: MachineModel,
+                          overrides: Optional[Dict[str, float]] = None
+                          ) -> GridPoint:
     """Rebuild a checkpointed cell (floats round-trip exactly through
-    JSON, so resumed results equal an uninterrupted run's)."""
-    overrides = {name: value
-                 for name, value in payload["overrides"].items()}
-    return GridPoint(overrides=overrides,
+    JSON, so resumed results equal an uninterrupted run's).
+
+    ``overrides`` is the caller's canonical cell dict: the checkpoint
+    stores dicts key-sorted, so rebuilding from the payload alone would
+    give resumed cells a differently-ordered machine name tag.
+    """
+    if overrides is None:
+        overrides = {name: value
+                     for name, value in payload["overrides"].items()}
+    return GridPoint(overrides=dict(overrides),
                      machine=_cell_machine(base_machine, overrides),
                      runtime=payload["runtime"],
                      ranking=list(payload["ranking"]),
@@ -214,7 +236,7 @@ def _default_grid_key(bet: BETNode, base_machine: MachineModel,
                             for name, values in grid.items()), k)
 
 
-def sweep_grid(bet: BETNode, base_machine: MachineModel,
+def sweep_grid(bet: Optional[BETNode], base_machine: MachineModel,
                grid: Dict[str, Sequence[float]],
                model_factory: Optional[Callable] = None,
                k: int = 10,
@@ -225,18 +247,30 @@ def sweep_grid(bet: BETNode, base_machine: MachineModel,
                checkpoint: Optional[str] = None,
                resume: bool = False,
                checkpoint_key: Optional[str] = None,
-               validate: bool = True) -> GridResult:
+               validate: bool = True,
+               program: Optional[Program] = None,
+               inputs: Optional[Dict[str, float]] = None,
+               entry: str = "main",
+               library=None,
+               chunk_size: Optional[int] = None) -> GridResult:
     """Project one BET over the cross product of machine parameters.
 
     Parameters
     ----------
     bet:
-        A built BET (machine independent; shared by every cell).
+        A built BET (machine independent; shared by every cell).  May be
+        ``None`` when ``program`` is given and every axis is an input
+        axis.
     base_machine:
         The machine whose fields are overridden per cell.
     grid:
         ``{parameter: values, ...}`` — cells are the cross product, in
-        row-major order (last parameter varies fastest).
+        row-major order (last parameter varies fastest).  An axis named
+        ``input:<name>`` sweeps the workload input ``<name>`` instead of
+        a machine field; such grids require ``program`` and are routed
+        through :class:`~repro.bet.SymbolicBET` rebinds with chunked
+        dispatch (list input axes first so consecutive cells share a
+        binding).
     workers:
         Process-pool width; ``1`` runs serially.  Ordering and values are
         identical either way.
@@ -259,22 +293,47 @@ def sweep_grid(bet: BETNode, base_machine: MachineModel,
     validate:
         Pre-flight the base machine
         (:func:`~repro.hardware.validate_machine`) before any work.
+    program / inputs / entry / library:
+        The workload behind ``input:`` axes: per-cell bindings are
+        ``inputs`` overlaid with the cell's input-axis values.
+    chunk_size:
+        Cells per shipped chunk on the input-axis path (default: about
+        four chunks per worker).
     """
     if not grid or any(len(list(values)) == 0 for values in grid.values()):
         raise AnalysisError("grid needs at least one value per parameter")
+    input_axes = [name for name in grid if name.startswith(INPUT_PREFIX)]
     for parameter in grid:
+        if parameter.startswith(INPUT_PREFIX):
+            continue
         if not hasattr(base_machine, parameter):
             raise AnalysisError(
                 f"machine has no parameter {parameter!r}")
+    if input_axes and program is None:
+        raise AnalysisError(
+            f"grid axes {input_axes} sweep workload inputs; "
+            "pass program= (and optionally inputs=) to sweep_grid")
+    if not input_axes and bet is None:
+        raise AnalysisError("sweep_grid needs a built BET for "
+                            "machine-only grids")
     if validate:
         ensure_valid_machine(base_machine)
     started = time.perf_counter()
     cells = _grid_cells(grid)
+    base_inputs = dict(inputs or {})
 
     ckpt: Optional[SweepCheckpoint] = None
     if checkpoint:
-        key = checkpoint_key or _default_grid_key(bet, base_machine,
-                                                  grid, k)
+        if checkpoint_key:
+            key = checkpoint_key
+        elif input_axes:
+            key = sweep_key(program.fingerprint(),
+                            tuple(sorted(base_inputs.items())), entry,
+                            repr(base_machine),
+                            sorted((name, tuple(values))
+                                   for name, values in grid.items()), k)
+        else:
+            key = _default_grid_key(bet, base_machine, grid, k)
         ckpt = SweepCheckpoint.load(checkpoint, key, resume=resume)
 
     prior: Dict[int, GridPoint] = {}
@@ -283,46 +342,583 @@ def sweep_grid(bet: BETNode, base_machine: MachineModel,
     for index, overrides in enumerate(cells):
         stored = ckpt.get(overrides_key(overrides)) if ckpt else None
         if stored is not None:
-            prior[index] = _grid_point_from_dict(stored, base_machine)
+            prior[index] = _grid_point_from_dict(stored, base_machine,
+                                                 overrides)
         else:
             pending_indices.append(index)
             pending_cells.append(overrides)
 
-    payloads = [(bet, base_machine, overrides, model_factory, k)
-                for overrides in pending_cells]
+    stages: Dict[str, float] = {}
+    if input_axes:
+        sym = SymbolicBET(program, entry=entry, library=library)
 
-    def checkpoint_point(local: int, point: GridPoint) -> None:
-        if ckpt is not None:
-            ckpt.record(overrides_key(pending_cells[local]),
-                        _grid_point_to_dict(point))
+        def record(global_index: int, point: GridPoint) -> None:
+            if ckpt is not None:
+                ckpt.record(overrides_key(cells[global_index]),
+                            _grid_point_to_dict(point))
 
-    try:
-        outcome = resilient_map(
-            _grid_point_task, payloads, workers=workers, policy=policy,
-            timeout=timeout, strict=strict, indices=pending_indices,
-            describe=lambda payload: overrides_key(payload[2]),
-            on_point=checkpoint_point)
-    finally:
-        if ckpt is not None:
-            ckpt.flush()
+        try:
+            computed, failures, stages = _run_chunked(
+                pending_cells, pending_indices,
+                chunk_payload=lambda chunk: (sym, base_machine,
+                                             list(chunk), base_inputs,
+                                             model_factory, k),
+                point_payload=lambda overrides: (sym, base_machine,
+                                                 overrides, base_inputs,
+                                                 model_factory, k),
+                chunk_task=_grid_chunk_task,
+                point_task=_grid_input_point_task,
+                describe=overrides_key, record=record,
+                workers=workers, strict=strict, policy=policy,
+                timeout=timeout, chunk_size=chunk_size)
+        finally:
+            if ckpt is not None:
+                ckpt.flush()
+    else:
+        payloads = [(bet, base_machine, overrides, model_factory, k)
+                    for overrides in pending_cells]
 
-    computed = {pending_indices[local]: point
-                for local, point in enumerate(outcome.results)
-                if point is not None}
+        def checkpoint_point(local: int, point: GridPoint) -> None:
+            if ckpt is not None:
+                ckpt.record(overrides_key(pending_cells[local]),
+                            _grid_point_to_dict(point))
+
+        try:
+            outcome = resilient_map(
+                _grid_point_task, payloads, workers=workers, policy=policy,
+                timeout=timeout, strict=strict, indices=pending_indices,
+                describe=lambda payload: overrides_key(payload[2]),
+                on_point=checkpoint_point)
+        finally:
+            if ckpt is not None:
+                ckpt.flush()
+        computed = {pending_indices[local]: point
+                    for local, point in enumerate(outcome.results)
+                    if point is not None}
+        failures = outcome.failures
+
     points = [prior.get(index) or computed.get(index)
               for index in range(len(cells))]
     points = [point for point in points if point is not None]
     elapsed = time.perf_counter() - started
+    timings = {"project": stages.get("project_seconds", elapsed),
+               "total": elapsed,
+               "workers": float(max(workers, 1)),
+               "points": float(len(points)),
+               "failed": float(len(failures)),
+               "resumed": float(len(prior))}
+    cache_stats = bet_cache_stats().as_dict()
+    if input_axes:
+        timings.update(
+            build=stages.get("bet_build_seconds", 0.0),
+            rebind=stages.get("bet_replay_seconds", 0.0),
+            compile=stages.get("compile_seconds", 0.0))
+        cache_stats.update(
+            bet_builds=stages.get("bet_builds", 0.0),
+            bet_replays=stages.get("bet_replays", 0.0),
+            bet_shape_rebuilds=stages.get("bet_shape_rebuilds", 0.0),
+            compiles=stages.get("compiles", 0.0),
+            compile_cache_hits=stages.get("compile_cache_hits", 0.0),
+            parse_cache_hits=stages.get("parse_cache_hits", 0.0))
     return GridResult(
         grid={name: list(values) for name, values in grid.items()},
         points=points,
-        timings={"project": elapsed, "total": elapsed,
-                 "workers": float(max(workers, 1)),
-                 "points": float(len(points)),
-                 "failed": float(len(outcome.failures)),
-                 "resumed": float(len(prior))},
-        cache_stats=bet_cache_stats().as_dict(),
-        failures=outcome.failures)
+        timings=timings,
+        cache_stats=cache_stats,
+        failures=failures)
+
+
+# -- input-axis sweeps (symbolic rebind) --------------------------------------
+
+#: axis-name prefix marking an input (workload) parameter in a mixed grid
+INPUT_PREFIX = "input:"
+
+#: worker-resident symbolic trees: pool workers persist across chunks, so
+#: one recorded build serves every chunk a worker receives for a program
+_SYM_CACHE: Dict[Tuple, SymbolicBET] = {}
+_SYM_CACHE_LIMIT = 8
+
+
+def _symbolic_for(sym: SymbolicBET) -> SymbolicBET:
+    """The worker's resident :class:`SymbolicBET` for ``sym``'s program.
+
+    Shipped instances arrive without tape or tree (they pickle to just the
+    program); keeping the first arrival per content key means later chunks
+    replay an already-recorded tape instead of rebuilding.  Instances with
+    a custom library are not content-keyed and are used as shipped.
+    """
+    if sym.library is not None:
+        return sym
+    key = (sym.program.fingerprint(), sym.entry,
+           repr(sorted(sym.builder_kwargs.items())))
+    cached = _SYM_CACHE.get(key)
+    if cached is None:
+        if len(_SYM_CACHE) >= _SYM_CACHE_LIMIT:
+            _SYM_CACHE.pop(next(iter(_SYM_CACHE)))
+        _SYM_CACHE[key] = cached = sym
+    return cached
+
+
+def clear_symbolic_cache() -> None:
+    """Drop worker-resident symbolic trees (mainly for tests)."""
+    _SYM_CACHE.clear()
+
+
+def _perf_counters() -> Dict[str, float]:
+    """Process-wide expression-layer counters (compile + parse caches)."""
+    from ..expressions import compile_stats, parser_stats
+    compiled = compile_stats()
+    parsed = parser_stats()
+    return {"compile_seconds": float(compiled["compile_seconds"]),
+            "compiles": float(compiled["compiles"]),
+            "compile_cache_hits": float(compiled["cache_hits"]),
+            "parse_cache_hits": float(parsed["cache_hits"])}
+
+
+def _stage_snapshot(sym: SymbolicBET) -> Dict[str, float]:
+    snap = {f"bet_{name}": float(value)
+            for name, value in sym.stats.items()}
+    snap.update(_perf_counters())
+    snap["project_seconds"] = 0.0
+    return snap
+
+
+def _stage_delta(sym: SymbolicBET, before: Dict[str, float],
+                 project_seconds: float) -> Dict[str, float]:
+    after = _stage_snapshot(sym)
+    after["project_seconds"] = project_seconds
+    return {name: after[name] - before.get(name, 0.0)
+            for name in after}
+
+
+def _split_overrides(
+        overrides: Dict[str, float]
+) -> Tuple[Dict[str, float], Dict[str, float]]:
+    """Partition one cell into (machine overrides, input bindings)."""
+    machine_part = {name: value for name, value in overrides.items()
+                    if not name.startswith(INPUT_PREFIX)}
+    input_part = {name[len(INPUT_PREFIX):]: value
+                  for name, value in overrides.items()
+                  if name.startswith(INPUT_PREFIX)}
+    return machine_part, input_part
+
+
+def _run_chunked(items: Sequence,
+                 indices: Sequence[int],
+                 chunk_payload: Callable[[Sequence], Any],
+                 point_payload: Callable[[Any], Any],
+                 chunk_task: Callable,
+                 point_task: Callable,
+                 describe: Callable[[Any], str],
+                 record: Callable[[int, Any], None],
+                 workers: int,
+                 strict: bool,
+                 policy: Optional[RetryPolicy],
+                 timeout: Optional[float],
+                 chunk_size: Optional[int]):
+    """Chunked two-phase dispatch shared by the input-sweep paths.
+
+    Phase 1 ships contiguous chunks so each worker amortizes one symbolic
+    build (and the expression-compile warmup) across its whole chunk; the
+    chunk task traps per-point errors, so one bad point never poisons its
+    chunk-mates.  Phase 2 re-dispatches only the failed points one at a
+    time through :func:`resilient_map` whenever retry / timeout / strict
+    semantics are configured — exactly PR 2's per-point fault model —
+    and otherwise converts the captured errors straight into
+    :class:`PointFailure` records.
+
+    Returns ``(computed, failures, stages)`` where ``computed`` maps the
+    caller's global index to the point value and ``stages`` accumulates
+    per-stage seconds and cache counters across every chunk.
+    """
+    total = len(items)
+    if chunk_size is None:
+        chunk_size = total if workers <= 1 else max(
+            1, -(-total // (max(workers, 1) * 4)))
+    chunk_size = max(1, chunk_size)
+    starts = list(range(0, total, chunk_size))
+    chunk_items = [items[start:start + chunk_size] for start in starts]
+    payloads = [chunk_payload(chunk) for chunk in chunk_items]
+
+    computed: Dict[int, Any] = {}
+    fail_rows: Dict[int, Any] = {}
+    stages: Dict[str, float] = {}
+
+    def on_chunk(local: int, result) -> None:
+        rows, stats = result
+        for name, value in stats.items():
+            stages[name] = stages.get(name, 0.0) + value
+        for offset, row in enumerate(rows):
+            global_index = indices[starts[local] + offset]
+            if row[0] == "ok":
+                computed[global_index] = row[1]
+                record(global_index, row[1])
+            else:
+                fail_rows[global_index] = row
+
+    outcome = resilient_map(
+        chunk_task, payloads, workers=workers, policy=None,
+        timeout=(timeout * chunk_size if timeout else None), strict=False,
+        describe=lambda payload: f"chunk[{len(payload[2])} points]",
+        on_point=on_chunk)
+    for failure in outcome.failures:
+        start = starts[failure.index]
+        for offset in range(len(chunk_items[failure.index])):
+            fail_rows[indices[start + offset]] = failure
+
+    failures: List[PointFailure] = []
+    if fail_rows:
+        position = {global_index: local
+                    for local, global_index in enumerate(indices)}
+        targets = sorted(fail_rows)
+        if policy is not None or timeout is not None or strict:
+            # phase 2: the failed points get PR 2's full per-point
+            # semantics — retries with backoff, exact timeouts, fail-fast
+            retry_payloads = [point_payload(items[position[g]])
+                              for g in targets]
+
+            def on_retry(local: int, value) -> None:
+                computed[targets[local]] = value
+                record(targets[local], value)
+
+            retried = resilient_map(
+                point_task, retry_payloads, workers=workers,
+                policy=policy, timeout=timeout, strict=strict,
+                indices=targets,
+                describe=lambda payload: describe(payload[2]),
+                on_point=on_retry)
+            failures = retried.failures
+        else:
+            for global_index in targets:
+                row = fail_rows[global_index]
+                item = describe(items[position[global_index]])
+                if isinstance(row, PointFailure):
+                    failures.append(PointFailure(
+                        index=global_index, error_type=row.error_type,
+                        message=row.message, traceback=row.traceback,
+                        attempts=row.attempts, item=item))
+                else:
+                    failures.append(PointFailure(
+                        index=global_index, error_type=row[1],
+                        message=row[2], traceback=row[3],
+                        attempts=1, item=item))
+    return computed, failures, stages
+
+
+@dataclass
+class InputPoint:
+    """Projection at one input (workload-parameter) binding."""
+
+    inputs: Dict[str, float]       #: swept input -> value for this point
+    runtime: float                 #: projected whole-run wall seconds
+    ranking: List[str]             #: hot-spot sites, hottest first
+    top_label: str
+    memory_fraction: float
+
+
+@dataclass
+class InputSweepResult:
+    """A sweep over workload inputs with one symbolic tree.
+
+    Points are in row-major order over ``axes`` (last axis varies
+    fastest) or in the caller's order for an explicit point list.
+    ``timings`` carries per-stage seconds (``build`` / ``rebind`` /
+    ``compile`` / ``project``) and ``cache_stats`` the replay and
+    expression-cache counters, so the amortization is observable.
+    """
+
+    axes: Dict[str, List[float]]   #: input -> swept values ({} for lists)
+    base_inputs: Dict[str, float]  #: bindings held constant
+    points: List[InputPoint]
+    timings: Dict[str, float] = field(default_factory=dict)
+    cache_stats: Dict[str, float] = field(default_factory=dict)
+    failures: List[PointFailure] = field(default_factory=list)
+
+    @property
+    def parameters(self) -> List[str]:
+        if self.axes:
+            return list(self.axes)
+        names: List[str] = []
+        for point in self.points:
+            for name in point.inputs:
+                if name not in names:
+                    names.append(name)
+        return names
+
+    def point(self, **inputs: float) -> InputPoint:
+        """The point whose swept inputs match exactly."""
+        for candidate in self.points:
+            if candidate.inputs == inputs:
+                return candidate
+        raise AnalysisError(f"no sweep point with inputs {inputs}")
+
+    def runtime_curve(self) -> List[float]:
+        return [point.runtime for point in self.points]
+
+    def best(self) -> InputPoint:
+        """The fastest point (ties keep sweep order)."""
+        return min(self.points, key=lambda p: p.runtime)
+
+    def render(self) -> str:
+        names = self.parameters
+        header = "  ".join(f"{name:>12}" for name in names)
+        lines = [f"input sweep over {' x '.join(names) or '(none)'} "
+                 f"({len(self.points)} points"
+                 + (f", {len(self.failures)} failed" if self.failures
+                    else "") + ")",
+                 f"{header}  {'runtime':>10}  {'mem%':>6}  top hot spot"]
+        for point in self.points:
+            cells = "  ".join(f"{point.inputs.get(name, 0):12.4g}"
+                              for name in names)
+            lines.append(
+                f"{cells}  {point.runtime:10.4g}  "
+                f"{100 * point.memory_fraction:5.1f}%  {point.top_label}")
+        for failure in self.failures:
+            lines.append(failure.render())
+        return "\n".join(lines)
+
+
+def _input_combos(axes) -> Tuple[Dict[str, List[float]],
+                                 List[Dict[str, float]]]:
+    """Normalize an axes dict or explicit point list into point dicts."""
+    if isinstance(axes, dict):
+        if not axes or any(len(list(values)) == 0
+                           for values in axes.values()):
+            raise AnalysisError(
+                "input sweep needs at least one value per axis")
+        names = list(axes)
+        combos = [dict(zip(names, combo))
+                  for combo in itertools.product(*(axes[name]
+                                                   for name in names))]
+        return {name: list(values) for name, values in axes.items()}, combos
+    combos = [dict(point) for point in axes]
+    if not combos:
+        raise AnalysisError("input sweep needs at least one point")
+    return {}, combos
+
+
+def _input_chunk_task(payload):
+    """Process-pool task: bind + project a whole chunk of input points.
+
+    One symbolic build (first chunk per worker; replays after) amortizes
+    across every point; per-point errors are captured as rows, never
+    raised, so chunk-mates always complete.
+    """
+    sym, machine, combos, base_inputs, model_factory, k = payload
+    sym = _symbolic_for(sym)
+    before = _stage_snapshot(sym)
+    # the machine is fixed across an input sweep: build (and validate)
+    # the timing model once per chunk, not once per point
+    model = (model_factory or RooflineModel)(machine)
+    project_seconds = 0.0
+    rows = []
+    for combo in combos:
+        try:
+            bet = sym.bind({**base_inputs, **combo})
+            started = time.perf_counter()
+            projection = project_with_model(bet, model, k)
+            project_seconds += time.perf_counter() - started
+            rows.append(("ok", projection))
+        except Exception as exc:              # captured, re-raised in phase 2
+            rows.append(("fail", type(exc).__name__, str(exc),
+                         _tb.format_exc()))
+    return rows, _stage_delta(sym, before, project_seconds)
+
+
+def _input_point_task(payload):
+    """Process-pool task: one input point (phase-2 / retry dispatch)."""
+    sym, machine, combo, base_inputs, model_factory, k = payload
+    sym = _symbolic_for(sym)
+    bet = sym.bind({**base_inputs, **combo})
+    return project_machine(bet, machine, model_factory, k)
+
+
+def _input_point_to_dict(projection: Dict[str, Any]) -> Dict[str, Any]:
+    return {"runtime": projection["runtime"],
+            "ranking": list(projection["ranking"]),
+            "top_label": projection["top_label"],
+            "memory_fraction": projection["memory_fraction"]}
+
+
+def _default_input_key(program: Program, machine: MachineModel,
+                       axes: Dict[str, List[float]],
+                       combos: List[Dict[str, float]],
+                       base_inputs: Dict[str, float],
+                       entry: str, k: int) -> str:
+    return sweep_key(
+        program.fingerprint(), repr(machine),
+        sorted((name, tuple(values)) for name, values in axes.items())
+        if axes else [tuple(sorted(combo.items())) for combo in combos],
+        tuple(sorted(base_inputs.items())), entry, k)
+
+
+def sweep_inputs(program: Program, machine: MachineModel, axes,
+                 base_inputs: Optional[Dict[str, float]] = None,
+                 entry: str = "main",
+                 library=None,
+                 model_factory: Optional[Callable] = None,
+                 k: int = 10,
+                 workers: int = 1,
+                 chunk_size: Optional[int] = None,
+                 strict: bool = False,
+                 policy: Optional[RetryPolicy] = None,
+                 timeout: Optional[float] = None,
+                 checkpoint: Optional[str] = None,
+                 resume: bool = False,
+                 checkpoint_key: Optional[str] = None,
+                 validate: bool = True) -> InputSweepResult:
+    """Sweep workload inputs with one symbolic tree per worker.
+
+    Where :func:`sweep_grid` re-projects a fixed BET across machines,
+    this routes *input*-axis points through
+    :meth:`~repro.bet.SymbolicBET.rebind`: the tree structure is built
+    (and its expressions compiled) once, then each point replays only the
+    input-dependent annotations.  Points are shipped in contiguous
+    chunks, so each worker amortizes one recorded build across its whole
+    chunk; results are bit-identical to building a fresh BET per point.
+
+    Parameters
+    ----------
+    axes:
+        Either ``{input: values, ...}`` — points are the cross product in
+        row-major order (last axis varies fastest) — or an explicit
+        sequence of ``{input: value, ...}`` dicts, swept in order.
+    base_inputs:
+        Bindings held constant across the sweep (per-point values win).
+    chunk_size:
+        Points per shipped chunk (default: spread pending points about
+        four chunks per worker; serial runs use one chunk).
+    strict / policy / timeout / checkpoint / resume / checkpoint_key:
+        PR 2's fault semantics, preserved per *point*: failed points are
+        retried individually under ``policy`` with exact per-point
+        ``timeout``; ``strict=True`` fail-fasts with the canonical error;
+        completed points checkpoint by their input bindings and are
+        skipped on ``resume=True``.
+    """
+    axes_dict, combos = _input_combos(axes)
+    base = dict(base_inputs or {})
+    if validate:
+        ensure_valid_machine(machine)
+    started = time.perf_counter()
+
+    ckpt: Optional[SweepCheckpoint] = None
+    if checkpoint:
+        key = checkpoint_key or _default_input_key(
+            program, machine, axes_dict, combos, base, entry, k)
+        ckpt = SweepCheckpoint.load(checkpoint, key, resume=resume)
+
+    prior: Dict[int, Dict[str, Any]] = {}
+    pending_indices: List[int] = []
+    pending_combos: List[Dict[str, float]] = []
+    for index, combo in enumerate(combos):
+        stored = ckpt.get(overrides_key(combo)) if ckpt else None
+        if stored is not None:
+            prior[index] = stored
+        else:
+            pending_indices.append(index)
+            pending_combos.append(combo)
+
+    sym = SymbolicBET(program, entry=entry, library=library)
+
+    def record(global_index: int, projection: Dict[str, Any]) -> None:
+        if ckpt is not None:
+            ckpt.record(overrides_key(combos[global_index]),
+                        _input_point_to_dict(projection))
+
+    try:
+        computed, failures, stages = _run_chunked(
+            pending_combos, pending_indices,
+            chunk_payload=lambda chunk: (sym, machine, list(chunk), base,
+                                         model_factory, k),
+            point_payload=lambda combo: (sym, machine, combo, base,
+                                         model_factory, k),
+            chunk_task=_input_chunk_task, point_task=_input_point_task,
+            describe=overrides_key, record=record,
+            workers=workers, strict=strict, policy=policy,
+            timeout=timeout, chunk_size=chunk_size)
+    finally:
+        if ckpt is not None:
+            ckpt.flush()
+
+    points = []
+    for index, combo in enumerate(combos):
+        projection = prior.get(index) or computed.get(index)
+        if projection is not None:
+            points.append(InputPoint(inputs=dict(combo),
+                                     runtime=projection["runtime"],
+                                     ranking=list(projection["ranking"]),
+                                     top_label=projection["top_label"],
+                                     memory_fraction=projection[
+                                         "memory_fraction"]))
+    elapsed = time.perf_counter() - started
+    timings = {"build": stages.get("bet_build_seconds", 0.0),
+               "rebind": stages.get("bet_replay_seconds", 0.0),
+               "compile": stages.get("compile_seconds", 0.0),
+               "project": stages.get("project_seconds", 0.0),
+               "total": elapsed,
+               "workers": float(max(workers, 1)),
+               "points": float(len(points)),
+               "failed": float(len(failures)),
+               "resumed": float(len(prior))}
+    cache_stats = {"bet_builds": stages.get("bet_builds", 0.0),
+                   "bet_replays": stages.get("bet_replays", 0.0),
+                   "bet_shape_rebuilds": stages.get("bet_shape_rebuilds",
+                                                    0.0),
+                   "compiles": stages.get("compiles", 0.0),
+                   "compile_cache_hits": stages.get("compile_cache_hits",
+                                                    0.0),
+                   "parse_cache_hits": stages.get("parse_cache_hits",
+                                                  0.0)}
+    return InputSweepResult(axes=axes_dict, base_inputs=base,
+                            points=points, timings=timings,
+                            cache_stats=cache_stats, failures=failures)
+
+
+def _grid_chunk_task(payload):
+    """Process-pool task: a chunk of mixed machine x input grid cells.
+
+    Consecutive cells with identical input bindings reuse the current
+    tree without a rebind (row-major order makes runs of equal bindings
+    common when input axes come first in the grid dict).
+    """
+    sym, base_machine, cells, base_inputs, model_factory, k = payload
+    sym = _symbolic_for(sym)
+    before = _stage_snapshot(sym)
+    project_seconds = 0.0
+    rows = []
+    bound_key: Any = None
+    bet: Optional[BETNode] = None
+    for overrides in cells:
+        machine_part, input_part = _split_overrides(overrides)
+        try:
+            machine = _cell_machine(base_machine, overrides)
+            inputs = {**base_inputs, **input_part}
+            key = tuple(sorted(inputs.items()))
+            if bet is None or key != bound_key:
+                bet = sym.bind(inputs)
+                bound_key = key
+            started = time.perf_counter()
+            projection = project_machine(bet, machine, model_factory, k)
+            project_seconds += time.perf_counter() - started
+            rows.append(("ok", GridPoint(overrides=dict(overrides),
+                                         machine=machine, **projection)))
+        except Exception as exc:
+            rows.append(("fail", type(exc).__name__, str(exc),
+                         _tb.format_exc()))
+            bet, bound_key = None, None   # bind state unknown after a fault
+    return rows, _stage_delta(sym, before, project_seconds)
+
+
+def _grid_input_point_task(payload) -> GridPoint:
+    """Process-pool task: one mixed grid cell (phase-2 / retry dispatch)."""
+    sym, base_machine, overrides, base_inputs, model_factory, k = payload
+    sym = _symbolic_for(sym)
+    _, input_part = _split_overrides(overrides)
+    machine = _cell_machine(base_machine, overrides)
+    bet = sym.bind({**base_inputs, **input_part})
+    projection = project_machine(bet, machine, model_factory, k)
+    return GridPoint(overrides=dict(overrides), machine=machine,
+                     **projection)
 
 
 # -- batched full analyses ----------------------------------------------------

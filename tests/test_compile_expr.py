@@ -1,0 +1,174 @@
+"""Tests for the expression fast path: closure compilation, structural
+hash-consing, and the memoized parser (`repro.expressions.compile` /
+`expr` / `parser`).
+"""
+
+import math
+import pickle
+
+import pytest
+
+from repro.errors import ExpressionError, UnboundVariableError
+from repro.expressions import (
+    Binary, Bool, Compare, Func, Num, Unary, Var, as_expr,
+    clear_compile_cache, clear_parse_cache, compile_expr, compile_stats,
+    compiled_source, evaluate, intern_stats, parse_expr, parser_stats,
+)
+
+ENV = {"n": 7, "m": 3, "nx": 64, "size": 1000.0}
+
+
+class TestCompiledEvaluation:
+    def test_values_bit_identical(self):
+        cases = [
+            "n * m + 2",
+            "(n + 1) / 2",
+            "2 ^ 10",
+            "-n + m",
+            "n > m",
+            "n > 1 and m < 5",
+            "not (n == m)",
+            "min(n, m) + max(n, m)",
+            "ceil(n / m) * floor(size / 3)",
+            "sqrt(nx)",
+            "log2(nx)",
+            "3.5",
+            "n",
+        ]
+        for source in cases:
+            expr = parse_expr(source)
+            interpreted = expr._eval(ENV)
+            compiled = compile_expr(expr)(ENV)
+            assert compiled == interpreted
+            assert type(compiled) is type(interpreted), source
+
+    def test_evaluate_dispatches_to_compiled(self):
+        expr = parse_expr("n * m + size / 2")
+        assert expr.evaluate(ENV) == expr._eval(ENV)
+        # after the first evaluate the compiled closure is attached
+        assert getattr(expr, "_compiled", None) is not None
+
+    def test_int_coercion_matches_interpreter(self):
+        # _coerce folds whole-valued floats back to int at every node
+        expr = parse_expr("size / 4")      # 1000.0 / 4 -> 250 (int)
+        assert compile_expr(expr)(ENV) == expr._eval(ENV)
+        assert type(compile_expr(expr)(ENV)) is type(expr._eval(ENV))
+
+    def test_unbound_variable_error_preserved(self):
+        expr = parse_expr("n * missing")
+        with pytest.raises(UnboundVariableError):
+            compile_expr(expr)({"n": 2})
+        with pytest.raises(UnboundVariableError):
+            expr.evaluate({"n": 2})
+
+    def test_division_by_zero_error_preserved(self):
+        expr = parse_expr("n / (m - 3)")
+        with pytest.raises(ExpressionError):
+            compile_expr(expr)(ENV)
+        with pytest.raises(ExpressionError):
+            expr.evaluate(ENV)
+
+    def test_domain_error_preserved(self):
+        expr = parse_expr("sqrt(0 - n)")
+        with pytest.raises(ExpressionError):
+            compile_expr(expr)(ENV)
+
+    def test_compiled_source_is_inspectable(self):
+        expr = parse_expr("n + 1")
+        source = compiled_source(expr)
+        assert source and "_e['n']" in source
+
+    def test_cache_hit_on_equal_structure(self):
+        clear_compile_cache(reset_stats=True)
+        first = compile_expr(parse_expr("nx * 3 + 1"))
+        second = compile_expr(parse_expr("nx * 3 + 1"))
+        assert first is second
+        stats = compile_stats()
+        assert stats["cache_hits"] >= 1
+        assert stats["compiles"] >= 1
+
+    def test_deep_tree_falls_back_to_interpreter(self):
+        expr = Num(1)
+        for _ in range(400):                 # beyond the codegen depth cap
+            expr = Binary("+", expr, Num(1))
+        assert compile_expr(expr)({}) == expr._eval({})
+
+
+class TestParseMemoization:
+    def test_repeated_string_tokenizes_once(self):
+        # regression: evaluator used to re-parse string expressions on
+        # every call; the memoized parser must tokenize each source once
+        clear_parse_cache(reset_stats=True)
+        source = "n * m + nx / 4"
+        for _ in range(25):
+            evaluate(source, ENV)
+        stats = parser_stats()
+        assert stats["tokenize_calls"] == 1
+        assert stats["cache_hits"] == 24
+
+    def test_memoized_tree_is_shared(self):
+        clear_parse_cache()
+        assert parse_expr("n + 41") is parse_expr("n + 41")
+
+    def test_parse_failures_are_not_cached(self):
+        clear_parse_cache(reset_stats=True)
+        for _ in range(2):
+            with pytest.raises(ExpressionError):
+                parse_expr("n +")
+        assert parser_stats()["cache_hits"] == 0
+
+    def test_as_expr_string_goes_through_cache(self):
+        clear_parse_cache(reset_stats=True)
+        as_expr("m * 17")
+        as_expr("m * 17")
+        assert parser_stats()["cache_hits"] == 1
+
+
+class TestHashConsing:
+    def test_small_literals_are_interned(self):
+        assert Num(3) is Num(3)
+        assert Var("n") is Var("n")
+
+    def test_hash_is_cached_and_stable(self):
+        expr = parse_expr("n * (m + 2)")
+        assert hash(expr) == hash(expr)
+        assert hash(expr) == hash(parse_expr("n * (m + 2)"))
+
+    def test_equal_trees_compare_equal(self):
+        assert parse_expr("n + m * 2") == parse_expr("n + m * 2")
+        assert parse_expr("n + m * 2") != parse_expr("n + m * 3")
+
+    def test_intern_stats_exposed(self):
+        Num(5), Var("m")
+        stats = intern_stats()
+        assert stats["num"] >= 1
+        assert stats["var"] >= 1
+
+    def test_pickle_round_trip(self):
+        expr = parse_expr("min(n, m) + nx ^ 2")
+        expr.evaluate(ENV)                   # attach transient closure
+        clone = pickle.loads(pickle.dumps(expr))
+        assert clone == expr
+        assert hash(clone) == hash(expr)
+        assert clone.evaluate(ENV) == expr.evaluate(ENV)
+
+    def test_pickled_composite_reevaluates(self):
+        expr = Bool("and", [Compare(">", Var("n"), Num(1)),
+                            Unary("not", Compare("==", Var("m"), Num(0)))])
+        clone = pickle.loads(pickle.dumps(expr))
+        assert clone.evaluate(ENV) == expr.evaluate(ENV)
+
+
+class TestCompileStats:
+    def test_stats_shape(self):
+        stats = compile_stats()
+        for key in ("compiles", "cache_hits", "interp_fallbacks",
+                    "error_replays", "compile_seconds", "cache_size"):
+            assert key in stats
+
+    def test_clear_compile_cache(self):
+        compile_expr(parse_expr("nx + 123"))
+        clear_compile_cache(reset_stats=True)
+        stats = compile_stats()
+        assert stats["cache_size"] == 0
+        assert stats["compiles"] == 0

@@ -1,0 +1,146 @@
+"""Property-based tests (hypothesis) for the evaluation fast path:
+compiled closures must match the tree-walking interpreter *exactly*
+(values, result types, and raised error types), and symbolic BET
+replays must match fresh builds over arbitrary input bindings.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bet import SymbolicBET, build_bet
+from repro.errors import ExpressionError, UnboundVariableError
+from repro.expressions import (
+    Binary, Compare, Func, Num, Unary, Var, compile_expr,
+)
+from repro.skeleton.parser import parse_skeleton
+
+# -- strategies ---------------------------------------------------------------
+
+names = st.sampled_from(["n", "m", "k", "size"])
+numbers = st.one_of(
+    st.integers(min_value=-1000, max_value=1000),
+    st.floats(min_value=-1000, max_value=1000, allow_nan=False,
+              allow_infinity=False))
+
+
+def expressions(depth=3):
+    """Random trees including partial functions (division, sqrt, log)
+    that may legitimately raise — the property is that both evaluation
+    paths agree on *whether* and *how* they fail, not that they succeed.
+    """
+    base = st.one_of(numbers.map(Num), names.map(Var))
+    if depth == 0:
+        return base
+    sub = expressions(depth - 1)
+    return st.one_of(
+        base,
+        st.tuples(st.sampled_from(["+", "-", "*", "/", "%", "^"]),
+                  sub, sub).map(lambda t: Binary(t[0], t[1], t[2])),
+        st.tuples(st.sampled_from(["<", "<=", ">", ">=", "==", "!="]),
+                  sub, sub).map(lambda t: Compare(t[0], t[1], t[2])),
+        sub.map(lambda e: Unary("-", e)),
+        sub.map(lambda e: Unary("not", e)),
+        st.tuples(sub, sub).map(lambda t: Func("min", list(t))),
+        st.tuples(sub, sub).map(lambda t: Func("max", list(t))),
+        sub.map(lambda e: Func("sqrt", [e])),
+        sub.map(lambda e: Func("floor", [e])),
+        sub.map(lambda e: Func("log2", [e])),
+    )
+
+
+environments = st.fixed_dictionaries(
+    {},
+    optional={name: numbers for name in ["n", "m", "k", "size"]})
+
+
+def outcome(fn, *args):
+    """(value, None) on success, (None, error type) on failure."""
+    try:
+        return fn(*args), None
+    except (ExpressionError, UnboundVariableError) as exc:
+        return None, type(exc)
+    except (OverflowError, ZeroDivisionError) as exc:   # pragma: no cover
+        return None, type(exc)
+
+
+class TestCompiledMatchesInterpreter:
+    @given(expressions(), environments)
+    @settings(max_examples=300, deadline=None)
+    def test_same_value_type_and_errors(self, expr, env):
+        interpreted, interp_error = outcome(expr._eval, env)
+        compiled, compiled_error = outcome(compile_expr(expr), env)
+        assert compiled_error is interp_error
+        if interp_error is None:
+            assert compiled == interpreted
+            assert type(compiled) is type(interpreted)
+
+    @given(expressions(), environments)
+    @settings(max_examples=200, deadline=None)
+    def test_evaluate_dispatch_matches_interpreter(self, expr, env):
+        interpreted, interp_error = outcome(expr._eval, env)
+        dispatched, dispatch_error = outcome(expr.evaluate, env)
+        assert dispatch_error is interp_error
+        if interp_error is None:
+            assert dispatched == interpreted
+            assert type(dispatched) is type(interpreted)
+
+    @given(expressions())
+    @settings(max_examples=200, deadline=None)
+    def test_compile_is_deterministic(self, expr):
+        assert compile_expr(expr) is compile_expr(expr)
+
+
+# -- symbolic replay vs fresh builds ------------------------------------------
+
+SOURCE = """
+param n = 64
+param m = 8
+param pr = 0.3
+def kernel(k)
+  comp k * 2 flops
+  load k float64 from data
+end
+def main(n, m, pr)
+  for i = 0 : n as "outer"
+    if prob pr
+      comp n * m flops div m
+    else
+      comp n flops
+      store m float64 to data
+    end
+  end
+  call kernel(n * m)
+end
+"""
+
+PROGRAM = parse_skeleton(SOURCE)
+SYM = SymbolicBET(PROGRAM)           # shared on purpose: each example
+                                     # replays (or rebuilds) the same tape
+
+bindings = st.fixed_dictionaries({
+    "n": st.one_of(st.just(0.0), st.floats(min_value=1, max_value=4096,
+                                           allow_nan=False)),
+    "m": st.floats(min_value=1, max_value=64, allow_nan=False),
+    "pr": st.one_of(st.just(0.0), st.just(1.0),
+                    st.floats(min_value=0, max_value=1,
+                              allow_nan=False)),
+})
+
+
+def signature(node):
+    m = node.own_metrics
+    return (node.kind, str(node.stmt), node.note, node.prob,
+            node.num_iter, node.enr,
+            (m.flops, m.iops, m.div_flops, m.vec_flops, m.loads,
+             m.stores, m.load_bytes, m.store_bytes, m.static_size),
+            tuple(sorted(node.context.items())),
+            tuple(signature(child) for child in node.children))
+
+
+class TestReplayMatchesFreshBuild:
+    @given(bindings)
+    @settings(max_examples=150, deadline=None)
+    def test_rebind_equals_fresh_build(self, inputs):
+        assert signature(SYM.bind(inputs)) == \
+            signature(build_bet(PROGRAM, inputs=inputs))
