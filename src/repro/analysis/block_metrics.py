@@ -9,10 +9,12 @@ summing record totals partitions the projected runtime.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 from ..bet.nodes import BETNode
+from ..diagnostics import Diagnostic, DiagnosticSink
 from ..hardware.metrics import Metrics
 from ..hardware.roofline import BlockTime
 
@@ -36,6 +38,8 @@ class BlockRecord:
     total_memory: float
     total_overlap: float
     concurrency: float = 1.0  #: cores exploited by this block
+    poisoned: bool = False    #: projection was non-finite; totals zeroed
+    poison_reason: str = ""   #: which quantity went non-finite, and how
 
     @property
     def site(self) -> str:
@@ -50,13 +54,38 @@ class BlockRecord:
         return self.node.enr
 
 
-def characterize(root: BETNode, roofline) -> List[BlockRecord]:
+def _poison_reason(time: BlockTime, enr: float, total: float) -> str:
+    """Name the first non-finite quantity in a block projection, or ''.
+
+    Checked in dependency order so the reason points at the *cause*
+    (a NaN per-invocation time) rather than a symptom (the NaN total
+    it propagates into).
+    """
+    for label, value in (("per-invocation compute time", time.compute),
+                         ("per-invocation memory time", time.memory),
+                         ("per-invocation overlap time", time.overlap),
+                         ("expected repetitions (ENR)", enr),
+                         ("whole-run total", total)):
+        if not math.isfinite(value):
+            return f"{label} is {value!r}"
+    return ""
+
+
+def characterize(root: BETNode, roofline,
+                 sink: Optional[DiagnosticSink] = None) -> List[BlockRecord]:
     """Project the wall time of every code block in the BET.
 
     ``roofline`` is any object with ``machine`` and
     ``block_time(metrics) -> BlockTime`` (RooflineModel, ECMModel, ...).
     Returns records in pre-order; blocks whose ENR is zero are included
     with zero totals so reports stay complete.
+
+    A block whose projection is non-finite (NaN or infinite metrics,
+    times, or ENR) is **poisoned** rather than propagated: its totals
+    are zeroed so whole-run sums stay finite, the record carries
+    ``poisoned=True`` with a ``poison_reason`` naming the offending
+    quantity, and — when ``sink`` is given — a ``SKOP501`` diagnostic
+    records the provenance (see DESIGN.md Sec. 9).
     """
     machine = roofline.machine
     records: List[BlockRecord] = []
@@ -73,9 +102,27 @@ def characterize(root: BETNode, roofline) -> List[BlockRecord]:
         overlap_fraction = time.overlap / serial_min if serial_min > 0 \
             else 0.0
         total_overlap = min(total_compute, total_memory) * overlap_fraction
+        total = total_compute + total_memory - total_overlap
+        reason = _poison_reason(time, node.enr, total)
+        if reason:
+            if sink is not None:
+                sink.add(Diagnostic(
+                    code="SKOP501",
+                    message=f"block {node.label} has a non-finite "
+                            f"projection: {reason}; its time is excluded "
+                            f"from totals",
+                    severity="warning", site=node.site, phase="project",
+                    hint="check the block's metrics expressions for "
+                         "overflow or division by zero"))
+            records.append(BlockRecord(
+                node=node, metrics=metrics, time=time,
+                total=0.0, total_compute=0.0, total_memory=0.0,
+                total_overlap=0.0, concurrency=compute_speedup,
+                poisoned=True, poison_reason=reason))
+            continue
         records.append(BlockRecord(
             node=node, metrics=metrics, time=time,
-            total=total_compute + total_memory - total_overlap,
+            total=total,
             total_compute=total_compute,
             total_memory=total_memory,
             total_overlap=total_overlap,

@@ -39,6 +39,7 @@ class SweepPoint:
     ranking: List[str]             #: hot-spot sites, hottest first
     top_label: str
     memory_fraction: float         #: non-overlapped memory share
+    completeness: float = 1.0      #: modeled fraction (1.0 = no quarantine)
 
     def common_with(self, other: "SweepPoint", k: int = 10) -> int:
         return len(common_spots(self.ranking[:k], other.ranking[:k]))
@@ -65,6 +66,14 @@ class SweepResult:
     def baseline(self) -> SweepPoint:
         return self.points[0]
 
+    @property
+    def completeness(self) -> float:
+        """Modeled fraction of the swept BET (< 1.0 after a degraded
+        build quarantined part of the program)."""
+        if not self.points:
+            return 1.0
+        return min(point.completeness for point in self.points)
+
     def ranking_stability(self, k: int = 10) -> List[float]:
         """Per point: fraction of the baseline top-k still in the top-k."""
         out = []
@@ -78,9 +87,13 @@ class SweepResult:
 
     def render(self) -> str:
         stability = self.ranking_stability() if self.points else []
-        lines = [f"sensitivity sweep over {self.parameter!r}"
-                 + (f" ({len(self.failures)} point(s) failed)"
-                    if self.failures else ""),
+        head = f"sensitivity sweep over {self.parameter!r}"
+        if self.failures:
+            head += f" ({len(self.failures)} point(s) failed)"
+        if self.completeness < 1.0:
+            head += (f" [degraded model: {100 * self.completeness:.1f}% "
+                     f"of the program projected]")
+        lines = [head,
                  f"{'value':>12}  {'runtime':>10}  {'mem%':>6}  "
                  f"{'top-10 kept':>11}  top hot spot"]
         for point, kept in zip(self.points, stability):
@@ -117,11 +130,15 @@ def project_with_model(bet: BETNode, model, k: int = 10) -> Dict[str, object]:
     runtime = total_time(records)
     hot_total = sum(s.projected_time for s in spots[:k])
     hot_memory = sum(s.memory_time - s.overlap_time for s in spots[:k])
+    # a degraded build leaves its BuildReport on the root's ``meta``;
+    # carry its completeness so every downstream report shows it
+    report = getattr(bet, "meta", None)
     return {
         "runtime": runtime,
         "ranking": [s.site for s in spots],
         "top_label": spots[0].label if spots else "-",
         "memory_fraction": hot_memory / hot_total if hot_total else 0.0,
+        "completeness": getattr(report, "completeness", 1.0),
     }
 
 
@@ -147,7 +164,8 @@ def _sweep_point_to_dict(point: SweepPoint) -> Dict:
     """JSON-ready checkpoint payload for one completed sweep value."""
     return {"value": point.value, "runtime": point.runtime,
             "ranking": list(point.ranking), "top_label": point.top_label,
-            "memory_fraction": point.memory_fraction}
+            "memory_fraction": point.memory_fraction,
+            "completeness": point.completeness}
 
 
 def _sweep_point_from_dict(payload: Dict, base_machine: MachineModel,
@@ -161,7 +179,8 @@ def _sweep_point_from_dict(payload: Dict, base_machine: MachineModel,
                       runtime=payload["runtime"],
                       ranking=list(payload["ranking"]),
                       top_label=payload["top_label"],
-                      memory_fraction=payload["memory_fraction"])
+                      memory_fraction=payload["memory_fraction"],
+                      completeness=payload.get("completeness", 1.0))
 
 
 def sweep_machine(bet: BETNode,

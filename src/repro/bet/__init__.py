@@ -24,19 +24,29 @@ Public API
     count, per-invocation metrics, and ENR.
 :class:`BETBuilder` / :func:`build_bet`
     Construct the BET for a program and input bindings.
+:func:`build_bet_degraded` / :class:`BuildReport` / :class:`QuarantinedNode`
+    Fault-isolating construction: failing subtrees are quarantined with
+    diagnostics, the rest of the model builds and projects, and the
+    report carries a ``completeness`` fraction.
 """
 
 from .context import Context, merge_contexts
-from .nodes import BETNode
-from .builder import BETBuilder, build_bet, expected_break_iterations
+from .nodes import BETNode, QuarantinedNode
+from .builder import (
+    BETBuilder, BuildReport, build_bet, build_bet_degraded,
+    expected_break_iterations,
+)
 from .symbolic import SymbolicBET, ShapeChanged
 
 __all__ = [
     "Context",
     "merge_contexts",
     "BETNode",
+    "QuarantinedNode",
     "BETBuilder",
+    "BuildReport",
     "build_bet",
+    "build_bet_degraded",
     "expected_break_iterations",
     "SymbolicBET",
     "ShapeChanged",

@@ -23,11 +23,13 @@ computed, so the build cost is independent of the input size.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace as _dc_replace
 from typing import Dict, List, Optional, Sequence
 
+from ..diagnostics import Diagnostic, DiagnosticSink, EvalBudget
 from ..errors import (
-    ContextExplosionError, ModelError, RecursionLimitError,
+    BudgetExceededError, ContextExplosionError, ExpressionError, ModelError,
+    RecursionLimitError, ReproError, UnboundVariableError,
 )
 from ..expressions import evaluate, evaluate_bool
 from ..hardware.instmix import LibraryDatabase, default_library
@@ -38,7 +40,7 @@ from ..skeleton.ast_nodes import (
 )
 from ..skeleton.bst import Program
 from .context import Context, merge_contexts
-from .nodes import BETNode
+from .nodes import BETNode, QuarantinedNode
 
 _EPSILON = 1e-12
 
@@ -82,17 +84,33 @@ class BETBuilder:
         Guard against the 2^B context blow-up (paper Sec. IV-B).
     max_recursion:
         Maximum times one function may appear in the mount chain.
+    budget:
+        Optional :class:`~repro.diagnostics.EvalBudget`.  In strict
+        builds a crossed ceiling raises
+        :class:`~repro.errors.BudgetExceededError`; in degraded builds
+        (:meth:`build_degraded`) it quarantines the offending statement.
+    sink:
+        Diagnostic sink for degraded builds (one is created on demand).
     """
 
     def __init__(self, program: Program,
                  library: Optional[LibraryDatabase] = None,
                  max_contexts: int = 512,
-                 max_recursion: int = 8):
+                 max_recursion: int = 8,
+                 budget: Optional[EvalBudget] = None,
+                 sink: Optional[DiagnosticSink] = None):
         self.program = program
         self.library = library if library is not None else default_library()
         self.max_contexts = max_contexts
         self.max_recursion = max_recursion
+        self.budget = budget
+        self.sink = sink
+        self.degraded = False
         self._call_stack: List[str] = []
+        self._quarantined_ids: set = set()
+        self._quarantined_nodes: List[QuarantinedNode] = []
+        self._truncated_sites: set = set()
+        self._expired = False
         # optional annotation-tape recorder (repro.bet.symbolic); hooks
         # observe the build without altering any computation
         self._rec = None
@@ -105,6 +123,8 @@ class BETBuilder:
 
         The returned root has ENR values already computed.
         """
+        if self.budget is not None:
+            self.budget.start_clock()
         env = self._initial_env(inputs or {})
         func = self.program.function(entry)
         missing = [p for p in func.params if p not in env]
@@ -142,14 +162,32 @@ class BETBuilder:
         if rec is not None:
             rec.on_body(result)
         merge = merge_contexts if rec is None else rec.merge
+        limit = self.max_contexts
+        if self.budget is not None and self.budget.max_contexts is not None:
+            limit = min(limit, self.budget.max_contexts)
         for statement in statements:
             result.contexts = merge(result.contexts)
-            if len(result.contexts) > self.max_contexts:
-                raise ContextExplosionError(len(result.contexts),
-                                            self.max_contexts)
+            if len(result.contexts) > limit:
+                if self.degraded:
+                    result.contexts = self._truncate_contexts(
+                        result.contexts, limit, statement)
+                elif limit < self.max_contexts:
+                    raise BudgetExceededError(
+                        "contexts", limit,
+                        f"{len(result.contexts)} live contexts exceed the "
+                        f"budget ceiling {limit} at {statement.site}")
+                else:
+                    raise ContextExplosionError(len(result.contexts),
+                                                self.max_contexts)
             if not result.contexts:
                 break
-            self._dispatch(statement, block, result)
+            if self.degraded:
+                self._dispatch_guarded(statement, block, result)
+            else:
+                if self.budget is not None:
+                    self.budget.check_clock(statement.site)
+                    self._check_statement_budget(statement)
+                self._dispatch(statement, block, result)
         result.contexts = merge(result.contexts)
         return result
 
@@ -188,6 +226,177 @@ class BETBuilder:
         else:
             raise ModelError(
                 f"unsupported statement {type(statement).__name__}")
+
+    # -- degraded mode -------------------------------------------------------
+    #: statement attributes that may hold expressions (budget checks)
+    _EXPR_ATTRS = ("expr", "lo", "hi", "step", "expect", "count", "flops",
+                   "iops", "div_flops", "size", "prob")
+
+    def _check_statement_budget(self, statement: Statement) -> None:
+        """Structural expression ceilings for one statement's own
+        expressions (subtree statements are checked when dispatched)."""
+        budget = self.budget
+        where = statement.site
+        for attribute in self._EXPR_ATTRS:
+            value = getattr(statement, attribute, None)
+            if value is not None and hasattr(value, "children"):
+                budget.check_expr(value, where)
+        if isinstance(statement, Call):
+            for arg in statement.args:
+                if hasattr(arg, "children"):
+                    budget.check_expr(arg, where)
+        elif isinstance(statement, ArrayDecl):
+            for dim in statement.dims:
+                if hasattr(dim, "children"):
+                    budget.check_expr(dim, where)
+        elif isinstance(statement, Branch):
+            for arm in statement.arms:
+                if arm.expr is not None and hasattr(arm.expr, "children"):
+                    budget.check_expr(arm.expr, where)
+
+    def _dispatch_guarded(self, statement: Statement, block: BETNode,
+                          result: _BodyResult) -> None:
+        """Degraded-mode dispatch: any :class:`ReproError` from this
+        statement (or its subtree) rolls the build state back and
+        quarantines the statement instead of failing the build.
+
+        The snapshot covers everything ``_dispatch`` can mutate for the
+        *current* body: the live contexts, the escape masses, the
+        block's direct children (new subtrees hang under new children),
+        and the block's folded leaf metrics.
+        """
+        budget = self.budget
+        if budget is not None and not self._expired and budget.expired():
+            self._expired = True
+        if self._expired:
+            self._quarantine(statement, block, result, BudgetExceededError(
+                "wall_clock", budget.max_seconds,
+                f"build exceeded its {budget.max_seconds:g}s budget "
+                f"before {statement.site}"))
+            return
+        if budget is not None:
+            try:
+                self._check_statement_budget(statement)
+            except BudgetExceededError as exc:
+                self._quarantine(statement, block, result, exc)
+                return
+        saved_contexts = list(result.contexts)
+        saved_escapes = dict(result.escapes)
+        saved_children = len(block.children)
+        saved_metrics = block.own_metrics
+        try:
+            self._dispatch(statement, block, result)
+        except ReproError as exc:
+            result.contexts = saved_contexts
+            result.escapes = saved_escapes
+            del block.children[saved_children:]
+            block.own_metrics = saved_metrics
+            self._quarantine(statement, block, result, exc)
+
+    def _quarantine(self, statement: Statement, block: BETNode,
+                    result: _BodyResult, exc: ReproError) -> None:
+        diagnostic = self.sink.add(self._diagnostic_for(exc, statement))
+        prob = min(sum(ctx.prob for ctx in result.contexts), 1.0)
+        sample_env = max(result.contexts, key=lambda c: c.prob).env \
+            if result.contexts else {}
+        node = QuarantinedNode(statement, diagnostic, sample_env,
+                               prob=prob, parent=block)
+        self._quarantined_nodes.append(node)
+        for sub in statement.walk():
+            self._quarantined_ids.add(sub.node_id)
+
+    def _truncate_contexts(self, contexts: List[Context], limit: int,
+                           statement: Statement) -> List[Context]:
+        """Degraded-mode context-explosion handling: keep the ``limit``
+        most probable contexts (deterministic: stable sort by descending
+        probability) and record the dropped probability mass once per
+        site."""
+        order = sorted(range(len(contexts)),
+                       key=lambda i: -contexts[i].prob)
+        keep = sorted(order[:limit])
+        dropped = sum(contexts[i].prob for i in order[limit:])
+        if statement.site not in self._truncated_sites:
+            self._truncated_sites.add(statement.site)
+            self.sink.emit(
+                "SKOP402",
+                f"{len(contexts)} live contexts exceed {limit} at "
+                f"{statement.site}; kept the {limit} most probable "
+                f"(dropped probability mass {dropped:.3g})",
+                severity="warning", source_name=self.program.source_name,
+                line=statement.line, site=statement.site, phase="build",
+                hint="raise max_contexts or correlate the branches")
+        return [contexts[i] for i in keep]
+
+    def _diagnostic_for(self, exc: ReproError,
+                        statement: Optional[Statement]) -> Diagnostic:
+        if isinstance(exc, BudgetExceededError):
+            code = {"wall_clock": "SKOP602",
+                    "contexts": "SKOP603"}.get(exc.resource, "SKOP601")
+        elif isinstance(exc, UnboundVariableError):
+            code = "SKOP401"
+        elif isinstance(exc, ContextExplosionError):
+            code = "SKOP402"
+        elif isinstance(exc, RecursionLimitError):
+            code = "SKOP403"
+        elif isinstance(exc, ExpressionError):
+            code = "SKOP404"
+        else:
+            code = "SKOP405"
+        site = statement.site if statement is not None else ""
+        line = statement.line if statement is not None else 0
+        return Diagnostic(
+            code=code, message=str(exc), severity="error",
+            source_name=self.program.source_name, line=line, site=site,
+            phase="build",
+            hint="subtree quarantined; projections exclude it"
+            if statement is not None else "")
+
+    def build_degraded(self, entry: str = "main",
+                       inputs: Optional[Dict[str, float]] = None
+                       ) -> "BuildReport":
+        """Build with per-statement fault isolation.
+
+        Statements whose subtree faults (unbound variable, context
+        explosion, recursion limit, budget ceiling, …) are replaced by
+        :class:`~repro.bet.nodes.QuarantinedNode` stand-ins carrying the
+        diagnostic; everything else builds and projects normally.  Never
+        raises for model-level faults — the returned
+        :class:`BuildReport` carries the root (``None`` only when the
+        entry itself is unusable), all diagnostics, and the fraction of
+        skeleton statements still modeled (``completeness``).
+        """
+        if self.sink is None:
+            self.sink = DiagnosticSink()
+        self.degraded = True
+        self._quarantined_ids = set()
+        self._quarantined_nodes = []
+        self._truncated_sites = set()
+        self._expired = False
+        if self.budget is not None:
+            self.budget.start_clock()
+        root: Optional[BETNode] = None
+        try:
+            root = self.build(entry=entry, inputs=inputs)
+        except ReproError as exc:
+            # pre-flight faults: unknown entry, unbound entry parameters
+            diagnostic = self._diagnostic_for(exc, None)
+            if isinstance(exc, ModelError) and "not bound" in str(exc):
+                diagnostic = _dc_replace(diagnostic, code="SKOP406")
+            self.sink.add(diagnostic)
+        total = self.program.statement_count()
+        if root is None:
+            completeness = 0.0
+        elif total == 0:
+            completeness = 1.0
+        else:
+            completeness = max(
+                0.0, 1.0 - len(self._quarantined_ids) / total)
+        report = BuildReport(root=root, diagnostics=self.sink,
+                             completeness=completeness,
+                             quarantined=list(self._quarantined_nodes))
+        if root is not None:
+            root.meta = report
+        return report
 
     # -- leaves ---------------------------------------------------------------
     def _leaf(self, statement: Statement, block: BETNode,
@@ -441,6 +650,45 @@ class BETBuilder:
         result.contexts = remaining
 
 
+@dataclass
+class BuildReport:
+    """Outcome of a degraded-mode BET build.
+
+    Attributes
+    ----------
+    root:
+        The (possibly partial) BET; ``None`` when the entry function
+        itself could not be mounted.
+    diagnostics:
+        Everything that went wrong, as a
+        :class:`~repro.diagnostics.DiagnosticSink`.
+    completeness:
+        Fraction of the skeleton's statements still represented in the
+        BET: ``1 − quarantined/total`` (static statement counts, so the
+        number is input-independent and comparable across sweeps).
+    quarantined:
+        The :class:`~repro.bet.nodes.QuarantinedNode` stand-ins, in
+        build order.
+    """
+
+    root: Optional[BETNode]
+    diagnostics: DiagnosticSink
+    completeness: float
+    quarantined: List[QuarantinedNode] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when the full model built: a root exists, nothing was
+        quarantined, and no error diagnostics were recorded."""
+        return self.root is not None and not self.quarantined \
+            and not self.diagnostics.has_errors()
+
+    def __repr__(self):
+        return (f"<BuildReport completeness={self.completeness:.3f} "
+                f"quarantined={len(self.quarantined)} "
+                f"diagnostics={len(self.diagnostics)}>")
+
+
 def build_bet(program: Program, inputs: Optional[Dict[str, float]] = None,
               entry: str = "main",
               library: Optional[LibraryDatabase] = None,
@@ -448,3 +696,21 @@ def build_bet(program: Program, inputs: Optional[Dict[str, float]] = None,
     """Convenience wrapper: construct a BET in one call."""
     builder = BETBuilder(program, library=library, **builder_kwargs)
     return builder.build(entry=entry, inputs=inputs)
+
+
+def build_bet_degraded(program: Program,
+                       inputs: Optional[Dict[str, float]] = None,
+                       entry: str = "main",
+                       library: Optional[LibraryDatabase] = None,
+                       budget: Optional[EvalBudget] = None,
+                       sink: Optional[DiagnosticSink] = None,
+                       **builder_kwargs) -> BuildReport:
+    """Convenience wrapper: degraded-mode build in one call.
+
+    Unlike :func:`build_bet` (the strict API default), model-level
+    faults quarantine their subtree instead of raising; see
+    :meth:`BETBuilder.build_degraded`.
+    """
+    builder = BETBuilder(program, library=library, budget=budget,
+                         sink=sink, **builder_kwargs)
+    return builder.build_degraded(entry=entry, inputs=inputs)

@@ -48,7 +48,8 @@ class BETNode:
     """
 
     __slots__ = ("kind", "stmt", "context", "prob", "num_iter", "parent",
-                 "children", "own_metrics", "enr", "note", "parallel")
+                 "children", "own_metrics", "enr", "note", "parallel",
+                 "meta")
 
     def __init__(self, kind: str, stmt: Optional[Statement],
                  context: Optional[Dict] = None, prob: float = 1.0,
@@ -66,6 +67,7 @@ class BETNode:
         self.enr = 0.0
         self.note = note
         self.parallel = parallel    # iterations independent (forall)
+        self.meta = None            # BuildReport on degraded-build roots
         if parent is not None:
             parent.children.append(self)
 
@@ -156,6 +158,30 @@ class BETNode:
                 f"iter={self.num_iter:.3g} enr={self.enr:.3g}>")
 
 
+class QuarantinedNode(BETNode):
+    """Stand-in for a subtree that failed to build (degraded mode).
+
+    Carries the :class:`~repro.diagnostics.Diagnostic` explaining the
+    fault.  Its kind ``"quarantine"`` is deliberately *not* in
+    :data:`BLOCK_KINDS`, so projections skip it (contributing zero time
+    rather than garbage) while tree renderings and completeness
+    accounting still see it.
+    """
+
+    __slots__ = ("diagnostic",)
+
+    def __init__(self, stmt: Optional[Statement], diagnostic,
+                 context: Optional[Dict] = None, prob: float = 1.0,
+                 parent: Optional[BETNode] = None):
+        super().__init__("quarantine", stmt, context, prob=prob,
+                         parent=parent, note="quarantined")
+        self.diagnostic = diagnostic
+
+    def __repr__(self):
+        code = getattr(self.diagnostic, "code", "?")
+        return f"<QuarantinedNode {self.site} {code}>"
+
+
 def render_tree(root: BETNode, max_depth: int = 12,
                 show_metrics: bool = False) -> str:
     """ASCII rendering of a BET (used by reports and the CLI)."""
@@ -174,6 +200,10 @@ def render_tree(root: BETNode, max_depth: int = 12,
             m = node.own_metrics
             extra += (f"  [flops={m.flops:.4g} bytes={m.total_bytes:.4g}"
                       f" enr={node.enr:.4g}]")
+        if node.kind == "quarantine":
+            diagnostic = getattr(node, "diagnostic", None)
+            if diagnostic is not None:
+                extra += f"  !! {diagnostic.code}: {diagnostic.message}"
         lines.append(f"{indent}{node.kind}: {node.label}{extra}")
         for child in node.children:
             visit(child, depth + 1)

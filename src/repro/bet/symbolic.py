@@ -32,6 +32,7 @@ import math
 from time import perf_counter
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from ..errors import BudgetExceededError
 from ..expressions.compile import compile_expr
 from ..expressions.expr import as_expr
 from ..hardware.instmix import LibraryDatabase
@@ -148,10 +149,21 @@ class _Recorder:
         self._body = None
         self._keep = None
 
-    def replay(self, inputs: Dict[str, float]) -> None:
+    def replay(self, inputs: Dict[str, float], budget=None) -> None:
         R = list(self.template)
         R[0] = inputs
-        for op in self.tape:
+        if budget is None or budget.max_seconds is None:
+            for op in self.tape:
+                op(R)
+            return
+        # wall-clock-guarded replay: the per-op check is hoisted to every
+        # 256 ops so a tape of cheap closures stays cheap, while a hung
+        # replay is still cut off within a fraction of its budget
+        budget.start_clock()
+        check = budget.check_clock
+        for index, op in enumerate(self.tape):
+            if not index % 256:
+                check("symbolic replay")
             op(R)
 
     def _block_reset(self, node: BETNode) -> None:
@@ -725,6 +737,7 @@ class SymbolicBET:
         self.entry = entry
         self.library = library
         self.builder_kwargs = builder_kwargs
+        self.budget = builder_kwargs.get("budget")
         self._recorder: Optional[_Recorder] = None
         self._root: Optional[BETNode] = None
         self.stats: Dict[str, float] = {
@@ -746,8 +759,12 @@ class SymbolicBET:
         if self._recorder is not None:
             started = perf_counter()
             try:
-                self._recorder.replay(inputs)
+                self._recorder.replay(inputs, budget=self.budget)
                 self._root.compute_enr(1.0)
+            except BudgetExceededError:
+                # a crossed budget is a diagnosis, not a shape change —
+                # a rebuild would only hang for longer
+                raise
             except Exception:
                 # structural change or evaluation error: a full rebuild
                 # either produces the new tree or raises the canonical

@@ -14,7 +14,10 @@
           --param bandwidth=14e9,28e9,56e9 --workers 4
                                          # design-space sweep (1 param) or
                                          # grid (repeat --param), parallel
-    repro lint sord                      # skeleton diagnostics (W001-W009)
+    repro lint sord                      # skeleton diagnostics (W001-W011)
+    repro check model.skop               # parse + lint with error recovery:
+                                         # every diagnostic in one pass
+                                         # (exit 1 on errors; --json)
     repro trace cfd --out trace.json     # chrome://tracing of simulated time
     repro translate kernel.py --entry main --size n=4096
     repro experiment list                # the paper's tables/figures
@@ -181,6 +184,12 @@ def build_parser() -> argparse.ArgumentParser:
         if command in ("project", "breakdown", "hotpath"):
             p.add_argument("--json", action="store_true",
                            help="emit machine-readable JSON")
+        if command in ("project", "breakdown", "dataflow", "hotpath"):
+            p.add_argument("--keep-going", action="store_true",
+                           dest="keep_going",
+                           help="degraded mode: quarantine faulty "
+                                "subtrees instead of aborting and report "
+                                "model completeness + diagnostics")
         if command == "hotpath":
             p.add_argument("--dot", action="store_true",
                            help="emit Graphviz DOT instead of ASCII")
@@ -235,6 +244,19 @@ def build_parser() -> argparse.ArgumentParser:
         "lint", help="static diagnostics for a workload skeleton")
     lint_parser.add_argument("workload")
 
+    check_parser = sub.add_parser(
+        "check", help="parse + lint skeleton files with error recovery: "
+                      "reports every diagnostic in one pass and exits 1 "
+                      "when any is an error")
+    check_parser.add_argument(
+        "targets", nargs="+", metavar="FILE",
+        help="path to a .skop file, or a workload name")
+    check_parser.add_argument("--json", action="store_true",
+                              help="emit machine-readable JSON")
+    check_parser.add_argument("--no-snippets", action="store_true",
+                              dest="no_snippets",
+                              help="omit source snippets and carets")
+
     bet_parser = sub.add_parser(
         "bet", help="build and render the Bayesian Execution Tree")
     bet_parser.add_argument("workload")
@@ -242,6 +264,11 @@ def build_parser() -> argparse.ArgumentParser:
                             help="maximum rendered depth")
     bet_parser.add_argument("--metrics", action="store_true",
                             help="annotate blocks with metrics and ENR")
+    bet_parser.add_argument("--keep-going", action="store_true",
+                            dest="keep_going",
+                            help="degraded mode: quarantine faulty "
+                                 "subtrees (rendered with their "
+                                 "diagnostics) instead of aborting")
     bet_parser.add_argument("--set", dest="bindings", action="append",
                             metavar="NAME=VALUE")
 
@@ -305,47 +332,84 @@ def _cmd_profile(args) -> str:
 
 
 def _model_selection(args):
+    """(program, records, selection, report) for the model commands.
+
+    ``report`` is ``None`` on the strict path; with ``--keep-going`` it is
+    the degraded :class:`~repro.bet.BuildReport` whose sink also collected
+    any projection poisoning.
+    """
+    from .diagnostics import DiagnosticSink
     program, inputs, machine = _load(args)
-    root = build_bet(program, inputs=inputs)
-    records = characterize(root, RooflineModel(machine))
+    report = None
+    if getattr(args, "keep_going", False):
+        from .bet import build_bet_degraded
+        report = build_bet_degraded(program, inputs=inputs,
+                                    sink=DiagnosticSink())
+        if report.root is None:
+            raise ReproError("model could not be built even in degraded "
+                             "mode:\n" + report.diagnostics.render())
+        root = report.root
+        records = characterize(root, RooflineModel(machine),
+                               sink=report.diagnostics)
+    else:
+        root = build_bet(program, inputs=inputs)
+        records = characterize(root, RooflineModel(machine))
     return program, records, select_hotspots(
         records, program.static_size(), coverage=1.0, leanness=1.0,
-        max_spots=args.top)
+        max_spots=args.top), report
+
+
+def _degraded_footer(report) -> str:
+    """Completeness + diagnostics lines appended by ``--keep-going``."""
+    if report is None:
+        return ""
+    lines = [f"model completeness: {100 * report.completeness:.1f}% "
+             f"({len(report.quarantined)} subtree(s) quarantined)"]
+    if report.diagnostics:
+        lines.append(report.diagnostics.render())
+    return "\n" + "\n".join(lines)
 
 
 def _cmd_project(args) -> str:
-    program, _, selection = _model_selection(args)
+    program, _, selection, report = _model_selection(args)
     if getattr(args, "json", False):
-        from .export import selection_to_dict, to_json
-        return to_json(selection_to_dict(selection))
+        from .export import diagnostics_to_dicts, selection_to_dict, to_json
+        payload = selection_to_dict(selection)
+        if report is not None:
+            payload["completeness"] = report.completeness
+            payload["diagnostics"] = diagnostics_to_dicts(
+                report.diagnostics)
+        return to_json(payload)
     return format_hotspot_table(
         selection, title=f"projected hot spots: {args.workload} on "
-                         f"{args.machine}")
+                         f"{args.machine}") + _degraded_footer(report)
 
 
 def _cmd_breakdown(args) -> str:
-    _, _, selection = _model_selection(args)
+    _, _, selection, report = _model_selection(args)
     rows = performance_breakdown(selection.spots)
     if getattr(args, "json", False):
         from .export import breakdown_to_dict, to_json
         return to_json(breakdown_to_dict(rows))
     return format_breakdown_table(
-        rows, title=f"breakdown: {args.workload} on {args.machine}")
+        rows, title=f"breakdown: {args.workload} on "
+                    f"{args.machine}") + _degraded_footer(report)
 
 
 def _cmd_dataflow(args) -> str:
     from .analysis.dataflow import format_dataflow
-    _, _, selection = _model_selection(args)
-    return format_dataflow(selection.spots)
+    _, _, selection, report = _model_selection(args)
+    return format_dataflow(selection.spots) + _degraded_footer(report)
 
 
 def _cmd_hotpath(args) -> str:
-    _, _, selection = _model_selection(args)
+    _, _, selection, report = _model_selection(args)
     path = extract_hot_path(selection.spots)
     if getattr(args, "json", False):
         from .export import hotpath_to_dict, to_json
         return to_json(hotpath_to_dict(path))
-    return path.render_dot() if args.dot else path.render_ascii()
+    out = path.render_dot() if args.dot else path.render_ascii()
+    return out if args.dot else out + _degraded_footer(report)
 
 
 def _parse_sweep_params(pairs: List[str]) -> Dict[str, List[float]]:
@@ -464,10 +528,86 @@ def _cmd_lint(args) -> str:
     return "\n".join(str(w) for w in warnings)
 
 
+def _check_target(target: str):
+    """Resolve one ``repro check`` argument to (source_name, text).
+
+    A path to an existing file wins; otherwise the target is tried as a
+    workload name (matching every other subcommand's addressing).
+    """
+    import os
+    if os.path.exists(target):
+        with open(target, "r", encoding="utf-8") as handle:
+            return target, handle.read()
+    if target in names():
+        return f"<{target}.skop>", spec(target).skeleton_text
+    raise ReproError(
+        f"{target!r} is neither a readable file nor a workload name "
+        f"(available workloads: {names()})")
+
+
+def _cmd_check(args) -> int:
+    """``repro check``: recovery-mode parse + lint, all findings at once."""
+    from .export import SCHEMA_VERSION, to_json
+    from .skeleton import parse_skeleton_recover
+    from .skeleton.lint import lint_program
+
+    reports = []
+    for target in args.targets:
+        source_name, text = _check_target(target)
+        result = parse_skeleton_recover(text, source_name=source_name)
+        sink = result.diagnostics
+        if result.program is not None and not sink.has_errors():
+            # lint only clean parses: warnings about half-recovered
+            # structure would duplicate the parse errors
+            sink.extend(lint_program(result.program))
+        reports.append((source_name, result, sink))
+
+    failed = any(sink.has_errors() or result.program is None
+                 for _, result, sink in reports)
+    if args.json:
+        payload = {
+            "schema_version": SCHEMA_VERSION,
+            "ok": not failed,
+            "files": [{
+                "source": source_name,
+                "ok": result.ok,
+                "functions_recovered": len(result.program.functions)
+                if result.program is not None else 0,
+                "diagnostics": sink.as_dicts(),
+            } for source_name, result, sink in reports],
+        }
+        print(to_json(payload))
+        return 1 if failed else 0
+
+    lines = []
+    for source_name, result, sink in reports:
+        if sink:
+            lines.append(sink.render(show_snippets=not args.no_snippets))
+        else:
+            lines.append(f"{source_name}: ok")
+    print("\n".join(lines))
+    return 1 if failed else 0
+
+
 def _cmd_bet(args) -> str:
     from .bet.nodes import render_tree
     program, inputs = load(args.workload)
     inputs.update(_parse_bindings(getattr(args, "bindings", None)))
+    if getattr(args, "keep_going", False):
+        from .bet import build_bet_degraded
+        report = build_bet_degraded(program, inputs=inputs)
+        if report.root is None:
+            raise ReproError("model could not be built even in degraded "
+                             "mode:\n" + report.diagnostics.render())
+        root = report.root
+        header = (f"BET for {args.workload}: {root.size()} nodes "
+                  f"({program.statement_count()} skeleton statements, "
+                  f"{100 * report.completeness:.1f}% modeled)\n")
+        body = render_tree(root, max_depth=args.depth,
+                           show_metrics=args.metrics)
+        if report.diagnostics:
+            body += "\n" + report.diagnostics.render()
+        return header + body
     root = build_bet(program, inputs=inputs)
     header = (f"BET for {args.workload}: {root.size()} nodes "
               f"({program.statement_count()} skeleton statements)\n")
@@ -542,6 +682,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             output = _cmd_translate(args)
         elif args.command == "lint":
             output = _cmd_lint(args)
+        elif args.command == "check":
+            return _cmd_check(args)
         elif args.command == "trace":
             output = _cmd_trace(args)
         elif args.command == "sweep":

@@ -1,0 +1,39 @@
+"""Pipeline resilience layer: diagnostics, budgets, fault corpus.
+
+The paper's promise is projections "without cycle-accurate simulation" —
+from rough, often machine-generated skeletons.  Rough inputs fail, and a
+tool that dies on the first bad line is useless exactly where it is
+supposed to shine.  This package provides the shared vocabulary for
+failing well:
+
+* :class:`Diagnostic` / :class:`DiagnosticSink` — the unified error
+  model (stable codes, spans, snippets, hints) carried by every
+  recovery-mode pipeline result;
+* :class:`EvalBudget` — resource ceilings (expression size/depth,
+  context count, wall clock) that turn hangs into diagnoses;
+* :mod:`.corpus` — deterministic fault injection used by tests and the
+  ``pipeline-resilience`` CI job.
+
+See DESIGN.md §9 for the code table and the quarantine semantics.
+"""
+
+from .model import (
+    CODES,
+    Diagnostic,
+    DiagnosticSink,
+    LINT_CODE_MAP,
+    SEVERITIES,
+    diagnostic_from_dict,
+)
+from .budget import EvalBudget, default_budget
+
+__all__ = [
+    "CODES",
+    "Diagnostic",
+    "DiagnosticSink",
+    "LINT_CODE_MAP",
+    "SEVERITIES",
+    "diagnostic_from_dict",
+    "EvalBudget",
+    "default_budget",
+]

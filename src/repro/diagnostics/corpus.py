@@ -1,0 +1,128 @@
+"""Deterministic fault injection for skeleton sources.
+
+The resilience contract — "one bad statement must not take down the
+pipeline" — is only worth anything if it is exercised continuously.
+This module corrupts well-formed ``.skop`` text in the ways users and
+front ends actually break it:
+
+* **truncation** — the file ends mid-block (editor crash, partial
+  download, a front end that died halfway through emitting);
+* **bad token** — a character the lexer cannot accept, injected into a
+  statement line;
+* **bad probability** — a ``prob`` annotation pushed outside ``[0, 1]``
+  (the classic hand-profiling mistake).
+
+Every corruption is position-deterministic (no randomness), so the CI
+corpus is reproducible bit-for-bit.  :func:`run_corpus` feeds each
+corrupted variant through the recovery parser and reports, per variant,
+the diagnostics found and whether a partial program survived — the CI
+job fails when any variant produces zero diagnostics or crashes the
+parser (see ``tools/fault_corpus.py``).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Dict, List, Tuple
+
+_PROB_RE = re.compile(r"\bprob\s+0?\.\d+")
+
+
+def _statement_lines(text: str) -> List[int]:
+    """Indices of non-blank, non-comment, non-structural lines."""
+    out = []
+    for index, raw in enumerate(text.splitlines()):
+        stripped = raw.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        word = stripped.split()[0]
+        if word in ("end", "else", "default"):
+            continue
+        out.append(index)
+    return out
+
+
+def corrupt_truncate(text: str) -> str:
+    """Drop the last third of the file, cutting the final line mid-way."""
+    lines = text.splitlines()
+    keep = max(1, (2 * len(lines)) // 3)
+    kept = lines[:keep]
+    if kept and len(kept[-1]) > 4:
+        kept[-1] = kept[-1][: len(kept[-1]) // 2]
+    return "\n".join(kept) + "\n"
+
+
+def corrupt_bad_token(text: str) -> str:
+    """Inject an illegal character into the middle statement line."""
+    lines = text.splitlines()
+    candidates = _statement_lines(text)
+    if not candidates:
+        return text + "$\n"
+    target = candidates[len(candidates) // 2]
+    line = lines[target]
+    cut = max(1, len(line) // 2)
+    lines[target] = line[:cut] + " $ " + line[cut:]
+    return "\n".join(lines) + "\n"
+
+
+def corrupt_bad_probability(text: str) -> str:
+    """Push a ``prob`` annotation above 1; if the source has none,
+    append a function whose branch is impossibly likely."""
+    match = _PROB_RE.search(text)
+    if match:
+        return text[:match.start()] + "prob 1.75" + text[match.end():]
+    return (text + "\ndef _injected_fault()\n  if prob 1.75\n"
+            "    comp 1 flops\n  end\nend\n")
+
+
+#: name -> corruption function (append only; CI keys on the names)
+CORRUPTIONS: Dict[str, Callable[[str], str]] = {
+    "truncation": corrupt_truncate,
+    "bad_token": corrupt_bad_token,
+    "bad_probability": corrupt_bad_probability,
+}
+
+
+def corrupt_all(text: str) -> List[Tuple[str, str]]:
+    """Every named corruption applied to ``text`` independently."""
+    return [(name, fn(text)) for name, fn in CORRUPTIONS.items()]
+
+
+def run_corpus(sources: Dict[str, str]) -> Dict[str, dict]:
+    """Recovery-parse every corruption of every source.
+
+    Returns ``{"<source>/<corruption>": report}`` where each report has
+    ``diagnostics`` (JSON-ready dicts), ``functions_recovered``,
+    ``statements_recovered``, and ``ok`` — true when the parser both
+    produced at least one diagnostic and did not crash.
+
+    ``bad_probability`` variants that stay syntactically valid are
+    additionally linted, so the out-of-range probability surfaces as a
+    lint diagnostic rather than passing silently.
+    """
+    from ..skeleton.lint import lint_program
+    from ..skeleton.parser import parse_skeleton_recover
+
+    report: Dict[str, dict] = {}
+    for source_name, text in sources.items():
+        for corruption, corrupted in corrupt_all(text):
+            key = f"{source_name}/{corruption}"
+            entry = {"ok": False, "diagnostics": [],
+                     "functions_recovered": 0, "statements_recovered": 0}
+            try:
+                result = parse_skeleton_recover(
+                    corrupted, source_name=key)
+                sink = result.diagnostics
+                if result.program is not None:
+                    entry["functions_recovered"] = \
+                        len(result.program.functions)
+                    entry["statements_recovered"] = \
+                        result.program.statement_count()
+                    if not sink.has_errors():
+                        sink.extend(lint_program(result.program))
+                entry["diagnostics"] = sink.as_dicts()
+                entry["ok"] = len(sink) > 0
+            except Exception as exc:  # crash = corpus failure, not ok
+                entry["crash"] = f"{type(exc).__name__}: {exc}"
+            report[key] = entry
+    return report

@@ -30,19 +30,33 @@ class SkeletonSyntaxError(ReproError):
         1-based source position; 0 when unknown.
     source_name:
         Name of the skeleton file or ``"<string>"``.
+    code:
+        Stable diagnostic code (``SKOP1xx``; see
+        :mod:`repro.diagnostics`).  Not part of the formatted message,
+        so strict-mode error text is unchanged.
     """
 
     def __init__(self, message: str, line: int = 0, column: int = 0,
-                 source_name: str = "<string>"):
+                 source_name: str = "<string>", code: str = "SKOP102"):
         self.message = message
         self.line = line
         self.column = column
         self.source_name = source_name
+        self.code = code
         super().__init__(f"{source_name}:{line}:{column}: {message}")
 
     def __reduce__(self):
         return (SkeletonSyntaxError,
-                (self.message, self.line, self.column, self.source_name))
+                (self.message, self.line, self.column, self.source_name,
+                 self.code))
+
+    def to_diagnostic(self, snippet: str = "", hint: str = ""):
+        """The equivalent :class:`repro.diagnostics.Diagnostic` record."""
+        from .diagnostics import Diagnostic
+        return Diagnostic(code=self.code, message=self.message,
+                          severity="error", source_name=self.source_name,
+                          line=self.line, column=self.column,
+                          snippet=snippet, hint=hint, phase="parse")
 
 
 class ExpressionError(ReproError):
@@ -115,6 +129,30 @@ class RecursionLimitError(ModelError):
 
     def __reduce__(self):
         return (RecursionLimitError, (self.function, self.depth))
+
+
+class BudgetExceededError(ModelError):
+    """An :class:`~repro.diagnostics.EvalBudget` ceiling was crossed.
+
+    Attributes
+    ----------
+    resource:
+        Which ceiling (``"expr_depth"``, ``"expr_nodes"``,
+        ``"contexts"``, ``"wall_clock"``).
+    limit:
+        The configured bound.
+    """
+
+    def __init__(self, resource: str, limit, message: str = ""):
+        self.resource = resource
+        self.limit = limit
+        self.message = message or (
+            f"evaluation budget exceeded: {resource} > {limit}")
+        super().__init__(self.message)
+
+    def __reduce__(self):
+        return (BudgetExceededError,
+                (self.resource, self.limit, self.message))
 
 
 class HardwareModelError(ReproError):

@@ -23,8 +23,9 @@ from ..analysis import (
     select_hotspots, selection_quality, total_time,
 )
 from ..analysis.block_metrics import BlockRecord
-from ..bet import build_bet
+from ..bet import build_bet, build_bet_degraded
 from ..bet.nodes import BETNode
+from ..diagnostics import Diagnostic, DiagnosticSink
 from ..hardware import (
     MachineModel, RooflineModel, ensure_valid_machine, machine_by_name,
 )
@@ -58,6 +59,15 @@ class WorkloadAnalysis:
     #: per-stage wall seconds (``profile``, ``build_bet``, ``characterize``,
     #: ``select``, ``total``) recorded when this analysis was computed
     timings: Dict[str, float] = field(default_factory=dict)
+    #: modeled fraction of the program (1.0 unless a degraded build
+    #: quarantined part of it; see :func:`repro.bet.build_bet_degraded`)
+    completeness: float = 1.0
+    #: diagnostics collected while building/projecting (degraded runs)
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    @property
+    def degraded(self) -> bool:
+        return self.completeness < 1.0
 
     # -- Prof side -------------------------------------------------------
     @property
@@ -118,9 +128,10 @@ _CACHE = LRUCache(maxsize=CACHE_SIZE)
 def _cache_key(name: str, machine: MachineModel, seed: int,
                miss_rate: float, model_division: bool,
                model_vectorization: bool, overlap: bool,
-               coverage: float, leanness: float) -> Tuple:
+               coverage: float, leanness: float,
+               keep_going: bool = False) -> Tuple:
     return (name, machine, seed, miss_rate, model_division,
-            model_vectorization, overlap, coverage, leanness)
+            model_vectorization, overlap, coverage, leanness, keep_going)
 
 
 def analyze(name: str, machine, seed: int = DEFAULT_SEED,
@@ -129,11 +140,18 @@ def analyze(name: str, machine, seed: int = DEFAULT_SEED,
             model_vectorization: bool = False,
             overlap: bool = True,
             coverage: float = 0.90, leanness: float = 0.10,
-            use_cache: bool = True) -> WorkloadAnalysis:
+            use_cache: bool = True,
+            keep_going: bool = False) -> WorkloadAnalysis:
     """Run (or fetch) the full pipeline for ``name`` on ``machine``.
 
     ``machine`` may be a preset name or a :class:`MachineModel`.
     The ablation flags mirror :class:`~repro.hardware.RooflineModel`.
+
+    ``keep_going=True`` builds the BET in degraded mode
+    (:func:`repro.bet.build_bet_degraded`): faulty subtrees are
+    quarantined instead of aborting the pipeline, non-finite block
+    projections are poisoned, and the analysis reports ``completeness``
+    plus the collected ``diagnostics``.
     """
     if isinstance(machine, str):
         machine = machine_by_name(machine)
@@ -141,7 +159,8 @@ def analyze(name: str, machine, seed: int = DEFAULT_SEED,
     # machine must fail here with the field named, not crash mid-pipeline
     ensure_valid_machine(machine)
     key = _cache_key(name, machine, seed, miss_rate, model_division,
-                     model_vectorization, overlap, coverage, leanness)
+                     model_vectorization, overlap, coverage, leanness,
+                     keep_going)
     if use_cache:
         cached = _CACHE.get(key)
         if cached is not None:
@@ -159,13 +178,26 @@ def analyze(name: str, machine, seed: int = DEFAULT_SEED,
     mark = time.perf_counter()
     prof = profile(program, machine, inputs=inputs, seed=seed)
     mark = _stage("profile", mark)
-    bet = build_bet(program, inputs=inputs)
+    completeness = 1.0
+    sink: DiagnosticSink = DiagnosticSink()
+    if keep_going:
+        from ..errors import ModelError
+        report = build_bet_degraded(program, inputs=inputs, sink=sink)
+        if report.root is None:
+            raise ModelError(
+                "model could not be built even in degraded mode:\n"
+                + report.diagnostics.render())
+        bet = report.root
+        completeness = report.completeness
+    else:
+        bet = build_bet(program, inputs=inputs)
     mark = _stage("build_bet", mark)
     roofline = RooflineModel(machine, miss_rate=miss_rate,
                              model_division=model_division,
                              model_vectorization=model_vectorization,
                              overlap=overlap)
-    records = characterize(bet, roofline)
+    records = characterize(bet, roofline,
+                           sink=sink if keep_going else None)
     mark = _stage("characterize", mark)
     selection = select_hotspots(records, program.static_size(),
                                 coverage=coverage, leanness=leanness)
@@ -175,7 +207,8 @@ def analyze(name: str, machine, seed: int = DEFAULT_SEED,
     result = WorkloadAnalysis(
         name=name, machine=machine, program=program, inputs=inputs,
         prof=prof, bet=bet, records=records, selection=selection,
-        model_spots=model_spots, timings=timings)
+        model_spots=model_spots, timings=timings,
+        completeness=completeness, diagnostics=sink.sorted())
     if use_cache:
         _CACHE.put(key, result)
     return result
@@ -192,7 +225,8 @@ def remember(analysis: WorkloadAnalysis, **options) -> None:
     """
     defaults = dict(seed=DEFAULT_SEED, miss_rate=0.85,
                     model_division=False, model_vectorization=False,
-                    overlap=True, coverage=0.90, leanness=0.10)
+                    overlap=True, coverage=0.90, leanness=0.10,
+                    keep_going=False)
     defaults.update(options)
     key = _cache_key(analysis.name, analysis.machine, **defaults)
     _CACHE.put(key, analysis)

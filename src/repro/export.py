@@ -5,17 +5,37 @@ space optimizers, report generators.  These converters flatten the library's
 result objects into plain dictionaries (JSON/YAML-ready) with stable keys.
 
 Every converter is pure data-out: nothing here mutates the model.
+
+Top-level payloads carry ``schema_version`` (see :data:`SCHEMA_VERSION`);
+version 2 added ``completeness`` and ``diagnostics`` to sweep, grid, and
+analysis payloads (degraded-mode reporting, DESIGN.md §9).
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List, Sequence
+from typing import Any, Dict, Iterable, List, Sequence
 
 from .analysis.breakdown import BreakdownRow
 from .analysis.hotpath import HotPath
 from .analysis.hotspots import HotSpot, HotSpotSelection
+from .diagnostics import Diagnostic, diagnostic_from_dict
 from .hardware.machine import MachineModel
+
+#: payload format version; bump when keys change meaning (appending new
+#: keys keeps the version, removing/renaming them bumps it)
+SCHEMA_VERSION = 2
+
+
+def diagnostics_to_dicts(diagnostics: Iterable) -> List[Dict[str, Any]]:
+    """Serialize diagnostics (any iterable of :class:`Diagnostic`)."""
+    return [diagnostic.as_dict() for diagnostic in diagnostics]
+
+
+def diagnostics_from_dicts(payload: Iterable[Dict[str, Any]]
+                           ) -> List[Diagnostic]:
+    """Rebuild diagnostics from :func:`diagnostics_to_dicts` output."""
+    return [diagnostic_from_dict(entry) for entry in payload]
 
 
 def machine_to_dict(machine: MachineModel) -> Dict[str, Any]:
@@ -50,6 +70,7 @@ def hotspot_to_dict(spot: HotSpot, total_time: float) -> Dict[str, Any]:
 def selection_to_dict(selection: HotSpotSelection) -> Dict[str, Any]:
     """A hot-spot selection with its criteria and coverage."""
     return {
+        "schema_version": SCHEMA_VERSION,
         "total_projected_seconds": selection.total_time,
         "coverage": selection.coverage,
         "coverage_target": selection.coverage_target,
@@ -105,8 +126,12 @@ def hotpath_to_dict(path: HotPath) -> Dict[str, Any]:
 def sweep_to_dict(result) -> Dict[str, Any]:
     """A one-parameter sensitivity sweep (:class:`SweepResult`)."""
     return {
+        "schema_version": SCHEMA_VERSION,
         "parameter": result.parameter,
         "timings": dict(result.timings),
+        "completeness": getattr(result, "completeness", 1.0),
+        "diagnostics": diagnostics_to_dicts(
+            getattr(result, "diagnostics", [])),
         "points": [{
             "value": point.value,
             "machine": point.machine.name,
@@ -114,6 +139,7 @@ def sweep_to_dict(result) -> Dict[str, Any]:
             "memory_fraction": point.memory_fraction,
             "top_spot": point.top_label,
             "ranking": list(point.ranking[:10]),
+            "completeness": getattr(point, "completeness", 1.0),
         } for point in result.points],
         "failures": [failure.as_dict()
                      for failure in getattr(result, "failures", [])],
@@ -123,11 +149,15 @@ def sweep_to_dict(result) -> Dict[str, Any]:
 def grid_to_dict(result) -> Dict[str, Any]:
     """An N-dimensional design-space grid (:class:`GridResult`)."""
     return {
+        "schema_version": SCHEMA_VERSION,
         "parameters": result.parameters,
         "grid": {name: list(values)
                  for name, values in result.grid.items()},
         "timings": dict(result.timings),
         "cache_stats": dict(result.cache_stats),
+        "completeness": getattr(result, "completeness", 1.0),
+        "diagnostics": diagnostics_to_dicts(
+            getattr(result, "diagnostics", [])),
         "points": [{
             "overrides": dict(point.overrides),
             "machine": point.machine.name,
@@ -135,9 +165,31 @@ def grid_to_dict(result) -> Dict[str, Any]:
             "memory_fraction": point.memory_fraction,
             "top_spot": point.top_label,
             "ranking": list(point.ranking[:10]),
+            "completeness": getattr(point, "completeness", 1.0),
         } for point in result.points],
         "failures": [failure.as_dict()
                      for failure in getattr(result, "failures", [])],
+    }
+
+
+def analysis_to_dict(analysis) -> Dict[str, Any]:
+    """A full pipeline run (:class:`~repro.experiments.WorkloadAnalysis`),
+    including the degraded-mode report: the modeled ``completeness``
+    fraction and every collected diagnostic."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "workload": analysis.name,
+        "machine": machine_to_dict(analysis.machine),
+        "completeness": getattr(analysis, "completeness", 1.0),
+        "diagnostics": diagnostics_to_dicts(
+            getattr(analysis, "diagnostics", [])),
+        "projected_seconds": analysis.projected_total,
+        "measured_seconds": analysis.measured_total,
+        "model_ranking": analysis.model_sites(10),
+        "prof_ranking": analysis.prof_sites(10),
+        "selection_quality": analysis.quality(),
+        "selection": selection_to_dict(analysis.selection),
+        "timings": dict(analysis.timings),
     }
 
 

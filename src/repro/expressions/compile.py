@@ -32,8 +32,10 @@ from __future__ import annotations
 import time
 from typing import Callable, Dict, Mapping
 
+from ..errors import ExpressionError
 from .expr import (
     Binary, Bool, Compare, Expr, FUNCTIONS, Func, Num, Unary, Var, _coerce,
+    guarded_pow,
 )
 
 #: trees nested deeper than this are left interpreted: CPython's parser
@@ -84,6 +86,11 @@ def _emit(expr: Expr, depth: int) -> str:
     if type(expr) is Binary:
         left = _emit(expr.left, depth + 1)
         right = _emit(expr.right, depth + 1)
+        if expr.op == "^":
+            # route through the guarded power so a pathological integer
+            # power raises here too (the interpreted replay then renders
+            # the canonical domain-error message)
+            return f"_c(_pw({left}, {right}))"
         return f"_c({left} {_PY_OP[expr.op]} {right})"
     if type(expr) is Compare:
         left = _emit(expr.left, depth + 1)
@@ -103,7 +110,7 @@ def _emit(expr: Expr, depth: int) -> str:
 #: shared global namespace for every generated function: the coercion
 #: helper plus the intrinsic-function table under stable aliases
 #: (``Exception`` must be spelled out — the sandbox has no builtins)
-_BASE_GLOBALS = {"_c": _coerce, "Exception": Exception,
+_BASE_GLOBALS = {"_c": _coerce, "_pw": guarded_pow, "Exception": Exception,
                  "_stats": _STATS, "__builtins__": {}}
 _BASE_GLOBALS.update({f"_f_{name}": fn for name, fn in FUNCTIONS.items()})
 
@@ -125,16 +132,40 @@ def _generate(expr: Expr) -> Callable[[Mapping], object]:
               "        _stats['error_replays'] += 1.0\n"
               "        return _interp(_e)\n")
     namespace = dict(_BASE_GLOBALS)
-    namespace["_interp"] = expr._eval
+    namespace["_interp"] = _guard_interp(expr)
     exec(compile(source, "<repro-expr>", "exec"), namespace)
     fn = namespace["_compiled"]
     fn.__repro_source__ = body          # debugging / tests
     return fn
 
 
+def _guard_interp(expr: Expr) -> Callable[[Mapping], object]:
+    """The interpreted walk, with ``RecursionError`` converted into a
+    catchable :class:`~repro.errors.ExpressionError`.
+
+    A tree deep enough to exhaust the Python stack only arises from
+    hostile or machine-mangled input; without this guard it would
+    surface as a bare ``RecursionError`` that bypasses every
+    ``except ReproError`` in the pipeline.  The message deliberately
+    omits ``str(expr)`` — rendering a too-deep tree would itself
+    recurse.
+    """
+    interp = expr._eval
+
+    def _interp(env):
+        try:
+            return interp(env)
+        except RecursionError:
+            raise ExpressionError(
+                "expression tree too deep to evaluate (Python recursion "
+                "limit reached); simplify the expression or raise the "
+                "budget") from None
+    return _interp
+
+
 def _interp_closure(expr: Expr) -> Callable[[Mapping], object]:
-    """The no-op 'compilation': the interpreted walk itself."""
-    return expr._eval
+    """The no-op 'compilation': the guarded interpreted walk."""
+    return _guard_interp(expr)
 
 
 def compile_expr(expr: Expr) -> Callable[[Mapping], object]:

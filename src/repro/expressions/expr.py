@@ -16,6 +16,29 @@ from ..errors import ExpressionError, UnboundVariableError
 
 Number = Union[int, float]
 
+#: ceiling on the bit width of an integer power's result.  Python bignum
+#: exponentiation happily evaluates ``10 ^ (10 ^ 10)`` for minutes and
+#: gigabytes; any analytically meaningful operation count fits in a few
+#: hundred bits, so a megabit result is always a modeling bug.
+_MAX_POW_BITS = 1 << 20
+
+
+def guarded_pow(a: Number, b: Number) -> Number:
+    """``a ** b`` refusing astronomically large integer results.
+
+    Raises :class:`ValueError` (mapped to :class:`ExpressionError` by the
+    callers' domain-error handlers) when the result would exceed
+    ``_MAX_POW_BITS`` bits.  Float overflow already raises
+    ``OverflowError`` natively, so only the int/int case needs a guard.
+    """
+    if (isinstance(a, int) and isinstance(b, int) and b > 1
+            and a not in (0, 1, -1)
+            and b * a.bit_length() > _MAX_POW_BITS):
+        raise ValueError(
+            f"integer power {a} ^ {b} would exceed {_MAX_POW_BITS} bits")
+    return a ** b
+
+
 #: Intrinsic functions available in skeleton expressions.
 FUNCTIONS: Dict[str, Callable[..., float]] = {
     "min": min,
@@ -27,7 +50,7 @@ FUNCTIONS: Dict[str, Callable[..., float]] = {
     "log": math.log,
     "log2": math.log2,
     "exp": math.exp,
-    "pow": pow,
+    "pow": guarded_pow,
 }
 
 
@@ -347,7 +370,7 @@ class Binary(Expr):
                 return _coerce(a // b)
             if op == "%":
                 return _coerce(a % b)
-            return _coerce(a ** b)
+            return _coerce(guarded_pow(a, b))
         except ZeroDivisionError:
             raise ExpressionError(
                 f"division by zero evaluating ({self})") from None

@@ -72,11 +72,30 @@ def tokenize_expr(text: str) -> List[Token]:
     return tokens
 
 
+#: maximum nesting depth (parens, calls, unary chains, right-assoc pow).
+#: Each level costs ~8 interpreter frames through the grammar ladder, so
+#: this keeps hostile inputs well under CPython's recursion limit and
+#: turns them into an :class:`ExpressionError` with a position instead
+#: of a bare ``RecursionError``.
+_MAX_EXPR_DEPTH = 80
+
+
 class _Parser:
     def __init__(self, tokens: List[Token], source: str):
         self.tokens = tokens
         self.source = source
         self.index = 0
+        self.depth = 0
+
+    def _descend(self) -> None:
+        self.depth += 1
+        if self.depth > _MAX_EXPR_DEPTH:
+            raise ExpressionError(
+                f"expression nesting exceeds {_MAX_EXPR_DEPTH} levels "
+                f"in {self.source!r}")
+
+    def _ascend(self) -> None:
+        self.depth -= 1
 
     def peek(self) -> Optional[Token]:
         if self.index < len(self.tokens):
@@ -131,7 +150,10 @@ class _Parser:
 
     def parse_not(self) -> Expr:
         if self.accept_name("not"):
-            return Unary("not", self.parse_not())
+            self._descend()
+            operand = self.parse_not()
+            self._ascend()
+            return Unary("not", operand)
         return self.parse_cmp()
 
     def parse_cmp(self) -> Expr:
@@ -161,12 +183,18 @@ class _Parser:
     def parse_pow(self) -> Expr:
         base = self.parse_unary()
         if self.accept_op("^"):
-            return Binary("^", base, self.parse_pow())
+            self._descend()
+            exponent = self.parse_pow()
+            self._ascend()
+            return Binary("^", base, exponent)
         return base
 
     def parse_unary(self) -> Expr:
         if self.accept_op("-"):
-            return Unary("-", self.parse_unary())
+            self._descend()
+            operand = self.parse_unary()
+            self._ascend()
+            return Unary("-", operand)
         return self.parse_atom()
 
     def parse_atom(self) -> Expr:
@@ -181,17 +209,21 @@ class _Parser:
             if follow is not None and follow.kind == "op" \
                     and follow.text == "(":
                 self.index += 1
+                self._descend()
                 args: List[Expr] = []
                 if not self.accept_op(")"):
                     args.append(self.parse_or())
                     while self.accept_op(","):
                         args.append(self.parse_or())
                     self.expect_op(")")
+                self._ascend()
                 return Func(token.text, args)
             return Var(token.text)
         if token.kind == "op" and token.text == "(":
+            self._descend()
             inner = self.parse_or()
             self.expect_op(")")
+            self._ascend()
             return inner
         raise ExpressionError(
             f"unexpected token {token.text!r} in {self.source!r}")

@@ -97,6 +97,7 @@ class GridPoint:
     ranking: List[str]             #: hot-spot sites, hottest first
     top_label: str
     memory_fraction: float         #: non-overlapped memory share
+    completeness: float = 1.0      #: modeled fraction (1.0 = no quarantine)
 
 
 @dataclass
@@ -125,6 +126,14 @@ class GridResult:
     def shape(self) -> Tuple[int, ...]:
         return tuple(len(values) for values in self.grid.values())
 
+    @property
+    def completeness(self) -> float:
+        """Modeled fraction of the projected BET (< 1.0 after a degraded
+        build quarantined part of the program)."""
+        if not self.points:
+            return 1.0
+        return min(point.completeness for point in self.points)
+
     def point(self, **overrides: float) -> GridPoint:
         """The cell whose overrides match exactly."""
         for candidate in self.points:
@@ -142,10 +151,14 @@ class GridResult:
     def render(self) -> str:
         names = self.parameters
         header = "  ".join(f"{name:>12}" for name in names)
-        lines = [f"design-space grid over {' x '.join(names)} "
-                 f"({len(self.points)} points"
-                 + (f", {len(self.failures)} failed" if self.failures
-                    else "") + ")",
+        head = (f"design-space grid over {' x '.join(names)} "
+                f"({len(self.points)} points"
+                + (f", {len(self.failures)} failed" if self.failures
+                   else "") + ")")
+        if self.completeness < 1.0:
+            head += (f" [degraded model: {100 * self.completeness:.1f}% "
+                     f"of the program projected]")
+        lines = [head,
                  f"{header}  {'runtime':>10}  {'mem%':>6}  top hot spot"]
         for point in self.points:
             cells = "  ".join(f"{point.overrides[name]:12.4g}"
@@ -203,7 +216,8 @@ def _grid_point_to_dict(point: GridPoint) -> Dict[str, Any]:
             "runtime": point.runtime,
             "ranking": list(point.ranking),
             "top_label": point.top_label,
-            "memory_fraction": point.memory_fraction}
+            "memory_fraction": point.memory_fraction,
+            "completeness": point.completeness}
 
 
 def _grid_point_from_dict(payload: Dict[str, Any],
@@ -225,7 +239,8 @@ def _grid_point_from_dict(payload: Dict[str, Any],
                      runtime=payload["runtime"],
                      ranking=list(payload["ranking"]),
                      top_label=payload["top_label"],
-                     memory_fraction=payload["memory_fraction"])
+                     memory_fraction=payload["memory_fraction"],
+                     completeness=payload.get("completeness", 1.0))
 
 
 def _default_grid_key(bet: BETNode, base_machine: MachineModel,
@@ -614,6 +629,7 @@ class InputPoint:
     ranking: List[str]             #: hot-spot sites, hottest first
     top_label: str
     memory_fraction: float
+    completeness: float = 1.0      #: modeled fraction (1.0 = no quarantine)
 
 
 @dataclass
@@ -644,6 +660,14 @@ class InputSweepResult:
                 if name not in names:
                     names.append(name)
         return names
+
+    @property
+    def completeness(self) -> float:
+        """Modeled fraction of the swept BETs (< 1.0 after a degraded
+        build quarantined part of the program)."""
+        if not self.points:
+            return 1.0
+        return min(point.completeness for point in self.points)
 
     def point(self, **inputs: float) -> InputPoint:
         """The point whose swept inputs match exactly."""
@@ -737,7 +761,8 @@ def _input_point_to_dict(projection: Dict[str, Any]) -> Dict[str, Any]:
     return {"runtime": projection["runtime"],
             "ranking": list(projection["ranking"]),
             "top_label": projection["top_label"],
-            "memory_fraction": projection["memory_fraction"]}
+            "memory_fraction": projection["memory_fraction"],
+            "completeness": projection.get("completeness", 1.0)}
 
 
 def _default_input_key(program: Program, machine: MachineModel,
@@ -849,7 +874,9 @@ def sweep_inputs(program: Program, machine: MachineModel, axes,
                                      ranking=list(projection["ranking"]),
                                      top_label=projection["top_label"],
                                      memory_fraction=projection[
-                                         "memory_fraction"]))
+                                         "memory_fraction"],
+                                     completeness=projection.get(
+                                         "completeness", 1.0)))
     elapsed = time.perf_counter() - started
     timings = {"build": stages.get("bet_build_seconds", 0.0),
                "rebind": stages.get("bet_replay_seconds", 0.0),

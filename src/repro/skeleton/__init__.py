@@ -34,7 +34,13 @@ from .ast_nodes import (
     Return,
 )
 from .bst import Program
-from .parser import parse_skeleton, parse_skeleton_file
+from .parser import (
+    ParseResult,
+    parse_skeleton,
+    parse_skeleton_file,
+    parse_skeleton_file_recover,
+    parse_skeleton_recover,
+)
 from .printer import format_skeleton
 from .lint import LintWarning, lint_program
 
@@ -56,8 +62,11 @@ __all__ = [
     "Continue",
     "Return",
     "Program",
+    "ParseResult",
     "parse_skeleton",
     "parse_skeleton_file",
+    "parse_skeleton_file_recover",
+    "parse_skeleton_recover",
     "format_skeleton",
     "LintWarning",
     "lint_program",

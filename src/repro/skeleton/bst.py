@@ -31,21 +31,42 @@ class Program:
         override them when building a BET.
     source_name:
         Where the skeleton came from, for diagnostics.
+    sink:
+        When given (a :class:`repro.diagnostics.DiagnosticSink`),
+        semantic problems are collected as ``SKOP2xx`` diagnostics and
+        the offending construct is dropped (duplicate functions keep the
+        first definition; invalid statements are omitted from the
+        model), instead of raising :class:`SemanticError` on the first
+        problem.  The resulting partial program still satisfies every
+        structural invariant downstream code assumes.  Without a sink
+        the strict behavior is unchanged.
     """
 
     def __init__(self, functions: List[FuncDef],
                  params: Optional[Dict[str, Expr]] = None,
-                 source_name: str = "<program>"):
+                 source_name: str = "<program>", sink=None):
         self.functions: Dict[str, FuncDef] = {}
         self.params: Dict[str, Expr] = dict(params or {})
         self.source_name = source_name
         for func in functions:
             if func.name in self.functions:
-                raise SemanticError(
-                    f"duplicate definition of function {func.name!r} "
-                    f"(line {func.line})")
+                if sink is None:
+                    raise SemanticError(
+                        f"duplicate definition of function {func.name!r} "
+                        f"(line {func.line})")
+                sink.emit(
+                    "SKOP201",
+                    f"duplicate definition of function {func.name!r}; "
+                    "keeping the first definition",
+                    line=func.line, source_name=source_name,
+                    site=f"{func.name}@{func.line}", phase="semantic",
+                    hint="rename or remove the later definition")
+                continue
             self.functions[func.name] = func
-        self._validate()
+        if sink is None:
+            self._validate()
+        else:
+            self._validate_collect(sink)
         self._assign_ids()
 
     # -- validation -------------------------------------------------------
@@ -77,6 +98,61 @@ class Program:
             elif isinstance(statement, Branch):
                 for arm in statement.arms:
                     self._check_body(func, arm.body, loop_depth)
+
+    def _validate_collect(self, sink) -> None:
+        """Collect-mode validation: every problem becomes a diagnostic
+        and the offending statement is dropped from the model, so the
+        surviving program is structurally sound end to end."""
+        for func in self.functions.values():
+            self._check_body_collect(func, func.body, 0, sink)
+
+    def _check_body_collect(self, func: FuncDef, body: List[Statement],
+                            loop_depth: int, sink) -> None:
+        keep: List[Statement] = []
+        for statement in body:
+            site = f"{func.name}@{statement.line}"
+            ok = True
+            if isinstance(statement, (Break, Continue)) and loop_depth == 0:
+                kind = type(statement).__name__.lower()
+                sink.emit(
+                    "SKOP204",
+                    f"{kind!r} outside of a loop in function "
+                    f"{func.name!r}; statement dropped",
+                    line=statement.line, source_name=self.source_name,
+                    site=site, phase="semantic")
+                ok = False
+            elif isinstance(statement, Call):
+                if statement.name not in self.functions:
+                    sink.emit(
+                        "SKOP202",
+                        f"call to undefined function {statement.name!r} "
+                        f"in {func.name!r}; call dropped",
+                        line=statement.line, source_name=self.source_name,
+                        site=site, phase="semantic",
+                        hint=f"defined: {sorted(self.functions)}")
+                    ok = False
+                else:
+                    callee = self.functions[statement.name]
+                    if len(statement.args) != len(callee.params):
+                        sink.emit(
+                            "SKOP203",
+                            f"call to {statement.name!r} with "
+                            f"{len(statement.args)} arguments, expected "
+                            f"{len(callee.params)}; call dropped",
+                            line=statement.line,
+                            source_name=self.source_name,
+                            site=site, phase="semantic")
+                        ok = False
+            if ok:
+                if isinstance(statement, (ForLoop, WhileLoop)):
+                    self._check_body_collect(func, statement.body,
+                                             loop_depth + 1, sink)
+                elif isinstance(statement, Branch):
+                    for arm in statement.arms:
+                        self._check_body_collect(func, arm.body,
+                                                 loop_depth, sink)
+                keep.append(statement)
+        body[:] = keep
 
     def _assign_ids(self) -> None:
         counter = 0

@@ -18,30 +18,62 @@ checks for the problems we have seen people (and front ends) make:
 * ``W008`` constant-trip-zero loops (dead at every input);
 * ``W009`` ``break``/``continue``/``return`` inside a ``forall`` — parallel
   iterations are independent by declaration, so early exits contradict the
-  parallelism annotation.
+  parallelism annotation;
+* ``W010`` constant ``prob`` values along an ``if``/``else``-``if`` chain
+  summing above 1 — chain probabilities describe exclusive outcomes, so a
+  sum above 1 is a profiling mistake even when each branch passes ``W002``;
+* ``W011`` ``while expect`` trip counts that reference a variable assigned
+  inside the loop's own body — loop-carried updates never propagate in the
+  first-order model, so the trip count silently uses the pre-loop value.
 
-Each finding is a :class:`LintWarning` with a code, a site, and a message;
-``repro lint <workload>`` prints them.
+Each finding is a :class:`LintWarning` — a
+:class:`~repro.diagnostics.Diagnostic` with severity ``warning`` that
+keeps the historical compact surface (``code`` is the ``W``-number,
+``str()`` the one-line form); ``repro lint <workload>`` prints them.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import List, Set
 
+from ..diagnostics import Diagnostic, LINT_CODE_MAP
 from ..expressions import Num
 from .ast_nodes import (
     ArrayDecl, Branch, Break, Call, Comp, Continue, ForLoop, FuncDef,
-    LibCall, Load, Return, Statement, Store, WhileLoop,
+    LibCall, Load, Return, Statement, Store, VarAssign, WhileLoop,
 )
 from .bst import Program
 
 
-@dataclass(frozen=True)
-class LintWarning:
-    code: str
-    site: str
-    message: str
+class LintWarning(Diagnostic):
+    """A lint finding, now carried on the unified diagnostic model.
+
+    Constructed with the legacy ``(code, site, message)`` shape.  The
+    ``code`` attribute stays the ``W``-number and ``str()`` stays the
+    historical ``"W001 site: message"`` line, so existing tooling and
+    tests are unaffected; :attr:`stable_code` and :meth:`as_dict` expose
+    the registry code (``SKOP3xx``) for machine consumers.
+    """
+
+    def __init__(self, code: str, site: str, message: str):
+        line = 0
+        head_tail = site.rsplit("@", 1)
+        if len(head_tail) == 2 and head_tail[1].isdigit():
+            line = int(head_tail[1])
+        Diagnostic.__init__(self, code=code, message=message,
+                            severity="warning", site=site, line=line,
+                            phase="lint")
+
+    @property
+    def stable_code(self) -> str:
+        """The registry code (``SKOP3xx``) for this finding."""
+        return LINT_CODE_MAP.get(self.code, self.code)
+
+    def as_dict(self):
+        payload = Diagnostic.as_dict(self)
+        payload["code"] = self.stable_code
+        payload["legacy_code"] = self.code
+        return payload
 
     def __str__(self):
         return f"{self.code} {self.site}: {self.message}"
@@ -58,6 +90,8 @@ def lint_program(program: Program) -> List[LintWarning]:
     warnings += _check_unused_params(program)
     warnings += _check_zero_trip_loops(program)
     warnings += _check_forall_escapes(program)
+    warnings += _check_chain_probabilities(program)
+    warnings += _check_while_expect_vars(program)
     warnings.sort(key=lambda w: (w.code, w.site))
     return warnings
 
@@ -223,6 +257,95 @@ def _check_forall_escapes(program: Program) -> List[LintWarning]:
                     f"{type(node).__name__.lower()} inside 'forall' at "
                     f"{statement.site}: parallel iterations cannot exit "
                     "early; use a serial 'for' or restructure"))
+    return out
+
+
+def _chain_next(branch: Branch):
+    """The else-if continuation of ``branch``: a default arm whose body
+    is exactly one nested :class:`Branch`."""
+    for arm in branch.arms:
+        if arm.kind == "default" and len(arm.body) == 1 \
+                and isinstance(arm.body[0], Branch):
+            return arm.body[0]
+    return None
+
+
+def _check_chain_probabilities(program: Program,
+                               eps: float = 1e-9) -> List[LintWarning]:
+    """``W010``: constant probs along an if/else-if chain summing > 1.
+
+    Each branch in the chain may individually pass ``W002`` while the
+    chain as a whole claims mutually exclusive outcomes with more than
+    100% total probability — a classic hand-profiling slip.  Chains are
+    only reported at their head, and only when every prob along the
+    chain is a constant (a symbolic prob makes the sum unknowable
+    statically).
+    """
+    continuations = set()
+    for statement in program.walk():
+        if isinstance(statement, Branch):
+            nxt = _chain_next(statement)
+            if nxt is not None:
+                continuations.add(id(nxt))
+    out = []
+    for statement in program.walk():
+        if not isinstance(statement, Branch) \
+                or id(statement) in continuations:
+            continue
+        total = 0.0
+        constant = True
+        links = 0
+        current = statement
+        while current is not None:
+            links += 1
+            for arm in current.arms:
+                if arm.kind != "prob":
+                    continue
+                if isinstance(arm.expr, Num):
+                    total += arm.expr.value
+                else:
+                    constant = False
+            current = _chain_next(current)
+        if links >= 2 and constant and total > 1.0 + eps:
+            out.append(LintWarning(
+                "W010", statement.site,
+                f"probabilities along this if/else-if chain sum to "
+                f"{total:g} > 1; chain outcomes are mutually exclusive, "
+                "so their probabilities cannot exceed 1"))
+    return out
+
+
+def _check_while_expect_vars(program: Program) -> List[LintWarning]:
+    """``W011``: a while trip count tracking a loop-body assignment.
+
+    The first-order model evaluates ``expect`` once, in the context
+    *entering* the loop; ``var`` updates inside the body never feed
+    back (loop-carried dependences are out of model, see DESIGN.md §5).
+    An ``expect`` referencing such a variable almost certainly intends
+    the evolving value — the modeling analog of a while condition that
+    no loop iteration can change.
+    """
+    out = []
+    for statement in program.walk():
+        if not isinstance(statement, WhileLoop) \
+                or statement.expect is None:
+            continue
+        free = statement.expect.free_vars()
+        if not free:
+            continue
+        assigned = set()
+        for inner in statement.body:
+            for node in inner.walk():
+                if isinstance(node, VarAssign):
+                    assigned.add(node.name)
+        overlap = sorted(free & assigned)
+        if overlap:
+            names = ", ".join(repr(name) for name in overlap)
+            out.append(LintWarning(
+                "W011", statement.site,
+                f"expected trip count references {names}, assigned inside "
+                "the loop body; loop-carried updates do not propagate, so "
+                "the trip count is evaluated with the pre-loop value"))
     return out
 
 

@@ -75,12 +75,19 @@ class _Line:
         self.source_name = source_name
         self.index = 0
 
-    def error(self, message: str) -> SkeletonSyntaxError:
-        column = 0
+    def error(self, message: str,
+              code: str = "SKOP102") -> SkeletonSyntaxError:
         if self.index < len(self.tokens):
             column = self.tokens[self.index].pos + 1
+        elif self.tokens:
+            # cursor past the last token: point one past it (where the
+            # missing input belongs), not column 0
+            last = self.tokens[-1]
+            column = last.pos + len(last.text) + 1
+        else:
+            column = 1
         return SkeletonSyntaxError(message, self.number, column,
-                                   self.source_name)
+                                   self.source_name, code=code)
 
     def peek(self) -> Optional[Token]:
         if self.index < len(self.tokens):
@@ -125,7 +132,17 @@ class _Line:
         try:
             result = sub.parse_or()
         except Exception as exc:  # ExpressionError carries no location
-            raise self.error(str(exc)) from exc
+            # Point the span at the token the sub-parser choked on, not
+            # at the first token of the expression.  The sub-parser's
+            # raise sites consume the offending token first, so it sits
+            # at ``sub.index - 1``; a cursor at end-of-tokens means the
+            # line ended too early (error() then points one past the
+            # last token).
+            if sub.index >= len(self.tokens):
+                self.index = len(self.tokens)
+            elif sub.index > self.index:
+                self.index = sub.index - 1
+            raise self.error(str(exc), code="SKOP107") from exc
         self.index = sub.index
         return result
 
@@ -141,8 +158,21 @@ class _Line:
             raise self.error(f"trailing input {token.text!r}")
 
 
+def _strip_comment(raw: str) -> str:
+    """Drop a ``#`` comment, but not a ``#`` inside a string label."""
+    if "#" not in raw:
+        return raw
+    in_string = False
+    for position, char in enumerate(raw):
+        if char == '"':
+            in_string = not in_string
+        elif char == "#" and not in_string:
+            return raw[:position]
+    return raw
+
+
 def _tokenize_line(raw: str, number: int, source_name: str) -> _Line:
-    text = raw.split("#", 1)[0]
+    text = _strip_comment(raw)
     tokens: List[Token] = []
     pos = 0
     while pos < len(text):
@@ -152,8 +182,9 @@ def _tokenize_line(raw: str, number: int, source_name: str) -> _Line:
             if not stripped:
                 break
             raise SkeletonSyntaxError(
-                f"unexpected character {stripped[0]!r}", number, pos + 1,
-                source_name)
+                f"unexpected character {stripped[0]!r}", number,
+                pos + len(text[pos:]) - len(text[pos:].lstrip()) + 1,
+                source_name, code="SKOP101")
         pos = match.end()
         if match.lastgroup is None:
             continue
@@ -174,6 +205,13 @@ class _BlockFrame:
         self.saw_else = False
 
 
+#: words that open a nested block (used by recovery to keep ``end``
+#: pairing intact when a block header line fails to parse)
+_BLOCK_WORDS = frozenset({"def", "for", "forall", "while", "if", "switch"})
+
+_FIRST_WORD_RE = re.compile(r"\s*([A-Za-z_][A-Za-z_0-9]*)")
+
+
 class _SkeletonParser:
     def __init__(self, source: str, source_name: str):
         self.source = source
@@ -185,7 +223,8 @@ class _SkeletonParser:
     # -- helpers --------------------------------------------------------
     def _top_body(self, line: _Line) -> List[Statement]:
         if not self.stack:
-            raise line.error("statement outside of a function")
+            raise line.error("statement outside of a function",
+                             code="SKOP105")
         return self.stack[-1].body
 
     def _parse_prob_or_cond(self, line: _Line) -> Tuple[str, Expr]:
@@ -212,9 +251,62 @@ class _SkeletonParser:
             frame = self.stack[-1]
             raise SkeletonSyntaxError(
                 f"unclosed {frame.kind!r} block opened here", frame.line, 1,
-                self.source_name)
+                self.source_name, code="SKOP103")
         return Program(self.functions, dict(self.params),
                        source_name=self.source_name)
+
+    # -- error recovery ---------------------------------------------------
+    def _recover_line(self, raw: str, number: int) -> None:
+        """Re-synchronize after a failed line.
+
+        The parser is line-oriented, so a bad line never corrupts the
+        token stream — only the *block structure* can drift.  Two cases
+        matter: a failed block *header* must still open a frame (else
+        its ``end`` closes the wrong block), and a failed ``end`` line
+        must still close one (else the file ends with phantom unclosed
+        blocks).  The junk frame's body list is attached to nothing, so
+        statements inside a broken block are parsed (collecting their
+        own diagnostics) but discarded.
+        """
+        match = _FIRST_WORD_RE.match(_strip_comment(raw))
+        word = match.group(1) if match else ""
+        if word in _BLOCK_WORDS:
+            self.stack.append(_BlockFrame(f"junk-{word}", None, [], number))
+        elif word == "end" and self.stack:
+            self.stack.pop()
+
+    def parse_recover(self, sink) -> Program:
+        """Parse everything parseable, collecting diagnostics on ``sink``.
+
+        Never raises for malformed input: failed lines are recorded and
+        skipped, broken blocks are discarded, and semantic validation
+        runs in collect mode.  Returns the partial (possibly empty)
+        :class:`Program`.
+        """
+        lines = self.source.splitlines()
+        for number, raw in enumerate(lines, start=1):
+            try:
+                line = _tokenize_line(raw, number, self.source_name)
+                if not line.tokens:
+                    continue
+                self._dispatch(line)
+            except SkeletonSyntaxError as exc:
+                sink.add(exc.to_diagnostic(snippet=raw))
+                self._recover_line(raw, number)
+        while self.stack:
+            frame = self.stack.pop()
+            if frame.kind.startswith("junk-"):
+                continue
+            opener = lines[frame.line - 1] if 0 < frame.line <= len(lines) \
+                else ""
+            sink.emit(
+                "SKOP103",
+                f"unclosed {frame.kind!r} block opened here",
+                line=frame.line, column=1, source_name=self.source_name,
+                snippet=opener, phase="parse",
+                hint="add a matching 'end'")
+        return Program(self.functions, dict(self.params),
+                       source_name=self.source_name, sink=sink)
 
     def _dispatch(self, line: _Line) -> None:
         head = line.peek()
@@ -227,12 +319,13 @@ class _SkeletonParser:
             line.index += 1
             handler(line)
         else:
-            raise line.error(f"unknown statement {word!r}")
+            raise line.error(f"unknown statement {word!r}", code="SKOP106")
 
     # -- top level --------------------------------------------------------
     def _stmt_param(self, line: _Line) -> None:
         if self.stack:
-            raise line.error("'param' is only allowed at top level")
+            raise line.error("'param' is only allowed at top level",
+                             code="SKOP105")
         name = line.expect_name()
         line.expect("op", "=")
         value = line.expr()
@@ -241,7 +334,8 @@ class _SkeletonParser:
 
     def _stmt_def(self, line: _Line) -> None:
         if self.stack:
-            raise line.error("nested function definitions are not allowed")
+            raise line.error("nested function definitions are not allowed",
+                             code="SKOP105")
         name = line.expect_name()
         line.expect("op", "(")
         params: List[str] = []
@@ -259,7 +353,7 @@ class _SkeletonParser:
     def _stmt_end(self, line: _Line) -> None:
         line.done()
         if not self.stack:
-            raise line.error("'end' with no open block")
+            raise line.error("'end' with no open block", code="SKOP104")
         self.stack.pop()
 
     # -- block statements ---------------------------------------------------
@@ -307,10 +401,11 @@ class _SkeletonParser:
     def _stmt_else(self, line: _Line) -> None:
         line.done()
         if not self.stack or self.stack[-1].kind != "if":
-            raise line.error("'else' without a matching 'if'")
+            raise line.error("'else' without a matching 'if'",
+                             code="SKOP108")
         frame = self.stack[-1]
         if frame.saw_else:
-            raise line.error("duplicate 'else'")
+            raise line.error("duplicate 'else'", code="SKOP108")
         frame.saw_else = True
         branch = frame.statement
         assert isinstance(branch, Branch)
@@ -328,10 +423,11 @@ class _SkeletonParser:
 
     def _stmt_case(self, line: _Line) -> None:
         if not self.stack or self.stack[-1].kind != "switch":
-            raise line.error("'case' outside of a 'switch'")
+            raise line.error("'case' outside of a 'switch'",
+                             code="SKOP108")
         frame = self.stack[-1]
         if frame.saw_else:
-            raise line.error("'case' after 'default'")
+            raise line.error("'case' after 'default'", code="SKOP108")
         kind, expr = self._parse_prob_or_cond(line)
         line.done()
         branch = frame.statement
@@ -342,10 +438,11 @@ class _SkeletonParser:
 
     def _stmt_default(self, line: _Line) -> None:
         if not self.stack or self.stack[-1].kind != "switch":
-            raise line.error("'default' outside of a 'switch'")
+            raise line.error("'default' outside of a 'switch'",
+                             code="SKOP108")
         frame = self.stack[-1]
         if frame.saw_else:
-            raise line.error("duplicate 'default'")
+            raise line.error("duplicate 'default'", code="SKOP108")
         frame.saw_else = True
         branch = frame.statement
         assert isinstance(branch, Branch)
@@ -467,3 +564,67 @@ def parse_skeleton_file(path) -> Program:
     with open(path, "r", encoding="utf-8") as handle:
         text = handle.read()
     return parse_skeleton(text, source_name=str(path))
+
+
+class ParseResult:
+    """Outcome of a recovery-mode parse.
+
+    Attributes
+    ----------
+    program:
+        The partial (possibly empty) :class:`Program` built from every
+        line that parsed; ``None`` only if program construction itself
+        failed catastrophically.
+    diagnostics:
+        Every problem found, parse and semantic, as a
+        :class:`~repro.diagnostics.DiagnosticSink`.
+    """
+
+    def __init__(self, program, diagnostics):
+        self.program = program
+        self.diagnostics = diagnostics
+
+    @property
+    def ok(self) -> bool:
+        """True when a program exists and no *error* was recorded
+        (warnings are fine)."""
+        return self.program is not None \
+            and not self.diagnostics.has_errors()
+
+    def __repr__(self):
+        n_func = len(self.program.functions) if self.program else 0
+        return (f"<ParseResult functions={n_func} "
+                f"diagnostics={len(self.diagnostics)}>")
+
+
+def parse_skeleton_recover(source: str, source_name: str = "<string>",
+                           sink=None) -> ParseResult:
+    """Parse ``.skop`` text, reporting *all* problems instead of the
+    first.
+
+    Unlike :func:`parse_skeleton` (the strict API default, which raises
+    :class:`~repro.errors.SkeletonSyntaxError` at the first bad line),
+    this synchronizes at line and ``end`` boundaries, collects one
+    diagnostic per problem, and returns whatever partial
+    :class:`Program` survives — the foundation of ``repro check`` and
+    of degraded-mode builds.
+    """
+    from ..diagnostics import DiagnosticSink
+    if sink is None:
+        sink = DiagnosticSink()
+    parser = _SkeletonParser(source, source_name)
+    try:
+        program = parser.parse_recover(sink)
+    except Exception as exc:   # defensive: recovery must never raise
+        sink.emit("SKOP205",
+                  f"could not assemble a partial program: {exc}",
+                  source_name=source_name, phase="semantic")
+        program = None
+    return ParseResult(program, sink)
+
+
+def parse_skeleton_file_recover(path, sink=None) -> ParseResult:
+    """Recovery-parse a ``.skop`` file from ``path``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    return parse_skeleton_recover(text, source_name=str(path), sink=sink)

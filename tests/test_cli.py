@@ -66,6 +66,81 @@ class TestBasicCommands:
         assert "name=value" in err
 
 
+BROKEN_SKELETON = """\
+def main(n)
+  comp 1 $ flops
+  for i = 0 : n
+    comp 2 ** flops
+  end
+  frobnicate 12
+end
+"""
+
+
+class TestCheckCommand:
+    def test_clean_workload_passes(self, capsys):
+        code, out, _ = run_cli(capsys, "check", "pedagogical")
+        assert code == 0
+        assert "ok" in out
+
+    def test_broken_file_reports_every_error(self, capsys, tmp_path):
+        path = tmp_path / "broken.skop"
+        path.write_text(BROKEN_SKELETON, encoding="utf-8")
+        code, out, _ = run_cli(capsys, "check", str(path))
+        assert code == 1
+        for marker in ("SKOP101", "SKOP107", "SKOP106"):
+            assert marker in out
+        # spans rendered file:line:column
+        assert f"{path}:2:10" in out
+
+    def test_json_payload(self, capsys, tmp_path):
+        import json
+        path = tmp_path / "broken.skop"
+        path.write_text(BROKEN_SKELETON, encoding="utf-8")
+        code, out, _ = run_cli(capsys, "check", str(path), "--json")
+        assert code == 1
+        payload = json.loads(out)
+        assert payload["ok"] is False
+        (entry,) = payload["files"]
+        assert entry["functions_recovered"] == 1
+        assert len(entry["diagnostics"]) >= 3
+
+    def test_multiple_targets_mix(self, capsys, tmp_path):
+        path = tmp_path / "broken.skop"
+        path.write_text(BROKEN_SKELETON, encoding="utf-8")
+        code, out, _ = run_cli(capsys, "check", "pedagogical", str(path))
+        assert code == 1        # one bad file fails the run
+        assert "<pedagogical.skop>: ok" in out
+
+    def test_unknown_target_fails_cleanly(self, capsys):
+        code, _, err = run_cli(capsys, "check", "no-such-thing.skop")
+        assert code == 1
+        assert "neither" in err
+
+
+class TestKeepGoing:
+    def test_project_keep_going_reports_completeness(self, capsys):
+        code, out, _ = run_cli(capsys, "project", "pedagogical",
+                               "--keep-going")
+        assert code == 0
+        assert "model completeness: 100.0%" in out
+
+    def test_project_keep_going_json(self, capsys):
+        import json
+        code, out, _ = run_cli(capsys, "project", "pedagogical",
+                               "--keep-going", "--json")
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["completeness"] == 1.0
+        assert payload["diagnostics"] == []
+
+    def test_bet_keep_going(self, capsys):
+        code, out, _ = run_cli(capsys, "bet", "pedagogical",
+                               "--keep-going")
+        assert code == 0
+        assert "100.0% modeled" in out
+
+
 class TestTranslateCommand:
     def test_translate_file(self, capsys, tmp_path):
         path = tmp_path / "kernel.py"

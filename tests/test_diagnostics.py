@@ -1,0 +1,182 @@
+"""Tests for the unified diagnostic model, budgets, and poisoning."""
+
+import math
+import pickle
+
+import pytest
+
+from repro.bet import BETBuilder, build_bet
+from repro.diagnostics import (
+    CODES, Diagnostic, DiagnosticSink, EvalBudget, diagnostic_from_dict,
+)
+from repro.errors import BudgetExceededError, ExpressionError
+from repro.expressions import parse_expr
+from repro.hardware import BGQ, RooflineModel
+from repro.hardware.roofline import BlockTime
+from repro.skeleton import parse_skeleton
+
+
+class TestDiagnostic:
+    def test_render_has_span_snippet_caret_hint(self):
+        diagnostic = Diagnostic(
+            code="SKOP102", message="unexpected token", severity="error",
+            source_name="m.skop", line=3, column=7,
+            snippet="  comp 1 ! flops", hint="remove the '!'")
+        text = diagnostic.render()
+        assert "m.skop:3:7: error[SKOP102]: unexpected token" in text
+        assert "  comp 1 ! flops" in text
+        assert text.splitlines()[2].rstrip().endswith("^")
+        assert "hint: remove the '!'" in text
+
+    def test_dict_round_trip(self):
+        diagnostic = Diagnostic(code="SKOP401", message="unbound 'x'",
+                                severity="error", site="f@3", line=3,
+                                phase="build")
+        assert diagnostic_from_dict(diagnostic.as_dict()) == diagnostic
+
+    def test_unknown_severity_rejected(self):
+        with pytest.raises(ValueError):
+            Diagnostic(code="SKOP101", message="x", severity="fatal")
+
+    def test_sorting_is_positional(self):
+        early = Diagnostic(code="SKOP102", message="a", line=2, column=1)
+        late = Diagnostic(code="SKOP102", message="b", line=9, column=1)
+        sink = DiagnosticSink()
+        sink.extend([late, early])
+        assert sink.sorted() == [early, late]
+
+    def test_every_code_documented(self):
+        for code, description in CODES.items():
+            assert code.startswith("SKOP") and len(code) == 7
+            assert description
+
+    def test_diagnostics_pickle(self):
+        diagnostic = Diagnostic(code="SKOP403", message="too deep",
+                                site="f@1")
+        assert pickle.loads(pickle.dumps(diagnostic)) == diagnostic
+
+
+class TestDiagnosticSink:
+    def test_emit_validates_codes(self):
+        sink = DiagnosticSink()
+        with pytest.raises(KeyError):
+            sink.emit("SKOP999", "no such code")
+
+    def test_severity_queries_and_summary(self):
+        sink = DiagnosticSink()
+        sink.emit("SKOP102", "bad", severity="error")
+        sink.emit("SKOP301", "meh", severity="warning")
+        assert sink.has_errors()
+        assert len(sink.errors) == 1 and len(sink.warnings) == 1
+        assert sink.summary() == "1 error, 1 warning"
+
+    def test_limit_counts_dropped(self):
+        sink = DiagnosticSink(limit=2)
+        for index in range(5):
+            sink.emit("SKOP102", f"e{index}")
+        assert len(sink) == 2 and sink.dropped == 3
+        assert "3 dropped" in sink.summary()
+
+
+class TestEvalBudget:
+    def test_expr_depth_ceiling(self):
+        expr = parse_expr("1" + " + 1" * 40)
+        budget = EvalBudget(max_expr_depth=8, max_expr_nodes=None)
+        with pytest.raises(BudgetExceededError) as info:
+            budget.check_expr(expr, where="f@1")
+        assert info.value.resource == "expr_depth"
+
+    def test_expr_node_ceiling(self):
+        expr = parse_expr(" + ".join(["n"] * 60))
+        budget = EvalBudget(max_expr_depth=None, max_expr_nodes=16)
+        with pytest.raises(BudgetExceededError) as info:
+            budget.check_expr(expr, where="f@1")
+        assert info.value.resource == "expr_nodes"
+
+    def test_wall_clock_expiry(self):
+        budget = EvalBudget(max_seconds=0.0)
+        budget.start_clock()
+        assert budget.expired()
+        with pytest.raises(BudgetExceededError) as info:
+            budget.check_clock("f@1")
+        assert info.value.resource == "wall_clock"
+
+    def test_budget_error_pickles(self):
+        error = BudgetExceededError("contexts", 64, "too many")
+        clone = pickle.loads(pickle.dumps(error))
+        assert clone.resource == "contexts" and clone.limit == 64
+
+
+POW_BOMB = """
+def main()
+  comp 9999999 ^ 9999999 flops
+end
+"""
+
+DEEP_NEST = "def main()\n  comp " + "(" * 120 + "1" + ")" * 120 \
+    + " flops\nend\n"
+
+
+class TestNumericHardening:
+    def test_integer_power_bomb_refused(self):
+        program = parse_skeleton(POW_BOMB)
+        with pytest.raises(ExpressionError) as info:
+            build_bet(program)
+        assert "domain error" in str(info.value)
+
+    def test_deep_nesting_refused_at_parse(self):
+        with pytest.raises(Exception) as info:
+            parse_skeleton(DEEP_NEST)
+        assert "nesting" in str(info.value)
+
+    def test_strict_build_respects_budget(self):
+        program = parse_skeleton(POW_BOMB.replace(
+            "9999999 ^ 9999999", "1 + 2 + 3 + 4 + 5 + 6 + 7 + 8"))
+        builder = BETBuilder(program,
+                             budget=EvalBudget(max_expr_depth=3,
+                                               max_expr_nodes=None))
+        with pytest.raises(BudgetExceededError):
+            builder.build(inputs={})
+
+
+class _PoisonModel:
+    """Roofline stand-in that projects NaN for every non-empty block."""
+
+    def __init__(self, machine):
+        self.machine = machine
+
+    def block_time(self, metrics):
+        if metrics.is_empty():
+            return BlockTime(0.0, 0.0, 0.0, 0.0)
+        nan = float("nan")
+        return BlockTime(nan, nan, 0.0, nan)
+
+
+class TestPoisoning:
+    def _root(self):
+        program = parse_skeleton(
+            "def main(n)\n  for i = 0 : n\n    comp 2 * n flops\n"
+            "  end\nend\n")
+        return build_bet(program, inputs={"n": 8})
+
+    def test_nan_blocks_zeroed_with_provenance(self):
+        from repro.analysis import characterize, total_time
+        sink = DiagnosticSink()
+        records = characterize(self._root(), _PoisonModel(BGQ), sink=sink)
+        poisoned = [r for r in records if r.poisoned]
+        assert poisoned, "NaN projection should poison at least one block"
+        for record in poisoned:
+            assert record.total == 0.0
+            assert "nan" in record.poison_reason
+        assert math.isfinite(total_time(records))
+        assert sink.by_code("SKOP501")
+        assert all(d.severity == "warning" and d.phase == "project"
+                   for d in sink.by_code("SKOP501"))
+
+    def test_healthy_projection_untouched(self):
+        from repro.analysis import characterize
+        sink = DiagnosticSink()
+        records = characterize(self._root(), RooflineModel(BGQ),
+                               sink=sink)
+        assert not any(r.poisoned for r in records)
+        assert len(sink) == 0

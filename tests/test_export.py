@@ -85,6 +85,64 @@ class TestConverters:
         assert "frozenset" in to_json({"v": frozenset({1})})
 
 
+class TestSchemaV2:
+    def test_selection_carries_schema_version(self, selection):
+        from repro.export import SCHEMA_VERSION
+        assert selection_to_dict(selection)["schema_version"] \
+            == SCHEMA_VERSION
+
+    def test_sweep_payload_has_resilience_keys(self):
+        from repro.analysis.sensitivity import sweep_machine
+        from repro.bet import build_bet
+        from repro.export import SCHEMA_VERSION, sweep_to_dict
+        program, inputs = load("pedagogical")
+        bet = build_bet(program, inputs=inputs)
+        payload = sweep_to_dict(
+            sweep_machine(bet, BGQ, "bandwidth", [1e10, 2e10]))
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert payload["completeness"] == 1.0
+        assert payload["diagnostics"] == []
+        assert all(point["completeness"] == 1.0
+                   for point in payload["points"])
+        json.loads(to_json(payload))
+
+    def test_grid_payload_has_resilience_keys(self):
+        from repro.export import SCHEMA_VERSION, grid_to_dict
+        from repro.parallel import sweep_grid
+        from repro.bet import build_bet
+        program, inputs = load("pedagogical")
+        bet = build_bet(program, inputs=inputs)
+        payload = grid_to_dict(
+            sweep_grid(bet, BGQ, {"bandwidth": [1e10, 2e10]}))
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert payload["completeness"] == 1.0
+        json.loads(to_json(payload))
+
+    def test_analysis_payload_round_trips(self):
+        from repro.experiments import analyze
+        from repro.export import SCHEMA_VERSION, analysis_to_dict
+        analysis = analyze("pedagogical", "bgq", keep_going=True)
+        payload = analysis_to_dict(analysis)
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert payload["completeness"] == 1.0
+        decoded = json.loads(to_json(payload))
+        assert decoded["workload"] == "pedagogical"
+        assert decoded["selection"]["spots"]
+
+    def test_diagnostics_round_trip(self):
+        from repro.diagnostics import Diagnostic
+        from repro.export import diagnostics_from_dicts, \
+            diagnostics_to_dicts
+        diagnostics = [
+            Diagnostic(code="SKOP401", message="unbound 'x'",
+                       site="f@3", line=3, phase="build"),
+            Diagnostic(code="SKOP501", message="NaN total",
+                       severity="warning", site="g@9", phase="project"),
+        ]
+        encoded = json.loads(to_json(diagnostics_to_dicts(diagnostics)))
+        assert diagnostics_from_dicts(encoded) == diagnostics
+
+
 class TestCLIJson:
     def test_project_json(self, capsys):
         assert cli_main(["project", "pedagogical", "--json"]) == 0

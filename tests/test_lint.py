@@ -133,6 +133,100 @@ end
         assert str(warning) == "W999 main@1: something"
 
 
+CHAIN = """
+def main()
+  if prob 0.7
+    comp 1 flops
+  else
+    if prob 0.6
+      comp 2 flops
+    end
+  end
+end
+"""
+
+
+class TestChainAndWhileChecks:
+    def test_w010_chain_probabilities_exceed_one(self):
+        warnings = lint_of(CHAIN)
+        found = [w for w in warnings if w.code == "W010"]
+        assert len(found) == 1           # reported at the head only
+        assert "1.3" in found[0].message
+
+    def test_w010_ok_chain_quiet(self):
+        warnings = lint_of("""
+def main()
+  if prob 0.4
+    comp 1 flops
+  else
+    if prob 0.5
+      comp 2 flops
+    end
+  end
+end
+""")
+        assert "W010" not in codes(warnings)
+
+    def test_w010_symbolic_prob_disarms_check(self):
+        warnings = lint_of("""
+def main(p)
+  if prob p
+    comp 1 flops
+  else
+    if prob 0.9
+      comp 2 flops
+    end
+  end
+end
+""")
+        assert "W010" not in codes(warnings)
+
+    def test_w011_expect_tracks_body_assignment(self):
+        warnings = lint_of("""
+def main()
+  var err = 100
+  while expect err / 10
+    comp 1 flops
+    var err = err / 2
+  end
+end
+""")
+        found = [w for w in warnings if w.code == "W011"]
+        assert len(found) == 1 and "'err'" in found[0].message
+
+    def test_w011_constant_expect_quiet(self):
+        warnings = lint_of("""
+def main(n)
+  while expect n
+    comp 1 flops
+    var other = 3
+  end
+end
+""")
+        assert "W011" not in codes(warnings)
+
+
+class TestDiagnosticBridge:
+    """LintWarnings are Diagnostics with stable SKOP codes."""
+
+    def test_warning_is_a_diagnostic(self):
+        from repro.diagnostics import Diagnostic
+        (warning,) = [w for w in lint_of(CHAIN) if w.code == "W010"]
+        assert isinstance(warning, Diagnostic)
+        assert warning.severity == "warning"
+        assert warning.stable_code == "SKOP310"
+
+    def test_warning_dict_has_both_codes(self):
+        (warning,) = [w for w in lint_of(CHAIN) if w.code == "W010"]
+        payload = warning.as_dict()
+        assert payload["code"] == "SKOP310"
+        assert payload["legacy_code"] == "W010"
+
+    def test_warning_line_parsed_from_site(self):
+        (warning,) = [w for w in lint_of(CHAIN) if w.code == "W010"]
+        assert warning.line == 3        # the chain head's line
+
+
 class TestSuiteIsClean:
     @pytest.mark.parametrize("name", ["sord", "chargei", "srad", "cfd",
                                       "stassuij", "pedagogical"])

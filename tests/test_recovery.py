@@ -1,0 +1,243 @@
+"""Tests for error-recovery parsing, degraded BET builds, and budgets.
+
+Covers the resilience contract end to end: corrupted skeletons yield
+diagnostics (never crashes) plus a usable partial program; faulty
+subtrees quarantine instead of killing a build; resource budgets turn
+pathological inputs into bounded, diagnosed failures.
+"""
+
+import time
+
+import pytest
+
+from repro.bet import build_bet_degraded
+from repro.bet.nodes import render_tree
+from repro.diagnostics import DiagnosticSink, EvalBudget
+from repro.diagnostics.corpus import CORRUPTIONS, run_corpus
+from repro.errors import SkeletonSyntaxError
+from repro.hardware import BGQ, RooflineModel
+from repro.skeleton import parse_skeleton, parse_skeleton_recover
+from repro.workloads import names, spec
+
+THREE_ERRORS = """\
+def main(n)
+  comp 1 $ flops
+  for i = 0 : n
+    comp 2 ** flops
+  end
+  frobnicate 12
+  comp 3 flops
+end
+"""
+
+
+class TestRecoveryParsing:
+    def test_three_errors_reported_with_spans(self):
+        result = parse_skeleton_recover(THREE_ERRORS,
+                                        source_name="bad.skop")
+        sink = result.diagnostics
+        assert not result.ok
+        spans = {(d.code, d.line) for d in sink.errors}
+        assert ("SKOP101", 2) in spans      # the '$'
+        assert ("SKOP107", 4) in spans      # the '**'
+        assert ("SKOP106", 6) in spans      # 'frobnicate'
+        assert len(sink.errors) >= 3
+        assert all(d.source_name == "bad.skop" for d in sink.errors)
+        assert all(d.column >= 1 for d in sink.errors)
+
+    def test_partial_program_survives(self):
+        result = parse_skeleton_recover(THREE_ERRORS)
+        program = result.program
+        assert program is not None
+        assert "main" in program.functions
+        # the healthy statements around the bad lines are retained
+        assert program.statement_count() >= 3
+
+    def test_strict_mode_raises_first_error_only(self):
+        with pytest.raises(SkeletonSyntaxError) as info:
+            parse_skeleton(THREE_ERRORS)
+        assert info.value.line == 2         # stops at the first fault
+
+    def test_clean_source_is_ok(self):
+        result = parse_skeleton_recover(spec("pedagogical").skeleton_text)
+        assert result.ok
+        assert len(result.diagnostics) == 0
+
+    def test_snippets_carry_the_offending_line(self):
+        result = parse_skeleton_recover(THREE_ERRORS)
+        dollar = next(d for d in result.diagnostics.errors
+                      if d.code == "SKOP101")
+        assert "$" in dollar.snippet
+
+
+class TestFaultCorpus:
+    """Every corruption of every shipped skeleton is diagnosed, with a
+    non-empty partial program, and never a crash."""
+
+    @pytest.mark.parametrize("workload", names())
+    @pytest.mark.parametrize("corruption", sorted(CORRUPTIONS))
+    def test_corrupted_workload_is_diagnosed(self, workload, corruption):
+        corrupted = CORRUPTIONS[corruption](spec(workload).skeleton_text)
+        result = parse_skeleton_recover(
+            corrupted, source_name=f"<{workload}/{corruption}>")
+        sink = result.diagnostics
+        if result.program is not None and not sink.has_errors():
+            from repro.skeleton.lint import lint_program
+            sink.extend(lint_program(result.program))
+        assert len(sink) >= 1, "corruption passed silently"
+        assert result.program is not None
+        assert result.program.statement_count() > 0
+        for diagnostic in sink:
+            # lint findings keep their legacy W-code on `.code`; the
+            # stable code is on `.stable_code`
+            stable = getattr(diagnostic, "stable_code", diagnostic.code)
+            assert stable.startswith("SKOP")
+            assert diagnostic.line >= 0
+
+    def test_run_corpus_report_shape(self):
+        report = run_corpus(
+            {"pedagogical": spec("pedagogical").skeleton_text})
+        assert set(report) == {f"pedagogical/{name}"
+                               for name in CORRUPTIONS}
+        for entry in report.values():
+            assert entry["ok"], entry
+            assert entry["diagnostics"]
+            assert "crash" not in entry
+
+
+TWO_FUNCTIONS = """\
+def main(n)
+  call healthy(n)
+  call broken(n)
+end
+
+def healthy(m)
+  for i = 0 : m
+    comp 2 * m flops
+  end
+end
+
+def broken(m)
+  for j = 0 : missing_var
+    comp m flops
+  end
+end
+"""
+
+
+class TestDegradedBuilds:
+    def test_quarantine_keeps_the_healthy_function(self):
+        program = parse_skeleton(TWO_FUNCTIONS)
+        report = build_bet_degraded(program, inputs={"n": 16})
+        assert report.root is not None
+        assert not report.ok
+        assert len(report.quarantined) == 1
+        assert report.quarantined[0].diagnostic.code == "SKOP401"
+        # the healthy callee still projects
+        sites = {node.site for node in report.root.blocks()}
+        assert any(site.startswith("healthy@") for site in sites)
+
+    def test_completeness_arithmetic(self):
+        program = parse_skeleton(TWO_FUNCTIONS)
+        report = build_bet_degraded(program, inputs={"n": 16})
+        total = program.statement_count()
+        # quarantining `call broken(n)` prunes the call statement's
+        # subtree: the loop and its comp inside `broken`
+        assert 0.0 < report.completeness < 1.0
+        quarantined = round((1.0 - report.completeness) * total)
+        assert quarantined >= 1
+
+    def test_quarantine_rendered_with_diagnostic(self):
+        program = parse_skeleton(TWO_FUNCTIONS)
+        report = build_bet_degraded(program, inputs={"n": 16})
+        rendering = render_tree(report.root)
+        assert "!! SKOP401" in rendering
+
+    def test_projection_skips_quarantined_blocks(self):
+        from repro.analysis import characterize, total_time
+        program = parse_skeleton(TWO_FUNCTIONS)
+        report = build_bet_degraded(program, inputs={"n": 16})
+        records = characterize(report.root, RooflineModel(BGQ))
+        assert total_time(records) > 0.0
+        assert all(record.node.kind != "quarantine"
+                   for record in records)
+
+    def test_completeness_flows_into_sweep_points(self):
+        from repro.analysis.sensitivity import sweep_machine
+        program = parse_skeleton(TWO_FUNCTIONS)
+        report = build_bet_degraded(program, inputs={"n": 16})
+        result = sweep_machine(report.root, BGQ, "bandwidth",
+                               [1e10, 2e10])
+        assert result.completeness == report.completeness
+        assert all(point.completeness == report.completeness
+                   for point in result.points)
+        assert "degraded model" in result.render()
+
+    def test_sweep_json_reports_completeness(self):
+        from repro.analysis.sensitivity import sweep_machine
+        from repro.export import SCHEMA_VERSION, sweep_to_dict
+        program = parse_skeleton(TWO_FUNCTIONS)
+        report = build_bet_degraded(program, inputs={"n": 16})
+        payload = sweep_to_dict(sweep_machine(report.root, BGQ,
+                                              "bandwidth", [1e10]))
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert payload["completeness"] == pytest.approx(
+            report.completeness)
+        assert payload["points"][0]["completeness"] == pytest.approx(
+            report.completeness)
+
+    def test_clean_program_is_complete(self):
+        program = parse_skeleton(spec("pedagogical").skeleton_text)
+        report = build_bet_degraded(
+            program, inputs=dict(spec("pedagogical").default_inputs))
+        assert report.ok
+        assert report.completeness == 1.0
+        assert report.quarantined == []
+
+
+#: unprofiled-free skeleton that recurses heavily: every call level
+#: doubles the work, so an unbounded build would grind for a long time
+PATHOLOGICAL = """\
+def main(n)
+  call spin(n)
+end
+
+def spin(m)
+  for i = 0 : 99999 as "a"
+    if prob 0.5
+      comp m ^ 2 flops
+    else
+      comp m ^ 3 flops
+    end
+  end
+  call spin(m + 1)
+end
+"""
+
+
+class TestBudgetGuards:
+    def test_wall_clock_budget_cuts_off_pathological_build(self):
+        program = parse_skeleton(PATHOLOGICAL)
+        budget = EvalBudget(max_seconds=0.5)
+        started = time.perf_counter()
+        report = build_bet_degraded(program, inputs={"n": 2},
+                                    budget=budget,
+                                    sink=DiagnosticSink())
+        elapsed = time.perf_counter() - started
+        assert elapsed < 5.0, f"budget did not bound the build: {elapsed}"
+        codes = {d.code for d in report.diagnostics}
+        # cut off either by the clock or by the recursion ceiling,
+        # whichever trips first — both are diagnosed, never a hang
+        assert codes & {"SKOP602", "SKOP403"}
+
+    def test_context_ceiling_truncates_in_degraded_mode(self):
+        source = "def main()\n" + "".join(
+            f"  if prob 0.5\n    var v{index} = 1\n  else\n"
+            f"    var v{index} = 2\n  end\n"
+            for index in range(8)) + "  comp 1 flops\nend\n"
+        program = parse_skeleton(source)
+        budget = EvalBudget(max_contexts=8)
+        report = build_bet_degraded(program, budget=budget,
+                                    sink=DiagnosticSink())
+        assert report.root is not None
+        assert report.diagnostics.by_code("SKOP402")

@@ -203,6 +203,59 @@ class TestParserErrors:
             parse_one("comp 4 flops div 1 div 2")
 
 
+class TestErrorSpans:
+    """Exact 1-based line/column spans on parse errors."""
+
+    def test_trailing_garbage_points_at_the_garbage(self):
+        with pytest.raises(SkeletonSyntaxError) as info:
+            parse_skeleton("def main()\n  comp 1 flops junk\nend\n",
+                           source_name="t.skop")
+        assert (info.value.line, info.value.column) == (2, 16)
+        assert info.value.code == "SKOP102"
+
+    def test_bad_character_column(self):
+        with pytest.raises(SkeletonSyntaxError) as info:
+            parse_skeleton("def main()\n  comp 1 $ flops\nend\n")
+        assert (info.value.line, info.value.column) == (2, 10)
+        assert info.value.code == "SKOP101"
+
+    def test_line_numbers_survive_blank_and_comment_runs(self):
+        source = ("# header\n\n# more\ndef main()\n\n"
+                  "  comp 1 $ flops\nend\n")
+        with pytest.raises(SkeletonSyntaxError) as info:
+            parse_skeleton(source)
+        assert (info.value.line, info.value.column) == (6, 10)
+
+    def test_end_of_line_error_points_past_last_token(self):
+        with pytest.raises(SkeletonSyntaxError) as info:
+            parse_skeleton("def main()\n  comp 1\nend\n")
+        # '1' ends at column 8; the missing unit is reported at 9
+        assert (info.value.line, info.value.column) == (2, 9)
+
+    def test_expression_error_points_into_the_expression(self):
+        with pytest.raises(SkeletonSyntaxError) as info:
+            parse_skeleton("def main()\n  if prob 2 +\n  end\nend\n")
+        assert info.value.code == "SKOP107"
+        assert info.value.line == 2
+        # past the dangling '+', where the operand should be
+        assert info.value.column == 14
+
+    def test_comment_hash_inside_quoted_label_is_kept(self):
+        program = parse_skeleton(
+            'def main()\n  for i = 0 : 4 as "k#1"\n'
+            "    comp 1 flops\n  end\nend\n")
+        loop = program.entry.body[0]
+        assert loop.label == "k#1"
+
+    def test_unclosed_block_points_at_the_opener(self):
+        with pytest.raises(SkeletonSyntaxError) as info:
+            parse_skeleton("def main()\n  for i = 0 : 3\n"
+                           "  comp 1 flops\nend")
+        assert info.value.code == "SKOP103"
+        # the lone 'end' closes the for; the unclosed def opened on line 1
+        assert (info.value.line, info.value.column) == (1, 1)
+
+
 class TestSemanticValidation:
     def test_duplicate_function(self):
         with pytest.raises(SemanticError):

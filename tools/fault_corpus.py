@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Run the fault-injection corpus over every workload skeleton.
+
+Each registered workload's ``.skop`` text is corrupted in every way
+:mod:`repro.diagnostics.corpus` knows (truncation, bad token, bad
+probability) and fed through the recovery parser.  The run fails —
+nonzero exit — when any variant crashes the parser or produces zero
+diagnostics (a silently-swallowed fault), which is exactly the
+regression the ``pipeline-resilience`` CI job guards against.
+
+Usage::
+
+    PYTHONPATH=src python tools/fault_corpus.py [--json OUT.json]
+
+``--json`` additionally writes the full per-variant report (diagnostics
+with spans, recovery counts) for upload as a CI artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--json", metavar="PATH",
+                        help="write the full per-variant report here")
+    args = parser.parse_args(argv)
+
+    from repro.diagnostics.corpus import run_corpus
+    from repro.workloads import names, spec
+
+    sources = {name: spec(name).skeleton_text for name in names()}
+    report = run_corpus(sources)
+
+    failed = []
+    for key in sorted(report):
+        entry = report[key]
+        if entry.get("crash"):
+            status = f"CRASH ({entry['crash']})"
+            failed.append(key)
+        elif not entry["ok"]:
+            status = "SILENT (0 diagnostics)"
+            failed.append(key)
+        else:
+            status = (f"ok: {len(entry['diagnostics'])} diagnostic(s), "
+                      f"{entry['functions_recovered']} function(s) / "
+                      f"{entry['statements_recovered']} statement(s) "
+                      f"recovered")
+        print(f"{key:32s} {status}")
+
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
+
+    total = len(report)
+    print(f"{total - len(failed)}/{total} corpus variants handled")
+    if failed:
+        print(f"FAILED: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
