@@ -1,15 +1,19 @@
 #!/usr/bin/env python
 """Expression fast-path benchmark: compiled closures vs the tree-walking
-interpreter, and symbolic BET replays vs fresh builds.
+interpreter, symbolic BET replays vs fresh builds, and the vectorized
+sweep backend vs point-by-point scalar sweeps.
 
-Writes ``BENCH_compile.json`` (repo root by default) with throughput
-numbers for both layers, plus a rendered summary under ``results/``.
-Exits non-zero if compiled evaluation is slower than interpretation —
-CI runs ``python benchmarks/bench_compile_eval.py --quick`` as a smoke
-gate and uploads the JSON as an artifact.
+Writes ``BENCH_compile.json`` and ``BENCH_vector.json`` (repo root by
+default) with throughput numbers, plus rendered summaries under
+``results/``.  Exits non-zero if compiled evaluation is slower than
+interpretation or the vector backend is slower than the scalar sweep —
+CI runs ``python benchmarks/bench_compile_eval.py --quick`` (a 256-point
+sweep) as a smoke gate and uploads the JSON as artifacts; the full run
+sweeps 1000 points.
 
 Usage:
     python benchmarks/bench_compile_eval.py [--quick] [--output PATH]
+                                            [--vector-output PATH]
 """
 
 import argparse
@@ -94,21 +98,71 @@ def bench_rebind(workloads, rounds):
     return rows
 
 
+def bench_vector_sweep(points_count, workloads):
+    """Whole input sweeps: batched array replay vs scalar point loop.
+
+    Both backends produce identical points (asserted), so the comparison
+    is pure backend overhead at equal output.
+    """
+    from repro.hardware import machine_by_name
+    from repro.parallel import clear_symbolic_cache, sweep_inputs
+
+    machine = machine_by_name("bgq")
+    rows = {}
+    for name in workloads:
+        program, inputs = load(name)
+        axis = next(iter(inputs))
+        base = float(inputs[axis])
+        axes = {axis: [base * (1.0 + index / points_count)
+                       for index in range(points_count)]}
+        elapsed = {}
+        results = {}
+        for backend in ("scalar", "vector"):
+            clear_symbolic_cache()
+            started = time.perf_counter()
+            results[backend] = sweep_inputs(program, machine, axes,
+                                            base_inputs=inputs,
+                                            backend=backend)
+            elapsed[backend] = time.perf_counter() - started
+        assert [(p.runtime, p.ranking) for p in
+                results["vector"].points] == \
+            [(p.runtime, p.ranking) for p in results["scalar"].points]
+        stats = results["vector"].cache_stats
+        rows[name] = {
+            "points": points_count,
+            "scalar_s": elapsed["scalar"],
+            "vector_s": elapsed["vector"],
+            "speedup": elapsed["scalar"] / elapsed["vector"],
+            "lanes_vectorized": stats.get("lanes_vectorized", 0.0),
+            "lanes_fallback": stats.get("lanes_fallback", 0.0),
+        }
+    return rows
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true",
                         help="smoke-test sizing for CI")
     parser.add_argument("--output", default=str(REPO_ROOT /
                                                "BENCH_compile.json"))
+    parser.add_argument("--vector-output",
+                        default=str(REPO_ROOT / "BENCH_vector.json"))
     args = parser.parse_args(argv)
 
     iterations = 20_000 if args.quick else 200_000
     rounds = 20 if args.quick else 100
+    sweep_points = 256 if args.quick else 1000
     workloads = ["pedagogical", "cfd"] if args.quick else \
         ["pedagogical", "cfd", "srad", "sord"]
 
     expressions = bench_expressions(iterations)
     rebind = bench_rebind(workloads, rounds)
+    try:
+        from repro.arrayops import HAVE_NUMPY
+    except ImportError:                                # pragma: no cover
+        HAVE_NUMPY = False
+    vector = (bench_vector_sweep(sweep_points, workloads)
+              if HAVE_NUMPY else {})
 
     total_interp = sum(r["interpreted_eval_per_s"] for r in expressions)
     total_compiled = sum(r["compiled_eval_per_s"] for r in expressions)
@@ -132,6 +186,26 @@ def main(argv=None):
     output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n",
                       encoding="utf-8")
 
+    vector_ok = all(row["speedup"] >= 1.0 for row in vector.values())
+    vector_report = {
+        "mode": "quick" if args.quick else "full",
+        "sweep_points": sweep_points,
+        "numpy_available": HAVE_NUMPY,
+        "workloads": vector,
+        "aggregate": {
+            "scalar_s": sum(r["scalar_s"] for r in vector.values()),
+            "vector_s": sum(r["vector_s"] for r in vector.values()),
+            "speedup": (sum(r["scalar_s"] for r in vector.values())
+                        / sum(r["vector_s"] for r in vector.values()))
+            if vector else 0.0,
+        },
+        "checks": {"vector_not_slower_than_scalar": vector_ok},
+    }
+    vector_output = pathlib.Path(args.vector_output)
+    vector_output.write_text(
+        json.dumps(vector_report, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8")
+
     lines = ["compiled vs interpreted expression evaluation "
              f"({iterations} evals each)",
              f"{'expression':<28} {'interp/s':>12} {'compiled/s':>12} "
@@ -150,9 +224,22 @@ def main(argv=None):
     for name, row in rebind.items():
         lines.append(f"{name:<14} {row['fresh_build_ms']:10.3f} "
                      f"{row['replay_ms']:10.3f} {row['speedup']:7.2f}x")
+    if vector:
+        lines.append("")
+        lines.append(f"vector vs scalar sweep backend "
+                     f"({sweep_points}-point input sweeps)")
+        lines.append(f"{'workload':<14} {'scalar s':>10} {'vector s':>10} "
+                     f"{'speedup':>8} {'fallback':>9}")
+        for name, row in vector.items():
+            lines.append(f"{name:<14} {row['scalar_s']:10.3f} "
+                         f"{row['vector_s']:10.3f} {row['speedup']:7.2f}x "
+                         f"{int(row['lanes_fallback']):9d}")
+        agg = vector_report["aggregate"]
+        lines.append(f"{'aggregate':<14} {agg['scalar_s']:10.3f} "
+                     f"{agg['vector_s']:10.3f} {agg['speedup']:7.2f}x")
     summary = "\n".join(lines)
     print(summary)
-    print(f"\nwrote {output}")
+    print(f"\nwrote {output} and {vector_output}")
 
     results_dir = REPO_ROOT / "results"
     results_dir.mkdir(exist_ok=True)
@@ -162,6 +249,10 @@ def main(argv=None):
     if not compiled_not_slower:
         print("FAIL: compiled evaluation is slower than the interpreter",
               file=sys.stderr)
+        return 1
+    if not vector_ok:
+        print("FAIL: the vector sweep backend is slower than the scalar "
+              "backend", file=sys.stderr)
         return 1
     return 0
 

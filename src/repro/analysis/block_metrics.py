@@ -19,7 +19,7 @@ from ..hardware.metrics import Metrics
 from ..hardware.roofline import BlockTime
 
 
-@dataclass
+@dataclass(slots=True)
 class BlockRecord:
     """One BET code block with its projected timing.
 

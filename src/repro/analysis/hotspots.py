@@ -27,7 +27,7 @@ from ..errors import AnalysisError
 from .block_metrics import BlockRecord
 
 
-@dataclass
+@dataclass(slots=True)
 class HotSpot:
     """A source-level code block aggregated over all of its invocations."""
 

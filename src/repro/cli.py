@@ -235,10 +235,20 @@ def build_parser() -> argparse.ArgumentParser:
                               help="per-point wall-clock bound when "
                                    "workers > 1; a hung point fails "
                                    "without stalling the sweep")
+    sweep_parser.add_argument("--backend", default="auto",
+                              choices=("scalar", "vector", "auto"),
+                              help="evaluation backend for input-axis "
+                                   "sweeps: 'vector' batches all points "
+                                   "through one array replay, 'scalar' "
+                                   "evaluates point-by-point, 'auto' "
+                                   "(default) picks vector for pure "
+                                   "input sweeps of >= 64 points")
     sweep_parser.add_argument("--stats", action="store_true",
                               help="print per-stage timings (build, "
-                                   "rebind, compile, project) and cache "
-                                   "counters after the sweep")
+                                   "rebind, compile, project, batch) and "
+                                   "cache counters — including lanes "
+                                   "vectorized vs lanes fallen back to "
+                                   "the scalar path — after the sweep")
 
     lint_parser = sub.add_parser(
         "lint", help="static diagnostics for a workload skeleton")
@@ -434,7 +444,8 @@ def _render_sweep_stats(result) -> str:
     """Per-stage timings and cache counters for ``--stats``."""
     lines = ["per-stage stats:"]
     timings = result.timings
-    for name in ("build", "rebind", "compile", "project", "total"):
+    for name in ("build", "rebind", "compile", "project", "batch",
+                 "total"):
         if name in timings:
             lines.append(f"  {name + ' seconds':<24} {timings[name]:.6f}")
     counters = dict(getattr(result, "cache_stats", None) or {})
@@ -473,7 +484,13 @@ def _cmd_sweep(args) -> str:
                       timeout=args.timeout, checkpoint=args.checkpoint,
                       resume=args.resume, checkpoint_key=checkpoint_key)
     has_input_axes = any(name.startswith(INPUT_PREFIX) for name in grid)
+    backend = getattr(args, "backend", "auto")
     if len(grid) == 1 and not has_input_axes:
+        if backend == "vector":
+            raise ReproError(
+                "--backend vector needs at least one 'input:' axis; "
+                "machine-parameter sweeps re-project one prebuilt tree "
+                "and are always scalar")
         bet = build_bet_cached(program, inputs)
         parameter, values = next(iter(grid.items()))
         result = sweep_machine(bet, machine, parameter, values,
@@ -488,16 +505,18 @@ def _cmd_sweep(args) -> str:
         bet = None if has_input_axes else build_bet_cached(program, inputs)
         result = sweep_grid(bet, machine, grid, k=args.top,
                             workers=args.workers, program=program,
-                            inputs=inputs, **resilience)
+                            inputs=inputs, backend=backend, **resilience)
         if args.json:
             from .export import grid_to_dict, to_json
             return to_json(grid_to_dict(result))
     timings = result.timings
     failed = int(timings.get("failed", 0))
     resumed = int(timings.get("resumed", 0))
+    backend_used = getattr(result, "backend", None)
     footer = (f"[{int(timings.get('points', 0))} points in "
               f"{timings.get('total', 0.0):.3f}s, "
-              f"workers={int(timings.get('workers', 1))}"
+              + (f"backend={backend_used}, " if backend_used else "")
+              + f"workers={int(timings.get('workers', 1))}"
               + (f", {failed} failed" if failed else "")
               + (f", {resumed} resumed" if resumed else "") + "]")
     output = result.render() + "\n" + footer

@@ -146,6 +146,36 @@ def sweep_to_dict(result) -> Dict[str, Any]:
     }
 
 
+def input_sweep_to_dict(result) -> Dict[str, Any]:
+    """An input-axis sweep (:class:`InputSweepResult`).
+
+    ``backend`` records which evaluation path produced the points
+    (``"scalar"`` or ``"vector"``); appending the key keeps
+    :data:`SCHEMA_VERSION` at 2.
+    """
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "parameters": result.parameters,
+        "axes": {name: list(values)
+                 for name, values in result.axes.items()},
+        "base_inputs": dict(result.base_inputs),
+        "backend": getattr(result, "backend", "scalar"),
+        "timings": dict(result.timings),
+        "cache_stats": dict(result.cache_stats),
+        "completeness": getattr(result, "completeness", 1.0),
+        "points": [{
+            "inputs": dict(point.inputs),
+            "runtime_seconds": point.runtime,
+            "memory_fraction": point.memory_fraction,
+            "top_spot": point.top_label,
+            "ranking": list(point.ranking[:10]),
+            "completeness": getattr(point, "completeness", 1.0),
+        } for point in result.points],
+        "failures": [failure.as_dict()
+                     for failure in getattr(result, "failures", [])],
+    }
+
+
 def grid_to_dict(result) -> Dict[str, Any]:
     """An N-dimensional design-space grid (:class:`GridResult`)."""
     return {
@@ -153,6 +183,7 @@ def grid_to_dict(result) -> Dict[str, Any]:
         "parameters": result.parameters,
         "grid": {name: list(values)
                  for name, values in result.grid.items()},
+        "backend": getattr(result, "backend", "scalar"),
         "timings": dict(result.timings),
         "cache_stats": dict(result.cache_stats),
         "completeness": getattr(result, "completeness", 1.0),

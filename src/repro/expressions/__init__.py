@@ -34,6 +34,7 @@ from .simplify import simplify
 from .evaluator import evaluate, evaluate_bool, try_evaluate
 from .compile import (
     compile_expr,
+    compile_expr_vector,
     compiled_source,
     compile_stats,
     clear_compile_cache,
@@ -56,6 +57,7 @@ __all__ = [
     "evaluate_bool",
     "try_evaluate",
     "compile_expr",
+    "compile_expr_vector",
     "compiled_source",
     "compile_stats",
     "clear_compile_cache",

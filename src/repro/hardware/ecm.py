@@ -23,6 +23,7 @@ but not with each other.
 
 from __future__ import annotations
 
+from ..arrayops import is_array, vmax, vmin, vwhere
 from ..errors import HardwareModelError
 from .machine import MachineModel, ensure_valid_machine
 from .metrics import Metrics
@@ -60,10 +61,18 @@ class ECMModel:
         if self.model_division:
             plain -= metrics.div_flops
             cycles += metrics.div_flops * machine.div_cost
-        if self.model_vectorization and metrics.vec_flops > 0:
-            vectorized = min(metrics.vec_flops, plain)
-            plain -= vectorized
-            cycles += vectorized / machine.vector_flops_per_cycle
+        if self.model_vectorization:
+            vec = metrics.vec_flops
+            if is_array(vec) or is_array(plain):
+                # lane-wise twin: lanes without vectorizable flops add 0.0
+                vectorized = vwhere(vec > 0, vmin(vec, plain), 0.0)
+                plain = plain - vectorized
+                cycles = (cycles
+                          + vectorized / machine.vector_flops_per_cycle)
+            elif vec > 0:
+                vectorized = min(vec, plain)
+                plain -= vectorized
+                cycles += vectorized / machine.vector_flops_per_cycle
         cycles += plain / machine.scalar_flops_per_cycle
         cycles += metrics.iops * machine.iop_latency / machine.issue_width
         return cycles
@@ -81,16 +90,20 @@ class ECMModel:
         latency_term = mem_lines * machine.dram_latency / machine.mlp
         bandwidth_term = (metrics.total_bytes * miss * miss
                           * machine.frequency_hz / machine.bandwidth)
-        t_l2mem = max(latency_term, bandwidth_term)
+        t_l2mem = vmax(latency_term, bandwidth_term)
         return t_nol + t_l1l2 + t_l2mem
 
     # -- combined ----------------------------------------------------------
     def block_time(self, metrics: Metrics) -> BlockTime:
-        """``T = max(T_core, T_data)`` with the data path serialized."""
+        """``T = max(T_core, T_data)`` with the data path serialized.
+
+        Like the roofline, accepts array-shaped metrics fields and then
+        returns a lane-shaped :class:`BlockTime`.
+        """
         cycle_time = self.machine.cycle_time
         compute = self.core_cycles(metrics) * cycle_time
         memory = self.data_cycles(metrics) * cycle_time
-        total = max(compute, memory)
+        total = vmax(compute, memory)
         overlap = compute + memory - total   # == min(compute, memory)
         return BlockTime(compute=compute, memory=memory, overlap=overlap,
                          total=total)

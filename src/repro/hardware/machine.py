@@ -15,6 +15,7 @@ import math
 from dataclasses import dataclass, replace
 from typing import Dict, List
 
+from ..arrayops import vmax
 from ..errors import HardwareModelError, ValidationError
 
 #: machine fields that must be strictly positive for any model to be
@@ -134,7 +135,9 @@ class MachineModel:
                           + elements * f_l1 * self.l1_latency) / self.mlp
         dram_bytes = f_dram * nbytes
         bandwidth_cycles = dram_bytes * self.frequency_hz / self.bandwidth
-        return max(latency_cycles, bandwidth_cycles)
+        # vmax so the vector sweep backend can pass lane arrays; scalar
+        # callers get the builtin max, bit-identical to before
+        return vmax(latency_cycles, bandwidth_cycles)
 
     def describe(self) -> Dict[str, float]:
         """Flat dictionary for reports and sweeps."""

@@ -13,12 +13,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 
-@dataclass
+@dataclass(slots=True)
 class Metrics:
     """Operation and data-movement counts for one invocation of a block.
 
     All values are per single invocation; multiply by the block's expected
-    number of repetitions (ENR) to obtain whole-run totals.
+    number of repetitions (ENR) to obtain whole-run totals.  Slotted: BETs
+    hold one instance per block across thousands-of-point sweeps, so the
+    per-instance dict is measurable overhead.
     """
 
     flops: float = 0.0          #: floating-point operations
@@ -46,11 +48,15 @@ class Metrics:
         replay, which clamps every count before it gets here).  State is
         identical to the validated constructor's."""
         metrics = cls.__new__(cls)
-        metrics.__dict__ = {
-            "flops": flops, "iops": iops, "div_flops": div_flops,
-            "vec_flops": vec_flops, "loads": loads, "stores": stores,
-            "load_bytes": load_bytes, "store_bytes": store_bytes,
-            "static_size": static_size}
+        metrics.flops = flops
+        metrics.iops = iops
+        metrics.div_flops = div_flops
+        metrics.vec_flops = vec_flops
+        metrics.loads = loads
+        metrics.stores = stores
+        metrics.load_bytes = load_bytes
+        metrics.store_bytes = store_bytes
+        metrics.static_size = static_size
         return metrics
 
     # -- composition ----------------------------------------------------

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from typing import NamedTuple
 
+from ..arrayops import is_array, vmax, vmin, vwhere
 from ..errors import HardwareModelError
 from .machine import MachineModel, ensure_valid_machine
 from .metrics import Metrics
@@ -46,6 +47,10 @@ class BlockTime(NamedTuple):
     memory: float       #: Tm
     overlap: float      #: To
     total: float        #: T = Tc + Tm − To
+
+    # Fields are floats on the scalar path and 1-D lane arrays when the
+    # vector sweep backend projects a whole input sweep at once; the
+    # arithmetic below is shape-polymorphic either way.
 
     @property
     def bound(self) -> str:
@@ -101,10 +106,19 @@ class RooflineModel:
         if self.model_division:
             plain_flops -= metrics.div_flops
             cycles += metrics.div_flops * machine.div_cost
-        if self.model_vectorization and metrics.vec_flops > 0:
-            vectorized = min(metrics.vec_flops, plain_flops)
-            plain_flops -= vectorized
-            cycles += vectorized / machine.vector_flops_per_cycle
+        if self.model_vectorization:
+            vec = metrics.vec_flops
+            if is_array(vec) or is_array(plain_flops):
+                # lane-wise twin of the scalar branch below: lanes with
+                # no vectorizable flops contribute an exact 0.0
+                vectorized = vwhere(vec > 0, vmin(vec, plain_flops), 0.0)
+                plain_flops = plain_flops - vectorized
+                cycles = (cycles
+                          + vectorized / machine.vector_flops_per_cycle)
+            elif vec > 0:
+                vectorized = min(vec, plain_flops)
+                plain_flops -= vectorized
+                cycles += vectorized / machine.vector_flops_per_cycle
         cycles += plain_flops / machine.scalar_flops_per_cycle
         cycles += metrics.iops * machine.iop_latency / machine.issue_width
         return cycles * machine.cycle_time
@@ -131,19 +145,23 @@ class RooflineModel:
     @staticmethod
     def overlap_degree(metrics: Metrics) -> float:
         """δ = 1 − 1/max(Num_fp_ops, 1): overlap likelihood heuristic."""
-        return 1.0 - 1.0 / max(metrics.flops, 1.0)
+        return 1.0 - 1.0 / vmax(metrics.flops, 1.0)
 
     # -- combined ---------------------------------------------------------
     def block_time(self, metrics: Metrics) -> BlockTime:
-        """Project one invocation of a block: ``T = Tc + Tm − To``."""
+        """Project one invocation of a block: ``T = Tc + Tm − To``.
+
+        Accepts array-shaped metrics fields (one lane per sweep point)
+        and returns a lane-shaped :class:`BlockTime` in that case.
+        """
         compute = self.compute_time(metrics)
         memory = self.memory_time(metrics)
         if not self.overlap:
             # naive roofline: assume perfect overlap always
-            shorter = min(compute, memory)
+            shorter = vmin(compute, memory)
             return BlockTime(compute, memory, shorter,
-                             max(compute, memory))
-        overlapped = min(compute, memory) * self.overlap_degree(metrics)
+                             vmax(compute, memory))
+        overlapped = vmin(compute, memory) * self.overlap_degree(metrics)
         return BlockTime(compute, memory, overlapped,
                          compute + memory - overlapped)
 

@@ -15,13 +15,24 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, Hashable, Optional
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheStats:
-    """Cumulative counters for one :class:`LRUCache`."""
+    """Cumulative counters for one :class:`LRUCache`.
+
+    The owning cache mutates the counters only under its lock and keeps
+    this object for its whole lifetime (``clear(reset_stats=True)`` zeroes
+    the fields in place), so holders of a stats reference never observe a
+    stale, replaced object.
+    """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
 
     @property
     def requests(self) -> int:
@@ -101,7 +112,11 @@ class LRUCache:
         value = factory()
         with self._lock:
             if key in self._data:
+                # another thread inserted while the factory ran: serve its
+                # value and count the hit under the same lock that guards
+                # the recency update
                 self._data.move_to_end(key)
+                self.stats.hits += 1
                 return self._data[key]
             self._data[key] = value
             while len(self._data) > self.maxsize:
@@ -113,7 +128,15 @@ class LRUCache:
         with self._lock:
             self._data.clear()
             if reset_stats:
-                self.stats = CacheStats()
+                # reset in place (never replace the object) so concurrent
+                # readers and held references stay consistent
+                self.stats.reset()
+
+    def stats_dict(self) -> Dict[str, float]:
+        """Atomic snapshot of the counters (one lock acquisition, so the
+        fields are mutually consistent even while workers record)."""
+        with self._lock:
+            return self.stats.as_dict()
 
     def keys(self):
         with self._lock:

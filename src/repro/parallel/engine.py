@@ -36,7 +36,9 @@ import traceback as _tb
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from .. import arrayops as _aops
 from ..analysis.sensitivity import project_machine, project_with_model
+from ..analysis.vectorized import project_batch
 from ..bet import SymbolicBET, build_bet
 from ..bet.nodes import BETNode, render_tree
 from ..errors import AnalysisError
@@ -117,6 +119,7 @@ class GridResult:
     timings: Dict[str, float] = field(default_factory=dict)
     cache_stats: Dict[str, float] = field(default_factory=dict)
     failures: List[PointFailure] = field(default_factory=list)
+    backend: str = "scalar"        #: resolved evaluation backend
 
     @property
     def parameters(self) -> List[str]:
@@ -267,7 +270,8 @@ def sweep_grid(bet: Optional[BETNode], base_machine: MachineModel,
                inputs: Optional[Dict[str, float]] = None,
                entry: str = "main",
                library=None,
-               chunk_size: Optional[int] = None) -> GridResult:
+               chunk_size: Optional[int] = None,
+               backend: str = "auto") -> GridResult:
     """Project one BET over the cross product of machine parameters.
 
     Parameters
@@ -313,7 +317,12 @@ def sweep_grid(bet: Optional[BETNode], base_machine: MachineModel,
         ``inputs`` overlaid with the cell's input-axis values.
     chunk_size:
         Cells per shipped chunk on the input-axis path (default: about
-        four chunks per worker).
+        four chunks per worker, floored at 16 cells).
+    backend:
+        ``"scalar"``, ``"vector"``, or ``"auto"`` (default).  The vector
+        backend batch-replays the input axes of each chunk (cells
+        grouped by machine overrides); ``auto`` selects it only for pure
+        input grids of at least :data:`VECTOR_MIN_POINTS` cells.
     """
     if not grid or any(len(list(values)) == 0 for values in grid.values()):
         raise AnalysisError("grid needs at least one value per parameter")
@@ -336,6 +345,11 @@ def sweep_grid(bet: Optional[BETNode], base_machine: MachineModel,
     started = time.perf_counter()
     cells = _grid_cells(grid)
     base_inputs = dict(inputs or {})
+    machine_axes = [name for name in grid
+                    if not name.startswith(INPUT_PREFIX)]
+    backend = _resolve_backend(backend, len(cells),
+                               has_machine_axes=bool(machine_axes),
+                               has_input_axes=bool(input_axes))
 
     ckpt: Optional[SweepCheckpoint] = None
     if checkpoint:
@@ -377,7 +391,7 @@ def sweep_grid(bet: Optional[BETNode], base_machine: MachineModel,
                 pending_cells, pending_indices,
                 chunk_payload=lambda chunk: (sym, base_machine,
                                              list(chunk), base_inputs,
-                                             model_factory, k),
+                                             model_factory, k, backend),
                 point_payload=lambda overrides: (sym, base_machine,
                                                  overrides, base_inputs,
                                                  model_factory, k),
@@ -427,11 +441,15 @@ def sweep_grid(bet: Optional[BETNode], base_machine: MachineModel,
         timings.update(
             build=stages.get("bet_build_seconds", 0.0),
             rebind=stages.get("bet_replay_seconds", 0.0),
+            batch=stages.get("bet_batch_seconds", 0.0),
             compile=stages.get("compile_seconds", 0.0))
         cache_stats.update(
             bet_builds=stages.get("bet_builds", 0.0),
             bet_replays=stages.get("bet_replays", 0.0),
             bet_shape_rebuilds=stages.get("bet_shape_rebuilds", 0.0),
+            bet_batch_replays=stages.get("bet_batch_replays", 0.0),
+            lanes_vectorized=stages.get("bet_lanes_vectorized", 0.0),
+            lanes_fallback=stages.get("bet_lanes_fallback", 0.0),
             compiles=stages.get("compiles", 0.0),
             compile_cache_hits=stages.get("compile_cache_hits", 0.0),
             parse_cache_hits=stages.get("parse_cache_hits", 0.0))
@@ -440,13 +458,58 @@ def sweep_grid(bet: Optional[BETNode], base_machine: MachineModel,
         points=points,
         timings=timings,
         cache_stats=cache_stats,
-        failures=failures)
+        failures=failures,
+        backend=backend)
 
 
 # -- input-axis sweeps (symbolic rebind) --------------------------------------
 
 #: axis-name prefix marking an input (workload) parameter in a mixed grid
 INPUT_PREFIX = "input:"
+
+#: ``backend="auto"`` picks the vector backend at this many input points —
+#: below it the batch-replay setup costs more than it saves
+VECTOR_MIN_POINTS = 64
+
+#: floor for the automatic chunk size: chunks smaller than this ship more
+#: pickle traffic than work (and starve the vector backend of lanes)
+_MIN_CHUNK_POINTS = 16
+
+
+def _auto_chunk_size(total: int, workers: int) -> int:
+    """Points per chunk: about four chunks per worker, floored so tiny
+    sweeps on many workers do not degenerate into one-point chunks."""
+    if total <= 0:
+        return 1
+    if workers <= 1:
+        return total
+    per_worker = -(-total // (workers * 4))
+    return max(1, min(total, max(per_worker, _MIN_CHUNK_POINTS)))
+
+
+def _resolve_backend(backend: str, points: int, has_machine_axes: bool,
+                     has_input_axes: bool = True) -> str:
+    """Validate and resolve a sweep's ``backend`` choice.
+
+    ``auto`` picks ``vector`` only when it is a clear win: numpy present,
+    a pure input sweep (no per-point machine overrides), and at least
+    :data:`VECTOR_MIN_POINTS` points to amortize the batch setup.
+    """
+    if backend not in ("scalar", "vector", "auto"):
+        raise AnalysisError(
+            f"unknown sweep backend {backend!r}; expected 'scalar', "
+            f"'vector', or 'auto'")
+    if backend == "vector":
+        if not _aops.HAVE_NUMPY:
+            raise AnalysisError("backend='vector' requires numpy")
+        if not has_input_axes:
+            raise AnalysisError("the vector backend batches over input "
+                                "axes; this sweep has none")
+        return "vector"
+    if backend == "auto" and _aops.HAVE_NUMPY and has_input_axes \
+            and not has_machine_axes and points >= VECTOR_MIN_POINTS:
+        return "vector"
+    return "scalar"
 
 #: worker-resident symbolic trees: pool workers persist across chunks, so
 #: one recorded build serves every chunk a worker receives for a program
@@ -548,8 +611,7 @@ def _run_chunked(items: Sequence,
     """
     total = len(items)
     if chunk_size is None:
-        chunk_size = total if workers <= 1 else max(
-            1, -(-total // (max(workers, 1) * 4)))
+        chunk_size = _auto_chunk_size(total, workers)
     chunk_size = max(1, chunk_size)
     starts = list(range(0, total, chunk_size))
     chunk_items = [items[start:start + chunk_size] for start in starts]
@@ -649,6 +711,7 @@ class InputSweepResult:
     timings: Dict[str, float] = field(default_factory=dict)
     cache_stats: Dict[str, float] = field(default_factory=dict)
     failures: List[PointFailure] = field(default_factory=list)
+    backend: str = "scalar"        #: resolved evaluation backend
 
     @property
     def parameters(self) -> List[str]:
@@ -721,19 +784,89 @@ def _input_combos(axes) -> Tuple[Dict[str, List[float]],
     return {}, combos
 
 
+def _soa_columns(points: List[Dict[str, float]]
+                 ) -> Optional[Dict[str, List[float]]]:
+    """Structure-of-arrays transpose of uniform numeric point dicts.
+
+    Returns ``None`` when the points cannot be batched: ragged key sets
+    or non-numeric / bool values (the scalar path handles those).
+    """
+    if not points or not points[0]:
+        return None
+    names = points[0].keys()
+    cols: Dict[str, List[float]] = {name: [] for name in names}
+    for point in points:
+        if point.keys() != names:
+            return None
+        for name, value in point.items():
+            if isinstance(value, bool) or not isinstance(value,
+                                                         (int, float)):
+                return None
+            cols[name].append(value)
+    return cols
+
+
+def _vector_input_rows(sym: SymbolicBET, model, combos, base_inputs,
+                       k: int):
+    """Batch-evaluate a chunk of input points through the vector backend.
+
+    Returns ``(rows, project_seconds)`` — one row per combo, in order —
+    or ``None`` when the chunk cannot be batched at all (the caller runs
+    the scalar loop instead).  Lanes the batch masks out are transparently
+    re-routed through scalar rebinds, reproducing the canonical per-point
+    result or error.
+    """
+    points = [{**base_inputs, **combo} for combo in combos]
+    cols = _soa_columns(points)
+    if cols is None:
+        return None
+    try:
+        batch = sym.rebind_batch(cols)
+        started = time.perf_counter()
+        projections = project_batch(batch, model, k)
+        project_seconds = time.perf_counter() - started
+    except Exception:
+        return None
+    rows = []
+    for lane, projection in enumerate(projections):
+        if projection is None:
+            # fallback lane: the scalar path is the source of truth for
+            # both the value and the canonical error
+            try:
+                bet = sym.bind(points[lane])
+                started = time.perf_counter()
+                projection = project_with_model(bet, model, k)
+                project_seconds += time.perf_counter() - started
+            except Exception as exc:
+                rows.append(("fail", type(exc).__name__, str(exc),
+                             _tb.format_exc()))
+                continue
+        rows.append(("ok", projection))
+    return rows, project_seconds
+
+
 def _input_chunk_task(payload):
     """Process-pool task: bind + project a whole chunk of input points.
 
     One symbolic build (first chunk per worker; replays after) amortizes
     across every point; per-point errors are captured as rows, never
-    raised, so chunk-mates always complete.
+    raised, so chunk-mates always complete.  With ``backend="vector"``
+    the whole chunk is evaluated as one batch replay (arrays serialized
+    once per chunk), falling back to the scalar loop when batching is
+    impossible.
     """
-    sym, machine, combos, base_inputs, model_factory, k = payload
+    sym, machine, combos, base_inputs, model_factory, k = payload[:6]
+    backend = payload[6] if len(payload) > 6 else "scalar"
     sym = _symbolic_for(sym)
     before = _stage_snapshot(sym)
     # the machine is fixed across an input sweep: build (and validate)
     # the timing model once per chunk, not once per point
     model = (model_factory or RooflineModel)(machine)
+    if backend == "vector":
+        vectored = _vector_input_rows(sym, model, combos, base_inputs, k)
+        if vectored is not None:
+            rows, project_seconds = vectored
+            return rows, _stage_delta(sym, before, project_seconds)
     project_seconds = 0.0
     rows = []
     for combo in combos:
@@ -791,7 +924,8 @@ def sweep_inputs(program: Program, machine: MachineModel, axes,
                  checkpoint: Optional[str] = None,
                  resume: bool = False,
                  checkpoint_key: Optional[str] = None,
-                 validate: bool = True) -> InputSweepResult:
+                 validate: bool = True,
+                 backend: str = "auto") -> InputSweepResult:
     """Sweep workload inputs with one symbolic tree per worker.
 
     Where :func:`sweep_grid` re-projects a fixed BET across machines,
@@ -819,9 +953,18 @@ def sweep_inputs(program: Program, machine: MachineModel, axes,
         ``timeout``; ``strict=True`` fail-fasts with the canonical error;
         completed points checkpoint by their input bindings and are
         skipped on ``resume=True``.
+    backend:
+        ``"scalar"`` binds and projects point by point; ``"vector"``
+        evaluates each chunk as one array-batched tape replay plus a
+        batched model projection (bit-identical results; lanes the batch
+        cannot vectorize transparently take the scalar path);
+        ``"auto"`` (default) picks vector for sweeps of at least
+        :data:`VECTOR_MIN_POINTS` points when numpy is available.
     """
     axes_dict, combos = _input_combos(axes)
     base = dict(base_inputs or {})
+    backend = _resolve_backend(backend, len(combos),
+                               has_machine_axes=False)
     if validate:
         ensure_valid_machine(machine)
     started = time.perf_counter()
@@ -854,7 +997,7 @@ def sweep_inputs(program: Program, machine: MachineModel, axes,
         computed, failures, stages = _run_chunked(
             pending_combos, pending_indices,
             chunk_payload=lambda chunk: (sym, machine, list(chunk), base,
-                                         model_factory, k),
+                                         model_factory, k, backend),
             point_payload=lambda combo: (sym, machine, combo, base,
                                          model_factory, k),
             chunk_task=_input_chunk_task, point_task=_input_point_task,
@@ -880,6 +1023,7 @@ def sweep_inputs(program: Program, machine: MachineModel, axes,
     elapsed = time.perf_counter() - started
     timings = {"build": stages.get("bet_build_seconds", 0.0),
                "rebind": stages.get("bet_replay_seconds", 0.0),
+               "batch": stages.get("bet_batch_seconds", 0.0),
                "compile": stages.get("compile_seconds", 0.0),
                "project": stages.get("project_seconds", 0.0),
                "total": elapsed,
@@ -891,6 +1035,12 @@ def sweep_inputs(program: Program, machine: MachineModel, axes,
                    "bet_replays": stages.get("bet_replays", 0.0),
                    "bet_shape_rebuilds": stages.get("bet_shape_rebuilds",
                                                     0.0),
+                   "bet_batch_replays": stages.get("bet_batch_replays",
+                                                   0.0),
+                   "lanes_vectorized": stages.get("bet_lanes_vectorized",
+                                                  0.0),
+                   "lanes_fallback": stages.get("bet_lanes_fallback",
+                                                0.0),
                    "compiles": stages.get("compiles", 0.0),
                    "compile_cache_hits": stages.get("compile_cache_hits",
                                                     0.0),
@@ -898,7 +1048,71 @@ def sweep_inputs(program: Program, machine: MachineModel, axes,
                                                   0.0)}
     return InputSweepResult(axes=axes_dict, base_inputs=base,
                             points=points, timings=timings,
-                            cache_stats=cache_stats, failures=failures)
+                            cache_stats=cache_stats, failures=failures,
+                            backend=backend)
+
+
+def _vector_grid_rows(sym: SymbolicBET, base_machine: MachineModel,
+                      cells, base_inputs, model_factory, k: int):
+    """Batch-evaluate a chunk of grid cells, grouped by machine overrides.
+
+    Cells sharing one set of machine overrides form an input batch
+    against a single timing model (our models depend only on the
+    machine's numeric fields, which are identical across a group).
+    Returns ``(rows, project_seconds)``; lanes that cannot be vectorized
+    fall back to the scalar per-cell path.
+    """
+    groups: Dict[Tuple, List[int]] = {}
+    order: List[Tuple] = []
+    for slot, overrides in enumerate(cells):
+        machine_part, _ = _split_overrides(overrides)
+        key = tuple(sorted(machine_part.items()))
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(slot)
+    rows: List[Any] = [None] * len(cells)
+    project_seconds = 0.0
+    for key in order:
+        slots = groups[key]
+        machines = [_cell_machine(base_machine, cells[slot])
+                    for slot in slots]
+        inputs_rows = [{**base_inputs, **_split_overrides(cells[slot])[1]}
+                       for slot in slots]
+        try:
+            model = (model_factory or RooflineModel)(machines[0])
+        except Exception as exc:
+            row = ("fail", type(exc).__name__, str(exc), _tb.format_exc())
+            for slot in slots:
+                rows[slot] = row
+            continue
+        projections: List[Optional[Dict]] = [None] * len(slots)
+        cols = _soa_columns(inputs_rows)
+        if cols is not None:
+            try:
+                batch = sym.rebind_batch(cols)
+                started = time.perf_counter()
+                projections = project_batch(batch, model, k)
+                project_seconds += time.perf_counter() - started
+            except Exception:
+                projections = [None] * len(slots)
+        for local, slot in enumerate(slots):
+            projection = projections[local]
+            machine = machines[local]
+            if projection is None:
+                try:
+                    bet = sym.bind(inputs_rows[local])
+                    started = time.perf_counter()
+                    projection = project_machine(bet, machine,
+                                                 model_factory, k)
+                    project_seconds += time.perf_counter() - started
+                except Exception as exc:
+                    rows[slot] = ("fail", type(exc).__name__, str(exc),
+                                  _tb.format_exc())
+                    continue
+            rows[slot] = ("ok", GridPoint(overrides=dict(cells[slot]),
+                                          machine=machine, **projection))
+    return rows, project_seconds
 
 
 def _grid_chunk_task(payload):
@@ -906,11 +1120,18 @@ def _grid_chunk_task(payload):
 
     Consecutive cells with identical input bindings reuse the current
     tree without a rebind (row-major order makes runs of equal bindings
-    common when input axes come first in the grid dict).
+    common when input axes come first in the grid dict).  With
+    ``backend="vector"`` the chunk's cells are grouped by machine
+    overrides and each group is batch-replayed in one pass.
     """
-    sym, base_machine, cells, base_inputs, model_factory, k = payload
+    sym, base_machine, cells, base_inputs, model_factory, k = payload[:6]
+    backend = payload[6] if len(payload) > 6 else "scalar"
     sym = _symbolic_for(sym)
     before = _stage_snapshot(sym)
+    if backend == "vector":
+        rows, project_seconds = _vector_grid_rows(
+            sym, base_machine, cells, base_inputs, model_factory, k)
+        return rows, _stage_delta(sym, before, project_seconds)
     project_seconds = 0.0
     rows = []
     bound_key: Any = None
