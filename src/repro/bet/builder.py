@@ -45,6 +45,29 @@ from .nodes import BETNode, QuarantinedNode
 _EPSILON = 1e-12
 
 
+def _access_pattern(statement, env: Dict, nbytes: float):
+    """``(footprint, reuse_bytes, reuse_traffic)`` of one access leaf.
+
+    Default (no clauses): the footprint equals the traffic bytes — unit-
+    stride streaming, matching the executor's ``footprint = nbytes``.  A
+    ``stride`` clause widens the spanned bytes; an explicit ``footprint``
+    clause overrides the span outright; a ``reuse`` clause records this
+    access's layer-condition window (clamped to at least its own
+    footprint: data cannot recur in less space than it occupies), weighted
+    by the traffic so blocks aggregate a traffic-weighted mean window.
+    """
+    span = nbytes
+    if statement.stride is not None:
+        span = nbytes * max(1.0, evaluate(statement.stride, env))
+    footprint = span
+    if statement.footprint is not None:
+        footprint = max(0.0, evaluate(statement.footprint, env))
+    if statement.reuse is not None:
+        window = max(evaluate(statement.reuse, env), footprint)
+        return footprint, nbytes * window, nbytes
+    return footprint, 0.0, 0.0
+
+
 def expected_break_iterations(p: float, n: float) -> float:
     """Expected trip count of an ``n``-iteration loop that breaks with
     per-iteration probability ``p`` (truncated geometric; DESIGN.md §2)."""
@@ -230,7 +253,8 @@ class BETBuilder:
     # -- degraded mode -------------------------------------------------------
     #: statement attributes that may hold expressions (budget checks)
     _EXPR_ATTRS = ("expr", "lo", "hi", "step", "expect", "count", "flops",
-                   "iops", "div_flops", "size", "prob")
+                   "iops", "div_flops", "size", "prob", "stride",
+                   "footprint", "reuse")
 
     def _check_statement_budget(self, statement: Statement) -> None:
         """Structural expression ceilings for one statement's own
@@ -436,12 +460,22 @@ class BETBuilder:
                 vec_flops=flops if statement.vectorizable else 0.0)
         if isinstance(statement, Load):
             count = max(0.0, evaluate(statement.count, env))
-            return Metrics(loads=count,
-                           load_bytes=count * statement.element_bytes)
+            nbytes = count * statement.element_bytes
+            footprint, reuse_bytes, reuse_traffic = \
+                _access_pattern(statement, env, nbytes)
+            return Metrics(loads=count, load_bytes=nbytes,
+                           footprint_bytes=footprint,
+                           reuse_bytes=reuse_bytes,
+                           reuse_traffic=reuse_traffic)
         if isinstance(statement, Store):
             count = max(0.0, evaluate(statement.count, env))
-            return Metrics(stores=count,
-                           store_bytes=count * statement.element_bytes)
+            nbytes = count * statement.element_bytes
+            footprint, reuse_bytes, reuse_traffic = \
+                _access_pattern(statement, env, nbytes)
+            return Metrics(stores=count, store_bytes=nbytes,
+                           footprint_bytes=footprint,
+                           reuse_bytes=reuse_bytes,
+                           reuse_traffic=reuse_traffic)
         raise ModelError(f"not a characteristic statement: {statement!r}")
 
     def _lib_call(self, statement: LibCall, block: BETNode,

@@ -152,7 +152,10 @@ def _add_metrics(a: Metrics, b: Metrics) -> Metrics:
                 a.loads + b.loads, a.stores + b.stores,
                 a.load_bytes + b.load_bytes,
                 a.store_bytes + b.store_bytes,
-                a.static_size + b.static_size)
+                a.static_size + b.static_size,
+                a.footprint_bytes + b.footprint_bytes,
+                a.reuse_bytes + b.reuse_bytes,
+                a.reuse_traffic + b.reuse_traffic)
 
 
 def _iadd_metrics(bm: Metrics, m: Metrics) -> None:
@@ -160,7 +163,7 @@ def _iadd_metrics(bm: Metrics, m: Metrics) -> None:
 
     Safe only because every replay's block-reset op installs a *fresh*
     ``Metrics`` object before any leaf re-adds, so ``bm`` is private to
-    the current replay.  All nine fields are added (even structurally
+    the current replay.  All twelve fields are added (even structurally
     zero ones) so the float results match the builder's chained
     ``Metrics.__add__`` exactly.
     """
@@ -173,13 +176,18 @@ def _iadd_metrics(bm: Metrics, m: Metrics) -> None:
     bm.load_bytes += m.load_bytes
     bm.store_bytes += m.store_bytes
     bm.static_size += m.static_size
+    bm.footprint_bytes += m.footprint_bytes
+    bm.reuse_bytes += m.reuse_bytes
+    bm.reuse_traffic += m.reuse_traffic
 
 
 def _metrics_base(metrics: Metrics) -> Tuple:
     """Positional field snapshot (Metrics is mutable; tape must not alias)."""
     return (metrics.flops, metrics.iops, metrics.div_flops,
             metrics.vec_flops, metrics.loads, metrics.stores,
-            metrics.load_bytes, metrics.store_bytes, metrics.static_size)
+            metrics.load_bytes, metrics.store_bytes, metrics.static_size,
+            metrics.footprint_bytes, metrics.reuse_bytes,
+            metrics.reuse_traffic)
 
 
 class _Recorder:
@@ -273,7 +281,9 @@ class _Recorder:
         def op(R, node=node, shared=shared, base=base):
             (shared.flops, shared.iops, shared.div_flops, shared.vec_flops,
              shared.loads, shared.stores, shared.load_bytes,
-             shared.store_bytes, shared.static_size) = base
+             shared.store_bytes, shared.static_size,
+             shared.footprint_bytes, shared.reuse_bytes,
+             shared.reuse_traffic) = base
             node.own_metrics = shared
         self.emit(op)
         if self.vtape is not None:
@@ -539,11 +549,14 @@ class _Recorder:
                     bm.load_bytes += base[6]
                     bm.store_bytes += base[7]
                     bm.static_size += base[8]
+                    bm.footprint_bytes += base[9]
+                    bm.reuse_bytes += base[10]
+                    bm.reuse_traffic += base[11]
                 self.emit(add)
                 if self.vtape is not None:
                     def vadd(R, S, block=block, base=base):
                         bm = S.metrics[block]
-                        for i in range(9):
+                        for i in range(12):
                             bm[i] = bm[i] + base[i]
                     self.vemit(vadd)
             return
@@ -607,15 +620,64 @@ class _Recorder:
                         acc_d = acc_d + vmin(divs, flops) * p
                         acc_v = acc_v + (flops if vec else 0.0) * p
                     own = [acc_f, acc_i, acc_d, acc_v,
-                           0.0, 0.0, 0.0, 0.0, static]
+                           0.0, 0.0, 0.0, 0.0, static, 0.0, 0.0, 0.0]
                     S.metrics[node] = own
                     bm = S.metrics[block]
-                    for i in range(9):
+                    for i in range(12):
                         bm[i] = bm[i] + own[i]
         elif isinstance(stmt, (Load, Store)):
             f_count = _compiled(stmt.count)
             is_load = isinstance(stmt, Load)
-            if is_load:
+            annotated = (stmt.stride is not None
+                         or stmt.footprint is not None
+                         or stmt.reuse is not None)
+            if annotated:
+                # access-pattern clauses: mirror builder._access_pattern
+                # float-for-float (span → footprint override → window
+                # clamp), accumulating the three pattern fields alongside
+                # count/bytes
+                f_stride = (_compiled(stmt.stride)
+                            if stmt.stride is not None else None)
+                f_fp = (_compiled(stmt.footprint)
+                        if stmt.footprint is not None else None)
+                f_reuse = (_compiled(stmt.reuse)
+                           if stmt.reuse is not None else None)
+
+                def op(R, node=node, block=block, regs=regs,
+                       f_count=f_count, element_bytes=stmt.element_bytes,
+                       f_stride=f_stride, f_fp=f_fp, f_reuse=f_reuse,
+                       is_load=is_load, shared=shared):
+                    acc_n = acc_b = acc_fp = acc_rb = acc_rt = 0.0
+                    for env_reg, prob_reg in regs:
+                        env = R[env_reg]
+                        p = R[prob_reg]
+                        count = max(0.0, f_count(env))
+                        nbytes = count * element_bytes
+                        span = nbytes
+                        if f_stride is not None:
+                            span = nbytes * max(1.0, f_stride(env))
+                        footprint = span
+                        if f_fp is not None:
+                            footprint = max(0.0, f_fp(env))
+                        acc_n = acc_n + count * p
+                        acc_b = acc_b + nbytes * p
+                        acc_fp = acc_fp + footprint * p
+                        if f_reuse is not None:
+                            window = max(f_reuse(env), footprint)
+                            acc_rb = acc_rb + (nbytes * window) * p
+                            acc_rt = acc_rt + nbytes * p
+                    if is_load:
+                        shared.loads = acc_n
+                        shared.load_bytes = acc_b
+                    else:
+                        shared.stores = acc_n
+                        shared.store_bytes = acc_b
+                    shared.footprint_bytes = acc_fp
+                    shared.reuse_bytes = acc_rb
+                    shared.reuse_traffic = acc_rt
+                    node.own_metrics = shared
+                    _iadd_metrics(block.own_metrics, shared)
+            elif is_load:
                 def op(R, node=node, block=block, regs=regs,
                        f_count=f_count, element_bytes=stmt.element_bytes,
                        shared=shared):
@@ -627,6 +689,9 @@ class _Recorder:
                         acc_b = acc_b + (count * element_bytes) * p
                     shared.loads = acc_n
                     shared.load_bytes = acc_b
+                    # default pattern: footprint == traffic bytes, so the
+                    # accumulated sums are the same float sequence
+                    shared.footprint_bytes = acc_b
                     node.own_metrics = shared
                     _iadd_metrics(block.own_metrics, shared)
             else:
@@ -641,31 +706,73 @@ class _Recorder:
                         acc_b = acc_b + (count * element_bytes) * p
                     shared.stores = acc_n
                     shared.store_bytes = acc_b
+                    shared.footprint_bytes = acc_b
                     node.own_metrics = shared
                     _iadd_metrics(block.own_metrics, shared)
             if self.vtape is not None:
                 vf_count = _vcompiled(stmt.count)
                 count_i = 4 if is_load else 5
                 bytes_i = 6 if is_load else 7
+                if annotated:
+                    vf_stride = (_vcompiled(stmt.stride)
+                                 if stmt.stride is not None else None)
+                    vf_fp = (_vcompiled(stmt.footprint)
+                             if stmt.footprint is not None else None)
+                    vf_reuse = (_vcompiled(stmt.reuse)
+                                if stmt.reuse is not None else None)
 
-                def vop(R, S, node=node, block=block, regs=regs,
-                        f_count=vf_count,
-                        element_bytes=stmt.element_bytes, static=static,
-                        count_i=count_i, bytes_i=bytes_i):
-                    bad = S.bad
-                    acc_n = acc_b = 0.0
-                    for env_reg, prob_reg in regs:
-                        p = R[prob_reg]
-                        count = vmax(0.0, f_count(R[env_reg], bad))
-                        acc_n = acc_n + count * p
-                        acc_b = acc_b + (count * element_bytes) * p
-                    own = [0.0] * 8 + [static]
-                    own[count_i] = acc_n
-                    own[bytes_i] = acc_b
-                    S.metrics[node] = own
-                    bm = S.metrics[block]
-                    for i in range(9):
-                        bm[i] = bm[i] + own[i]
+                    def vop(R, S, node=node, block=block, regs=regs,
+                            f_count=vf_count,
+                            element_bytes=stmt.element_bytes, static=static,
+                            count_i=count_i, bytes_i=bytes_i,
+                            f_stride=vf_stride, f_fp=vf_fp,
+                            f_reuse=vf_reuse):
+                        bad = S.bad
+                        acc_n = acc_b = acc_fp = acc_rb = acc_rt = 0.0
+                        for env_reg, prob_reg in regs:
+                            env = R[env_reg]
+                            p = R[prob_reg]
+                            count = vmax(0.0, f_count(env, bad))
+                            nbytes = count * element_bytes
+                            span = nbytes
+                            if f_stride is not None:
+                                span = nbytes * vmax(1.0, f_stride(env, bad))
+                            footprint = span
+                            if f_fp is not None:
+                                footprint = vmax(0.0, f_fp(env, bad))
+                            acc_n = acc_n + count * p
+                            acc_b = acc_b + nbytes * p
+                            acc_fp = acc_fp + footprint * p
+                            if f_reuse is not None:
+                                window = vmax(f_reuse(env, bad), footprint)
+                                acc_rb = acc_rb + (nbytes * window) * p
+                                acc_rt = acc_rt + nbytes * p
+                        own = [0.0] * 8 + [static, acc_fp, acc_rb, acc_rt]
+                        own[count_i] = acc_n
+                        own[bytes_i] = acc_b
+                        S.metrics[node] = own
+                        bm = S.metrics[block]
+                        for i in range(12):
+                            bm[i] = bm[i] + own[i]
+                else:
+                    def vop(R, S, node=node, block=block, regs=regs,
+                            f_count=vf_count,
+                            element_bytes=stmt.element_bytes, static=static,
+                            count_i=count_i, bytes_i=bytes_i):
+                        bad = S.bad
+                        acc_n = acc_b = 0.0
+                        for env_reg, prob_reg in regs:
+                            p = R[prob_reg]
+                            count = vmax(0.0, f_count(R[env_reg], bad))
+                            acc_n = acc_n + count * p
+                            acc_b = acc_b + (count * element_bytes) * p
+                        own = [0.0] * 8 + [static, acc_b, 0.0, 0.0]
+                        own[count_i] = acc_n
+                        own[bytes_i] = acc_b
+                        S.metrics[node] = own
+                        bm = S.metrics[block]
+                        for i in range(12):
+                            bm[i] = bm[i] + own[i]
         else:                                        # pragma: no cover
             raise ShapeChanged
         self.emit(op)
@@ -716,6 +823,9 @@ class _Recorder:
                     bytes_moved * load_fraction + sbase[6],
                     bytes_moved * (1.0 - load_fraction) + sbase[7],
                     1 + sbase[8],
+                    bytes_moved + sbase[9],
+                    sbase[10],
+                    sbase[11],
                 ]
                 S.prob[node] = R[prob_reg]
                 S.ctx[node] = env
@@ -1473,7 +1583,7 @@ class BatchBET:
         return self._enr[node]
 
     def metric_fields(self, node: BETNode):
-        """The nine Metrics fields, positionally (scalars or lanes)."""
+        """The twelve Metrics fields, positionally (scalars or lanes)."""
         fields = self.sink.metrics.get(node)
         if fields is None:
             return _metrics_base(node.own_metrics)

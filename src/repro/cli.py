@@ -38,6 +38,7 @@ from .analysis import (
 from .bet import build_bet
 from .errors import ReproError
 from .hardware import RooflineModel, machine_by_name
+from .hardware.cachemodel import CACHE_MODEL_NAMES, cache_model_by_name
 from .simulate import profile
 from .skeleton import format_skeleton
 from .translate import InputHints, translate_source
@@ -185,6 +186,13 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--json", action="store_true",
                            help="emit machine-readable JSON")
         if command in ("project", "breakdown", "dataflow", "hotpath"):
+            p.add_argument("--cache-model", dest="cache_model",
+                           default="constant",
+                           choices=CACHE_MODEL_NAMES,
+                           help="per-level hit fractions: 'constant' "
+                                "(default; the paper's fixed miss ratio) "
+                                "or 'analytic' (layer-condition model "
+                                "driven by access-pattern clauses)")
             p.add_argument("--keep-going", action="store_true",
                            dest="keep_going",
                            help="degraded mode: quarantine faulty "
@@ -243,6 +251,12 @@ def build_parser() -> argparse.ArgumentParser:
                                    "evaluates point-by-point, 'auto' "
                                    "(default) picks vector for pure "
                                    "input sweeps of >= 64 points")
+    sweep_parser.add_argument("--cache-model", dest="cache_model",
+                              default="constant",
+                              choices=CACHE_MODEL_NAMES,
+                              help="per-level hit fractions for every "
+                                   "swept point: 'constant' (default) or "
+                                   "'analytic' layer conditions")
     sweep_parser.add_argument("--stats", action="store_true",
                               help="print per-stage timings (build, "
                                    "rebind, compile, project, batch) and "
@@ -350,6 +364,8 @@ def _model_selection(args):
     """
     from .diagnostics import DiagnosticSink
     program, inputs, machine = _load(args)
+    cache_model = cache_model_by_name(
+        getattr(args, "cache_model", "constant"))
     report = None
     if getattr(args, "keep_going", False):
         from .bet import build_bet_degraded
@@ -359,11 +375,13 @@ def _model_selection(args):
             raise ReproError("model could not be built even in degraded "
                              "mode:\n" + report.diagnostics.render())
         root = report.root
-        records = characterize(root, RooflineModel(machine),
-                               sink=report.diagnostics)
+        records = characterize(
+            root, RooflineModel(machine, cache_model=cache_model),
+            sink=report.diagnostics)
     else:
         root = build_bet(program, inputs=inputs)
-        records = characterize(root, RooflineModel(machine))
+        records = characterize(
+            root, RooflineModel(machine, cache_model=cache_model))
     return program, records, select_hotspots(
         records, program.static_size(), coverage=1.0, leanness=1.0,
         max_spots=args.top), report
@@ -483,6 +501,15 @@ def _cmd_sweep(args) -> str:
     resilience = dict(strict=args.strict, policy=policy,
                       timeout=args.timeout, checkpoint=args.checkpoint,
                       resume=args.resume, checkpoint_key=checkpoint_key)
+    cache_model = cache_model_by_name(
+        getattr(args, "cache_model", "constant"))
+    if cache_model is not None:
+        # only deviate from the positional defaults when asked: the
+        # constant model keeps the historical call (and bit-identical
+        # results), analytic swaps in a picklable factory for the pool
+        from .hardware.cachemodel import RooflineFactory
+        resilience["model_factory"] = RooflineFactory(
+            cache_model=cache_model)
     has_input_axes = any(name.startswith(INPUT_PREFIX) for name in grid)
     backend = getattr(args, "backend", "auto")
     if len(grid) == 1 and not has_input_axes:

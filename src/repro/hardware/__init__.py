@@ -12,6 +12,10 @@ ratio.  :class:`InstructionMix` and :class:`LibraryDatabase` provide the
 semi-analytical treatment of opaque library functions (paper Sec. IV-C).
 """
 
+from .cachemodel import (
+    AnalyticCacheModel, ConstantCacheModel, ECMFactory, RooflineFactory,
+    cache_model_by_name,
+)
 from .machine import MachineModel, ensure_valid_machine, validate_machine
 from .metrics import Metrics
 from .presets import BGQ, FUTURE_HBM, FUTURE_MANYCORE, XEON_E5_2420, machine_by_name
@@ -20,6 +24,11 @@ from .instmix import InstructionMix, LibraryDatabase, default_library
 from .ecm import ECMModel
 
 __all__ = [
+    "AnalyticCacheModel",
+    "ConstantCacheModel",
+    "RooflineFactory",
+    "ECMFactory",
+    "cache_model_by_name",
     "MachineModel",
     "validate_machine",
     "ensure_valid_machine",

@@ -1,0 +1,229 @@
+"""Analytic per-level cache hit-fraction models.
+
+The paper's extended roofline applies a constant 85 % miss ratio to both
+cache levels (footnote 1) and Sec. VII-C documents exactly where that
+breaks: SORD's 4th hot spot re-reads data the 1st brought into the cache
+and runs faster than projected.  Kerncraft-style *layer conditions* predict
+the per-level split analytically instead: a block's accesses hit in a cache
+level iff the data re-traversed between reuses — the reuse window — fits in
+that level's capacity.
+
+Two models share the ``fractions(metrics, machine) -> (f_l1, f_llc,
+f_dram)`` protocol consumed by :class:`~repro.hardware.RooflineModel` and
+:class:`~repro.hardware.ECMModel`:
+
+* :class:`ConstantCacheModel` — the paper's constant split, for explicit
+  opt-in (``--cache-model constant`` is also the implicit default inside
+  the models themselves, which keeps pre-existing results bit-identical);
+* :class:`AnalyticCacheModel` — layer conditions over the access-pattern
+  aggregates carried by :class:`~repro.hardware.metrics.Metrics`
+  (``footprint_bytes``, ``reuse_bytes``, ``reuse_traffic``), fed by the
+  optional ``stride`` / ``footprint`` / ``reuse`` clauses on ``load`` /
+  ``store`` skeleton statements.
+
+The analytic model mirrors the reference executor's footprint cache
+simulator (:mod:`repro.simulate.cache`): that LRU exhibits a hard streaming
+cliff — cyclic re-traversal of a working set larger than a level evicts
+every region before its reuse — so the steady-state hit fraction per level
+is a step function of the working set, not a smooth curve.  Known
+approximations, validated in ``benchmarks/bench_cachemodel.py``:
+
+* the block working set counts each access statement's footprint once, so
+  two statements touching the *same* region are double-counted (the
+  simulator tracks regions by name);
+* cold misses are ignored — the model predicts the warm steady state,
+  which dominates once a block repeats (high ENR);
+* accesses with an explicit ``reuse`` clause are folded via their
+  traffic-weighted mean window, exact when a block's annotated accesses
+  share one window.
+
+Everything is shape-polymorphic through :mod:`repro.arrayops`: metrics
+fields and the optional capacity overrides may be lane arrays, so the
+vector sweep backend can sweep blocking factors (inputs feeding ``reuse`` /
+``footprint`` expressions) and cache sizes as first-class lane axes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..arrayops import vmax, vmin, vwhere
+from ..errors import HardwareModelError
+
+#: constant cache-miss ratio (paper footnote 1) — re-exported by
+#: :mod:`repro.hardware.roofline` for backward compatibility
+DEFAULT_MISS_RATE = 0.85
+
+__all__ = [
+    "DEFAULT_MISS_RATE",
+    "ConstantCacheModel",
+    "AnalyticCacheModel",
+    "RooflineFactory",
+    "ECMFactory",
+    "cache_model_by_name",
+    "CACHE_MODEL_NAMES",
+]
+
+
+class ConstantCacheModel:
+    """The paper's constant-miss-ratio split as an explicit model object.
+
+    ``f_l1 = 1 − m``, ``f_llc = m·(1 − m)``, ``f_dram = m²`` — each level
+    misses with the same probability ``m``, independent of the block.
+    """
+
+    __slots__ = ("miss_rate",)
+
+    def __init__(self, miss_rate: float = DEFAULT_MISS_RATE):
+        if not (0.0 <= miss_rate <= 1.0):
+            raise HardwareModelError(
+                f"miss_rate must be within [0, 1], got {miss_rate}")
+        self.miss_rate = miss_rate
+
+    def fractions(self, metrics, machine) -> Tuple[float, float, float]:
+        miss = self.miss_rate
+        return 1.0 - miss, miss * (1.0 - miss), miss * miss
+
+    def __repr__(self):
+        return f"ConstantCacheModel(miss_rate={self.miss_rate})"
+
+
+class AnalyticCacheModel:
+    """Kerncraft-style layer conditions over per-block access aggregates.
+
+    For each access class the reuse window ``W`` is compared against the
+    capacities of L1 and the LLC; the class hits at the innermost level
+    whose capacity holds ``W`` (a step function — see the module docstring
+    for why the footprint LRU makes the cliff exact rather than smooth):
+
+    * accesses without an explicit ``reuse`` clause share the block's
+      working set ``Metrics.footprint_bytes`` as their window (everything
+      the block touches per invocation sits between two uses of the same
+      data);
+    * accesses with an explicit ``reuse`` clause use their traffic-weighted
+      mean window ``reuse_bytes / reuse_traffic`` (e.g. a blocked kernel
+      whose hot tile is re-read long before the rest of the array).
+
+    The per-level fractions are the traffic-weighted mixture of the two
+    classes, with the same inclusive accounting as the simulator: the LLC
+    fraction is the *additional* share served there beyond L1.
+
+    Parameters
+    ----------
+    l1_size, llc_size:
+        Capacity overrides in bytes (scalars or lane arrays for co-design
+        sweeps); default to the machine's fields.
+    """
+
+    __slots__ = ("l1_size", "llc_size")
+
+    def __init__(self, l1_size: Optional[float] = None,
+                 llc_size: Optional[float] = None):
+        for name, value in (("l1_size", l1_size), ("llc_size", llc_size)):
+            if value is not None and not hasattr(value, "shape") \
+                    and value <= 0:
+                raise HardwareModelError(
+                    f"{name} override must be positive, got {value!r}")
+        self.l1_size = l1_size
+        self.llc_size = llc_size
+
+    def fractions(self, metrics, machine) -> Tuple[float, float, float]:
+        l1 = machine.l1_size if self.l1_size is None else self.l1_size
+        llc = machine.llc_size if self.llc_size is None else self.llc_size
+        total = metrics.total_bytes
+        window = metrics.footprint_bytes
+        # split the traffic into the default class (window = block working
+        # set) and the explicitly annotated class (window = mean reuse)
+        annotated = vmin(metrics.reuse_traffic, total)
+        plain = vmax(total - annotated, 0.0)
+        has_annotated = annotated > 0
+        mean_window = metrics.reuse_bytes / vwhere(has_annotated,
+                                                   annotated, 1.0)
+        # bytes served at each level or nearer (cumulative, step per class)
+        served_l1 = (plain * vwhere(window <= l1, 1.0, 0.0)
+                     + annotated * vwhere(mean_window <= l1, 1.0, 0.0))
+        served_llc = (plain * vwhere(window <= llc, 1.0, 0.0)
+                      + annotated * vwhere(mean_window <= llc, 1.0, 0.0))
+        has_traffic = total > 0
+        denom = vwhere(has_traffic, total, 1.0)
+        f_l1 = served_l1 / denom
+        f_llc = vmax(served_llc / denom - f_l1, 0.0)
+        f_dram = vmax(1.0 - f_l1 - f_llc, 0.0)
+        # blocks that move no data: declare them L1-served so the latency
+        # term charges nothing surprising (there are no elements either)
+        f_l1 = vwhere(has_traffic, f_l1, 1.0)
+        f_llc = vwhere(has_traffic, f_llc, 0.0)
+        f_dram = vwhere(has_traffic, f_dram, 0.0)
+        return f_l1, f_llc, f_dram
+
+    def __repr__(self):
+        return (f"AnalyticCacheModel(l1_size={self.l1_size}, "
+                f"llc_size={self.llc_size})")
+
+
+class RooflineFactory:
+    """Picklable ``machine -> RooflineModel`` factory for sweeps.
+
+    The sweep engine ships ``model_factory`` callables to process pools,
+    so a plain lambda closing over a cache model will not do.
+    """
+
+    __slots__ = ("cache_model", "kwargs")
+
+    def __init__(self, cache_model=None, **kwargs):
+        self.cache_model = cache_model
+        self.kwargs = kwargs
+
+    def __call__(self, machine):
+        from .roofline import RooflineModel
+        return RooflineModel(machine, cache_model=self.cache_model,
+                             **self.kwargs)
+
+    def __getstate__(self):
+        return {"cache_model": self.cache_model, "kwargs": self.kwargs}
+
+    def __setstate__(self, state):
+        self.cache_model = state["cache_model"]
+        self.kwargs = state["kwargs"]
+
+
+class ECMFactory:
+    """Picklable ``machine -> ECMModel`` factory for sweeps."""
+
+    __slots__ = ("cache_model", "kwargs")
+
+    def __init__(self, cache_model=None, **kwargs):
+        self.cache_model = cache_model
+        self.kwargs = kwargs
+
+    def __call__(self, machine):
+        from .ecm import ECMModel
+        return ECMModel(machine, cache_model=self.cache_model,
+                        **self.kwargs)
+
+    def __getstate__(self):
+        return {"cache_model": self.cache_model, "kwargs": self.kwargs}
+
+    def __setstate__(self, state):
+        self.cache_model = state["cache_model"]
+        self.kwargs = state["kwargs"]
+
+
+#: names accepted by the CLI's ``--cache-model`` flag
+CACHE_MODEL_NAMES = ("constant", "analytic")
+
+
+def cache_model_by_name(name: str):
+    """Resolve a ``--cache-model`` choice.
+
+    ``"constant"`` maps to ``None`` — the models' built-in constant-ratio
+    path — so the default stays bit-identical to pre-cache-model releases
+    rather than routing through an equivalent-but-reordered float
+    computation.
+    """
+    if name == "constant":
+        return None
+    if name == "analytic":
+        return AnalyticCacheModel()
+    raise HardwareModelError(
+        f"unknown cache model {name!r}; choose from {CACHE_MODEL_NAMES}")

@@ -40,7 +40,8 @@ class ECMModel:
     def __init__(self, machine: MachineModel,
                  miss_rate: float = DEFAULT_MISS_RATE,
                  model_division: bool = False,
-                 model_vectorization: bool = False):
+                 model_vectorization: bool = False,
+                 cache_model=None):
         if not (0.0 <= miss_rate <= 1.0):
             raise HardwareModelError(
                 f"miss_rate must be within [0, 1], got {miss_rate}")
@@ -51,6 +52,10 @@ class ECMModel:
         self.miss_rate = miss_rate
         self.model_division = model_division
         self.model_vectorization = model_vectorization
+        #: optional per-level hit-fraction predictor
+        #: (:mod:`repro.hardware.cachemodel`); ``None`` keeps the
+        #: constant-ratio path bit-identical to previous releases
+        self.cache_model = cache_model
 
     # -- components ------------------------------------------------------
     def core_cycles(self, metrics: Metrics) -> float:
@@ -80,6 +85,20 @@ class ECMModel:
     def data_cycles(self, metrics: Metrics) -> float:
         """T_nOL + T_L1L2 + T_L2Mem: the serialized data-path cycles."""
         machine = self.machine
+        if self.cache_model is not None:
+            f_l1, f_llc, f_dram = self.cache_model.fractions(metrics,
+                                                             machine)
+            t_nol = metrics.accesses / machine.issue_width
+            # L1 misses (LLC- or DRAM-served) cross the L1–L2 link;
+            # DRAM-served bytes additionally cross the L2–memory link
+            l2_lines = ((f_llc + f_dram) * metrics.total_bytes
+                        / machine.cache_line)
+            mem_lines = f_dram * metrics.total_bytes / machine.cache_line
+            t_l1l2 = l2_lines * machine.llc_latency / machine.mlp
+            latency_term = mem_lines * machine.dram_latency / machine.mlp
+            bandwidth_term = (f_dram * metrics.total_bytes
+                              * machine.frequency_hz / machine.bandwidth)
+            return t_nol + t_l1l2 + vmax(latency_term, bandwidth_term)
         miss = self.miss_rate
         # L1 load/store issue slots (non-overlappable part)
         t_nol = metrics.accesses / machine.issue_width

@@ -74,6 +74,10 @@ class InstructionMix:
             load_bytes=bytes_moved * load_fraction,
             store_bytes=bytes_moved * (1.0 - load_fraction),
             static_size=1,
+            # library working set: the executor touches one region of
+            # exactly the moved bytes per call, so the analytic layer
+            # conditions see the same footprint the simulator does
+            footprint_bytes=bytes_moved,
         )
 
 

@@ -32,17 +32,30 @@ class Metrics:
     load_bytes: float = 0.0     #: bytes loaded
     store_bytes: float = 0.0    #: bytes stored
     static_size: int = 0        #: static instruction proxy (leanness)
+    # -- access-pattern aggregates (analytic cache model) ------------------
+    #: distinct bytes the block's accesses span per invocation — the
+    #: working set the layer-condition model compares to cache capacities;
+    #: defaults to the traffic bytes (stride 1, no explicit footprint)
+    footprint_bytes: float = 0.0
+    #: Σ traffic · reuse-window over accesses carrying an explicit
+    #: ``reuse`` clause (bytes²; divide by ``reuse_traffic`` to recover
+    #: the traffic-weighted mean reuse window)
+    reuse_bytes: float = 0.0
+    #: traffic bytes of accesses carrying an explicit ``reuse`` clause
+    reuse_traffic: float = 0.0
 
     def __post_init__(self):
         for name in ("flops", "iops", "div_flops", "vec_flops", "loads",
-                     "stores", "load_bytes", "store_bytes"):
+                     "stores", "load_bytes", "store_bytes",
+                     "footprint_bytes", "reuse_bytes", "reuse_traffic"):
             if getattr(self, name) < 0:
                 raise ValueError(f"Metrics.{name} must be non-negative")
 
     @classmethod
     def _raw(cls, flops=0.0, iops=0.0, div_flops=0.0, vec_flops=0.0,
              loads=0.0, stores=0.0, load_bytes=0.0, store_bytes=0.0,
-             static_size=0) -> "Metrics":
+             static_size=0, footprint_bytes=0.0, reuse_bytes=0.0,
+             reuse_traffic=0.0) -> "Metrics":
         """Construct without validation — only for hot paths whose
         values are non-negative by construction (e.g. the symbolic BET
         replay, which clamps every count before it gets here).  State is
@@ -57,6 +70,9 @@ class Metrics:
         metrics.load_bytes = load_bytes
         metrics.store_bytes = store_bytes
         metrics.static_size = static_size
+        metrics.footprint_bytes = footprint_bytes
+        metrics.reuse_bytes = reuse_bytes
+        metrics.reuse_traffic = reuse_traffic
         return metrics
 
     # -- composition ----------------------------------------------------
@@ -71,6 +87,9 @@ class Metrics:
             load_bytes=self.load_bytes + other.load_bytes,
             store_bytes=self.store_bytes + other.store_bytes,
             static_size=self.static_size + other.static_size,
+            footprint_bytes=self.footprint_bytes + other.footprint_bytes,
+            reuse_bytes=self.reuse_bytes + other.reuse_bytes,
+            reuse_traffic=self.reuse_traffic + other.reuse_traffic,
         )
 
     def scaled(self, factor: float) -> "Metrics":
@@ -92,6 +111,9 @@ class Metrics:
             load_bytes=self.load_bytes * factor,
             store_bytes=self.store_bytes * factor,
             static_size=self.static_size,
+            footprint_bytes=self.footprint_bytes * factor,
+            reuse_bytes=self.reuse_bytes * factor,
+            reuse_traffic=self.reuse_traffic * factor,
         )
 
     # -- derived quantities ----------------------------------------------

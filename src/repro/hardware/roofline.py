@@ -26,12 +26,11 @@ from typing import NamedTuple
 
 from ..arrayops import is_array, vmax, vmin, vwhere
 from ..errors import HardwareModelError
+from .cachemodel import DEFAULT_MISS_RATE
 from .machine import MachineModel, ensure_valid_machine
 from .metrics import Metrics
 
-#: Constant cache-miss ratio used as a first-order approximation
-#: (paper footnote 1: 85 %, not tuned per benchmark).
-DEFAULT_MISS_RATE = 0.85
+__all__ = ["DEFAULT_MISS_RATE", "BlockTime", "RooflineModel"]
 
 
 class BlockTime(NamedTuple):
@@ -54,7 +53,14 @@ class BlockTime(NamedTuple):
 
     @property
     def bound(self) -> str:
-        """``"compute"`` or ``"memory"`` — which term dominates."""
+        """``"compute"`` or ``"memory"`` — which term dominates.
+
+        Lane-shaped BlockTimes (from the vector sweep backend) yield an
+        array with one ``"compute"``/``"memory"`` label per lane; the
+        scalar comparison would raise the ambiguous-truth-value error.
+        """
+        if is_array(self.compute) or is_array(self.memory):
+            return vwhere(self.compute >= self.memory, "compute", "memory")
         return "compute" if self.compute >= self.memory else "memory"
 
     def scaled(self, factor: float) -> "BlockTime":
@@ -77,13 +83,20 @@ class RooflineModel:
     overlap:
         When ``False``, falls back to the naive roofline ``max(Tc, Tm)``
         without the overlap extension (ablation A3 in DESIGN.md).
+    cache_model:
+        Optional per-level hit-fraction predictor exposing
+        ``fractions(metrics, machine)`` (see
+        :mod:`repro.hardware.cachemodel`).  ``None`` (the default) keeps
+        the paper's constant-ratio code path, bit-identical to previous
+        releases.
     """
 
     def __init__(self, machine: MachineModel,
                  miss_rate: float = DEFAULT_MISS_RATE,
                  model_division: bool = False,
                  model_vectorization: bool = False,
-                 overlap: bool = True):
+                 overlap: bool = True,
+                 cache_model=None):
         if not (0.0 <= miss_rate <= 1.0):
             raise HardwareModelError(
                 f"miss_rate must be within [0, 1], got {miss_rate}")
@@ -96,6 +109,7 @@ class RooflineModel:
         self.model_division = model_division
         self.model_vectorization = model_vectorization
         self.overlap = overlap
+        self.cache_model = cache_model
 
     # -- component times --------------------------------------------------
     def compute_time(self, metrics: Metrics) -> float:
@@ -126,12 +140,25 @@ class RooflineModel:
     def memory_time(self, metrics: Metrics) -> float:
         """Tm: data-movement time for one invocation (seconds).
 
-        Maximum of the bandwidth bound (DRAM traffic at the constant miss
-        ratio) and the latency bound (line fills over the machine's
+        Maximum of the bandwidth bound (DRAM traffic at the modeled miss
+        fractions) and the latency bound (line fills over the machine's
         memory-level parallelism); see
         :meth:`~repro.hardware.machine.MachineModel.memory_cycles`.
+
+        The per-level fractions come from ``cache_model`` when one is
+        installed; otherwise the constant-ratio arithmetic below runs
+        unchanged (bit-identical to pre-cache-model releases).
         """
         machine = self.machine
+        if self.cache_model is not None:
+            f_l1, f_llc, f_dram = self.cache_model.fractions(metrics,
+                                                             machine)
+            cycles = machine.memory_cycles(
+                nbytes=metrics.total_bytes,
+                elements=metrics.accesses,
+                f_l1=f_l1, f_llc=f_llc, f_dram=f_dram,
+            )
+            return cycles * machine.cycle_time
         miss = self.miss_rate
         cycles = machine.memory_cycles(
             nbytes=metrics.total_bytes,
@@ -170,9 +197,16 @@ class RooflineModel:
 
         Provided for roofline plots and co-design sweeps; not used by the
         block timing path.
+
+        Accepts lane arrays: negative lanes are poisoned to NaN rather
+        than crashing the whole sweep (a scalar negative intensity still
+        raises — one bad point is a caller bug, not a lane to skip).
         """
-        if intensity < 0:
-            raise HardwareModelError("operational intensity must be >= 0")
         peak = self.machine.peak_scalar_gflops
         bandwidth_gbs = self.machine.bandwidth / 1e9
+        if is_array(intensity):
+            ceiling = vmin(peak, bandwidth_gbs * intensity)
+            return vwhere(intensity < 0, float("nan"), ceiling)
+        if intensity < 0:
+            raise HardwareModelError("operational intensity must be >= 0")
         return min(peak, bandwidth_gbs * intensity)

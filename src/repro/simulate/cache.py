@@ -12,6 +12,14 @@ spot reuses data the 1st brought in and runs faster than projected
 Accesses without an array attribution are treated as a per-site anonymous
 region, which still gives temporal reuse across invocations of the same
 block.
+
+Hierarchy accounting is *inclusive*: every access touches both levels with
+its full footprint, so whatever lives in L1 also lives in the LLC.  The
+per-access split is therefore ``f_l1`` from the L1 lookup, ``f_llc =
+max(f_llc_raw - f_l1, 0)`` (the share the LLC serves *beyond* what L1
+already caught), and ``f_dram`` the remainder — the three always sum to 1.
+The analytic layer-condition model in :mod:`repro.hardware.cachemodel`
+mirrors exactly this subtraction when predicting the same fractions.
 """
 
 from __future__ import annotations
@@ -23,15 +31,21 @@ from ..errors import SimulationError
 
 
 class _LRULevel:
-    """One cache level: an LRU over named footprints."""
+    """One cache level: an LRU over named footprints.
 
-    __slots__ = ("capacity", "resident")
+    A running total of resident bytes is maintained incrementally — every
+    mutation of ``resident`` adjusts ``_resident_total`` — so eviction is
+    O(evicted entries) rather than O(resident regions) per touch.
+    """
+
+    __slots__ = ("capacity", "resident", "_resident_total")
 
     def __init__(self, capacity: int):
         if capacity <= 0:
             raise SimulationError("cache capacity must be positive")
         self.capacity = capacity
         self.resident: "OrderedDict[str, float]" = OrderedDict()
+        self._resident_total = 0.0
 
     def touch(self, region: str, footprint: float) -> float:
         """Access ``footprint`` bytes of ``region``; return the hit fraction.
@@ -46,17 +60,19 @@ class _LRULevel:
         if footprint <= 0:
             return 1.0
         previous = self.resident.pop(region, 0.0)
+        self._resident_total -= previous
         if footprint > self.capacity:
             hit_fraction = 0.0
         else:
             hit_fraction = min(previous / footprint, 1.0)
         keep = min(footprint, self.capacity)
         self.resident[region] = keep
+        self._resident_total += keep
         self._evict()
         return hit_fraction
 
     def _evict(self) -> None:
-        total = sum(self.resident.values())
+        total = self._resident_total
         while total > self.capacity and len(self.resident) > 1:
             _, evicted = self.resident.popitem(last=False)
             total -= evicted
@@ -64,18 +80,24 @@ class _LRULevel:
             # single oversized region: clamp to capacity
             region, _ = next(iter(self.resident.items()))
             self.resident[region] = self.capacity
+            total = self.capacity
+        self._resident_total = total
 
     def resident_bytes(self) -> float:
-        return sum(self.resident.values())
+        return self._resident_total
 
     def clear(self) -> None:
         self.resident.clear()
+        self._resident_total = 0.0
 
 
 class CacheSimulator:
     """Two-level (L1 + LLC) footprint cache.
 
     :meth:`access` returns the fractions of an access served by each level.
+    The hierarchy is inclusive (see the module docstring): both levels are
+    touched with the full footprint and the LLC fraction is reported net of
+    what L1 already served.
     """
 
     def __init__(self, l1_size: int, llc_size: int):
@@ -110,6 +132,20 @@ class CacheSimulator:
         if self.accesses == 0:
             return 0.0
         return 1.0 - self.l1_hits / self.accesses
+
+    @property
+    def llc_miss_rate(self) -> float:
+        """Fraction of accesses served by neither L1 nor the LLC."""
+        if self.accesses == 0:
+            return 0.0
+        return 1.0 - (self.l1_hits + self.llc_hits) / self.accesses
+
+    @property
+    def dram_fraction(self) -> float:
+        """Alias of :attr:`llc_miss_rate`: an access missing both levels
+        is served by DRAM (the hierarchy is inclusive, so there is no
+        other place left)."""
+        return self.llc_miss_rate
 
     def clear(self) -> None:
         self.l1.clear()

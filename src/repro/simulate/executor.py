@@ -323,8 +323,14 @@ class SkeletonExecutor:
             return
         region = statement.array or f"@{statement.site}"
         footprint = nbytes
-        if statement.array and statement.array in self.arrays:
-            footprint = min(nbytes, self.arrays[statement.array])
+        if statement.stride is not None:
+            footprint = nbytes * max(1.0, evaluate(statement.stride, env))
+        if statement.footprint is not None:
+            footprint = max(0.0, evaluate(statement.footprint, env))
+        elif statement.array and statement.array in self.arrays:
+            footprint = min(footprint, self.arrays[statement.array])
+        # a `reuse` clause only parameterizes the analytic cache model;
+        # the simulator observes reuse directly from the access sequence
         self._charge_memory(region, footprint, elements, nbytes, frame)
 
     def _charge_memory(self, region: str, footprint: float, elements: float,
@@ -545,6 +551,10 @@ class SkeletonExecutor:
                          statement.div_flops]
             else:
                 exprs = [statement.count]
+                for clause in (statement.stride, statement.footprint,
+                               statement.reuse):
+                    if clause is not None:
+                        exprs.append(clause)
             if any(loop.var in e.free_vars() for e in exprs):
                 ok = False
                 break

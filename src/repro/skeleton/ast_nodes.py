@@ -142,11 +142,47 @@ class Comp(Statement):
         return "comp " + (" + ".join(parts) if parts else "0")
 
 
-class Load(Statement):
-    """``load E dtype [from array]`` — E element loads."""
+class _AccessPattern:
+    """Optional access-pattern characteristics shared by Load/Store.
+
+    ``stride`` (elements between consecutive accesses), ``footprint``
+    (distinct bytes the statement spans per invocation), and ``reuse``
+    (bytes touched between two uses of the same data — the layer-condition
+    reuse window) feed the analytic cache model
+    (:mod:`repro.hardware.cachemodel`).  All three are optional; ``None``
+    means unit stride / footprint inferred from the traffic / reuse window
+    equal to the owning block's working set, which reproduces the behavior
+    of un-annotated skeletons exactly.
+    """
+
+    def _init_pattern(self, stride: Optional[Expr],
+                      footprint: Optional[Expr],
+                      reuse: Optional[Expr]) -> None:
+        self.stride = as_expr(stride) if stride is not None else None
+        self.footprint = as_expr(footprint) if footprint is not None \
+            else None
+        self.reuse = as_expr(reuse) if reuse is not None else None
+
+    def _pattern_suffix(self) -> str:
+        parts = []
+        if self.stride is not None:
+            parts.append(f" stride {self.stride}")
+        if self.footprint is not None:
+            parts.append(f" footprint {self.footprint}")
+        if self.reuse is not None:
+            parts.append(f" reuse {self.reuse}")
+        return "".join(parts)
+
+
+class Load(Statement, _AccessPattern):
+    """``load E dtype [from array] [stride E] [footprint E] [reuse E]`` —
+    E element loads."""
 
     def __init__(self, count: Expr, dtype: str = "float64",
-                 array: Optional[str] = None, line: int = 0):
+                 array: Optional[str] = None, line: int = 0,
+                 stride: Optional[Expr] = None,
+                 footprint: Optional[Expr] = None,
+                 reuse: Optional[Expr] = None):
         super().__init__(line)
         if dtype not in DTYPE_BYTES:
             from ..errors import SemanticError
@@ -154,6 +190,7 @@ class Load(Statement):
         self.count = as_expr(count)
         self.dtype = dtype
         self.array = array
+        self._init_pattern(stride, footprint, reuse)
 
     @property
     def element_bytes(self) -> int:
@@ -161,14 +198,19 @@ class Load(Statement):
 
     def describe(self):
         suffix = f" from {self.array}" if self.array else ""
-        return f"load {self.count} {self.dtype}{suffix}"
+        return f"load {self.count} {self.dtype}{suffix}" \
+            + self._pattern_suffix()
 
 
-class Store(Statement):
-    """``store E dtype [to array]`` — E element stores."""
+class Store(Statement, _AccessPattern):
+    """``store E dtype [to array] [stride E] [footprint E] [reuse E]`` —
+    E element stores."""
 
     def __init__(self, count: Expr, dtype: str = "float64",
-                 array: Optional[str] = None, line: int = 0):
+                 array: Optional[str] = None, line: int = 0,
+                 stride: Optional[Expr] = None,
+                 footprint: Optional[Expr] = None,
+                 reuse: Optional[Expr] = None):
         super().__init__(line)
         if dtype not in DTYPE_BYTES:
             from ..errors import SemanticError
@@ -176,6 +218,7 @@ class Store(Statement):
         self.count = as_expr(count)
         self.dtype = dtype
         self.array = array
+        self._init_pattern(stride, footprint, reuse)
 
     @property
     def element_bytes(self) -> int:
@@ -183,7 +226,8 @@ class Store(Statement):
 
     def describe(self):
         suffix = f" to {self.array}" if self.array else ""
-        return f"store {self.count} {self.dtype}{suffix}"
+        return f"store {self.count} {self.dtype}{suffix}" \
+            + self._pattern_suffix()
 
 
 class LibCall(Statement):

@@ -197,7 +197,8 @@ def _used_names(func: FuncDef) -> Set[str]:
 
     for statement in func.walk():
         for attribute in ("expr", "lo", "hi", "step", "expect", "count",
-                          "flops", "iops", "div_flops", "size", "prob"):
+                          "flops", "iops", "div_flops", "size", "prob",
+                          "stride", "footprint", "reuse"):
             value = getattr(statement, attribute, None)
             if value is not None and hasattr(value, "free_vars"):
                 collect_expr(value)

@@ -15,13 +15,21 @@ Grammar (line oriented; ``#`` starts a comment; blocks close with ``end``)::
                       ["default" body] "end"
                 | "call" NAME "(" [expr {"," expr}] ")"
                 | "comp" expr ("flops" ["div" expr] ["vec"] | "iops")
-                | "load" expr [DTYPE] ["from" NAME]
-                | "store" expr [DTYPE] ["to" NAME]
+                | "load" expr [DTYPE] ["from" NAME] {access_clause}
+                | "store" expr [DTYPE] ["to" NAME] {access_clause}
                 | "lib" NAME expr
                 | "break" ["prob" expr]
                 | "continue" ["prob" expr]
                 | "return" ["prob" expr]
+    access_clause := "stride" expr | "footprint" expr | "reuse" expr
     label      := "as" STRING
+
+Access clauses (any order, each at most once) describe the access pattern
+for the analytic cache model: ``stride`` is the element distance between
+consecutive accesses, ``footprint`` the distinct bytes the statement spans
+per invocation, and ``reuse`` the bytes touched between two uses of the
+same data (the layer-condition reuse window).  All default to the unit-
+stride streaming interpretation when omitted.
 
 ``for`` bounds are half-open (``lo`` inclusive, ``hi`` exclusive).  A
 ``while expect ?`` records an unprofiled loop whose expected trip count must
@@ -512,15 +520,31 @@ class _SkeletonParser:
             Comp(flops=amount, div_flops=div if div is not None else 0,
                  vectorizable=vectorizable, line=line.number))
 
+    def _parse_access_clauses(self, line: _Line) -> dict:
+        """``stride`` / ``footprint`` / ``reuse`` clauses in any order,
+        each at most once (contextual words: still usable as names)."""
+        clauses: dict = {}
+        while True:
+            token = line.peek()
+            if token is None or token.kind != "name" \
+                    or token.text not in ("stride", "footprint", "reuse"):
+                break
+            line.next()
+            if token.text in clauses:
+                raise line.error(f"duplicate {token.text!r} clause")
+            clauses[token.text] = line.expr()
+        return clauses
+
     def _stmt_load(self, line: _Line) -> None:
         count = line.expr()
         dtype = self._parse_dtype(line) or "float64"
         array = None
         if line.accept("name", "from"):
             array = line.expect_name()
+        clauses = self._parse_access_clauses(line)
         line.done()
         self._top_body(line).append(
-            Load(count, dtype, array, line=line.number))
+            Load(count, dtype, array, line=line.number, **clauses))
 
     def _stmt_store(self, line: _Line) -> None:
         count = line.expr()
@@ -528,9 +552,10 @@ class _SkeletonParser:
         array = None
         if line.accept("name", "to"):
             array = line.expect_name()
+        clauses = self._parse_access_clauses(line)
         line.done()
         self._top_body(line).append(
-            Store(count, dtype, array, line=line.number))
+            Store(count, dtype, array, line=line.number, **clauses))
 
     def _stmt_lib(self, line: _Line) -> None:
         name = line.expect_name()

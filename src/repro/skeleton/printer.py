@@ -37,6 +37,17 @@ def _prob_suffix(prob) -> str:
     return f" prob {prob}"
 
 
+def _access_suffix(statement) -> str:
+    """Optional ``stride`` / ``footprint`` / ``reuse`` clauses, in the
+    canonical order the parser also accepts."""
+    parts = []
+    for clause in ("stride", "footprint", "reuse"):
+        expr = getattr(statement, clause, None)
+        if expr is not None:
+            parts.append(f" {clause} {expr}")
+    return "".join(parts)
+
+
 def format_skeleton(program: Program) -> str:
     """Return canonical ``.skop`` source for ``program``."""
     lines: List[str] = []
@@ -89,11 +100,13 @@ def _format_body(body: List[Statement], lines: List[str], depth: int) -> None:
         elif isinstance(statement, Load):
             suffix = f" from {statement.array}" if statement.array else ""
             lines.append(f"{pad}load {statement.count} "
-                         f"{statement.dtype}{suffix}")
+                         f"{statement.dtype}{suffix}"
+                         f"{_access_suffix(statement)}")
         elif isinstance(statement, Store):
             suffix = f" to {statement.array}" if statement.array else ""
             lines.append(f"{pad}store {statement.count} "
-                         f"{statement.dtype}{suffix}")
+                         f"{statement.dtype}{suffix}"
+                         f"{_access_suffix(statement)}")
         elif isinstance(statement, LibCall):
             lines.append(f"{pad}lib {statement.name} {statement.size}")
         elif isinstance(statement, Break):

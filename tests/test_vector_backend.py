@@ -156,7 +156,10 @@ class TestRebindBatch:
                          ref.own_metrics.loads, ref.own_metrics.stores,
                          ref.own_metrics.load_bytes,
                          ref.own_metrics.store_bytes,
-                         ref.own_metrics.static_size)):
+                         ref.own_metrics.static_size,
+                         ref.own_metrics.footprint_bytes,
+                         ref.own_metrics.reuse_bytes,
+                         ref.own_metrics.reuse_traffic)):
                     assert lane(field, i) == value
 
     def test_shape_divergent_lanes_flagged(self, program):
