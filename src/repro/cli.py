@@ -251,6 +251,23 @@ def build_parser() -> argparse.ArgumentParser:
                                    "evaluates point-by-point, 'auto' "
                                    "(default) picks vector for pure "
                                    "input sweeps of >= 64 points")
+    sweep_parser.add_argument("--executor", default=None,
+                              choices=("serial", "pool", "multinode"),
+                              help="sharded dispatch substrate: split the "
+                                   "sweep into supervised shards with "
+                                   "work-stealing, crash recovery, and "
+                                   "poison-shard quarantine (default: "
+                                   "legacy in-process dispatch)")
+    sweep_parser.add_argument("--shards", type=int, default=None,
+                              metavar="N",
+                              help="shard count for --executor (default: "
+                                   "about four shards per worker)")
+    sweep_parser.add_argument("--cluster", default=None,
+                              metavar="PRESET",
+                              help="simulated cluster topology for "
+                                   "--executor multinode (dual-node, "
+                                   "torus-rack, fabric-pod; default "
+                                   "dual-node)")
     sweep_parser.add_argument("--cache-model", dest="cache_model",
                               default="constant",
                               choices=CACHE_MODEL_NAMES,
@@ -475,6 +492,14 @@ def _render_sweep_stats(result) -> str:
         if isinstance(value, float) and value == int(value):
             value = int(value)
         lines.append(f"  {name:<24} {value}")
+    shard_stats = dict(getattr(result, "shard_stats", None) or {})
+    if shard_stats:
+        lines.append("shard stats:")
+        for name in sorted(shard_stats):
+            value = shard_stats[name]
+            if isinstance(value, float) and value == int(value):
+                value = int(value)
+            lines.append(f"  {name:<24} {value}")
     return "\n".join(lines)
 
 
@@ -510,9 +535,20 @@ def _cmd_sweep(args) -> str:
         from .hardware.cachemodel import RooflineFactory
         resilience["model_factory"] = RooflineFactory(
             cache_model=cache_model)
+    executor = getattr(args, "executor", None)
+    if executor is not None:
+        if getattr(args, "shards", None) is not None and args.shards < 1:
+            raise ReproError(f"--shards must be >= 1, got {args.shards}")
+        resilience["executor"] = executor
+        resilience["shards"] = getattr(args, "shards", None)
+        resilience["topology"] = getattr(args, "cluster", None)
+    elif getattr(args, "shards", None) is not None:
+        raise ReproError("--shards needs --executor")
+    elif getattr(args, "cluster", None) is not None:
+        raise ReproError("--cluster needs --executor multinode")
     has_input_axes = any(name.startswith(INPUT_PREFIX) for name in grid)
     backend = getattr(args, "backend", "auto")
-    if len(grid) == 1 and not has_input_axes:
+    if len(grid) == 1 and not has_input_axes and executor is None:
         if backend == "vector":
             raise ReproError(
                 "--backend vector needs at least one 'input:' axis; "
@@ -540,13 +576,20 @@ def _cmd_sweep(args) -> str:
     failed = int(timings.get("failed", 0))
     resumed = int(timings.get("resumed", 0))
     backend_used = getattr(result, "backend", None)
+    executor_used = getattr(result, "executor", "")
+    shard_stats = getattr(result, "shard_stats", None) or {}
     footer = (f"[{int(timings.get('points', 0))} points in "
               f"{timings.get('total', 0.0):.3f}s, "
               + (f"backend={backend_used}, " if backend_used else "")
+              + (f"executor={executor_used}, "
+                 f"shards={int(shard_stats.get('shards_planned', 0))}, "
+                 if executor_used else "")
               + f"workers={int(timings.get('workers', 1))}"
               + (f", {failed} failed" if failed else "")
               + (f", {resumed} resumed" if resumed else "") + "]")
     output = result.render() + "\n" + footer
+    for diagnostic in getattr(result, "diagnostics", None) or []:
+        output += "\n" + diagnostic.render(show_snippet=False)
     if args.stats:
         output += "\n" + _render_sweep_stats(result)
     return output

@@ -23,6 +23,7 @@ The numbering scheme (see :data:`CODES`):
 ``4xx``    BET-build faults (quarantine causes)
 ``5xx``    projection/numeric faults (poisoned blocks)
 ``6xx``    resource-budget violations
+``7xx``    distributed-execution faults (shards, workers)
 =========  ==================================================
 
 Diagnostics are plain frozen dataclasses: picklable (they cross the
@@ -82,6 +83,13 @@ CODES: Dict[str, str] = {
     "SKOP601": "expression exceeds the size/depth budget",
     "SKOP602": "build exceeded its wall-clock budget",
     "SKOP603": "context count exceeded the budget ceiling",
+    # -- 7xx: distributed execution -------------------------------------
+    "SKOP701": "corrupt sweep checkpoint salvaged from last valid "
+               "snapshot",
+    "SKOP702": "sweep worker crashed; shards reassigned",
+    "SKOP703": "shard quarantined after retry exhaustion",
+    "SKOP704": "corrupt shard result envelope detected",
+    "SKOP705": "worker heartbeat lost; declared dead",
 }
 
 #: legacy lint code (W001…) -> stable diagnostic code

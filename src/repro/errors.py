@@ -277,6 +277,128 @@ class CheckpointError(ReproError):
     """A sweep checkpoint file is unusable or belongs to a different sweep.
 
     Examples: resuming with a checkpoint whose key does not match the
-    requested (program, machine, grid) combination, or a corrupted /
-    non-JSON checkpoint file.
+    requested (program, machine, grid) combination.  A merely corrupt or
+    truncated file is *not* an error any more: resume salvages the last
+    valid snapshot and records a ``SKOP701`` diagnostic instead.
     """
+
+
+class ExecutorError(ReproError):
+    """Base class for faults in the distributed sweep executor layer.
+
+    Everything the shard scheduler and the pluggable executors raise
+    derives from this, so callers can fence off distribution faults from
+    modeling faults with a single ``except`` clause.
+    """
+
+
+class WorkerCrashError(ExecutorError):
+    """A sweep worker died while holding a shard.
+
+    Attributes
+    ----------
+    worker:
+        The worker's identifier (e.g. ``"n1.w0"`` or ``"pool-3"``).
+    shard_id:
+        The shard that was in flight when the worker died (-1 when the
+        crash happened between shards).
+    """
+
+    def __init__(self, worker: str, shard_id: int = -1):
+        self.worker = worker
+        self.shard_id = shard_id
+        holding = (f" while computing shard {shard_id}"
+                   if shard_id >= 0 else "")
+        super().__init__(
+            f"worker {worker} crashed{holding}; its shards were "
+            "reassigned to the surviving workers")
+
+    def __reduce__(self):
+        return (WorkerCrashError, (self.worker, self.shard_id))
+
+
+class HeartbeatLostError(ExecutorError):
+    """A sweep worker stopped heartbeating and was declared dead.
+
+    Attributes
+    ----------
+    worker:
+        The silent worker's identifier.
+    missed:
+        Consecutive heartbeats missed before the supervisor gave up.
+    interval:
+        The configured heartbeat interval in (simulated) seconds.
+    """
+
+    def __init__(self, worker: str, missed: int, interval: float):
+        self.worker = worker
+        self.missed = missed
+        self.interval = interval
+        super().__init__(
+            f"worker {worker} missed {missed} heartbeats "
+            f"({interval:g}s interval) and was declared dead; any result "
+            "it sends later will be discarded as stale")
+
+    def __reduce__(self):
+        return (HeartbeatLostError,
+                (self.worker, self.missed, self.interval))
+
+
+class EnvelopeCorruptError(ExecutorError):
+    """A shard's result envelope failed its integrity check.
+
+    Attributes
+    ----------
+    shard_id:
+        The shard whose envelope arrived damaged.
+    expected, actual:
+        Checksums (hex digests) at pack and unpack time.
+    """
+
+    def __init__(self, shard_id: int, expected: str, actual: str):
+        self.shard_id = shard_id
+        self.expected = expected
+        self.actual = actual
+        super().__init__(
+            f"result envelope for shard {shard_id} is corrupt (checksum "
+            f"{actual[:12]} != {expected[:12]}); the shard will be "
+            "recomputed")
+
+    def __reduce__(self):
+        return (EnvelopeCorruptError,
+                (self.shard_id, self.expected, self.actual))
+
+
+class ShardQuarantinedError(ExecutorError):
+    """A shard kept failing after every configured retry and was
+    quarantined.
+
+    The scheduler stops re-dispatching the shard; every point it covers
+    becomes a :class:`~repro.parallel.PointFailure` record on the sweep
+    result while the healthy shards complete.
+
+    Attributes
+    ----------
+    shard_id:
+        The quarantined shard.
+    attempts:
+        Dispatch attempts made (across workers) before quarantine.
+    error_type, message:
+        Type name and message of the last underlying fault.
+    """
+
+    def __init__(self, shard_id: int, attempts: int, error_type: str,
+                 message: str):
+        self.shard_id = shard_id
+        self.attempts = attempts
+        self.error_type = error_type
+        self.message = message
+        plural = "s" if attempts != 1 else ""
+        super().__init__(
+            f"shard {shard_id} quarantined after {attempts} "
+            f"attempt{plural}: {error_type}: {message}")
+
+    def __reduce__(self):
+        return (ShardQuarantinedError,
+                (self.shard_id, self.attempts, self.error_type,
+                 self.message))

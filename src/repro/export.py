@@ -160,6 +160,8 @@ def input_sweep_to_dict(result) -> Dict[str, Any]:
                  for name, values in result.axes.items()},
         "base_inputs": dict(result.base_inputs),
         "backend": getattr(result, "backend", "scalar"),
+        "executor": getattr(result, "executor", ""),
+        "shard_stats": dict(getattr(result, "shard_stats", None) or {}),
         "timings": dict(result.timings),
         "cache_stats": dict(result.cache_stats),
         "completeness": getattr(result, "completeness", 1.0),
@@ -184,6 +186,8 @@ def grid_to_dict(result) -> Dict[str, Any]:
         "grid": {name: list(values)
                  for name, values in result.grid.items()},
         "backend": getattr(result, "backend", "scalar"),
+        "executor": getattr(result, "executor", ""),
+        "shard_stats": dict(getattr(result, "shard_stats", None) or {}),
         "timings": dict(result.timings),
         "cache_stats": dict(result.cache_stats),
         "completeness": getattr(result, "completeness", 1.0),

@@ -36,7 +36,15 @@ def guarded_pow(a: Number, b: Number) -> Number:
             and b * a.bit_length() > _MAX_POW_BITS):
         raise ValueError(
             f"integer power {a} ^ {b} would exceed {_MAX_POW_BITS} bits")
-    return a ** b
+    result = a ** b
+    if isinstance(result, complex):
+        # a fractional power of a negative base: Python returns a complex
+        # number, which has no ordering and would escape as a raw
+        # TypeError from whatever arithmetic touches it next; refuse it
+        # here so every evaluation path reports the same domain error
+        raise ValueError(
+            f"fractional power of a negative base ({a} ^ {b}) is complex")
+    return result
 
 
 #: Intrinsic functions available in skeleton expressions.

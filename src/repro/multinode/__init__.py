@@ -16,11 +16,19 @@ This package implements that extension on top of the single-node pipeline:
   hot spot.
 """
 
+from .cluster import (
+    CLUSTER_PRESETS, DUAL_NODE, FABRIC_POD, TORUS_RACK, ClusterTopology,
+)
 from .decomposition import DecompositionModel
 from .network import NetworkModel
 from .scaling import ScalingPoint, ScalingProjection, project_scaling
 
 __all__ = [
+    "ClusterTopology",
+    "CLUSTER_PRESETS",
+    "DUAL_NODE",
+    "TORUS_RACK",
+    "FABRIC_POD",
     "DecompositionModel",
     "NetworkModel",
     "ScalingPoint",

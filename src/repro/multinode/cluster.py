@@ -1,0 +1,104 @@
+"""Simulated cluster topologies for the multinode sweep executor.
+
+The multinode package models *applications* running across ranks
+(:func:`~repro.multinode.project_scaling`); this module reuses its
+:class:`~repro.multinode.NetworkModel` to model the *sweep itself*
+running across a cluster: a :class:`ClusterTopology` names the nodes and
+workers the simulated :class:`~repro.parallel.executors.MultinodeExecutor`
+schedules shards onto, prices shard-result shipping with the postal
+model, and carries the heartbeat supervision contract (interval and
+miss limit) that decides when a silent worker is declared dead.
+
+The executor is a *simulation*: shard tasks are pure, so they execute
+in-process while a deterministic virtual clock accounts for per-worker
+occupancy, network transfer, and heartbeat timing.  That keeps the
+distributed path bit-identical to the single-node path (same tasks,
+same merge order) while still exercising every supervision code path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..errors import ReproError
+from .network import FAT_TREE, FUTURE_FABRIC, TORUS_5D, NetworkModel
+
+
+@dataclass(frozen=True)
+class ClusterTopology:
+    """A simulated sweep cluster: nodes × workers plus its interconnect.
+
+    Attributes
+    ----------
+    name:
+        Preset label (appears in supervision logs and BENCH records).
+    nodes:
+        Number of nodes; workers are named ``n{node}.w{slot}``.
+    workers_per_node:
+        Sweep worker slots per node.
+    network:
+        Interconnect pricing shard-result shipping back to the scheduler
+        (postal model: messages × latency + bytes / bandwidth).
+    heartbeat_interval:
+        Simulated seconds between worker heartbeats.
+    heartbeat_miss_limit:
+        Consecutive missed heartbeats before the supervisor declares the
+        worker dead and reassigns its shards.
+    task_seconds:
+        Simulated seconds one shard occupies one worker (the virtual
+        clock's work unit; real execution is in-process and instant).
+    """
+
+    name: str
+    nodes: int
+    workers_per_node: int
+    network: NetworkModel
+    heartbeat_interval: float = 1.0
+    heartbeat_miss_limit: int = 3
+    task_seconds: float = 1.0
+
+    def __post_init__(self):
+        if self.nodes < 1 or self.workers_per_node < 1:
+            raise ReproError(
+                f"cluster {self.name!r} needs at least one worker")
+        if self.heartbeat_interval <= 0 or self.heartbeat_miss_limit < 1:
+            raise ReproError(
+                f"cluster {self.name!r} has an invalid heartbeat contract")
+        if self.task_seconds <= 0:
+            raise ReproError(
+                f"cluster {self.name!r} needs task_seconds > 0")
+
+    @property
+    def total_workers(self) -> int:
+        return self.nodes * self.workers_per_node
+
+    def worker_names(self) -> List[str]:
+        """Every worker id, node-major: ``n0.w0, n0.w1, ..., n1.w0, ...``"""
+        return [f"n{node}.w{slot}"
+                for node in range(self.nodes)
+                for slot in range(self.workers_per_node)]
+
+    def ship_seconds(self, nbytes: int) -> float:
+        """Simulated time to ship one result envelope to the scheduler."""
+        return self.network.transfer_seconds(float(nbytes))
+
+
+#: two fat-tree nodes, four workers each — the default sweep cluster
+DUAL_NODE = ClusterTopology(name="dual-node", nodes=2, workers_per_node=4,
+                            network=FAT_TREE)
+
+#: a rack of eight torus-connected nodes
+TORUS_RACK = ClusterTopology(name="torus-rack", nodes=8,
+                             workers_per_node=4, network=TORUS_5D)
+
+#: a future-fabric pod: 16 nodes, 8 workers each
+FABRIC_POD = ClusterTopology(name="fabric-pod", nodes=16,
+                             workers_per_node=8, network=FUTURE_FABRIC)
+
+#: name -> preset, for the CLI and benchmarks
+CLUSTER_PRESETS = {
+    DUAL_NODE.name: DUAL_NODE,
+    TORUS_RACK.name: TORUS_RACK,
+    FABRIC_POD.name: FABRIC_POD,
+}

@@ -18,17 +18,28 @@ deterministic fault-injection harness the tests are built on.
 """
 
 from .cache import CacheStats, LRUCache
+from .chaos import ChaosEvent, ChaosSchedule
 from .engine import (
     INPUT_PREFIX, GridPoint, GridResult, InputPoint, InputSweepResult,
     analyze_matrix, bet_cache_stats, build_bet_cached, clear_bet_cache,
     clear_symbolic_cache, sweep_grid, sweep_inputs,
+)
+from .executors import (
+    EXECUTOR_NAMES, MultinodeExecutor, PoolExecutor, SerialExecutor,
+    SweepExecutor, resolve_executor,
 )
 from .fault import (
     NO_RETRY, CallRecorder, FaultInjector, MapOutcome, PointFailure,
     RetryPolicy, SweepCheckpoint, overrides_key, resilient_map, run_point,
     sweep_key,
 )
-from .pool import chunk, default_workers, parallel_map
+from .pool import (
+    abandon_pool, chunk, default_workers, parallel_map, reap_abandoned,
+)
+from .shard import (
+    Shard, ShardEnvelope, ShardRunResult, ShardScheduler, SupervisionLog,
+    plan_shards,
+)
 
 __all__ = [
     "CacheStats",
@@ -60,4 +71,21 @@ __all__ = [
     "overrides_key",
     "FaultInjector",
     "CallRecorder",
+    # sharded executor layer
+    "SweepExecutor",
+    "SerialExecutor",
+    "PoolExecutor",
+    "MultinodeExecutor",
+    "resolve_executor",
+    "EXECUTOR_NAMES",
+    "ShardScheduler",
+    "ShardEnvelope",
+    "ShardRunResult",
+    "Shard",
+    "SupervisionLog",
+    "plan_shards",
+    "ChaosSchedule",
+    "ChaosEvent",
+    "abandon_pool",
+    "reap_abandoned",
 ]

@@ -1,0 +1,136 @@
+"""Chaos harness for the distributed sweep executor layer.
+
+:class:`~repro.parallel.FaultInjector` injects faults into the *task*
+(fail or hang the Nth call).  This module injects faults into the
+*distribution substrate* — the part PR 7 claims is dependable:
+
+* ``kill`` — the worker dies mid-shard; its result is lost and the
+  supervisor sees a crash;
+* ``drop_heartbeats`` — the worker goes silent; the supervisor declares
+  it dead after the topology's miss limit, and any result it ships
+  later is discarded as stale;
+* ``stall`` — the shard runs past its timeout on that worker;
+* ``corrupt`` — the shard's result envelope is damaged in transit and
+  fails its checksum at merge time.
+
+A :class:`ChaosSchedule` is an explicit list of :class:`ChaosEvent`
+triggers keyed by ``(shard, attempt)`` — fully deterministic, no RNG
+state — so every chaotic run is replayable and the equivalence suite
+can assert bit-identical results point by point.  :meth:`ChaosSchedule.
+seeded` derives a schedule from a seed via SHA-256 (the same technique
+as :class:`~repro.parallel.RetryPolicy`'s jitter), giving the property
+tests an unbounded family of reproducible fault scenarios.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+#: fault kinds the executor layer understands
+CHAOS_KINDS = ("kill", "stall", "drop_heartbeats", "corrupt")
+
+
+@dataclass
+class ChaosEvent:
+    """One injected fault: ``kind`` strikes shard ``shard`` on attempt
+    ``attempt`` (1-based).  ``worker`` optionally restricts the trigger
+    to one worker id; empty matches any.  Each event fires at most once.
+    """
+
+    kind: str
+    shard: int
+    attempt: int = 1
+    worker: str = ""
+    fired: bool = False
+
+    def __post_init__(self):
+        if self.kind not in CHAOS_KINDS:
+            raise ValueError(f"unknown chaos kind {self.kind!r}")
+        if self.attempt < 1:
+            raise ValueError("attempt is 1-based")
+
+    def matches(self, shard: int, attempt: int, worker: str) -> bool:
+        return (not self.fired
+                and self.shard == shard
+                and self.attempt == attempt
+                and (not self.worker or self.worker == worker))
+
+
+@dataclass
+class ChaosSchedule:
+    """A deterministic set of executor-layer faults for one run.
+
+    Executors consult the schedule at dispatch time
+    (:meth:`take` with ``kill`` / ``stall`` / ``drop_heartbeats``) and at
+    result-shipping time (``corrupt``); a consumed event never fires
+    again, so a reassigned shard succeeds on its next attempt unless the
+    schedule says otherwise.
+    """
+
+    events: List[ChaosEvent] = field(default_factory=list)
+
+    def take(self, kind: str, shard: int, attempt: int,
+             worker: str) -> Optional[ChaosEvent]:
+        """Consume and return the matching event, if any."""
+        for event in self.events:
+            if event.kind == kind and event.matches(shard, attempt, worker):
+                event.fired = True
+                return event
+        return None
+
+    def pending(self) -> List[ChaosEvent]:
+        return [event for event in self.events if not event.fired]
+
+    def fired(self) -> List[ChaosEvent]:
+        return [event for event in self.events if event.fired]
+
+    def render(self) -> str:
+        lines = []
+        for event in self.events:
+            state = "fired" if event.fired else "armed"
+            who = f" worker {event.worker}" if event.worker else ""
+            lines.append(f"{event.kind:<16} shard {event.shard} "
+                         f"attempt {event.attempt}{who} [{state}]")
+        return "\n".join(lines)
+
+    # -- seeded construction --------------------------------------------
+    @classmethod
+    def seeded(cls, seed: int, shard_count: int,
+               kinds: Sequence[str] = ("kill",),
+               events_per_kind: int = 1) -> "ChaosSchedule":
+        """Derive a reproducible schedule from ``seed``.
+
+        For each kind, ``events_per_kind`` distinct first-attempt shards
+        are chosen by SHA-256 over ``(seed, kind, draw)`` — identical
+        across runs, processes, and hash randomization.  With fewer
+        shards than requested events, every shard is hit once.
+        """
+        if shard_count < 1:
+            return cls()
+        events: List[ChaosEvent] = []
+        for kind in kinds:
+            chosen: List[int] = []
+            draw = 0
+            want = min(events_per_kind, shard_count)
+            while len(chosen) < want:
+                shard = _pick(seed, kind, draw, shard_count)
+                draw += 1
+                if shard not in chosen:
+                    chosen.append(shard)
+            events.extend(ChaosEvent(kind=kind, shard=shard)
+                          for shard in sorted(chosen))
+        return cls(events=events)
+
+
+def _pick(seed: int, kind: str, draw: int, modulus: int) -> int:
+    """Stable pseudo-random shard index from ``(seed, kind, draw)``."""
+    digest = hashlib.sha256(
+        f"{seed}:{kind}:{draw}".encode("ascii")).digest()
+    return int.from_bytes(digest[:8], "big") % modulus
+
+
+def describe_outcomes(schedule: ChaosSchedule) -> Tuple[int, int]:
+    """(fired, total) counts, for logs and benchmark records."""
+    return (len(schedule.fired()), len(schedule.events))

@@ -46,11 +46,13 @@ from ..hardware.machine import MachineModel, ensure_valid_machine
 from ..hardware.roofline import RooflineModel
 from ..skeleton.bst import Program
 from .cache import CacheStats, LRUCache
+from .executors import SweepExecutor, resolve_executor
 from .fault import (
     MapOutcome, PointFailure, RetryPolicy, SweepCheckpoint, overrides_key,
     resilient_map, sweep_key,
 )
 from .pool import parallel_map
+from .shard import ShardScheduler
 
 # -- BET-build memoization ----------------------------------------------------
 
@@ -120,6 +122,9 @@ class GridResult:
     cache_stats: Dict[str, float] = field(default_factory=dict)
     failures: List[PointFailure] = field(default_factory=list)
     backend: str = "scalar"        #: resolved evaluation backend
+    executor: str = ""             #: executor name ("" = legacy dispatch)
+    shard_stats: Dict[str, float] = field(default_factory=dict)
+    diagnostics: List[Any] = field(default_factory=list)
 
     @property
     def parameters(self) -> List[str]:
@@ -213,6 +218,24 @@ def _grid_point_task(payload) -> GridPoint:
     return _grid_one(bet, base_machine, overrides, model_factory, k)
 
 
+def _point_chunk_task(payload):
+    """Executor shard task: a batch of independent per-point payloads.
+
+    Wraps any per-point task into the chunked ``(rows, stats)`` protocol
+    so machine-only grids shard exactly like input sweeps: per-point
+    errors become fail rows (phase-2 territory), never shard faults.
+    """
+    task, point_payloads = payload
+    rows = []
+    for point_payload in point_payloads:
+        try:
+            rows.append(("ok", task(point_payload)))
+        except Exception as exc:
+            rows.append(("fail", type(exc).__name__, str(exc),
+                         _tb.format_exc()))
+    return rows, {}
+
+
 def _grid_point_to_dict(point: GridPoint) -> Dict[str, Any]:
     """JSON-ready checkpoint payload for one completed cell."""
     return {"overrides": dict(point.overrides),
@@ -271,7 +294,11 @@ def sweep_grid(bet: Optional[BETNode], base_machine: MachineModel,
                entry: str = "main",
                library=None,
                chunk_size: Optional[int] = None,
-               backend: str = "auto") -> GridResult:
+               backend: str = "auto",
+               executor=None,
+               shards: Optional[int] = None,
+               topology=None,
+               chaos=None) -> GridResult:
     """Project one BET over the cross product of machine parameters.
 
     Parameters
@@ -323,6 +350,17 @@ def sweep_grid(bet: Optional[BETNode], base_machine: MachineModel,
         backend batch-replays the input axes of each chunk (cells
         grouped by machine overrides); ``auto`` selects it only for pure
         input grids of at least :data:`VECTOR_MIN_POINTS` cells.
+    executor / shards / topology / chaos:
+        Sharded dispatch (DESIGN.md §12).  ``executor`` names a
+        :class:`~repro.parallel.executors.SweepExecutor` (``"serial"`` /
+        ``"pool"`` / ``"multinode"``) or is an instance; the grid is
+        split into ``shards`` work units (default: about four per
+        executor worker) scheduled with work-stealing, crash/heartbeat
+        supervision, and poison-shard quarantine.  ``topology`` selects
+        the simulated cluster for ``"multinode"``; ``chaos`` injects a
+        :class:`~repro.parallel.chaos.ChaosSchedule` of executor-layer
+        faults.  ``executor=None`` (default) keeps the legacy dispatch
+        path, bit-identically.
     """
     if not grid or any(len(list(values)) == 0 for values in grid.values()):
         raise AnalysisError("grid needs at least one value per parameter")
@@ -350,6 +388,11 @@ def sweep_grid(bet: Optional[BETNode], base_machine: MachineModel,
     backend = _resolve_backend(backend, len(cells),
                                has_machine_axes=bool(machine_axes),
                                has_input_axes=bool(input_axes))
+    resolved_executor: Optional[SweepExecutor] = None
+    if executor is not None:
+        resolved_executor = resolve_executor(executor, workers=workers,
+                                             topology=topology, chaos=chaos)
+    shard_stats: Dict[str, float] = {}
 
     ckpt: Optional[SweepCheckpoint] = None
     if checkpoint:
@@ -399,7 +442,38 @@ def sweep_grid(bet: Optional[BETNode], base_machine: MachineModel,
                 point_task=_grid_input_point_task,
                 describe=overrides_key, record=record,
                 workers=workers, strict=strict, policy=policy,
-                timeout=timeout, chunk_size=chunk_size)
+                timeout=timeout, chunk_size=chunk_size,
+                executor=resolved_executor, shards=shards,
+                shard_stats=shard_stats)
+        finally:
+            if ckpt is not None:
+                ckpt.flush()
+    elif resolved_executor is not None:
+        # machine-only grid on an executor: per-point payloads batched
+        # into shards through the generic chunk wrapper
+
+        def record_cell(global_index: int, point: GridPoint) -> None:
+            if ckpt is not None:
+                ckpt.record(overrides_key(cells[global_index]),
+                            _grid_point_to_dict(point))
+
+        try:
+            computed, failures, stages = _run_chunked(
+                pending_cells, pending_indices,
+                chunk_payload=lambda chunk: (
+                    _grid_point_task,
+                    [(bet, base_machine, overrides, model_factory, k)
+                     for overrides in chunk]),
+                point_payload=lambda overrides: (bet, base_machine,
+                                                 overrides, model_factory,
+                                                 k),
+                chunk_task=_point_chunk_task,
+                point_task=_grid_point_task,
+                describe=overrides_key, record=record_cell,
+                workers=workers, strict=strict, policy=policy,
+                timeout=timeout, chunk_size=chunk_size,
+                executor=resolved_executor, shards=shards,
+                shard_stats=shard_stats)
         finally:
             if ckpt is not None:
                 ckpt.flush()
@@ -459,7 +533,10 @@ def sweep_grid(bet: Optional[BETNode], base_machine: MachineModel,
         timings=timings,
         cache_stats=cache_stats,
         failures=failures,
-        backend=backend)
+        backend=backend,
+        executor=(resolved_executor.name if resolved_executor else ""),
+        shard_stats=shard_stats,
+        diagnostics=list(ckpt.diagnostics) if ckpt is not None else [])
 
 
 # -- input-axis sweeps (symbolic rebind) --------------------------------------
@@ -593,7 +670,10 @@ def _run_chunked(items: Sequence,
                  strict: bool,
                  policy: Optional[RetryPolicy],
                  timeout: Optional[float],
-                 chunk_size: Optional[int]):
+                 chunk_size: Optional[int],
+                 executor: Optional[SweepExecutor] = None,
+                 shards: Optional[int] = None,
+                 shard_stats: Optional[Dict[str, float]] = None):
     """Chunked two-phase dispatch shared by the input-sweep paths.
 
     Phase 1 ships contiguous chunks so each worker amortizes one symbolic
@@ -605,13 +685,28 @@ def _run_chunked(items: Sequence,
     and otherwise converts the captured errors straight into
     :class:`PointFailure` records.
 
+    With an ``executor``, phase 1 routes through the
+    :class:`~repro.parallel.shard.ShardScheduler` instead of
+    :func:`resilient_map`: each chunk becomes one shard (``shards``
+    overrides the chunk count), dispatched with work-stealing and
+    supervised for crashes, heartbeat loss, timeouts, and envelope
+    corruption.  A shard the scheduler quarantines is terminal — its
+    points become :class:`PointFailure` records directly (phase 2 never
+    sees them), preserving the sweep's completeness accounting.  Points
+    that fail *inside* a healthy shard keep the normal phase-2 per-point
+    semantics, so results are bit-identical to the executor-less path.
+
     Returns ``(computed, failures, stages)`` where ``computed`` maps the
     caller's global index to the point value and ``stages`` accumulates
-    per-stage seconds and cache counters across every chunk.
+    per-stage seconds and cache counters across every chunk; scheduler
+    counters are merged into the caller's ``shard_stats`` dict.
     """
     total = len(items)
-    if chunk_size is None:
-        chunk_size = _auto_chunk_size(total, workers)
+    if executor is not None and shards:
+        chunk_size = max(1, -(-total // max(1, int(shards))))
+    elif chunk_size is None:
+        chunk_size = _auto_chunk_size(
+            total, executor.width if executor is not None else workers)
     chunk_size = max(1, chunk_size)
     starts = list(range(0, total, chunk_size))
     chunk_items = [items[start:start + chunk_size] for start in starts]
@@ -633,15 +728,42 @@ def _run_chunked(items: Sequence,
             else:
                 fail_rows[global_index] = row
 
-    outcome = resilient_map(
-        chunk_task, payloads, workers=workers, policy=None,
-        timeout=(timeout * chunk_size if timeout else None), strict=False,
-        describe=lambda payload: f"chunk[{len(payload[2])} points]",
-        on_point=on_chunk)
-    for failure in outcome.failures:
-        start = starts[failure.index]
-        for offset in range(len(chunk_items[failure.index])):
-            fail_rows[indices[start + offset]] = failure
+    quarantine_failures: List[PointFailure] = []
+    if executor is not None:
+        scheduler = ShardScheduler(
+            executor, policy=policy,
+            timeout=(timeout * chunk_size if timeout else None))
+        run = scheduler.run(chunk_task, payloads,
+                            sizes=[len(chunk) for chunk in chunk_items],
+                            on_result=on_chunk)
+        if shard_stats is not None:
+            shard_stats.update(run.stats)
+        for shard_id in sorted(run.quarantined):
+            error = run.quarantined[shard_id]
+            if strict:
+                raise error
+            start = starts[shard_id]
+            for offset in range(len(chunk_items[shard_id])):
+                global_index = indices[start + offset]
+                quarantine_failures.append(PointFailure(
+                    index=global_index,
+                    error_type=error.error_type,
+                    message=(f"shard {shard_id} quarantined after "
+                             f"{error.attempts} attempts: "
+                             f"{error.message}"),
+                    traceback="", attempts=error.attempts,
+                    item=describe(items[start + offset])))
+    else:
+        outcome = resilient_map(
+            chunk_task, payloads, workers=workers, policy=None,
+            timeout=(timeout * chunk_size if timeout else None),
+            strict=False,
+            describe=lambda payload: f"chunk[{len(payload[2])} points]",
+            on_point=on_chunk)
+        for failure in outcome.failures:
+            start = starts[failure.index]
+            for offset in range(len(chunk_items[failure.index])):
+                fail_rows[indices[start + offset]] = failure
 
     failures: List[PointFailure] = []
     if fail_rows:
@@ -679,6 +801,9 @@ def _run_chunked(items: Sequence,
                         index=global_index, error_type=row[1],
                         message=row[2], traceback=row[3],
                         attempts=1, item=item))
+    if quarantine_failures:
+        failures = sorted(failures + quarantine_failures,
+                          key=lambda failure: failure.index)
     return computed, failures, stages
 
 
@@ -712,6 +837,9 @@ class InputSweepResult:
     cache_stats: Dict[str, float] = field(default_factory=dict)
     failures: List[PointFailure] = field(default_factory=list)
     backend: str = "scalar"        #: resolved evaluation backend
+    executor: str = ""             #: executor name ("" = legacy dispatch)
+    shard_stats: Dict[str, float] = field(default_factory=dict)
+    diagnostics: List[Any] = field(default_factory=list)
 
     @property
     def parameters(self) -> List[str]:
@@ -925,7 +1053,11 @@ def sweep_inputs(program: Program, machine: MachineModel, axes,
                  resume: bool = False,
                  checkpoint_key: Optional[str] = None,
                  validate: bool = True,
-                 backend: str = "auto") -> InputSweepResult:
+                 backend: str = "auto",
+                 executor=None,
+                 shards: Optional[int] = None,
+                 topology=None,
+                 chaos=None) -> InputSweepResult:
     """Sweep workload inputs with one symbolic tree per worker.
 
     Where :func:`sweep_grid` re-projects a fixed BET across machines,
@@ -960,11 +1092,20 @@ def sweep_inputs(program: Program, machine: MachineModel, axes,
         cannot vectorize transparently take the scalar path);
         ``"auto"`` (default) picks vector for sweeps of at least
         :data:`VECTOR_MIN_POINTS` points when numpy is available.
+    executor / shards / topology / chaos:
+        Sharded dispatch with supervision and quarantine — see
+        :func:`sweep_grid`; semantics are identical here, with each
+        chunk of input points forming one shard.
     """
     axes_dict, combos = _input_combos(axes)
     base = dict(base_inputs or {})
     backend = _resolve_backend(backend, len(combos),
                                has_machine_axes=False)
+    resolved_executor: Optional[SweepExecutor] = None
+    if executor is not None:
+        resolved_executor = resolve_executor(executor, workers=workers,
+                                             topology=topology, chaos=chaos)
+    shard_stats: Dict[str, float] = {}
     if validate:
         ensure_valid_machine(machine)
     started = time.perf_counter()
@@ -1003,7 +1144,9 @@ def sweep_inputs(program: Program, machine: MachineModel, axes,
             chunk_task=_input_chunk_task, point_task=_input_point_task,
             describe=overrides_key, record=record,
             workers=workers, strict=strict, policy=policy,
-            timeout=timeout, chunk_size=chunk_size)
+            timeout=timeout, chunk_size=chunk_size,
+            executor=resolved_executor, shards=shards,
+            shard_stats=shard_stats)
     finally:
         if ckpt is not None:
             ckpt.flush()
@@ -1046,10 +1189,14 @@ def sweep_inputs(program: Program, machine: MachineModel, axes,
                                                     0.0),
                    "parse_cache_hits": stages.get("parse_cache_hits",
                                                   0.0)}
-    return InputSweepResult(axes=axes_dict, base_inputs=base,
-                            points=points, timings=timings,
-                            cache_stats=cache_stats, failures=failures,
-                            backend=backend)
+    return InputSweepResult(
+        axes=axes_dict, base_inputs=base,
+        points=points, timings=timings,
+        cache_stats=cache_stats, failures=failures,
+        backend=backend,
+        executor=(resolved_executor.name if resolved_executor else ""),
+        shard_stats=shard_stats,
+        diagnostics=list(ckpt.diagnostics) if ckpt is not None else [])
 
 
 def _vector_grid_rows(sym: SymbolicBET, base_machine: MachineModel,

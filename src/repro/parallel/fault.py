@@ -45,6 +45,7 @@ from typing import (
 from ..errors import (
     CheckpointError, RetryExhaustedError, TaskTimeoutError,
 )
+from .pool import abandon_pool, reap_abandoned
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -343,6 +344,7 @@ def resilient_map(fn: Callable[[T], R], items: Sequence[T],
 
     pool: Optional[ProcessPoolExecutor] = None
     collected: Dict[int, Tuple] = {}
+    timed_out = False
     try:
         try:
             pool = ProcessPoolExecutor(max_workers=min(workers, count))
@@ -356,6 +358,7 @@ def resilient_map(fn: Callable[[T], R], items: Sequence[T],
             try:
                 collected[local] = future.result(timeout=timeout)
             except _FuturesTimeout:
+                timed_out = True
                 collected[local] = ("fail", PointFailure(
                     index=indices[local], error_type="TaskTimeoutError",
                     message=(f"no result within the {timeout:g}s "
@@ -376,9 +379,16 @@ def resilient_map(fn: Callable[[T], R], items: Sequence[T],
             handle(local, outcome)
     finally:
         if pool is not None:
-            # never block on a hung worker; abandoned processes exit on
-            # their own once their (bounded) task returns
-            pool.shutdown(wait=False, cancel_futures=True)
+            if timed_out:
+                # a worker is hung inside its task: terminate the whole
+                # pool and join the corpses, or the child outlives the
+                # sweep as a leaked, CPU-holding process
+                abandon_pool(pool)
+                reap_abandoned()
+            else:
+                # never block on a healthy pool; workers exit on their
+                # own once their (bounded) task returns
+                pool.shutdown(wait=False, cancel_futures=True)
     return MapOutcome(results, failures, attempts)
 
 
@@ -407,9 +417,15 @@ class SweepCheckpoint:
     The file holds ``{"version", "key", "completed": {cell_key: payload}}``
     where ``key`` fingerprints the sweep configuration (see
     :func:`sweep_key`) and each payload is the engine's JSON-ready view of
-    one completed point.  Writes are atomic (temp file + ``os.replace``)
-    and flushed every ``flush_every`` recorded points, so a killed run
-    loses at most the last few results.
+    one completed point.  Writes are crash-atomic: the payload goes to a
+    temp file, is ``fsync``'d, the previous snapshot is preserved as
+    ``<path>.bak``, and only then does ``os.replace`` publish the new
+    file — a crash at *any* instant leaves at least one valid snapshot
+    on disk.  Resume salvages through that chain: a truncated or corrupt
+    main file falls back to the ``.bak`` snapshot (or an empty
+    checkpoint) with a ``SKOP701`` diagnostic on ``self.diagnostics``
+    instead of raising; only a *valid* file belonging to a different
+    sweep or format version is a :class:`~repro.errors.CheckpointError`.
     """
 
     VERSION = 1
@@ -421,7 +437,51 @@ class SweepCheckpoint:
         self.key = key
         self.flush_every = flush_every
         self.completed: Dict[str, Dict[str, Any]] = {}
+        self.diagnostics: List[Any] = []
         self._pending = 0
+
+    @property
+    def backup_path(self) -> str:
+        return f"{self.path}.bak"
+
+    @classmethod
+    def _read_snapshot(cls, path: str, key: str):
+        """Parse one snapshot file.
+
+        Returns ``("ok", completed)``, ``("missing", None)``,
+        ``("corrupt", reason)``, or raises
+        :class:`~repro.errors.CheckpointError` for a *valid* file with
+        the wrong version or key (salvaging those would silently mix
+        sweeps).
+        """
+        if not os.path.exists(path):
+            return ("missing", None)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError) as exc:
+            return ("corrupt", str(exc))
+        if not isinstance(payload, dict):
+            return ("corrupt", "not a JSON object")
+        if payload.get("version") != cls.VERSION:
+            raise CheckpointError(
+                f"checkpoint {path} has version "
+                f"{payload.get('version')!r}, expected {cls.VERSION}")
+        if payload.get("key") != key:
+            raise CheckpointError(
+                f"checkpoint {path} belongs to a different "
+                "sweep (program, machine, or grid changed); delete it or "
+                "drop --resume")
+        completed = payload.get("completed", {})
+        if not isinstance(completed, dict):
+            return ("corrupt", "'completed' is not an object")
+        return ("ok", completed)
+
+    def _note_salvage(self, message: str) -> None:
+        from ..diagnostics import Diagnostic
+        self.diagnostics.append(Diagnostic(
+            code="SKOP701", message=message, severity="warning",
+            source_name=self.path, phase="sweep"))
 
     @classmethod
     def load(cls, path: str, key: str, resume: bool = False,
@@ -429,36 +489,36 @@ class SweepCheckpoint:
         """Open a checkpoint, resuming prior progress when asked.
 
         ``resume=False`` starts fresh (an existing file is overwritten on
-        the first flush).  ``resume=True`` loads completed points and
-        raises :class:`~repro.errors.CheckpointError` when the file is
-        corrupt or was written by a different sweep configuration.
+        the first flush).  ``resume=True`` loads completed points; a
+        corrupt or truncated file is salvaged from the ``.bak`` snapshot
+        (with a ``SKOP701`` diagnostic) rather than raised, while a
+        valid file written by a different sweep configuration or format
+        version still raises :class:`~repro.errors.CheckpointError`.
         """
         checkpoint = cls(path, key, flush_every=flush_every)
         if not resume:
             return checkpoint
-        if not os.path.exists(checkpoint.path):
+        state, value = cls._read_snapshot(checkpoint.path, key)
+        if state == "ok":
+            checkpoint.completed = value
             return checkpoint
-        try:
-            with open(checkpoint.path, "r", encoding="utf-8") as handle:
-                payload = json.load(handle)
-        except (OSError, ValueError) as exc:
-            raise CheckpointError(
-                f"checkpoint {checkpoint.path} is unreadable: {exc}; "
-                "delete it or drop --resume") from exc
-        if payload.get("version") != cls.VERSION:
-            raise CheckpointError(
-                f"checkpoint {checkpoint.path} has version "
-                f"{payload.get('version')!r}, expected {cls.VERSION}")
-        if payload.get("key") != key:
-            raise CheckpointError(
-                f"checkpoint {checkpoint.path} belongs to a different "
-                "sweep (program, machine, or grid changed); delete it or "
-                "drop --resume")
-        completed = payload.get("completed", {})
-        if not isinstance(completed, dict):
-            raise CheckpointError(
-                f"checkpoint {checkpoint.path} is malformed")
-        checkpoint.completed = completed
+        if state == "missing" and not os.path.exists(
+                checkpoint.backup_path):
+            return checkpoint
+        reason = value if state == "corrupt" else "file is missing"
+        backup_state, backup_value = cls._read_snapshot(
+            checkpoint.backup_path, key)
+        if backup_state == "ok":
+            checkpoint.completed = backup_value
+            checkpoint._note_salvage(
+                f"checkpoint is unreadable ({reason}); salvaged "
+                f"{len(backup_value)} completed point(s) from the last "
+                f"valid snapshot {checkpoint.backup_path}")
+        else:
+            checkpoint._note_salvage(
+                f"checkpoint is unreadable ({reason}) and no valid "
+                "snapshot exists; resuming from an empty checkpoint "
+                "(every point will be recomputed)")
         return checkpoint
 
     def __contains__(self, cell_key: str) -> bool:
@@ -479,12 +539,23 @@ class SweepCheckpoint:
             self.flush()
 
     def flush(self) -> None:
-        """Atomically persist the checkpoint to disk."""
+        """Crash-atomically persist the checkpoint to disk.
+
+        Write order: temp file → ``fsync`` (the bytes are durable before
+        any rename) → previous snapshot renamed to ``.bak`` → temp
+        renamed over the main path.  Whatever instant a crash lands on,
+        either the main file or the backup is a complete valid snapshot
+        and :meth:`load` finds it.
+        """
         payload = {"version": self.VERSION, "key": self.key,
                    "completed": self.completed}
         tmp = f"{self.path}.tmp"
         with open(tmp, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.flush()
+            os.fsync(handle.fileno())
+        if os.path.exists(self.path):
+            os.replace(self.path, self.backup_path)
         os.replace(tmp, self.path)
         self._pending = 0
 

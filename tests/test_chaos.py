@@ -1,0 +1,185 @@
+"""Chaos harness tests (`repro.parallel.chaos`): deterministic fault
+schedules, seeded schedule derivation, and the acceptance property the
+tentpole claims — a sweep under injected executor-layer chaos (worker
+kills, heartbeat partitions, stalls, corrupt envelopes), optionally
+interrupted and resumed from its checkpoint, is **bit-identical** to a
+run that never saw a fault."""
+
+import os
+import tempfile
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bet import build_bet
+from repro.hardware import XEON_E5_2420
+from repro.multinode import DUAL_NODE
+from repro.parallel import (
+    ChaosEvent, ChaosSchedule, MultinodeExecutor, SerialExecutor,
+    sweep_grid, sweep_inputs,
+)
+from repro.parallel.chaos import CHAOS_KINDS, describe_outcomes
+from repro.workloads import load
+
+
+@pytest.fixture(scope="module")
+def pedagogical():
+    return load("pedagogical")
+
+
+@pytest.fixture(scope="module")
+def pedagogical_bet(pedagogical):
+    program, inputs = pedagogical
+    return build_bet(program, inputs=inputs)
+
+
+GRID = {"cores": [2.0, 4.0, 8.0], "bandwidth": [2e10, 4e10]}
+
+
+@pytest.fixture(scope="module")
+def unfaulted(pedagogical_bet):
+    return sweep_grid(pedagogical_bet, XEON_E5_2420, GRID)
+
+
+def _signature(result):
+    return [(point.overrides, point.runtime, point.memory_fraction,
+             point.top_label, tuple(point.ranking))
+            for point in result.points]
+
+
+# -- the schedule itself ------------------------------------------------------
+
+class TestChaosSchedule:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            ChaosEvent("meteor", shard=0)
+        with pytest.raises(ValueError):
+            ChaosEvent("kill", shard=0, attempt=0)
+
+    def test_event_fires_at_most_once(self):
+        schedule = ChaosSchedule([ChaosEvent("kill", shard=2)])
+        assert schedule.take("kill", 2, 1, "w0") is not None
+        assert schedule.take("kill", 2, 1, "w0") is None
+        assert describe_outcomes(schedule) == (1, 1)
+
+    def test_matching_is_keyed_by_shard_and_attempt(self):
+        schedule = ChaosSchedule([ChaosEvent("stall", shard=1, attempt=2)])
+        assert schedule.take("stall", 1, 1, "w0") is None
+        assert schedule.take("stall", 2, 2, "w0") is None
+        assert schedule.take("stall", 1, 2, "w0") is not None
+
+    def test_worker_restriction(self):
+        schedule = ChaosSchedule(
+            [ChaosEvent("kill", shard=0, worker="n0.w1")])
+        assert schedule.take("kill", 0, 1, "n0.w0") is None
+        assert schedule.take("kill", 0, 1, "n0.w1") is not None
+
+    def test_pending_and_fired_partition(self):
+        schedule = ChaosSchedule([ChaosEvent("kill", shard=0),
+                                  ChaosEvent("corrupt", shard=1)])
+        schedule.take("kill", 0, 1, "w")
+        assert len(schedule.fired()) == 1
+        assert len(schedule.pending()) == 1
+        text = schedule.render()
+        assert "fired" in text and "armed" in text
+
+    def test_seeded_is_deterministic(self):
+        one = ChaosSchedule.seeded(42, 16, kinds=CHAOS_KINDS,
+                                   events_per_kind=2)
+        two = ChaosSchedule.seeded(42, 16, kinds=CHAOS_KINDS,
+                                   events_per_kind=2)
+        assert [(e.kind, e.shard) for e in one.events] \
+            == [(e.kind, e.shard) for e in two.events]
+        other = ChaosSchedule.seeded(43, 16, kinds=CHAOS_KINDS,
+                                     events_per_kind=2)
+        assert [(e.kind, e.shard) for e in one.events] \
+            != [(e.kind, e.shard) for e in other.events]
+
+    def test_seeded_draws_distinct_shards_per_kind(self):
+        schedule = ChaosSchedule.seeded(7, 4, kinds=("kill",),
+                                        events_per_kind=4)
+        shards = [event.shard for event in schedule.events]
+        assert sorted(shards) == [0, 1, 2, 3]
+
+    def test_seeded_clamps_to_shard_count(self):
+        assert len(ChaosSchedule.seeded(1, 2, events_per_kind=10)
+                   .events) == 2
+        assert ChaosSchedule.seeded(1, 0).events == []
+
+
+# -- chaotic sweeps are bit-identical -----------------------------------------
+
+class TestChaoticSweepEquivalence:
+    def test_serial_chaos_matches_unfaulted(self, pedagogical_bet,
+                                            unfaulted):
+        chaos = ChaosSchedule([ChaosEvent("kill", shard=0),
+                               ChaosEvent("corrupt", shard=1),
+                               ChaosEvent("drop_heartbeats", shard=2)])
+        result = sweep_grid(pedagogical_bet, XEON_E5_2420, GRID,
+                            executor="serial", shards=3, chaos=chaos)
+        assert not result.failures
+        assert _signature(result) == _signature(unfaulted)
+        assert len(chaos.pending()) == 0
+
+    def test_multinode_chaos_matches_unfaulted(self, pedagogical_bet,
+                                               unfaulted):
+        chaos = ChaosSchedule.seeded(11, 6, kinds=("kill", "corrupt"),
+                                     events_per_kind=2)
+        result = sweep_grid(pedagogical_bet, XEON_E5_2420, GRID,
+                            executor="multinode", topology=DUAL_NODE,
+                            shards=6, chaos=chaos)
+        assert not result.failures
+        assert _signature(result) == _signature(unfaulted)
+        assert result.shard_stats["executor_workers_lost"] >= 1.0
+
+    def test_input_sweep_chaos_matches_unfaulted(self, pedagogical):
+        program, inputs = pedagogical
+        axes = {"n": [64.0, 128.0, 256.0, 512.0]}
+        clean = sweep_inputs(program, XEON_E5_2420, axes,
+                             base_inputs=inputs)
+        chaos = ChaosSchedule([ChaosEvent("kill", shard=1)])
+        chaotic = sweep_inputs(program, XEON_E5_2420, axes,
+                               base_inputs=inputs, executor="serial",
+                               shards=2, chaos=chaos)
+        assert [(p.inputs, p.runtime) for p in chaotic.points] \
+            == [(p.inputs, p.runtime) for p in clean.points]
+
+
+# -- acceptance property: chaos + resume == unfaulted -------------------------
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10**6),
+       shards=st.sampled_from([2, 3, 6]))
+def test_chaotic_interrupted_resume_is_bit_identical(seed, shards):
+    """For any seeded chaos schedule: run the sweep while a poison worker
+    keeps killing one shard past the reassign limit (quarantining it),
+    then resume from the checkpoint without chaos — the recovered result
+    must be bit-identical to a run that never faulted."""
+    program, inputs = load("pedagogical")
+    bet = build_bet(program, inputs=inputs)
+    unfaulted = sweep_grid(bet, XEON_E5_2420, GRID)
+
+    doomed = seed % shards
+    chaos = ChaosSchedule(
+        # background noise: recoverable faults on first attempts
+        ChaosSchedule.seeded(seed, shards,
+                             kinds=("corrupt", "drop_heartbeats"),
+                             events_per_kind=1).events
+        # plus one shard killed on every attempt: quarantined for real
+        + [ChaosEvent("kill", shard=doomed, attempt=a)
+           for a in range(1, 8)])
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "ckpt.json")
+        wounded = sweep_grid(bet, XEON_E5_2420, GRID,
+                             executor="serial", shards=shards,
+                             chaos=chaos, checkpoint=path)
+        assert wounded.failures      # the doomed shard's points
+        assert wounded.shard_stats["shards_quarantined"] == 1.0
+
+        resumed = sweep_grid(bet, XEON_E5_2420, GRID,
+                             executor="serial", shards=shards,
+                             checkpoint=path, resume=True)
+    assert not resumed.failures
+    assert _signature(resumed) == _signature(unfaulted)

@@ -9,11 +9,13 @@ import pytest
 from repro import errors
 from repro.bet import build_bet
 from repro.errors import (
-    AnalysisError, CheckpointError, ContextExplosionError, ExpressionError,
-    HardwareModelError, ModelError, RecursionLimitError, ReproError,
-    RetryExhaustedError, SemanticError, SimulationError,
-    SkeletonSyntaxError, TaskTimeoutError, TranslationError,
-    UnboundVariableError, ValidationError,
+    AnalysisError, CheckpointError, ContextExplosionError,
+    EnvelopeCorruptError, ExecutorError, ExpressionError,
+    HardwareModelError, HeartbeatLostError, ModelError,
+    RecursionLimitError, ReproError, RetryExhaustedError, SemanticError,
+    ShardQuarantinedError, SimulationError, SkeletonSyntaxError,
+    TaskTimeoutError, TranslationError, UnboundVariableError,
+    ValidationError, WorkerCrashError,
 )
 from repro.skeleton import parse_skeleton
 
@@ -30,6 +32,12 @@ class TestHierarchy:
         assert issubclass(UnboundVariableError, ExpressionError)
         assert issubclass(ContextExplosionError, ModelError)
         assert issubclass(RecursionLimitError, ModelError)
+
+    def test_executor_faults_share_one_fence(self):
+        for cls in (WorkerCrashError, HeartbeatLostError,
+                    EnvelopeCorruptError, ShardQuarantinedError):
+            assert issubclass(cls, ExecutorError)
+        assert issubclass(ExecutorError, ReproError)
 
     def test_one_except_clause_catches_everything(self):
         with pytest.raises(ReproError):
@@ -126,6 +134,11 @@ _INSTANCES = [
     RetryExhaustedError(7, 3, "ValueError", "bad cell",
                         traceback_text="Traceback ..."),
     CheckpointError("key mismatch"),
+    ExecutorError("executor layer fault"),
+    WorkerCrashError("n1.w0", shard_id=4),
+    HeartbeatLostError("pool-3", missed=3, interval=1.0),
+    EnvelopeCorruptError(2, "a" * 64, "b" * 64),
+    ShardQuarantinedError(5, 3, "ValueError", "poison point"),
 ]
 
 

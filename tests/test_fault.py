@@ -47,6 +47,12 @@ def _hang_on_one(x):
     return x * x
 
 
+def _hang_long(x):
+    if x == 1:
+        time.sleep(60.0)   # far past any test deadline: only a reap
+    return x * x           # can get rid of the worker holding this
+
+
 # -- RetryPolicy ---------------------------------------------------------------
 
 class TestRetryPolicy:
@@ -277,6 +283,27 @@ class TestResilientMapParallel:
         assert info.value.index == 1
         assert info.value.timeout == 0.3
 
+    def test_timeout_abandonment_leaks_no_worker_processes(self):
+        # regression: the timeout path used to shut the pool down with
+        # wait=False and walk away, stranding a live child holding the
+        # hung task for its whole (here: 60s) nap; abandon_pool/
+        # reap_abandoned must terminate it within moments instead
+        import multiprocessing
+        baseline = len(multiprocessing.active_children())
+        outcome = resilient_map(_hang_long, [0, 1, 2], workers=2,
+                                timeout=0.3)
+        assert outcome.failures  # the hung point timed out
+        deadline = time.perf_counter() + 10.0
+        leaked = multiprocessing.active_children()
+        while time.perf_counter() < deadline:
+            leaked = [child for child in
+                      multiprocessing.active_children()
+                      if child.is_alive()]
+            if len(leaked) <= baseline:
+                break
+            time.sleep(0.1)
+        assert len(leaked) <= baseline, leaked
+
     def test_unpicklable_work_degrades_to_serial(self):
         outcome = resilient_map(lambda x: x * x, [1, 2, 3], workers=2)
         assert outcome.results == [1, 4, 9]
@@ -362,11 +389,39 @@ class TestSweepCheckpoint:
             SweepCheckpoint.load(path, sweep_key("b"), resume=True)
         assert "different" in str(info.value)
 
-    def test_corrupt_file_is_a_checkpoint_error(self, tmp_path):
+    def test_corrupt_file_salvages_with_diagnostic(self, tmp_path):
+        # A mangled checkpoint no longer aborts the sweep: load() falls
+        # back to an empty checkpoint and records a SKOP701 diagnostic.
         path = tmp_path / "ckpt.json"
         path.write_text("{not json", encoding="utf-8")
-        with pytest.raises(CheckpointError):
-            SweepCheckpoint.load(str(path), sweep_key("a"), resume=True)
+        loaded = SweepCheckpoint.load(str(path), sweep_key("a"), resume=True)
+        assert len(loaded) == 0
+        codes = [diag.code for diag in loaded.diagnostics]
+        assert "SKOP701" in codes
+
+    def test_corrupt_file_salvages_from_backup(self, tmp_path):
+        path = str(tmp_path / "ckpt.json")
+        key = sweep_key("a")
+        checkpoint = SweepCheckpoint(path, key)
+        checkpoint.record("c1", {"x": 1})
+        checkpoint.record("c2", {"x": 2})  # second flush creates .bak
+        import os
+        assert os.path.exists(path + ".bak")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("garbage")
+        loaded = SweepCheckpoint.load(path, key, resume=True)
+        assert "c1" in loaded  # from the backup snapshot
+        assert [diag.code for diag in loaded.diagnostics] == ["SKOP701"]
+
+    def test_flush_is_atomic_via_rename(self, tmp_path):
+        import os
+        path = str(tmp_path / "ckpt.json")
+        checkpoint = SweepCheckpoint(path, sweep_key("a"))
+        checkpoint.record("c1", {})
+        assert os.path.exists(path)
+        assert not os.path.exists(path + ".tmp")
+        checkpoint.record("c2", {})
+        assert os.path.exists(path + ".bak")
 
     def test_version_mismatch_is_a_checkpoint_error(self, tmp_path):
         path = tmp_path / "ckpt.json"
