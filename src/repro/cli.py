@@ -536,6 +536,9 @@ def _cmd_sweep(args) -> str:
         resilience["model_factory"] = RooflineFactory(
             cache_model=cache_model)
     executor = getattr(args, "executor", None)
+    if getattr(args, "cluster", None) is not None \
+            and executor != "multinode":
+        raise ReproError("--cluster needs --executor multinode")
     if executor is not None:
         if getattr(args, "shards", None) is not None and args.shards < 1:
             raise ReproError(f"--shards must be >= 1, got {args.shards}")
@@ -544,8 +547,6 @@ def _cmd_sweep(args) -> str:
         resilience["topology"] = getattr(args, "cluster", None)
     elif getattr(args, "shards", None) is not None:
         raise ReproError("--shards needs --executor")
-    elif getattr(args, "cluster", None) is not None:
-        raise ReproError("--cluster needs --executor multinode")
     has_input_axes = any(name.startswith(INPUT_PREFIX) for name in grid)
     backend = getattr(args, "backend", "auto")
     if len(grid) == 1 and not has_input_axes and executor is None:

@@ -276,7 +276,7 @@ class PoolExecutor(SweepExecutor):
                       timeout=horizon, return_when=FIRST_COMPLETED)
         events: List[Event] = []
         now = time.monotonic()
-        lost_pool = False
+        lost: List[Tuple[str, int]] = []
         for worker, slot in live.items():
             if slot.future.done():
                 self._slots[worker] = None
@@ -286,7 +286,7 @@ class PoolExecutor(SweepExecutor):
                     envelope = slot.future.result()
                 except (BrokenExecutor, OSError) as exc:
                     del exc
-                    lost_pool = True
+                    lost.append((worker, slot.shard_id))
                     continue
                 except Exception as exc:
                     events.append(("failed", slot.shard_id, worker,
@@ -301,12 +301,15 @@ class PoolExecutor(SweepExecutor):
                 slot.zombie = True
                 self.stats["timeouts"] += 1
                 events.append(("timeout", slot.shard_id, worker, None))
-        if lost_pool:
-            # one broken future means the whole pool is gone: every
-            # still-inflight shard died with it
+        if lost:
+            # one broken future means the whole pool is gone: the shards
+            # whose futures raised died with it, and so did every shard
+            # still in flight on the surviving slots
             for worker, slot in self._slots.items():
                 if slot is not None and not slot.zombie:
-                    events.append(("crash", -1, worker, [slot.shard_id]))
+                    lost.append((worker, slot.shard_id))
+            events.extend(("crash", -1, worker, [shard_id])
+                          for worker, shard_id in lost)
             self._rebuild()
         return events
 
@@ -460,11 +463,20 @@ class MultinodeExecutor(SweepExecutor):
 
     def wait(self):
         if not self._timeline:
-            if all(worker.dead_at is not None
-                   for worker in self._workers.values()):
+            living = [worker for worker in self._workers.values()
+                      if worker.dead_at is None]
+            if not living:
                 raise ExecutorError(
                     f"cluster {self.topology.name!r}: all "
                     f"{self.topology.total_workers} workers were lost")
+            busy = [worker.busy_until for worker in living
+                    if worker.busy_until > self._clock]
+            if busy:
+                # no event left to pop, but a worker is still occupied
+                # (e.g. a stalled shard whose timeout already fired):
+                # advance the clock so it becomes dispatchable again
+                # instead of idling the scheduler forever
+                self._clock = min(busy)
             return []
         self._timeline.sort(key=lambda entry: (entry[0], entry[1]))
         at, _seq, event, effect = self._timeline.pop(0)

@@ -388,10 +388,12 @@ class ShardScheduler:
             shard = inflight.get(shard_id)
             if shard is None:
                 return
-            bound = self.timeout if self.timeout is not None else 0.0
+            message = ("executor-reported timeout"
+                       if self.timeout is None else
+                       f"no result within the {self.timeout:g}s "
+                       f"shard timeout")
             self.log.note("fault", shard_id, worker, "TaskTimeoutError")
-            self._fault(shard, "TaskTimeoutError",
-                        f"no result within the {bound:g}s shard timeout",
+            self._fault(shard, "TaskTimeoutError", message,
                         pending, inflight, quarantined)
             return
         if kind == "failed":

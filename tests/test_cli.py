@@ -65,6 +65,16 @@ class TestBasicCommands:
         assert code == 1
         assert "name=value" in err
 
+    def test_cluster_rejected_without_multinode_executor(self, capsys):
+        # --cluster must be refused for *any* non-multinode executor,
+        # not only when --executor is absent
+        for extra in ((), ("--executor", "serial")):
+            code, _, err = run_cli(capsys, "sweep", "pedagogical",
+                                   "--param", "cores=2,4",
+                                   "--cluster", "dual-node", *extra)
+            assert code == 1
+            assert "--cluster needs --executor multinode" in err
+
 
 BROKEN_SKELETON = """\
 def main(n)

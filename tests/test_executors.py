@@ -4,8 +4,11 @@ work-stealing dispatch, supervision (crash/heartbeat/reassign), poison
 quarantine, the three executors' bit-for-bit equivalence, and the
 hung-worker pool-abandonment regression."""
 
+import functools
 import multiprocessing
+import os
 import pickle
+import signal
 import time
 
 import pytest
@@ -32,6 +35,16 @@ def _square(item):
 
 def _no_sleep(_seconds):
     pass
+
+
+def _die_once(flag_path, item):
+    """SIGKILL the hosting pool worker the first time the poison point
+    runs (module-level so it pickles; the flag file spans processes)."""
+    if 7 in item and not os.path.exists(flag_path):
+        with open(flag_path, "w") as handle:
+            handle.write("killed")
+        os.kill(os.getpid(), signal.SIGKILL)
+    return _square(item)
 
 
 def _run(executor, payloads, task=_square, **kwargs):
@@ -198,6 +211,16 @@ class TestShardScheduler:
         assert list(outcome.quarantined) == [0]
         assert outcome.quarantined[0].error_type == "WorkerCrashError"
 
+    def test_executor_timeout_without_configured_bound(self):
+        # an injected stall on an executor with no scheduler timeout
+        # must not claim a "0s shard timeout" in the quarantine record
+        chaos = ChaosSchedule([ChaosEvent("stall", shard=2)])
+        outcome = _run(SerialExecutor(chaos=chaos), PAYLOADS)
+        assert list(outcome.quarantined) == [2]
+        assert "executor-reported timeout" \
+            in outcome.quarantined[2].message
+        assert "0s" not in outcome.quarantined[2].message
+
     def test_rejects_negative_reassign_limit(self):
         with pytest.raises(ValueError):
             ShardScheduler(SerialExecutor(), reassign_limit=-1)
@@ -261,6 +284,21 @@ class TestMultinodeExecutor:
                    for kind, _, _, detail in outcome.log.events
                    if kind == "fault")
 
+    def test_stall_with_timeout_on_single_worker_recovers(self):
+        # regression: after the timeout event fired, the timeline was
+        # empty while the lone worker stayed busy past the stall, so
+        # wait() returned [] forever and the idle watchdog aborted the
+        # sweep; the clock must advance to the worker's busy_until
+        topology = ClusterTopology(name="solo", nodes=1,
+                                   workers_per_node=1,
+                                   network=DUAL_NODE.network)
+        chaos = ChaosSchedule([ChaosEvent("stall", shard=2)])
+        outcome = _run(MultinodeExecutor(topology=topology, chaos=chaos),
+                       PAYLOADS, timeout=0.5,
+                       policy=RetryPolicy(max_attempts=2, base_delay=0.0))
+        assert outcome.ok
+        assert _merge(outcome, PAYLOADS) == EXPECTED
+
     def test_losing_every_worker_raises(self):
         topology = ClusterTopology(name="tiny", nodes=1,
                                    workers_per_node=1,
@@ -298,6 +336,20 @@ class TestPoolExecutor:
         assert outcome.ok
         assert _merge(outcome, PAYLOADS) == EXPECTED
         assert outcome.stats["shard_reassignments"] == 2
+
+    def test_real_worker_crash_reassigns_its_shard(self, tmp_path):
+        # a SIGKILLed worker breaks the whole pool; the shard whose
+        # future raised BrokenExecutor (not only the other in-flight
+        # slots) must surface as a crash event so the scheduler
+        # reassigns it instead of stranding it until the watchdog
+        # aborts the sweep
+        task = functools.partial(_die_once, str(tmp_path / "flag"))
+        outcome = _run(PoolExecutor(workers=2), PAYLOADS, task=task)
+        assert outcome.ok
+        assert _merge(outcome, PAYLOADS) == EXPECTED
+        assert outcome.log.count("reassign") >= 1
+        assert any(kind == "fault" and "WorkerCrashError" in detail
+                   for kind, _, _, detail in outcome.log.events)
 
     def test_no_children_leak_after_clean_close(self):
         before = len(multiprocessing.active_children())
