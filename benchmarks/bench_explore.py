@@ -1,0 +1,227 @@
+#!/usr/bin/env python
+"""Surrogate-guided explorer benchmark: frontier quality per exact eval.
+
+The tentpole claim of DESIGN.md §13, measured: on a **10^6-cell**
+hardware x input design space the explorer must recover the Pareto
+frontier of an exhaustive reference while spending **at most 1%** of the
+space in exact model evaluations.  Three sections, recorded in
+``BENCH_explore.json`` (repo root by default) plus a rendered summary
+under ``results/``:
+
+* **frontier quality** — explorer on the full million-cell space versus
+  an exhaustive :func:`sweep_grid` over a ~10^4-cell reference subgrid;
+  hypervolume is compared against a *shared* reference point over the
+  union of both frontiers, and the gate is
+  ``HV(explorer) >= 0.98 * HV(reference)``;
+* **exactness** — every frontier point is re-derived from a fresh
+  :func:`build_bet` + projection and must match bit for bit;
+* **determinism** — the same seed on the serial and pool executors must
+  produce the identical frontier, point for point.
+
+Usage:
+    python benchmarks/bench_explore.py [--budget N] [--output PATH]
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.bet import build_bet                                 # noqa: E402
+from repro.explore import (                                     # noqa: E402
+    GridSpace, explore, hypervolume, pareto_indices, verify_frontier,
+)
+from repro.hardware import BGQ                                  # noqa: E402
+from repro.parallel import clear_symbolic_cache, sweep_grid     # noqa: E402
+from repro.workloads import load                                # noqa: E402
+
+#: the full design space: 25 x 8 x 10 x 500 = 1,000,000 cells
+AXES = {
+    "bandwidth": [b * 1e9 for b in range(2, 52, 2)],
+    "cores": [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 48.0, 64.0],
+    "frequency_hz": [f * 1e8 for f in range(8, 28, 2)],
+    "input:n": [float(n) for n in range(100, 5100, 10)],
+}
+
+#: the exhaustive reference: a 10 x 4 x 5 x 50 = 10,000-cell subgrid of
+#: the same space (subset values, so its exact frontier is a lower bound
+#: on what the explorer can reach over the full grid)
+REFERENCE_AXES = {
+    "bandwidth": AXES["bandwidth"][::3][:10],
+    "cores": [1.0, 4.0, 16.0, 64.0],
+    "frequency_hz": AXES["frequency_hz"][::2],
+    "input:n": AXES["input:n"][::10][:50],
+}
+
+OBJECTIVES = ["runtime", "bandwidth:min"]
+SEED = 0
+ROUNDS = 6
+
+
+def _canonical_vectors(result):
+    """Frontier points as canonical (all-minimize) objective vectors."""
+    return [tuple(objective.canonical(point.objectives[objective.name])
+                  for objective in result.objectives)
+            for point in result.frontier]
+
+
+def _reference_frontier(program, inputs):
+    """Exhaustive sweep of the reference subgrid -> canonical vectors."""
+    bet = build_bet(program, inputs)
+    started = time.perf_counter()
+    result = sweep_grid(bet, BGQ, REFERENCE_AXES, program=program,
+                        inputs=inputs, backend="auto")
+    elapsed = time.perf_counter() - started
+    # canonical vectors: runtime:min, bandwidth:min — both already
+    # minimized, so no sign flips
+    vectors = [(point.runtime, point.overrides["bandwidth"])
+               for point in result.points]
+    frontier = [vectors[i] for i in pareto_indices(vectors)]
+    return frontier, len(result.points), elapsed
+
+
+def frontier_quality_section(program, inputs, budget):
+    space = GridSpace(AXES)
+    started = time.perf_counter()
+    result = explore(AXES, BGQ, OBJECTIVES, program=program,
+                     inputs=inputs, budget=budget, rounds=ROUNDS,
+                     seed=SEED)
+    explore_s = time.perf_counter() - started
+
+    reference_front, reference_points, reference_s = \
+        _reference_frontier(program, inputs)
+    explorer_front = _canonical_vectors(result)
+
+    # one reference point over the union keeps the comparison fair
+    union = explorer_front + reference_front
+    worst = [max(vector[d] for vector in union) for d in (0, 1)]
+    spans = [worst[d] - min(vector[d] for vector in union)
+             for d in (0, 1)]
+    shared_ref = tuple(worst[d] + 0.1 * (spans[d] or abs(worst[d]) or 1.0)
+                       for d in (0, 1))
+    hv_explorer = hypervolume(explorer_front, shared_ref)
+    hv_reference = hypervolume(reference_front, shared_ref)
+    ratio = hv_explorer / hv_reference if hv_reference else 1.0
+
+    return result, {
+        "grid_size": space.size,
+        "budget": budget,
+        "rounds": ROUNDS,
+        "seed": SEED,
+        "objectives": OBJECTIVES,
+        "evaluations": result.evaluations,
+        "eval_fraction": result.eval_fraction,
+        "explore_seconds": explore_s,
+        "frontier_points": len(result.frontier),
+        "hv_explorer": hv_explorer,
+        "hv_reference": hv_reference,
+        "hv_ratio": ratio,
+        "reference_points": reference_points,
+        "reference_frontier_points": len(reference_front),
+        "reference_seconds": reference_s,
+        "surrogate_error_trace": result.error_trace,
+    }
+
+
+def exactness_section(result, program, inputs):
+    started = time.perf_counter()
+    verified = verify_frontier(result, BGQ, program=program,
+                               inputs=inputs)
+    return {"verified_points": verified,
+            "frontier_points": len(result.frontier),
+            "verify_seconds": time.perf_counter() - started,
+            "all_exact": verified == len(result.frontier)}
+
+
+def determinism_section(program, inputs):
+    """Same seed, serial vs pool executor: identical frontier."""
+    small = {"bandwidth": AXES["bandwidth"][:8],
+             "cores": AXES["cores"][:4],
+             "input:n": AXES["input:n"][::25][:12]}
+    runs = {}
+    for label, kwargs in (("serial", {"executor": "serial"}),
+                          ("pool", {"executor": "pool", "workers": 2})):
+        clear_symbolic_cache()
+        run = explore(small, BGQ, OBJECTIVES, program=program,
+                      inputs=inputs, budget=64, rounds=3, seed=SEED,
+                      **kwargs)
+        runs[label] = [point.as_dict() for point in run.frontier]
+    identical = runs["serial"] == runs["pool"]
+    return {"frontier_points": len(runs["serial"]),
+            "identical": identical}
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--budget", type=int, default=2500,
+                        help="exact-evaluation budget (default 2500 = "
+                             "0.25%% of the 10^6 grid)")
+    parser.add_argument("--output",
+                        default=str(REPO_ROOT / "BENCH_explore.json"))
+    args = parser.parse_args(argv)
+
+    program, inputs = load("pedagogical")
+    result, quality = frontier_quality_section(program, inputs,
+                                               args.budget)
+    exactness = exactness_section(result, program, inputs)
+    determinism = determinism_section(program, inputs)
+
+    checks = {
+        "eval_fraction_le_1pct": quality["eval_fraction"] <= 0.01,
+        "hv_ratio_ge_098": quality["hv_ratio"] >= 0.98,
+        "frontier_exact": exactness["all_exact"],
+        "deterministic_across_executors": determinism["identical"],
+    }
+    report = {
+        "quality": quality,
+        "exactness": exactness,
+        "determinism": determinism,
+        "checks": checks,
+    }
+    pathlib.Path(args.output).write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8")
+
+    lines = [
+        "surrogate-guided explorer vs exhaustive reference",
+        "",
+        f"space: {quality['grid_size']:,} cells "
+        f"({' x '.join(str(len(v)) for v in AXES.values())}), "
+        f"objectives {', '.join(OBJECTIVES)}",
+        f"explorer: {quality['evaluations']} exact evals "
+        f"({100 * quality['eval_fraction']:.2f}% of the grid) in "
+        f"{quality['explore_seconds']:.2f}s over {ROUNDS} rounds "
+        f"-> {quality['frontier_points']}-point frontier",
+        f"reference: {quality['reference_points']:,}-cell exhaustive "
+        f"subgrid in {quality['reference_seconds']:.2f}s "
+        f"-> {quality['reference_frontier_points']}-point frontier",
+        f"hypervolume (shared reference point): explorer "
+        f"{quality['hv_explorer']:.6g} vs reference "
+        f"{quality['hv_reference']:.6g} "
+        f"(ratio {quality['hv_ratio']:.4f}, gate >= 0.98)",
+        f"exactness: {exactness['verified_points']}/"
+        f"{exactness['frontier_points']} frontier points bit-identical "
+        f"to fresh builds in {exactness['verify_seconds']:.2f}s",
+        f"determinism: serial == pool frontier: "
+        f"{determinism['identical']}",
+    ]
+    text = "\n".join(lines)
+    print(text)
+    results_dir = REPO_ROOT / "results"
+    results_dir.mkdir(exist_ok=True)
+    (results_dir / "bench_explore.txt").write_text(text + "\n",
+                                                   encoding="utf-8")
+
+    if not all(checks.values()):
+        failed = [name for name, ok in checks.items() if not ok]
+        print(f"\nFAILED gates: {failed}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

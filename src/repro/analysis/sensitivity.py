@@ -230,7 +230,9 @@ def sweep_machine(bet: BETNode,
     """
     from ..bet.nodes import render_tree
     from ..parallel.engine import _perf_counters
-    from ..parallel.fault import SweepCheckpoint, resilient_map, sweep_key
+    from ..parallel.fault import (
+        SweepCheckpoint, factory_tag, resilient_map, sweep_key,
+    )
     if not values:
         raise AnalysisError("sweep needs at least one value")
     if not hasattr(base_machine, parameter):
@@ -247,7 +249,9 @@ def sweep_machine(bet: BETNode,
         key = checkpoint_key or sweep_key(
             render_tree(bet), repr(base_machine), parameter,
             tuple(values), k)
-        ckpt = SweepCheckpoint.load(checkpoint, key, resume=resume)
+        ckpt = SweepCheckpoint.load(
+            checkpoint, key, resume=resume,
+            settings={"cache_model": factory_tag(model_factory)})
 
     prior: Dict[int, SweepPoint] = {}
     pending_indices: List[int] = []

@@ -1411,6 +1411,16 @@ class SymbolicBET:
         """Tree from the most recent bind (``None`` before the first)."""
         return self._root
 
+    def input_names(self) -> Tuple[str, ...]:
+        """The entry function's input parameter names.
+
+        The bindable surface of :meth:`bind` / :meth:`rebind_batch` —
+        callers that construct input axes programmatically (the sweep
+        CLI, the :mod:`repro.explore` space validation) check axis names
+        against this instead of discovering a typo deep inside a build.
+        """
+        return tuple(self.program.function(self.entry).params)
+
     def bind(self, inputs: Optional[Dict[str, float]] = None) -> BETNode:
         """Evaluate the BET for ``inputs``; replay when the shape holds."""
         inputs = dict(inputs or {})

@@ -38,6 +38,7 @@ from .analysis import (
 from .bet import build_bet
 from .errors import ReproError
 from .hardware import RooflineModel, machine_by_name
+from .explore.surrogate import SURROGATE_NAMES
 from .hardware.cachemodel import CACHE_MODEL_NAMES, cache_model_by_name
 from .simulate import profile
 from .skeleton import format_skeleton
@@ -281,6 +282,83 @@ def build_parser() -> argparse.ArgumentParser:
                                    "vectorized vs lanes fallen back to "
                                    "the scalar path — after the sweep")
 
+    explore_parser = sub.add_parser(
+        "explore", help="surrogate-guided Pareto exploration of a "
+                        "design space too large to sweep exhaustively")
+    explore_parser.add_argument("workload")
+    explore_parser.add_argument("--machine", default="bgq",
+                                help="base machine preset (default bgq)")
+    explore_parser.add_argument(
+        "--param", dest="params", action="append", required=True,
+        metavar="NAME=V1,V2,...",
+        help="space axis and its values; repeat for more dimensions "
+             "(the space is the lazy cross product, never "
+             "materialized); prefix with 'input:' for a workload "
+             "input axis")
+    explore_parser.add_argument(
+        "--objectives", default="runtime",
+        metavar="NAME[:min|:max],...",
+        help="comma-separated objectives to trade off: 'runtime', "
+             "'memory_fraction', or any axis name (default runtime)")
+    explore_parser.add_argument("--budget", type=int, default=256,
+                                help="exact-evaluation budget across "
+                                     "all rounds (default 256)")
+    explore_parser.add_argument("--rounds", type=int, default=4,
+                                help="acquisition rounds after the "
+                                     "initial design (default 4)")
+    explore_parser.add_argument("--surrogate", default="ridge",
+                                choices=SURROGATE_NAMES,
+                                help="surrogate family steering "
+                                     "acquisition (default ridge)")
+    explore_parser.add_argument("--seed", type=int, default=0,
+                                help="determinism seed for the initial "
+                                     "design, bootstrap bags, and "
+                                     "candidate pools (default 0)")
+    explore_parser.add_argument("--workers", type=int, default=1,
+                                help="process-pool width for exact "
+                                     "batches (default 1: serial)")
+    explore_parser.add_argument("--top", type=int, default=10,
+                                help="hot spots per point (default 10)")
+    explore_parser.add_argument("--set", dest="bindings",
+                                action="append", metavar="NAME=VALUE",
+                                help="override a workload input")
+    explore_parser.add_argument("--backend", default="auto",
+                                choices=("scalar", "vector", "auto"),
+                                help="exact-batch backend (see sweep)")
+    explore_parser.add_argument("--executor", default=None,
+                                choices=("serial", "pool", "multinode"),
+                                help="sharded dispatch substrate for "
+                                     "exact batches (see sweep)")
+    explore_parser.add_argument("--shards", type=int, default=None,
+                                metavar="N",
+                                help="shard count for --executor")
+    explore_parser.add_argument("--cluster", default=None,
+                                metavar="PRESET",
+                                help="cluster topology for --executor "
+                                     "multinode")
+    explore_parser.add_argument("--cache-model", dest="cache_model",
+                                default="constant",
+                                choices=CACHE_MODEL_NAMES,
+                                help="cache model for every exact "
+                                     "evaluation (see sweep)")
+    explore_parser.add_argument("--checkpoint", metavar="PATH",
+                                help="JSON checkpoint shared by every "
+                                     "exact batch of the run")
+    explore_parser.add_argument("--resume", action="store_true",
+                                help="serve already-evaluated cells "
+                                     "from --checkpoint while the "
+                                     "deterministic trajectory replays")
+    explore_parser.add_argument("--no-verify", action="store_true",
+                                dest="no_verify",
+                                help="skip the final fresh-build "
+                                     "bit-identity check of the "
+                                     "frontier")
+    explore_parser.add_argument("--json", action="store_true",
+                                help="emit machine-readable JSON")
+    explore_parser.add_argument("--stats", action="store_true",
+                                help="print the surrogate error trace "
+                                     "and per-phase timings")
+
     lint_parser = sub.add_parser(
         "lint", help="static diagnostics for a workload skeleton")
     lint_parser.add_argument("workload")
@@ -457,18 +535,36 @@ def _cmd_hotpath(args) -> str:
     return out if args.dot else out + _degraded_footer(report)
 
 
+def _expand_range(token: str) -> List[float]:
+    """``start:stop:step`` → the inclusive arithmetic progression."""
+    start, stop, step = (float(part) for part in token.split(":"))
+    if step <= 0 or stop < start:
+        raise ValueError(token)
+    count = int((stop - start) / step + 1e-9) + 1
+    return [start + i * step for i in range(count)]
+
+
 def _parse_sweep_params(pairs: List[str]) -> Dict[str, List[float]]:
     grid: Dict[str, List[float]] = {}
     for pair in pairs:
         if "=" not in pair:
             raise ReproError(
-                f"expected NAME=V1,V2,..., got {pair!r}")
+                f"expected NAME=V1,V2,... or NAME=START:STOP:STEP, "
+                f"got {pair!r}")
         name, _, raw = pair.partition("=")
         try:
-            values = [float(token) for token in raw.split(",") if token]
+            values: List[float] = []
+            for token in raw.split(","):
+                if not token:
+                    continue
+                if ":" in token:
+                    values.extend(_expand_range(token))
+                else:
+                    values.append(float(token))
         except ValueError:
             raise ReproError(
-                f"non-numeric sweep value in {pair!r}") from None
+                f"bad sweep value in {pair!r} (expected numbers or "
+                "START:STOP:STEP ranges)") from None
         if not values:
             raise ReproError(f"no values given for parameter {name!r}")
         grid[name.strip()] = values
@@ -593,6 +689,82 @@ def _cmd_sweep(args) -> str:
         output += "\n" + diagnostic.render(show_snippet=False)
     if args.stats:
         output += "\n" + _render_sweep_stats(result)
+    return output
+
+
+def _cmd_explore(args) -> str:
+    from .explore import explore, verify_frontier
+    from .validate import preflight
+    program, inputs, machine = _load(args)
+    axes = _parse_sweep_params(args.params)
+    preflight(program, inputs, machine)
+    objectives = [token.strip()
+                  for token in args.objectives.split(",") if token.strip()]
+    kwargs = dict(workers=args.workers, backend=args.backend,
+                  checkpoint=args.checkpoint, resume=args.resume)
+    cache_model = cache_model_by_name(
+        getattr(args, "cache_model", "constant"))
+    model_factory = None
+    if cache_model is not None:
+        from .hardware.cachemodel import RooflineFactory
+        model_factory = RooflineFactory(cache_model=cache_model)
+        kwargs["model_factory"] = model_factory
+    executor = getattr(args, "executor", None)
+    if getattr(args, "cluster", None) is not None \
+            and executor != "multinode":
+        raise ReproError("--cluster needs --executor multinode")
+    if executor is not None:
+        if getattr(args, "shards", None) is not None and args.shards < 1:
+            raise ReproError(f"--shards must be >= 1, got {args.shards}")
+        kwargs.update(executor=executor,
+                      shards=getattr(args, "shards", None),
+                      topology=getattr(args, "cluster", None))
+    elif getattr(args, "shards", None) is not None:
+        raise ReproError("--shards needs --executor")
+    result = explore(axes, machine, objectives, program=program,
+                     inputs=inputs, k=args.top, budget=args.budget,
+                     rounds=args.rounds, surrogate=args.surrogate,
+                     seed=args.seed, **kwargs)
+    verified = 0
+    if not args.no_verify:
+        verified = verify_frontier(result, machine, program=program,
+                                   inputs=inputs,
+                                   model_factory=model_factory,
+                                   k=args.top)
+    if args.json:
+        from .export import explore_to_dict, to_json
+        payload = explore_to_dict(result)
+        payload["frontier_verified"] = verified
+        return to_json(payload)
+    timings = result.timings
+    footer = (f"[{result.evaluations} exact evals of "
+              f"{result.grid_size:,} cells in "
+              f"{timings.get('total', 0.0):.3f}s, "
+              f"{result.rounds} rounds"
+              + (f", backend={result.backend}" if result.backend else "")
+              + (f", executor={result.executor}" if result.executor
+                 else "")
+              + (f", {result.failures} failed" if result.failures else "")
+              + (f", frontier verified x{verified}" if verified else "")
+              + "]")
+    output = result.render() + "\n" + footer
+    for diagnostic in result.diagnostics:
+        output += "\n" + diagnostic.render(show_snippet=False)
+    if args.stats:
+        lines = ["surrogate error trace (mean |pred-exact|/|exact|):"]
+        for entry in result.error_trace:
+            parts = [f"round {int(entry['round'])}"]
+            parts.extend(f"{name}={value:.4f}"
+                         for name, value in sorted(entry.items())
+                         if name not in ("round", "evaluated"))
+            parts.append(f"({int(entry.get('evaluated', 0))} pts)")
+            lines.append("  " + "  ".join(parts))
+        lines.append("timings:")
+        for name in ("evaluate", "acquire", "total"):
+            if name in timings:
+                lines.append(f"  {name + ' seconds':<24} "
+                             f"{timings[name]:.6f}")
+        output += "\n" + "\n".join(lines)
     return output
 
 
@@ -778,6 +950,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             output = _cmd_trace(args)
         elif args.command == "sweep":
             output = _cmd_sweep(args)
+        elif args.command == "explore":
+            output = _cmd_explore(args)
         elif args.command == "bet":
             output = _cmd_bet(args)
         else:

@@ -90,6 +90,7 @@ CODES: Dict[str, str] = {
     "SKOP703": "shard quarantined after retry exhaustion",
     "SKOP704": "corrupt shard result envelope detected",
     "SKOP705": "worker heartbeat lost; declared dead",
+    "SKOP706": "checkpoint written under different evaluation settings",
 }
 
 #: legacy lint code (W001…) -> stable diagnostic code

@@ -1,0 +1,39 @@
+"""Surrogate-guided active-learning exploration of design spaces.
+
+The answer to "the analytic model makes whole design-space questions
+cheap" once the space itself outgrows exhaustive sweeps: a lazy
+:class:`GridSpace` addresses 10^6+ cells by index, cheap deterministic
+surrogates steer a small exact-evaluation budget toward the Pareto
+frontier, and every reported number still comes from the exact model —
+bit-identical to a fresh build (DESIGN.md §13).
+"""
+
+from .acquire import (
+    HypervolumeBox, Objective, POINT_OBJECTIVES, hypervolume,
+    parse_objectives, pareto_indices, select_batch,
+)
+from .engine import ExploreResult, FrontierPoint, explore, verify_frontier
+from .space import GridSpace, halton
+from .surrogate import (
+    SURROGATE_NAMES, RidgeSurrogate, TreeSurrogate, surrogate_by_name,
+)
+
+__all__ = [
+    "GridSpace",
+    "halton",
+    "Objective",
+    "POINT_OBJECTIVES",
+    "parse_objectives",
+    "pareto_indices",
+    "hypervolume",
+    "HypervolumeBox",
+    "select_batch",
+    "RidgeSurrogate",
+    "TreeSurrogate",
+    "surrogate_by_name",
+    "SURROGATE_NAMES",
+    "explore",
+    "verify_frontier",
+    "ExploreResult",
+    "FrontierPoint",
+]

@@ -1,0 +1,287 @@
+"""Objectives, Pareto dominance, hypervolume, and acquisition scoring.
+
+The explorer is multi-objective: the user names what to trade off
+(``runtime`` against provisioned ``bandwidth``, say, or against the
+model's memory-pressure fraction) and the answer is a Pareto frontier,
+not a single optimum.  Internally every objective is *minimized*;
+``max`` objectives are negated on the way in and restored on the way
+out, so the dominance and hypervolume code has one orientation.
+
+Acquisition is lower-confidence-bound hypervolume improvement: each
+candidate's surrogate prediction ``mean − κ·std`` per objective is an
+optimistic guess, the increase in dominated hypervolume that guess would
+add to the current *exact* frontier is its exploitation value, and a
+small uncertainty bonus keeps the loop exploring.  Hypervolume is exact
+for one and two objectives (the common co-design cases) and a seeded
+Monte-Carlo estimate beyond that — again a pure function of the seed,
+via :class:`repro.rng.CounterRNG`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import AnalysisError
+from ..rng import CounterRNG
+
+__all__ = [
+    "Objective", "parse_objectives", "pareto_indices", "hypervolume",
+    "HypervolumeBox", "select_batch", "POINT_OBJECTIVES",
+]
+
+#: objective names served by the exact model's projection (anything else
+#: must name an axis of the space, whose value is known per cell)
+POINT_OBJECTIVES = {
+    "runtime": "projected whole-run wall seconds",
+    "memory_fraction": "non-overlapped memory share (cache-model "
+                       "DRAM pressure)",
+}
+
+#: default optimization direction per point objective
+_DEFAULT_DIRECTION = {"runtime": "min", "memory_fraction": "min"}
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One named quantity to optimize over the space.
+
+    ``name`` is either a point objective (:data:`POINT_OBJECTIVES`) or
+    an axis of the space (machine field or ``input:<name>``), whose
+    value per cell is known without any model call.  ``direction`` is
+    ``"min"`` or ``"max"``.
+    """
+
+    name: str
+    direction: str = "min"
+
+    def __post_init__(self):
+        if self.direction not in ("min", "max"):
+            raise AnalysisError(
+                f"objective {self.name!r}: direction must be 'min' or "
+                f"'max', not {self.direction!r}")
+
+    @property
+    def sign(self) -> float:
+        """Multiplier canonicalizing the objective to minimization."""
+        return 1.0 if self.direction == "min" else -1.0
+
+    def canonical(self, value: float) -> float:
+        return self.sign * value
+
+    def actual(self, canonical_value: float) -> float:
+        return self.sign * canonical_value
+
+    def render(self) -> str:
+        return f"{self.name}:{self.direction}"
+
+
+def parse_objectives(specs: Sequence[str],
+                     axis_names: Sequence[str]) -> List[Objective]:
+    """Parse ``name`` / ``name:min`` / ``name:max`` objective specs.
+
+    Each name must be a point objective or an axis of the space; at
+    least one point objective is required (a frontier over axis values
+    alone needs no model at all).
+    """
+    if not specs:
+        raise AnalysisError("at least one objective is required")
+    objectives: List[Objective] = []
+    for spec in specs:
+        # only a trailing :min/:max is a direction — axis names may
+        # themselves contain colons (input:n)
+        name, direction = spec.strip(), ""
+        for suffix in ("min", "max"):
+            if name.endswith(":" + suffix):
+                name, direction = name[:-len(suffix) - 1].strip(), suffix
+                break
+        direction = direction or _DEFAULT_DIRECTION.get(name, "min")
+        if name not in POINT_OBJECTIVES and name not in axis_names:
+            raise AnalysisError(
+                f"unknown objective {name!r}; expected one of "
+                f"{sorted(POINT_OBJECTIVES)} or an axis of the space "
+                f"({', '.join(axis_names)})")
+        objectives.append(Objective(name, direction))
+    if len({o.name for o in objectives}) != len(objectives):
+        raise AnalysisError("duplicate objective names")
+    if not any(o.name in POINT_OBJECTIVES for o in objectives):
+        raise AnalysisError(
+            "at least one objective must be model-derived "
+            f"({sorted(POINT_OBJECTIVES)}); axis-only frontiers need no "
+            "exploration")
+    return objectives
+
+
+# -- dominance and hypervolume (canonical minimization space) ------------
+
+def _dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """True when ``a`` is no worse everywhere and better somewhere."""
+    better = False
+    for x, y in zip(a, b):
+        if x > y:
+            return False
+        if x < y:
+            better = True
+    return better
+
+
+def pareto_indices(vectors: Sequence[Sequence[float]]) -> List[int]:
+    """Indices of the non-dominated vectors, in input order.
+
+    Exact duplicates keep only their first occurrence, so the frontier
+    never lists one trade-off twice.
+    """
+    front: List[int] = []
+    seen: set = set()
+    for i, candidate in enumerate(vectors):
+        key = tuple(candidate)
+        if key in seen:
+            continue
+        if any(_dominates(vectors[j], candidate) for j in front):
+            continue
+        front = [j for j in front
+                 if not _dominates(candidate, vectors[j])]
+        front.append(i)
+        seen.add(key)
+    return front
+
+
+def hypervolume(front: Sequence[Sequence[float]],
+                reference: Sequence[float],
+                seed: int = 0, samples: int = 4096) -> float:
+    """Dominated hypervolume of ``front`` w.r.t. ``reference`` (all
+    minimized; points at or beyond the reference contribute nothing).
+
+    Exact for 1-D and 2-D; seeded Monte-Carlo beyond (``samples`` draws
+    from a :class:`~repro.rng.CounterRNG` keyed by ``seed``)."""
+    return HypervolumeBox(front, reference, seed=seed,
+                          samples=samples).volume
+
+
+class HypervolumeBox:
+    """Hypervolume of a frontier, with cheap per-candidate improvement.
+
+    Improvement queries share the box's precomputation: in 2-D the
+    frontier staircase is walked once per query; in ≥3-D the same seeded
+    Monte-Carlo sample is classified once against the frontier and each
+    candidate only tests its own dominance over the not-yet-covered
+    samples.
+    """
+
+    def __init__(self, front: Sequence[Sequence[float]],
+                 reference: Sequence[float], seed: int = 0,
+                 samples: int = 4096):
+        self.reference = tuple(float(v) for v in reference)
+        self.dims = len(self.reference)
+        if self.dims < 1:
+            raise AnalysisError("hypervolume needs at least 1 objective")
+        self.front = [tuple(float(v) for v in point) for point in front
+                      if all(v < r for v, r in zip(point,
+                                                   self.reference))]
+        self._mc_points: Optional[List[Tuple[float, ...]]] = None
+        self._mc_uncovered: Optional[List[int]] = None
+        self._box_volume = 0.0
+        if self.dims == 1:
+            best = min((p[0] for p in self.front),
+                       default=self.reference[0])
+            self.volume = self.reference[0] - best
+        elif self.dims == 2:
+            self.volume = self._exact_2d(self.front)
+        else:
+            self._setup_mc(seed, samples)
+
+    # -- 2-D exact staircase --------------------------------------------
+    def _exact_2d(self, front: Sequence[Tuple[float, ...]]) -> float:
+        ref0, ref1 = self.reference
+        total = 0.0
+        upper1 = ref1
+        for p0, p1 in sorted(front):
+            if p1 < upper1:
+                total += (ref0 - p0) * (upper1 - p1)
+                upper1 = p1
+        return total
+
+    # -- ≥3-D seeded Monte-Carlo ----------------------------------------
+    def _setup_mc(self, seed: int, samples: int) -> None:
+        if not self.front:
+            self.volume = 0.0
+            self._mc_points = []
+            self._mc_uncovered = []
+            self._box_volume = 0.0
+            return
+        mins = [min(p[d] for p in self.front)
+                for d in range(self.dims)]
+        self._box_volume = 1.0
+        for low, ref in zip(mins, self.reference):
+            self._box_volume *= max(ref - low, 0.0)
+        rng = CounterRNG("hypervolume", seed, self.dims)
+        self._mc_points = []
+        for _ in range(samples):
+            self._mc_points.append(tuple(
+                low + rng.fraction() * (ref - low)
+                for low, ref in zip(mins, self.reference)))
+        covered = 0
+        self._mc_uncovered = []
+        for index, sample in enumerate(self._mc_points):
+            if any(_dominates(p, sample) or p == sample
+                   for p in self.front):
+                covered += 1
+            else:
+                self._mc_uncovered.append(index)
+        self.volume = self._box_volume * covered / len(self._mc_points)
+
+    def improvement(self, candidate: Sequence[float]) -> float:
+        """Hypervolume added by ``candidate`` joining the frontier."""
+        point = tuple(float(v) for v in candidate)
+        if any(v >= r for v, r in zip(point, self.reference)):
+            return 0.0
+        if self.dims == 1:
+            best = min((p[0] for p in self.front),
+                       default=self.reference[0])
+            return max(best - point[0], 0.0)
+        if self.dims == 2:
+            return self._exact_2d(self.front + [point]) - self.volume
+        if not self._mc_points:
+            # empty frontier: the candidate's own box is the improvement
+            volume = 1.0
+            for v, r in zip(point, self.reference):
+                volume *= max(r - v, 0.0)
+            return volume
+        gained = sum(1 for index in self._mc_uncovered
+                     if _dominates(point, self._mc_points[index])
+                     or point == self._mc_points[index])
+        return self._box_volume * gained / len(self._mc_points)
+
+
+# -- batch selection -----------------------------------------------------
+
+def select_batch(candidates: Sequence[int],
+                 scores: Dict[int, float],
+                 coords: Dict[int, Tuple[float, ...]],
+                 batch: int,
+                 spacing: float = 0.0) -> List[int]:
+    """Pick up to ``batch`` candidate indices, best score first.
+
+    Ties break on the index itself (full determinism).  ``spacing``
+    enforces diversity: a candidate closer than this (L∞ over unit
+    coordinates) to an already-picked one is skipped on the first pass
+    and only admitted if the batch is still short afterwards.
+    """
+    ranked = sorted(candidates, key=lambda i: (-scores[i], i))
+    picked: List[int] = []
+    skipped: List[int] = []
+    for index in ranked:
+        if len(picked) >= batch:
+            break
+        if spacing > 0.0 and any(
+                max(abs(a - b) for a, b in zip(coords[index],
+                                               coords[other]))
+                < spacing for other in picked):
+            skipped.append(index)
+            continue
+        picked.append(index)
+    for index in skipped:
+        if len(picked) >= batch:
+            break
+        picked.append(index)
+    return picked

@@ -1,0 +1,296 @@
+"""Cheap surrogates with uncertainty for the exploration loop.
+
+Two families, both stdlib-only with an optional numpy fast path, both
+giving a *mean and an uncertainty* per prediction via bagging (an
+ensemble of models fit on bootstrap resamples; the spread of their
+predictions is the uncertainty estimate the acquisition function feeds
+on):
+
+* :class:`RidgeSurrogate` — degree-2 polynomial ridge regression on the
+  space's unit coordinates.  Smooth, extrapolates sanely, and the normal
+  equations are tiny (≤ ~100 features for any realistic axis count).
+* :class:`TreeSurrogate` — a bagged ensemble of small regression trees
+  with binned threshold candidates.  Captures cliffs and interactions
+  (cache-capacity walls, saturation knees) the polynomial smooths over.
+
+Everything is deterministic: bootstrap resamples come from
+:class:`repro.rng.CounterRNG` streams keyed by ``(seed, bag)``, so a
+fixed seed reproduces the ensemble bit for bit — no global RNG, no
+wall clock.  Surrogate predictions only ever *steer* which cells get an
+exact evaluation; no surrogate number is ever reported as a result.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+from .. import arrayops as _aops
+from ..errors import AnalysisError
+from ..rng import CounterRNG
+
+__all__ = ["RidgeSurrogate", "TreeSurrogate", "surrogate_by_name",
+           "SURROGATE_NAMES"]
+
+#: names accepted by ``repro explore --surrogate``
+SURROGATE_NAMES = ("ridge", "tree")
+
+#: uncertainty floor — keeps acquisition scores finite and ordered even
+#: when every bag agrees exactly (e.g. a constant objective)
+_STD_FLOOR = 1e-12
+
+#: pure-python fallback cap on training points per fit (the numpy path
+#: has no cap; the fallback subsamples deterministically beyond this)
+_PUREPY_FIT_CAP = 1536
+
+
+def _poly_features(coords: Sequence[float]) -> List[float]:
+    """Degree-2 polynomial basis of one unit-coordinate vector."""
+    row = [1.0]
+    row.extend(coords)
+    count = len(coords)
+    for i in range(count):
+        for j in range(i, count):
+            row.append(coords[i] * coords[j])
+    return row
+
+
+def _solve(matrix: List[List[float]], rhs: List[float]) -> List[float]:
+    """Gaussian elimination with partial pivoting (square, in-place)."""
+    size = len(matrix)
+    for col in range(size):
+        pivot = max(range(col, size), key=lambda r: abs(matrix[r][col]))
+        if abs(matrix[pivot][col]) < 1e-300:
+            raise AnalysisError("singular surrogate normal equations")
+        if pivot != col:
+            matrix[col], matrix[pivot] = matrix[pivot], matrix[col]
+            rhs[col], rhs[pivot] = rhs[pivot], rhs[col]
+        inv = 1.0 / matrix[col][col]
+        for row in range(col + 1, size):
+            factor = matrix[row][col] * inv
+            if factor == 0.0:
+                continue
+            for k in range(col, size):
+                matrix[row][k] -= factor * matrix[col][k]
+            rhs[row] -= factor * rhs[col]
+    weights = [0.0] * size
+    for row in range(size - 1, -1, -1):
+        acc = rhs[row]
+        for k in range(row + 1, size):
+            acc -= matrix[row][k] * weights[k]
+        weights[row] = acc / matrix[row][row]
+    return weights
+
+
+def _bootstrap(count: int, seed_parts: Tuple, cap: int) -> List[int]:
+    """Deterministic bootstrap resample indices (with replacement)."""
+    rng = CounterRNG("bootstrap", *seed_parts)
+    draws = min(count, cap) if cap else count
+    return [rng.randint(count) for _ in range(draws)]
+
+
+class RidgeSurrogate:
+    """Bagged degree-2 polynomial ridge regression."""
+
+    name = "ridge"
+
+    def __init__(self, alpha: float = 1e-6, bags: int = 8, seed: int = 0):
+        if bags < 2:
+            raise AnalysisError("bagging needs at least 2 bags")
+        self.alpha = alpha
+        self.bags = bags
+        self.seed = seed
+        self._weights: List[List[float]] = []
+        self._y_shift = 0.0
+        self._y_scale = 1.0
+
+    def fit(self, features: Sequence[Sequence[float]],
+            targets: Sequence[float]) -> None:
+        rows = [_poly_features(coords) for coords in features]
+        count = len(rows)
+        if count == 0:
+            raise AnalysisError("cannot fit a surrogate on zero points")
+        # standardize targets for conditioning; undone at predict time
+        self._y_shift = sum(targets) / count
+        spread = math.sqrt(sum((y - self._y_shift) ** 2
+                               for y in targets) / count)
+        self._y_scale = spread if spread > 0 else 1.0
+        scaled = [(y - self._y_shift) / self._y_scale for y in targets]
+        self._weights = []
+        for bag in range(self.bags):
+            picks = _bootstrap(count, (self.seed, self.name, bag),
+                               cap=0 if _aops.HAVE_NUMPY
+                               else _PUREPY_FIT_CAP)
+            self._weights.append(self._fit_one(
+                [rows[i] for i in picks], [scaled[i] for i in picks]))
+
+    def _fit_one(self, rows: List[List[float]],
+                 targets: List[float]) -> List[float]:
+        width = len(rows[0])
+        if _aops.HAVE_NUMPY:
+            np = _aops.np
+            design = np.asarray(rows, dtype=float)
+            normal = design.T @ design + self.alpha * np.eye(width)
+            moment = design.T @ np.asarray(targets, dtype=float)
+            return [float(w) for w in np.linalg.solve(normal, moment)]
+        normal = [[self.alpha if r == c else 0.0 for c in range(width)]
+                  for r in range(width)]
+        moment = [0.0] * width
+        for row, target in zip(rows, targets):
+            for r in range(width):
+                value = row[r]
+                if value == 0.0:
+                    continue
+                moment[r] += value * target
+                normal_r = normal[r]
+                for c in range(width):
+                    normal_r[c] += value * row[c]
+        return _solve(normal, moment)
+
+    def predict(self, features: Sequence[Sequence[float]],
+                ) -> Tuple[List[float], List[float]]:
+        """Per-point (mean, std-across-bags), un-standardized."""
+        rows = [_poly_features(coords) for coords in features]
+        means: List[float] = []
+        stds: List[float] = []
+        for row in rows:
+            votes = [sum(w * x for w, x in zip(weights, row))
+                     for weights in self._weights]
+            mean = sum(votes) / len(votes)
+            var = sum((v - mean) ** 2 for v in votes) / len(votes)
+            means.append(mean * self._y_scale + self._y_shift)
+            stds.append(max(math.sqrt(var) * self._y_scale, _STD_FLOOR))
+        return means, stds
+
+
+class _TreeNode:
+    __slots__ = ("feature", "threshold", "low", "high", "value")
+
+    def __init__(self, value: float):
+        self.feature = -1
+        self.threshold = 0.0
+        self.low = None
+        self.high = None
+        self.value = value
+
+
+class TreeSurrogate:
+    """A bagged ensemble of small binned regression trees."""
+
+    name = "tree"
+
+    def __init__(self, bags: int = 8, depth: int = 5, min_leaf: int = 4,
+                 thresholds: int = 16, seed: int = 0,
+                 sample_cap: int = 1024):
+        if bags < 2:
+            raise AnalysisError("bagging needs at least 2 bags")
+        self.bags = bags
+        self.depth = depth
+        self.min_leaf = min_leaf
+        self.thresholds = thresholds
+        self.seed = seed
+        self.sample_cap = sample_cap
+        self._trees: List[_TreeNode] = []
+
+    def fit(self, features: Sequence[Sequence[float]],
+            targets: Sequence[float]) -> None:
+        rows = [tuple(coords) for coords in features]
+        count = len(rows)
+        if count == 0:
+            raise AnalysisError("cannot fit a surrogate on zero points")
+        self._trees = []
+        for bag in range(self.bags):
+            picks = _bootstrap(count, (self.seed, self.name, bag),
+                               cap=self.sample_cap)
+            self._trees.append(self._grow(
+                [rows[i] for i in picks], [targets[i] for i in picks],
+                self.depth))
+
+    def _grow(self, rows: List[Tuple[float, ...]],
+              targets: List[float], depth: int) -> _TreeNode:
+        node = _TreeNode(sum(targets) / len(targets))
+        if depth <= 0 or len(rows) < 2 * self.min_leaf:
+            return node
+        best = self._best_split(rows, targets)
+        if best is None:
+            return node
+        feature, threshold = best
+        low_r, low_t, high_r, high_t = [], [], [], []
+        for row, target in zip(rows, targets):
+            if row[feature] <= threshold:
+                low_r.append(row)
+                low_t.append(target)
+            else:
+                high_r.append(row)
+                high_t.append(target)
+        node.feature = feature
+        node.threshold = threshold
+        node.low = self._grow(low_r, low_t, depth - 1)
+        node.high = self._grow(high_r, high_t, depth - 1)
+        return node
+
+    def _best_split(self, rows: List[Tuple[float, ...]],
+                    targets: List[float]):
+        """(feature, threshold) minimizing summed squared error, or
+        ``None`` when no candidate separates ``min_leaf`` points."""
+        best_score, best = float("inf"), None
+        for feature in range(len(rows[0])):
+            order = sorted(range(len(rows)),
+                           key=lambda i: rows[i][feature])
+            values = [rows[i][feature] for i in order]
+            ys = [targets[i] for i in order]
+            prefix = [0.0]
+            prefix_sq = [0.0]
+            for y in ys:
+                prefix.append(prefix[-1] + y)
+                prefix_sq.append(prefix_sq[-1] + y * y)
+            total, total_sq = prefix[-1], prefix_sq[-1]
+            count = len(ys)
+            # binned candidates: up to `thresholds` evenly spaced cuts
+            step = max(1, count // (self.thresholds + 1))
+            for cut in range(step, count, step):
+                if values[cut - 1] == values[cut]:
+                    continue      # cannot separate equal coordinates
+                if cut < self.min_leaf or count - cut < self.min_leaf:
+                    continue
+                left, left_sq = prefix[cut], prefix_sq[cut]
+                right, right_sq = total - left, total_sq - left_sq
+                score = (left_sq - left * left / cut) + \
+                    (right_sq - right * right / (count - cut))
+                if score < best_score:
+                    best_score = score
+                    best = (feature,
+                            (values[cut - 1] + values[cut]) / 2.0)
+        return best
+
+    @staticmethod
+    def _eval(node: _TreeNode, coords: Tuple[float, ...]) -> float:
+        while node.feature >= 0:
+            node = node.low if coords[node.feature] <= node.threshold \
+                else node.high
+        return node.value
+
+    def predict(self, features: Sequence[Sequence[float]],
+                ) -> Tuple[List[float], List[float]]:
+        """Per-point (mean, std) across the bagged trees."""
+        means: List[float] = []
+        stds: List[float] = []
+        for coords in features:
+            point = tuple(coords)
+            votes = [self._eval(tree, point) for tree in self._trees]
+            mean = sum(votes) / len(votes)
+            var = sum((v - mean) ** 2 for v in votes) / len(votes)
+            means.append(mean)
+            stds.append(max(math.sqrt(var), _STD_FLOOR))
+        return means, stds
+
+
+def surrogate_by_name(name: str, seed: int = 0):
+    """Construct the surrogate for a ``--surrogate`` choice."""
+    if name == "ridge":
+        return RidgeSurrogate(seed=seed)
+    if name == "tree":
+        return TreeSurrogate(seed=seed)
+    raise AnalysisError(
+        f"unknown surrogate {name!r}; expected one of "
+        f"{', '.join(SURROGATE_NAMES)}")

@@ -207,6 +207,37 @@ def grid_to_dict(result) -> Dict[str, Any]:
     }
 
 
+def explore_to_dict(result) -> Dict[str, Any]:
+    """A surrogate-guided exploration run
+    (:class:`~repro.explore.ExploreResult`): the exact-verified Pareto
+    frontier, the per-round surrogate error trace, and the
+    evaluations-vs-grid-size economics."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "space": {name: list(values)
+                  for name, values in result.space.items()},
+        "objectives": [objective.render()
+                       for objective in result.objectives],
+        "seed": result.seed,
+        "surrogate": result.surrogate,
+        "budget": result.budget,
+        "rounds": result.rounds,
+        "grid_size": result.grid_size,
+        "evaluations": result.evaluations,
+        "eval_fraction": result.eval_fraction,
+        "hypervolume": result.hypervolume,
+        "reference": list(result.reference),
+        "frontier": [point.as_dict() for point in result.frontier],
+        "error_trace": [dict(entry) for entry in result.error_trace],
+        "timings": dict(result.timings),
+        "backend": result.backend,
+        "executor": result.executor,
+        "failures": result.failures,
+        "diagnostics": diagnostics_to_dicts(
+            getattr(result, "diagnostics", [])),
+    }
+
+
 def analysis_to_dict(analysis) -> Dict[str, Any]:
     """A full pipeline run (:class:`~repro.experiments.WorkloadAnalysis`),
     including the degraded-mode report: the modeled ``completeness``

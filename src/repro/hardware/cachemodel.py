@@ -186,6 +186,10 @@ class RooflineFactory:
         self.cache_model = state["cache_model"]
         self.kwargs = state["kwargs"]
 
+    def __repr__(self):
+        return _factory_repr("RooflineFactory", self.cache_model,
+                             self.kwargs)
+
 
 class ECMFactory:
     """Picklable ``machine -> ECMModel`` factory for sweeps."""
@@ -207,6 +211,17 @@ class ECMFactory:
     def __setstate__(self, state):
         self.cache_model = state["cache_model"]
         self.kwargs = state["kwargs"]
+
+    def __repr__(self):
+        return _factory_repr("ECMFactory", self.cache_model, self.kwargs)
+
+
+def _factory_repr(name, cache_model, kwargs):
+    """Content-stable factory repr (checkpoint fingerprints compare it,
+    so it must not contain memory addresses)."""
+    parts = [f"cache_model={cache_model!r}"]
+    parts.extend(f"{key}={value!r}" for key, value in sorted(kwargs.items()))
+    return f"{name}({', '.join(parts)})"
 
 
 #: names accepted by the CLI's ``--cache-model`` flag

@@ -22,7 +22,7 @@ from .chaos import ChaosEvent, ChaosSchedule
 from .engine import (
     INPUT_PREFIX, GridPoint, GridResult, InputPoint, InputSweepResult,
     analyze_matrix, bet_cache_stats, build_bet_cached, clear_bet_cache,
-    clear_symbolic_cache, sweep_grid, sweep_inputs,
+    clear_symbolic_cache, evaluate_cells, sweep_grid, sweep_inputs,
 )
 from .executors import (
     EXECUTOR_NAMES, MultinodeExecutor, PoolExecutor, SerialExecutor,
@@ -30,8 +30,8 @@ from .executors import (
 )
 from .fault import (
     NO_RETRY, CallRecorder, FaultInjector, MapOutcome, PointFailure,
-    RetryPolicy, SweepCheckpoint, overrides_key, resilient_map, run_point,
-    sweep_key,
+    RetryPolicy, SweepCheckpoint, factory_tag, overrides_key,
+    resilient_map, run_point, sweep_key,
 )
 from .pool import (
     abandon_pool, chunk, default_workers, parallel_map, reap_abandoned,
@@ -53,6 +53,7 @@ __all__ = [
     "clear_symbolic_cache",
     "sweep_grid",
     "sweep_inputs",
+    "evaluate_cells",
     "InputPoint",
     "InputSweepResult",
     "INPUT_PREFIX",
@@ -69,6 +70,7 @@ __all__ = [
     "SweepCheckpoint",
     "sweep_key",
     "overrides_key",
+    "factory_tag",
     "FaultInjector",
     "CallRecorder",
     # sharded executor layer

@@ -24,9 +24,10 @@ tests an unbounded family of reproducible fault scenarios.
 
 from __future__ import annotations
 
-import hashlib
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
+
+from ..rng import integer as _rng_integer
 
 #: fault kinds the executor layer understands
 CHAOS_KINDS = ("kill", "stall", "drop_heartbeats", "corrupt")
@@ -125,10 +126,9 @@ class ChaosSchedule:
 
 
 def _pick(seed: int, kind: str, draw: int, modulus: int) -> int:
-    """Stable pseudo-random shard index from ``(seed, kind, draw)``."""
-    digest = hashlib.sha256(
-        f"{seed}:{kind}:{draw}".encode("ascii")).digest()
-    return int.from_bytes(digest[:8], "big") % modulus
+    """Stable pseudo-random shard index from ``(seed, kind, draw)``
+    (:func:`repro.rng.integer`, the shared SHA-256 derivation)."""
+    return _rng_integer(modulus, seed, kind, draw)
 
 
 def describe_outcomes(schedule: ChaosSchedule) -> Tuple[int, int]:

@@ -48,8 +48,8 @@ from ..skeleton.bst import Program
 from .cache import CacheStats, LRUCache
 from .executors import SweepExecutor, resolve_executor
 from .fault import (
-    MapOutcome, PointFailure, RetryPolicy, SweepCheckpoint, overrides_key,
-    resilient_map, sweep_key,
+    MapOutcome, PointFailure, RetryPolicy, SweepCheckpoint, factory_tag,
+    overrides_key, resilient_map, sweep_key,
 )
 from .pool import parallel_map
 from .shard import ShardScheduler
@@ -406,8 +406,161 @@ def sweep_grid(bet: Optional[BETNode], base_machine: MachineModel,
                                    for name, values in grid.items()), k)
         else:
             key = _default_grid_key(bet, base_machine, grid, k)
-        ckpt = SweepCheckpoint.load(checkpoint, key, resume=resume)
+        ckpt = SweepCheckpoint.load(
+            checkpoint, key, resume=resume,
+            settings=_checkpoint_settings(backend, model_factory,
+                                          resolved_executor))
 
+    return _evaluate_cell_list(
+        cells, base_machine,
+        grid_spec={name: list(values) for name, values in grid.items()},
+        has_input_axes=bool(input_axes), bet=bet, program=program,
+        base_inputs=base_inputs, entry=entry, library=library,
+        model_factory=model_factory, k=k, workers=workers, strict=strict,
+        policy=policy, timeout=timeout, chunk_size=chunk_size,
+        backend=backend, resolved_executor=resolved_executor,
+        shards=shards, shard_stats=shard_stats, ckpt=ckpt,
+        started=started)
+
+
+def evaluate_cells(base_machine: MachineModel,
+                   cells: Sequence[Dict[str, float]],
+                   bet: Optional[BETNode] = None,
+                   model_factory: Optional[Callable] = None,
+                   k: int = 10,
+                   workers: int = 1,
+                   strict: bool = False,
+                   policy: Optional[RetryPolicy] = None,
+                   timeout: Optional[float] = None,
+                   checkpoint: Optional[str] = None,
+                   resume: bool = False,
+                   checkpoint_key: Optional[str] = None,
+                   validate: bool = True,
+                   program: Optional[Program] = None,
+                   inputs: Optional[Dict[str, float]] = None,
+                   entry: str = "main",
+                   library=None,
+                   chunk_size: Optional[int] = None,
+                   backend: str = "auto",
+                   executor=None,
+                   shards: Optional[int] = None,
+                   topology=None,
+                   chaos=None) -> GridResult:
+    """Project an *explicit list* of machine×input cells, exactly.
+
+    The point-list sibling of :func:`sweep_grid`: instead of the cross
+    product of a grid spec, the caller names each cell — a dict of
+    machine-field and/or ``input:<name>`` overrides — and gets one
+    :class:`GridPoint` per cell (in order, failures recorded aside),
+    computed through the same chunked dispatch, vector backend, retry,
+    checkpoint, and executor machinery as a full grid, with the same
+    bit-identical-to-``sweep_grid`` guarantee.  This is the evaluation
+    primitive of the :mod:`repro.explore` active-learning loop, which
+    acquires scattered index sets of a lazy
+    :class:`~repro.explore.GridSpace` rather than dense boxes.
+
+    ``checkpoint_key`` should be passed when the same checkpoint file
+    accumulates several calls over one logical space (the explorer keys
+    it by the space fingerprint); the default key hashes the exact cell
+    list, so different batches would otherwise refuse to share a file.
+    Other parameters match :func:`sweep_grid`.
+    """
+    cells = [dict(cell) for cell in cells]
+    if not cells:
+        raise AnalysisError("evaluate_cells needs at least one cell")
+    input_names: set = set()
+    machine_names: set = set()
+    for cell in cells:
+        for name in cell:
+            if name.startswith(INPUT_PREFIX):
+                input_names.add(name)
+            elif hasattr(base_machine, name):
+                machine_names.add(name)
+            else:
+                raise AnalysisError(
+                    f"machine has no parameter {name!r}")
+    if input_names and program is None:
+        raise AnalysisError(
+            f"cells override workload inputs {sorted(input_names)}; "
+            "pass program= (and optionally inputs=) to evaluate_cells")
+    if not input_names and bet is None:
+        raise AnalysisError("evaluate_cells needs a built BET for "
+                            "machine-only cells")
+    if validate:
+        ensure_valid_machine(base_machine)
+    started = time.perf_counter()
+    base_inputs = dict(inputs or {})
+    backend = _resolve_backend(backend, len(cells),
+                               has_machine_axes=bool(machine_names),
+                               has_input_axes=bool(input_names))
+    resolved_executor: Optional[SweepExecutor] = None
+    if executor is not None:
+        resolved_executor = resolve_executor(executor, workers=workers,
+                                             topology=topology, chaos=chaos)
+    shard_stats: Dict[str, float] = {}
+
+    ckpt: Optional[SweepCheckpoint] = None
+    if checkpoint:
+        if checkpoint_key:
+            key = checkpoint_key
+        elif input_names:
+            key = sweep_key(program.fingerprint(),
+                            tuple(sorted(base_inputs.items())), entry,
+                            repr(base_machine),
+                            tuple(overrides_key(cell) for cell in cells),
+                            k)
+        else:
+            key = sweep_key(render_tree(bet), repr(base_machine),
+                            tuple(overrides_key(cell) for cell in cells),
+                            k)
+        ckpt = SweepCheckpoint.load(
+            checkpoint, key, resume=resume,
+            settings=_checkpoint_settings(backend, model_factory,
+                                          resolved_executor))
+
+    # the axis union, for the result's informational grid field
+    spec: Dict[str, List[float]] = {}
+    for cell in cells:
+        for name, value in cell.items():
+            values = spec.setdefault(name, [])
+            if value not in values:
+                values.append(value)
+    return _evaluate_cell_list(
+        cells, base_machine, grid_spec=spec,
+        has_input_axes=bool(input_names), bet=bet, program=program,
+        base_inputs=base_inputs, entry=entry, library=library,
+        model_factory=model_factory, k=k, workers=workers, strict=strict,
+        policy=policy, timeout=timeout, chunk_size=chunk_size,
+        backend=backend, resolved_executor=resolved_executor,
+        shards=shards, shard_stats=shard_stats, ckpt=ckpt,
+        started=started)
+
+
+def _evaluate_cell_list(cells: List[Dict[str, float]],
+                        base_machine: MachineModel,
+                        grid_spec: Dict[str, List[float]],
+                        has_input_axes: bool,
+                        bet: Optional[BETNode],
+                        program: Optional[Program],
+                        base_inputs: Dict[str, float],
+                        entry: str,
+                        library,
+                        model_factory: Optional[Callable],
+                        k: int,
+                        workers: int,
+                        strict: bool,
+                        policy: Optional[RetryPolicy],
+                        timeout: Optional[float],
+                        chunk_size: Optional[int],
+                        backend: str,
+                        resolved_executor: Optional[SweepExecutor],
+                        shards: Optional[int],
+                        shard_stats: Dict[str, float],
+                        ckpt: Optional[SweepCheckpoint],
+                        started: float) -> GridResult:
+    """Shared evaluation core of :func:`sweep_grid` (cross products) and
+    :func:`evaluate_cells` (explicit cell lists): checkpoint triage,
+    chunked/sharded dispatch, and result assembly."""
     prior: Dict[int, GridPoint] = {}
     pending_indices: List[int] = []
     pending_cells: List[Dict[str, float]] = []
@@ -421,7 +574,7 @@ def sweep_grid(bet: Optional[BETNode], base_machine: MachineModel,
             pending_cells.append(overrides)
 
     stages: Dict[str, float] = {}
-    if input_axes:
+    if has_input_axes:
         sym = SymbolicBET(program, entry=entry, library=library)
 
         def record(global_index: int, point: GridPoint) -> None:
@@ -511,7 +664,7 @@ def sweep_grid(bet: Optional[BETNode], base_machine: MachineModel,
                "failed": float(len(failures)),
                "resumed": float(len(prior))}
     cache_stats = bet_cache_stats().as_dict()
-    if input_axes:
+    if has_input_axes:
         timings.update(
             build=stages.get("bet_build_seconds", 0.0),
             rebind=stages.get("bet_replay_seconds", 0.0),
@@ -528,7 +681,7 @@ def sweep_grid(bet: Optional[BETNode], base_machine: MachineModel,
             compile_cache_hits=stages.get("compile_cache_hits", 0.0),
             parse_cache_hits=stages.get("parse_cache_hits", 0.0))
     return GridResult(
-        grid={name: list(values) for name, values in grid.items()},
+        grid=grid_spec,
         points=points,
         timings=timings,
         cache_stats=cache_stats,
@@ -587,6 +740,28 @@ def _resolve_backend(backend: str, points: int, has_machine_axes: bool,
             and not has_machine_axes and points >= VECTOR_MIN_POINTS:
         return "vector"
     return "scalar"
+
+
+def _checkpoint_settings(backend: str,
+                         model_factory: Optional[Callable],
+                         resolved_executor: Optional[SweepExecutor],
+                         ) -> Dict[str, str]:
+    """Evaluation-semantics fingerprint stored inside a checkpoint.
+
+    A resumed run must produce points comparable with the stored ones,
+    so the checkpoint refuses (``SKOP706``) to merge across a change of
+    backend, cache model, or executor kind — the dimensions that decide
+    *how* a point's numbers were computed, as opposed to *which* points
+    (those live in the sweep key).  The backend is recorded post-
+    resolution: ``auto`` that resolved to ``vector`` is the same
+    semantics as an explicit ``vector``.
+    """
+    return {
+        "backend": backend,
+        "cache_model": factory_tag(model_factory),
+        "executor": resolved_executor.name if resolved_executor is not None
+        else "legacy",
+    }
 
 #: worker-resident symbolic trees: pool workers persist across chunks, so
 #: one recorded build serves every chunk a worker receives for a program
@@ -1114,7 +1289,10 @@ def sweep_inputs(program: Program, machine: MachineModel, axes,
     if checkpoint:
         key = checkpoint_key or _default_input_key(
             program, machine, axes_dict, combos, base, entry, k)
-        ckpt = SweepCheckpoint.load(checkpoint, key, resume=resume)
+        ckpt = SweepCheckpoint.load(
+            checkpoint, key, resume=resume,
+            settings=_checkpoint_settings(backend, model_factory,
+                                          resolved_executor))
 
     prior: Dict[int, Dict[str, Any]] = {}
     pending_indices: List[int] = []

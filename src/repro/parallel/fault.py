@@ -45,6 +45,7 @@ from typing import (
 from ..errors import (
     CheckpointError, RetryExhaustedError, TaskTimeoutError,
 )
+from ..rng import unit_fraction as _unit_fraction
 from .pool import abandon_pool, reap_abandoned
 
 T = TypeVar("T")
@@ -118,17 +119,6 @@ class PointFailure:
 
 # -- deterministic retry policies ---------------------------------------------
 
-def _unit_fraction(index: int, attempt: int) -> float:
-    """A stable pseudo-random fraction in [0, 1) from (index, attempt).
-
-    SHA-256 based so the jitter schedule is identical across runs,
-    processes, and Python hash randomization — determinism is the whole
-    point (the equivalence tests depend on it).
-    """
-    digest = hashlib.sha256(f"{index}:{attempt}".encode("ascii")).digest()
-    return int.from_bytes(digest[:8], "big") / 2.0 ** 64
-
-
 @dataclass(frozen=True)
 class RetryPolicy:
     """Deterministic exponential backoff for transiently failing points.
@@ -138,8 +128,9 @@ class RetryPolicy:
         min(base_delay * multiplier ** (a - 1), max_delay)
             * (1 + jitter * fraction(index, a))
 
-    where ``fraction`` is a SHA-256 hash of ``(index, attempt)`` mapped to
-    [0, 1) — fully deterministic, no RNG state, no wall-clock dependence.
+    where ``fraction`` is :func:`repro.rng.unit_fraction` over
+    ``(index, attempt)`` — a SHA-256 hash mapped to [0, 1), fully
+    deterministic, no RNG state, no wall-clock dependence.
     ``max_attempts=1`` (the default) disables retries entirely.
     """
 
@@ -411,6 +402,25 @@ def overrides_key(overrides: Dict[str, float]) -> str:
                     for name, value in sorted(overrides.items()))
 
 
+def factory_tag(model_factory: Optional[Callable]) -> str:
+    """A content-stable tag for a ``model_factory`` callable.
+
+    Used in checkpoint ``settings`` so a resume under a different cache
+    model is refused.  Factories with a stable ``__repr__`` (the
+    :class:`~repro.hardware.cachemodel.RooflineFactory` family) are
+    tagged by it; anything whose repr embeds a memory address falls back
+    to the qualified type name, which still distinguishes factory
+    *kinds* even when it cannot see their configuration.
+    """
+    if model_factory is None:
+        return "default"
+    text = repr(model_factory)
+    if " at 0x" in text:
+        kind = type(model_factory)
+        return f"{kind.__module__}.{kind.__qualname__}"
+    return text
+
+
 class SweepCheckpoint:
     """Periodic JSON checkpoint of a sweep's completed points.
 
@@ -430,12 +440,14 @@ class SweepCheckpoint:
 
     VERSION = 1
 
-    def __init__(self, path: str, key: str, flush_every: int = 1):
+    def __init__(self, path: str, key: str, flush_every: int = 1,
+                 settings: Optional[Dict[str, str]] = None):
         if flush_every < 1:
             raise ValueError("flush_every must be >= 1")
         self.path = str(path)
         self.key = key
         self.flush_every = flush_every
+        self.settings: Dict[str, str] = dict(settings or {})
         self.completed: Dict[str, Dict[str, Any]] = {}
         self.diagnostics: List[Any] = []
         self._pending = 0
@@ -445,14 +457,15 @@ class SweepCheckpoint:
         return f"{self.path}.bak"
 
     @classmethod
-    def _read_snapshot(cls, path: str, key: str):
+    def _read_snapshot(cls, path: str, key: str,
+                       settings: Optional[Dict[str, str]] = None):
         """Parse one snapshot file.
 
         Returns ``("ok", completed)``, ``("missing", None)``,
         ``("corrupt", reason)``, or raises
         :class:`~repro.errors.CheckpointError` for a *valid* file with
-        the wrong version or key (salvaging those would silently mix
-        sweeps).
+        the wrong version, key, or evaluation settings (salvaging those
+        would silently mix sweeps).
         """
         if not os.path.exists(path):
             return ("missing", None)
@@ -472,6 +485,20 @@ class SweepCheckpoint:
                 f"checkpoint {path} belongs to a different "
                 "sweep (program, machine, or grid changed); delete it or "
                 "drop --resume")
+        stored = payload.get("settings")
+        if (settings and isinstance(stored, dict)
+                and stored != dict(settings)):
+            drift = sorted(set(stored) | set(settings))
+            changes = "; ".join(
+                f"{name}: {stored.get(name, '<unset>')} -> "
+                f"{settings.get(name, '<unset>')}"
+                for name in drift
+                if stored.get(name) != settings.get(name))
+            raise CheckpointError(
+                f"[SKOP706] checkpoint {path} was written under "
+                f"different evaluation settings ({changes}); its points "
+                "are not comparable with this run — delete it or rerun "
+                "with the original settings")
         completed = payload.get("completed", {})
         if not isinstance(completed, dict):
             return ("corrupt", "'completed' is not an object")
@@ -485,20 +512,27 @@ class SweepCheckpoint:
 
     @classmethod
     def load(cls, path: str, key: str, resume: bool = False,
-             flush_every: int = 1) -> "SweepCheckpoint":
+             flush_every: int = 1,
+             settings: Optional[Dict[str, str]] = None,
+             ) -> "SweepCheckpoint":
         """Open a checkpoint, resuming prior progress when asked.
 
         ``resume=False`` starts fresh (an existing file is overwritten on
         the first flush).  ``resume=True`` loads completed points; a
         corrupt or truncated file is salvaged from the ``.bak`` snapshot
         (with a ``SKOP701`` diagnostic) rather than raised, while a
-        valid file written by a different sweep configuration or format
-        version still raises :class:`~repro.errors.CheckpointError`.
+        valid file written by a different sweep configuration, format
+        version, or evaluation ``settings`` fingerprint (``SKOP706``)
+        still raises :class:`~repro.errors.CheckpointError` — points
+        computed under a different backend, cache model, or executor are
+        not comparable and must never be silently merged.
         """
-        checkpoint = cls(path, key, flush_every=flush_every)
+        checkpoint = cls(path, key, flush_every=flush_every,
+                         settings=settings)
         if not resume:
             return checkpoint
-        state, value = cls._read_snapshot(checkpoint.path, key)
+        state, value = cls._read_snapshot(checkpoint.path, key,
+                                          settings=settings)
         if state == "ok":
             checkpoint.completed = value
             return checkpoint
@@ -507,7 +541,7 @@ class SweepCheckpoint:
             return checkpoint
         reason = value if state == "corrupt" else "file is missing"
         backup_state, backup_value = cls._read_snapshot(
-            checkpoint.backup_path, key)
+            checkpoint.backup_path, key, settings=settings)
         if backup_state == "ok":
             checkpoint.completed = backup_value
             checkpoint._note_salvage(
@@ -549,6 +583,8 @@ class SweepCheckpoint:
         """
         payload = {"version": self.VERSION, "key": self.key,
                    "completed": self.completed}
+        if self.settings:
+            payload["settings"] = self.settings
         tmp = f"{self.path}.tmp"
         with open(tmp, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)

@@ -552,14 +552,15 @@ class TestCheckpointResume:
                                              tmp_path):
         path = str(tmp_path / "sweep.json")
         values = [10e9, 20e9, 30e9]
-        first = sweep_machine(pedagogical_bet, BGQ, "bandwidth", values,
-                              checkpoint=path)
         recorder = CallRecorder(str(tmp_path / "resume.log"))
         counting = FaultInjector(RooflineModel, recorder=recorder)
+        first = sweep_machine(pedagogical_bet, BGQ, "bandwidth", values,
+                              model_factory=counting, checkpoint=path)
+        assert recorder.count() == 3
         resumed = sweep_machine(pedagogical_bet, BGQ, "bandwidth", values,
                                 model_factory=counting, checkpoint=path,
                                 resume=True)
-        assert recorder.count() == 0         # everything came from disk
+        assert recorder.count() == 3         # everything came from disk
         assert resumed.timings["resumed"] == 3.0
         assert resumed.runtime_curve() == first.runtime_curve()
         assert [p.machine.name for p in resumed.points] == \
@@ -572,6 +573,93 @@ class TestCheckpointResume:
         with pytest.raises(CheckpointError):
             sweep_grid(pedagogical_bet, BGQ, {"bandwidth": [99e9]},
                        checkpoint=path, resume=True)
+
+
+class TestCheckpointSettingsFingerprint:
+    """A resume under different evaluation semantics is refused with a
+    SKOP706 diagnostic instead of silently merging incomparable points.
+    """
+
+    GRID = {"bandwidth": [10e9, 20e9]}
+
+    def test_different_cache_model_refused(self, pedagogical_bet,
+                                           tmp_path):
+        from repro.hardware.cachemodel import (
+            ConstantCacheModel, RooflineFactory,
+        )
+        path = str(tmp_path / "grid.json")
+        sweep_grid(pedagogical_bet, BGQ, self.GRID, checkpoint=path)
+        factory = RooflineFactory(ConstantCacheModel(miss_rate=0.25))
+        with pytest.raises(CheckpointError, match="SKOP706") as err:
+            sweep_grid(pedagogical_bet, BGQ, self.GRID,
+                       model_factory=factory, checkpoint=path,
+                       resume=True)
+        assert "cache_model" in str(err.value)
+
+    def test_different_executor_refused(self, pedagogical_bet, tmp_path):
+        path = str(tmp_path / "grid.json")
+        sweep_grid(pedagogical_bet, BGQ, self.GRID, checkpoint=path,
+                   executor="serial")
+        with pytest.raises(CheckpointError, match="SKOP706") as err:
+            sweep_grid(pedagogical_bet, BGQ, self.GRID, checkpoint=path,
+                       resume=True, executor="pool")
+        assert "executor" in str(err.value)
+
+    def test_different_backend_refused(self, tmp_path):
+        pytest.importorskip("numpy")
+        from repro.parallel import clear_symbolic_cache, sweep_inputs
+        from repro.workloads import load
+        program, inputs = load("pedagogical")
+        path = str(tmp_path / "inputs.json")
+        axes = {"n": [float(v) for v in range(8, 16)]}
+        clear_symbolic_cache()
+        sweep_inputs(program, BGQ, axes, base_inputs=inputs,
+                     backend="vector", checkpoint=path)
+        with pytest.raises(CheckpointError, match="SKOP706") as err:
+            sweep_inputs(program, BGQ, axes, base_inputs=inputs,
+                         backend="scalar", checkpoint=path, resume=True)
+        assert "vector -> scalar" in str(err.value)
+
+    def test_same_settings_resume(self, pedagogical_bet, tmp_path):
+        path = str(tmp_path / "grid.json")
+        first = sweep_grid(pedagogical_bet, BGQ, self.GRID,
+                           checkpoint=path, executor="serial")
+        resumed = sweep_grid(pedagogical_bet, BGQ, self.GRID,
+                             checkpoint=path, resume=True,
+                             executor="serial")
+        assert resumed.timings["resumed"] == 2.0
+        assert [p.runtime for p in resumed.points] == \
+            [p.runtime for p in first.points]
+
+    def test_legacy_checkpoint_without_settings_resumes(
+            self, pedagogical_bet, tmp_path):
+        import json
+        path = str(tmp_path / "grid.json")
+        sweep_grid(pedagogical_bet, BGQ, self.GRID, checkpoint=path)
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        payload.pop("settings", None)   # file written before PR 8
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        resumed = sweep_grid(pedagogical_bet, BGQ, self.GRID,
+                             checkpoint=path, resume=True)
+        assert resumed.timings["resumed"] == 2.0
+
+    def test_factory_tag_is_stable(self):
+        from repro.hardware.cachemodel import (
+            AnalyticCacheModel, ECMFactory, RooflineFactory,
+        )
+        from repro.parallel import factory_tag
+        assert factory_tag(None) == "default"
+        tag = factory_tag(RooflineFactory(
+            AnalyticCacheModel(l1_size=32768, llc_size=2 ** 20)))
+        assert tag == factory_tag(RooflineFactory(
+            AnalyticCacheModel(l1_size=32768, llc_size=2 ** 20)))
+        assert " at 0x" not in tag
+        assert tag != factory_tag(ECMFactory(
+            AnalyticCacheModel(l1_size=32768, llc_size=2 ** 20)))
+        # reprs with memory addresses fall back to the type name
+        assert factory_tag(object()) == "builtins.object"
 
 
 def _grid_default_key(bet, grid, k=10):

@@ -1,0 +1,111 @@
+"""Property-based tests for the explorer's exactness guarantee.
+
+The frontier an exploration run reports must never be a surrogate
+artifact: every point, for any space shape, budget, and seed — and even
+when the exact evaluations ran under injected chaos on the pool executor
+— must be *bit-identical* to a from-scratch rebuild of the analytic
+model (fresh :func:`build_bet`, fresh machine, fresh projection).
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.sensitivity import project_with_model
+from repro.bet import build_bet
+from repro.explore import explore, verify_frontier
+from repro.hardware import BGQ, RooflineModel
+from repro.parallel import ChaosSchedule, clear_symbolic_cache
+from repro.parallel.engine import INPUT_PREFIX, _cell_machine
+from repro.workloads import load
+
+PROGRAM, BASE_INPUTS = load("pedagogical")
+
+COMMON = dict(suppress_health_check=[HealthCheck.too_slow],
+              deadline=None)
+
+# machine axes safe to override on BGQ plus one input axis; spaces are
+# drawn as subsets so shapes from 1-D to 3-D all get exercised
+_AXIS_POOL = {
+    "bandwidth": st.lists(
+        st.sampled_from([b * 1e9 for b in range(2, 40, 2)]),
+        min_size=2, max_size=5, unique=True),
+    "cores": st.lists(st.sampled_from([1.0, 2.0, 4.0, 8.0, 16.0, 32.0]),
+                      min_size=2, max_size=4, unique=True),
+    "input:n": st.lists(
+        st.sampled_from([float(n) for n in range(100, 3200, 100)]),
+        min_size=2, max_size=6, unique=True),
+}
+
+
+def spaces():
+    def build(chosen):
+        return {name: sorted(values) for name, values in chosen.items()}
+
+    return st.fixed_dictionaries(
+        {}, optional=_AXIS_POOL).filter(lambda d: len(d) >= 1).map(build)
+
+
+def _rederive(point, base_machine):
+    """Rebuild the analytic model from nothing for one frontier cell."""
+    input_part = {name[len(INPUT_PREFIX):]: value
+                  for name, value in point.cell.items()
+                  if name.startswith(INPUT_PREFIX)}
+    overrides = {name: value for name, value in point.cell.items()
+                 if not name.startswith(INPUT_PREFIX)}
+    machine = _cell_machine(base_machine, overrides)
+    bet = build_bet(PROGRAM, {**BASE_INPUTS, **input_part})
+    return project_with_model(bet, RooflineModel(machine), k=10)
+
+
+class TestFrontierExactness:
+    @given(space=spaces(),
+           seed=st.integers(min_value=0, max_value=2 ** 16),
+           budget=st.integers(min_value=8, max_value=40),
+           rounds=st.integers(min_value=0, max_value=3),
+           surrogate=st.sampled_from(["ridge", "tree"]))
+    @settings(max_examples=25, **COMMON)
+    def test_frontier_bit_identical_to_fresh_build(self, space, seed,
+                                                   budget, rounds,
+                                                   surrogate):
+        result = explore(space, BGQ, ["runtime", "memory_fraction"],
+                         program=PROGRAM, inputs=BASE_INPUTS,
+                         budget=budget, rounds=rounds, seed=seed,
+                         surrogate=surrogate)
+        assert result.frontier
+        assert result.evaluations <= budget
+        for point in result.frontier:
+            fresh = _rederive(point, BGQ)
+            assert fresh["runtime"] == point.runtime
+            assert fresh["memory_fraction"] == point.memory_fraction
+            assert point.objectives["runtime"] == fresh["runtime"]
+        assert verify_frontier(result, BGQ, program=PROGRAM,
+                               inputs=BASE_INPUTS) == len(result.frontier)
+
+    @given(seed=st.integers(min_value=0, max_value=2 ** 16))
+    @settings(max_examples=5, **COMMON)
+    def test_exact_under_seeded_chaos_on_pool(self, seed):
+        """Chaos-killed shards retry; the frontier stays exact."""
+        clear_symbolic_cache()
+        space = {"bandwidth": [5e9, 10e9, 20e9, 30e9],
+                 "cores": [1.0, 4.0, 16.0],
+                 "input:n": [200.0, 800.0, 1600.0]}
+        shards = 3
+        chaotic = explore(space, BGQ, ["runtime", "bandwidth:min"],
+                          program=PROGRAM, inputs=BASE_INPUTS,
+                          budget=18, rounds=2, seed=seed,
+                          executor="pool", workers=2, shards=shards,
+                          chaos=ChaosSchedule.seeded(seed, shards))
+        assert chaotic.frontier
+        for point in chaotic.frontier:
+            fresh = _rederive(point, BGQ)
+            assert fresh["runtime"] == point.runtime
+            assert fresh["memory_fraction"] == point.memory_fraction
+        # chaos may reorder work but never the result: the calm serial
+        # run lands on the same frontier
+        clear_symbolic_cache()
+        calm = explore(space, BGQ, ["runtime", "bandwidth:min"],
+                       program=PROGRAM, inputs=BASE_INPUTS,
+                       budget=18, rounds=2, seed=seed)
+        assert [p.as_dict() for p in calm.frontier] == \
+            [p.as_dict() for p in chaotic.frontier]

@@ -1,0 +1,111 @@
+"""Tests for the shared deterministic-randomness helper (`repro.rng`):
+stability of the SHA-256 derivations, equivalence with the legacy
+per-module hash code it replaced (retry jitter, seeded chaos), and the
+CounterRNG stream/shuffle/sampling utilities the explorer builds on.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.parallel import RetryPolicy
+from repro.parallel.chaos import ChaosSchedule
+from repro.rng import CounterRNG, integer, unit_fraction
+
+
+def _legacy_fraction(index, attempt):
+    """The pre-PR8 derivation RetryPolicy carried privately."""
+    digest = hashlib.sha256(f"{index}:{attempt}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") / 2.0 ** 64
+
+
+class TestDerivations:
+    def test_unit_fraction_range_and_determinism(self):
+        values = [unit_fraction(i, "x") for i in range(200)]
+        assert all(0.0 <= v < 1.0 for v in values)
+        assert values == [unit_fraction(i, "x") for i in range(200)]
+        assert len(set(values)) == 200
+
+    def test_unit_fraction_matches_legacy_retry_derivation(self):
+        for index in range(8):
+            for attempt in range(1, 5):
+                assert unit_fraction(index, attempt) == \
+                    _legacy_fraction(index, attempt)
+
+    def test_retry_jitter_unchanged_by_extraction(self):
+        policy = RetryPolicy(max_attempts=4, base_delay=0.1, jitter=0.5)
+        for index in (0, 3, 17):
+            for attempt in (1, 2, 3):
+                raw = min(0.1 * 2.0 ** (attempt - 1), policy.max_delay)
+                expected = raw * (1.0 + 0.5 * _legacy_fraction(index,
+                                                               attempt))
+                assert policy.delay(attempt, index) == expected
+
+    def test_seeded_chaos_unchanged_by_extraction(self):
+        schedule = ChaosSchedule.seeded(42, 12, kinds=("kill", "stall"),
+                                        events_per_kind=2)
+        # the same digest the old inline code computed
+        def legacy_pick(seed, kind, draw, modulus):
+            digest = hashlib.sha256(f"{seed}:{kind}:{draw}".encode())
+            return int.from_bytes(digest.digest()[:8], "big") % modulus
+        expected = []
+        for kind in ("kill", "stall"):
+            chosen, draw = [], 0
+            while len(chosen) < 2:
+                shard = legacy_pick(42, kind, draw, 12)
+                draw += 1
+                if shard not in chosen:
+                    chosen.append(shard)
+            expected.extend((kind, shard) for shard in sorted(chosen))
+        assert [(e.kind, e.shard) for e in schedule.events] == expected
+
+    def test_integer_bounds(self):
+        for modulus in (1, 2, 7, 1000):
+            values = [integer(modulus, "seed", i) for i in range(50)]
+            assert all(0 <= v < modulus for v in values)
+        with pytest.raises(ValueError):
+            integer(0, "seed")
+
+
+class TestCounterRNG:
+    def test_stream_is_deterministic(self):
+        a = CounterRNG("explore", 7)
+        b = CounterRNG("explore", 7)
+        assert [a.fraction() for _ in range(10)] == \
+            [b.fraction() for _ in range(10)]
+        assert a.counter == 10
+
+    def test_different_seeds_differ(self):
+        a = CounterRNG("explore", 7)
+        b = CounterRNG("explore", 8)
+        assert [a.fraction() for _ in range(10)] != \
+            [b.fraction() for _ in range(10)]
+
+    def test_shuffle_and_permutation(self):
+        items = list(range(20))
+        CounterRNG("shuffle", 1).shuffle(items)
+        assert sorted(items) == list(range(20))
+        assert items != list(range(20))
+        assert CounterRNG("shuffle", 1).permutation(20) == \
+            CounterRNG("shuffle", 1).permutation(20)
+
+    def test_sample_distinct(self):
+        rng = CounterRNG("sample", 0)
+        picked = rng.sample_distinct(1000, 30)
+        assert len(picked) == 30 == len(set(picked))
+        assert all(0 <= p < 1000 for p in picked)
+        assert picked == CounterRNG("sample", 0).sample_distinct(1000, 30)
+
+    def test_sample_distinct_excludes(self):
+        exclude = set(range(0, 1000, 2))
+        picked = CounterRNG("sample", 1).sample_distinct(1000, 40,
+                                                         exclude=exclude)
+        assert len(picked) == 40
+        assert not exclude.intersection(picked)
+
+    def test_sample_distinct_dense_request(self):
+        # more than half the population: switches to shuffled enumeration
+        picked = CounterRNG("dense", 0).sample_distinct(10, 8)
+        assert len(picked) == 8 == len(set(picked))
+        everything = CounterRNG("dense", 1).sample_distinct(5, 99)
+        assert sorted(everything) == list(range(5))
