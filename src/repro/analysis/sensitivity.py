@@ -61,6 +61,8 @@ class SweepResult:
     #: sweep driver
     timings: Dict[str, float] = field(default_factory=dict)
     failures: List = field(default_factory=list)
+    #: checkpoint-salvage and other sweep-level diagnostics (SKOP701…)
+    diagnostics: List = field(default_factory=list)
 
     @property
     def baseline(self) -> SweepPoint:
@@ -306,4 +308,6 @@ def sweep_machine(bet: BETNode,
                                     perf["compile_cache_hits"],
                                 "parse_cache_hits":
                                     perf["parse_cache_hits"]},
-                       failures=outcome.failures)
+                       failures=outcome.failures,
+                       diagnostics=(list(ckpt.diagnostics)
+                                    if ckpt is not None else []))

@@ -414,6 +414,53 @@ def build_parser() -> argparse.ArgumentParser:
     e.add_argument("id", help="experiment id, 'list', or 'all'")
     e.add_argument("--out", default="results",
                    help="directory for artifacts when id is 'all'")
+
+    serve_parser = sub.add_parser(
+        "serve", help="run the resilient analysis server (HTTP/JSON): "
+                      "admission control, load shedding, circuit-"
+                      "breaker degradation, streaming sweeps, graceful "
+                      "SIGTERM drain")
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=8177,
+                              help="listen port (0 picks a free port; "
+                                   "default 8177)")
+    serve_parser.add_argument("--queue-limit", type=int, default=64,
+                              dest="queue_limit",
+                              help="admission queue bound; past it "
+                                   "requests shed with 429/SKOP710")
+    serve_parser.add_argument("--tenant-queue-limit", type=int,
+                              default=16, dest="tenant_queue_limit",
+                              help="per-tenant share of the queue")
+    serve_parser.add_argument("--dispatchers", type=int, default=2,
+                              help="concurrent evaluation batches")
+    serve_parser.add_argument("--workers", type=int, default=1,
+                              help="engine worker processes per batch")
+    serve_parser.add_argument("--executor", default=None,
+                              choices=("serial", "pool", "multinode"),
+                              help="sharded dispatch substrate for "
+                                   "sweeps (default: in-process)")
+    serve_parser.add_argument("--shards", type=int, default=None,
+                              help="shard count for --executor")
+    serve_parser.add_argument("--checkpoint-dir", default=None,
+                              dest="checkpoint_dir",
+                              help="directory for client-named sweep "
+                                   "checkpoints (enables resumable and "
+                                   "drain-safe sweeps)")
+    serve_parser.add_argument("--deadline", type=float, default=30.0,
+                              help="default per-request deadline in "
+                                   "seconds")
+    serve_parser.add_argument("--breaker-threshold", type=int,
+                              default=3, dest="breaker_threshold",
+                              help="consecutive executor failures that "
+                                   "trip the circuit breaker")
+    serve_parser.add_argument("--breaker-cooldown", type=float,
+                              default=30.0, dest="breaker_cooldown",
+                              help="seconds the breaker stays open "
+                                   "before probing")
+    serve_parser.add_argument("--allow-chaos", action="store_true",
+                              dest="allow_chaos",
+                              help="honor per-request chaos schedules "
+                                   "(testing/benchmarks only)")
     return parser
 
 
@@ -922,6 +969,32 @@ def _run_all_experiments(out_dir: str) -> str:
     return "\n".join(lines)
 
 
+def _cmd_serve(args) -> int:
+    from .service import ServiceConfig, run as run_service
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        queue_limit=args.queue_limit,
+        tenant_queue_limit=args.tenant_queue_limit,
+        dispatchers=args.dispatchers,
+        engine_workers=args.workers,
+        executor=args.executor,
+        shards=args.shards,
+        checkpoint_dir=args.checkpoint_dir,
+        default_deadline_s=args.deadline,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown_s=args.breaker_cooldown,
+        allow_chaos=args.allow_chaos,
+    )
+    print(f"repro serve: listening on http://{config.host}:"
+          f"{config.port or '<auto>'} "
+          f"(queue={config.queue_limit}, "
+          f"executor={config.executor or 'in-process'}); "
+          "SIGTERM drains gracefully", file=sys.stderr)
+    run_service(config)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -954,6 +1027,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             output = _cmd_explore(args)
         elif args.command == "bet":
             output = _cmd_bet(args)
+        elif args.command == "serve":
+            return _cmd_serve(args)
         else:
             output = _cmd_experiment(args)
     except ReproError as exc:

@@ -34,6 +34,7 @@ orderable by source position, and JSON-round-trippable via
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Iterable, Iterator, List, Optional
 
@@ -91,6 +92,13 @@ CODES: Dict[str, str] = {
     "SKOP704": "corrupt shard result envelope detected",
     "SKOP705": "worker heartbeat lost; declared dead",
     "SKOP706": "checkpoint written under different evaluation settings",
+    # -- 71x: analysis service (admission, breaker, streaming) ----------
+    "SKOP710": "request shed by admission control (queue full)",
+    "SKOP711": "request deadline exceeded; partial results returned",
+    "SKOP712": "malformed or oversized service request rejected",
+    "SKOP713": "circuit breaker open; degraded constant-cache answer",
+    "SKOP714": "slow client stalled its send buffer; disconnected",
+    "SKOP715": "server draining; in-flight sweep checkpointed",
 }
 
 #: legacy lint code (W001…) -> stable diagnostic code
@@ -188,19 +196,40 @@ class DiagnosticSink:
     (``extend``), filter by severity, and render a compact report.  A
     ``limit`` bounds memory on hostile inputs: once full, further
     diagnostics are counted (``dropped``) but not stored.
+
+    Sinks are safe for concurrent producers: the analysis service shares
+    one sink across request tasks and worker threads, so the append /
+    limit / ``dropped`` accounting happens under a lock and every query
+    reads a consistent snapshot.  The lock is dropped on pickling
+    (diagnostics travel inside quarantined BETs across the sweep
+    engine's process boundary) and re-created on unpickling.
     """
 
     def __init__(self, limit: int = 1000):
         self.limit = limit
         self.dropped = 0
         self._items: List[Diagnostic] = []
+        self._lock = threading.Lock()
+
+    # -- pickling (the lock itself cannot cross a process boundary) -----
+    def __getstate__(self):
+        with self._lock:
+            return {"limit": self.limit, "dropped": self.dropped,
+                    "_items": list(self._items)}
+
+    def __setstate__(self, state):
+        self.limit = state["limit"]
+        self.dropped = state["dropped"]
+        self._items = list(state["_items"])
+        self._lock = threading.Lock()
 
     # -- collection -----------------------------------------------------
     def add(self, diagnostic: Diagnostic) -> Diagnostic:
-        if len(self._items) < self.limit:
-            self._items.append(diagnostic)
-        else:
-            self.dropped += 1
+        with self._lock:
+            if len(self._items) < self.limit:
+                self._items.append(diagnostic)
+            else:
+                self.dropped += 1
         return diagnostic
 
     def emit(self, code: str, message: str, **fields) -> Diagnostic:
@@ -215,32 +244,40 @@ class DiagnosticSink:
             self.add(diagnostic)
 
     # -- queries --------------------------------------------------------
+    def snapshot(self) -> List[Diagnostic]:
+        """Consistent copy of the stored diagnostics (safe to iterate
+        while other threads keep appending)."""
+        with self._lock:
+            return list(self._items)
+
     def __iter__(self) -> Iterator[Diagnostic]:
-        return iter(self._items)
+        return iter(self.snapshot())
 
     def __len__(self) -> int:
-        return len(self._items)
+        with self._lock:
+            return len(self._items)
 
     def __bool__(self) -> bool:
-        return bool(self._items)
+        with self._lock:
+            return bool(self._items)
 
     @property
     def errors(self) -> List[Diagnostic]:
-        return [d for d in self._items if d.severity == "error"]
+        return [d for d in self.snapshot() if d.severity == "error"]
 
     @property
     def warnings(self) -> List[Diagnostic]:
-        return [d for d in self._items if d.severity == "warning"]
+        return [d for d in self.snapshot() if d.severity == "warning"]
 
     def has_errors(self) -> bool:
-        return any(d.severity == "error" for d in self._items)
+        return any(d.severity == "error" for d in self.snapshot())
 
     def by_code(self, code: str) -> List[Diagnostic]:
-        return [d for d in self._items if d.code == code]
+        return [d for d in self.snapshot() if d.code == code]
 
     # -- presentation / serialization -----------------------------------
     def sorted(self) -> List[Diagnostic]:
-        return sorted(self._items, key=lambda d: d.sort_key)
+        return sorted(self.snapshot(), key=lambda d: d.sort_key)
 
     def render(self, show_snippets: bool = True) -> str:
         lines = [d.render(show_snippets) for d in self.sorted()]
@@ -264,5 +301,5 @@ class DiagnosticSink:
         return [d.as_dict() for d in self.sorted()]
 
     def __repr__(self):
-        return (f"<DiagnosticSink {len(self._items)} "
+        return (f"<DiagnosticSink {len(self)} "
                 f"({self.summary() or 'empty'})>")

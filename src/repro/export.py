@@ -178,6 +178,22 @@ def input_sweep_to_dict(result) -> Dict[str, Any]:
     }
 
 
+def grid_point_to_dict(point) -> Dict[str, Any]:
+    """One grid cell's projection, in the exact shape ``grid_to_dict``
+    embeds.  The analysis service streams points through this same
+    converter, so a served point is byte-comparable with a direct
+    :func:`~repro.parallel.sweep_grid` export."""
+    return {
+        "overrides": dict(point.overrides),
+        "machine": point.machine.name,
+        "runtime_seconds": point.runtime,
+        "memory_fraction": point.memory_fraction,
+        "top_spot": point.top_label,
+        "ranking": list(point.ranking[:10]),
+        "completeness": getattr(point, "completeness", 1.0),
+    }
+
+
 def grid_to_dict(result) -> Dict[str, Any]:
     """An N-dimensional design-space grid (:class:`GridResult`)."""
     return {
@@ -193,15 +209,7 @@ def grid_to_dict(result) -> Dict[str, Any]:
         "completeness": getattr(result, "completeness", 1.0),
         "diagnostics": diagnostics_to_dicts(
             getattr(result, "diagnostics", [])),
-        "points": [{
-            "overrides": dict(point.overrides),
-            "machine": point.machine.name,
-            "runtime_seconds": point.runtime,
-            "memory_fraction": point.memory_fraction,
-            "top_spot": point.top_label,
-            "ranking": list(point.ranking[:10]),
-            "completeness": getattr(point, "completeness", 1.0),
-        } for point in result.points],
+        "points": [grid_point_to_dict(point) for point in result.points],
         "failures": [failure.as_dict()
                      for failure in getattr(result, "failures", [])],
     }

@@ -5,6 +5,13 @@ analyses, BET builds) uses this cache instead of an unbounded dict, so a
 long co-design session — thousands of (workload, machine, ablation)
 points — holds a bounded working set, and hit/miss/eviction counters make
 the cache's behaviour testable and reportable.
+
+The cache optionally tracks an **owner** per entry (the analysis service
+uses the requesting tenant).  With ``owner_quota`` set, no single owner
+can hold more than its quota of entries: inserting past the quota evicts
+that owner's least-recently-used entry first, so one hot tenant cannot
+flush every other tenant's warm state out of a shared cache.
+``occupancy()`` reports entries per owner for the ``/statsz`` endpoint.
 """
 
 from __future__ import annotations
@@ -13,6 +20,9 @@ import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Hashable, Optional
+
+#: owner label used for entries inserted without an explicit owner
+SHARED_OWNER = "shared"
 
 
 @dataclass(slots=True)
@@ -28,11 +38,13 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    quota_evictions: int = 0
 
     def reset(self) -> None:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.quota_evictions = 0
 
     @property
     def requests(self) -> int:
@@ -45,7 +57,9 @@ class CacheStats:
 
     def as_dict(self) -> Dict[str, float]:
         return {"hits": self.hits, "misses": self.misses,
-                "evictions": self.evictions, "hit_rate": self.hit_rate}
+                "evictions": self.evictions,
+                "quota_evictions": self.quota_evictions,
+                "hit_rate": self.hit_rate}
 
     def __str__(self):
         return (f"hits={self.hits} misses={self.misses} "
@@ -60,15 +74,27 @@ class LRUCache:
     the least recently used entry and counts it in ``stats.evictions``.
     All operations take an internal lock, so one instance may back both
     the serial path and callers that memoize from worker callbacks.
+
+    ``owner_quota`` bounds how many entries one owner may hold; quota
+    evictions remove the *owner's* LRU entry and count separately in
+    ``stats.quota_evictions``.
     """
 
     _MISSING = object()
 
-    def __init__(self, maxsize: int = 128):
+    def __init__(self, maxsize: int = 128,
+                 owner_quota: Optional[int] = None):
         if maxsize < 1:
             raise ValueError(f"cache maxsize must be >= 1, got {maxsize}")
+        if owner_quota is not None and owner_quota < 1:
+            raise ValueError(
+                f"owner_quota must be >= 1, got {owner_quota}")
         self.maxsize = maxsize
+        self.owner_quota = owner_quota
         self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+        # owner -> its keys in recency order; key -> owner
+        self._owners: Dict[str, "OrderedDict[Hashable, None]"] = {}
+        self._owner_of: Dict[Hashable, str] = {}
         self._lock = threading.RLock()
         self.stats = CacheStats()
 
@@ -80,26 +106,66 @@ class LRUCache:
         with self._lock:
             return key in self._data
 
+    # -- owner bookkeeping (all called under the lock) ------------------
+    def _touch_owner(self, key: Hashable) -> None:
+        owner = self._owner_of.get(key)
+        if owner is not None:
+            self._owners[owner].move_to_end(key)
+
+    def _forget_key(self, key: Hashable) -> None:
+        owner = self._owner_of.pop(key, None)
+        if owner is not None:
+            keys = self._owners.get(owner)
+            if keys is not None:
+                keys.pop(key, None)
+                if not keys:
+                    del self._owners[owner]
+
+    def _insert(self, key: Hashable, value: Any, owner: str) -> None:
+        """Insert/refresh ``key`` and apply quota + global eviction."""
+        if key in self._data:
+            self._data.move_to_end(key)
+            if self._owner_of.get(key) != owner:
+                # the entry changed hands: re-home it before touching
+                self._forget_key(key)
+                self._owner_of[key] = owner
+                self._owners.setdefault(owner, OrderedDict())[key] = None
+            self._data[key] = value
+            self._touch_owner(key)
+        else:
+            if self.owner_quota is not None:
+                keys = self._owners.get(owner)
+                while keys and len(keys) >= self.owner_quota:
+                    victim = next(iter(keys))
+                    del self._data[victim]
+                    self._forget_key(victim)
+                    self.stats.quota_evictions += 1
+                    keys = self._owners.get(owner)
+            self._data[key] = value
+            self._owner_of[key] = owner
+            self._owners.setdefault(owner, OrderedDict())[key] = None
+        while len(self._data) > self.maxsize:
+            victim, _ = self._data.popitem(last=False)
+            self._forget_key(victim)
+            self.stats.evictions += 1
+
     def get(self, key: Hashable, default: Any = None) -> Any:
         with self._lock:
             if key in self._data:
                 self._data.move_to_end(key)
+                self._touch_owner(key)
                 self.stats.hits += 1
                 return self._data[key]
             self.stats.misses += 1
             return default
 
-    def put(self, key: Hashable, value: Any) -> None:
+    def put(self, key: Hashable, value: Any,
+            owner: str = SHARED_OWNER) -> None:
         with self._lock:
-            if key in self._data:
-                self._data.move_to_end(key)
-            self._data[key] = value
-            while len(self._data) > self.maxsize:
-                self._data.popitem(last=False)
-                self.stats.evictions += 1
+            self._insert(key, value, owner)
 
-    def get_or_create(self, key: Hashable,
-                      factory: Callable[[], Any]) -> Any:
+    def get_or_create(self, key: Hashable, factory: Callable[[], Any],
+                      owner: str = SHARED_OWNER) -> Any:
         """Return the cached value, computing and inserting it on a miss.
 
         ``factory`` runs outside the lock so expensive builds do not block
@@ -116,17 +182,17 @@ class LRUCache:
                 # value and count the hit under the same lock that guards
                 # the recency update
                 self._data.move_to_end(key)
+                self._touch_owner(key)
                 self.stats.hits += 1
                 return self._data[key]
-            self._data[key] = value
-            while len(self._data) > self.maxsize:
-                self._data.popitem(last=False)
-                self.stats.evictions += 1
+            self._insert(key, value, owner)
         return value
 
     def clear(self, reset_stats: bool = False) -> None:
         with self._lock:
             self._data.clear()
+            self._owners.clear()
+            self._owner_of.clear()
             if reset_stats:
                 # reset in place (never replace the object) so concurrent
                 # readers and held references stay consistent
@@ -137,6 +203,12 @@ class LRUCache:
         fields are mutually consistent even while workers record)."""
         with self._lock:
             return self.stats.as_dict()
+
+    def occupancy(self) -> Dict[str, int]:
+        """Entries currently held per owner (for ``/statsz``)."""
+        with self._lock:
+            return {owner: len(keys)
+                    for owner, keys in self._owners.items()}
 
     def keys(self):
         with self._lock:

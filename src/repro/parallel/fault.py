@@ -451,6 +451,11 @@ class SweepCheckpoint:
         self.completed: Dict[str, Dict[str, Any]] = {}
         self.diagnostics: List[Any] = []
         self._pending = 0
+        #: set False when the path cannot be written (missing parent,
+        #: path is a directory, permission denied): the sweep keeps
+        #: running, persistence is disabled, and one SKOP701 diagnostic
+        #: explains why — never a raw OSError mid-sweep
+        self.persist = True
 
     @property
     def backup_path(self) -> str:
@@ -510,6 +515,15 @@ class SweepCheckpoint:
             code="SKOP701", message=message, severity="warning",
             source_name=self.path, phase="sweep"))
 
+    def _path_problem(self) -> Optional[str]:
+        """Why this checkpoint path can never be written, or ``None``."""
+        if os.path.isdir(self.path):
+            return "the path is a directory"
+        parent = os.path.dirname(os.path.abspath(self.path))
+        if not os.path.isdir(parent):
+            return f"parent directory {parent!r} does not exist"
+        return None
+
     @classmethod
     def load(cls, path: str, key: str, resume: bool = False,
              flush_every: int = 1,
@@ -529,6 +543,20 @@ class SweepCheckpoint:
         """
         checkpoint = cls(path, key, flush_every=flush_every,
                          settings=settings)
+        problem = checkpoint._path_problem()
+        if problem is not None:
+            # an unusable path (missing directory, path *is* a
+            # directory) can neither be resumed from nor flushed to:
+            # reuse the SKOP701 salvage path so the sweep runs to
+            # completion with one clean diagnostic instead of dying on
+            # a raw OSError at the first flush
+            checkpoint.persist = False
+            checkpoint._note_salvage(
+                f"checkpoint path is unusable ({problem}); "
+                + ("resuming from an empty checkpoint and "
+                   if resume else "")
+                + "continuing without checkpoint persistence")
+            return checkpoint
         if not resume:
             return checkpoint
         state, value = cls._read_snapshot(checkpoint.path, key,
@@ -581,18 +609,29 @@ class SweepCheckpoint:
         either the main file or the backup is a complete valid snapshot
         and :meth:`load` finds it.
         """
+        if not self.persist:
+            self._pending = 0
+            return
         payload = {"version": self.VERSION, "key": self.key,
                    "completed": self.completed}
         if self.settings:
             payload["settings"] = self.settings
         tmp = f"{self.path}.tmp"
-        with open(tmp, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=2, sort_keys=True)
-            handle.flush()
-            os.fsync(handle.fileno())
-        if os.path.exists(self.path):
-            os.replace(self.path, self.backup_path)
-        os.replace(tmp, self.path)
+        try:
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+                handle.flush()
+                os.fsync(handle.fileno())
+            if os.path.exists(self.path):
+                os.replace(self.path, self.backup_path)
+            os.replace(tmp, self.path)
+        except OSError as exc:
+            # losing persistence must not lose the sweep: disable
+            # further flushes and surface one SKOP701 diagnostic
+            self.persist = False
+            self._note_salvage(
+                f"checkpoint cannot be written ({exc}); the sweep "
+                "continues without checkpoint persistence")
         self._pending = 0
 
 

@@ -1,0 +1,63 @@
+"""Modeling-as-a-service: the resilient async analysis server.
+
+``repro serve`` hosts the analytic pipeline behind an asyncio HTTP/JSON
+API (stdlib only — no web framework), built failure-first:
+
+* :mod:`.admission` — bounded tenant-fair queue, explicit load shedding
+  (429 + ``SKOP710`` + ``Retry-After``);
+* :mod:`.breaker` — circuit breaker around the executor substrate;
+  degraded constant-cache answers (``SKOP713``) while open;
+* :mod:`.coalesce` — merging compatible queued sweeps into shared
+  vector batches with per-subscriber fan-out;
+* :mod:`.http11` — defensive HTTP/1.1 framing with hard size caps;
+* :mod:`.server` — the service itself: dispatchers, streaming, graceful
+  SIGTERM drain with sweep checkpointing, ``/healthz`` and ``/statsz``.
+
+See DESIGN.md §14 for the request lifecycle and the failure matrix, and
+``benchmarks/bench_service.py`` for the chaos-driven load harness that
+gates this layer in CI.
+"""
+
+from .admission import (
+    AdmissionQueue, DEFAULT_TENANT, ServiceRequest, ShedDecision,
+)
+from .breaker import (
+    CLOSED, DEGRADED, HALF_OPEN, NORMAL, OPEN, PROBE, CircuitBreaker,
+)
+from .coalesce import Batch, SweepPlan, build_batch, plan_key
+from .http11 import (
+    MAX_BODY_BYTES, MAX_HEADER_BYTES, ProtocolError, Request,
+    read_request, response_bytes,
+)
+from .server import (
+    AnalysisService, ServiceConfig, ServiceHandle, run, start_in_thread,
+)
+
+__all__ = [
+    "AdmissionQueue",
+    "AnalysisService",
+    "Batch",
+    "CircuitBreaker",
+    "CLOSED",
+    "DEFAULT_TENANT",
+    "DEGRADED",
+    "HALF_OPEN",
+    "MAX_BODY_BYTES",
+    "MAX_HEADER_BYTES",
+    "NORMAL",
+    "OPEN",
+    "PROBE",
+    "ProtocolError",
+    "Request",
+    "ServiceConfig",
+    "ServiceHandle",
+    "ServiceRequest",
+    "ShedDecision",
+    "SweepPlan",
+    "build_batch",
+    "plan_key",
+    "read_request",
+    "response_bytes",
+    "run",
+    "start_in_thread",
+]

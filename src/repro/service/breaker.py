@@ -1,0 +1,121 @@
+"""A circuit breaker around the sweep executor pool.
+
+Repeated infrastructure failures (worker crashes, broken pools —
+the PR 7 executor fault family) trip the breaker **open**: instead of
+hammering a broken substrate, the service answers from the in-process
+serial path with the constant cache model and marks every such response
+``degraded`` with a ``SKOP713`` diagnostic.  After a cooldown the
+breaker **half-opens** and lets a bounded number of probe requests
+through the real executor; one probe success closes it again, one probe
+failure re-opens it for another cooldown.
+
+The breaker is deliberately clock-injectable and synchronous — the
+service calls it from the event loop only, so it needs no lock.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict
+
+#: breaker states
+CLOSED, OPEN, HALF_OPEN = "closed", "open", "half-open"
+
+#: what `route()` tells the caller to do with the next batch
+NORMAL, PROBE, DEGRADED = "normal", "probe", "degraded"
+
+
+class CircuitBreaker:
+    """Trip on consecutive infra failures; recover through probes."""
+
+    def __init__(self, threshold: int = 3, cooldown: float = 30.0,
+                 probes: int = 1,
+                 time_fn: Callable[[], float] = time.monotonic):
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        if probes < 1:
+            raise ValueError(f"probes must be >= 1, got {probes}")
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self.probes = probes
+        self._time = time_fn
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._inflight_probes = 0
+        # counters for /statsz and the load harness
+        self.trips = 0
+        self.probe_successes = 0
+        self.probe_failures = 0
+        self.failures_total = 0
+
+    @property
+    def state(self) -> str:
+        """Current state; an expired cooldown advances open→half-open."""
+        if (self._state == OPEN
+                and self._time() - self._opened_at >= self.cooldown):
+            self._state = HALF_OPEN
+            self._inflight_probes = 0
+        return self._state
+
+    def route(self) -> str:
+        """How the next batch should run.
+
+        ``normal`` — closed, use the real executor.  ``probe`` —
+        half-open and this caller holds a probe token (it must report
+        back with ``record(ok, probe=True)``).  ``degraded`` — serve
+        the constant-cache-model fallback.
+        """
+        state = self.state
+        if state == CLOSED:
+            return NORMAL
+        if state == HALF_OPEN and self._inflight_probes < self.probes:
+            self._inflight_probes += 1
+            return PROBE
+        return DEGRADED
+
+    def record(self, ok: bool, probe: bool = False) -> None:
+        """Report the outcome of a ``normal`` or ``probe`` batch."""
+        if probe:
+            self._inflight_probes = max(0, self._inflight_probes - 1)
+            if ok:
+                self.probe_successes += 1
+                self._state = CLOSED
+                self._consecutive_failures = 0
+            else:
+                self.probe_failures += 1
+                self.failures_total += 1
+                self._trip()
+            return
+        if ok:
+            if self._state == CLOSED:
+                self._consecutive_failures = 0
+            return
+        self.failures_total += 1
+        self._consecutive_failures += 1
+        if (self._state == CLOSED
+                and self._consecutive_failures >= self.threshold):
+            self._trip()
+
+    def _trip(self) -> None:
+        self._state = OPEN
+        self._opened_at = self._time()
+        self._consecutive_failures = 0
+        self._inflight_probes = 0
+        self.trips += 1
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "state": self.state,
+            "threshold": self.threshold,
+            "cooldown_seconds": self.cooldown,
+            "consecutive_failures": self._consecutive_failures,
+            "trips": self.trips,
+            "probe_successes": self.probe_successes,
+            "probe_failures": self.probe_failures,
+            "failures_total": self.failures_total,
+        }
+
+    def __repr__(self):
+        return (f"<CircuitBreaker {self.state} trips={self.trips} "
+                f"failures={self.failures_total}>")

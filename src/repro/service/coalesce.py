@@ -1,0 +1,114 @@
+"""Coalescing compatible sweep requests into shared evaluation batches.
+
+Two sweep requests are *compatible* when they differ only in which
+cells they want: same program (by content fingerprint), same base
+inputs, same machine, same top-``k``, cache model, and backend.  The
+dispatcher merges such requests into one :class:`Batch` whose cell list
+is the round-robin interleave of the members' cells with duplicates
+evaluated once — the PR 5 vector backend then amortizes one symbolic
+replay across everyone's points, and each subscriber gets exactly the
+points it asked for, in its own order.
+
+Requests that carry a checkpoint are never coalesced (their key embeds
+the request id): a checkpoint names *that* request's resumable work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..parallel.fault import factory_tag, overrides_key
+
+
+@dataclass
+class SweepPlan:
+    """A fully resolved sweep request, ready to evaluate."""
+
+    program: Any
+    inputs: Dict[str, float]
+    machine: Any
+    cells: List[Dict[str, float]]       #: row-major request cells
+    grid: Dict[str, List[float]]        #: the axes that produced them
+    k: int = 10
+    model_factory: Optional[Any] = None
+    cache_model: str = "constant"
+    backend: str = "auto"
+    checkpoint: Optional[str] = None    #: absolute path, when persistent
+    resume: bool = False
+    checkpoint_key: Optional[str] = None
+    chaos: Optional[Any] = None
+    key: Tuple = field(default_factory=tuple)   #: compatibility key
+
+    @property
+    def coalescable(self) -> bool:
+        return self.checkpoint is None and self.chaos is None
+
+
+def plan_key(plan: SweepPlan, request_id: int) -> Tuple:
+    """The compatibility key for ``plan``.
+
+    Non-coalescable plans (checkpointed, chaos-injected) get a key no
+    other request can share.
+    """
+    base = (
+        plan.program.fingerprint(),
+        tuple(sorted(plan.inputs.items())),
+        repr(plan.machine),
+        plan.k,
+        factory_tag(plan.model_factory),
+        plan.backend,
+    )
+    if not plan.coalescable:
+        return base + ("solo", request_id)
+    return base
+
+
+@dataclass
+class Batch:
+    """One merged evaluation unit over a group of compatible requests.
+
+    ``cells`` is deduplicated; ``routes[i]`` lists every
+    ``(request, local_index)`` subscribed to ``cells[i]``.
+    """
+
+    requests: List[Any]
+    cells: List[Dict[str, float]]
+    routes: List[List[Tuple[Any, int]]]
+
+    @property
+    def coalesced(self) -> bool:
+        return len(self.requests) > 1
+
+
+def build_batch(requests: List[Any]) -> Batch:
+    """Merge the group's cells, interleaved round-robin for fairness.
+
+    Interleaving means a small request coasting along with a large one
+    sees its points early instead of queued behind the big request's
+    tail; deduplication means a cell wanted by several subscribers is
+    computed once and fanned out.
+    """
+    cells: List[Dict[str, float]] = []
+    routes: List[List[Tuple[Any, int]]] = []
+    seen: Dict[str, int] = {}
+    cursors = [0] * len(requests)
+    remaining = sum(len(request.plan.cells) for request in requests)
+    while remaining:
+        for slot, request in enumerate(requests):
+            plan_cells = request.plan.cells
+            index = cursors[slot]
+            if index >= len(plan_cells):
+                continue
+            cursors[slot] += 1
+            remaining -= 1
+            cell = plan_cells[index]
+            cell_id = overrides_key(cell)
+            at = seen.get(cell_id)
+            if at is None:
+                seen[cell_id] = len(cells)
+                cells.append(cell)
+                routes.append([(request, index)])
+            else:
+                routes[at].append((request, index))
+    return Batch(requests=list(requests), cells=cells, routes=routes)

@@ -1,0 +1,194 @@
+"""Minimal HTTP/1.1 plumbing over asyncio streams (stdlib only).
+
+The analysis service speaks just enough HTTP for robust JSON request /
+response exchange: one request per connection, explicit
+``Content-Length`` bodies in, either a single JSON document or a
+``Transfer-Encoding: chunked`` stream of JSON lines out.  Everything
+here is defensive — header and body sizes are capped *before* the bytes
+are buffered, malformed framing raises :class:`ProtocolError` with the
+HTTP status and SKOP code the server should answer with, and a peer
+that disappears mid-read surfaces as a normal ``None``/exception rather
+than an unbounded wait.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from http import HTTPStatus
+from typing import Any, Dict, Optional
+from urllib.parse import parse_qsl, urlsplit
+
+#: request head (request line + headers) cap; far above any legit client
+MAX_HEADER_BYTES = 16 * 1024
+#: request body cap — a skeleton or sweep spec fits comfortably
+MAX_BODY_BYTES = 1 * 1024 * 1024
+
+
+class ProtocolError(Exception):
+    """A request the server refuses at the HTTP layer.
+
+    Carries the response ``status`` and the SKOP diagnostic ``code``
+    (``SKOP712`` for malformed/oversized requests) so the connection
+    handler can answer uniformly.
+    """
+
+    def __init__(self, status: int, message: str, code: str = "SKOP712"):
+        super().__init__(message)
+        self.status = int(status)
+        self.message = message
+        self.code = code
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    query: Dict[str, str] = field(default_factory=dict)
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self) -> Dict[str, Any]:
+        """The body as a JSON object; malformed JSON is a 400."""
+        if not self.body:
+            return {}
+        try:
+            payload = json.loads(self.body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise ProtocolError(
+                HTTPStatus.BAD_REQUEST, f"request body is not JSON: {exc}")
+        if not isinstance(payload, dict):
+            raise ProtocolError(
+                HTTPStatus.BAD_REQUEST,
+                "request body must be a JSON object")
+        return payload
+
+
+async def read_request(reader: asyncio.StreamReader,
+                       max_header_bytes: int = MAX_HEADER_BYTES,
+                       max_body_bytes: int = MAX_BODY_BYTES,
+                       timeout: float = 30.0) -> Optional[Request]:
+    """Read and parse one request; ``None`` on a clean pre-request EOF.
+
+    Raises :class:`ProtocolError` for anything the server should answer
+    with an error status (oversized head/body, bad framing, timeouts),
+    so a hostile or broken client costs one bounded read, never an
+    unbounded buffer.
+    """
+    try:
+        head = await asyncio.wait_for(
+            reader.readuntil(b"\r\n\r\n"), timeout)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError(HTTPStatus.BAD_REQUEST,
+                            "connection closed mid-request")
+    except asyncio.LimitOverrunError:
+        raise ProtocolError(
+            HTTPStatus.REQUEST_HEADER_FIELDS_TOO_LARGE,
+            f"request head exceeds {max_header_bytes} bytes")
+    except asyncio.TimeoutError:
+        raise ProtocolError(HTTPStatus.REQUEST_TIMEOUT,
+                            "timed out waiting for the request head")
+    if len(head) > max_header_bytes:
+        raise ProtocolError(
+            HTTPStatus.REQUEST_HEADER_FIELDS_TOO_LARGE,
+            f"request head exceeds {max_header_bytes} bytes")
+    try:
+        text = head.decode("latin-1")
+    except UnicodeDecodeError:  # pragma: no cover - latin-1 total
+        raise ProtocolError(HTTPStatus.BAD_REQUEST, "undecodable head")
+    lines = text.split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise ProtocolError(HTTPStatus.BAD_REQUEST,
+                            f"malformed request line {lines[0]!r}")
+    method, target = parts[0].upper(), parts[1]
+    split = urlsplit(target)
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        if ":" not in line:
+            raise ProtocolError(HTTPStatus.BAD_REQUEST,
+                                f"malformed header line {line!r}")
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    if headers.get("transfer-encoding", "").lower() == "chunked":
+        raise ProtocolError(HTTPStatus.LENGTH_REQUIRED,
+                            "chunked request bodies are not accepted")
+    raw_length = headers.get("content-length", "0")
+    try:
+        length = int(raw_length)
+    except ValueError:
+        raise ProtocolError(HTTPStatus.BAD_REQUEST,
+                            f"bad Content-Length {raw_length!r}")
+    if length < 0:
+        raise ProtocolError(HTTPStatus.BAD_REQUEST,
+                            f"bad Content-Length {raw_length!r}")
+    if length > max_body_bytes:
+        raise ProtocolError(
+            HTTPStatus.REQUEST_ENTITY_TOO_LARGE,
+            f"request body of {length} bytes exceeds the "
+            f"{max_body_bytes}-byte limit")
+    body = b""
+    if length:
+        try:
+            body = await asyncio.wait_for(
+                reader.readexactly(length), timeout)
+        except asyncio.IncompleteReadError:
+            raise ProtocolError(HTTPStatus.BAD_REQUEST,
+                                "connection closed mid-body")
+        except asyncio.TimeoutError:
+            raise ProtocolError(HTTPStatus.REQUEST_TIMEOUT,
+                                "timed out reading the request body")
+    return Request(method=method, path=split.path,
+                   query=dict(parse_qsl(split.query)),
+                   headers=headers, body=body)
+
+
+def _phrase(status: int) -> str:
+    try:
+        return HTTPStatus(status).phrase
+    except ValueError:  # pragma: no cover - non-standard status
+        return "Status"
+
+
+def response_bytes(status: int, payload: Any,
+                   extra_headers: Optional[Dict[str, str]] = None
+                   ) -> bytes:
+    """A complete single-document JSON response (connection closes)."""
+    body = json.dumps(payload, sort_keys=True, default=repr).encode()
+    lines = [f"HTTP/1.1 {int(status)} {_phrase(int(status))}",
+             "Content-Type: application/json",
+             f"Content-Length: {len(body)}",
+             "Connection: close"]
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+
+def stream_head_bytes(status: int = 200) -> bytes:
+    """Response head opening a chunked JSON-lines stream."""
+    lines = [f"HTTP/1.1 {int(status)} {_phrase(int(status))}",
+             "Content-Type: application/x-ndjson",
+             "Transfer-Encoding: chunked",
+             "Connection: close"]
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+
+def chunk_bytes(data: bytes) -> bytes:
+    """One HTTP chunk framing ``data``."""
+    return f"{len(data):x}\r\n".encode("latin-1") + data + b"\r\n"
+
+
+#: terminator of a chunked response
+LAST_CHUNK = b"0\r\n\r\n"
+
+
+def event_line(event: Dict[str, Any]) -> bytes:
+    """One JSON-lines stream event, newline terminated."""
+    return (json.dumps(event, sort_keys=True, default=repr) + "\n").encode()

@@ -78,6 +78,79 @@ class TestDiagnosticSink:
         assert "3 dropped" in sink.summary()
 
 
+class TestDiagnosticSinkThreadSafety:
+    """The analysis service shares one sink across request tasks and
+    worker threads; appends and queries must stay consistent."""
+
+    def test_concurrent_adds_account_exactly(self):
+        import threading
+        sink = DiagnosticSink(limit=500)
+        threads_n, each = 8, 200
+
+        def producer(tag):
+            for index in range(each):
+                sink.emit("SKOP301", f"{tag}:{index}",
+                          severity="warning")
+
+        threads = [threading.Thread(target=producer, args=(t,))
+                   for t in range(threads_n)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # stored + dropped == produced, stored == limit exactly
+        assert len(sink) == 500
+        assert sink.dropped == threads_n * each - 500
+
+    def test_queries_safe_while_appending(self):
+        import threading
+        sink = DiagnosticSink(limit=10_000)
+        stop = threading.Event()
+        errors = []
+
+        def producer():
+            index = 0
+            while not stop.is_set():
+                sink.emit("SKOP102", f"e{index}", severity="error")
+                index += 1
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    # each of these snapshots under the lock; none may
+                    # raise "list changed size during iteration"
+                    list(sink)
+                    sink.summary()
+                    sink.by_code("SKOP102")
+                    sink.sorted()
+                    bool(sink)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = ([threading.Thread(target=producer)
+                    for _ in range(4)]
+                   + [threading.Thread(target=reader)
+                      for _ in range(2)])
+        for thread in threads:
+            thread.start()
+        import time
+        time.sleep(0.3)
+        stop.set()
+        for thread in threads:
+            thread.join()
+        assert not errors
+
+    def test_pickle_roundtrip_recreates_lock(self):
+        sink = DiagnosticSink(limit=3)
+        for index in range(5):
+            sink.emit("SKOP301", f"w{index}", severity="warning")
+        clone = pickle.loads(pickle.dumps(sink))
+        assert len(clone) == 3 and clone.dropped == 2
+        # the clone's lock works: it can keep collecting
+        clone.emit("SKOP301", "more", severity="warning")
+        assert clone.dropped == 3
+
+
 class TestEvalBudget:
     def test_expr_depth_ceiling(self):
         expr = parse_expr("1" + " + 1" * 40)

@@ -4,6 +4,7 @@ checkpoint/resume, and the fault-injection harness itself — plus the
 acceptance scenarios from the issue (poisoned grid, kill-and-resume).
 """
 
+import os
 import pickle
 import time
 
@@ -398,6 +399,54 @@ class TestSweepCheckpoint:
         assert len(loaded) == 0
         codes = [diag.code for diag in loaded.diagnostics]
         assert "SKOP701" in codes
+
+    def test_missing_parent_dir_disables_persistence(self, tmp_path):
+        # Previously this returned an empty checkpoint that crashed
+        # with a raw FileNotFoundError on the first flush; now the
+        # unusable path is detected at load, persistence is disabled,
+        # and a SKOP701 diagnostic explains what happened.
+        path = str(tmp_path / "no" / "such" / "dir" / "ckpt.json")
+        loaded = SweepCheckpoint.load(path, sweep_key("a"), resume=True)
+        assert loaded.persist is False
+        codes = [diag.code for diag in loaded.diagnostics]
+        assert "SKOP701" in codes
+        # recording and flushing must not raise and must not create
+        # the missing directories
+        loaded.record("cell", {"x": 1})
+        loaded.flush()
+        assert not os.path.exists(path)
+
+    def test_directory_path_disables_persistence(self, tmp_path):
+        # os.replace() over a directory would have raised (or worse);
+        # a directory-shaped checkpoint path is refused up front.
+        loaded = SweepCheckpoint.load(str(tmp_path), sweep_key("a"),
+                                      resume=False)
+        assert loaded.persist is False
+        assert "SKOP701" in [d.code for d in loaded.diagnostics]
+        loaded.record("cell", {"x": 1})
+        loaded.flush()          # no-op, no exception
+
+    def test_sweep_surfaces_unusable_checkpoint_diagnostic(
+            self, pedagogical_bet, tmp_path):
+        path = str(tmp_path / "missing-dir" / "ckpt.json")
+        result = sweep_grid(pedagogical_bet, BGQ,
+                            {"bandwidth": [10e9, 20e9]},
+                            checkpoint=path, resume=True)
+        assert len(result.points) == 2
+        codes = [d.code for d in (result.diagnostics or [])]
+        assert "SKOP701" in codes
+
+    def test_cli_resume_with_unusable_checkpoint_is_clean(
+            self, capsys, tmp_path):
+        from repro.cli import main
+        path = str(tmp_path / "never-created" / "ckpt.json")
+        code = main(["sweep", "pedagogical",
+                     "--param", "bandwidth=10e9,20e9",
+                     "--checkpoint", path, "--resume"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "SKOP701" in out
+        assert "without checkpoint persistence" in out
 
     def test_corrupt_file_salvages_from_backup(self, tmp_path):
         path = str(tmp_path / "ckpt.json")

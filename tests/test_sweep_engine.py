@@ -77,7 +77,8 @@ class TestLRUCache:
     def test_stats_reporting(self):
         stats = CacheStats(hits=3, misses=1, evictions=2)
         assert stats.as_dict() == {"hits": 3, "misses": 1,
-                                   "evictions": 2, "hit_rate": 0.75}
+                                   "evictions": 2, "quota_evictions": 0,
+                                   "hit_rate": 0.75}
         assert "hit_rate=75%" in str(stats)
         assert CacheStats().hit_rate == 0.0
 
@@ -89,6 +90,47 @@ class TestLRUCache:
         assert value == 7
         assert len(calls) == 1
         assert cache.stats.hits == 2
+
+    # -- per-owner quotas: one hot tenant cannot flush a shared cache --
+
+    def test_quota_evicts_owner_lru_only(self):
+        cache = LRUCache(maxsize=8, owner_quota=2)
+        cache.put("a1", 1, owner="a")
+        cache.put("a2", 2, owner="a")
+        cache.put("b1", 3, owner="b")
+        cache.put("a3", 4, owner="a")     # evicts a1, a's LRU entry
+        assert "a1" not in cache
+        assert cache.get("a2") == 2 and cache.get("a3") == 4
+        assert cache.get("b1") == 3      # other owner untouched
+        assert cache.stats.quota_evictions == 1
+        assert cache.stats.evictions == 0
+
+    def test_occupancy_reports_per_owner(self):
+        cache = LRUCache(maxsize=8, owner_quota=4)
+        cache.put("a1", 1, owner="a")
+        cache.put("a2", 2, owner="a")
+        cache.put("b1", 3, owner="b")
+        cache.put("s", 4)                 # SHARED_OWNER
+        assert cache.occupancy() == {"a": 2, "b": 1, "shared": 1}
+
+    def test_rewrite_can_change_owner(self):
+        cache = LRUCache(maxsize=4, owner_quota=2)
+        cache.put("k", 1, owner="a")
+        cache.put("k", 2, owner="b")      # entry changes hands
+        assert cache.occupancy() == {"b": 1}
+        assert cache.get("k") == 2
+
+    def test_global_eviction_updates_owner_books(self):
+        cache = LRUCache(maxsize=2, owner_quota=2)
+        cache.put("a1", 1, owner="a")
+        cache.put("b1", 2, owner="b")
+        cache.put("b2", 3, owner="b")     # global eviction of a1
+        assert cache.occupancy() == {"b": 2}
+        assert cache.stats.evictions == 1
+
+    def test_quota_validation(self):
+        with pytest.raises(ValueError):
+            LRUCache(maxsize=4, owner_quota=0)
 
     def test_get_or_create_evicts_when_full(self):
         cache = LRUCache(maxsize=1)
@@ -312,7 +354,8 @@ class TestSweepGrid:
             assert key in result.timings
         assert result.timings["points"] == 2.0
         assert set(result.cache_stats) == \
-            {"hits", "misses", "evictions", "hit_rate"}
+            {"hits", "misses", "evictions", "quota_evictions",
+             "hit_rate"}
 
     def test_rejects_empty_grid(self, pedagogical_bet):
         with pytest.raises(AnalysisError):

@@ -50,6 +50,12 @@ def _headline(name, payload):
         if name == "shard":
             ratio = payload["throughput"]["overhead_ratio"]
             return f"sharded pool {ratio:.2f}x flat pool"
+        if name == "service":
+            verification = payload["verification"]
+            return (f"{payload['throughput_rps']:.0f} rps, "
+                    f"{verification['exact_points']} exact + "
+                    f"{verification['degraded_points']} degraded pts, "
+                    f"{payload['queue']['shed_total']} shed")
         if name == "cachemodel":
             return f"{len(payload.get('workloads', []))} workloads, " \
                    f"{payload.get('elapsed_s', 0.0):.1f}s"
