@@ -278,6 +278,55 @@ def verify_sweep_responses(outcomes, references, degraded_refs):
             "problems": problems}
 
 
+def bench_warm_restart():
+    """Cold vs pre-warmed first-request latency across drain/restart.
+
+    A first server (with ``warm_cache_path``) answers one analyze
+    request cold, then drains — snapshotting its cache descriptors.  A
+    restarted server pre-warms from the snapshot before accepting
+    traffic, so its first request hits hot BET and tape caches.  The
+    before/after latencies are recorded; the *gate* is the round-trip
+    itself (snapshot written, entries loaded, no errors), not the
+    timing, which is host-noise-sensitive.
+    """
+    import os
+    import tempfile
+    path = os.path.join(tempfile.mkdtemp(prefix="repro-warm-"),
+                        "warm.json")
+    timings = {}
+    first = start_in_thread(ServiceConfig(
+        port=0, dispatchers=1, warm_cache_path=path))
+    try:
+        started = time.perf_counter()
+        status_cold, _, _ = http_json(
+            first.port, "POST", "/analyze",
+            json.dumps({"workload": WORKLOAD}).encode())
+        timings["cold_first_analyze_s"] = time.perf_counter() - started
+    finally:
+        first.stop()
+    second = start_in_thread(ServiceConfig(
+        port=0, dispatchers=1, warm_cache_path=path))
+    try:
+        _, _, stats = http_json(second.port, "GET", "/statsz")
+        started = time.perf_counter()
+        status_warm, _, _ = http_json(
+            second.port, "POST", "/analyze",
+            json.dumps({"workload": WORKLOAD}).encode())
+        timings["warm_first_analyze_s"] = time.perf_counter() - started
+    finally:
+        second.stop()
+    warm = stats.get("warm_cache", {})
+    return {
+        **timings,
+        "speedup": (timings["cold_first_analyze_s"]
+                    / timings["warm_first_analyze_s"]),
+        "snapshot_written": os.path.exists(path),
+        "entries_loaded": warm.get("loaded", 0),
+        "load_errors": warm.get("errors", 0),
+        "requests_ok": status_cold == 200 and status_warm == 200,
+    }
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--full", action="store_true",
@@ -397,6 +446,8 @@ def main(argv=None):
     _, _, stats = http_json(handle.port, "GET", "/statsz")
     handle.stop()
 
+    warm_restart = bench_warm_restart()
+
     verification = verify_sweep_responses(outcomes, references,
                                           degraded_refs)
     by_status = {}
@@ -438,6 +489,11 @@ def main(argv=None):
             and verification["degraded_points"] > 0),
         "malformed_rejected_cleanly": rejects > 0,
         "throughput_floor": throughput >= 2.0,
+        "warm_cache_roundtrip": (
+            warm_restart["snapshot_written"]
+            and warm_restart["entries_loaded"] >= 1
+            and warm_restart["load_errors"] == 0
+            and warm_restart["requests_ok"]),
     }
 
     report = {
@@ -457,6 +513,7 @@ def main(argv=None):
         "queue": stats["queue"],
         "counters": counters,
         "health_after": health,
+        "warm_restart": warm_restart,
         "checks": checks,
     }
     pathlib.Path(args.output).write_text(
@@ -481,6 +538,11 @@ def main(argv=None):
         f"slow clients dropped: "
         f"{counters.get('slow_client_drops', 0)}, coalesced batches: "
         f"{counters.get('coalesced_batches', 0)}",
+        f"warm restart: cold first analyze "
+        f"{warm_restart['cold_first_analyze_s'] * 1e3:.1f}ms vs warm "
+        f"{warm_restart['warm_first_analyze_s'] * 1e3:.1f}ms "
+        f"({warm_restart['speedup']:.1f}x), "
+        f"{warm_restart['entries_loaded']} entries pre-warmed",
     ]
     text = "\n".join(lines)
     print(text)

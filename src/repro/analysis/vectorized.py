@@ -31,13 +31,23 @@ def _lanes(value, count: int):
     return _aops.np.full(count, value, dtype=_aops.np.float64)
 
 
-def project_batch(batch, model, k: int = 10) -> List[Optional[Dict]]:
+def project_batch(batch, model, k: int = 10,
+                  out: Optional[List[Optional[Dict]]] = None
+                  ) -> List[Optional[Dict]]:
     """Project every lane of a :class:`~repro.bet.symbolic.BatchBET`.
 
     Returns one ``project_with_model``-shaped dict per lane; lanes in the
     batch's ``bad`` mask get ``None`` (the caller re-binds them through
     the scalar path).  ``model`` is any block-time model whose arithmetic
     is shape-polymorphic (RooflineModel and ECMModel both are).
+
+    When the batch carries a non-contiguous ``lane_index`` map and the
+    caller passes ``out`` (a pre-sized mutable list), each lane's
+    projection is additionally scattered to ``out[lane_index[i]]`` —
+    ``None`` for bad lanes — so a lane group gathered from a
+    heterogeneous cell list lands back in original cell order without a
+    caller-side permutation pass.  Without a ``lane_index``, lanes
+    scatter to their own position.
     """
     np = _aops.np
     if np is None:                                    # pragma: no cover
@@ -124,12 +134,20 @@ def project_batch(batch, model, k: int = 10) -> List[Optional[Dict]]:
     report = getattr(batch.root, "meta", None)
     completeness = getattr(report, "completeness", 1.0)
     bad = batch.bad
+    lane_index = getattr(batch, "lane_index", None)
+
+    def scatter(lane: int, projection: Optional[Dict]) -> None:
+        if out is None:
+            return
+        target = lane_index[lane] if lane_index is not None else lane
+        out[target] = projection
 
     # -- per-lane assembly (pure Python floats: scalar sum semantics) ---
     results: List[Optional[Dict]] = []
     for lane in range(lanes):
         if bad[lane]:
             results.append(None)
+            scatter(lane, None)
             continue
         ranking: List[str] = []
         top_label = "-"
@@ -150,12 +168,14 @@ def project_batch(batch, model, k: int = 10) -> List[Optional[Dict]]:
                     hot_total = hot_total + p
                     hot_memory = hot_memory + row_m[pos]
                     taken += 1
-        results.append({
+        projection = {
             "runtime": runtime_row[lane],
             "ranking": ranking,
             "top_label": top_label,
             "memory_fraction": (hot_memory / hot_total
                                 if hot_total else 0.0),
             "completeness": completeness,
-        })
+        }
+        results.append(projection)
+        scatter(lane, projection)
     return results

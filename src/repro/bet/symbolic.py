@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import math
 from time import perf_counter
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from .. import arrayops as _aops
 from ..arrayops import is_array, truthy, vmin, vmax, vwhere
@@ -1447,7 +1447,9 @@ class SymbolicBET:
     #: alias — the sweep engine calls this per point
     rebind = bind
 
-    def rebind_batch(self, inputs: Dict[str, Any]) -> "BatchBET":
+    def rebind_batch(self, inputs: Dict[str, Any],
+                     lane_index: Optional[Sequence[int]] = None
+                     ) -> "BatchBET":
         """Replay the annotation tape once for a whole input sweep.
 
         ``inputs`` maps each input name to a 1-D sequence of values; lane
@@ -1457,6 +1459,14 @@ class SymbolicBET:
         the scalar path (shape divergence, domain errors, values outside
         float64's exact-integer range).  Masked lanes aside, annotations
         are bit-identical to a fresh scalar build per point.
+
+        ``lane_index`` is an optional non-contiguous index map: entry
+        *i* names the caller-side position lane *i* came from (a lane
+        group gathered from a heterogeneous cell list is not contiguous
+        in its chunk).  It is carried on the returned batch for
+        :func:`~repro.analysis.vectorized.project_batch` to scatter
+        results back into original order; it never affects the lane
+        arithmetic itself.
         """
         np = _aops.np
         if np is None:
@@ -1481,6 +1491,13 @@ class SymbolicBET:
             cols[name] = col
         if lanes < 1:
             raise ValueError("batch rebind needs at least one lane")
+        index_map: Optional[Tuple[int, ...]] = None
+        if lane_index is not None:
+            index_map = tuple(int(position) for position in lane_index)
+            if len(index_map) != lanes:
+                raise ValueError(
+                    f"lane_index has {len(index_map)} entries for "
+                    f"{lanes} lanes")
         if self._recorder is None or self._recorder.vtape is None:
             # (re)record with vector twins enabled; a builder error for
             # lane 0 propagates exactly as a scalar bind would raise it
@@ -1496,19 +1513,22 @@ class SymbolicBET:
         with np.errstate(all="ignore"):
             try:
                 self._recorder.replay_batch(cols, sink)
-                batch = BatchBET(self._root, sink, cols)
+                batch = BatchBET(self._root, sink, cols,
+                                 lane_index=index_map)
             except Exception:
                 # unexpected replay failure: every lane takes the scalar
                 # path, which reproduces the canonical result or error
                 sink.bad |= True
                 try:
-                    batch = BatchBET(self._root, sink, cols)
+                    batch = BatchBET(self._root, sink, cols,
+                                     lane_index=index_map)
                 except Exception:
                     sink.prob.clear()
                     sink.num_iter.clear()
                     sink.metrics.clear()
                     sink.ctx.clear()
-                    batch = BatchBET(self._root, sink, cols)
+                    batch = BatchBET(self._root, sink, cols,
+                                     lane_index=index_map)
         fallback = int(np.count_nonzero(sink.bad))
         self.stats["batch_replays"] += 1
         self.stats["batch_seconds"] += perf_counter() - started
@@ -1543,6 +1563,7 @@ class SymbolicBET:
         self.entry = state["entry"]
         self.library = state["library"]
         self.builder_kwargs = state["builder_kwargs"]
+        self.budget = self.builder_kwargs.get("budget")
         self.stats = state["stats"]
         for key in ("batch_replays", "batch_seconds",
                     "lanes_vectorized", "lanes_fallback"):
@@ -1560,17 +1581,23 @@ class BatchBET:
     absent from the sink are input-independent — their recorded scalar
     annotations hold for every lane.  ``bad`` flags lanes that must be
     re-bound through the scalar path instead of read from here.
+    ``lane_index`` (optional) maps lane *i* to the caller-side position
+    it was gathered from; consumers use it to scatter per-lane results
+    back into non-contiguous original order.
     """
 
-    __slots__ = ("root", "sink", "cols", "lanes", "bad", "_enr")
+    __slots__ = ("root", "sink", "cols", "lanes", "bad", "lane_index",
+                 "_enr")
 
     def __init__(self, root: BETNode, sink: _BatchSink,
-                 cols: Dict[str, Any]):
+                 cols: Dict[str, Any],
+                 lane_index: Optional[Tuple[int, ...]] = None):
         self.root = root
         self.sink = sink
         self.cols = cols
         self.lanes = sink.lanes
         self.bad = sink.bad
+        self.lane_index = lane_index
         self._enr: Dict[BETNode, Any] = {}
         # same multiplication order as BETNode.compute_enr, so lane
         # values are bit-identical to a scalar build's enr fill

@@ -461,6 +461,11 @@ def build_parser() -> argparse.ArgumentParser:
                               dest="allow_chaos",
                               help="honor per-request chaos schedules "
                                    "(testing/benchmarks only)")
+    serve_parser.add_argument("--warm-cache", metavar="PATH",
+                              dest="warm_cache", default=None,
+                              help="snapshot per-tenant BET/tape cache "
+                                   "keys here on SIGTERM drain and "
+                                   "pre-warm them on the next start")
     return parser
 
 
@@ -811,6 +816,14 @@ def _cmd_explore(args) -> str:
             if name in timings:
                 lines.append(f"  {name + ' seconds':<24} "
                              f"{timings[name]:.6f}")
+        counters = dict(getattr(result, "cache_stats", None) or {})
+        if counters:
+            lines.append("lane stats:")
+            for name in sorted(counters):
+                value = counters[name]
+                if isinstance(value, float) and value == int(value):
+                    value = int(value)
+                lines.append(f"  {name:<24} {value}")
         output += "\n" + "\n".join(lines)
     return output
 
@@ -984,6 +997,7 @@ def _cmd_serve(args) -> int:
         default_deadline_s=args.deadline,
         breaker_threshold=args.breaker_threshold,
         breaker_cooldown_s=args.breaker_cooldown,
+        warm_cache_path=args.warm_cache,
         allow_chaos=args.allow_chaos,
     )
     print(f"repro serve: listening on http://{config.host}:"

@@ -40,6 +40,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from .. import arrayops as _aops
 from ..analysis.sensitivity import project_with_model
 from ..bet.builder import build_bet
 from ..errors import AnalysisError
@@ -119,6 +120,9 @@ class ExploreResult:
     executor: str = ""
     failures: int = 0
     diagnostics: List[Any] = field(default_factory=list)
+    #: engine cache/lane counters summed over every exact round
+    #: (lanes_vectorized / lanes_fallback / lane_groups, ...)
+    cache_stats: Dict[str, float] = field(default_factory=dict)
 
     @property
     def eval_fraction(self) -> float:
@@ -312,6 +316,7 @@ def explore(axes: Dict[str, Sequence[float]],
     evaluated_order: List[int] = []
     failures = 0
     diagnostics: List[Any] = []
+    cache_stats: Dict[str, float] = {}
     eval_seconds = 0.0
     result_backend = ""
     result_executor = ""
@@ -331,6 +336,8 @@ def explore(axes: Dict[str, Sequence[float]],
             checkpoint_key=checkpoint_key, validate=False)
         eval_seconds += batch.timings.get("total", 0.0)
         failures += len(batch.failures)
+        for name, value in (batch.cache_stats or {}).items():
+            cache_stats[name] = cache_stats.get(name, 0.0) + value
         diagnostics.extend(batch.diagnostics)
         result_backend = batch.backend
         result_executor = batch.executor
@@ -509,7 +516,8 @@ def explore(axes: Dict[str, Sequence[float]],
         backend=result_backend,
         executor=result_executor,
         failures=failures,
-        diagnostics=diagnostics)
+        diagnostics=diagnostics,
+        cache_stats=cache_stats)
 
 
 def verify_frontier(result: ExploreResult,
@@ -528,7 +536,11 @@ def verify_frontier(result: ExploreResult,
     :func:`~repro.analysis.sensitivity.project_with_model`; the
     re-derived runtime, memory fraction, and objective values must be
     **bit-identical** (``==``, not approximately) to what the explorer
-    reported.  Returns the number of points verified.
+    reported.  A second pass then re-evaluates the whole frontier as
+    one :func:`~repro.parallel.evaluate_cells` batch through the
+    grouped vector path (when numpy and input axes allow), proving the
+    lane-batched dispatch agrees with the per-point scratch builds.
+    Returns the number of points verified.
     """
     for frontier_point in result.frontier:
         machine_part, input_part = _split_cell(frontier_point.cell)
@@ -568,4 +580,40 @@ def verify_frontier(result: ExploreResult,
                 "frontier point is not bit-identical to a fresh build "
                 f"at cell {overrides_key(frontier_point.cell)}: "
                 + "; ".join(drift))
+    if result.frontier:
+        cells = [dict(frontier_point.cell)
+                 for frontier_point in result.frontier]
+        has_input_axes = any(name.startswith(INPUT_PREFIX)
+                             for cell in cells for name in cell)
+        cross_backend = ("vector" if _aops.HAVE_NUMPY and has_input_axes
+                         else "scalar")
+        batch_bet = bet
+        if batch_bet is None and not has_input_axes:
+            # machine-only cells need a built BET; the per-point pass
+            # above guarantees program is not None here
+            batch_bet = build_bet(program, inputs=dict(inputs or {}),
+                                  entry=entry, library=library)
+        batch = evaluate_cells(
+            base_machine, cells, bet=batch_bet, program=program,
+            inputs=inputs, entry=entry, library=library,
+            model_factory=model_factory, k=k,
+            backend=cross_backend, validate=False)
+        by_key = {overrides_key(point.overrides): point
+                  for point in batch.points}
+        for frontier_point in result.frontier:
+            point = by_key.get(overrides_key(frontier_point.cell))
+            if point is None:
+                raise AnalysisError(
+                    "grouped re-evaluation failed for frontier cell "
+                    f"{overrides_key(frontier_point.cell)}")
+            if (point.runtime != frontier_point.runtime
+                    or point.memory_fraction
+                    != frontier_point.memory_fraction):
+                raise AnalysisError(
+                    f"grouped ({cross_backend}) re-evaluation is not "
+                    "bit-identical to the frontier at cell "
+                    f"{overrides_key(frontier_point.cell)}: runtime "
+                    f"{point.runtime!r} != {frontier_point.runtime!r} "
+                    f"or memory_fraction {point.memory_fraction!r} != "
+                    f"{frontier_point.memory_fraction!r}")
     return len(result.frontier)

@@ -47,6 +47,9 @@ from ..hardware.roofline import RooflineModel
 from ..skeleton.bst import Program
 from .cache import CacheStats, LRUCache
 from .executors import SweepExecutor, resolve_executor
+from .lanes import (
+    INPUT_PREFIX, LanePack, pack_cells, plan_lane_chunks, split_overrides,
+)
 from .fault import (
     MapOutcome, PointFailure, RetryPolicy, SweepCheckpoint, factory_tag,
     overrides_key, resilient_map, sweep_key,
@@ -582,12 +585,38 @@ def _evaluate_cell_list(cells: List[Dict[str, float]],
                 ckpt.record(overrides_key(cells[global_index]),
                             _grid_point_to_dict(point))
 
+        lane_chunks: Optional[List[List[int]]] = None
+        if backend == "vector" and pending_cells:
+            # grouped dispatch (DESIGN.md §15): partition the pending
+            # cells by machine signature so every shipped chunk — the
+            # shard unit — is one lane-group slice, then pack each
+            # vector-eligible chunk as a columnar SoA payload instead of
+            # N per-point dicts
+            width = (resolved_executor.width
+                     if resolved_executor is not None else workers)
+            if resolved_executor is not None and shards:
+                group_size = max(1, -(-len(pending_cells)
+                                      // max(1, int(shards))))
+            elif chunk_size is not None:
+                group_size = max(1, chunk_size)
+            else:
+                group_size = _auto_chunk_size(len(pending_cells), width,
+                                              vector=True)
+            lane_chunks = plan_lane_chunks(pending_cells, group_size)
+
+        def grid_chunk_payload(chunk):
+            shipped: Any = None
+            if backend == "vector":
+                shipped = pack_cells(chunk)
+            if shipped is None:
+                shipped = list(chunk)
+            return (sym, base_machine, shipped, base_inputs,
+                    model_factory, k, backend)
+
         try:
             computed, failures, stages = _run_chunked(
                 pending_cells, pending_indices,
-                chunk_payload=lambda chunk: (sym, base_machine,
-                                             list(chunk), base_inputs,
-                                             model_factory, k, backend),
+                chunk_payload=grid_chunk_payload,
                 point_payload=lambda overrides: (sym, base_machine,
                                                  overrides, base_inputs,
                                                  model_factory, k),
@@ -597,7 +626,8 @@ def _evaluate_cell_list(cells: List[Dict[str, float]],
                 workers=workers, strict=strict, policy=policy,
                 timeout=timeout, chunk_size=chunk_size,
                 executor=resolved_executor, shards=shards,
-                shard_stats=shard_stats)
+                shard_stats=shard_stats, chunks=lane_chunks,
+                vector=(backend == "vector"))
         finally:
             if ckpt is not None:
                 ckpt.flush()
@@ -677,6 +707,7 @@ def _evaluate_cell_list(cells: List[Dict[str, float]],
             bet_batch_replays=stages.get("bet_batch_replays", 0.0),
             lanes_vectorized=stages.get("bet_lanes_vectorized", 0.0),
             lanes_fallback=stages.get("bet_lanes_fallback", 0.0),
+            lane_groups=stages.get("lane_groups", 0.0),
             compiles=stages.get("compiles", 0.0),
             compile_cache_hits=stages.get("compile_cache_hits", 0.0),
             parse_cache_hits=stages.get("parse_cache_hits", 0.0))
@@ -694,9 +725,6 @@ def _evaluate_cell_list(cells: List[Dict[str, float]],
 
 # -- input-axis sweeps (symbolic rebind) --------------------------------------
 
-#: axis-name prefix marking an input (workload) parameter in a mixed grid
-INPUT_PREFIX = "input:"
-
 #: ``backend="auto"`` picks the vector backend at this many input points —
 #: below it the batch-replay setup costs more than it saves
 VECTOR_MIN_POINTS = 64
@@ -706,24 +734,36 @@ VECTOR_MIN_POINTS = 64
 _MIN_CHUNK_POINTS = 16
 
 
-def _auto_chunk_size(total: int, workers: int) -> int:
+def _auto_chunk_size(total: int, workers: int,
+                     vector: bool = False) -> int:
     """Points per chunk: about four chunks per worker, floored so tiny
-    sweeps on many workers do not degenerate into one-point chunks."""
+    sweeps on many workers do not degenerate into one-point chunks.
+
+    On a vector-backend sweep (``vector=True``) the floor rises to
+    :data:`VECTOR_MIN_POINTS`: a chunk is one ``rebind_batch`` lane
+    array, and splitting a vector-eligible group below the
+    auto-vectorization threshold would leave its lanes running scalar
+    for no reason.
+    """
     if total <= 0:
         return 1
     if workers <= 1:
         return total
+    floor = VECTOR_MIN_POINTS if vector else _MIN_CHUNK_POINTS
     per_worker = -(-total // (workers * 4))
-    return max(1, min(total, max(per_worker, _MIN_CHUNK_POINTS)))
+    return max(1, min(total, max(per_worker, floor)))
 
 
 def _resolve_backend(backend: str, points: int, has_machine_axes: bool,
                      has_input_axes: bool = True) -> str:
     """Validate and resolve a sweep's ``backend`` choice.
 
-    ``auto`` picks ``vector`` only when it is a clear win: numpy present,
-    a pure input sweep (no per-point machine overrides), and at least
-    :data:`VECTOR_MIN_POINTS` points to amortize the batch setup.
+    ``auto`` picks ``vector`` when it is a clear win: numpy present,
+    input axes to batch over, and at least :data:`VECTOR_MIN_POINTS`
+    points to amortize the batch setup.  Mixed machine×input cell lists
+    qualify too — the grouped dispatch path partitions them into
+    machine-signature lane groups (DESIGN.md §15) so each group replays
+    as one lane array.
     """
     if backend not in ("scalar", "vector", "auto"):
         raise AnalysisError(
@@ -737,7 +777,7 @@ def _resolve_backend(backend: str, points: int, has_machine_axes: bool,
                                 "axes; this sweep has none")
         return "vector"
     if backend == "auto" and _aops.HAVE_NUMPY and has_input_axes \
-            and not has_machine_axes and points >= VECTOR_MIN_POINTS:
+            and points >= VECTOR_MIN_POINTS:
         return "vector"
     return "scalar"
 
@@ -821,16 +861,9 @@ def _stage_delta(sym: SymbolicBET, before: Dict[str, float],
             for name in after}
 
 
-def _split_overrides(
-        overrides: Dict[str, float]
-) -> Tuple[Dict[str, float], Dict[str, float]]:
-    """Partition one cell into (machine overrides, input bindings)."""
-    machine_part = {name: value for name, value in overrides.items()
-                    if not name.startswith(INPUT_PREFIX)}
-    input_part = {name[len(INPUT_PREFIX):]: value
-                  for name, value in overrides.items()
-                  if name.startswith(INPUT_PREFIX)}
-    return machine_part, input_part
+#: partition one cell into (machine overrides, input bindings) — the
+#: canonical definition lives with the lane planner in :mod:`.lanes`
+_split_overrides = split_overrides
 
 
 def _run_chunked(items: Sequence,
@@ -848,7 +881,9 @@ def _run_chunked(items: Sequence,
                  chunk_size: Optional[int],
                  executor: Optional[SweepExecutor] = None,
                  shards: Optional[int] = None,
-                 shard_stats: Optional[Dict[str, float]] = None):
+                 shard_stats: Optional[Dict[str, float]] = None,
+                 chunks: Optional[List[List[int]]] = None,
+                 vector: bool = False):
     """Chunked two-phase dispatch shared by the input-sweep paths.
 
     Phase 1 ships contiguous chunks so each worker amortizes one symbolic
@@ -859,6 +894,15 @@ def _run_chunked(items: Sequence,
     semantics are configured — exactly PR 2's per-point fault model —
     and otherwise converts the captured errors straight into
     :class:`PointFailure` records.
+
+    ``chunks`` overrides the default contiguous slicing with explicit
+    position lists into ``items`` (they must form a partition) — the
+    grouped vector path passes lane-group-aligned chunks so each shipped
+    chunk is one lane-group slice; results still scatter back through
+    the caller's ``indices``, bit-identically to contiguous dispatch.
+    ``vector=True`` only raises the automatic chunk-size floor to
+    :data:`VECTOR_MIN_POINTS` (lane-group slices should not be starved
+    below the batching threshold).
 
     With an ``executor``, phase 1 routes through the
     :class:`~repro.parallel.shard.ShardScheduler` instead of
@@ -877,14 +921,22 @@ def _run_chunked(items: Sequence,
     counters are merged into the caller's ``shard_stats`` dict.
     """
     total = len(items)
-    if executor is not None and shards:
-        chunk_size = max(1, -(-total // max(1, int(shards))))
-    elif chunk_size is None:
-        chunk_size = _auto_chunk_size(
-            total, executor.width if executor is not None else workers)
-    chunk_size = max(1, chunk_size)
-    starts = list(range(0, total, chunk_size))
-    chunk_items = [items[start:start + chunk_size] for start in starts]
+    if chunks is None:
+        if executor is not None and shards:
+            chunk_size = max(1, -(-total // max(1, int(shards))))
+        elif chunk_size is None:
+            chunk_size = _auto_chunk_size(
+                total, executor.width if executor is not None else workers,
+                vector=vector)
+        chunk_size = max(1, chunk_size)
+        chunks = [list(range(start, min(start + chunk_size, total)))
+                  for start in range(0, total, chunk_size)]
+    else:
+        chunks = [list(positions) for positions in chunks if positions]
+        chunk_size = max((len(positions) for positions in chunks),
+                         default=1)
+    chunk_items = [[items[position] for position in positions]
+                   for positions in chunks]
     payloads = [chunk_payload(chunk) for chunk in chunk_items]
 
     computed: Dict[int, Any] = {}
@@ -896,7 +948,7 @@ def _run_chunked(items: Sequence,
         for name, value in stats.items():
             stages[name] = stages.get(name, 0.0) + value
         for offset, row in enumerate(rows):
-            global_index = indices[starts[local] + offset]
+            global_index = indices[chunks[local][offset]]
             if row[0] == "ok":
                 computed[global_index] = row[1]
                 record(global_index, row[1])
@@ -917,17 +969,15 @@ def _run_chunked(items: Sequence,
             error = run.quarantined[shard_id]
             if strict:
                 raise error
-            start = starts[shard_id]
-            for offset in range(len(chunk_items[shard_id])):
-                global_index = indices[start + offset]
+            for position in chunks[shard_id]:
                 quarantine_failures.append(PointFailure(
-                    index=global_index,
+                    index=indices[position],
                     error_type=error.error_type,
                     message=(f"shard {shard_id} quarantined after "
                              f"{error.attempts} attempts: "
                              f"{error.message}"),
                     traceback="", attempts=error.attempts,
-                    item=describe(items[start + offset])))
+                    item=describe(items[position])))
     else:
         outcome = resilient_map(
             chunk_task, payloads, workers=workers, policy=None,
@@ -936,9 +986,8 @@ def _run_chunked(items: Sequence,
             describe=lambda payload: f"chunk[{len(payload[2])} points]",
             on_point=on_chunk)
         for failure in outcome.failures:
-            start = starts[failure.index]
-            for offset in range(len(chunk_items[failure.index])):
-                fail_rows[indices[start + offset]] = failure
+            for position in chunks[failure.index]:
+                fail_rows[indices[position]] = failure
 
     failures: List[PointFailure] = []
     if fail_rows:
@@ -1169,7 +1218,9 @@ def _input_chunk_task(payload):
         vectored = _vector_input_rows(sym, model, combos, base_inputs, k)
         if vectored is not None:
             rows, project_seconds = vectored
-            return rows, _stage_delta(sym, before, project_seconds)
+            delta = _stage_delta(sym, before, project_seconds)
+            delta["lane_groups"] = 1.0   # one lane array per input chunk
+            return rows, delta
     project_seconds = 0.0
     rows = []
     for combo in combos:
@@ -1324,7 +1375,7 @@ def sweep_inputs(program: Program, machine: MachineModel, axes,
             workers=workers, strict=strict, policy=policy,
             timeout=timeout, chunk_size=chunk_size,
             executor=resolved_executor, shards=shards,
-            shard_stats=shard_stats)
+            shard_stats=shard_stats, vector=(backend == "vector"))
     finally:
         if ckpt is not None:
             ckpt.flush()
@@ -1362,6 +1413,7 @@ def sweep_inputs(program: Program, machine: MachineModel, axes,
                                                   0.0),
                    "lanes_fallback": stages.get("bet_lanes_fallback",
                                                 0.0),
+                   "lane_groups": stages.get("lane_groups", 0.0),
                    "compiles": stages.get("compiles", 0.0),
                    "compile_cache_hits": stages.get("compile_cache_hits",
                                                     0.0),
@@ -1384,7 +1436,10 @@ def _vector_grid_rows(sym: SymbolicBET, base_machine: MachineModel,
     Cells sharing one set of machine overrides form an input batch
     against a single timing model (our models depend only on the
     machine's numeric fields, which are identical across a group).
-    Returns ``(rows, project_seconds)``; lanes that cannot be vectorized
+    Each group's lane array carries the group's slot positions as a
+    non-contiguous lane index map, so :func:`project_batch` scatters
+    results straight back into chunk order.  Returns ``(rows,
+    project_seconds, lane_groups)``; lanes that cannot be vectorized
     fall back to the scalar per-cell path.
     """
     groups: Dict[Tuple, List[int]] = {}
@@ -1397,7 +1452,9 @@ def _vector_grid_rows(sym: SymbolicBET, base_machine: MachineModel,
             order.append(key)
         groups[key].append(slot)
     rows: List[Any] = [None] * len(cells)
+    scattered: List[Optional[Dict]] = [None] * len(cells)
     project_seconds = 0.0
+    lane_groups = 0
     for key in order:
         slots = groups[key]
         machines = [_cell_machine(base_machine, cells[slot])
@@ -1411,18 +1468,20 @@ def _vector_grid_rows(sym: SymbolicBET, base_machine: MachineModel,
             for slot in slots:
                 rows[slot] = row
             continue
-        projections: List[Optional[Dict]] = [None] * len(slots)
+        vectorized = False
         cols = _soa_columns(inputs_rows)
         if cols is not None:
             try:
-                batch = sym.rebind_batch(cols)
+                batch = sym.rebind_batch(cols, lane_index=slots)
                 started = time.perf_counter()
-                projections = project_batch(batch, model, k)
+                project_batch(batch, model, k, out=scattered)
                 project_seconds += time.perf_counter() - started
+                vectorized = True
+                lane_groups += 1
             except Exception:
-                projections = [None] * len(slots)
+                vectorized = False
         for local, slot in enumerate(slots):
-            projection = projections[local]
+            projection = scattered[slot] if vectorized else None
             machine = machines[local]
             if projection is None:
                 try:
@@ -1437,7 +1496,62 @@ def _vector_grid_rows(sym: SymbolicBET, base_machine: MachineModel,
                     continue
             rows[slot] = ("ok", GridPoint(overrides=dict(cells[slot]),
                                           machine=machine, **projection))
-    return rows, project_seconds
+    return rows, project_seconds, lane_groups
+
+
+def _lane_pack_rows(sym: SymbolicBET, base_machine: MachineModel,
+                    pack: LanePack, base_inputs, model_factory, k: int):
+    """Batch-evaluate one packed lane-group slice (DESIGN.md §15).
+
+    The pack is a single machine signature, so the whole chunk is one
+    ``rebind_batch`` lane array against one timing model; per-lane
+    failures (shape flips, domain errors, unsafe values) demote that
+    lane to the scalar path — which reproduces the canonical per-cell
+    result or error — rather than failing the group.  Returns ``(rows,
+    project_seconds, lane_groups)`` in lane (= original chunk) order.
+    """
+    cells = pack.cells()
+    try:
+        machine = _cell_machine(base_machine, pack.machine_part())
+        model = (model_factory or RooflineModel)(machine)
+    except Exception as exc:
+        row = ("fail", type(exc).__name__, str(exc), _tb.format_exc())
+        return [row] * len(cells), 0.0, 0
+    project_seconds = 0.0
+    lane_groups = 0
+    projections: List[Optional[Dict]] = [None] * pack.count
+    try:
+        batch = sym.rebind_batch(pack.input_columns(base_inputs))
+        started = time.perf_counter()
+        projections = project_batch(batch, model, k)
+        project_seconds += time.perf_counter() - started
+        lane_groups = 1
+    except Exception:
+        projections = [None] * pack.count
+    rows: List[Any] = []
+    for lane, overrides in enumerate(cells):
+        # per-cell machine: same physical fields as the group machine,
+        # but the name tag carries the full overrides (incl. ``input:``
+        # axes) exactly like the scalar path, so exported points are
+        # byte-for-byte interchangeable
+        point_machine = _cell_machine(base_machine, overrides)
+        projection = projections[lane]
+        if projection is None:
+            try:
+                inputs = {**base_inputs, **_split_overrides(overrides)[1]}
+                bet = sym.bind(inputs)
+                started = time.perf_counter()
+                projection = project_machine(bet, point_machine,
+                                             model_factory, k)
+                project_seconds += time.perf_counter() - started
+            except Exception as exc:
+                rows.append(("fail", type(exc).__name__, str(exc),
+                             _tb.format_exc()))
+                continue
+        rows.append(("ok", GridPoint(overrides=dict(overrides),
+                                     machine=point_machine,
+                                     **projection)))
+    return rows, project_seconds, lane_groups
 
 
 def _grid_chunk_task(payload):
@@ -1447,16 +1561,26 @@ def _grid_chunk_task(payload):
     tree without a rebind (row-major order makes runs of equal bindings
     common when input axes come first in the grid dict).  With
     ``backend="vector"`` the chunk's cells are grouped by machine
-    overrides and each group is batch-replayed in one pass.
+    overrides and each group is batch-replayed in one pass; a chunk
+    shipped as a :class:`~repro.parallel.lanes.LanePack` (one machine
+    signature, columnar inputs) is a single pre-planned lane group.
     """
     sym, base_machine, cells, base_inputs, model_factory, k = payload[:6]
     backend = payload[6] if len(payload) > 6 else "scalar"
     sym = _symbolic_for(sym)
     before = _stage_snapshot(sym)
-    if backend == "vector":
-        rows, project_seconds = _vector_grid_rows(
+    if isinstance(cells, LanePack):
+        rows, project_seconds, lane_groups = _lane_pack_rows(
             sym, base_machine, cells, base_inputs, model_factory, k)
-        return rows, _stage_delta(sym, before, project_seconds)
+        delta = _stage_delta(sym, before, project_seconds)
+        delta["lane_groups"] = float(lane_groups)
+        return rows, delta
+    if backend == "vector":
+        rows, project_seconds, lane_groups = _vector_grid_rows(
+            sym, base_machine, cells, base_inputs, model_factory, k)
+        delta = _stage_delta(sym, before, project_seconds)
+        delta["lane_groups"] = float(lane_groups)
+        return rows, delta
     project_seconds = 0.0
     rows = []
     bound_key: Any = None

@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import asyncio
 import itertools
+import json
 import os
 import re
 import signal
@@ -44,6 +45,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
+from .. import arrayops as _aops
 from ..analysis.sensitivity import project_machine
 from ..bet import build_bet
 from ..diagnostics import Diagnostic, DiagnosticSink
@@ -56,7 +58,9 @@ from ..hardware.cachemodel import (
 )
 from ..parallel.cache import LRUCache
 from ..parallel.chaos import CHAOS_KINDS, ChaosSchedule
-from ..parallel.engine import INPUT_PREFIX, evaluate_cells
+from ..parallel.engine import (
+    INPUT_PREFIX, VECTOR_MIN_POINTS, evaluate_cells,
+)
 from ..parallel.fault import overrides_key, sweep_key
 from ..skeleton import parse_skeleton
 from ..validate import preflight
@@ -90,6 +94,10 @@ class ServiceConfig:
     executor: Optional[str] = None     #: "serial"/"pool"/... or None
     shards: Optional[int] = None
     chunk_cells: int = 16          #: cells per streamed evaluation step
+    #: step ceiling for vector-eligible batches: a coalesced cell list
+    #: steps in strides up to this so the engine's grouped lane dispatch
+    #: (DESIGN.md §15) sees whole lane groups instead of 16-cell dices
+    vector_chunk_cells: int = 256
     max_cells_per_request: int = 512
     coalesce_limit: int = 8        #: max requests merged into one batch
     k: int = 10
@@ -114,6 +122,9 @@ class ServiceConfig:
     tenant_cache_quota: Optional[int] = 32
     # persistence / testing
     checkpoint_dir: Optional[str] = None
+    #: JSON snapshot of per-tenant BET/tape cache keys, written on
+    #: SIGTERM drain and pre-warmed on the next start (``--warm-cache``)
+    warm_cache_path: Optional[str] = None
     allow_chaos: bool = False      #: honor per-request chaos schedules
 
 
@@ -146,6 +157,9 @@ class AnalysisService:
         #: tasks and worker threads — DiagnosticSink is thread-safe
         self.sink = DiagnosticSink(limit=2000)
         self.counters: Dict[str, int] = {}
+        #: deduped warm-cache descriptors (tenant + program source +
+        #: inputs), snapshotted to ``warm_cache_path`` on drain
+        self._warm_notes: Dict[Tuple, Dict[str, Any]] = {}
         self.port: Optional[int] = None
         self.draining = False
         self._ids = itertools.count(1)
@@ -185,6 +199,10 @@ class AnalysisService:
             # non-main thread or platform without signal support: drain
             # is still reachable programmatically
             pass
+        # pre-warm caches from the previous instance's drain snapshot
+        # before accepting traffic: first requests after a rolling
+        # restart hit warm BETs and recorded tapes
+        await asyncio.to_thread(self._load_warm_cache)
         self._server = await asyncio.start_server(
             self._handle_client, cfg.host, cfg.port)
         self.port = self._server.sockets[0].getsockname()[1]
@@ -223,6 +241,7 @@ class AnalysisService:
         deadline = self._now() + 5.0
         while self._active_connections and self._now() < deadline:
             await asyncio.sleep(0.02)
+        self._write_warm_cache()
         if self._stopped is not None:
             self._stopped.set()
 
@@ -619,10 +638,107 @@ class AnalysisService:
         return EvalBudget(max_seconds=self.config.build_max_seconds,
                           max_contexts=self.config.build_max_contexts)
 
+    # -- warm cache ------------------------------------------------------
+    def _warm_note(self, request: ServiceRequest) -> None:
+        """Record one request's cache descriptor for the drain snapshot.
+
+        Only what rebuilds the cache keys is kept — tenant, program
+        source (workload name or skeleton text), and explicit inputs —
+        never results.  Deduped, so snapshot size is bounded by distinct
+        (tenant, program, inputs) triples, not traffic volume.
+        """
+        if self.config.warm_cache_path is None:
+            return
+        payload = request.payload
+        entry: Dict[str, Any] = {"tenant": request.tenant}
+        for name in ("workload", "skeleton", "inputs"):
+            value = payload.get(name)
+            if value is not None:
+                entry[name] = value
+        inputs = entry.get("inputs") or {}
+        if not isinstance(inputs, dict):
+            return
+        key = (request.tenant, entry.get("workload"),
+               entry.get("skeleton"),
+               tuple(sorted((str(k), v) for k, v in inputs.items())))
+        self._warm_notes[key] = entry
+
+    def _write_warm_cache(self) -> None:
+        """Snapshot warm-cache descriptors during drain (SKOP716)."""
+        path = self.config.warm_cache_path
+        if path is None or not self._warm_notes:
+            return
+        payload = {"version": 1,
+                   "entries": list(self._warm_notes.values())}
+        try:
+            tmp = f"{path}.tmp"
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+            os.replace(tmp, path)
+        except OSError as exc:
+            self._count("warm_cache_errors")
+            self._diag("SKOP716", f"warm-cache snapshot failed: {exc}")
+            return
+        self._count("warm_cache_saved", len(self._warm_notes))
+
+    def _load_warm_cache(self) -> None:
+        """Pre-warm BET and symbolic-tape caches from a drain snapshot.
+
+        Every entry is best-effort: a stale workload name, unparsable
+        skeleton, or budget blow-up skips that entry with a SKOP716
+        diagnostic and never blocks startup.
+        """
+        path = self.config.warm_cache_path
+        if path is None or not os.path.exists(path):
+            return
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            entries = payload.get("entries", [])
+            if not isinstance(entries, list):
+                raise ValueError("'entries' must be a list")
+        except (OSError, ValueError) as exc:
+            self._count("warm_cache_errors")
+            self._diag("SKOP716", f"warm-cache load failed: {exc}")
+            return
+        from ..bet.symbolic import SymbolicBET
+        from ..parallel.engine import _symbolic_for
+        for entry in entries:
+            if not isinstance(entry, dict):
+                continue
+            try:
+                (program, inputs, _machine, _k, _factory,
+                 _name) = self._resolve_source({
+                     "workload": entry.get("workload"),
+                     "skeleton": entry.get("skeleton"),
+                     "inputs": entry.get("inputs", {}),
+                 })
+                tenant = str(entry.get("tenant", DEFAULT_TENANT))
+                self._bet_for(program, inputs, tenant,
+                              self._build_budget())
+                # seed the engine's worker-resident tape cache too, so
+                # the first served sweep replays instead of re-recording
+                _symbolic_for(SymbolicBET(program)).bind(dict(inputs))
+            except Exception as exc:
+                self._count("warm_cache_errors")
+                self._diag("SKOP716",
+                           f"warm-cache entry skipped: {exc!r}")
+                continue
+            inputs_note = entry.get("inputs") or {}
+            key = (entry.get("tenant", DEFAULT_TENANT),
+                   entry.get("workload"), entry.get("skeleton"),
+                   tuple(sorted((str(k), v)
+                                for k, v in inputs_note.items())))
+            # re-note loaded entries: the *next* drain re-snapshots them
+            # even if this instance never sees fresh traffic for them
+            self._warm_notes.setdefault(key, entry)
+            self._count("warm_cache_loaded")
+
     async def _run_analyze(self, request: ServiceRequest) -> None:
         self._count("analyze_total")
         (program, inputs, machine, k, model_factory,
          cache_model_name) = self._resolve_source(request.payload)
+        self._warm_note(request)
         tenant = request.tenant
 
         def work():
@@ -712,6 +828,9 @@ class AnalysisService:
         self._count("sweep_total", len(group))
         batch = build_batch(group)
         plan = group[0].plan
+        for member in group:
+            self._warm_note(member)
+        step = self._sweep_step(plan, batch.cells)
         state: Dict[int, Dict[str, Any]] = {
             member.id: {
                 "points": [None] * len(member.plan.cells),
@@ -755,7 +874,7 @@ class AnalysisService:
                       and state[member.id]["stop_code"] is None]
             if not active:
                 break
-            stop = min(index + self.config.chunk_cells, total)
+            stop = min(index + step, total)
             wanted: List[Tuple[int, Dict[str, float]]] = []
             for cell_index in range(index, stop):
                 subscribers = batch.routes[cell_index]
@@ -807,6 +926,29 @@ class AnalysisService:
             self._finish_sweep(member, state[member.id],
                                batch.coalesced, elapsed)
 
+    def _sweep_step(self, plan: SweepPlan,
+                    cells: List[Dict[str, float]]) -> int:
+        """Cells per streamed evaluation step for one batch.
+
+        Vector-eligible batches (numpy present, input axes, enough
+        cells to amortize a lane array) step in strides up to
+        ``vector_chunk_cells`` so the merged tenant-interleaved cell
+        list reaches the engine's grouped lane dispatch whole; anything
+        else keeps the small ``chunk_cells`` stride that bounds
+        deadline-check latency.
+        """
+        cfg = self.config
+        step = max(1, cfg.chunk_cells)
+        if plan.backend == "scalar" or not _aops.HAVE_NUMPY:
+            return step
+        total = len(cells)
+        if total < VECTOR_MIN_POINTS:
+            return step
+        if not any(name.startswith(INPUT_PREFIX)
+                   for cell in cells[:1] for name in cell):
+            return step
+        return max(step, min(total, max(1, cfg.vector_chunk_cells)))
+
     async def _evaluate_guarded(self, plan: SweepPlan,
                                 cells: List[Dict[str, float]],
                                 route: str, chunk_index: int,
@@ -846,6 +988,12 @@ class AnalysisService:
                                 "diagnostic": diagnostic.as_dict()})
                     return None, None
             return None, [("error", type(exc).__name__, str(exc))]
+        stats = getattr(result, "cache_stats", None) or {}
+        for name in ("lanes_vectorized", "lanes_fallback",
+                     "lane_groups"):
+            value = int(stats.get(name, 0))
+            if value:
+                self._count(name, value)
         if not degraded:
             infra = self._infra_noise(result)
             self.breaker.record(not infra, probe=probe)
@@ -1020,6 +1168,20 @@ class AnalysisService:
                     "maxsize": self.bet_cache.maxsize,
                     "owner_quota": self.bet_cache.owner_quota,
                 },
+            },
+            "lanes": {
+                "lanes_vectorized":
+                    self.counters.get("lanes_vectorized", 0),
+                "lanes_fallback":
+                    self.counters.get("lanes_fallback", 0),
+                "lane_groups": self.counters.get("lane_groups", 0),
+            },
+            "warm_cache": {
+                "path": self.config.warm_cache_path,
+                "entries": len(self._warm_notes),
+                "loaded": self.counters.get("warm_cache_loaded", 0),
+                "saved": self.counters.get("warm_cache_saved", 0),
+                "errors": self.counters.get("warm_cache_errors", 0),
             },
             "counters": dict(self.counters),
             "connections_active": self._active_connections,

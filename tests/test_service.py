@@ -812,3 +812,93 @@ class TestServeCommand:
         assert args.queue_limit == 8
         assert args.breaker_threshold == 2
         assert args.allow_chaos is True
+
+    def test_serve_accepts_warm_cache_flag(self):
+        from repro.cli import build_parser
+        args = build_parser().parse_args(
+            ["serve", "--warm-cache", "/tmp/warm.json"])
+        assert args.warm_cache == "/tmp/warm.json"
+
+
+# -- warm cache + lane counters (ISSUE 10 satellites) -------------------------
+
+class TestWarmCache:
+    def test_drain_snapshots_and_restart_prewarms(self, tmp_path):
+        path = str(tmp_path / "warm.json")
+        first = start_in_thread(ServiceConfig(
+            port=0, dispatchers=1, warm_cache_path=path))
+        try:
+            status, _, body = http_json(
+                first.port, "POST", "/analyze",
+                {"workload": "pedagogical"},
+                headers={"X-Tenant": "acme"})
+            assert status == 200 and body["status"] == "ok"
+        finally:
+            first.stop()
+        with open(path, "r", encoding="utf-8") as handle:
+            snapshot = json.load(handle)
+        assert snapshot["version"] == 1
+        assert any(entry.get("workload") == "pedagogical"
+                   and entry.get("tenant") == "acme"
+                   for entry in snapshot["entries"])
+        assert first.service.counters["warm_cache_saved"] >= 1
+
+        second = start_in_thread(ServiceConfig(
+            port=0, dispatchers=1, warm_cache_path=path))
+        try:
+            status, _, stats = http_json(second.port, "GET", "/statsz")
+            assert status == 200
+            warm = stats["warm_cache"]
+            assert warm["loaded"] >= 1
+            assert warm["errors"] == 0
+            # the BET cache is hot before the first request arrives
+            assert sum(stats["caches"]["bet"]["occupancy"]
+                       .values()) >= 1
+        finally:
+            second.stop()
+        # a drain with no fresh traffic still re-snapshots the entries
+        with open(path, "r", encoding="utf-8") as handle:
+            resnap = json.load(handle)
+        assert any(entry.get("workload") == "pedagogical"
+                   for entry in resnap["entries"])
+
+    def test_corrupt_snapshot_never_blocks_startup(self, tmp_path):
+        path = str(tmp_path / "warm.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("{nope")
+        handle = start_in_thread(ServiceConfig(
+            port=0, dispatchers=1, warm_cache_path=path))
+        try:
+            status, _, body = http_json(handle.port, "GET", "/statsz")
+            assert status == 200
+            assert body["warm_cache"]["errors"] >= 1
+        finally:
+            handle.stop()
+
+
+class TestLaneCountersServed:
+    def test_vector_sweep_reports_lane_counters(self, tmp_path):
+        handle = start_in_thread(ServiceConfig(
+            port=0, dispatchers=1, chunk_cells=4,
+            max_cells_per_request=512))
+        try:
+            grid = {"bandwidth": [1e10, 2e10],
+                    "input:n": [float(n) for n in range(8, 72)]}
+            status, _, body = http_json(
+                handle.port, "POST", "/sweep",
+                {"workload": "pedagogical", "params": grid},
+                timeout=120)
+            assert status == 200 and body["status"] == "ok"
+            assert len(body["points"]) == 128
+            status, _, stats = http_json(handle.port, "GET", "/statsz")
+            assert status == 200
+            lanes = stats["lanes"]
+            assert lanes["lanes_vectorized"] >= 128
+            assert lanes["lane_groups"] >= 2
+            # vector-eligible batches step past chunk_cells: far fewer
+            # chunks than the 128/4 the scalar stride would take
+            direct = direct_grid_points("pedagogical", grid)
+            assert json.dumps(body["points"], sort_keys=True) == \
+                json.dumps(direct, sort_keys=True)
+        finally:
+            handle.stop()

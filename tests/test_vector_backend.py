@@ -216,8 +216,14 @@ class TestBackendDispatch:
                                 has_machine_axes=False) == "scalar"
         assert _resolve_backend("auto", many,
                                 has_machine_axes=False) == "vector"
+        # mixed machine x input cells qualify too: the grouped dispatch
+        # path batches each machine-signature lane group
         assert _resolve_backend("auto", many,
+                                has_machine_axes=True) == "vector"
+        assert _resolve_backend("auto", few,
                                 has_machine_axes=True) == "scalar"
+        assert _resolve_backend("auto", many, has_machine_axes=True,
+                                has_input_axes=False) == "scalar"
         assert _resolve_backend("scalar", many,
                                 has_machine_axes=False) == "scalar"
 
@@ -227,6 +233,15 @@ class TestBackendDispatch:
         assert _auto_chunk_size(1000, 4) == 63       # ~4 chunks per worker
         assert _auto_chunk_size(8, 16) == 8          # never exceeds total
         assert _auto_chunk_size(64, 2) == 16         # floored at minimum
+
+    def test_auto_chunk_size_lane_aware(self):
+        # a vector-eligible sweep is never chunked below the batching
+        # threshold: lanes starved under VECTOR_MIN_POINTS would run
+        # scalar for no reason
+        assert _auto_chunk_size(1000, 4, vector=True) == 64
+        assert _auto_chunk_size(64, 2, vector=True) == 64
+        assert _auto_chunk_size(40, 8, vector=True) == 40
+        assert _auto_chunk_size(100, 1, vector=True) == 100
 
 
 # -- end-to-end equality ------------------------------------------------------
@@ -338,14 +353,27 @@ class TestSweepBackendEquality:
             [(p.overrides, p.runtime, p.ranking, p.top_label,
               p.memory_fraction) for p in scalar.points]
 
-    def test_grid_with_machine_axes_stays_scalar_on_auto(
+    def test_grid_with_machine_axes_goes_vector_on_auto(
             self, program, machine):
+        # mixed grids now qualify for auto-vector: the grouped dispatch
+        # path batches each machine-signature lane group (DESIGN.md §15)
         grid = {"bandwidth": [1e10, 2e10],
                 "input:n": [float(v) for v in range(8, 72)]}
         clear_symbolic_cache()
-        result = sweep_grid(None, machine, grid, program=program,
+        vector = sweep_grid(None, machine, grid, program=program,
                             inputs={"m": 8.0, "pr": 0.3})
-        assert result.backend == "scalar"
+        assert vector.backend == "vector"
+        assert vector.cache_stats["lanes_vectorized"] == 128.0
+        assert vector.cache_stats["lanes_fallback"] == 0.0
+        assert vector.cache_stats["lane_groups"] >= 2.0
+        clear_symbolic_cache()
+        scalar = sweep_grid(None, machine, grid, program=program,
+                            inputs={"m": 8.0, "pr": 0.3},
+                            backend="scalar")
+        assert [(p.overrides, p.runtime, p.ranking, p.top_label,
+                 p.memory_fraction) for p in vector.points] == \
+            [(p.overrides, p.runtime, p.ranking, p.top_label,
+              p.memory_fraction) for p in scalar.points]
 
     def test_grid_vector_with_machine_axes_matches_scalar(
             self, program, machine):

@@ -56,6 +56,14 @@ def _headline(name, payload):
                     f"{verification['exact_points']} exact + "
                     f"{verification['degraded_points']} degraded pts, "
                     f"{payload['queue']['shed_total']} shed")
+        if name == "cells":
+            grouped = payload["grouped"]
+            served = payload["served"]
+            return (f"grouped {grouped['speedup']:.1f}x over scalar on "
+                    f"{grouped['cells']} mixed cells "
+                    f"({int(grouped['lane_groups'])} groups, "
+                    f"{int(grouped['lanes_fallback'])} fallback), "
+                    f"served {served['speedup']:.1f}x")
         if name == "cachemodel":
             return f"{len(payload.get('workloads', []))} workloads, " \
                    f"{payload.get('elapsed_s', 0.0):.1f}s"
